@@ -1,0 +1,170 @@
+// nztm-stress tortures a TM system with real Go concurrency (not the
+// simulator): bank transfers with auditing readers, forced-abort pressure,
+// and optional artificially tiny patience so NZSTM's inflation/deflation
+// machinery runs constantly. Run it under -race in CI.
+//
+// Usage:
+//
+//	nztm-stress -system NZSTM -threads 8 -duration 2s
+//	nztm-stress -system NZSTM -patience 1   (inflation torture)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nztm/internal/cm"
+	"nztm/internal/core"
+	"nztm/internal/dstm"
+	"nztm/internal/dstm2sf"
+	"nztm/internal/glock"
+	"nztm/internal/logtm"
+	"nztm/internal/tm"
+)
+
+func buildSystem(name string, threads int, patience uint64, tracer *tm.Tracer) (tm.System, error) {
+	mk := func(v core.Variant) tm.System {
+		cfg := core.DefaultConfig(v, threads)
+		cfg.AckPatience = patience
+		cfg.Manager = cm.NewKarma(patience * 4)
+		cfg.Tracer = tracer
+		return core.New(tm.NewRealWorld(), cfg)
+	}
+	switch name {
+	case "NZSTM":
+		return mk(core.NZ), nil
+	case "BZSTM":
+		return mk(core.BZ), nil
+	case "SCSS":
+		return mk(core.SCSS), nil
+	case "DSTM":
+		return dstm.New(tm.NewRealWorld(), dstm.Config{Threads: threads}), nil
+	case "DSTM2-SF":
+		return dstm2sf.New(tm.NewRealWorld(), dstm2sf.Config{Threads: threads}), nil
+	case "LogTM-SE":
+		return logtm.New(tm.NewRealWorld(), logtm.Config{Threads: threads}), nil
+	case "GlobalLock":
+		return glock.New(tm.NewRealWorld()), nil
+	}
+	return nil, fmt.Errorf("unknown system %q", name)
+}
+
+func main() {
+	var (
+		system   = flag.String("system", "NZSTM", "system to torture")
+		threads  = flag.Int("threads", 8, "concurrent threads")
+		duration = flag.Duration("duration", 2*time.Second, "run time")
+		accounts = flag.Int("accounts", 16, "bank accounts")
+		patience = flag.Uint64("patience", 50_000, "ack patience in ns (tiny = constant inflation)")
+		trace    = flag.Int("trace", 0, "print the last N lifecycle trace events")
+	)
+	flag.Parse()
+
+	var tracer *tm.Tracer
+	if *trace > 0 {
+		tracer = tm.NewTracer(*trace)
+	}
+	sys, err := buildSystem(*system, *threads, *patience, tracer)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nztm-stress:", err)
+		os.Exit(2)
+	}
+
+	const initial = 1000
+	objs := make([]tm.Object, *accounts)
+	for i := range objs {
+		d := tm.NewInts(1)
+		d.V[0] = initial
+		objs[i] = sys.NewObject(d)
+	}
+
+	var stop atomic.Bool
+	var ops atomic.Uint64
+	var audits atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < *threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := tm.NewThread(id, tm.NewRealEnv(id, tm.NewRealWorld()))
+			rng := uint64(id)*0x9e3779b97f4a7c15 + 1
+			for !stop.Load() {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				if id%4 == 3 {
+					// Auditor: full-sum read transaction.
+					var sum int64
+					if err := sys.Atomic(th, func(tx tm.Tx) error {
+						sum = 0
+						for _, o := range objs {
+							sum += tx.Read(o).(*tm.Ints).V[0]
+						}
+						return nil
+					}); err != nil {
+						panic(err)
+					}
+					if sum != int64(*accounts)*initial {
+						fmt.Fprintf(os.Stderr, "AUDIT FAILED: total %d, want %d\n",
+							sum, int64(*accounts)*initial)
+						os.Exit(1)
+					}
+					audits.Add(1)
+					continue
+				}
+				from := int(rng % uint64(*accounts))
+				to := int((rng >> 17) % uint64(*accounts))
+				if from == to {
+					continue
+				}
+				amt := int64(rng%50) + 1
+				if err := sys.Atomic(th, func(tx tm.Tx) error {
+					tx.Update(objs[from], func(d tm.Data) { d.(*tm.Ints).V[0] -= amt })
+					tx.Update(objs[to], func(d tm.Data) { d.(*tm.Ints).V[0] += amt })
+					return nil
+				}); err != nil {
+					panic(err)
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+
+	// Final audit.
+	th := tm.NewThread(0, tm.NewRealEnv(0, tm.NewRealWorld()))
+	var total int64
+	if err := sys.Atomic(th, func(tx tm.Tx) error {
+		total = 0
+		for _, o := range objs {
+			total += tx.Read(o).(*tm.Ints).V[0]
+		}
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	if total != int64(*accounts)*initial {
+		fmt.Fprintf(os.Stderr, "FINAL AUDIT FAILED: total %d\n", total)
+		os.Exit(1)
+	}
+
+	v := sys.Stats().View()
+	fmt.Printf("%s: %d transfers, %d audits in %v — total conserved\n",
+		sys.Name(), ops.Load(), audits.Load(), *duration)
+	fmt.Printf("commits=%d aborts=%d (rate %.1f%%) abort-requests=%d waits=%d\n",
+		v.Commits, v.Aborts, 100*v.AbortRate(), v.AbortRequests, v.Waits)
+	fmt.Printf("inflations=%d deflations=%d locator-ops=%d backup-reuse=%d\n",
+		v.Inflations, v.Deflations, v.LocatorOps, v.BackupReuse)
+	if tracer != nil {
+		fmt.Printf("\nlast %d of %d lifecycle events:\n", len(tracer.Snapshot()), tracer.Count())
+		for _, e := range tracer.Snapshot() {
+			fmt.Println(" ", e)
+		}
+	}
+}

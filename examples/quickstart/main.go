@@ -1,0 +1,68 @@
+// Quickstart: the smallest complete NZSTM program — a shared counter and a
+// two-account transfer, executed by concurrent goroutines.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"nztm"
+)
+
+func main() {
+	const threads = 4
+	sys := nztm.NewNZSTM(threads)
+
+	counter := sys.NewObject(nztm.NewInts(1))
+	checking := sys.NewObject(nztm.NewInts(1))
+	savings := sys.NewObject(nztm.NewInts(1))
+
+	// Seed the accounts.
+	setup := nztm.NewThread(0)
+	if err := sys.Atomic(setup, func(tx nztm.Tx) error {
+		tx.Update(checking, func(d nztm.Data) { d.(*nztm.Ints).V[0] = 900 })
+		tx.Update(savings, func(d nztm.Data) { d.(*nztm.Ints).V[0] = 100 })
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := nztm.NewThread(id)
+			for i := 0; i < 1000; i++ {
+				// Increment the counter and move a unit between accounts,
+				// atomically. If another thread conflicts, the transaction
+				// retries by itself.
+				if err := sys.Atomic(th, func(tx nztm.Tx) error {
+					tx.Update(counter, func(d nztm.Data) { d.(*nztm.Ints).V[0]++ })
+					tx.Update(checking, func(d nztm.Data) { d.(*nztm.Ints).V[0]-- })
+					tx.Update(savings, func(d nztm.Data) { d.(*nztm.Ints).V[0]++ })
+					return nil
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	th := nztm.NewThread(0)
+	var count, total int64
+	if err := sys.Atomic(th, func(tx nztm.Tx) error {
+		count = tx.Read(counter).(*nztm.Ints).V[0]
+		total = tx.Read(checking).(*nztm.Ints).V[0] + tx.Read(savings).(*nztm.Ints).V[0]
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+
+	v := sys.Stats().View()
+	fmt.Printf("counter = %d (want %d)\n", count, threads*1000)
+	fmt.Printf("account total = %d (conserved: %v)\n", total, total == 1000)
+	fmt.Printf("commits = %d, aborts = %d (%.1f%% abort rate)\n",
+		v.Commits, v.Aborts, 100*v.AbortRate())
+}

@@ -1,0 +1,134 @@
+// Reservation: a miniature travel-booking service in the shape of STAMP's
+// vacation benchmark (the workload the paper's introduction motivates):
+// resource tables, customers, and multi-step reservation transactions that
+// must stay consistent under concurrency. Built entirely on the public API:
+// a red-black-tree index of room objects plus per-room and per-customer
+// records, composed into single atomic reservations.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nztm"
+)
+
+// room is a transactional record: capacity, booked count, price.
+type room struct{ capacity, booked, price int64 }
+
+func (r *room) Clone() nztm.Data       { c := *r; return &c }
+func (r *room) CopyFrom(src nztm.Data) { *r = *(src.(*room)) }
+func (r *room) Words() int             { return 3 }
+
+// guest tracks one customer's bookings and spend.
+type guest struct{ bookings, spent int64 }
+
+func (g *guest) Clone() nztm.Data       { c := *g; return &c }
+func (g *guest) CopyFrom(src nztm.Data) { *g = *(src.(*guest)) }
+func (g *guest) Words() int             { return 2 }
+
+func main() {
+	const (
+		threads = 6
+		rooms   = 40
+		guests  = 24
+		tries   = 400
+	)
+	sys := nztm.NewNZSTM(threads)
+
+	roomObjs := make([]nztm.Object, rooms)
+	for i := range roomObjs {
+		roomObjs[i] = sys.NewObject(&room{
+			capacity: int64(i%3 + 1),
+			price:    int64(50 + 13*i%200),
+		})
+	}
+	guestObjs := make([]nztm.Object, guests)
+	for i := range guestObjs {
+		guestObjs[i] = sys.NewObject(&guest{})
+	}
+
+	var booked, soldOut atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := nztm.NewThread(id)
+			rng := uint64(id)*2654435761 + 5
+			for i := 0; i < tries; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				g := guestObjs[rng%guests]
+				// One atomic reservation: scan three candidate rooms, book
+				// the cheapest with space, and charge the guest.
+				var got bool
+				if err := sys.Atomic(th, func(tx nztm.Tx) error {
+					got = false
+					var best nztm.Object
+					bestPrice := int64(1 << 62)
+					for c := 0; c < 3; c++ {
+						cand := roomObjs[(rng>>uint(8+c*8))%rooms]
+						r := tx.Read(cand).(*room)
+						if r.booked < r.capacity && r.price < bestPrice {
+							best, bestPrice = cand, r.price
+						}
+					}
+					if best == nil {
+						return nil
+					}
+					tx.Update(best, func(d nztm.Data) { d.(*room).booked++ })
+					price := bestPrice
+					tx.Update(g, func(d nztm.Data) {
+						gu := d.(*guest)
+						gu.bookings++
+						gu.spent += price
+					})
+					got = true
+					return nil
+				}); err != nil {
+					panic(err)
+				}
+				if got {
+					booked.Add(1)
+				} else {
+					soldOut.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Consistency audit in one transaction: rooms' booked counts must match
+	// guests' booking counts exactly, and no room may be overbooked.
+	th := nztm.NewThread(0)
+	var roomTotal, guestTotal, spend int64
+	over := false
+	if err := sys.Atomic(th, func(tx nztm.Tx) error {
+		roomTotal, guestTotal, spend, over = 0, 0, 0, false
+		for _, o := range roomObjs {
+			r := tx.Read(o).(*room)
+			roomTotal += r.booked
+			if r.booked > r.capacity {
+				over = true
+			}
+		}
+		for _, o := range guestObjs {
+			g := tx.Read(o).(*guest)
+			guestTotal += g.bookings
+			spend += g.spent
+		}
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%d reservations made, %d attempts found no space\n", booked.Load(), soldOut.Load())
+	fmt.Printf("rooms report %d bookings, guests report %d — consistent: %v\n",
+		roomTotal, guestTotal, roomTotal == guestTotal && roomTotal == int64(booked.Load()))
+	fmt.Printf("no overbooking: %v; total revenue: %d\n", !over, spend)
+	v := sys.Stats().View()
+	fmt.Printf("commits=%d aborts=%d (%.1f%%)\n", v.Commits, v.Aborts, 100*v.AbortRate())
+}

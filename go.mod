@@ -1,0 +1,3 @@
+module nztm
+
+go 1.22

@@ -1,0 +1,304 @@
+// Package audit provides a black-box serializability checker for any
+// tm.System: it wraps the system so that every object's data carries a
+// hidden version counter (bumped on each Update and travelling with the
+// data through backups, locators, snapshots, and hardware buffers via the
+// ordinary Clone/CopyFrom contract), records each committed transaction's
+// read and write sets with the versions observed, and verifies offline that
+// the direct serialization graph (write→write, write→read, read→write
+// edges) is acyclic — i.e. that the observed execution is serializable.
+//
+// This complements the model checker: the checker proves bounded
+// configurations exhaustively, while the auditor validates full-size
+// concurrent executions of the real implementations (and would catch, for
+// example, a lost update as two transactions producing the same version, or
+// a dirty read as a version no committed transaction produced).
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nztm/internal/tm"
+)
+
+// vData wraps user data with the audit version counter.
+type vData struct {
+	inner tm.Data
+	ver   uint64
+}
+
+// Clone implements tm.Data.
+func (d *vData) Clone() tm.Data {
+	return &vData{inner: d.inner.Clone(), ver: d.ver}
+}
+
+// CopyFrom implements tm.Data. The version travels with the payload, so
+// backup restoration (undo) also restores the version — aborted bumps
+// vanish exactly like aborted user writes.
+func (d *vData) CopyFrom(src tm.Data) {
+	s := src.(*vData)
+	d.inner.CopyFrom(s.inner)
+	d.ver = s.ver
+}
+
+// Words implements tm.Data (one extra word for the version).
+func (d *vData) Words() int { return d.inner.Words() + 1 }
+
+// Access is one read or write observation.
+type Access struct {
+	Obj int    // object id
+	Ver uint64 // version observed (reads) or produced (writes)
+}
+
+// Record is one committed transaction's observations.
+type Record struct {
+	Thread int
+	Reads  []Access
+	Writes []Access
+}
+
+// System wraps an inner tm.System with auditing.
+type System struct {
+	inner tm.System
+
+	mu      sync.Mutex
+	nextObj int
+	ids     map[tm.Object]int
+	log     []Record
+}
+
+// New wraps sys for auditing.
+func New(sys tm.System) *System {
+	return &System{inner: sys, ids: map[tm.Object]int{}}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return s.inner.Name() + "+audit" }
+
+// Stats implements tm.System.
+func (s *System) Stats() *tm.Stats { return s.inner.Stats() }
+
+// NewObject implements tm.System.
+func (s *System) NewObject(initial tm.Data) tm.Object {
+	o := s.inner.NewObject(&vData{inner: initial})
+	s.mu.Lock()
+	s.ids[o] = s.nextObj
+	s.nextObj++
+	s.mu.Unlock()
+	return o
+}
+
+func (s *System) id(o tm.Object) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.ids[o]
+	if !ok {
+		panic("audit: object not created through the audited system")
+	}
+	return id
+}
+
+// auditTx records one attempt's observations.
+type auditTx struct {
+	sys    *System
+	inner  tm.Tx
+	reads  map[int]uint64 // first version observed per object
+	writes map[int]uint64 // last version produced per object
+}
+
+// Read implements tm.Tx.
+func (tx *auditTx) Read(obj tm.Object) tm.Data {
+	d := tx.inner.Read(obj).(*vData)
+	id := tx.sys.id(obj)
+	if _, seen := tx.reads[id]; !seen {
+		if w, wrote := tx.writes[id]; wrote {
+			tx.reads[id] = w // read-your-write
+		} else {
+			tx.reads[id] = d.ver
+		}
+	}
+	return d.inner
+}
+
+// Update implements tm.Tx. The version is bumped once per transaction per
+// object (on its first update), so each committed transaction produces
+// exactly one new version of everything it wrote.
+func (tx *auditTx) Update(obj tm.Object, fn func(tm.Data)) {
+	id := tx.sys.id(obj)
+	_, alreadyMine := tx.writes[id]
+	var produced uint64
+	tx.inner.Update(obj, func(d tm.Data) {
+		vd := d.(*vData)
+		if _, seen := tx.reads[id]; !seen {
+			if alreadyMine {
+				tx.reads[id] = tx.writes[id]
+			} else {
+				tx.reads[id] = vd.ver // a blind write still depends on the base version
+			}
+		}
+		if !alreadyMine {
+			vd.ver++
+		}
+		produced = vd.ver
+		fn(vd.inner)
+	})
+	tx.writes[id] = produced
+}
+
+// Release forwards early release when the inner transaction supports it.
+func (tx *auditTx) Release(obj tm.Object) {
+	if r, ok := tx.inner.(tm.Releaser); ok {
+		r.Release(obj)
+		// The released read no longer constrains serialization.
+		delete(tx.reads, tx.sys.id(obj))
+	}
+}
+
+// Atomic implements tm.System: on commit, the final attempt's observations
+// are appended to the log.
+func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	tx := &auditTx{sys: s}
+	err := s.inner.Atomic(th, func(inner tm.Tx) error {
+		tx.inner = inner
+		tx.reads = make(map[int]uint64)
+		tx.writes = make(map[int]uint64)
+		return fn(tx)
+	})
+	if err != nil {
+		return err // aborted by user error: nothing committed
+	}
+	rec := Record{Thread: th.ID}
+	for id, v := range tx.reads {
+		rec.Reads = append(rec.Reads, Access{Obj: id, Ver: v})
+	}
+	for id, v := range tx.writes {
+		rec.Writes = append(rec.Writes, Access{Obj: id, Ver: v})
+	}
+	s.mu.Lock()
+	s.log = append(s.log, rec)
+	s.mu.Unlock()
+	return nil
+}
+
+// Log returns the committed-transaction records (call after quiescing).
+func (s *System) Log() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Record(nil), s.log...)
+}
+
+// Check verifies the recorded execution:
+//
+//  1. Version integrity: for each object, committed writes produce distinct,
+//     gap-free versions 1..n (a duplicate is a lost update; a gap means an
+//     aborted transaction's write leaked).
+//  2. Read validity: every read observed version 0 (initial) or a version
+//     some committed transaction produced (otherwise: dirty read).
+//  3. Serializability: the direct serialization graph — ww edges v→v+1,
+//     wr edges writer(v)→reader(v), rw anti-edges reader(v)→writer(v+1) —
+//     is acyclic.
+//
+// It returns an error describing the first violation found.
+func Check(records []Record) error {
+	type writerKey struct {
+		obj int
+		ver uint64
+	}
+	writerOf := map[writerKey]int{} // -> record index
+	maxVer := map[int]uint64{}
+
+	for i, r := range records {
+		for _, w := range r.Writes {
+			k := writerKey{w.Obj, w.Ver}
+			if prev, dup := writerOf[k]; dup {
+				return fmt.Errorf("lost update: records %d and %d both produced object %d version %d",
+					prev, i, w.Obj, w.Ver)
+			}
+			if w.Ver == 0 {
+				return fmt.Errorf("record %d produced version 0 of object %d", i, w.Obj)
+			}
+			writerOf[k] = i
+			if w.Ver > maxVer[w.Obj] {
+				maxVer[w.Obj] = w.Ver
+			}
+		}
+	}
+	for obj, mx := range maxVer {
+		for v := uint64(1); v <= mx; v++ {
+			if _, ok := writerOf[writerKey{obj, v}]; !ok {
+				return fmt.Errorf("object %d: version %d missing (aborted write leaked?)", obj, v)
+			}
+		}
+	}
+
+	// Build the DSG.
+	n := len(records)
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		adj[a] = append(adj[a], b)
+		indeg[b]++
+	}
+	for i, r := range records {
+		for _, rd := range r.Reads {
+			if rd.Ver > maxVer[rd.Obj] {
+				return fmt.Errorf("record %d read object %d at version %d, never committed (dirty read)",
+					i, rd.Obj, rd.Ver)
+			}
+			if rd.Ver > 0 {
+				// wr: the writer that produced the version precedes us.
+				addEdge(writerOf[writerKey{rd.Obj, rd.Ver}], i)
+			}
+			// rw: we precede the writer that overwrote what we read.
+			if next, ok := writerOf[writerKey{rd.Obj, rd.Ver + 1}]; ok {
+				addEdge(i, next)
+			}
+		}
+		for _, w := range r.Writes {
+			// ww: version order.
+			if next, ok := writerOf[writerKey{w.Obj, w.Ver + 1}]; ok {
+				addEdge(i, next)
+			}
+		}
+	}
+
+	// Kahn's algorithm: a leftover node means a cycle.
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if seen != n {
+		var stuck []int
+		for i := 0; i < n && len(stuck) < 10; i++ {
+			if indeg[i] > 0 {
+				stuck = append(stuck, i)
+			}
+		}
+		sort.Ints(stuck)
+		return fmt.Errorf("serialization graph has a cycle (%d records involved; first few: %v)",
+			n-seen, stuck)
+	}
+	return nil
+}
+
+var _ tm.System = (*System)(nil)
+var _ tm.Tx = (*auditTx)(nil)
+var _ tm.Releaser = (*auditTx)(nil)

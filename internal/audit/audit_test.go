@@ -1,0 +1,248 @@
+package audit
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"nztm/internal/core"
+	"nztm/internal/dstm"
+	"nztm/internal/glock"
+	"nztm/internal/logtm"
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+func thread(id int) *tm.Thread {
+	return tm.NewThread(id, tm.NewRealEnv(id, tm.NewRealWorld()))
+}
+
+// torture drives check-then-act increments plus multi-object transfers and
+// read-only sums over the audited system with real goroutines.
+func torture(t *testing.T, s *System, workers, each, objects int) {
+	t.Helper()
+	objs := make([]tm.Object, objects)
+	for i := range objs {
+		objs[i] = s.NewObject(tm.NewInts(1))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := thread(id)
+			rng := uint64(id)*0x9e3779b97f4a7c15 + 3
+			for i := 0; i < each; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				a := objs[rng%uint64(objects)]
+				b := objs[(rng>>16)%uint64(objects)]
+				switch rng % 3 {
+				case 0: // check-then-act increment
+					if err := s.Atomic(th, func(tx tm.Tx) error {
+						v := tx.Read(a).(*tm.Ints).V[0]
+						tx.Update(a, func(d tm.Data) { d.(*tm.Ints).V[0] = v + 1 })
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1: // transfer
+					if err := s.Atomic(th, func(tx tm.Tx) error {
+						tx.Update(a, func(d tm.Data) { d.(*tm.Ints).V[0]-- })
+						tx.Update(b, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				default: // read-only sum
+					if err := s.Atomic(th, func(tx tm.Tx) error {
+						_ = tx.Read(a).(*tm.Ints).V[0]
+						_ = tx.Read(b).(*tm.Ints).V[0]
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Every software system must produce serializable executions under real
+// concurrency.
+func TestSystemsAreSerializable(t *testing.T) {
+	const workers, each, objects = 6, 200, 6
+	for _, build := range []func() tm.System{
+		func() tm.System { return core.NewNZSTM(tm.NewRealWorld(), workers) },
+		func() tm.System { return core.NewBZSTM(tm.NewRealWorld(), workers) },
+		func() tm.System { return core.NewSCSS(tm.NewRealWorld(), workers) },
+		func() tm.System {
+			cfg := core.DefaultConfig(core.NZ, workers)
+			cfg.Readers = core.InvisibleReaders
+			return core.New(tm.NewRealWorld(), cfg)
+		},
+		func() tm.System { return dstm.New(tm.NewRealWorld(), dstm.Config{Threads: workers}) },
+		func() tm.System { return logtm.New(tm.NewRealWorld(), logtm.Config{Threads: workers}) },
+		func() tm.System { return glock.New(tm.NewRealWorld()) },
+	} {
+		s := New(build())
+		t.Run(s.Name(), func(t *testing.T) {
+			torture(t, s, workers, each, objects)
+			recs := s.Log()
+			if len(recs) < workers*each {
+				t.Fatalf("only %d records", len(recs))
+			}
+			if err := Check(recs); err != nil {
+				t.Fatalf("execution not serializable: %v", err)
+			}
+		})
+	}
+}
+
+// The hybrid's hardware path on the simulated machine must also audit clean.
+func TestHybridSimSerializable(t *testing.T) {
+	const workers, each, objects = 6, 120, 4
+	cfg := machine.DefaultConfig(workers)
+	m := machine.New(cfg)
+	inner, err := simHybrid(m, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(inner)
+	objs := make([]tm.Object, objects)
+	for i := range objs {
+		objs[i] = s.NewObject(tm.NewInts(1))
+	}
+	m.Run(workers, func(p *machine.Proc) {
+		th := tm.NewThread(p.ID(), p)
+		rng := uint64(p.ID())*2654435761 + 9
+		for i := 0; i < each; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			a := objs[rng%uint64(objects)]
+			if err := s.Atomic(th, func(tx tm.Tx) error {
+				v := tx.Read(a).(*tm.Ints).V[0]
+				tx.Update(a, func(d tm.Data) { d.(*tm.Ints).V[0] = v + 1 })
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if inner.Stats().HWCommits.Load() == 0 {
+		t.Fatal("hybrid never used hardware")
+	}
+	if err := Check(s.Log()); err != nil {
+		t.Fatalf("hybrid execution not serializable: %v", err)
+	}
+}
+
+// brokenSystem is a deliberately unserializable "TM": a check-then-act data
+// race with no isolation at all. The auditor must reject its executions.
+type brokenSystem struct {
+	stats tm.Stats
+	mu    sync.Mutex // protects only individual accesses, not transactions
+}
+
+type brokenTx struct{ s *brokenSystem }
+
+func (s *brokenSystem) Name() string                  { return "broken" }
+func (s *brokenSystem) Stats() *tm.Stats              { return &s.stats }
+func (s *brokenSystem) NewObject(d tm.Data) tm.Object { return &brokenObj{data: d} }
+
+type brokenObj struct{ data tm.Data }
+
+func (s *brokenSystem) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	return fn(&brokenTx{s: s})
+}
+
+func (tx *brokenTx) Read(obj tm.Object) tm.Data {
+	tx.s.mu.Lock()
+	d := obj.(*brokenObj).data.Clone() // snapshot, but no transaction isolation
+	tx.s.mu.Unlock()
+	runtime.Gosched() // widen the check-then-act window
+	return d
+}
+
+func (tx *brokenTx) Update(obj tm.Object, fn func(tm.Data)) {
+	tx.s.mu.Lock()
+	defer tx.s.mu.Unlock()
+	fn(obj.(*brokenObj).data)
+}
+
+func TestAuditorCatchesBrokenSystem(t *testing.T) {
+	s := New(&brokenSystem{})
+	torture(t, s, 8, 300, 2)
+	err := Check(s.Log())
+	if err == nil {
+		t.Fatal("auditor passed an unserializable system")
+	}
+	t.Logf("caught: %v", err)
+}
+
+// Unit tests for the checker on hand-built logs.
+func TestCheckLostUpdate(t *testing.T) {
+	err := Check([]Record{
+		{Writes: []Access{{Obj: 0, Ver: 1}}},
+		{Writes: []Access{{Obj: 0, Ver: 1}}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "lost update") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckDirtyRead(t *testing.T) {
+	err := Check([]Record{
+		{Reads: []Access{{Obj: 0, Ver: 3}}},
+		{Writes: []Access{{Obj: 0, Ver: 1}}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "dirty read") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckVersionGap(t *testing.T) {
+	err := Check([]Record{
+		{Writes: []Access{{Obj: 0, Ver: 1}}},
+		{Writes: []Access{{Obj: 0, Ver: 3}}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckCycle(t *testing.T) {
+	// Classic write skew: T1 reads x@0 writes y@1; T2 reads y@0 writes x@1.
+	// rw edges both ways: cycle.
+	err := Check([]Record{
+		{Reads: []Access{{Obj: 0, Ver: 0}}, Writes: []Access{{Obj: 1, Ver: 1}}},
+		{Reads: []Access{{Obj: 1, Ver: 0}}, Writes: []Access{{Obj: 0, Ver: 1}}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCheckCleanHistory(t *testing.T) {
+	if err := Check([]Record{
+		{Reads: []Access{{Obj: 0, Ver: 0}}, Writes: []Access{{Obj: 0, Ver: 1}}},
+		{Reads: []Access{{Obj: 0, Ver: 1}}, Writes: []Access{{Obj: 0, Ver: 2}}},
+		{Reads: []Access{{Obj: 0, Ver: 2}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// simHybrid builds the hybrid over a machine (kept here to avoid importing
+// hybrid in the main test list above before its use).
+func simHybrid(m *machine.Machine, threads int) (tm.System, error) {
+	return newHybrid(m, threads), nil
+}

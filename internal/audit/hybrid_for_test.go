@@ -1,0 +1,11 @@
+package audit
+
+import (
+	"nztm/internal/hybrid"
+	"nztm/internal/tm"
+)
+
+// newHybrid is a test seam: the auditor is exercised over the NZTM hybrid.
+func newHybrid(world tm.World, threads int) tm.System {
+	return hybrid.New(world, hybrid.DefaultConfig(threads))
+}

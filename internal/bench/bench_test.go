@@ -1,0 +1,402 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"nztm/internal/core"
+	"nztm/internal/dstm"
+	"nztm/internal/glock"
+	"nztm/internal/tm"
+)
+
+func systems(threads int) []tm.System {
+	return []tm.System{
+		core.NewNZSTM(tm.NewRealWorld(), threads),
+		core.NewSCSS(tm.NewRealWorld(), threads),
+		dstm.New(tm.NewRealWorld(), dstm.Config{Threads: threads}),
+		glock.New(tm.NewRealWorld()),
+	}
+}
+
+func sets(sys tm.System) map[string]Set {
+	return map[string]Set{
+		"linkedlist": NewLinkedList(sys),
+		"hashtable":  NewHashTable(sys, 64),
+		"redblack":   NewRBTree(sys),
+	}
+}
+
+func thread(id int) *tm.Thread {
+	return tm.NewThread(id, tm.NewRealEnv(id, tm.NewRealWorld()))
+}
+
+// Every set implementation must agree with a map oracle on a random
+// single-threaded operation sequence, across TM systems.
+func TestSetsMatchOracle(t *testing.T) {
+	for _, sys := range systems(1) {
+		for name, set := range sets(sys) {
+			t.Run(sys.Name()+"/"+name, func(t *testing.T) {
+				th := thread(0)
+				oracle := map[int64]bool{}
+				rng := uint64(7)
+				next := func() uint64 {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					return rng
+				}
+				for i := 0; i < 3000; i++ {
+					key := int64(next() % 128)
+					switch next() % 3 {
+					case 0:
+						got, err := set.Insert(th, key)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got == oracle[key] {
+							t.Fatalf("step %d: insert(%d) = %v, oracle has=%v", i, key, got, oracle[key])
+						}
+						oracle[key] = true
+					case 1:
+						got, err := set.Delete(th, key)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != oracle[key] {
+							t.Fatalf("step %d: delete(%d) = %v, oracle %v", i, key, got, oracle[key])
+						}
+						delete(oracle, key)
+					case 2:
+						got, err := set.Contains(th, key)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != oracle[key] {
+							t.Fatalf("step %d: contains(%d) = %v, oracle %v", i, key, got, oracle[key])
+						}
+					}
+				}
+				snap, err := set.Snapshot(th)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(snap) != len(oracle) {
+					t.Fatalf("snapshot has %d keys, oracle %d", len(snap), len(oracle))
+				}
+				for _, k := range snap {
+					if !oracle[k] {
+						t.Fatalf("snapshot contains %d, oracle does not", k)
+					}
+				}
+			})
+		}
+	}
+}
+
+// Concurrent torture: per-thread key partitions let each thread verify its
+// own operations' results exactly, while sharing the same structure.
+func TestSetsConcurrentPartitionedKeys(t *testing.T) {
+	const workers, each = 6, 250
+	for _, sys := range systems(workers) {
+		for name, set := range sets(sys) {
+			t.Run(sys.Name()+"/"+name, func(t *testing.T) {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						th := thread(id)
+						base := int64(id * 1000)
+						mine := map[int64]bool{}
+						rng := uint64(id*31 + 17)
+						next := func() uint64 {
+							rng ^= rng << 13
+							rng ^= rng >> 7
+							rng ^= rng << 17
+							return rng
+						}
+						for i := 0; i < each; i++ {
+							key := base + int64(next()%40)
+							switch next() % 3 {
+							case 0:
+								got, err := set.Insert(th, key)
+								if err != nil {
+									t.Error(err)
+									return
+								}
+								if got == mine[key] {
+									t.Errorf("insert(%d) inconsistent", key)
+									return
+								}
+								mine[key] = true
+							case 1:
+								got, err := set.Delete(th, key)
+								if err != nil {
+									t.Error(err)
+									return
+								}
+								if got != mine[key] {
+									t.Errorf("delete(%d) inconsistent", key)
+									return
+								}
+								delete(mine, key)
+							case 2:
+								got, err := set.Contains(th, key)
+								if err != nil {
+									t.Error(err)
+									return
+								}
+								if got != mine[key] {
+									t.Errorf("contains(%d) inconsistent", key)
+									return
+								}
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// Concurrent shared-key torture on the red-black tree, with invariant
+// checks midway and at the end.
+func TestRBTreeInvariantsUnderContention(t *testing.T) {
+	const workers, each = 6, 150
+	sys := core.NewNZSTM(tm.NewRealWorld(), workers)
+	tree := NewRBTree(sys)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := thread(id)
+			rng := uint64(id + 99)
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < each; i++ {
+				key := int64(next() % 256)
+				switch next() % 3 {
+				case 0:
+					if _, err := tree.Insert(th, key); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := tree.Delete(th, key); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if _, err := tree.Contains(th, key); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%50 == 25 {
+					if _, err := tree.CheckInvariants(th); err != nil {
+						t.Errorf("mid-run invariant: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := tree.CheckInvariants(thread(0)); err != nil {
+		t.Fatalf("final invariant: %v", err)
+	}
+}
+
+// Property test: any sequence of inserts and deletes leaves a valid
+// red-black tree matching a map oracle.
+func TestRBTreeQuick(t *testing.T) {
+	sys := glock.New(tm.NewRealWorld()) // fastest system; tree logic is the target
+	th := thread(0)
+	f := func(ops []int16) bool {
+		tree := NewRBTree(sys)
+		oracle := map[int64]bool{}
+		for _, op := range ops {
+			key := int64(op) % 64
+			if key < 0 {
+				key = -key
+			}
+			if op%2 == 0 {
+				got, err := tree.Insert(th, key)
+				if err != nil || got == oracle[key] {
+					return false
+				}
+				oracle[key] = true
+			} else {
+				got, err := tree.Delete(th, key)
+				if err != nil || got != oracle[key] {
+					return false
+				}
+				delete(oracle, key)
+			}
+			if _, err := tree.CheckInvariants(th); err != nil {
+				t.Logf("invariant broken after op %d (key %d): %v", op, key, err)
+				return false
+			}
+		}
+		snap, err := tree.Snapshot(th)
+		if err != nil || len(snap) != len(oracle) {
+			return false
+		}
+		for i := 1; i < len(snap); i++ {
+			if snap[i-1] >= snap[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixPick(t *testing.T) {
+	counts := [3]int{}
+	for i := 0; i < 10000; i++ {
+		counts[LowContention.Pick(uint64(i))]++
+	}
+	// 1:1:8 → lookups ≈ 80%.
+	if counts[2] < 7000 || counts[2] > 9000 {
+		t.Errorf("lookup share = %d/10000, want ≈8000", counts[2])
+	}
+	if LowContention.String() != "1:1:8" || HighContention.String() != "1:1:1" {
+		t.Error("mix strings wrong")
+	}
+}
+
+// The early-release list must behave identically to the plain list against
+// the oracle, and under concurrency.
+func TestEarlyReleaseListMatchesOracle(t *testing.T) {
+	for _, mode := range []string{"visible", "invisible"} {
+		t.Run(mode, func(t *testing.T) {
+			cfg := core.DefaultConfig(core.NZ, 1)
+			if mode == "invisible" {
+				cfg.Readers = core.InvisibleReaders
+			}
+			sys := core.New(tm.NewRealWorld(), cfg)
+			set := NewLinkedListEarlyRelease(sys)
+			th := thread(0)
+			oracle := map[int64]bool{}
+			rng := uint64(31)
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < 1500; i++ {
+				key := int64(next() % 96)
+				switch next() % 3 {
+				case 0:
+					got, err := set.Insert(th, key)
+					if err != nil || got == oracle[key] {
+						t.Fatalf("insert(%d)=%v err=%v oracle=%v", key, got, err, oracle[key])
+					}
+					oracle[key] = true
+				case 1:
+					got, err := set.Delete(th, key)
+					if err != nil || got != oracle[key] {
+						t.Fatalf("delete(%d)=%v err=%v oracle=%v", key, got, err, oracle[key])
+					}
+					delete(oracle, key)
+				default:
+					got, err := set.Contains(th, key)
+					if err != nil || got != oracle[key] {
+						t.Fatalf("contains(%d)=%v err=%v oracle=%v", key, got, err, oracle[key])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestEarlyReleaseListConcurrent(t *testing.T) {
+	const workers, each = 6, 200
+	sys := core.NewNZSTM(tm.NewRealWorld(), workers)
+	set := NewLinkedListEarlyRelease(sys)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := thread(id)
+			base := int64(id * 1000)
+			mine := map[int64]bool{}
+			rng := uint64(id*73 + 5)
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < each; i++ {
+				key := base + int64(next()%50)
+				if next()%2 == 0 {
+					got, err := set.Insert(th, key)
+					if err != nil || got == mine[key] {
+						t.Errorf("insert(%d) inconsistent (%v, %v)", key, got, err)
+						return
+					}
+					mine[key] = true
+				} else {
+					got, err := set.Delete(th, key)
+					if err != nil || got != mine[key] {
+						t.Errorf("delete(%d) inconsistent (%v, %v)", key, got, err)
+						return
+					}
+					delete(mine, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := set.Snapshot(thread(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Early release lets a writer proceed without ever requesting the reader's
+// abort: the released registration simply disappears.
+func TestEarlyReleaseFreesWriters(t *testing.T) {
+	sys := core.NewNZSTM(tm.NewRealWorld(), 2)
+	o := sys.NewObject(tm.NewInts(1))
+	th0, th1 := thread(0), thread(1)
+	release := make(chan struct{})
+	released := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- sys.Atomic(th0, func(tx tm.Tx) error {
+			_ = tx.Read(o)
+			tx.(tm.Releaser).Release(o)
+			close(released)
+			<-release // stay active, but with no registration left
+			return nil
+		})
+	}()
+	<-released
+	if err := sys.Atomic(th1, func(tx tm.Tx) error {
+		tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0] = 7 })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r := sys.Stats().AbortRequests.Load(); r != 0 {
+		t.Fatalf("writer sent %d abort requests despite the release", r)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

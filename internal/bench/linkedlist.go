@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"sort"
+
+	"nztm/internal/tm"
+)
+
+// LinkedList is the paper's linkedlist microbenchmark: "a concurrent set
+// implemented using a single sorted linked list" (§4.2). Every traversal
+// opens each node for reading, so transactions have large read sets and
+// conflict often — the high-contention end of the microbenchmarks.
+type LinkedList struct {
+	sys  tm.System
+	head tm.Object // sentinel; its next points at the first element
+
+	// earlyRelease enables DSTM-style hand-over-hand traversal: nodes more
+	// than two behind the cursor are released, shrinking the read set from
+	// O(position) to O(1). Safe because Delete opens both unlinked node and
+	// its predecessor for writing, so the two-node window a transaction
+	// still holds cannot be cut out from under it.
+	earlyRelease bool
+}
+
+// NewLinkedList creates an empty sorted-list set.
+func NewLinkedList(sys tm.System) *LinkedList {
+	return &LinkedList{
+		sys:  sys,
+		head: sys.NewObject(&listNode{key: -1 << 62}),
+	}
+}
+
+// NewLinkedListEarlyRelease creates a sorted-list set whose traversals
+// release reads behind a two-node window, as DSTM's list benchmark does.
+// It requires a System whose transactions implement tm.Releaser.
+func NewLinkedListEarlyRelease(sys tm.System) *LinkedList {
+	l := NewLinkedList(sys)
+	l.earlyRelease = true
+	return l
+}
+
+// locate walks to the insertion point for key: prev is the last node with
+// a smaller key, cur its successor object (nil at the tail). Runs inside tx.
+func (l *LinkedList) locate(tx tm.Tx, key int64) (prev tm.Object, cur tm.Object, curKey int64) {
+	var rel tm.Releaser
+	if l.earlyRelease {
+		rel, _ = tx.(tm.Releaser)
+	}
+	prev = l.head
+	cur = tx.Read(prev).(*listNode).next
+	var trail tm.Object // the node behind prev, releasable once we advance
+	for cur != nil {
+		n := tx.Read(cur).(*listNode)
+		if n.key >= key {
+			return prev, cur, n.key
+		}
+		if rel != nil && trail != nil {
+			rel.Release(trail)
+		}
+		trail, prev, cur = prev, cur, n.next
+	}
+	return prev, nil, 0
+}
+
+// Insert implements Set.
+func (l *LinkedList) Insert(th *tm.Thread, key int64) (bool, error) {
+	added := false
+	err := l.sys.Atomic(th, func(tx tm.Tx) error {
+		prev, cur, curKey := l.locate(tx, key)
+		if cur != nil && curKey == key {
+			added = false
+			return nil
+		}
+		fresh := l.sys.NewObject(&listNode{key: key, next: cur})
+		tx.Update(prev, func(d tm.Data) { d.(*listNode).next = fresh })
+		added = true
+		return nil
+	})
+	return added, err
+}
+
+// Delete implements Set.
+func (l *LinkedList) Delete(th *tm.Thread, key int64) (bool, error) {
+	removed := false
+	err := l.sys.Atomic(th, func(tx tm.Tx) error {
+		prev, cur, curKey := l.locate(tx, key)
+		if cur == nil || curKey != key {
+			removed = false
+			return nil
+		}
+		next := tx.Read(cur).(*listNode).next
+		tx.Update(prev, func(d tm.Data) { d.(*listNode).next = next })
+		// Open the unlinked node for writing too, so concurrent readers
+		// traversing to it are serialised against the removal.
+		tx.Update(cur, func(d tm.Data) { d.(*listNode).next = nil })
+		removed = true
+		return nil
+	})
+	return removed, err
+}
+
+// Contains implements Set.
+func (l *LinkedList) Contains(th *tm.Thread, key int64) (bool, error) {
+	found := false
+	err := l.sys.Atomic(th, func(tx tm.Tx) error {
+		_, cur, curKey := l.locate(tx, key)
+		found = cur != nil && curKey == key
+		return nil
+	})
+	return found, err
+}
+
+// Snapshot implements Set.
+func (l *LinkedList) Snapshot(th *tm.Thread) ([]int64, error) {
+	var out []int64
+	err := l.sys.Atomic(th, func(tx tm.Tx) error {
+		out = out[:0]
+		cur := tx.Read(l.head).(*listNode).next
+		for cur != nil {
+			n := tx.Read(cur).(*listNode)
+			out = append(out, n.key)
+			cur = n.next
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+		panic("bench: linked list lost its sort order")
+	}
+	return out, nil
+}
+
+var _ Set = (*LinkedList)(nil)

@@ -1,0 +1,497 @@
+package bench
+
+import (
+	"fmt"
+
+	"nztm/internal/tm"
+)
+
+// RBTree is the paper's redblack microbenchmark: a concurrent set
+// implemented as a red-black tree (§4.2). Full CLRS insertion and deletion
+// with rebalancing run inside a single transaction per operation; the nodes
+// near the root form the conflict hotspot.
+type RBTree struct {
+	sys  tm.System
+	root tm.Object // holder whose child field points at the root node
+}
+
+// rbNode is one tree node; nil object references are leaves. The holder
+// node reuses the left field as the root pointer. val carries an optional
+// payload object (the tree doubles as an ordered map — the shape vacation's
+// tables need, §4.2).
+type rbNode struct {
+	key                 int64
+	red                 bool
+	left, right, parent tm.Object
+	val                 tm.Object
+}
+
+// Clone implements tm.Data.
+func (n *rbNode) Clone() tm.Data {
+	c := *n
+	return &c
+}
+
+// CopyFrom implements tm.Data.
+func (n *rbNode) CopyFrom(src tm.Data) { *n = *(src.(*rbNode)) }
+
+// Words implements tm.Data.
+func (n *rbNode) Words() int { return 6 }
+
+// NewRBTree creates an empty red-black set.
+func NewRBTree(sys tm.System) *RBTree {
+	return &RBTree{sys: sys, root: sys.NewObject(&rbNode{key: -1 << 62})}
+}
+
+// rbtx wraps one transaction's view of the tree.
+type rbtx struct {
+	tx  tm.Tx
+	t   *RBTree
+	sys tm.System
+}
+
+func (r rbtx) node(o tm.Object) *rbNode { return r.tx.Read(o).(*rbNode) }
+
+func (r rbtx) rootObj() tm.Object { return r.node(r.t.root).left }
+
+func (r rbtx) setRoot(v tm.Object) {
+	r.tx.Update(r.t.root, func(d tm.Data) { d.(*rbNode).left = v })
+}
+
+func (r rbtx) mutate(o tm.Object, f func(n *rbNode)) {
+	r.tx.Update(o, func(d tm.Data) { f(d.(*rbNode)) })
+}
+
+// replaceChild redirects parent's link from old to new; a nil parent means
+// old was the root.
+func (r rbtx) replaceChild(parent, old, new tm.Object) {
+	if parent == nil {
+		r.setRoot(new)
+		return
+	}
+	r.mutate(parent, func(n *rbNode) {
+		if n.left == old {
+			n.left = new
+		} else {
+			n.right = new
+		}
+	})
+}
+
+// rotateLeft performs a left rotation around x.
+func (r rbtx) rotateLeft(x tm.Object) {
+	xn := r.node(x)
+	y := xn.right
+	yn := r.node(y)
+	yl := yn.left
+	r.mutate(x, func(n *rbNode) { n.right = yl })
+	if yl != nil {
+		r.mutate(yl, func(n *rbNode) { n.parent = x })
+	}
+	xp := xn.parent
+	r.mutate(y, func(n *rbNode) { n.parent = xp; n.left = x })
+	r.replaceChild(xp, x, y)
+	r.mutate(x, func(n *rbNode) { n.parent = y })
+}
+
+// rotateRight performs a right rotation around x.
+func (r rbtx) rotateRight(x tm.Object) {
+	xn := r.node(x)
+	y := xn.left
+	yn := r.node(y)
+	yr := yn.right
+	r.mutate(x, func(n *rbNode) { n.left = yr })
+	if yr != nil {
+		r.mutate(yr, func(n *rbNode) { n.parent = x })
+	}
+	xp := xn.parent
+	r.mutate(y, func(n *rbNode) { n.parent = xp; n.right = x })
+	r.replaceChild(xp, x, y)
+	r.mutate(x, func(n *rbNode) { n.parent = y })
+}
+
+func (r rbtx) isRed(o tm.Object) bool { return o != nil && r.node(o).red }
+
+// Insert implements Set.
+func (t *RBTree) Insert(th *tm.Thread, key int64) (bool, error) {
+	added := false
+	err := t.sys.Atomic(th, func(tx tm.Tx) error {
+		added = t.InsertTx(tx, key, nil)
+		return nil
+	})
+	return added, err
+}
+
+// InsertTx inserts key with an optional payload inside an existing
+// transaction; it reports whether the key was absent.
+func (t *RBTree) InsertTx(tx tm.Tx, key int64, val tm.Object) bool {
+	r := rbtx{tx: tx, t: t, sys: t.sys}
+	var parent tm.Object
+	cur := r.rootObj()
+	for cur != nil {
+		n := r.node(cur)
+		if n.key == key {
+			return false
+		}
+		parent = cur
+		if key < n.key {
+			cur = n.left
+		} else {
+			cur = n.right
+		}
+	}
+	z := t.sys.NewObject(&rbNode{key: key, red: true, parent: parent, val: val})
+	if parent == nil {
+		r.setRoot(z)
+	} else {
+		r.mutate(parent, func(n *rbNode) {
+			if key < n.key {
+				n.left = z
+			} else {
+				n.right = z
+			}
+		})
+	}
+	r.insertFixup(z)
+	return true
+}
+
+// LookupTx returns key's payload inside an existing transaction.
+func (t *RBTree) LookupTx(tx tm.Tx, key int64) (tm.Object, bool) {
+	r := rbtx{tx: tx, t: t, sys: t.sys}
+	cur := r.rootObj()
+	for cur != nil {
+		n := r.node(cur)
+		if n.key == key {
+			return n.val, true
+		}
+		if key < n.key {
+			cur = n.left
+		} else {
+			cur = n.right
+		}
+	}
+	return nil, false
+}
+
+// CeilingTx returns the smallest key ≥ key (with its payload) inside an
+// existing transaction; found is false when no such key exists.
+func (t *RBTree) CeilingTx(tx tm.Tx, key int64) (k int64, val tm.Object, found bool) {
+	r := rbtx{tx: tx, t: t, sys: t.sys}
+	cur := r.rootObj()
+	for cur != nil {
+		n := r.node(cur)
+		switch {
+		case n.key == key:
+			return n.key, n.val, true
+		case key < n.key:
+			k, val, found = n.key, n.val, true
+			cur = n.left
+		default:
+			cur = n.right
+		}
+	}
+	return k, val, found
+}
+
+// insertFixup is CLRS RB-INSERT-FIXUP.
+func (r rbtx) insertFixup(z tm.Object) {
+	for {
+		zp := r.node(z).parent
+		if zp == nil || !r.node(zp).red {
+			break
+		}
+		zpp := r.node(zp).parent // red parent is never the root
+		zppn := r.node(zpp)
+		if zp == zppn.left {
+			uncle := zppn.right
+			if r.isRed(uncle) {
+				r.mutate(zp, func(n *rbNode) { n.red = false })
+				r.mutate(uncle, func(n *rbNode) { n.red = false })
+				r.mutate(zpp, func(n *rbNode) { n.red = true })
+				z = zpp
+				continue
+			}
+			if z == r.node(zp).right {
+				z = zp
+				r.rotateLeft(z)
+				zp = r.node(z).parent
+				zpp = r.node(zp).parent
+			}
+			r.mutate(zp, func(n *rbNode) { n.red = false })
+			r.mutate(zpp, func(n *rbNode) { n.red = true })
+			r.rotateRight(zpp)
+		} else {
+			uncle := zppn.left
+			if r.isRed(uncle) {
+				r.mutate(zp, func(n *rbNode) { n.red = false })
+				r.mutate(uncle, func(n *rbNode) { n.red = false })
+				r.mutate(zpp, func(n *rbNode) { n.red = true })
+				z = zpp
+				continue
+			}
+			if z == r.node(zp).left {
+				z = zp
+				r.rotateRight(z)
+				zp = r.node(z).parent
+				zpp = r.node(zp).parent
+			}
+			r.mutate(zp, func(n *rbNode) { n.red = false })
+			r.mutate(zpp, func(n *rbNode) { n.red = true })
+			r.rotateLeft(zpp)
+		}
+	}
+	if root := r.rootObj(); root != nil && r.node(root).red {
+		r.mutate(root, func(n *rbNode) { n.red = false })
+	}
+}
+
+// transplant replaces subtree u (child of up) with v.
+func (r rbtx) transplant(up, u, v tm.Object) {
+	r.replaceChild(up, u, v)
+	if v != nil {
+		r.mutate(v, func(n *rbNode) { n.parent = up })
+	}
+}
+
+// Delete implements Set (CLRS RB-DELETE with explicit parent threading so
+// nil leaves never need a sentinel object).
+func (t *RBTree) Delete(th *tm.Thread, key int64) (bool, error) {
+	removed := false
+	err := t.sys.Atomic(th, func(tx tm.Tx) error {
+		removed = t.DeleteTx(tx, key)
+		return nil
+	})
+	return removed, err
+}
+
+// DeleteTx removes key inside an existing transaction, reporting whether it
+// was present.
+func (t *RBTree) DeleteTx(tx tm.Tx, key int64) bool {
+	{
+		r := rbtx{tx: tx, t: t, sys: t.sys}
+		z := r.rootObj()
+		for z != nil {
+			n := r.node(z)
+			if n.key == key {
+				break
+			}
+			if key < n.key {
+				z = n.left
+			} else {
+				z = n.right
+			}
+		}
+		if z == nil {
+			return false
+		}
+
+		zn := r.node(z)
+		var x, xp tm.Object // x (possibly nil) ends up under parent xp
+		yRed := zn.red
+		switch {
+		case zn.left == nil:
+			x, xp = zn.right, zn.parent
+			r.transplant(zn.parent, z, zn.right)
+		case zn.right == nil:
+			x, xp = zn.left, zn.parent
+			r.transplant(zn.parent, z, zn.left)
+		default:
+			// y = minimum of z's right subtree.
+			y := zn.right
+			for {
+				l := r.node(y).left
+				if l == nil {
+					break
+				}
+				y = l
+			}
+			yn := r.node(y)
+			yRed = yn.red
+			x = yn.right
+			if yn.parent == z {
+				xp = y
+			} else {
+				xp = yn.parent
+				r.transplant(yn.parent, y, yn.right)
+				zr := r.node(z).right
+				r.mutate(y, func(n *rbNode) { n.right = zr })
+				r.mutate(zr, func(n *rbNode) { n.parent = y })
+			}
+			r.transplant(r.node(z).parent, z, y)
+			zl := r.node(z).left
+			zRed := r.node(z).red
+			r.mutate(y, func(n *rbNode) { n.left = zl; n.red = zRed })
+			r.mutate(zl, func(n *rbNode) { n.parent = y })
+		}
+		if !yRed {
+			r.deleteFixup(x, xp)
+		}
+		// Detach the removed node so stale readers cannot wander.
+		r.mutate(z, func(n *rbNode) { n.left, n.right, n.parent = nil, nil, nil })
+		return true
+	}
+}
+
+// deleteFixup is CLRS RB-DELETE-FIXUP; x may be nil (a black leaf), so its
+// parent is threaded explicitly.
+func (r rbtx) deleteFixup(x, xp tm.Object) {
+	for xp != nil && !r.isRed(x) {
+		xpn := r.node(xp)
+		if x == xpn.left {
+			w := xpn.right
+			if r.isRed(w) {
+				r.mutate(w, func(n *rbNode) { n.red = false })
+				r.mutate(xp, func(n *rbNode) { n.red = true })
+				r.rotateLeft(xp)
+				w = r.node(xp).right
+			}
+			wn := r.node(w)
+			if !r.isRed(wn.left) && !r.isRed(wn.right) {
+				r.mutate(w, func(n *rbNode) { n.red = true })
+				x = xp
+				xp = r.node(x).parent
+				continue
+			}
+			if !r.isRed(wn.right) {
+				wl := wn.left
+				r.mutate(wl, func(n *rbNode) { n.red = false })
+				r.mutate(w, func(n *rbNode) { n.red = true })
+				r.rotateRight(w)
+				w = r.node(xp).right
+			}
+			xpRed := r.node(xp).red
+			r.mutate(w, func(n *rbNode) { n.red = xpRed })
+			r.mutate(xp, func(n *rbNode) { n.red = false })
+			wr := r.node(w).right
+			r.mutate(wr, func(n *rbNode) { n.red = false })
+			r.rotateLeft(xp)
+			return
+		}
+		w := xpn.left
+		if r.isRed(w) {
+			r.mutate(w, func(n *rbNode) { n.red = false })
+			r.mutate(xp, func(n *rbNode) { n.red = true })
+			r.rotateRight(xp)
+			w = r.node(xp).left
+		}
+		wn := r.node(w)
+		if !r.isRed(wn.left) && !r.isRed(wn.right) {
+			r.mutate(w, func(n *rbNode) { n.red = true })
+			x = xp
+			xp = r.node(x).parent
+			continue
+		}
+		if !r.isRed(wn.left) {
+			wr := wn.right
+			r.mutate(wr, func(n *rbNode) { n.red = false })
+			r.mutate(w, func(n *rbNode) { n.red = true })
+			r.rotateLeft(w)
+			w = r.node(xp).left
+		}
+		xpRed := r.node(xp).red
+		r.mutate(w, func(n *rbNode) { n.red = xpRed })
+		r.mutate(xp, func(n *rbNode) { n.red = false })
+		wl := r.node(w).left
+		r.mutate(wl, func(n *rbNode) { n.red = false })
+		r.rotateRight(xp)
+		return
+	}
+	if x != nil {
+		r.mutate(x, func(n *rbNode) { n.red = false })
+	}
+}
+
+// Contains implements Set.
+func (t *RBTree) Contains(th *tm.Thread, key int64) (bool, error) {
+	found := false
+	err := t.sys.Atomic(th, func(tx tm.Tx) error {
+		r := rbtx{tx: tx, t: t, sys: t.sys}
+		cur := r.rootObj()
+		for cur != nil {
+			n := r.node(cur)
+			if n.key == key {
+				found = true
+				return nil
+			}
+			if key < n.key {
+				cur = n.left
+			} else {
+				cur = n.right
+			}
+		}
+		found = false
+		return nil
+	})
+	return found, err
+}
+
+// Snapshot implements Set.
+func (t *RBTree) Snapshot(th *tm.Thread) ([]int64, error) {
+	var out []int64
+	err := t.sys.Atomic(th, func(tx tm.Tx) error {
+		r := rbtx{tx: tx, t: t, sys: t.sys}
+		out = out[:0]
+		var walk func(o tm.Object)
+		walk = func(o tm.Object) {
+			if o == nil {
+				return
+			}
+			n := r.node(o)
+			walk(n.left)
+			out = append(out, n.key)
+			walk(n.right)
+		}
+		walk(r.rootObj())
+		return nil
+	})
+	return out, err
+}
+
+// CheckInvariants verifies the red-black properties in one transaction:
+// sorted order, no red node with a red child, and equal black height on
+// every path. It returns the black height.
+func (t *RBTree) CheckInvariants(th *tm.Thread) (int, error) {
+	bh := 0
+	err := t.sys.Atomic(th, func(tx tm.Tx) error {
+		r := rbtx{tx: tx, t: t, sys: t.sys}
+		var check func(o tm.Object, min, max int64) (int, error)
+		check = func(o tm.Object, min, max int64) (int, error) {
+			if o == nil {
+				return 1, nil
+			}
+			n := r.node(o)
+			if n.key <= min || n.key >= max {
+				return 0, fmt.Errorf("order violation at key %d", n.key)
+			}
+			if n.red && (r.isRed(n.left) || r.isRed(n.right)) {
+				return 0, fmt.Errorf("red-red violation at key %d", n.key)
+			}
+			lh, err := check(n.left, min, n.key)
+			if err != nil {
+				return 0, err
+			}
+			rh, err := check(n.right, n.key, max)
+			if err != nil {
+				return 0, err
+			}
+			if lh != rh {
+				return 0, fmt.Errorf("black-height mismatch at key %d: %d vs %d", n.key, lh, rh)
+			}
+			if !n.red {
+				lh++
+			}
+			return lh, nil
+		}
+		root := r.rootObj()
+		if root != nil && r.node(root).red {
+			return fmt.Errorf("red root")
+		}
+		h, err := check(root, -1<<63, 1<<62)
+		bh = h
+		return err
+	})
+	return bh, err
+}
+
+var _ Set = (*RBTree)(nil)

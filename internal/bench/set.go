@@ -1,0 +1,80 @@
+// Package bench implements the paper's microbenchmarks (§4.2): concurrent
+// integer sets backed by a sorted linked list, a chained hash table, and a
+// red-black tree, all written once against the tm.System interface so that
+// every TM implementation in the repository runs the identical workload.
+//
+// Workload parameters follow the paper: keys are drawn from 0–255; the
+// low-contention mix is 1:1:8 insert:delete:lookup and the high-contention
+// mix is 1:1:1.
+package bench
+
+import (
+	"fmt"
+
+	"nztm/internal/tm"
+)
+
+// Set is a transactional integer set.
+type Set interface {
+	// Insert adds key; it reports whether the key was absent.
+	Insert(th *tm.Thread, key int64) (bool, error)
+	// Delete removes key; it reports whether the key was present.
+	Delete(th *tm.Thread, key int64) (bool, error)
+	// Contains reports membership.
+	Contains(th *tm.Thread, key int64) (bool, error)
+	// Snapshot returns the sorted contents (single transaction; testing).
+	Snapshot(th *tm.Thread) ([]int64, error)
+}
+
+// Mix describes an operation mix in parts (insert:delete:lookup).
+type Mix struct {
+	Insert, Delete, Lookup int
+}
+
+// Paper mixes (§4.2).
+var (
+	LowContention  = Mix{1, 1, 8}
+	HighContention = Mix{1, 1, 1}
+)
+
+// String implements fmt.Stringer.
+func (m Mix) String() string {
+	return fmt.Sprintf("%d:%d:%d", m.Insert, m.Delete, m.Lookup)
+}
+
+// Pick selects an operation: 0=insert, 1=delete, 2=lookup.
+func (m Mix) Pick(r uint64) int {
+	total := m.Insert + m.Delete + m.Lookup
+	v := int(r % uint64(total))
+	switch {
+	case v < m.Insert:
+		return 0
+	case v < m.Insert+m.Delete:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// nodeWords is the simulated size of a list/hash node (key + next,
+// padded — the paper pads objects so most fit one cache line with their
+// metadata, §4.4.2).
+const nodeWords = 4
+
+// listNode is a sorted-list node. next is nil at the tail.
+type listNode struct {
+	key  int64
+	next tm.Object
+}
+
+// Clone implements tm.Data.
+func (n *listNode) Clone() tm.Data { return &listNode{key: n.key, next: n.next} }
+
+// CopyFrom implements tm.Data.
+func (n *listNode) CopyFrom(src tm.Data) {
+	s := src.(*listNode)
+	n.key, n.next = s.key, s.next
+}
+
+// Words implements tm.Data.
+func (n *listNode) Words() int { return nodeWords }

@@ -1,0 +1,238 @@
+// Package cm implements contention managers for the software TM systems.
+//
+// The paper's software transactions use "a variant of Karma [38], in which
+// each transaction's priority is proportional to the number of objects it
+// has already acquired in this transaction attempt", combined with a
+// flag-based deadlock-detection scheme modelled on LogTM (§4.3): a
+// low-priority transaction that waits on a high-priority one raises a flag;
+// a high-priority transaction that finds a flagged low-priority waiter in
+// its way infers a potential cycle and aborts it. By default conflicting
+// transactions are not aborted until a deadlock is inferred or a timeout
+// triggers.
+//
+// Alternative managers (Timestamp, Polite, Aggressive) are provided for
+// ablation experiments.
+package cm
+
+import (
+	"sync/atomic"
+
+	"nztm/internal/tm"
+)
+
+// Txn is the contention manager's view of a transaction. The TM systems'
+// transaction descriptors implement it.
+type Txn interface {
+	// Priority returns the transaction's current priority (Karma: objects
+	// acquired in this attempt).
+	Priority() int32
+	// Birth returns a total-order timestamp: smaller is older.
+	Birth() uint64
+	// Waiting reports whether the transaction has raised its waiting flag.
+	Waiting() bool
+	// SetWaiting raises or clears the waiting flag.
+	SetWaiting(bool)
+}
+
+// Decision is the manager's verdict on a conflict.
+type Decision int
+
+// Conflict decisions.
+const (
+	Wait       Decision = iota // spin a bit and re-examine
+	AbortOther                 // request that the enemy abort itself
+	AbortSelf                  // abort the requesting transaction
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Wait:
+		return "wait"
+	case AbortOther:
+		return "abort-other"
+	case AbortSelf:
+		return "abort-self"
+	}
+	return "invalid"
+}
+
+// Manager decides how to resolve conflicts between transactions.
+// Implementations must be safe for concurrent use: one Manager instance
+// serves all threads of a System.
+type Manager interface {
+	Name() string
+
+	// Resolve is consulted when me (active) conflicts with enemy (active).
+	// waited is how long me has already waited on this conflict, in env
+	// time units (cycles in sim mode).
+	Resolve(me, enemy Txn, waited uint64) Decision
+
+	// Backoff is called before retrying an aborted attempt number attempt
+	// (1-based); it may spin the env to space out retries.
+	Backoff(env tm.Env, attempt int)
+}
+
+// expBackoff spins env for a randomized exponentially growing number of
+// iterations, capped to keep obstruction-free retry times bounded.
+func expBackoff(env tm.Env, attempt int) {
+	if attempt <= 0 {
+		return
+	}
+	shift := attempt
+	if shift > 10 {
+		shift = 10
+	}
+	n := env.Rand() % (1 << shift)
+	for i := uint64(0); i < n; i++ {
+		env.Spin()
+	}
+}
+
+// Karma is the paper's default manager (§4.3): priority = objects acquired,
+// wait on conflicts, abort the enemy only on inferred deadlock or timeout.
+type Karma struct {
+	// Patience is the wait budget before a timeout-triggered AbortOther.
+	Patience uint64
+}
+
+// NewKarma returns a Karma manager with the given patience.
+func NewKarma(patience uint64) *Karma { return &Karma{Patience: patience} }
+
+// Name implements Manager.
+func (k *Karma) Name() string { return "karma" }
+
+// Resolve implements the Karma + deadlock-flag policy.
+func (k *Karma) Resolve(me, enemy Txn, waited uint64) Decision {
+	myPrio, enemyPrio := me.Priority(), enemy.Priority()
+	higher := myPrio > enemyPrio ||
+		(myPrio == enemyPrio && me.Birth() < enemy.Birth())
+	if higher {
+		// I am the high-priority side. If the enemy is itself waiting (flag
+		// raised), there is a potential cycle: abort it (the low-priority
+		// transaction), as in the paper's LogTM-derived scheme.
+		if enemy.Waiting() {
+			return AbortOther
+		}
+		if waited >= k.Patience {
+			return AbortOther
+		}
+		return Wait
+	}
+	// I am the low-priority side: raise my flag and wait for the enemy to
+	// finish, up to the timeout.
+	me.SetWaiting(true)
+	if waited >= k.Patience {
+		return AbortOther
+	}
+	return Wait
+}
+
+// Backoff implements Manager.
+func (k *Karma) Backoff(env tm.Env, attempt int) { expBackoff(env, attempt) }
+
+// Timestamp always favours the older transaction.
+type Timestamp struct {
+	Patience uint64
+}
+
+// Name implements Manager.
+func (t *Timestamp) Name() string { return "timestamp" }
+
+// Resolve implements Manager: older wins; younger waits then self-aborts.
+func (t *Timestamp) Resolve(me, enemy Txn, waited uint64) Decision {
+	if me.Birth() < enemy.Birth() {
+		if waited >= t.Patience {
+			return AbortOther
+		}
+		return Wait
+	}
+	if waited >= t.Patience {
+		return AbortSelf
+	}
+	return Wait
+}
+
+// Backoff implements Manager.
+func (t *Timestamp) Backoff(env tm.Env, attempt int) { expBackoff(env, attempt) }
+
+// Aggressive always asks the enemy to abort immediately ("requester wins",
+// the policy ATMTP hardware uses, §4.3 — useful to demonstrate why it
+// livelocks under contention when used for software transactions too).
+type Aggressive struct{}
+
+// Name implements Manager.
+func (Aggressive) Name() string { return "aggressive" }
+
+// Resolve implements Manager.
+func (Aggressive) Resolve(_, _ Txn, _ uint64) Decision { return AbortOther }
+
+// Backoff implements Manager. Randomized backoff is what keeps Aggressive
+// from livelocking forever.
+func (Aggressive) Backoff(env tm.Env, attempt int) { expBackoff(env, attempt) }
+
+// Polite waits with exponentially growing patience and then self-aborts,
+// never attacking the enemy.
+type Polite struct {
+	Patience uint64
+}
+
+// Name implements Manager.
+func (p *Polite) Name() string { return "polite" }
+
+// Resolve implements Manager.
+func (p *Polite) Resolve(_, _ Txn, waited uint64) Decision {
+	if waited >= p.Patience {
+		return AbortSelf
+	}
+	return Wait
+}
+
+// Backoff implements Manager.
+func (p *Polite) Backoff(env tm.Env, attempt int) { expBackoff(env, attempt) }
+
+// Meta is a convenience implementation of the Txn interface that TM systems
+// can embed in their transaction descriptors.
+type Meta struct {
+	prio    atomic.Int32
+	waiting atomic.Bool
+	birth   uint64
+}
+
+// InitMeta sets the transaction's birth stamp (call once at begin).
+func (m *Meta) InitMeta(birth uint64) {
+	m.birth = birth
+	m.prio.Store(0)
+	m.waiting.Store(false)
+}
+
+// BumpPriority increments the Karma priority (call on each acquire).
+func (m *Meta) BumpPriority() { m.prio.Add(1) }
+
+// Priority implements Txn.
+func (m *Meta) Priority() int32 { return m.prio.Load() }
+
+// Birth implements Txn.
+func (m *Meta) Birth() uint64 { return m.birth }
+
+// Waiting implements Txn.
+func (m *Meta) Waiting() bool { return m.waiting.Load() }
+
+// SetWaiting implements Txn.
+func (m *Meta) SetWaiting(w bool) { m.waiting.Store(w) }
+
+// ByName constructs a manager from its report name; patience is in env time
+// units. It returns nil for unknown names.
+func ByName(name string, patience uint64) Manager {
+	switch name {
+	case "karma", "":
+		return NewKarma(patience)
+	case "timestamp":
+		return &Timestamp{Patience: patience}
+	case "aggressive":
+		return Aggressive{}
+	case "polite":
+		return &Polite{Patience: patience}
+	}
+	return nil
+}

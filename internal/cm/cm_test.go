@@ -1,0 +1,140 @@
+package cm
+
+import (
+	"testing"
+
+	"nztm/internal/tm"
+)
+
+func metaWith(prio int32, birth uint64) *Meta {
+	m := &Meta{}
+	m.InitMeta(birth)
+	for i := int32(0); i < prio; i++ {
+		m.BumpPriority()
+	}
+	return m
+}
+
+func TestKarmaHighPriorityWaitsThenTimesOut(t *testing.T) {
+	k := NewKarma(100)
+	me := metaWith(5, 2)
+	enemy := metaWith(1, 1)
+	if d := k.Resolve(me, enemy, 0); d != Wait {
+		t.Fatalf("fresh conflict: %v, want wait", d)
+	}
+	if d := k.Resolve(me, enemy, 100); d != AbortOther {
+		t.Fatalf("after patience: %v, want abort-other", d)
+	}
+}
+
+func TestKarmaDeadlockFlagScheme(t *testing.T) {
+	k := NewKarma(1 << 20)
+	low := metaWith(1, 10)
+	high := metaWith(5, 1)
+
+	// The low-priority side waits and raises its flag.
+	if d := k.Resolve(low, high, 0); d != Wait {
+		t.Fatalf("low-priority decision %v, want wait", d)
+	}
+	if !low.Waiting() {
+		t.Fatal("low-priority transaction did not raise its waiting flag")
+	}
+	// The high-priority side now sees a flagged low-priority enemy:
+	// potential cycle, abort it immediately (no timeout needed).
+	if d := k.Resolve(high, low, 0); d != AbortOther {
+		t.Fatalf("high-priority decision %v, want abort-other", d)
+	}
+}
+
+func TestKarmaTieBreaksByAge(t *testing.T) {
+	k := NewKarma(1 << 20)
+	older := metaWith(3, 1)
+	younger := metaWith(3, 2)
+	if d := k.Resolve(younger, older, 0); d != Wait {
+		t.Fatalf("younger vs older: %v, want wait", d)
+	}
+	if !younger.Waiting() {
+		t.Fatal("younger should have raised its flag (low-priority path)")
+	}
+	if d := k.Resolve(older, younger, 0); d != AbortOther {
+		t.Fatalf("older vs flagged younger: %v, want abort-other", d)
+	}
+}
+
+func TestTimestampOlderWins(t *testing.T) {
+	ts := &Timestamp{Patience: 10}
+	older := metaWith(0, 1)
+	younger := metaWith(9, 2) // priority is irrelevant to Timestamp
+	if d := ts.Resolve(older, younger, 10); d != AbortOther {
+		t.Fatalf("older after patience: %v, want abort-other", d)
+	}
+	if d := ts.Resolve(younger, older, 10); d != AbortSelf {
+		t.Fatalf("younger after patience: %v, want abort-self", d)
+	}
+	if d := ts.Resolve(younger, older, 0); d != Wait {
+		t.Fatalf("younger fresh: %v, want wait", d)
+	}
+}
+
+func TestAggressiveAlwaysAttacks(t *testing.T) {
+	var a Aggressive
+	if d := a.Resolve(metaWith(0, 2), metaWith(9, 1), 0); d != AbortOther {
+		t.Fatalf("aggressive: %v, want abort-other", d)
+	}
+}
+
+func TestPoliteSelfAborts(t *testing.T) {
+	p := &Polite{Patience: 50}
+	if d := p.Resolve(metaWith(0, 1), metaWith(0, 2), 49); d != Wait {
+		t.Fatalf("polite under patience: %v", d)
+	}
+	if d := p.Resolve(metaWith(0, 1), metaWith(0, 2), 50); d != AbortSelf {
+		t.Fatalf("polite past patience: %v, want abort-self", d)
+	}
+}
+
+func TestMetaLifecycle(t *testing.T) {
+	m := &Meta{}
+	m.InitMeta(42)
+	m.BumpPriority()
+	m.BumpPriority()
+	m.SetWaiting(true)
+	if m.Priority() != 2 || m.Birth() != 42 || !m.Waiting() {
+		t.Fatalf("meta state %d/%d/%v", m.Priority(), m.Birth(), m.Waiting())
+	}
+	m.InitMeta(43) // reuse must fully reset
+	if m.Priority() != 0 || m.Waiting() {
+		t.Fatal("InitMeta did not reset priority/waiting")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"karma", "timestamp", "aggressive", "polite", ""} {
+		m := ByName(name, 100)
+		if m == nil {
+			t.Fatalf("ByName(%q) = nil", name)
+		}
+		if name != "" && m.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if ByName("nope", 1) != nil {
+		t.Fatal("unknown manager name must return nil")
+	}
+}
+
+func TestBackoffGrowsButTerminates(t *testing.T) {
+	env := tm.NewRealEnv(0, tm.NewRealWorld())
+	for _, m := range []Manager{NewKarma(1), &Timestamp{}, Aggressive{}, &Polite{}} {
+		for attempt := 0; attempt < 20; attempt++ {
+			m.Backoff(env, attempt) // must return promptly even at high attempts
+		}
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Wait.String() != "wait" || AbortOther.String() != "abort-other" ||
+		AbortSelf.String() != "abort-self" || Decision(7).String() != "invalid" {
+		t.Fatal("Decision strings wrong")
+	}
+}

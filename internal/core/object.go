@@ -1,0 +1,188 @@
+// Package core implements NZSTM — the paper's primary contribution: a
+// nonblocking, zero-indirection, object-based software transactional memory
+// (§2) — together with its two siblings from the evaluation (§4.3):
+//
+//   - NZSTM (§2.3.1): object data lives "in place"; conflicts are resolved by
+//     requesting that the enemy abort itself (AbortNowPlease) and waiting
+//     briefly for the acknowledgement; an unresponsive enemy causes the
+//     object to be "inflated" into a DSTM-style Locator so that progress
+//     continues nonblocking, and the object is later deflated back in place.
+//   - BZSTM (§2.2): the blocking variant — identical, except that it waits
+//     for acknowledgements forever and objects are never inflated.
+//   - SCSS (§2.3.2): the variant for machines with small hardware
+//     transactions — every store is paired with a check of the writer's own
+//     AbortNowPlease flag via a simulated Single-Compare-Single-Store, which
+//     makes "late writes" impossible and removes the inflation machinery
+//     entirely.
+//
+// All three share one implementation parameterised by Config.Variant, which
+// is faithful to the paper: BZSTM and SCSS are described there as
+// simplifications of NZSTM.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+// headerWords is the simulated size of the NZObject header: Owner, Backup
+// Data, Clone, and one word of padding (Figure 1).
+const headerWords = 4
+
+// ownerRef is the decoded value of the NZObject Owner field. The paper packs
+// "points to a Transaction" and "points to a Locator" into one word using the
+// pointer's low-order bit (§2.3.1); Go's garbage collector forbids tagged
+// pointers, so the tag is modelled by which field is non-nil. The simulated
+// layout still charges a single header word for it.
+type ownerRef struct {
+	txn *Txn     // non-nil: normal NZObject owned by this transaction
+	loc *Locator // non-nil: inflated object (the low-order-bit case)
+}
+
+// backupCell is the target of the Backup Data field: a backup copy of the
+// object data, the simulated address it lives at, and the transaction that
+// installed it. The installing transaction is recorded so that a transaction
+// inflating past an unresponsive owner can tell whether the backup belongs
+// to that owner or is a leftover from a previous one (§2.3.1 footnote 1).
+type backupCell struct {
+	data tm.Data
+	addr machine.Addr
+	by   *Txn
+}
+
+// Object is an NZObject (Figure 1): collocated metadata plus in-place data.
+type Object struct {
+	owner  atomic.Pointer[ownerRef]
+	backup atomic.Pointer[backupCell]
+
+	// data is the in-place Data field. Its identity never changes while the
+	// object is deflated: writers mutate it in place after securing a
+	// backup, and aborted writers' effects are undone by copying the backup
+	// back into it.
+	data tm.Data
+
+	// readers is the visible-reader table: one slot per thread. A writer
+	// must obtain acknowledgements from (or, in NZSTM, inflate past) every
+	// active registered reader before mutating data in place.
+	readers []atomic.Pointer[Txn]
+
+	// version counts ownership changes; invisible readers validate their
+	// snapshots against it. It is bumped inside every successful owner-word
+	// CAS, so any mutation of the in-place data (which only owners perform)
+	// is preceded by a version change.
+	version atomic.Uint64
+
+	// scssMu simulates the short hardware transaction of the SCSS variant:
+	// each store burst happens inside it, atomically paired with a check of
+	// the writer's AbortNowPlease flag. Invisible-reader mode uses it the
+	// same way, pairing snapshot copies with mutations (a stand-in for the
+	// unsynchronised-but-validated reads a C implementation would use).
+	scssMu sync.Mutex
+
+	// Simulated layout: header, data, and reader table are collocated in
+	// one line-aligned allocation — the zero-indirection property.
+	base       machine.Addr
+	dataAddr   machine.Addr
+	readerAddr machine.Addr
+	words      int
+
+	sys *System
+
+	// Ext carries per-object state for layered systems (the NZTM hybrid
+	// attaches its hardware conflict-tracking line here).
+	Ext any
+}
+
+// Base returns the simulated address of the object header.
+func (o *Object) Base() machine.Addr { return o.base }
+
+// DataAddr returns the simulated address of the in-place data.
+func (o *Object) DataAddr() machine.Addr { return o.dataAddr }
+
+// Words returns the data size in simulated words.
+func (o *Object) Words() int { return o.words }
+
+// newObject lays out and initialises an NZObject.
+func (s *System) newObject(initial tm.Data) *Object {
+	w := initial.Words()
+	total := headerWords + w + s.threads
+	base := s.world.Alloc(total, true)
+	o := &Object{
+		data:       initial,
+		readers:    make([]atomic.Pointer[Txn], s.threads),
+		base:       base,
+		dataAddr:   base + headerWords,
+		readerAddr: base + headerWords + machine.Addr(w),
+		words:      w,
+		sys:        s,
+	}
+	return o
+}
+
+// ownerWord atomically loads the Owner field, charging one header-word read.
+func (o *Object) ownerWord(env tm.Env) *ownerRef {
+	env.Access(o.base, 1, false)
+	return o.owner.Load()
+}
+
+// casOwner attempts to swing the Owner field, charging a CAS. On success the
+// OnOwnerChange hook (if any) runs immediately, with no scheduling point in
+// between, so layered systems observe the change atomically.
+func (o *Object) casOwner(env tm.Env, old, new *ownerRef) bool {
+	env.CAS(o.base)
+	if !o.owner.CompareAndSwap(old, new) {
+		return false
+	}
+	o.version.Add(1)
+	if h := o.sys.cfg.OnOwnerChange; h != nil {
+		h(o)
+	}
+	return true
+}
+
+// loadBackup reads the Backup Data field.
+func (o *Object) loadBackup(env tm.Env) *backupCell {
+	env.Access(o.base+1, 1, false)
+	return o.backup.Load()
+}
+
+// setBackup writes the Backup Data field.
+func (o *Object) setBackup(env tm.Env, c *backupCell) {
+	env.Access(o.base+1, 1, true)
+	o.backup.Store(c)
+}
+
+// registerReader announces tx in the visible-reader table.
+func (o *Object) registerReader(env tm.Env, tx *Txn) {
+	env.Access(o.readerAddr+machine.Addr(tx.th.ID), 1, true)
+	o.readers[tx.th.ID].Store(tx)
+}
+
+// deregisterReader clears tx's slot if it still holds it.
+func (o *Object) deregisterReader(env tm.Env, tx *Txn) {
+	slot := &o.readers[tx.th.ID]
+	if slot.Load() == tx {
+		env.Access(o.readerAddr+machine.Addr(tx.th.ID), 1, true)
+		slot.Store(nil)
+	}
+}
+
+// activeReaders charges a scan of the reader table and returns the active
+// registered readers other than me.
+func (o *Object) activeReaders(env tm.Env, me *Txn) []*Txn {
+	env.Access(o.readerAddr, len(o.readers), false)
+	var rs []*Txn
+	for i := range o.readers {
+		t := o.readers[i].Load()
+		if t == nil || t == me {
+			continue
+		}
+		if t.status.State() == tm.Active {
+			rs = append(rs, t)
+		}
+	}
+	return rs
+}

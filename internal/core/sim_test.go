@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"nztm/internal/cm"
+	"nztm/internal/tm"
+	"nztm/internal/tmtest"
+)
+
+func simFactory(v Variant) tmtest.Factory {
+	return func(world tm.World, threads int) tm.System {
+		cfg := DefaultConfig(v, threads)
+		cfg.AckPatience = 30_000 // cycles
+		cfg.Manager = cm.NewKarma(15_000)
+		return New(world, cfg)
+	}
+}
+
+// The conformance suite under the simulated machine interleaves virtual
+// threads at every memory access — a much more adversarial schedule than
+// real goroutines on this host.
+func TestConformanceSim(t *testing.T) {
+	for _, v := range []Variant{NZ, BZ, SCSS} {
+		t.Run(v.String(), func(t *testing.T) {
+			tmtest.RunSim(t, simFactory(v), 0)
+		})
+	}
+}
+
+// With injected stalls, transactions become unresponsive mid-flight: the NZ
+// variant must inflate (and stay correct), SCSS must steal, and BZ must
+// block until the stalled thread resumes.
+func TestConformanceSimWithStalls(t *testing.T) {
+	for _, v := range []Variant{NZ, BZ, SCSS} {
+		t.Run(v.String(), func(t *testing.T) {
+			tmtest.RunSim(t, simFactory(v), 0.002)
+		})
+	}
+}

@@ -1,0 +1,321 @@
+// Package dstm implements the original DSTM of Herlihy, Luchangco, Moir and
+// Scherer (PODC 2003) — the first object-based dynamic STM and the historical
+// baseline the paper positions NZSTM against (§1): nonblocking, but with two
+// levels of indirection on every access (object header → Locator → data),
+// each a potential cache miss. NZSTM's inflated state (§2.3.1) runs exactly
+// this algorithm; here it is the permanent representation.
+//
+// Unlike NZSTM, a conflicting transaction is aborted *directly* (a CAS on its
+// status word). That is safe because speculative writes only ever touch the
+// private new-data copy hanging off the transaction's own Locator — which is
+// also why every access pays the indirection NZSTM avoids.
+package dstm
+
+import (
+	"sync/atomic"
+
+	"nztm/internal/cm"
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+// locatorWords is the simulated Locator size (transaction, old, new).
+const locatorWords = 4
+
+// locator is the DSTM Locator: the sole way to reach an object's data.
+type locator struct {
+	owner   *Txn
+	oldData tm.Data
+	newData tm.Data
+	oldAddr machine.Addr
+	newAddr machine.Addr
+	addr    machine.Addr
+}
+
+// Object is a DSTM transactional object: one word (the start pointer) that
+// leads to the current Locator — the first level of indirection.
+type Object struct {
+	start   atomic.Pointer[locator]
+	readers []atomic.Pointer[Txn]
+
+	base       machine.Addr
+	readerAddr machine.Addr
+	words      int
+}
+
+// Config parameterises a DSTM instance.
+type Config struct {
+	Threads int
+	Manager cm.Manager
+}
+
+// System is a DSTM transactional memory instance.
+type System struct {
+	cfg   Config
+	world tm.World
+	stats tm.Stats
+}
+
+// New creates a DSTM system.
+func New(world tm.World, cfg Config) *System {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Manager == nil {
+		cfg.Manager = cm.NewKarma(4_000)
+	}
+	return &System{cfg: cfg, world: world}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "DSTM" }
+
+// Stats implements tm.System.
+func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// NewObject implements tm.System. Note the layout: the object header, the
+// Locator, and both data copies are four separate allocations — the paper's
+// indirection cost made concrete.
+func (s *System) NewObject(initial tm.Data) tm.Object {
+	w := initial.Words()
+	o := &Object{
+		readers: make([]atomic.Pointer[Txn], s.cfg.Threads),
+		base:    s.world.Alloc(1, true),
+		words:   w,
+	}
+	o.readerAddr = s.world.Alloc(s.cfg.Threads, false)
+	loc := &locator{
+		owner:   nil,
+		oldData: initial,
+		newData: initial,
+		oldAddr: s.world.Alloc(w, false),
+		newAddr: s.world.Alloc(w, false),
+		addr:    s.world.Alloc(locatorWords, false),
+	}
+	o.start.Store(loc)
+	return o
+}
+
+// Txn is a DSTM transaction.
+type Txn struct {
+	cm.Meta
+	status tm.StatusWord
+
+	sys  *System
+	th   *tm.Thread
+	addr machine.Addr
+
+	reads []*Object
+}
+
+// Atomic implements tm.System.
+func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	if th.ID < 0 || th.ID >= s.cfg.Threads {
+		panic("dstm: thread ID out of range for this System")
+	}
+	for attempt := 0; ; attempt++ {
+		tx := &Txn{sys: s, th: th, addr: s.world.Alloc(2, false)}
+		tx.InitMeta(th.NextBirth())
+		err, reason, ok := tm.RunAttempt(func() error { return fn(tx) })
+		if ok {
+			if err != nil {
+				tx.status.ForceAbort()
+				tx.finish()
+				return err
+			}
+			th.Env.CAS(tx.addr)
+			if tx.status.TryCommit() {
+				tx.finish()
+				s.stats.Commits.Add(1)
+				return nil
+			}
+			reason = tm.AbortConflict
+		}
+		tx.status.ForceAbort()
+		tx.finish()
+		s.stats.CountAbort(reason)
+		s.cfg.Manager.Backoff(th.Env, attempt+1)
+	}
+}
+
+func (tx *Txn) finish() {
+	for _, o := range tx.reads {
+		slot := &o.readers[tx.th.ID]
+		if slot.Load() == tx {
+			tx.th.Env.Access(o.readerAddr+machine.Addr(tx.th.ID), 1, true)
+			slot.Store(nil)
+		}
+	}
+	tx.reads = nil
+}
+
+// validate aborts the attempt if the transaction has been aborted.
+func (tx *Txn) validate() {
+	tx.th.Env.Access(tx.addr, 1, false)
+	if tx.status.State() != tm.Active {
+		tm.Retry(tm.AbortConflict)
+	}
+}
+
+// current resolves a locator to the object's current value. The second
+// return is the simulated address of that value.
+func (tx *Txn) current(o *Object, loc *locator) (tm.Data, machine.Addr) {
+	if loc.owner == nil {
+		return loc.newData, loc.newAddr
+	}
+	tx.th.Env.Access(loc.owner.addr, 1, false)
+	if loc.owner.status.State() == tm.Committed {
+		return loc.newData, loc.newAddr
+	}
+	return loc.oldData, loc.oldAddr
+}
+
+// Read implements tm.Tx with visible readers.
+func (tx *Txn) Read(obj tm.Object) tm.Data {
+	o := obj.(*Object)
+	env := tx.th.Env
+	tx.validate()
+	for {
+		env.Access(o.base, 1, false) // level 1: object header
+		loc := o.start.Load()
+		env.Access(loc.addr, locatorWords, false) // level 2: locator
+		if loc.owner == tx {
+			env.Access(loc.newAddr, o.words, false)
+			return loc.newData
+		}
+		if loc.owner != nil {
+			env.Access(loc.owner.addr, 1, false)
+			if loc.owner.status.State() == tm.Active {
+				tx.resolve(o, loc.owner)
+				continue
+			}
+		}
+		env.Access(o.readerAddr+machine.Addr(tx.th.ID), 1, true)
+		o.readers[tx.th.ID].Store(tx)
+		tx.reads = append(tx.reads, o)
+		env.Access(o.base, 1, false)
+		if o.start.Load() != loc {
+			continue // a writer slipped in; it may have missed our slot
+		}
+		tx.validate()
+		d, daddr := tx.current(o, loc)
+		env.Access(daddr, o.words, false) // level 3: the data itself
+		return d
+	}
+}
+
+// Update implements tm.Tx: acquire via a fresh Locator, then mutate the
+// private new-data copy.
+func (tx *Txn) Update(obj tm.Object, fn func(tm.Data)) {
+	o := obj.(*Object)
+	env := tx.th.Env
+	tx.validate()
+	for {
+		env.Access(o.base, 1, false)
+		loc := o.start.Load()
+		env.Access(loc.addr, locatorWords, false)
+		if loc.owner == tx {
+			env.Access(loc.newAddr, o.words, true)
+			fn(loc.newData)
+			return
+		}
+		if loc.owner != nil {
+			env.Access(loc.owner.addr, 1, false)
+			if loc.owner.status.State() == tm.Active {
+				tx.resolve(o, loc.owner)
+				continue
+			}
+		}
+		cur, curAddr := tx.current(o, loc)
+		newAddr := env.Alloc(o.words, false)
+		env.Access(curAddr, o.words, false)
+		env.Access(newAddr, o.words, true)
+		env.Copy(o.words)
+		loc2 := &locator{
+			owner:   tx,
+			oldData: cur,
+			newData: cur.Clone(),
+			oldAddr: curAddr,
+			newAddr: newAddr,
+			addr:    env.Alloc(locatorWords, false),
+		}
+		env.Access(loc2.addr, locatorWords, true)
+		tx.validate()
+		env.CAS(o.base)
+		if !o.start.CompareAndSwap(loc, loc2) {
+			continue
+		}
+		tx.BumpPriority()
+
+		// Abort visible readers: safe to do directly — they only hold
+		// immutable displaced copies.
+		env.Access(o.readerAddr, len(o.readers), false)
+		for i := range o.readers {
+			tx.doomReader(o, i)
+		}
+		env.Access(loc2.newAddr, o.words, true)
+		fn(loc2.newData)
+		return
+	}
+}
+
+// doomReader drives the reader in slot i to a non-committable state.
+func (tx *Txn) doomReader(o *Object, i int) {
+	env := tx.th.Env
+	mgr := tx.sys.cfg.Manager
+	start := env.Now()
+	for {
+		r := o.readers[i].Load()
+		if r == nil || r == tx {
+			return
+		}
+		env.Access(r.addr, 1, false)
+		if r.status.State() != tm.Active {
+			return
+		}
+		tx.validate()
+		switch mgr.Resolve(tx, r, env.Now()-start) {
+		case cm.Wait:
+			env.Spin()
+		case cm.AbortSelf:
+			tx.status.ForceAbort()
+			tm.Retry(tm.AbortSelf)
+		case cm.AbortOther:
+			env.CAS(r.addr)
+			r.status.ForceAbort()
+			tx.sys.stats.AbortRequests.Add(1)
+			return
+		}
+	}
+}
+
+// resolve mediates a conflict with an active locator owner.
+func (tx *Txn) resolve(o *Object, enemy *Txn) {
+	env := tx.th.Env
+	mgr := tx.sys.cfg.Manager
+	start := env.Now()
+	tx.sys.stats.Waits.Add(1)
+	defer tx.SetWaiting(false)
+	for {
+		tx.validate()
+		env.Access(enemy.addr, 1, false)
+		if enemy.status.State() != tm.Active {
+			return
+		}
+		switch mgr.Resolve(tx, enemy, env.Now()-start) {
+		case cm.Wait:
+			env.Spin()
+		case cm.AbortSelf:
+			tx.status.ForceAbort()
+			tm.Retry(tm.AbortSelf)
+		case cm.AbortOther:
+			env.CAS(enemy.addr)
+			enemy.status.ForceAbort()
+			tx.sys.stats.AbortRequests.Add(1)
+			return
+		}
+	}
+}
+
+var _ tm.System = (*System)(nil)
+var _ tm.Tx = (*Txn)(nil)

@@ -1,0 +1,322 @@
+// Package dstm2sf implements the DSTM2 Shadow Factory of Herlihy, Luchangco
+// and Moir (OOPSLA 2006) — the blocking object-based STM the paper compares
+// NZSTM against on Rock (§4.3): "a blocking object-based STM designed from
+// the ground up as a blocking algorithm" that never requires indirection to
+// access data.
+//
+// Each object permanently embeds a shadow copy of its data ("allocated in
+// place with the object", §2.2/§4.4.2 — 100% space overhead). A writer
+// copies live → shadow when it acquires, mutates the live data in place, and
+// restores shadow → live itself if it aborts. Because writers mutate in
+// place and restore eagerly, a conflicting transaction can only *ask* the
+// owner to abort and must then block until the owner acknowledges — the
+// blocking behaviour NZSTM's inflation avoids.
+//
+// As in the paper's own implementation, the same visible-reads and
+// contention-management extensions as NZSTM are used.
+package dstm2sf
+
+import (
+	"sync/atomic"
+
+	"nztm/internal/cm"
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+const headerWords = 2
+
+// Object is a shadow-factory transactional object: header, live data,
+// shadow copy, and reader table, all collocated in one allocation.
+type Object struct {
+	owner   atomic.Pointer[Txn]
+	data    tm.Data
+	shadow  tm.Data
+	readers []atomic.Pointer[Txn]
+
+	base       machine.Addr
+	dataAddr   machine.Addr
+	shadowAddr machine.Addr
+	readerAddr machine.Addr
+	words      int
+}
+
+// Config parameterises a System.
+type Config struct {
+	Threads int
+	Manager cm.Manager
+}
+
+// System is a DSTM2-SF instance.
+type System struct {
+	cfg   Config
+	world tm.World
+	stats tm.Stats
+}
+
+// New creates a DSTM2-SF system.
+func New(world tm.World, cfg Config) *System {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.Manager == nil {
+		cfg.Manager = cm.NewKarma(4_000)
+	}
+	return &System{cfg: cfg, world: world}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "DSTM2-SF" }
+
+// Stats implements tm.System.
+func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// NewObject implements tm.System. The shadow doubles the object footprint —
+// the cache-line effect behind the paper's kmeans result (§4.4.2).
+func (s *System) NewObject(initial tm.Data) tm.Object {
+	w := initial.Words()
+	base := s.world.Alloc(headerWords+2*w+s.cfg.Threads, true)
+	return &Object{
+		data:       initial,
+		shadow:     initial.Clone(),
+		readers:    make([]atomic.Pointer[Txn], s.cfg.Threads),
+		base:       base,
+		dataAddr:   base + headerWords,
+		shadowAddr: base + headerWords + machine.Addr(w),
+		readerAddr: base + headerWords + machine.Addr(2*w),
+		words:      w,
+	}
+}
+
+// Txn is a DSTM2-SF transaction.
+type Txn struct {
+	cm.Meta
+	status tm.StatusWord
+
+	sys   *System
+	th    *tm.Thread
+	addr  machine.Addr
+	reads []*Object
+	owned []*Object
+}
+
+// Atomic implements tm.System.
+func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	if th.ID < 0 || th.ID >= s.cfg.Threads {
+		panic("dstm2sf: thread ID out of range for this System")
+	}
+	for attempt := 0; ; attempt++ {
+		tx := &Txn{sys: s, th: th, addr: s.world.Alloc(2, false)}
+		tx.InitMeta(th.NextBirth())
+		err, reason, ok := tm.RunAttempt(func() error { return fn(tx) })
+		if ok {
+			if err != nil {
+				tx.rollback()
+				tx.finish()
+				return err
+			}
+			th.Env.CAS(tx.addr)
+			if tx.status.TryCommit() {
+				tx.finish()
+				s.stats.Commits.Add(1)
+				return nil
+			}
+			tx.rollback()
+			tx.finish()
+			reason = tm.AbortRequest
+			s.stats.CountAbort(reason)
+			s.cfg.Manager.Backoff(th.Env, attempt+1)
+			continue
+		}
+		tx.finish()
+		s.stats.CountAbort(reason)
+		s.cfg.Manager.Backoff(th.Env, attempt+1)
+	}
+}
+
+// rollback restores every owned object from its shadow and then marks the
+// transaction aborted. The order matters: waiters proceed once they observe
+// the acknowledgement, so restoration must already be complete.
+func (tx *Txn) rollback() {
+	env := tx.th.Env
+	for _, o := range tx.owned {
+		env.Access(o.shadowAddr, o.words, false)
+		env.Access(o.dataAddr, o.words, true)
+		env.Copy(o.words)
+		o.data.CopyFrom(o.shadow)
+	}
+	tx.status.Acknowledge()
+}
+
+// validate checks our AbortNowPlease flag; on abort it restores all owned
+// objects before acknowledging (see rollback) and unwinds.
+func (tx *Txn) validate() {
+	tx.th.Env.Access(tx.addr, 1, false)
+	st, anp := tx.status.Load()
+	if st == tm.Active && !anp {
+		return
+	}
+	tx.rollback()
+	tm.Retry(tm.AbortRequest)
+}
+
+func (tx *Txn) finish() {
+	env := tx.th.Env
+	for _, o := range tx.reads {
+		slot := &o.readers[tx.th.ID]
+		if slot.Load() == tx {
+			env.Access(o.readerAddr+machine.Addr(tx.th.ID), 1, true)
+			slot.Store(nil)
+		}
+	}
+	tx.reads, tx.owned = nil, nil
+}
+
+// Read implements tm.Tx.
+func (tx *Txn) Read(obj tm.Object) tm.Data {
+	o := obj.(*Object)
+	env := tx.th.Env
+	tx.validate()
+	for {
+		env.Access(o.base, 1, false)
+		w := o.owner.Load()
+		if w == tx {
+			env.Access(o.dataAddr, o.words, false)
+			return o.data
+		}
+		if w != nil {
+			env.Access(w.addr, 1, false)
+			if w.status.State() == tm.Active {
+				tx.resolve(o, w, false)
+				continue
+			}
+		}
+		env.Access(o.readerAddr+machine.Addr(tx.th.ID), 1, true)
+		o.readers[tx.th.ID].Store(tx)
+		tx.reads = append(tx.reads, o)
+		env.Access(o.base, 1, false)
+		if o.owner.Load() != w {
+			continue
+		}
+		tx.validate()
+		env.Access(o.dataAddr, o.words, false)
+		return o.data
+	}
+}
+
+// Update implements tm.Tx.
+func (tx *Txn) Update(obj tm.Object, fn func(tm.Data)) {
+	o := obj.(*Object)
+	env := tx.th.Env
+	tx.validate()
+	for {
+		env.Access(o.base, 1, false)
+		w := o.owner.Load()
+		if w == tx {
+			env.Access(o.dataAddr, o.words, true)
+			fn(o.data)
+			return
+		}
+		if w != nil {
+			env.Access(w.addr, 1, false)
+			if w.status.State() == tm.Active {
+				tx.resolve(o, w, false)
+				continue
+			}
+		}
+		env.CAS(o.base)
+		if !o.owner.CompareAndSwap(w, tx) {
+			continue
+		}
+		tx.BumpPriority()
+
+		// Obtain acknowledgements from visible readers (after the CAS, so
+		// a concurrently registering reader sees us; before touching data).
+		for {
+			r := tx.activeReader(o)
+			if r == nil {
+				break
+			}
+			tx.resolve(o, r, true)
+		}
+
+		// Copy live → shadow: the factory's eager backup, paid on every
+		// write acquisition into the collocated shadow area. Only after the
+		// shadow is fresh may the object join the rollback set — aborting
+		// between the ownership CAS and this copy must not "restore" a
+		// stale shadow from an earlier transaction.
+		env.Access(o.dataAddr, o.words, false)
+		env.Access(o.shadowAddr, o.words, true)
+		env.Copy(o.words)
+		o.shadow.CopyFrom(o.data)
+		tx.owned = append(tx.owned, o)
+
+		tx.validate()
+		env.Access(o.dataAddr, o.words, true)
+		fn(o.data)
+		return
+	}
+}
+
+func (tx *Txn) activeReader(o *Object) *Txn {
+	env := tx.th.Env
+	env.Access(o.readerAddr, len(o.readers), false)
+	for i := range o.readers {
+		r := o.readers[i].Load()
+		if r == nil || r == tx {
+			continue
+		}
+		if r.status.State() == tm.Active {
+			return r
+		}
+	}
+	return nil
+}
+
+// resolve mediates a conflict with an active enemy. Blocking: after
+// requesting an abort it waits for the acknowledgement indefinitely.
+func (tx *Txn) resolve(o *Object, enemy *Txn, enemyIsReader bool) {
+	env := tx.th.Env
+	mgr := tx.sys.cfg.Manager
+	start := env.Now()
+	requested := false
+	tx.sys.stats.Waits.Add(1)
+	defer tx.SetWaiting(false)
+
+	for {
+		tx.validate()
+		if enemyIsReader {
+			if o.readers[enemy.th.ID].Load() != enemy {
+				return
+			}
+		} else if o.owner.Load() != enemy {
+			return
+		}
+		env.Access(enemy.addr, 1, false)
+		if enemy.status.State() != tm.Active {
+			return
+		}
+		if requested {
+			env.Spin() // block until the enemy acknowledges
+			continue
+		}
+		switch mgr.Resolve(tx, enemy, env.Now()-start) {
+		case cm.Wait:
+			env.Spin()
+		case cm.AbortSelf:
+			tx.rollback()
+			tm.Retry(tm.AbortSelf)
+		case cm.AbortOther:
+			env.CAS(enemy.addr)
+			if enemy.status.RequestAbort() != tm.Active {
+				return
+			}
+			tx.sys.stats.AbortRequests.Add(1)
+			tx.validate()
+			requested = true
+		}
+	}
+}
+
+var _ tm.System = (*System)(nil)
+var _ tm.Tx = (*Txn)(nil)

@@ -1,0 +1,68 @@
+package dstm2sf_test
+
+import (
+	"testing"
+
+	"nztm/internal/cm"
+	"nztm/internal/dstm2sf"
+	"nztm/internal/tm"
+	"nztm/internal/tmtest"
+)
+
+func factory(world tm.World, threads int) tm.System {
+	return dstm2sf.New(world, dstm2sf.Config{
+		Threads: threads,
+		Manager: cm.NewKarma(20_000),
+	})
+}
+
+func TestConformance(t *testing.T) {
+	tmtest.Run(t, factory)
+}
+
+func TestConformanceSim(t *testing.T) {
+	tmtest.RunSim(t, factory, 0)
+}
+
+func TestConformanceSimWithStalls(t *testing.T) {
+	tmtest.RunSim(t, factory, 0.001)
+}
+
+func TestEagerRestoreOnAbortSelf(t *testing.T) {
+	// A transaction aborted mid-flight (user error) must restore its shadow
+	// copies eagerly before anyone else can see the object free.
+	s := factory(tm.NewRealWorld(), 2)
+	th := tm.NewThread(0, tm.NewRealEnv(0, tm.NewRealWorld()))
+	a := s.NewObject(tm.NewInts(2))
+	b := s.NewObject(tm.NewInts(2))
+	if err := s.Atomic(th, func(tx tm.Tx) error {
+		tx.Update(a, func(d tm.Data) { d.(*tm.Ints).V[0] = 1 })
+		tx.Update(b, func(d tm.Data) { d.(*tm.Ints).V[1] = 2 })
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := tmErr{}
+	if err := s.Atomic(th, func(tx tm.Tx) error {
+		tx.Update(a, func(d tm.Data) { d.(*tm.Ints).V[0] = 77 })
+		tx.Update(b, func(d tm.Data) { d.(*tm.Ints).V[1] = 88 })
+		return boom
+	}); err != boom {
+		t.Fatal(err)
+	}
+	var a0, b1 int64
+	if err := s.Atomic(th, func(tx tm.Tx) error {
+		a0 = tx.Read(a).(*tm.Ints).V[0]
+		b1 = tx.Read(b).(*tm.Ints).V[1]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a0 != 1 || b1 != 2 {
+		t.Fatalf("restored values (%d,%d), want (1,2)", a0, b1)
+	}
+}
+
+type tmErr struct{}
+
+func (tmErr) Error() string { return "tm error" }

@@ -1,0 +1,127 @@
+// Package glock implements the single-global-lock "transactional memory"
+// baseline: every atomic block takes one process-wide lock and accesses data
+// directly. Figure 4 of the paper normalises all Rock results to the
+// throughput of this scheme on one thread, because it represents "the
+// performance that can be achieved in systems with no HTM support, with the
+// same level of programming complexity as using transactions" (§4.4).
+//
+// The lock is a test-and-test-and-set spinlock over one simulated cache
+// line, so in sim mode contention shows up as coherence traffic on that
+// line, exactly as it would on real hardware.
+package glock
+
+import (
+	"sync/atomic"
+
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+// Object is a plain data holder; the global lock serialises all access.
+type Object struct {
+	data     tm.Data
+	dataAddr machine.Addr
+	words    int
+}
+
+// System is the global-lock baseline.
+type System struct {
+	lock     atomic.Bool
+	lockAddr machine.Addr
+	world    tm.World
+	stats    tm.Stats
+}
+
+// New creates a global-lock system.
+func New(world tm.World) *System {
+	return &System{world: world, lockAddr: world.Alloc(8, true)}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "GlobalLock" }
+
+// Stats implements tm.System.
+func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// NewObject implements tm.System.
+func (s *System) NewObject(initial tm.Data) tm.Object {
+	return &Object{
+		data:     initial,
+		dataAddr: s.world.Alloc(initial.Words(), true),
+		words:    initial.Words(),
+	}
+}
+
+// lockTx is the trivial transaction handle used under the lock. To honour
+// the tm.System error contract (a failed function's effects are discarded)
+// it keeps an undo log; the log is pure Go-side bookkeeping and charges
+// nothing to the machine model, because a real global-lock program would
+// not pay for it.
+type lockTx struct {
+	sys  *System
+	th   *tm.Thread
+	undo []undoRec
+}
+
+type undoRec struct {
+	obj  *Object
+	save tm.Data
+}
+
+// Read implements tm.Tx.
+func (tx *lockTx) Read(obj tm.Object) tm.Data {
+	o := obj.(*Object)
+	tx.th.Env.Access(o.dataAddr, o.words, false)
+	return o.data
+}
+
+// Update implements tm.Tx.
+func (tx *lockTx) Update(obj tm.Object, fn func(tm.Data)) {
+	o := obj.(*Object)
+	tx.undo = append(tx.undo, undoRec{obj: o, save: o.data.Clone()})
+	tx.th.Env.Access(o.dataAddr, o.words, true)
+	fn(o.data)
+}
+
+// Atomic implements tm.System: acquire the global lock, run fn, release.
+func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	env := th.Env
+	// Test-and-test-and-set with the charge/yield before each attempt.
+	for {
+		env.Access(s.lockAddr, 1, false)
+		if !s.lock.Load() {
+			env.CAS(s.lockAddr)
+			if s.lock.CompareAndSwap(false, true) {
+				break
+			}
+		}
+		env.Spin()
+	}
+
+	tx := &lockTx{sys: s, th: th}
+	err, _, ok := tm.RunAttempt(func() error { return fn(tx) })
+	if !ok {
+		// tm.Retry has no meaning under a global lock; treat it as a bug.
+		s.unlock(env)
+		panic("glock: transaction retried under the global lock")
+	}
+	if err != nil {
+		for i := len(tx.undo) - 1; i >= 0; i-- {
+			r := tx.undo[i]
+			r.obj.data.CopyFrom(r.save)
+		}
+		s.unlock(env)
+		s.stats.Aborts.Add(1)
+		return err
+	}
+	s.unlock(env)
+	s.stats.Commits.Add(1)
+	return nil
+}
+
+func (s *System) unlock(env tm.Env) {
+	env.Access(s.lockAddr, 1, true)
+	s.lock.Store(false)
+}
+
+var _ tm.System = (*System)(nil)

@@ -1,0 +1,49 @@
+package glock_test
+
+import (
+	"testing"
+
+	"nztm/internal/glock"
+	"nztm/internal/tm"
+	"nztm/internal/tmtest"
+)
+
+func factory(world tm.World, threads int) tm.System {
+	return glock.New(world)
+}
+
+func TestConformance(t *testing.T) {
+	tmtest.Run(t, factory)
+}
+
+func TestConformanceSim(t *testing.T) {
+	tmtest.RunSim(t, factory, 0)
+}
+
+func TestUndoOrderNested(t *testing.T) {
+	// Two updates to the same object inside one failed transaction must
+	// unwind to the original value (undo applied in reverse).
+	s := glock.New(tm.NewRealWorld())
+	th := tm.NewThread(0, tm.NewRealEnv(0, tm.NewRealWorld()))
+	o := s.NewObject(tm.NewInts(1))
+	bad := tmErr{}
+	if err := s.Atomic(th, func(tx tm.Tx) error {
+		tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0] = 5 })
+		tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0] = 10 })
+		return bad
+	}); err != bad {
+		t.Fatal(err)
+	}
+	var v int64
+	_ = s.Atomic(th, func(tx tm.Tx) error {
+		v = tx.Read(o).(*tm.Ints).V[0]
+		return nil
+	})
+	if v != 0 {
+		t.Fatalf("value %d, want 0 after full undo", v)
+	}
+}
+
+type tmErr struct{}
+
+func (tmErr) Error() string { return "tm error" }

@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Panel is one benchmark's sweep over thread counts and systems.
+type Panel struct {
+	Workload string
+	Threads  []int
+	Systems  []string
+	// Cells[threads][system] holds the measured result.
+	Cells map[int]map[string]Result
+	// Baseline is the (system, threads) cell throughput everything is
+	// normalised to.
+	Baseline float64
+}
+
+// Normalized returns a cell's throughput divided by the panel baseline.
+func (p *Panel) Normalized(threads int, system string) float64 {
+	if p.Baseline == 0 {
+		return 0
+	}
+	return p.Cells[threads][system].Throughput() / p.Baseline
+}
+
+// FigureSpec describes one of the paper's evaluation figures.
+type FigureSpec struct {
+	Name           string
+	Systems        []string
+	Threads        []int
+	Workloads      []string
+	BaselineSystem string // throughput at Threads[0] of this system = 1.0
+}
+
+// Fig3Spec reproduces Figure 3: simulator results for LogTM-SE, NZTM and
+// NZSTM at 1/3/7/15 threads, normalised to LogTM-SE on one thread.
+func Fig3Spec() FigureSpec {
+	return FigureSpec{
+		Name:           "Figure 3 (simulator)",
+		Systems:        []string{"LogTM-SE", "NZTM", "NZSTM"},
+		Threads:        []int{1, 3, 7, 15},
+		Workloads:      allWorkloadNames(),
+		BaselineSystem: "LogTM-SE",
+	}
+}
+
+// Fig4Spec reproduces Figure 4: "Rock" results for DSTM2-SF, BZSTM, SCSS
+// and NZSTM at 1/2/4/8/16 threads, normalised to a single global lock on
+// one thread.
+func Fig4Spec() FigureSpec {
+	return FigureSpec{
+		Name:           "Figure 4 (Rock-style, software systems)",
+		Systems:        []string{"DSTM2-SF", "BZSTM", "SCSS", "NZSTM-sw"},
+		Threads:        []int{1, 2, 4, 8, 16},
+		Workloads:      allWorkloadNames(),
+		BaselineSystem: "GlobalLock",
+	}
+}
+
+func allWorkloadNames() []string {
+	ws := Workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// resolveSystem maps figure-local aliases: Figure 4's "NZSTM" runs the pure
+// software system (labelled NZSTM-sw to distinguish it from Figure 3's
+// hybrid NZTM).
+func resolveSystem(name string) string {
+	if name == "NZSTM-sw" {
+		return "NZSTM"
+	}
+	return name
+}
+
+// RunFigure measures every panel of the spec.
+func RunFigure(spec FigureSpec, cfg RunConfig, progress io.Writer) ([]Panel, error) {
+	var panels []Panel
+	for _, wname := range spec.Workloads {
+		wl, err := WorkloadByName(wname)
+		if err != nil {
+			return nil, err
+		}
+		p := Panel{
+			Workload: wname,
+			Threads:  spec.Threads,
+			Systems:  spec.Systems,
+			Cells:    map[int]map[string]Result{},
+		}
+		// Baseline cell.
+		base, err := RunSim(resolveSystem(spec.BaselineSystem), wl, spec.Threads[0], cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Baseline = base.Throughput()
+		for _, th := range spec.Threads {
+			p.Cells[th] = map[string]Result{}
+			for _, sys := range spec.Systems {
+				res, err := RunSim(resolveSystem(sys), wl, th, cfg)
+				if err != nil {
+					return nil, err
+				}
+				res.System = sys
+				p.Cells[th][sys] = res
+				if progress != nil {
+					fmt.Fprintf(progress, "  %-16s %-10s t=%-2d  %8.3f ops/kcycle\n",
+						wname, sys, th, res.Throughput())
+				}
+			}
+		}
+		panels = append(panels, p)
+	}
+	return panels, nil
+}
+
+// PrintFigure renders the panels the way the paper's figures read: one
+// block per benchmark, thread counts down the rows, systems across the
+// columns, values normalised to the baseline.
+func PrintFigure(w io.Writer, spec FigureSpec, panels []Panel) {
+	fmt.Fprintf(w, "== %s ==\n", spec.Name)
+	fmt.Fprintf(w, "(throughput normalised to %s at %d thread)\n\n",
+		spec.BaselineSystem, spec.Threads[0])
+	for i := range panels {
+		p := &panels[i]
+		fmt.Fprintf(w, "-- %s --\n", p.Workload)
+		fmt.Fprintf(w, "%8s", "threads")
+		for _, s := range p.Systems {
+			fmt.Fprintf(w, "%12s", s)
+		}
+		fmt.Fprintln(w)
+		for _, th := range p.Threads {
+			fmt.Fprintf(w, "%8d", th)
+			for _, s := range p.Systems {
+				fmt.Fprintf(w, "%12.2f", p.Normalized(th, s))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV emits the panels as machine-readable rows: one line per
+// (workload, system, threads) cell with raw and normalised throughput and
+// the abort statistics — for plotting outside this repository.
+func WriteCSV(w io.Writer, spec FigureSpec, panels []Panel) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"figure", "workload", "system", "threads",
+		"ops", "cycles", "throughput_ops_per_kcycle", "normalized",
+		"commits", "aborts", "abort_rate", "hw_commits", "sw_fallbacks",
+		"inflations", "deflations",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for i := range panels {
+		p := &panels[i]
+		for _, th := range p.Threads {
+			for _, sys := range p.Systems {
+				r := p.Cells[th][sys]
+				row := []string{
+					spec.Name, p.Workload, sys, strconv.Itoa(th),
+					u(r.Ops), u(r.Cycles), f(r.Throughput()), f(p.Normalized(th, sys)),
+					u(r.Stats.Commits), u(r.Stats.Aborts), f(r.Stats.AbortRate()),
+					u(r.Stats.HWCommits), u(r.Stats.SWFallbacks),
+					u(r.Stats.Inflations), u(r.Stats.Deflations),
+				}
+				if err := cw.Write(row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// AbortReport reproduces the §4.4.1 statistics: per-benchmark abort rates
+// for the hybrid at the given thread count, with resource-limit shares.
+func AbortReport(w io.Writer, threads int, cfg RunConfig) error {
+	fmt.Fprintf(w, "== Abort statistics (NZTM/ATMTP, %d threads) ==\n", threads)
+	fmt.Fprintf(w, "%-18s %10s %10s %12s %12s %10s\n",
+		"benchmark", "commits", "aborts", "abort-rate", "capacity", "hw-share")
+	for _, wname := range allWorkloadNames() {
+		wl, err := WorkloadByName(wname)
+		if err != nil {
+			return err
+		}
+		res, err := RunSim("NZTM", wl, threads, cfg)
+		if err != nil {
+			return err
+		}
+		s := res.Stats
+		capShare := 0.0
+		if s.Aborts > 0 {
+			capShare = float64(s.HWCapacity) / float64(s.Aborts)
+		}
+		fmt.Fprintf(w, "%-18s %10d %10d %11.1f%% %11.1f%% %9.1f%%\n",
+			wname, s.Commits, s.Aborts, 100*s.AbortRate(), 100*capShare, 100*s.HWShare())
+	}
+	return nil
+}
+
+// GapRow is one system-vs-system comparison across workloads.
+type GapRow struct {
+	Workload string
+	A, B     string
+	RatioAB  float64 // throughput(A)/throughput(B)
+}
+
+// Gaps measures the paper's head-to-head claims (S2–S5 in DESIGN.md) at the
+// given thread count.
+func Gaps(threads int, pairs [][2]string, cfg RunConfig) ([]GapRow, error) {
+	var rows []GapRow
+	for _, wname := range allWorkloadNames() {
+		wl, err := WorkloadByName(wname)
+		if err != nil {
+			return nil, err
+		}
+		cache := map[string]Result{}
+		get := func(name string) (Result, error) {
+			if r, ok := cache[name]; ok {
+				return r, nil
+			}
+			r, err := RunSim(name, wl, threads, cfg)
+			if err == nil {
+				cache[name] = r
+			}
+			return r, err
+		}
+		for _, pair := range pairs {
+			ra, err := get(pair[0])
+			if err != nil {
+				return nil, err
+			}
+			rb, err := get(pair[1])
+			if err != nil {
+				return nil, err
+			}
+			ratio := 0.0
+			if rb.Throughput() > 0 {
+				ratio = ra.Throughput() / rb.Throughput()
+			}
+			rows = append(rows, GapRow{Workload: wname, A: pair[0], B: pair[1], RatioAB: ratio})
+		}
+	}
+	return rows, nil
+}
+
+// PrintGaps renders gap rows grouped by pair.
+func PrintGaps(w io.Writer, rows []GapRow) {
+	byPair := map[string][]GapRow{}
+	var order []string
+	for _, r := range rows {
+		key := r.A + " vs " + r.B
+		if _, ok := byPair[key]; !ok {
+			order = append(order, key)
+		}
+		byPair[key] = append(byPair[key], r)
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		fmt.Fprintf(w, "-- %s (throughput ratio) --\n", key)
+		for _, r := range byPair[key] {
+			bar := strings.Repeat("#", int(r.RatioAB*20))
+			fmt.Fprintf(w, "  %-18s %6.3f %s\n", r.Workload, r.RatioAB, bar)
+		}
+		fmt.Fprintln(w)
+	}
+}

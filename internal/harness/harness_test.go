@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nztm/internal/tm"
+)
+
+func tinyConfig() RunConfig {
+	return RunConfig{OpsPerThread: 60, Seed: 7}
+}
+
+func TestSystemRegistry(t *testing.T) {
+	names := SystemNames()
+	if len(names) != 9 {
+		t.Fatalf("expected 8 systems, got %v", names)
+	}
+	for _, n := range names {
+		s, err := NewSystem(n, tm.NewRealWorld(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != "NZSTM" && n != "BZSTM" && n != "SCSS" && n != "NZSTM-iv" && s.Name() != n {
+			t.Errorf("system %q reports name %q", n, s.Name())
+		}
+	}
+	if _, err := NewSystem("nope", tm.NewRealWorld(), 1); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	want := []string{
+		"hashtable-high", "hashtable-low", "redblack-high", "redblack-low",
+		"linkedlist-high", "linkedlist-low", "genome",
+		"kmeans-high", "kmeans-low", "vacation-high", "vacation-low",
+	}
+	got := allWorkloadNames()
+	if len(got) != len(want) {
+		t.Fatalf("have %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("workload %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+// Every (system, workload) pair must run to completion on the simulator at
+// a small scale — the full cross-product smoke test behind the figures.
+func TestAllCellsRun(t *testing.T) {
+	cfg := RunConfig{OpsPerThread: 24, Seed: 5}
+	for _, wl := range Workloads() {
+		for _, sys := range SystemNames() {
+			t.Run(sys+"/"+wl.Name, func(t *testing.T) {
+				res, err := RunSim(sys, wl, 2, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Ops == 0 || res.Cycles == 0 {
+					t.Fatalf("empty result: %+v", res)
+				}
+				if res.Stats.Commits == 0 {
+					t.Fatal("no commits recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestThroughputScalesInSimulatedTime(t *testing.T) {
+	// hashtable-low rarely conflicts: 4 virtual cores must finish the same
+	// per-thread work in far less simulated time per op than 4× one core.
+	wl, _ := WorkloadByName("hashtable-low")
+	cfg := tinyConfig()
+	r1, err := RunSim("NZSTM", wl, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunSim("NZSTM", wl, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := r4.Throughput() / r1.Throughput()
+	if speedup < 2.0 {
+		t.Fatalf("4-thread speedup = %.2f, want ≥ 2 on an uncontended workload", speedup)
+	}
+}
+
+func TestGlobalLockDoesNotScale(t *testing.T) {
+	wl, _ := WorkloadByName("hashtable-low")
+	cfg := tinyConfig()
+	r1, err := RunSim("GlobalLock", wl, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunSim("GlobalLock", wl, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := r4.Throughput() / r1.Throughput()
+	if speedup > 1.6 {
+		t.Fatalf("global lock 'scaled' %.2fx across 4 threads", speedup)
+	}
+}
+
+func TestRunFigureAndPrint(t *testing.T) {
+	spec := FigureSpec{
+		Name:           "mini",
+		Systems:        []string{"LogTM-SE", "NZSTM"},
+		Threads:        []int{1, 2},
+		Workloads:      []string{"hashtable-low"},
+		BaselineSystem: "LogTM-SE",
+	}
+	panels, err := RunFigure(spec, RunConfig{OpsPerThread: 30, Seed: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 1 {
+		t.Fatalf("panels = %d", len(panels))
+	}
+	if v := panels[0].Normalized(1, "LogTM-SE"); v < 0.99 || v > 1.01 {
+		t.Fatalf("baseline cell normalises to %f, want 1.0", v)
+	}
+	var buf bytes.Buffer
+	PrintFigure(&buf, spec, panels)
+	out := buf.String()
+	if !strings.Contains(out, "hashtable-low") || !strings.Contains(out, "threads") {
+		t.Fatalf("printed figure missing content:\n%s", out)
+	}
+}
+
+func TestGaps(t *testing.T) {
+	rows, err := Gaps(2, [][2]string{{"NZSTM", "BZSTM"}}, RunConfig{OpsPerThread: 24, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(allWorkloadNames()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.RatioAB <= 0 {
+			t.Fatalf("non-positive ratio for %s", r.Workload)
+		}
+	}
+	var buf bytes.Buffer
+	PrintGaps(&buf, rows)
+	if !strings.Contains(buf.String(), "NZSTM vs BZSTM") {
+		t.Fatal("gap print missing header")
+	}
+}
+
+func TestAbortReportRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AbortReport(&buf, 2, RunConfig{OpsPerThread: 16, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "abort-rate") {
+		t.Fatal("report missing header")
+	}
+}
+
+func TestFigureSpecs(t *testing.T) {
+	f3 := Fig3Spec()
+	if len(f3.Workloads) != 11 || len(f3.Threads) != 4 || len(f3.Systems) != 3 {
+		t.Fatalf("fig3 spec wrong: %+v", f3)
+	}
+	f4 := Fig4Spec()
+	if len(f4.Workloads) != 11 || len(f4.Threads) != 5 || len(f4.Systems) != 4 {
+		t.Fatalf("fig4 spec wrong: %+v", f4)
+	}
+	if resolveSystem("NZSTM-sw") != "NZSTM" || resolveSystem("DSTM") != "DSTM" {
+		t.Fatal("system alias resolution wrong")
+	}
+}
+
+func TestRunManagerCell(t *testing.T) {
+	for _, mgr := range []string{"karma", "aggressive"} {
+		res, err := RunManagerCell(mgr, "hashtable-high", 2, RunConfig{OpsPerThread: 24, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops == 0 || res.Stats.Commits == 0 {
+			t.Fatalf("%s: empty result", mgr)
+		}
+	}
+	if _, err := RunManagerCell("nope", "hashtable-high", 2, RunConfig{OpsPerThread: 8}); err == nil {
+		t.Fatal("unknown manager must error")
+	}
+}
+
+func TestInvisibleReaderSystemRuns(t *testing.T) {
+	wl, _ := WorkloadByName("redblack-low")
+	res, err := RunSim("NZSTM-iv", wl, 4, RunConfig{OpsPerThread: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.AbortRequests != 0 {
+		// Reader-writer conflicts never send abort requests in invisible
+		// mode; only writer-writer conflicts do, and redblack-low at 4
+		// threads with few writers should see almost none.
+		t.Logf("note: %d abort requests from writer-writer conflicts", res.Stats.AbortRequests)
+	}
+	if res.Stats.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	spec := FigureSpec{
+		Name:           "csv-mini",
+		Systems:        []string{"NZSTM"},
+		Threads:        []int{1},
+		Workloads:      []string{"hashtable-low"},
+		BaselineSystem: "NZSTM",
+	}
+	panels, err := RunFigure(spec, RunConfig{OpsPerThread: 16, Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, spec, panels); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv has %d lines, want header+1", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "figure,workload,system,threads") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "hashtable-low,NZSTM,1") {
+		t.Fatalf("bad row: %s", lines[1])
+	}
+}

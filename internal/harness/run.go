@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+// Runner abstracts how a workload's phases execute: a setup phase (not
+// measured) and parallel phases (measured). The simulated runner maps them
+// onto virtual threads of the CMP model; benchmarks' multi-phase structure
+// (genome's barriers, kmeans' iterations) is expressed by multiple Parallel
+// calls.
+type Runner interface {
+	// Setup runs body single-threaded before measurement starts.
+	Setup(body func(th *tm.Thread) error) error
+	// Parallel runs body once per thread ID in [0, n).
+	Parallel(n int, body func(th *tm.Thread) error) error
+}
+
+// RunConfig tunes one measurement.
+type RunConfig struct {
+	OpsPerThread int     // operations each thread performs (per phase)
+	Seed         uint64  // workload RNG seed
+	StallProb    float64 // injected unresponsiveness (A1 experiment)
+	StallCycles  uint64
+}
+
+// DefaultRunConfig returns harness defaults.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{OpsPerThread: 600, Seed: 42}
+}
+
+// Result is one measured cell.
+type Result struct {
+	System   string
+	Workload string
+	Threads  int
+	Ops      uint64 // committed application-level operations
+	Cycles   uint64 // simulated elapsed time
+	Stats    tm.StatsView
+}
+
+// Throughput returns operations per thousand simulated cycles.
+func (r Result) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Cycles) * 1000
+}
+
+// simRunner executes phases on the simulated machine.
+type simRunner struct {
+	m   *machine.Machine
+	err error
+}
+
+func (s *simRunner) Setup(body func(th *tm.Thread) error) error {
+	var err error
+	s.m.Run(1, func(p *machine.Proc) {
+		err = body(tm.NewThread(p.ID(), p))
+	})
+	return err
+}
+
+func (s *simRunner) Parallel(n int, body func(th *tm.Thread) error) error {
+	errs := make([]error, n)
+	s.m.Run(n, func(p *machine.Proc) {
+		errs[p.ID()] = body(tm.NewThread(p.ID(), p))
+	})
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// RunManagerCell measures NZSTM under a specific contention manager (the
+// manager ablation).
+func RunManagerCell(manager, workload string, threads int, cfg RunConfig) (Result, error) {
+	wl, err := WorkloadByName(workload)
+	if err != nil {
+		return Result{}, err
+	}
+	mcfg := machine.DefaultConfig(threads)
+	mcfg.Seed = cfg.Seed + uint64(threads)*1000003
+	m := machine.New(mcfg)
+	sys, err := NewNZSTMWithManager(m, threads, manager)
+	if err != nil {
+		return Result{}, err
+	}
+	runner := &simRunner{m: m}
+	prepared, err := wl.Prepare(sys, runner, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	m.ResetClocks()
+	sys.Stats().Reset()
+	ops, err := prepared(threads)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		System:   "NZSTM/" + manager,
+		Workload: workload,
+		Threads:  threads,
+		Ops:      ops,
+		Cycles:   m.MaxClock(),
+		Stats:    sys.Stats().View(),
+	}, nil
+}
+
+// RunSim measures one (system, workload, threads) cell on a fresh simulated
+// machine. The setup phase runs first; clocks and statistics are reset
+// before the measured phases, mirroring the paper's "initialize the
+// relevant data structures, and then begin taking measurements".
+func RunSim(sysName string, wl Workload, threads int, cfg RunConfig) (Result, error) {
+	if threads < 1 {
+		return Result{}, fmt.Errorf("harness: threads must be ≥ 1")
+	}
+	mcfg := machine.DefaultConfig(threads)
+	mcfg.Seed = cfg.Seed + uint64(threads)*1000003
+	mcfg.StallProb = cfg.StallProb
+	mcfg.StallCycles = cfg.StallCycles
+	mcfg.MaxCycles = 0
+	m := machine.New(mcfg)
+
+	sys, err := NewSystem(sysName, m, threads)
+	if err != nil {
+		return Result{}, err
+	}
+	runner := &simRunner{m: m}
+
+	prepared, err := wl.Prepare(sys, runner, cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%s setup: %w", sysName, wl.Name, err)
+	}
+	m.ResetClocks()
+	sys.Stats().Reset()
+
+	ops, err := prepared(threads)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s/%s run: %w", sysName, wl.Name, err)
+	}
+	return Result{
+		System:   sysName,
+		Workload: wl.Name,
+		Threads:  threads,
+		Ops:      ops,
+		Cycles:   m.MaxClock(),
+		Stats:    sys.Stats().View(),
+	}, nil
+}

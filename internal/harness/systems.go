@@ -1,0 +1,97 @@
+// Package harness builds and runs the paper's experiments (§4): it
+// instantiates TM systems on the simulated machine, drives the benchmark
+// workloads at each thread count, and prints the tables behind Figure 3,
+// Figure 4, and the statistics quoted in the text. EXPERIMENTS.md records
+// the paper-vs-measured comparison for every row produced here.
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"nztm/internal/cm"
+	"nztm/internal/core"
+	"nztm/internal/dstm"
+	"nztm/internal/dstm2sf"
+	"nztm/internal/glock"
+	"nztm/internal/hybrid"
+	"nztm/internal/logtm"
+	"nztm/internal/tm"
+)
+
+// SystemNames lists every constructible system.
+func SystemNames() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var builders = map[string]func(world tm.World, threads int) tm.System{
+	"NZSTM": func(w tm.World, n int) tm.System {
+		return core.New(w, stmConfig(core.NZ, n))
+	},
+	"BZSTM": func(w tm.World, n int) tm.System {
+		return core.New(w, stmConfig(core.BZ, n))
+	},
+	"SCSS": func(w tm.World, n int) tm.System {
+		return core.New(w, stmConfig(core.SCSS, n))
+	},
+	"NZSTM-iv": func(w tm.World, n int) tm.System {
+		cfg := stmConfig(core.NZ, n)
+		cfg.Readers = core.InvisibleReaders
+		return core.New(w, cfg)
+	},
+	"DSTM": func(w tm.World, n int) tm.System {
+		return dstm.New(w, dstm.Config{Threads: n, Manager: cm.NewKarma(cmPatience)})
+	},
+	"DSTM2-SF": func(w tm.World, n int) tm.System {
+		return dstm2sf.New(w, dstm2sf.Config{Threads: n, Manager: cm.NewKarma(cmPatience)})
+	},
+	"LogTM-SE": func(w tm.World, n int) tm.System {
+		return logtm.New(w, logtm.Config{Threads: n})
+	},
+	"NZTM": func(w tm.World, n int) tm.System {
+		return hybrid.New(w, hybrid.DefaultConfig(n))
+	},
+	"GlobalLock": func(w tm.World, n int) tm.System {
+		return glock.New(w)
+	},
+}
+
+// Contention-manager and patience settings shared by the software systems,
+// in simulated cycles.
+const (
+	cmPatience  = 10_000
+	ackPatience = 25_000
+)
+
+func stmConfig(v core.Variant, threads int) core.Config {
+	cfg := core.DefaultConfig(v, threads)
+	cfg.Manager = cm.NewKarma(cmPatience)
+	cfg.AckPatience = ackPatience
+	return cfg
+}
+
+// NewNZSTMWithManager builds NZSTM with a specific contention manager, for
+// the manager ablation.
+func NewNZSTMWithManager(world tm.World, threads int, manager string) (tm.System, error) {
+	m := cm.ByName(manager, cmPatience)
+	if m == nil {
+		return nil, fmt.Errorf("harness: unknown contention manager %q", manager)
+	}
+	cfg := stmConfig(core.NZ, threads)
+	cfg.Manager = m
+	return core.New(world, cfg), nil
+}
+
+// NewSystem builds a named system over world.
+func NewSystem(name string, world tm.World, threads int) (tm.System, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown system %q (have %v)", name, SystemNames())
+	}
+	return b(world, threads), nil
+}

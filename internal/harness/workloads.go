@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nztm/internal/bench"
+	"nztm/internal/stamp"
+	"nztm/internal/tm"
+)
+
+// Workload is one benchmark panel of Figures 3/4. Prepare builds the data
+// structures through the runner's setup phase and returns the measured
+// body; the body returns the number of application-level operations it
+// completed across all threads.
+type Workload struct {
+	Name    string
+	Prepare func(sys tm.System, r Runner, cfg RunConfig) (func(threads int) (uint64, error), error)
+}
+
+// xorshift advances a thread-local workload RNG.
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// Workloads returns the paper's eleven benchmark panels (§4.2): hashtable,
+// redblack and linkedlist at high and low contention, genome, and kmeans
+// and vacation at high and low contention.
+func Workloads() []Workload {
+	return []Workload{
+		setWorkload("hashtable-high", bench.HighContention, newHash, 256),
+		setWorkload("hashtable-low", bench.LowContention, newHash, 256),
+		setWorkload("redblack-high", bench.HighContention, newTree, 256),
+		setWorkload("redblack-low", bench.LowContention, newTree, 256),
+		setWorkload("linkedlist-high", bench.HighContention, newList, 256),
+		setWorkload("linkedlist-low", bench.LowContention, newList, 256),
+		genomeWorkload(),
+		kmeansWorkload("kmeans-high", 15),
+		kmeansWorkload("kmeans-low", 40),
+		vacationWorkload("vacation-high", true),
+		vacationWorkload("vacation-low", false),
+	}
+}
+
+// WorkloadByName finds a panel.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("harness: unknown workload %q", name)
+}
+
+func newHash(sys tm.System) bench.Set { return bench.NewHashTable(sys, 256) }
+
+// ReleaseWorkload builds the linkedlist panel with DSTM-style early release
+// enabled (ablation A5); mix as in the named base panel.
+func ReleaseWorkload(name string, mix bench.Mix) Workload {
+	return setWorkload(name, mix, func(sys tm.System) bench.Set {
+		return bench.NewLinkedListEarlyRelease(sys)
+	}, 256)
+}
+func newTree(sys tm.System) bench.Set { return bench.NewRBTree(sys) }
+func newList(sys tm.System) bench.Set { return bench.NewLinkedList(sys) }
+
+// setWorkload drives a Set with the paper's mixes over keys 0–255,
+// pre-populated to half occupancy.
+func setWorkload(name string, mix bench.Mix, make func(tm.System) bench.Set, keyRange int64) Workload {
+	return Workload{
+		Name: name,
+		Prepare: func(sys tm.System, r Runner, cfg RunConfig) (func(int) (uint64, error), error) {
+			set := make(sys)
+			err := r.Setup(func(th *tm.Thread) error {
+				rng := cfg.Seed | 1
+				for i := int64(0); i < keyRange/2; i++ {
+					rng = xorshift(rng)
+					if _, err := set.Insert(th, int64(rng)%keyRange); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func(threads int) (uint64, error) {
+				var ops atomic.Uint64
+				err := r.Parallel(threads, func(th *tm.Thread) error {
+					rng := cfg.Seed + uint64(th.ID)*0x9e3779b97f4a7c15 + 1
+					for i := 0; i < cfg.OpsPerThread; i++ {
+						rng = xorshift(rng)
+						key := int64(rng) & (keyRange - 1)
+						var err error
+						switch mix.Pick(rng >> 32) {
+						case 0:
+							_, err = set.Insert(th, key)
+						case 1:
+							_, err = set.Delete(th, key)
+						default:
+							_, err = set.Contains(th, key)
+						}
+						if err != nil {
+							return err
+						}
+						ops.Add(1)
+					}
+					return nil
+				})
+				return ops.Load(), err
+			}, nil
+		},
+	}
+}
+
+// genomeWorkload runs both sequencing phases, with the barrier between
+// them, inside the measured region.
+func genomeWorkload() Workload {
+	return Workload{
+		Name: "genome",
+		Prepare: func(sys tm.System, r Runner, cfg RunConfig) (func(int) (uint64, error), error) {
+			g := stamp.NewGenome(sys, stamp.GenomeConfig{
+				GeneLength: 16 * cfg.OpsPerThread / 10,
+				SegLen:     8,
+				Copies:     3,
+				Seed:       cfg.Seed,
+			})
+			return func(threads int) (uint64, error) {
+				var ops atomic.Uint64
+				total := g.Segments()
+				chunk := (total + threads - 1) / threads
+				err := r.Parallel(threads, func(th *tm.Thread) error {
+					lo := th.ID * chunk
+					n, err := g.DedupChunk(th, lo, lo+chunk)
+					_ = n
+					ops.Add(uint64(chunk))
+					return err
+				})
+				if err != nil {
+					return 0, err
+				}
+				var uniq []int64
+				err = r.Setup(func(th *tm.Thread) error {
+					var err error
+					uniq, err = g.Unique(th)
+					if err != nil {
+						return err
+					}
+					return g.BuildIndex(th)
+				})
+				if err != nil {
+					return 0, err
+				}
+				uchunk := (len(uniq) + threads - 1) / threads
+				err = r.Parallel(threads, func(th *tm.Thread) error {
+					lo := th.ID * uchunk
+					_, err := g.MatchChunk(th, uniq, lo, lo+uchunk)
+					ops.Add(uint64(uchunk))
+					return err
+				})
+				return ops.Load(), err
+			}, nil
+		},
+	}
+}
+
+// kmeansWorkload runs clustering iterations; fewer clusters = higher
+// contention, as in STAMP's -m15 vs -m40.
+func kmeansWorkload(name string, clusters int) Workload {
+	return Workload{
+		Name: name,
+		Prepare: func(sys tm.System, r Runner, cfg RunConfig) (func(int) (uint64, error), error) {
+			k := stamp.NewKMeans(sys, stamp.KMeansConfig{
+				Points:   cfg.OpsPerThread * 4,
+				Clusters: clusters,
+				Seed:     cfg.Seed,
+			})
+			return func(threads int) (uint64, error) {
+				var ops atomic.Uint64
+				const iterations = 3
+				chunk := (k.Points() + threads - 1) / threads
+				for it := 0; it < iterations; it++ {
+					err := r.Parallel(threads, func(th *tm.Thread) error {
+						lo := th.ID * chunk
+						_, err := k.AssignChunk(th, lo, lo+chunk)
+						ops.Add(uint64(chunk))
+						return err
+					})
+					if err != nil {
+						return 0, err
+					}
+					if err := r.Setup(func(th *tm.Thread) error {
+						return k.FinishIteration(th)
+					}); err != nil {
+						return 0, err
+					}
+				}
+				return ops.Load(), nil
+			}, nil
+		},
+	}
+}
+
+// vacationWorkload drives the reservation system with STAMP's low/high
+// contention client parameters.
+func vacationWorkload(name string, high bool) Workload {
+	return Workload{
+		Name: name,
+		Prepare: func(sys tm.System, r Runner, cfg RunConfig) (func(int) (uint64, error), error) {
+			var v *stamp.Vacation
+			err := r.Setup(func(th *tm.Thread) error {
+				var err error
+				vc := stamp.LowContentionVacation(128, cfg.Seed)
+				if high {
+					vc = stamp.HighContentionVacation(128, cfg.Seed)
+				}
+				v, err = stamp.NewVacation(sys, th, vc)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			return func(threads int) (uint64, error) {
+				var ops atomic.Uint64
+				err := r.Parallel(threads, func(th *tm.Thread) error {
+					rng := cfg.Seed + uint64(th.ID)*2654435761 + 3
+					// Vacation transactions are much bigger than the
+					// microbenchmarks'; scale the count down (§4.2).
+					for i := 0; i < cfg.OpsPerThread/4; i++ {
+						rng = xorshift(rng)
+						if _, err := v.Op(th, rng); err != nil {
+							return err
+						}
+						ops.Add(1)
+					}
+					return nil
+				})
+				return ops.Load(), err
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,323 @@
+// Package htm models a best-effort hardware transactional memory in the
+// style of Sun's ATMTP simulator for the Rock processor (§4.1, §4.3):
+//
+//   - "Requester wins": a transaction that touches a line another hardware
+//     transaction is using aborts the other one.
+//   - Bounded resources: the write set is limited by a store buffer (256
+//     entries by default) and the read set by the size and associativity of
+//     the L1 cache; exceeding either aborts with a capacity code.
+//   - Environmental events (TLB misses, interrupts, context switches) abort
+//     transactions with a configurable probability.
+//   - Abort reasons are reported like ATMTP's CPS register, so retry
+//     policies can distinguish coherence conflicts (worth retrying in
+//     hardware) from everything else (fall back to software).
+//
+// The engine tracks conflicts at transactional-object granularity through
+// Line records; the NZTM hybrid hangs one Line off every NZObject. Hardware
+// transactions execute only on the simulated machine — exactly like the
+// paper, whose best-effort HTM existed only in a simulator and on
+// never-shipped silicon.
+package htm
+
+import (
+	"sync/atomic"
+
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+// Config describes the modelled HTM resources.
+type Config struct {
+	Threads int
+
+	// Store buffer bound: total words of speculative stores (the paper
+	// configures 256 entries, each one store of typically one word).
+	StoreBufferEntries int
+
+	// Read-set bound: the L1 geometry speculative reads must fit in.
+	L1Bytes   int
+	L1Assoc   int
+	LineBytes int
+
+	// EventProb is the per-access probability of an event abort.
+	EventProb float64
+
+	// BeginCost and CommitCost model checkpoint and commit latency.
+	BeginCost  uint64
+	CommitCost uint64
+}
+
+// DefaultConfig mirrors the paper's enlarged ATMTP configuration (§4.1).
+func DefaultConfig(threads int) Config {
+	return Config{
+		Threads:            threads,
+		StoreBufferEntries: 256,
+		L1Bytes:            256 << 10,
+		L1Assoc:            4,
+		LineBytes:          64,
+		EventProb:          0.00002,
+		BeginCost:          6,
+		CommitCost:         14,
+	}
+}
+
+// Line is the per-object hardware conflict-tracking state: which hardware
+// transactions currently have the object in their read or write sets. It
+// stands in for the cache line(s) the object occupies.
+type Line struct {
+	users []atomic.Pointer[Txn] // slot per thread; nil = not tracking
+	addr  machine.Addr
+	words int
+}
+
+// Engine is the chip's transactional facility.
+type Engine struct {
+	cfg   Config
+	stats *tm.Stats
+	nsets uint64
+}
+
+// New creates an engine reporting into stats.
+func New(cfg Config, stats *tm.Stats) *Engine {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	nsets := cfg.L1Bytes / cfg.LineBytes / cfg.L1Assoc
+	if nsets < 1 {
+		nsets = 1
+	}
+	return &Engine{cfg: cfg, stats: stats, nsets: uint64(nsets)}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// NewLine creates conflict-tracking state for an object whose data occupies
+// words simulated words at addr.
+func (e *Engine) NewLine(addr machine.Addr, words int) *Line {
+	return &Line{users: make([]atomic.Pointer[Txn], e.cfg.Threads), addr: addr, words: words}
+}
+
+// DoomAll aborts every hardware transaction tracking the line except skip
+// (which may be nil). Software acquisitions call this: on real hardware the
+// coherence traffic of the owner-word CAS would abort them.
+func (l *Line) DoomAll(skip *Txn, reason tm.AbortReason) {
+	for i := range l.users {
+		if t := l.users[i].Load(); t != nil && t != skip {
+			t.doom(reason)
+		}
+	}
+}
+
+// DoomWriters aborts hardware transactions that have the line in their
+// write set. Software readers call this after registering visibly.
+func (l *Line) DoomWriters(skip *Txn) {
+	for i := range l.users {
+		if t := l.users[i].Load(); t != nil && t != skip && t.wrote(l) {
+			t.doom(tm.AbortConflict)
+		}
+	}
+}
+
+// HasWriter reports whether a hardware transaction other than skip has the
+// line in its write set.
+func (l *Line) HasWriter(skip *Txn) bool {
+	for i := range l.users {
+		if t := l.users[i].Load(); t != nil && t != skip && t.wrote(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// access is one read-set or write-set entry.
+type access struct {
+	line  *Line
+	write bool
+	buf   tm.Data // speculative store buffer contents (writes only)
+}
+
+// Txn is one hardware transaction attempt.
+type Txn struct {
+	eng *Engine
+	th  *tm.Thread
+
+	doomed atomic.Uint32 // tm.AbortReason; 0 = healthy
+
+	accs       []access
+	index      map[*Line]int
+	storeWords int
+	setLoad    map[uint64]int
+}
+
+// Begin starts a hardware transaction on th (which must be running on the
+// simulated machine).
+func (e *Engine) Begin(th *tm.Thread) *Txn {
+	th.Env.Work(e.cfg.BeginCost)
+	return &Txn{
+		eng:     e,
+		th:      th,
+		index:   make(map[*Line]int),
+		setLoad: make(map[uint64]int),
+	}
+}
+
+func (t *Txn) doom(reason tm.AbortReason) {
+	t.doomed.CompareAndSwap(0, uint32(reason))
+}
+
+// Doomed returns the pending abort reason, if any.
+func (t *Txn) Doomed() (tm.AbortReason, bool) {
+	r := t.doomed.Load()
+	return tm.AbortReason(r), r != 0
+}
+
+func (t *Txn) wrote(l *Line) bool {
+	if i, ok := t.index[l]; ok {
+		return t.accs[i].write
+	}
+	return false
+}
+
+// abortNow unregisters and unwinds.
+func (t *Txn) abortNow(reason tm.AbortReason) {
+	t.unregister()
+	tm.Retry(reason)
+}
+
+func (t *Txn) unregister() {
+	for _, a := range t.accs {
+		slot := &a.line.users[t.th.ID]
+		if slot.Load() == t {
+			slot.Store(nil)
+		}
+	}
+}
+
+// checkHealth verifies the transaction has not been doomed and rolls the
+// event-abort dice for one access.
+func (t *Txn) checkHealth() {
+	if r, bad := t.Doomed(); bad {
+		t.abortNow(r)
+	}
+	if p := t.eng.cfg.EventProb; p > 0 {
+		if float64(t.th.Env.Rand()%1_000_000)/1_000_000 < p {
+			t.abortNow(tm.AbortEvent)
+		}
+	}
+}
+
+// track registers the transaction on l (idempotently), applying requester-
+// wins against conflicting hardware transactions and enforcing the read-set
+// geometry bound. It returns the access index.
+func (t *Txn) track(l *Line, write bool) int {
+	t.checkHealth()
+	if i, ok := t.index[l]; ok {
+		if write && !t.accs[i].write {
+			t.upgrade(l, i)
+		}
+		return i
+	}
+
+	// Read-set geometry: charge the lines this object occupies against
+	// their L1 set.
+	lw := uint64(t.eng.cfg.LineBytes / machine.WordBytes)
+	lines := (uint64(l.words) + lw - 1) / lw
+	if lines == 0 {
+		lines = 1
+	}
+	set := (uint64(l.addr) / lw) % t.eng.nsets
+	t.setLoad[set] += int(lines)
+	if t.setLoad[set] > t.eng.cfg.L1Assoc {
+		t.abortNow(tm.AbortCapacity)
+	}
+
+	l.users[t.th.ID].Store(t)
+	t.accs = append(t.accs, access{line: l, write: write})
+	i := len(t.accs) - 1
+	t.index[l] = i
+
+	// Speculative stores stay in the store buffer until commit (as on
+	// Rock), so a write conflicts with other hardware transactions only
+	// when it drains: see Commit. Reads never conflict with reads, and a
+	// buffered write is invisible to concurrent readers.
+	if write {
+		t.addStore(l)
+	}
+	return i
+}
+
+func (t *Txn) upgrade(l *Line, i int) {
+	t.accs[i].write = true
+	t.addStore(l)
+}
+
+func (t *Txn) addStore(l *Line) {
+	t.storeWords += l.words
+	if t.storeWords > t.eng.cfg.StoreBufferEntries {
+		t.abortNow(tm.AbortCapacity)
+	}
+}
+
+// Read adds l to the read set.
+func (t *Txn) Read(l *Line) {
+	t.track(l, false)
+}
+
+// Write adds l to the write set and records buf as the line's speculative
+// contents; buf is published into place by Commit's publish callback.
+func (t *Txn) Write(l *Line, buf tm.Data) {
+	i := t.track(l, true)
+	t.accs[i].buf = buf
+}
+
+// Buffered returns the speculative store-buffer contents for l, if any.
+func (t *Txn) Buffered(l *Line) (tm.Data, bool) {
+	if i, ok := t.index[l]; ok && t.accs[i].buf != nil {
+		return t.accs[i].buf, true
+	}
+	return nil, false
+}
+
+// Abort explicitly aborts the transaction with the given reason (e.g. after
+// detecting a conflicting software transaction, §2.4) and unwinds the
+// attempt via tm.Retry.
+func (t *Txn) Abort(reason tm.AbortReason) {
+	t.abortNow(reason)
+}
+
+// Discard abandons the transaction without unwinding: buffers are dropped
+// and registrations cleared. Used when user code returns an error and the
+// attempt's effects must simply evaporate.
+func (t *Txn) Discard() {
+	t.unregister()
+}
+
+// Commit atomically publishes the transaction: if it has not been doomed,
+// the store buffer drains — which is when its writes' coherence requests
+// abort every other hardware transaction using those lines ("requester
+// wins" at drain time, as on Rock) — then the publish callback runs (it
+// must not call into the Env — commit is a single instant of simulated
+// time) and the transaction unregisters.
+func (t *Txn) Commit(publish func()) {
+	t.th.Env.Work(t.eng.cfg.CommitCost)
+	if r, bad := t.Doomed(); bad {
+		t.abortNow(r)
+	}
+	for _, a := range t.accs {
+		if !a.write {
+			continue
+		}
+		for s := range a.line.users {
+			if u := a.line.users[s].Load(); u != nil && u != t {
+				u.doom(tm.AbortConflict)
+			}
+		}
+	}
+	if publish != nil {
+		publish()
+	}
+	t.unregister()
+	t.eng.stats.HWCommits.Add(1)
+	t.eng.stats.Commits.Add(1)
+}

@@ -1,0 +1,282 @@
+// Package hybrid implements NZTM — the paper's hybrid transactional memory
+// (§2.4): transactions first attempt to run under best-effort hardware
+// transactional memory; if that (repeatedly) fails, they run as NZSTM
+// software transactions. NZSTM suits hybridisation precisely because its
+// common case needs no indirection: a hardware transaction reads and writes
+// the object data in place, paying only the instrumentation of checking the
+// Owner field for conflicts with software transactions.
+//
+// Per the paper's policy (§4.3), a hardware attempt that aborts due to a
+// transactional (coherence) conflict is retried in hardware a number of
+// times proportional to the number of running threads; any other abort
+// reason (capacity, environmental event, or an explicit abort after finding
+// an active software transaction or an inflated object) falls back to
+// software immediately.
+//
+// Hardware transactions execute only on the simulated machine, as in the
+// paper (whose best-effort HTM existed in the ATMTP simulator and on
+// never-shipped Rock silicon). Under any other environment the hybrid
+// transparently degrades to pure NZSTM — which is exactly the HyTM
+// portability story: the same program runs without HTM support.
+package hybrid
+
+import (
+	"nztm/internal/core"
+	"nztm/internal/htm"
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+// Config parameterises an NZTM instance.
+type Config struct {
+	Threads int
+
+	// Software is the NZSTM fallback configuration. Hook and stats fields
+	// are overwritten by the hybrid.
+	Software core.Config
+
+	// Hardware is the best-effort HTM model configuration.
+	Hardware htm.Config
+
+	// RetriesPerThread scales hardware retries: a transaction aborted by a
+	// coherence conflict is retried in hardware RetriesPerThread × Threads
+	// times before falling back to software (§4.3).
+	RetriesPerThread int
+}
+
+// DefaultConfig returns paper-flavoured settings.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Threads:          threads,
+		Software:         core.DefaultConfig(core.NZ, threads),
+		Hardware:         htm.DefaultConfig(threads),
+		RetriesPerThread: 2,
+	}
+}
+
+// System is an NZTM hybrid TM.
+type System struct {
+	cfg   Config
+	sw    *core.System
+	eng   *htm.Engine
+	stats tm.Stats
+}
+
+// New creates an NZTM system.
+func New(world tm.World, cfg Config) *System {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.RetriesPerThread <= 0 {
+		cfg.RetriesPerThread = 2
+	}
+	s := &System{cfg: cfg}
+	swCfg := cfg.Software
+	swCfg.Threads = cfg.Threads
+	swCfg.Stats = &s.stats
+	swCfg.OnOwnerChange = func(o *core.Object) {
+		if l, ok := o.Ext.(*htm.Line); ok {
+			l.DoomAll(nil, tm.AbortConflict)
+		}
+	}
+	swCfg.OnReadRegistered = func(o *core.Object) {
+		if l, ok := o.Ext.(*htm.Line); ok {
+			l.DoomWriters(nil)
+		}
+	}
+	s.sw = core.New(world, swCfg)
+	hwCfg := cfg.Hardware
+	hwCfg.Threads = cfg.Threads
+	s.eng = htm.New(hwCfg, &s.stats)
+	return s
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "NZTM" }
+
+// Stats implements tm.System (shared by the hardware and software paths).
+func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// Software exposes the NZSTM fallback (tests and the harness use it).
+func (s *System) Software() *core.System { return s.sw }
+
+// NewObject implements tm.System: an NZObject with a hardware
+// conflict-tracking line attached.
+func (s *System) NewObject(initial tm.Data) tm.Object {
+	o := s.sw.NewObject(initial).(*core.Object)
+	o.Ext = s.eng.NewLine(o.Base(), o.Words())
+	return o
+}
+
+// Atomic implements tm.System: hardware first, software on failure.
+func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	if _, simulated := th.Env.(*machine.Proc); simulated {
+		retries := s.cfg.RetriesPerThread * s.cfg.Threads
+		for i := 0; i <= retries; i++ {
+			err, reason, committed := s.tryHardware(th, fn)
+			if committed {
+				return err
+			}
+			s.stats.CountAbort(reason)
+			if reason != tm.AbortConflict {
+				break // capacity/event/explicit: software will succeed
+			}
+			// Short randomized backoff between hardware retries.
+			n := th.Env.Rand() % 16
+			for j := uint64(0); j < n; j++ {
+				th.Env.Spin()
+			}
+		}
+		s.stats.SWFallbacks.Add(1)
+	}
+	return s.sw.Atomic(th, fn)
+}
+
+// tryHardware runs one hardware attempt. committed=true means the attempt
+// finished (either committing, or carrying a user error whose effects were
+// discarded); otherwise reason says why the hardware gave up.
+func (s *System) tryHardware(th *tm.Thread, fn func(tm.Tx) error) (error, tm.AbortReason, bool) {
+	t := s.eng.Begin(th)
+	hw := &hwTx{sys: s, t: t, th: th}
+	err, reason, ok := tm.RunAttempt(func() error {
+		if e := fn(hw); e != nil {
+			return e
+		}
+		t.Commit(hw.publish)
+		return nil
+	})
+	if !ok {
+		return nil, reason, false
+	}
+	if err != nil {
+		hw.discard()
+		return err, tm.AbortNone, true
+	}
+	return nil, tm.AbortNone, true
+}
+
+// hwAccess records one object touched by the hardware transaction.
+type hwAccess struct {
+	obj  *core.Object
+	view core.HWView
+	buf  tm.Data // speculative copy; non-nil once written or cleanup-read
+	pub  bool    // publish at commit (write or metadata repair)
+}
+
+// hwTx is the hardware transaction's tm.Tx implementation.
+type hwTx struct {
+	sys   *System
+	t     *htm.Txn
+	th    *tm.Thread
+	accs  []*hwAccess
+	index map[*core.Object]*hwAccess
+}
+
+func (hw *hwTx) discard() {
+	hw.t.Discard()
+}
+
+// open registers the object with the hardware engine and inspects its
+// software state. Registration happens first: a software acquisition
+// between the two steps is then guaranteed to doom us.
+func (hw *hwTx) open(obj tm.Object, write bool) *hwAccess {
+	o := obj.(*core.Object)
+	if a, ok := hw.index[o]; ok {
+		if write && !a.pub {
+			// Read-to-write upgrade: the same flag-flag protocol as a
+			// fresh write open — announce the write in the hardware line
+			// first, then verify no active software reader is registered
+			// (it could not doom us earlier, when we were only a reader).
+			hw.t.Write(o.Ext.(*htm.Line), nil)
+			if o.HWActiveReaders(hw.th.Env) {
+				hw.t.Abort(tm.AbortExplicit)
+			}
+			a.pub = true
+		}
+		if write && a.buf == nil {
+			a.buf = hw.cloneLogical(o, a.view)
+		}
+		return a
+	}
+	l := o.Ext.(*htm.Line)
+	if write {
+		hw.t.Write(l, nil)
+	} else {
+		hw.t.Read(l)
+	}
+	view := o.HWInspect(hw.th.Env)
+	if !view.OK {
+		hw.t.Abort(tm.AbortExplicit) // active software owner or inflated
+	}
+	if write && o.HWActiveReaders(hw.th.Env) {
+		hw.t.Abort(tm.AbortExplicit) // cannot wait for software readers
+	}
+	a := &hwAccess{obj: o, view: view}
+	if write || view.NeedsCleanup {
+		if !write && view.NeedsCleanup {
+			// Read-side repair also consumes store-buffer space.
+			hw.t.Write(l, nil)
+		}
+		a.buf = hw.cloneLogical(o, view)
+		a.pub = true
+	}
+	if hw.index == nil {
+		hw.index = make(map[*core.Object]*hwAccess)
+	}
+	hw.index[o] = a
+	hw.accs = append(hw.accs, a)
+	return a
+}
+
+func (hw *hwTx) cloneLogical(o *core.Object, view core.HWView) tm.Data {
+	env := hw.th.Env
+	env.Access(view.LogicalAddr, o.Words(), false)
+	env.Copy(o.Words())
+	return view.Logical.Clone()
+}
+
+// ensureHealthy re-checks the doom flag after an open's final scheduling
+// point: another transaction's store-buffer drain may have published into
+// data we are about to hand to user code. After this check no scheduling
+// point remains before the caller's code runs, so the view it gets is
+// consistent with its earlier reads.
+func (hw *hwTx) ensureHealthy() {
+	if r, bad := hw.t.Doomed(); bad {
+		hw.t.Abort(r)
+	}
+}
+
+// Read implements tm.Tx.
+func (hw *hwTx) Read(obj tm.Object) tm.Data {
+	a := hw.open(obj, false)
+	env := hw.th.Env
+	if a.buf != nil {
+		hw.ensureHealthy()
+		return a.buf
+	}
+	env.Access(a.obj.DataAddr(), a.obj.Words(), false)
+	hw.ensureHealthy()
+	return a.view.Logical
+}
+
+// Update implements tm.Tx: mutations go to the speculative buffer, which
+// Commit publishes in place.
+func (hw *hwTx) Update(obj tm.Object, fn func(tm.Data)) {
+	a := hw.open(obj, true)
+	hw.th.Env.Access(a.obj.DataAddr(), a.obj.Words(), true)
+	hw.ensureHealthy()
+	fn(a.buf)
+}
+
+// publish runs inside the hardware commit: apply every buffered write and
+// metadata repair. No Env calls are allowed here.
+func (hw *hwTx) publish() {
+	for _, a := range hw.accs {
+		if a.pub {
+			a.obj.HWPublish(a.view, a.buf)
+		}
+	}
+}
+
+var _ tm.System = (*System)(nil)
+var _ tm.Tx = (*hwTx)(nil)

@@ -1,0 +1,284 @@
+package hybrid_test
+
+import (
+	"testing"
+
+	"nztm/internal/hybrid"
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+	"nztm/internal/tmtest"
+)
+
+func factory(world tm.World, threads int) tm.System {
+	return hybrid.New(world, hybrid.DefaultConfig(threads))
+}
+
+// In a real (non-simulated) environment the hybrid degrades to pure NZSTM —
+// the HyTM portability story — and must pass the full suite.
+func TestConformanceReal(t *testing.T) {
+	tmtest.Run(t, factory)
+}
+
+// On the simulated machine the hardware path engages.
+func TestConformanceSim(t *testing.T) {
+	tmtest.RunSim(t, factory, 0)
+}
+
+func TestConformanceSimWithStalls(t *testing.T) {
+	tmtest.RunSim(t, factory, 0.001)
+}
+
+func simSystem(threads int) (*hybrid.System, *machine.Machine) {
+	cfg := machine.DefaultConfig(threads)
+	cfg.MaxCycles = 50_000_000_000
+	m := machine.New(cfg)
+	return hybrid.New(m, hybrid.DefaultConfig(threads)), m
+}
+
+func TestHardwareCommitsDominateUncontended(t *testing.T) {
+	s, m := simSystem(2)
+	o := s.NewObject(tm.NewInts(1))
+	m.Run(1, func(p *machine.Proc) {
+		th := tm.NewThread(0, p)
+		for i := 0; i < 200; i++ {
+			if err := s.Atomic(th, func(tx tm.Tx) error {
+				tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		var v int64
+		_ = s.Atomic(th, func(tx tm.Tx) error {
+			v = tx.Read(o).(*tm.Ints).V[0]
+			return nil
+		})
+		if v != 200 {
+			t.Errorf("counter = %d, want 200", v)
+		}
+	})
+	st := s.Stats().View()
+	if st.HWShare() < 0.95 {
+		t.Errorf("hardware share = %.2f, want ≈1 when uncontended (hw=%d commits=%d)",
+			st.HWShare(), st.HWCommits, st.Commits)
+	}
+}
+
+func TestFallbackOnCapacity(t *testing.T) {
+	s, m := simSystem(1)
+	// One object larger than the store buffer forces every hardware attempt
+	// into a capacity abort; the software path must carry the transaction.
+	big := s.NewObject(tm.NewInts(512))
+	m.Run(1, func(p *machine.Proc) {
+		th := tm.NewThread(0, p)
+		if err := s.Atomic(th, func(tx tm.Tx) error {
+			tx.Update(big, func(d tm.Data) { d.(*tm.Ints).V[0] = 7 })
+			return nil
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	st := s.Stats().View()
+	if st.HWCapacity == 0 {
+		t.Error("expected a hardware capacity abort")
+	}
+	if st.SWFallbacks == 0 {
+		t.Error("expected a software fallback")
+	}
+	if st.HWCommits != 0 {
+		t.Error("oversized transaction cannot commit in hardware")
+	}
+}
+
+func TestHardwareCleansUpAbortedSoftwareOwner(t *testing.T) {
+	s, m := simSystem(2)
+	o := s.NewObject(tm.NewInts(1))
+	m.Run(2, func(p *machine.Proc) {
+		th := tm.NewThread(p.ID(), p)
+		if p.ID() == 0 {
+			// Software transaction mutates and then "fails" (user error),
+			// leaving an aborted owner with a pending backup.
+			sw := s.Software()
+			_ = sw.Atomic(th, func(tx tm.Tx) error {
+				tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0] = 42 })
+				return errTest{}
+			})
+		}
+	})
+	// A fresh hardware transaction must restore the backup (logical 0) and
+	// clear the owner.
+	m.Run(1, func(p *machine.Proc) {
+		th := tm.NewThread(0, p)
+		var v int64
+		if err := s.Atomic(th, func(tx tm.Tx) error {
+			v = tx.Read(o).(*tm.Ints).V[0]
+			return nil
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		if v != 0 {
+			t.Errorf("hardware read %d, want restored 0", v)
+		}
+	})
+	if s.Stats().View().HWCommits == 0 {
+		t.Error("cleanup read should have committed in hardware")
+	}
+}
+
+func TestMixedHardwareSoftwareInvariant(t *testing.T) {
+	// Heavy contention on few objects: some attempts commit in hardware,
+	// conflicts push others to software; the sum must be conserved.
+	const workers, each, accounts = 6, 60, 4
+	s, m := simSystem(workers)
+	objs := make([]tm.Object, accounts)
+	for i := range objs {
+		d := tm.NewInts(1)
+		d.V[0] = 100
+		objs[i] = s.NewObject(d)
+	}
+	m.Run(workers, func(p *machine.Proc) {
+		th := tm.NewThread(p.ID(), p)
+		for i := 0; i < each; i++ {
+			from := (p.ID() + i) % accounts
+			to := (p.ID()*2 + i + 1) % accounts
+			if from == to {
+				continue
+			}
+			if err := s.Atomic(th, func(tx tm.Tx) error {
+				tx.Update(objs[from], func(d tm.Data) { d.(*tm.Ints).V[0]-- })
+				tx.Update(objs[to], func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	m.Run(1, func(p *machine.Proc) {
+		th := tm.NewThread(0, p)
+		var total int64
+		if err := s.Atomic(th, func(tx tm.Tx) error {
+			total = 0
+			for _, o := range objs {
+				total += tx.Read(o).(*tm.Ints).V[0]
+			}
+			return nil
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		if total != accounts*100 {
+			t.Errorf("total = %d, want %d (hw=%d sw-fallbacks=%d)",
+				total, accounts*100,
+				s.Stats().HWCommits.Load(), s.Stats().SWFallbacks.Load())
+		}
+	})
+	if s.Stats().HWCommits.Load() == 0 {
+		t.Error("no hardware commits at all under the hybrid")
+	}
+}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "test error" }
+
+// Regression test: a hardware transaction that upgrades a read to a write
+// must honour active software readers, exactly like a fresh write open.
+// Before the fix, the upgrade skipped the reader check, so a hardware
+// publish could mutate data between a software transaction's check and its
+// act; with a capped counter that manifests as the cap being overshot.
+func TestUpgradeRespectsSoftwareReaders(t *testing.T) {
+	const workers, each, limit = 8, 300, 100
+	s, m := simSystem(workers)
+	o := s.NewObject(tm.NewInts(1))
+	m.Run(workers, func(p *machine.Proc) {
+		th := tm.NewThread(p.ID(), p)
+		// Half the threads run pure software transactions (visible
+		// readers), half run hybrid (hardware read-then-upgrade).
+		sys := tm.System(s)
+		if p.ID()%2 == 0 {
+			sys = s.Software()
+		}
+		for i := 0; i < each; i++ {
+			if err := sys.Atomic(th, func(tx tm.Tx) error {
+				v := tx.Read(o).(*tm.Ints).V[0] // check ...
+				if v >= limit {
+					return nil
+				}
+				tx.Update(o, func(d tm.Data) { // ... then act (upgrade)
+					d.(*tm.Ints).V[0]++
+				})
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	m.Run(1, func(p *machine.Proc) {
+		th := tm.NewThread(0, p)
+		var v int64
+		if err := s.Atomic(th, func(tx tm.Tx) error {
+			v = tx.Read(o).(*tm.Ints).V[0]
+			return nil
+		}); err != nil {
+			t.Error(err)
+			return
+		}
+		if v != limit {
+			t.Errorf("capped counter reached %d, want exactly %d", v, limit)
+		}
+	})
+}
+
+// Outside the simulator the hybrid must never attempt hardware: the HyTM
+// degradation path.
+func TestRealModeDegradesToSoftware(t *testing.T) {
+	s := hybrid.New(tm.NewRealWorld(), hybrid.DefaultConfig(2))
+	th := tm.NewThread(0, tm.NewRealEnv(0, tm.NewRealWorld()))
+	o := s.NewObject(tm.NewInts(1))
+	for i := 0; i < 20; i++ {
+		if err := s.Atomic(th, func(tx tm.Tx) error {
+			tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := s.Stats().View()
+	if v.HWCommits != 0 || v.SWFallbacks != 0 {
+		t.Fatalf("real mode touched the hardware path: %+v", v)
+	}
+	if v.Commits != 20 {
+		t.Fatalf("commits = %d", v.Commits)
+	}
+}
+
+// A user error inside a hardware attempt discards its effects without
+// falling back to software.
+func TestHardwareUserErrorDiscards(t *testing.T) {
+	s, m := simSystem(1)
+	o := s.NewObject(tm.NewInts(1))
+	m.Run(1, func(p *machine.Proc) {
+		th := tm.NewThread(0, p)
+		if err := s.Atomic(th, func(tx tm.Tx) error {
+			tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0] = 99 })
+			return errTest{}
+		}); err != (errTest{}) {
+			t.Errorf("err = %v", err)
+		}
+		var v int64
+		_ = s.Atomic(th, func(tx tm.Tx) error {
+			v = tx.Read(o).(*tm.Ints).V[0]
+			return nil
+		})
+		if v != 0 {
+			t.Errorf("discarded hardware write leaked: %d", v)
+		}
+	})
+	if s.Stats().SWFallbacks.Load() != 0 {
+		t.Error("user error should not trigger software fallback")
+	}
+}

@@ -1,0 +1,264 @@
+// Package logtm models LogTM-SE (Yen et al., HPCA 2007) with perfect
+// filters — the unbounded hardware transactional memory the paper compares
+// NZTM against in Figure 3 (§4.1, §4.3):
+//
+//   - Eager version management: stores go directly to memory; the old value
+//     is saved in a per-transaction undo log and rolled back on abort.
+//   - Eager conflict detection with stalling: a transaction that conflicts
+//     with a running one waits for it rather than aborting it.
+//   - Deadlock avoidance: a waiter raises a flag; when two transactions
+//     wait on each other (a potential cycle), the younger one aborts
+//     itself — "LogTM-SE uses built-in deadlock detection, and avoids
+//     aborts unless potential deadlock is detected".
+//   - Perfect filters: read and write sets are exact, with no false
+//     positives (the paper notes such filters are not implementable in real
+//     hardware — they are an upper bound, and so is this model).
+//   - No capacity or event aborts, and no per-access software
+//     instrumentation overhead.
+package logtm
+
+import (
+	"sync/atomic"
+
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+// Object is a transactional object under LogTM-SE: in-place data plus the
+// exact reader/writer tracking the "perfect filters" provide.
+type Object struct {
+	data    tm.Data
+	writer  atomic.Pointer[Txn]
+	readers []atomic.Pointer[Txn]
+
+	base     machine.Addr
+	dataAddr machine.Addr
+	words    int
+}
+
+// Config parameterises the model.
+type Config struct {
+	Threads int
+	// AbortCost models the trap into the software abort handler ("LogTM-SE
+	// transactions do not impose software overheads unless they abort, in
+	// which case a software abort handler is invoked").
+	AbortCost uint64
+	// BeginCost and CommitCost model the register checkpoint and the
+	// signature flash-clear — small, as on real LogTM hardware.
+	BeginCost  uint64
+	CommitCost uint64
+}
+
+// System is a LogTM-SE instance.
+type System struct {
+	cfg   Config
+	world tm.World
+	stats tm.Stats
+}
+
+// New creates a LogTM-SE system.
+func New(world tm.World, cfg Config) *System {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.AbortCost == 0 {
+		cfg.AbortCost = 400
+	}
+	if cfg.BeginCost == 0 {
+		cfg.BeginCost = 4
+	}
+	if cfg.CommitCost == 0 {
+		cfg.CommitCost = 6
+	}
+	return &System{cfg: cfg, world: world}
+}
+
+// Name implements tm.System.
+func (s *System) Name() string { return "LogTM-SE" }
+
+// Stats implements tm.System.
+func (s *System) Stats() *tm.Stats { return &s.stats }
+
+// NewObject implements tm.System. Objects carry no software-visible
+// metadata header: conflict tracking is in the (perfect) hardware filters,
+// so only the data itself is laid out.
+func (s *System) NewObject(initial tm.Data) tm.Object {
+	w := initial.Words()
+	base := s.world.Alloc(w, true)
+	return &Object{
+		data:     initial,
+		readers:  make([]atomic.Pointer[Txn], s.cfg.Threads),
+		base:     base,
+		dataAddr: base,
+		words:    w,
+	}
+}
+
+type undoRec struct {
+	obj  *Object
+	save tm.Data
+}
+
+// Txn is a LogTM-SE transaction.
+type Txn struct {
+	sys     *System
+	th      *tm.Thread
+	birth   uint64
+	waiting atomic.Bool
+	reads   []*Object
+	wrote   []*Object
+	undo    []undoRec
+}
+
+// Atomic implements tm.System.
+func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	if th.ID < 0 || th.ID >= s.cfg.Threads {
+		panic("logtm: thread ID out of range for this System")
+	}
+	for attempt := 0; ; attempt++ {
+		th.Env.Work(s.cfg.BeginCost)
+		tx := &Txn{sys: s, th: th, birth: th.NextBirth()}
+		err, reason, ok := tm.RunAttempt(func() error { return fn(tx) })
+		if ok {
+			if err != nil {
+				tx.rollback()
+				tx.release()
+				return err
+			}
+			// Commit clears the filters and drops the log.
+			th.Env.Work(s.cfg.CommitCost)
+			tx.release()
+			s.stats.Commits.Add(1)
+			return nil
+		}
+		tx.rollback()
+		tx.release()
+		s.stats.CountAbort(reason)
+		// Brief randomized backoff before re-executing.
+		n := th.Env.Rand() % uint64(8<<min(attempt, 6))
+		for i := uint64(0); i < n; i++ {
+			th.Env.Spin()
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// rollback applies the undo log in reverse — the software abort handler.
+func (tx *Txn) rollback() {
+	env := tx.th.Env
+	env.Work(tx.sys.cfg.AbortCost)
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		r := tx.undo[i]
+		env.Access(r.obj.dataAddr, r.obj.words, true)
+		env.Copy(r.obj.words)
+		r.obj.data.CopyFrom(r.save)
+	}
+}
+
+// release clears the transaction's filters (registrations). It must run
+// after rollback: waiters proceed as soon as the registration disappears.
+func (tx *Txn) release() {
+	for _, o := range tx.wrote {
+		if o.writer.Load() == tx {
+			o.writer.Store(nil)
+		}
+	}
+	for _, o := range tx.reads {
+		if o.readers[tx.th.ID].Load() == tx {
+			o.readers[tx.th.ID].Store(nil)
+		}
+	}
+	tx.undo, tx.reads, tx.wrote = nil, nil, nil
+}
+
+// stall waits for enemy to finish, aborting ourselves if a potential
+// deadlock cycle is detected (mutual waiting, we are younger).
+func (tx *Txn) stall(enemy *Txn, stillEnemy func() bool) {
+	env := tx.th.Env
+	tx.sys.stats.Waits.Add(1)
+	tx.waiting.Store(true)
+	defer tx.waiting.Store(false)
+	for stillEnemy() {
+		if enemy.waiting.Load() && enemy.birth < tx.birth {
+			// The enemy is itself stalled and older: potential cycle —
+			// the younger transaction (us) aborts.
+			tm.Retry(tm.AbortSelf)
+		}
+		env.Spin()
+	}
+}
+
+// Read implements tm.Tx.
+func (tx *Txn) Read(obj tm.Object) tm.Data {
+	o := obj.(*Object)
+	env := tx.th.Env
+	for {
+		w := o.writer.Load()
+		if w != nil && w != tx {
+			tx.stall(w, func() bool { return o.writer.Load() == w })
+			continue
+		}
+		o.readers[tx.th.ID].Store(tx)
+		tx.reads = append(tx.reads, o)
+		if cw := o.writer.Load(); cw != nil && cw != tx {
+			// A writer slipped in between our check and registration.
+			o.readers[tx.th.ID].Store(nil)
+			continue
+		}
+		env.Access(o.dataAddr, o.words, false)
+		return o.data
+	}
+}
+
+// Update implements tm.Tx: log the old value, then write in place.
+func (tx *Txn) Update(obj tm.Object, fn func(tm.Data)) {
+	o := obj.(*Object)
+	env := tx.th.Env
+	if o.writer.Load() != tx {
+		tx.acquire(o)
+	}
+	env.Access(o.dataAddr, o.words, true)
+	fn(o.data)
+}
+
+func (tx *Txn) acquire(o *Object) {
+	env := tx.th.Env
+	for {
+		w := o.writer.Load()
+		if w != nil && w != tx {
+			tx.stall(w, func() bool { return o.writer.Load() == w })
+			continue
+		}
+		env.CAS(o.base)
+		if !o.writer.CompareAndSwap(w, tx) {
+			continue
+		}
+		tx.wrote = append(tx.wrote, o)
+		// Stall until concurrent readers drain (eager read-write conflict
+		// detection; the requester — us — waits).
+		for i := range o.readers {
+			for {
+				r := o.readers[i].Load()
+				if r == nil || r == tx {
+					break
+				}
+				tx.stall(r, func() bool { return o.readers[i].Load() == r })
+			}
+		}
+		// Log the pre-image (the per-thread log write is charged; the log
+		// area itself stays hot in the writing core's cache).
+		env.Access(o.dataAddr, o.words, false)
+		env.Copy(o.words)
+		tx.undo = append(tx.undo, undoRec{obj: o, save: o.data.Clone()})
+		return
+	}
+}
+
+var _ tm.System = (*System)(nil)
+var _ tm.Tx = (*Txn)(nil)

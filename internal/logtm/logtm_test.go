@@ -1,0 +1,96 @@
+package logtm_test
+
+import (
+	"testing"
+
+	"nztm/internal/logtm"
+	"nztm/internal/tm"
+	"nztm/internal/tmtest"
+)
+
+func factory(world tm.World, threads int) tm.System {
+	return logtm.New(world, logtm.Config{Threads: threads})
+}
+
+func TestConformance(t *testing.T) {
+	tmtest.Run(t, factory)
+}
+
+func TestConformanceSim(t *testing.T) {
+	tmtest.RunSim(t, factory, 0)
+}
+
+func TestConformanceSimWithStalls(t *testing.T) {
+	tmtest.RunSim(t, factory, 0.001)
+}
+
+func TestAbortsOnlyOnDeadlock(t *testing.T) {
+	// Disjoint transactions never conflict; LogTM-SE must commit all of
+	// them with zero aborts — "avoids aborts unless potential deadlock is
+	// detected".
+	s := factory(tm.NewRealWorld(), 4)
+	objs := make([]tm.Object, 4)
+	for i := range objs {
+		objs[i] = s.NewObject(tm.NewInts(1))
+	}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(id int) {
+			th := tm.NewThread(id, tm.NewRealEnv(id, tm.NewRealWorld()))
+			for i := 0; i < 200; i++ {
+				_ = s.Atomic(th, func(tx tm.Tx) error {
+					tx.Update(objs[id], func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+					return nil
+				})
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if a := s.Stats().Aborts.Load(); a != 0 {
+		t.Fatalf("disjoint workload aborted %d times", a)
+	}
+	if c := s.Stats().Commits.Load(); c != 800 {
+		t.Fatalf("commits = %d, want 800", c)
+	}
+}
+
+func TestDeadlockCycleBroken(t *testing.T) {
+	// Two transactions acquiring {a,b} in opposite orders deadlock without
+	// cycle detection; the younger must abort itself and both finish.
+	s := factory(tm.NewRealWorld(), 2)
+	a := s.NewObject(tm.NewInts(1))
+	b := s.NewObject(tm.NewInts(1))
+	done := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		go func(id int) {
+			th := tm.NewThread(id, tm.NewRealEnv(id, tm.NewRealWorld()))
+			first, second := a, b
+			if id == 1 {
+				first, second = b, a
+			}
+			for i := 0; i < 100; i++ {
+				_ = s.Atomic(th, func(tx tm.Tx) error {
+					tx.Update(first, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+					tx.Update(second, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+					return nil
+				})
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	<-done
+	<-done
+	th := tm.NewThread(0, tm.NewRealEnv(0, tm.NewRealWorld()))
+	var va, vb int64
+	_ = s.Atomic(th, func(tx tm.Tx) error {
+		va = tx.Read(a).(*tm.Ints).V[0]
+		vb = tx.Read(b).(*tm.Ints).V[0]
+		return nil
+	})
+	if va != 200 || vb != 200 {
+		t.Fatalf("counters (%d,%d), want (200,200)", va, vb)
+	}
+}

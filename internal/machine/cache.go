@@ -1,0 +1,163 @@
+package machine
+
+// lineID identifies one cache line of simulated memory.
+type lineID uint64
+
+// directory is a simple invalidation-based coherence directory shared by all
+// cores. It tracks, per line, which cores hold a copy and whether the line
+// has ever been touched (first touch costs memory latency, later misses hit
+// the shared L2 — an infinite-L2 approximation, which matches the paper's
+// working sets comfortably fitting in the shared L2).
+//
+// The directory is only mutated by the currently scheduled virtual thread,
+// so it needs no locking of its own.
+type directory struct {
+	holders map[lineID]uint64 // bitmask of cores with a valid copy
+	touched map[lineID]struct{}
+	cores   int
+}
+
+func newDirectory(cores int) *directory {
+	if cores > 64 {
+		panic("machine: at most 64 cores (holder bitmask)")
+	}
+	return &directory{
+		holders: make(map[lineID]uint64),
+		touched: make(map[lineID]struct{}),
+		cores:   cores,
+	}
+}
+
+// l1cache is one core's private set-associative cache with LRU replacement.
+type l1cache struct {
+	sets  [][]lineID // each set is LRU-ordered, most recent last
+	assoc int
+	nsets uint64
+	lw    Addr // words per line
+}
+
+func newL1(cfg Config) *l1cache {
+	nsets := cfg.L1Bytes / cfg.LineBytes / cfg.L1Assoc
+	if nsets < 1 {
+		nsets = 1
+	}
+	c := &l1cache{
+		sets:  make([][]lineID, nsets),
+		assoc: cfg.L1Assoc,
+		nsets: uint64(nsets),
+		lw:    Addr(cfg.LineBytes / WordBytes),
+	}
+	return c
+}
+
+func (c *l1cache) line(a Addr) lineID { return lineID(a / c.lw) }
+
+func (c *l1cache) setIndex(l lineID) uint64 {
+	// Simple modulo indexing, as in GEMS' default cache model.
+	return uint64(l) % c.nsets
+}
+
+// lookup reports whether line l is present, updating LRU order on a hit.
+func (c *l1cache) lookup(l lineID) bool {
+	s := c.sets[c.setIndex(l)]
+	for i, e := range s {
+		if e == l {
+			copy(s[i:], s[i+1:])
+			s[len(s)-1] = l
+			return true
+		}
+	}
+	return false
+}
+
+// insert adds line l, evicting the LRU entry if the set is full. It returns
+// the evicted line and whether an eviction happened. Inserting a line that is
+// already present just refreshes its LRU position.
+func (c *l1cache) insert(l lineID) (lineID, bool) {
+	if c.lookup(l) {
+		return 0, false
+	}
+	idx := c.setIndex(l)
+	s := c.sets[idx]
+	var evicted lineID
+	var did bool
+	if len(s) >= c.assoc {
+		evicted, did = s[0], true
+		copy(s, s[1:])
+		s = s[:len(s)-1]
+	}
+	c.sets[idx] = append(s, l)
+	return evicted, did
+}
+
+// invalidate removes line l if present.
+func (c *l1cache) invalidate(l lineID) {
+	idx := c.setIndex(l)
+	s := c.sets[idx]
+	for i, e := range s {
+		if e == l {
+			c.sets[idx] = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+}
+
+// access simulates core p touching one line and returns its cycle cost.
+// write=true additionally invalidates all other holders.
+func (m *Machine) access(p *Proc, l lineID, write bool) uint64 {
+	cfg := &m.cfg
+	dir := m.dir
+	var cost uint64
+
+	if p.l1.lookup(l) {
+		cost = cfg.L1Hit
+		p.Stats.L1Hits++
+	} else {
+		if _, ok := dir.touched[l]; ok {
+			cost = cfg.L2Hit
+			p.Stats.L2Hits++
+		} else {
+			cost = cfg.MemLatency
+			dir.touched[l] = struct{}{}
+			p.Stats.MemMisses++
+		}
+		if ev, ok := p.l1.insert(l); ok {
+			dir.holders[ev] &^= 1 << uint(p.id)
+			if dir.holders[ev] == 0 {
+				delete(dir.holders, ev)
+			}
+		}
+		dir.holders[l] |= 1 << uint(p.id)
+	}
+
+	if write {
+		others := dir.holders[l] &^ (1 << uint(p.id))
+		if others != 0 {
+			for i := 0; i < dir.cores; i++ {
+				if others&(1<<uint(i)) != 0 {
+					m.procs[i].l1.invalidate(l)
+					cost += cfg.InvalExtra
+					p.Stats.Invalidations++
+				}
+			}
+			dir.holders[l] = 1 << uint(p.id)
+		}
+	}
+	return cost
+}
+
+// touchRange charges core p for accessing [base, base+words) and returns the
+// total cost; each distinct line is charged once per call.
+func (m *Machine) touchRange(p *Proc, base Addr, words int, write bool) uint64 {
+	if words <= 0 {
+		words = 1
+	}
+	lw := p.l1.lw
+	first := base / lw
+	last := (base + Addr(words) - 1) / lw
+	var cost uint64
+	for l := first; l <= last; l++ {
+		cost += m.access(p, lineID(l), write)
+	}
+	return cost
+}

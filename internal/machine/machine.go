@@ -1,0 +1,269 @@
+// Package machine implements a discrete-event simulated chip multiprocessor
+// (CMP) used as the evaluation substrate for the NZTM reproduction.
+//
+// The paper evaluated its algorithms on a Simics/GEMS full-system simulator
+// (Figure 3) and on a 16-core Rock chip (Figure 4); neither is available, so
+// this package models the first-order machine behaviour their results depend
+// on: per-core private L1 caches, a shared L2, invalidation-based coherence,
+// per-core cycle clocks, and deterministic scheduling of virtual threads.
+//
+// Virtual threads run as goroutines, but only one executes at a time: the
+// scheduler always resumes the runnable thread with the smallest logical
+// clock, and threads yield back at every simulated memory access. Logical
+// time therefore interleaves threads at memory-access granularity even on a
+// single-CPU host, which is where transactional conflicts happen.
+//
+// The simulation is deterministic for a fixed Config.Seed.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Addr is a word address in the simulated memory. Simulated objects are laid
+// out explicitly at such addresses, so cache-line collocation and padding are
+// modelled precisely even though Go's garbage collector controls the real
+// addresses of the backing data.
+type Addr uint64
+
+// WordBytes is the size of a simulated machine word.
+const WordBytes = 8
+
+// Config describes the simulated machine. The defaults mirror the paper's
+// setup (§4.1): a traditional CMP with single-threaded cores, a 256 KB
+// private L1 per core, and a shared L2.
+type Config struct {
+	Cores int // number of single-threaded processors
+
+	L1Bytes   int // private L1 size (paper: 256 KB)
+	L1Assoc   int // L1 associativity
+	LineBytes int // cache line size
+
+	// Latencies in cycles.
+	L1Hit      uint64 // hit in the private L1
+	L2Hit      uint64 // miss in L1, hit in shared L2
+	MemLatency uint64 // miss everywhere (first touch)
+	CASExtra   uint64 // extra cost of an atomic RMW over a store
+	CopyWord   uint64 // per-word cost of a bulk copy (on top of traffic)
+	SpinCycles uint64 // cost of one spin-wait iteration
+	InvalExtra uint64 // extra cost per remote invalidation on a write
+
+	// Fault injection: with probability StallProb, a yielding thread is
+	// descheduled for StallCycles of logical time. This models the page
+	// faults and preemptions the paper cites as the source of unresponsive
+	// transactions (§1), and is what exercises NZSTM's inflation path.
+	StallProb   float64
+	StallCycles uint64
+
+	// MaxCycles aborts the run if any clock passes it (livelock backstop).
+	MaxCycles uint64
+
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-flavoured machine configuration.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:       cores,
+		L1Bytes:     256 << 10,
+		L1Assoc:     4,
+		LineBytes:   64,
+		L1Hit:       1,
+		L2Hit:       20,
+		MemLatency:  200,
+		CASExtra:    20,
+		CopyWord:    1,
+		SpinCycles:  8,
+		InvalExtra:  10,
+		StallProb:   0,
+		StallCycles: 0,
+		MaxCycles:   0,
+		Seed:        1,
+	}
+}
+
+// Machine is a simulated CMP. Create one with New, allocate simulated memory
+// with Alloc, and execute virtual threads with Run. A Machine may be reused
+// across multiple Run calls; clocks and caches persist until ResetClocks.
+type Machine struct {
+	cfg   Config
+	procs []*Proc
+
+	allocMu  sync.Mutex
+	nextAddr Addr
+
+	dir *directory // coherence directory + L2 presence, shared by all cores
+
+	runMu sync.Mutex // serialises Run calls
+}
+
+// New creates a machine with the given configuration.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		panic("machine: Cores must be positive")
+	}
+	if cfg.LineBytes <= 0 || cfg.L1Assoc <= 0 || cfg.L1Bytes <= 0 {
+		panic("machine: cache geometry must be positive")
+	}
+	m := &Machine{
+		cfg:      cfg,
+		nextAddr: Addr(cfg.LineBytes / WordBytes), // keep address 0 unused
+		dir:      newDirectory(cfg.Cores),
+	}
+	m.procs = make([]*Proc, cfg.Cores)
+	for i := range m.procs {
+		m.procs[i] = newProc(m, i)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cores returns the number of simulated processors.
+func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// Alloc reserves words of simulated memory and returns its base address.
+// If lineAlign is true the allocation starts on a cache-line boundary
+// (used to model the padding the paper applies to transactional objects).
+func (m *Machine) Alloc(words int, lineAlign bool) Addr {
+	if words <= 0 {
+		words = 1
+	}
+	m.allocMu.Lock()
+	defer m.allocMu.Unlock()
+	if lineAlign {
+		lw := Addr(m.cfg.LineBytes / WordBytes)
+		if r := m.nextAddr % lw; r != 0 {
+			m.nextAddr += lw - r
+		}
+	}
+	a := m.nextAddr
+	m.nextAddr += Addr(words)
+	return a
+}
+
+// ResetClocks zeroes every core's clock and statistics, keeping caches and
+// allocations intact. The harness calls it after the (unmeasured)
+// initialisation phase, mirroring the paper's "initialize, then begin taking
+// measurements" methodology.
+func (m *Machine) ResetClocks() {
+	for _, p := range m.procs {
+		p.clock = 0
+		p.Stats = ProcStats{}
+	}
+}
+
+// MaxClock returns the largest core clock, i.e. the elapsed simulated time.
+func (m *Machine) MaxClock() uint64 {
+	var mx uint64
+	for _, p := range m.procs {
+		if p.clock > mx {
+			mx = p.clock
+		}
+	}
+	return mx
+}
+
+// Proc returns core i's handle (valid only inside Run on that core's thread,
+// except for reading statistics afterwards).
+func (m *Machine) Proc(i int) *Proc { return m.procs[i] }
+
+// Run executes fn(i) as a virtual thread on each of the first n cores and
+// returns when all of them finish. Threads must perform all simulated-time
+// work through their *Proc. Run panics if a previous Run is still active or
+// if the MaxCycles budget is exceeded.
+func (m *Machine) Run(n int, fn func(p *Proc)) {
+	if n <= 0 || n > len(m.procs) {
+		panic(fmt.Sprintf("machine: Run with n=%d on %d cores", n, len(m.procs)))
+	}
+	m.runMu.Lock()
+	defer m.runMu.Unlock()
+
+	active := m.procs[:n]
+	for _, p := range active {
+		p.done = false
+		p.resume = make(chan struct{})
+		p.yielded = make(chan struct{})
+	}
+	for _, p := range active {
+		go func(p *Proc) {
+			<-p.resume // wait for first schedule
+			defer func() {
+				p.done = true
+				p.yielded <- struct{}{}
+			}()
+			fn(p)
+		}(p)
+	}
+	m.schedule(active)
+}
+
+// schedule is the discrete-event loop: repeatedly resume the runnable thread
+// with the smallest clock until all threads are done.
+func (m *Machine) schedule(active []*Proc) {
+	remaining := len(active)
+	for remaining > 0 {
+		// Pick the min-clock unfinished proc. Linear scan: core counts are
+		// small (≤ 64) and this keeps the loop allocation-free.
+		var next *Proc
+		for _, p := range active {
+			if p.done {
+				continue
+			}
+			if next == nil || p.clock < next.clock ||
+				(p.clock == next.clock && p.id < next.id) {
+				next = p
+			}
+		}
+		if m.cfg.MaxCycles > 0 && next.clock > m.cfg.MaxCycles {
+			panic(fmt.Sprintf("machine: cycle budget exceeded (%d > %d); livelock?",
+				next.clock, m.cfg.MaxCycles))
+		}
+		next.resume <- struct{}{}
+		<-next.yielded
+		if next.done {
+			remaining--
+		}
+	}
+}
+
+// Snapshot aggregates per-core statistics; useful in tests and reports.
+func (m *Machine) Snapshot() ProcStats {
+	var s ProcStats
+	for _, p := range m.procs {
+		s.Accesses += p.Stats.Accesses
+		s.L1Hits += p.Stats.L1Hits
+		s.L2Hits += p.Stats.L2Hits
+		s.MemMisses += p.Stats.MemMisses
+		s.Invalidations += p.Stats.Invalidations
+		s.CASOps += p.Stats.CASOps
+		s.Spins += p.Stats.Spins
+		s.Stalls += p.Stats.Stalls
+	}
+	return s
+}
+
+// Lines returns how many cache lines the given word range spans; exported so
+// TM systems can report simulated object footprints.
+func (m *Machine) Lines(base Addr, words int) int {
+	lw := Addr(m.cfg.LineBytes / WordBytes)
+	if words <= 0 {
+		return 0
+	}
+	first := base / lw
+	last := (base + Addr(words) - 1) / lw
+	return int(last-first) + 1
+}
+
+// SortedClocks returns each active core's clock in ascending order (testing).
+func (m *Machine) SortedClocks() []uint64 {
+	cs := make([]uint64, len(m.procs))
+	for i, p := range m.procs {
+		cs[i] = p.clock
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}

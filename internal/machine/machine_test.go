@@ -1,0 +1,341 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testConfig(cores int) Config {
+	cfg := DefaultConfig(cores)
+	cfg.MaxCycles = 100_000_000
+	return cfg
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(testConfig(1))
+	lw := Addr(m.cfg.LineBytes / WordBytes)
+	a := m.Alloc(3, true)
+	if a%lw != 0 {
+		t.Fatalf("aligned alloc at %d, not line-aligned (line words %d)", a, lw)
+	}
+	b := m.Alloc(1, false)
+	if b != a+3 {
+		t.Fatalf("unaligned alloc at %d, want %d", b, a+3)
+	}
+	c := m.Alloc(1, true)
+	if c%lw != 0 || c <= b {
+		t.Fatalf("aligned alloc at %d after %d", c, b)
+	}
+}
+
+func TestAllocDistinct(t *testing.T) {
+	m := New(testConfig(1))
+	seen := map[Addr]bool{}
+	end := Addr(0)
+	for i := 0; i < 1000; i++ {
+		a := m.Alloc(i%7+1, i%3 == 0)
+		if seen[a] {
+			t.Fatalf("address %d allocated twice", a)
+		}
+		if a < end {
+			t.Fatalf("allocation %d overlaps previous end %d", a, end)
+		}
+		seen[a] = true
+		end = a + Addr(i%7+1)
+	}
+}
+
+func TestLines(t *testing.T) {
+	m := New(testConfig(1))
+	lw := m.cfg.LineBytes / WordBytes
+	if got := m.Lines(0, lw); got != 1 {
+		t.Errorf("Lines(0,%d)=%d want 1", lw, got)
+	}
+	if got := m.Lines(0, lw+1); got != 2 {
+		t.Errorf("Lines(0,%d)=%d want 2", lw+1, got)
+	}
+	if got := m.Lines(Addr(lw-1), 2); got != 2 {
+		t.Errorf("straddling access should span 2 lines, got %d", got)
+	}
+	if got := m.Lines(0, 0); got != 0 {
+		t.Errorf("Lines of empty range = %d, want 0", got)
+	}
+}
+
+// First access to a line costs memory latency, the second is an L1 hit.
+func TestCacheHitMiss(t *testing.T) {
+	m := New(testConfig(1))
+	a := m.Alloc(1, true)
+	m.Run(1, func(p *Proc) {
+		p.Access(a, 1, false)
+		first := p.Now()
+		if first != m.cfg.MemLatency {
+			t.Errorf("first access cost %d, want %d", first, m.cfg.MemLatency)
+		}
+		p.Access(a, 1, false)
+		if p.Now()-first != m.cfg.L1Hit {
+			t.Errorf("second access cost %d, want L1 hit %d", p.Now()-first, m.cfg.L1Hit)
+		}
+	})
+	s := m.Snapshot()
+	if s.MemMisses != 1 || s.L1Hits != 1 {
+		t.Errorf("stats: %+v, want 1 mem miss and 1 L1 hit", s)
+	}
+}
+
+// After one core's first touch, another core's miss is an L2 hit; a write by
+// one core invalidates the other's copy.
+func TestCoherenceInvalidation(t *testing.T) {
+	m := New(testConfig(2))
+	a := m.Alloc(1, true)
+	phase := 0
+	m.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Access(a, 1, false) // first touch: memory
+			phase = 1
+			for phase < 2 {
+				p.Spin()
+			}
+			// Core 1 wrote: our copy must have been invalidated.
+			before := p.Now()
+			p.Access(a, 1, false)
+			cost := p.Now() - before
+			if cost != m.cfg.L2Hit {
+				t.Errorf("post-invalidation read cost %d, want L2 hit %d", cost, m.cfg.L2Hit)
+			}
+		} else {
+			for phase < 1 {
+				p.Spin()
+			}
+			p.Access(a, 1, true) // write: invalidates core 0
+			phase = 2
+		}
+	})
+	if s := m.Snapshot(); s.Invalidations == 0 {
+		t.Errorf("expected at least one invalidation, stats %+v", s)
+	}
+}
+
+func TestL1Eviction(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.L1Bytes = 4 * cfg.LineBytes // 4 lines total
+	cfg.L1Assoc = 1                 // direct mapped: 4 sets
+	m := New(cfg)
+	lw := Addr(cfg.LineBytes / WordBytes)
+	m.Run(1, func(p *Proc) {
+		// Two addresses mapping to the same set (4 lines apart) must evict
+		// each other under direct mapping.
+		a, b := lw*8, lw*12 // lines 8 and 12; 8%4 == 12%4
+		p.Access(a, 1, false)
+		p.Access(b, 1, false)
+		before := p.Now()
+		p.Access(a, 1, false) // must miss again (evicted), hits L2 now
+		if cost := p.Now() - before; cost != cfg.L2Hit {
+			t.Errorf("conflict-missed access cost %d, want L2 %d", cost, cfg.L2Hit)
+		}
+	})
+}
+
+// The discrete-event scheduler must run the min-clock thread: a thread doing
+// cheap ops gets scheduled many times while an expensive op completes.
+func TestSchedulerFairnessByClock(t *testing.T) {
+	m := New(testConfig(2))
+	var order []int
+	m.Run(2, func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			if p.ID() == 0 {
+				p.Work(100)
+			} else {
+				p.Work(10)
+			}
+			order = append(order, p.ID())
+		}
+	})
+	// Thread 1 (cost 10 each) should complete all three steps before thread
+	// 0 completes its second (cost 100 each).
+	count1 := 0
+	for _, id := range order[:4] {
+		if id == 1 {
+			count1++
+		}
+	}
+	if count1 != 3 {
+		t.Errorf("cheap thread should finish first; order=%v", order)
+	}
+}
+
+func TestRunReusable(t *testing.T) {
+	m := New(testConfig(2))
+	for round := 0; round < 3; round++ {
+		total := 0
+		m.Run(2, func(p *Proc) {
+			p.Work(1)
+			total++
+		})
+		if total != 2 {
+			t.Fatalf("round %d: ran %d threads, want 2", round, total)
+		}
+	}
+}
+
+func TestResetClocks(t *testing.T) {
+	m := New(testConfig(2))
+	m.Run(2, func(p *Proc) { p.Work(50) })
+	if m.MaxClock() == 0 {
+		t.Fatal("clock did not advance")
+	}
+	m.ResetClocks()
+	if m.MaxClock() != 0 {
+		t.Fatalf("ResetClocks left clock at %d", m.MaxClock())
+	}
+	if s := m.Snapshot(); s != (ProcStats{}) {
+		t.Fatalf("ResetClocks left stats %+v", s)
+	}
+}
+
+func TestStallInjectionDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		cfg := testConfig(2)
+		cfg.StallProb = 0.1
+		cfg.StallCycles = 1000
+		m := New(cfg)
+		m.Run(2, func(p *Proc) {
+			for i := 0; i < 200; i++ {
+				p.Work(1)
+			}
+		})
+		return m.MaxClock(), m.Snapshot().Stalls
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", c1, s1, c2, s2)
+	}
+	if s1 == 0 {
+		t.Fatal("expected some injected stalls at 10% probability")
+	}
+}
+
+func TestRandDistinctPerCore(t *testing.T) {
+	m := New(testConfig(2))
+	if m.Proc(0).Rand() == m.Proc(1).Rand() {
+		t.Fatal("cores share an RNG stream")
+	}
+}
+
+// Property: Lines is consistent with a naive line-counting computation.
+func TestLinesProperty(t *testing.T) {
+	m := New(testConfig(1))
+	lw := uint64(m.cfg.LineBytes / WordBytes)
+	f := func(base uint16, words uint8) bool {
+		w := int(words%128) + 1
+		b := Addr(base)
+		naive := int((uint64(b)+uint64(w)-1)/lw - uint64(b)/lw + 1)
+		return m.Lines(b, w) == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cache lookup/insert/invalidate maintain set size ≤ assoc and
+// lookup-after-insert succeeds until eviction.
+func TestCacheSetInvariant(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.L1Bytes = 8 * cfg.LineBytes
+	cfg.L1Assoc = 2
+	c := newL1(cfg)
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			l := lineID(op % 64)
+			switch op % 3 {
+			case 0:
+				c.lookup(l)
+			case 1:
+				c.insert(l)
+			case 2:
+				c.invalidate(l)
+			}
+		}
+		for _, s := range c.sets {
+			if len(s) > cfg.L1Assoc {
+				return false
+			}
+			seen := map[lineID]bool{}
+			for _, l := range s {
+				if seen[l] {
+					return false // duplicate entry in a set
+				}
+				seen[l] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxCyclesBudget(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.MaxCycles = 100
+	m := New(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exceeded cycle budget")
+		}
+	}()
+	m.Run(1, func(p *Proc) {
+		for {
+			p.Work(50)
+		}
+	})
+}
+
+// Property: the coherence directory and the per-core caches agree — every
+// line cached in a core's L1 has that core's bit set in the directory, and
+// every directory bit corresponds to a cached line.
+func TestDirectoryCacheCoherenceProperty(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.L1Bytes = 8 * cfg.LineBytes // tiny caches force evictions
+	cfg.L1Assoc = 2
+	m := New(cfg)
+	m.Run(3, func(p *Proc) {
+		rng := uint64(p.ID()*977 + 13)
+		for i := 0; i < 400; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			addr := Addr((rng % 64) * 8)
+			p.Access(addr, int(rng%16)+1, rng&1 == 0)
+		}
+	})
+	// Quiesced: check the invariant both ways.
+	for id, p := range m.procs {
+		for _, set := range p.l1.sets {
+			for _, l := range set {
+				if m.dir.holders[l]&(1<<uint(id)) == 0 {
+					t.Fatalf("core %d caches line %d but directory disagrees", id, l)
+				}
+			}
+		}
+	}
+	for l, mask := range m.dir.holders {
+		for id := 0; id < cfg.Cores; id++ {
+			if mask&(1<<uint(id)) == 0 {
+				continue
+			}
+			found := false
+			for _, set := range m.procs[id].l1.sets {
+				for _, e := range set {
+					if e == l {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("directory says core %d holds line %d but its L1 does not", id, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package machine
+
+// ProcStats counts simulated events on one core.
+type ProcStats struct {
+	Accesses      uint64
+	L1Hits        uint64
+	L2Hits        uint64
+	MemMisses     uint64
+	Invalidations uint64
+	CASOps        uint64
+	Spins         uint64
+	Stalls        uint64
+}
+
+// Proc is one simulated core. It satisfies the tm.Env interface: TM systems
+// charge their memory traffic and waits through it, and each charge is a
+// scheduling point where another virtual thread may be interleaved.
+type Proc struct {
+	m     *Machine
+	id    int
+	clock uint64
+	l1    *l1cache
+	rng   uint64
+
+	resume  chan struct{}
+	yielded chan struct{}
+	done    bool
+
+	Stats ProcStats
+}
+
+func newProc(m *Machine, id int) *Proc {
+	return &Proc{
+		m:   m,
+		id:  id,
+		l1:  newL1(m.cfg),
+		rng: m.cfg.Seed*2654435761 + uint64(id+1)*0x9e3779b97f4a7c15,
+	}
+}
+
+// ID returns the core number.
+func (p *Proc) ID() int { return p.id }
+
+// Now returns the core's logical clock in cycles.
+func (p *Proc) Now() uint64 { return p.clock }
+
+// Machine returns the owning machine.
+func (p *Proc) Machine() *Machine { return p.m }
+
+// Rand returns a fast thread-local pseudo-random 64-bit value (xorshift*).
+func (p *Proc) Rand() uint64 {
+	x := p.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	p.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// yield hands control back to the scheduler (and may inject a stall,
+// simulating preemption or a page fault — the source of unresponsive
+// transactions in the paper).
+func (p *Proc) yield() {
+	cfg := &p.m.cfg
+	if cfg.StallProb > 0 && float64(p.Rand()%1_000_000)/1_000_000 < cfg.StallProb {
+		p.clock += cfg.StallCycles
+		p.Stats.Stalls++
+	}
+	p.yielded <- struct{}{}
+	<-p.resume
+}
+
+// Access charges the cache model for touching words of memory at addr and
+// yields to the scheduler.
+func (p *Proc) Access(addr Addr, words int, write bool) {
+	p.Stats.Accesses++
+	p.clock += p.m.touchRange(p, addr, words, write)
+	p.yield()
+}
+
+// CAS charges an atomic read-modify-write on one word at addr and yields.
+func (p *Proc) CAS(addr Addr) {
+	p.Stats.CASOps++
+	p.clock += p.m.touchRange(p, addr, 1, true) + p.m.cfg.CASExtra
+	p.yield()
+}
+
+// Copy charges the computational cost of copying words (the traffic of the
+// source and destination ranges is charged separately via Access).
+func (p *Proc) Copy(words int) {
+	if words < 0 {
+		words = 0
+	}
+	p.clock += uint64(words) * p.m.cfg.CopyWord
+	p.yield()
+}
+
+// Spin charges one wait-loop iteration and yields, letting the thread being
+// waited on make progress in logical time.
+func (p *Proc) Spin() {
+	p.Stats.Spins++
+	p.clock += p.m.cfg.SpinCycles
+	p.yield()
+}
+
+// Work charges cycles of non-memory computation (benchmark "think time").
+func (p *Proc) Work(cycles uint64) {
+	p.clock += cycles
+	p.yield()
+}
+
+// Alloc reserves simulated memory via the owning machine.
+func (p *Proc) Alloc(words int, lineAlign bool) Addr {
+	return p.m.Alloc(words, lineAlign)
+}

@@ -1,0 +1,180 @@
+// Package mc is a small explicit-state model checker in the spirit of SPIN,
+// which the paper used (via Promela models) to gain confidence in NZSTM's
+// correctness (§3): "Spin can perform exhaustive searches of all possible
+// executions of a given model; applying sanity checks; and finding
+// unreachable code, deadlocks, and cycles."
+//
+// Check performs a breadth-first exhaustive search over all interleavings
+// of a model's per-thread atomic steps, verifying a state invariant
+// everywhere, a final-state predicate at quiescence, detecting deadlocks
+// (non-final states where no thread can step), and reporting action
+// coverage (the unreachable-code check). Counterexamples are reported as
+// the sequence of actions leading to the bad state.
+package mc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is a model state. Implementations are value-like: Step functions
+// receive a private copy they may mutate and return.
+type State interface {
+	// Key returns a canonical encoding; states with equal keys are merged.
+	Key() string
+	// Clone returns a deep copy.
+	Clone() State
+}
+
+// Action is one named atomic step a thread may take.
+type Action struct {
+	// Name identifies the action for coverage reporting and traces.
+	Name string
+	// Next returns the successor state (it owns s and may mutate it).
+	Next func(s State) State
+}
+
+// Model describes the system to check.
+type Model struct {
+	Name string
+	Init State
+
+	// Enabled returns the atomic actions thread tid can take in state s.
+	// An empty result means the thread is blocked (or finished) in s.
+	Enabled func(s State, tid int) []Action
+
+	Threads int
+
+	// Invariant is checked in every reachable state; a non-nil error is a
+	// violation.
+	Invariant func(s State) error
+
+	// Final reports whether a fully-blocked state is an acceptable end
+	// state; a blocked non-final state is a deadlock.
+	Final func(s State) bool
+}
+
+// Result summarises a check.
+type Result struct {
+	States      int      // distinct states explored
+	Transitions int      // transitions taken
+	Deadlocks   int      // deadlocked states found
+	Covered     []string // action names seen at least once
+	Uncovered   []string // action names declared via Coverage but never seen
+
+	// Err is the first violation found (invariant failure or deadlock),
+	// with Trace the action sequence reaching it.
+	Err   error
+	Trace []string
+}
+
+// Options tunes a check.
+type Options struct {
+	MaxStates int // abort the search beyond this many states (0 = 1<<22)
+
+	// Coverage lists action names that are expected to occur in some
+	// execution; unreached ones are reported in Result.Uncovered.
+	Coverage []string
+}
+
+type node struct {
+	key    string
+	parent *node
+	action string
+}
+
+// Check exhaustively explores the model.
+func Check(m Model, opt Options) Result {
+	maxStates := opt.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 22
+	}
+
+	res := Result{}
+	seen := make(map[string]*node)
+	covered := make(map[string]bool)
+
+	initKey := m.Init.Key()
+	root := &node{key: initKey}
+	seen[initKey] = root
+
+	type qent struct {
+		s State
+		n *node
+	}
+	queue := []qent{{s: m.Init.Clone(), n: root}}
+
+	fail := func(n *node, err error) Result {
+		res.Err = err
+		for at := n; at != nil && at.action != ""; at = at.parent {
+			res.Trace = append(res.Trace, at.action)
+		}
+		// reverse to chronological order
+		for i, j := 0, len(res.Trace)-1; i < j; i, j = i+1, j-1 {
+			res.Trace[i], res.Trace[j] = res.Trace[j], res.Trace[i]
+		}
+		res.finishCoverage(covered, opt)
+		return res
+	}
+
+	if m.Invariant != nil {
+		if err := m.Invariant(m.Init); err != nil {
+			return fail(root, fmt.Errorf("invariant violated in initial state: %w", err))
+		}
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		res.States++
+		if res.States > maxStates {
+			res.Err = fmt.Errorf("state budget exceeded (%d states)", maxStates)
+			res.finishCoverage(covered, opt)
+			return res
+		}
+
+		anyEnabled := false
+		for tid := 0; tid < m.Threads; tid++ {
+			for _, a := range m.Enabled(cur.s, tid) {
+				anyEnabled = true
+				covered[a.Name] = true
+				next := a.Next(cur.s.Clone())
+				res.Transitions++
+				k := next.Key()
+				if _, ok := seen[k]; ok {
+					continue
+				}
+				n := &node{key: k, parent: cur.n, action: a.Name}
+				seen[k] = n
+				if m.Invariant != nil {
+					if err := m.Invariant(next); err != nil {
+						return fail(n, fmt.Errorf("invariant violated: %w", err))
+					}
+				}
+				queue = append(queue, qent{s: next, n: n})
+			}
+		}
+		if !anyEnabled {
+			if m.Final == nil || !m.Final(cur.s) {
+				res.Deadlocks++
+				return fail(cur.n, fmt.Errorf("deadlock: all %d threads blocked in a non-final state", m.Threads))
+			}
+		}
+	}
+
+	res.finishCoverage(covered, opt)
+	return res
+}
+
+func (r *Result) finishCoverage(covered map[string]bool, opt Options) {
+	for name := range covered {
+		r.Covered = append(r.Covered, name)
+	}
+	sort.Strings(r.Covered)
+	for _, want := range opt.Coverage {
+		if !covered[want] {
+			r.Uncovered = append(r.Uncovered, want)
+		}
+	}
+	sort.Strings(r.Uncovered)
+}

@@ -1,0 +1,254 @@
+package mc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// ---- checker machinery tests on a tiny hand-made model ----
+
+type counterState struct {
+	vals [2]int
+}
+
+func (s *counterState) Key() string { return fmt.Sprint(s.vals) }
+func (s *counterState) Clone() State {
+	c := *s
+	return &c
+}
+
+func TestCheckExploresAllInterleavings(t *testing.T) {
+	// Two threads each increment their own counter twice: 6 interleavings,
+	// 9 distinct states.
+	m := Model{
+		Name:    "counters",
+		Init:    &counterState{},
+		Threads: 2,
+		Enabled: func(st State, tid int) []Action {
+			s := st.(*counterState)
+			if s.vals[tid] >= 2 {
+				return nil
+			}
+			return []Action{{
+				Name: fmt.Sprintf("inc%d", tid),
+				Next: func(st State) State {
+					st.(*counterState).vals[tid]++
+					return st
+				},
+			}}
+		},
+		Final: func(st State) bool {
+			s := st.(*counterState)
+			return s.vals[0] == 2 && s.vals[1] == 2
+		},
+	}
+	res := Check(m, Options{Coverage: []string{"inc0", "inc1", "never"}})
+	if res.Err != nil {
+		t.Fatalf("unexpected error: %v", res.Err)
+	}
+	if res.States != 9 {
+		t.Errorf("states = %d, want 9", res.States)
+	}
+	if len(res.Uncovered) != 1 || res.Uncovered[0] != "never" {
+		t.Errorf("uncovered = %v, want [never]", res.Uncovered)
+	}
+}
+
+func TestCheckFindsDeadlock(t *testing.T) {
+	// A thread that blocks forever in a non-final state.
+	m := Model{
+		Name:    "stuck",
+		Init:    &counterState{},
+		Threads: 1,
+		Enabled: func(st State, tid int) []Action {
+			s := st.(*counterState)
+			if s.vals[0] == 1 {
+				return nil // blocked
+			}
+			return []Action{{Name: "step", Next: func(st State) State {
+				st.(*counterState).vals[0] = 1
+				return st
+			}}}
+		},
+		Final: func(State) bool { return false },
+	}
+	res := Check(m, Options{})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock, got %v", res.Err)
+	}
+	if len(res.Trace) != 1 || res.Trace[0] != "step" {
+		t.Errorf("trace = %v, want [step]", res.Trace)
+	}
+}
+
+func TestCheckFindsInvariantViolationWithTrace(t *testing.T) {
+	bad := errors.New("bad state")
+	m := Model{
+		Name:    "inv",
+		Init:    &counterState{},
+		Threads: 1,
+		Enabled: func(st State, tid int) []Action {
+			s := st.(*counterState)
+			if s.vals[0] >= 3 {
+				return nil
+			}
+			return []Action{{Name: "step", Next: func(st State) State {
+				st.(*counterState).vals[0]++
+				return st
+			}}}
+		},
+		Invariant: func(st State) error {
+			if st.(*counterState).vals[0] == 2 {
+				return bad
+			}
+			return nil
+		},
+		Final: func(State) bool { return true },
+	}
+	res := Check(m, Options{})
+	if res.Err == nil || !errors.Is(res.Err, bad) {
+		t.Fatalf("expected invariant violation, got %v", res.Err)
+	}
+	if len(res.Trace) != 2 {
+		t.Errorf("trace length = %d (%v), want 2 steps to reach vals=2", len(res.Trace), res.Trace)
+	}
+}
+
+func TestCheckStateBudget(t *testing.T) {
+	m := Model{
+		Name:    "unbounded",
+		Init:    &counterState{},
+		Threads: 1,
+		Enabled: func(st State, tid int) []Action {
+			return []Action{{Name: "grow", Next: func(st State) State {
+				s := st.(*counterState)
+				s.vals[0]++ // never terminates (until int wraps)
+				return s
+			}}}
+		},
+		Final: func(State) bool { return true },
+	}
+	res := Check(m, Options{MaxStates: 50})
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "budget") {
+		t.Fatalf("expected budget error, got %v", res.Err)
+	}
+}
+
+// ---- NZSTM protocol model checks (the paper's §3, mechanised) ----
+
+func TestNZSTMTwoThreadsOneObject(t *testing.T) {
+	res := Check(NZModel(NZConfig{
+		Variant: VariantNZ,
+		Scripts: [][]int{{0}, {0}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{Coverage: []string{
+		"observe", "request-abort", "inflate", "deflate",
+		"cas-owner", "restore", "backup", "validate-ack", "validate-ok",
+		"write", "commit", "retry", "cm-abort-self",
+		"loc-replace", "loc-request-abort",
+	}})
+	if res.Err != nil {
+		t.Fatalf("NZSTM model violated: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	if len(res.Uncovered) > 0 {
+		t.Errorf("uncovered protocol actions: %v (all code paths should be reachable, §3)", res.Uncovered)
+	}
+	if res.States < 1000 {
+		t.Errorf("suspiciously small state space: %d states", res.States)
+	}
+	t.Logf("explored %d states, %d transitions", res.States, res.Transitions)
+}
+
+func TestNZSTMCrossedScripts(t *testing.T) {
+	// Two objects acquired in opposite orders: the classic deadlock shape.
+	res := Check(NZModel(NZConfig{
+		Variant: VariantNZ,
+		Scripts: [][]int{{0, 1}, {1, 0}},
+		Objects: 2,
+		Retries: 1,
+	}), Options{})
+	if res.Err != nil {
+		t.Fatalf("crossed-script model violated: %v\ntrace: %v", res.Err, res.Trace)
+	}
+}
+
+func TestBZSTMModelBlocksButSafe(t *testing.T) {
+	res := Check(NZModel(NZConfig{
+		Variant: VariantBZ,
+		Scripts: [][]int{{0}, {0}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{Coverage: []string{"inflate"}})
+	if res.Err != nil {
+		t.Fatalf("BZSTM model violated: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	if len(res.Uncovered) != 1 {
+		t.Error("BZSTM must never inflate")
+	}
+}
+
+// The deliberately broken variant force-aborts in-place writers without the
+// request/acknowledge handshake; the checker must exhibit a lost update —
+// the exact hazard §2 argues makes naive nonblocking in-place STMs unsound.
+func TestBuggyForceAbortIsCaught(t *testing.T) {
+	res := Check(NZModel(NZConfig{
+		Variant: VariantBuggy,
+		Scripts: [][]int{{0}, {0}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{})
+	if res.Err == nil {
+		t.Fatal("checker failed to find the late-write corruption")
+	}
+	if !strings.Contains(res.Err.Error(), "logical value") {
+		t.Fatalf("unexpected violation kind: %v", res.Err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no counterexample trace")
+	}
+	t.Logf("counterexample (%d steps): %v", len(res.Trace), res.Trace)
+}
+
+func TestNZSTMThreeThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	res := Check(NZModel(NZConfig{
+		Variant: VariantNZ,
+		Scripts: [][]int{{0}, {0}, {0}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{MaxStates: 1 << 23})
+	if res.Err != nil {
+		t.Fatalf("3-thread model violated: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	t.Logf("explored %d states, %d transitions", res.States, res.Transitions)
+}
+
+// §2.3.2's claim, mechanically verified: the very design that is broken
+// without SCSS (direct force-aborts on in-place writers — see
+// TestBuggyForceAbortIsCaught) becomes safe when every store is atomically
+// paired with a check of the writer's own status word.
+func TestSCSSVariantMakesForceAbortSafe(t *testing.T) {
+	res := Check(NZModel(NZConfig{
+		Variant: VariantSCSS,
+		Scripts: [][]int{{0}, {0}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{})
+	if res.Err != nil {
+		t.Fatalf("SCSS model violated: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	res3 := Check(NZModel(NZConfig{
+		Variant: VariantSCSS,
+		Scripts: [][]int{{0}, {0}, {0}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{MaxStates: 1 << 23})
+	if res3.Err != nil {
+		t.Fatalf("3-thread SCSS model violated: %v\ntrace: %v", res3.Err, res3.Trace)
+	}
+}

@@ -1,0 +1,92 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Reader/writer on one object: the §3 read-sharing configuration.
+func TestRWReaderWriterOneObject(t *testing.T) {
+	res := Check(RWModel(RWConfig{
+		Variant: VariantNZ,
+		Scripts: [][]Op{{R(0)}, {W(0)}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{Coverage: []string{
+		"r-register", "r-recheck", "r-read", "r-request-abort",
+		"w-request-reader-abort", "w-inflate-past-reader", "r-inflate",
+		"cas-owner", "restore", "backup", "write", "commit", "deflate",
+	}})
+	if res.Err != nil {
+		t.Fatalf("read-sharing model violated: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	if len(res.Uncovered) > 0 {
+		t.Errorf("uncovered read-sharing actions: %v", res.Uncovered)
+	}
+	t.Logf("explored %d states, %d transitions", res.States, res.Transitions)
+}
+
+// Two readers and one writer on one object.
+func TestRWTwoReadersOneWriter(t *testing.T) {
+	res := Check(RWModel(RWConfig{
+		Variant: VariantNZ,
+		Scripts: [][]Op{{R(0)}, {R(0)}, {W(0)}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{MaxStates: 1 << 23})
+	if res.Err != nil {
+		t.Fatalf("violated: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	t.Logf("explored %d states, %d transitions", res.States, res.Transitions)
+}
+
+// Mixed read/write scripts across two objects (the paper's "up to three
+// objects for either writing or reading", scaled to stay exhaustive).
+func TestRWMixedScriptsTwoObjects(t *testing.T) {
+	res := Check(RWModel(RWConfig{
+		Variant: VariantNZ,
+		Scripts: [][]Op{{R(0), W(1)}, {R(1), W(0)}},
+		Objects: 2,
+		Retries: 1,
+	}), Options{MaxStates: 1 << 23})
+	if res.Err != nil {
+		t.Fatalf("violated: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	t.Logf("explored %d states, %d transitions", res.States, res.Transitions)
+}
+
+// The blocking variant with read sharing must also be safe (it just waits).
+func TestRWBlockingVariant(t *testing.T) {
+	res := Check(RWModel(RWConfig{
+		Variant: VariantBZ,
+		Scripts: [][]Op{{R(0)}, {W(0)}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{Coverage: []string{"inflate", "w-inflate-past-reader"}})
+	if res.Err != nil {
+		t.Fatalf("violated: %v\ntrace: %v", res.Err, res.Trace)
+	}
+	if len(res.Uncovered) != 2 {
+		t.Error("BZ variant must never inflate")
+	}
+}
+
+// The buggy force-abort design must also be caught in the presence of
+// readers: a writer that force-aborts an in-place writer while a reader
+// holds its value produces either a lost update or a stale committed read.
+func TestRWBuggyVariantCaught(t *testing.T) {
+	res := Check(RWModel(RWConfig{
+		Variant: VariantBuggy,
+		Scripts: [][]Op{{W(0)}, {W(0)}, {R(0)}},
+		Objects: 1,
+		Retries: 1,
+	}), Options{MaxStates: 1 << 23})
+	if res.Err == nil {
+		t.Fatal("checker missed the force-abort hazard with readers present")
+	}
+	if !strings.Contains(res.Err.Error(), "logical value") &&
+		!strings.Contains(res.Err.Error(), "saw object") {
+		t.Fatalf("unexpected violation kind: %v", res.Err)
+	}
+	t.Logf("counterexample (%d steps): %v", len(res.Trace), res.Trace)
+}

@@ -1,0 +1,225 @@
+package stamp
+
+import (
+	"fmt"
+
+	"nztm/internal/bench"
+	"nztm/internal/tm"
+)
+
+// Genome is the STAMP genome benchmark: gene sequencing by (1) de-
+// duplicating overlapping DNA segments into a transactional hash set and
+// (2) matching segment suffixes against prefixes to stitch the unique
+// segments back into a chain. Conflicts are rare — the paper groups
+// genome's behaviour with hashtable's (§4.4.1).
+//
+// Scaling substitution: STAMP's g=256/s=16/n=16384 generates the gene with
+// its own random number generator; we synthesise a random gene of
+// configurable length with segments encoded as integers (2 bits per
+// nucleotide), which preserves the transaction shapes (hash insertions,
+// lookups, short link updates) at simulator-friendly sizes.
+type Genome struct {
+	sys      tm.System
+	segLen   int
+	gene     []byte  // the hidden sequence, values 0..3
+	segments []int64 // encoded overlapping segments, with duplicates
+
+	dedup  *bench.HashTable // phase 1: unique segments
+	byPref *bench.RBTree    // phase 2 index: prefix-encoded → segment entry
+	chains []tm.Object      // per-unique-segment link state
+	unique map[int64]int    // segment code → chain index (built in phase 1 setup)
+}
+
+// GenomeConfig sizes a run.
+type GenomeConfig struct {
+	GeneLength int // length of the hidden gene
+	SegLen     int // nucleotides per segment (≤ 16)
+	Copies     int // how many overlapping copies of each position
+	Seed       uint64
+}
+
+// NewGenome synthesises the segment soup.
+func NewGenome(sys tm.System, cfg GenomeConfig) *Genome {
+	if cfg.SegLen <= 0 || cfg.SegLen > 16 {
+		cfg.SegLen = 8
+	}
+	if cfg.GeneLength < cfg.SegLen*2 {
+		cfg.GeneLength = cfg.SegLen * 16
+	}
+	if cfg.Copies <= 0 {
+		cfg.Copies = 3
+	}
+	g := &Genome{
+		sys:    sys,
+		segLen: cfg.SegLen,
+		gene:   make([]byte, cfg.GeneLength),
+		dedup:  bench.NewHashTable(sys, 256),
+		byPref: bench.NewRBTree(sys),
+		unique: make(map[int64]int),
+	}
+	rng := cfg.Seed*0x9e3779b97f4a7c15 + 7
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := range g.gene {
+		g.gene[i] = byte(next() % 4)
+	}
+	// Overlapping segments starting at every position, duplicated Copies
+	// times and shuffled — the sequencer's input soup.
+	for c := 0; c < cfg.Copies; c++ {
+		for start := 0; start+g.segLen <= len(g.gene); start++ {
+			g.segments = append(g.segments, g.encode(start))
+		}
+	}
+	for i := len(g.segments) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		g.segments[i], g.segments[j] = g.segments[j], g.segments[i]
+	}
+	return g
+}
+
+// encode packs segLen nucleotides starting at start into an int64.
+func (g *Genome) encode(start int) int64 {
+	var v int64
+	for i := 0; i < g.segLen; i++ {
+		v = v<<2 | int64(g.gene[start+i])
+	}
+	return v
+}
+
+// Segments returns the number of (duplicated) input segments.
+func (g *Genome) Segments() int { return len(g.segments) }
+
+// chainState is the phase-2 per-segment link record.
+type chainState struct {
+	next   int64 // code of the following segment; -1 = unknown
+	linked bool  // some segment points at us
+}
+
+// Clone implements tm.Data.
+func (c *chainState) Clone() tm.Data { d := *c; return &d }
+
+// CopyFrom implements tm.Data.
+func (c *chainState) CopyFrom(src tm.Data) { *c = *(src.(*chainState)) }
+
+// Words implements tm.Data.
+func (c *chainState) Words() int { return 2 }
+
+// DedupChunk runs phase 1 on segments [lo,hi): insert each into the
+// transactional hash set. Returns how many were new.
+func (g *Genome) DedupChunk(th *tm.Thread, lo, hi int) (added int, err error) {
+	for i := lo; i < hi && i < len(g.segments); i++ {
+		ok, err := g.dedup.Insert(th, g.segments[i])
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}
+
+// BuildIndex prepares phase 2 (single-threaded barrier phase): every unique
+// segment gets a link record and an index entry keyed by its prefix.
+func (g *Genome) BuildIndex(th *tm.Thread) error {
+	uniq, err := g.dedup.Snapshot(th)
+	if err != nil {
+		return err
+	}
+	g.chains = make([]tm.Object, len(uniq))
+	for i, code := range uniq {
+		g.unique[code] = i
+		g.chains[i] = g.sys.NewObject(&chainState{next: -1})
+	}
+	for _, code := range uniq {
+		code := code
+		if err := g.sys.Atomic(th, func(tx tm.Tx) error {
+			g.byPref.InsertTx(tx, code, nil)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefixOf returns the first segLen-1 nucleotides of code, left-aligned so
+// it can be compared against suffixes.
+func (g *Genome) prefixOf(code int64) int64 { return code >> 2 }
+
+// suffixOf returns the last segLen-1 nucleotides of code.
+func (g *Genome) suffixOf(code int64) int64 {
+	mask := int64(1)<<(2*(g.segLen-1)) - 1
+	return code & mask
+}
+
+// MatchChunk runs phase 2 for unique segments [lo,hi): find a successor
+// whose prefix equals our suffix and link to it transactionally. Returns
+// the number of links made.
+func (g *Genome) MatchChunk(th *tm.Thread, uniq []int64, lo, hi int) (links int, err error) {
+	for i := lo; i < hi && i < len(uniq); i++ {
+		code := uniq[i]
+		suffix := g.suffixOf(code)
+		// Candidate successors have codes in [suffix<<2, suffix<<2+3].
+		base := suffix << 2
+		var linked bool
+		err = g.sys.Atomic(th, func(tx tm.Tx) error {
+			linked = false
+			k, _, found := g.byPref.CeilingTx(tx, base)
+			if !found || k > base+3 || k == code {
+				return nil
+			}
+			succ := g.chains[g.unique[k]]
+			me := g.chains[g.unique[code]]
+			s := tx.Read(succ).(*chainState)
+			if s.linked {
+				return nil // already someone's successor
+			}
+			tx.Update(succ, func(d tm.Data) { d.(*chainState).linked = true })
+			tx.Update(me, func(d tm.Data) { d.(*chainState).next = k })
+			linked = true
+			return nil
+		})
+		if err != nil {
+			return links, err
+		}
+		if linked {
+			links++
+		}
+	}
+	return links, nil
+}
+
+// Unique returns the sorted unique segments (phase-2 input).
+func (g *Genome) Unique(th *tm.Thread) ([]int64, error) {
+	return g.dedup.Snapshot(th)
+}
+
+// String describes the instance.
+func (g *Genome) String() string {
+	return fmt.Sprintf("genome(gene=%d seg=%d n=%d)", len(g.gene), g.segLen, len(g.segments))
+}
+
+// Links returns the phase-2 result as a predecessor → successor map
+// (transactionally read; used by tests and reporting).
+func (g *Genome) Links(th *tm.Thread, uniq []int64) (map[int64]int64, error) {
+	out := make(map[int64]int64)
+	for _, code := range uniq {
+		code := code
+		var next int64
+		if err := g.sys.Atomic(th, func(tx tm.Tx) error {
+			next = tx.Read(g.chains[g.unique[code]]).(*chainState).next
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if next >= 0 {
+			out[code] = next
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,188 @@
+// Package stamp ports the three STAMP benchmarks the paper evaluates
+// (§4.2): kmeans, genome, and vacation, "with the same parameters used by
+// Minh et al. for both low and high contention tests" — scaled to
+// simulator-friendly sizes. STAMP's original inputs (hundreds of thousands
+// of points / gene segments) target wall-clock runs on real machines; the
+// shapes that matter here — transaction length, read/write-set size, and
+// conflict probability — are preserved at smaller scale, as documented per
+// benchmark.
+package stamp
+
+import (
+	"fmt"
+
+	"nztm/internal/tm"
+)
+
+// KMeans is the STAMP kmeans benchmark: iterative clustering where threads
+// partition the points and transactionally accumulate each point into its
+// nearest cluster's running sum. Transactions are tiny and write-dominated —
+// the paper notes "only about 10% of the workload is transactional" and
+// uses kmeans to show SCSS's per-store overhead (§4.4.2) and DSTM2-SF's
+// object-footprint penalty (the accumulator object is 100 bytes: one
+// centroid of D dimensions plus a count).
+//
+// Contention scales inversely with the cluster count: the paper's high
+// contention run uses fewer clusters (-m15) than the low one (-m40).
+type KMeans struct {
+	sys      tm.System
+	K, D     int
+	points   [][]int64 // fixed-point coordinates
+	assign   []int
+	centers  [][]int64   // current centroids (read-only within an iteration)
+	accs     []tm.Object // per-cluster accumulator: D sums + count
+	accWords int
+}
+
+// KMeansConfig sizes a run.
+type KMeansConfig struct {
+	Points   int
+	Clusters int // paper/STAMP: 15 (high contention) or 40 (low)
+	Dims     int // 12 dims × 8 bytes + count ≈ the 100-byte object of §4.4.2
+	Seed     uint64
+}
+
+// NewKMeans generates a synthetic point set (STAMP's random-n inputs).
+func NewKMeans(sys tm.System, cfg KMeansConfig) *KMeans {
+	if cfg.Dims <= 0 {
+		cfg.Dims = 12
+	}
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 15
+	}
+	k := &KMeans{
+		sys:    sys,
+		K:      cfg.Clusters,
+		D:      cfg.Dims,
+		points: make([][]int64, cfg.Points),
+		assign: make([]int, cfg.Points),
+	}
+	rng := cfg.Seed*2654435761 + 12345
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := range k.points {
+		p := make([]int64, k.D)
+		for d := range p {
+			p[d] = int64(next() % 1024)
+		}
+		k.points[i] = p
+		k.assign[i] = -1
+	}
+	k.centers = make([][]int64, k.K)
+	for c := range k.centers {
+		k.centers[c] = append([]int64(nil), k.points[c%len(k.points)]...)
+	}
+	k.accs = make([]tm.Object, k.K)
+	for c := range k.accs {
+		k.accs[c] = sys.NewObject(tm.NewInts(k.D + 1))
+	}
+	k.accWords = k.D + 1
+	return k
+}
+
+// nearest is plain (non-transactional) computation, like STAMP's distance
+// loop; the paper's 90% non-transactional work.
+func (k *KMeans) nearest(p []int64) int {
+	best, bestDist := 0, int64(1)<<62
+	for c := 0; c < k.K; c++ {
+		var dist int64
+		for d := 0; d < k.D; d++ {
+			delta := p[d] - k.centers[c][d]
+			dist += delta * delta
+		}
+		if dist < bestDist {
+			best, bestDist = c, dist
+		}
+	}
+	return best
+}
+
+// AssignChunk processes points [lo,hi) on th: for each point, find the
+// nearest centroid (plain work, charged as cycles) and transactionally fold
+// the point into that cluster's accumulator. Returns how many points
+// changed cluster.
+func (k *KMeans) AssignChunk(th *tm.Thread, lo, hi int) (changed int, err error) {
+	for i := lo; i < hi && i < len(k.points); i++ {
+		p := k.points[i]
+		th.Env.Work(uint64(k.K * k.D)) // the distance computation
+		c := k.nearest(p)
+		if k.assign[i] != c {
+			changed++
+			k.assign[i] = c
+		}
+		err = k.sys.Atomic(th, func(tx tm.Tx) error {
+			tx.Update(k.accs[c], func(d tm.Data) {
+				v := d.(*tm.Ints).V
+				for j := 0; j < k.D; j++ {
+					v[j] += p[j]
+				}
+				v[k.D]++
+			})
+			return nil
+		})
+		if err != nil {
+			return changed, err
+		}
+	}
+	return changed, nil
+}
+
+// FinishIteration recomputes the centroids from the accumulators and resets
+// them (single-threaded barrier phase, as in STAMP).
+func (k *KMeans) FinishIteration(th *tm.Thread) error {
+	for c := 0; c < k.K; c++ {
+		acc := k.accs[c]
+		var sums []int64
+		if err := k.sys.Atomic(th, func(tx tm.Tx) error {
+			v := tx.Read(acc).(*tm.Ints).V
+			sums = append(sums[:0], v...)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if count := sums[k.D]; count > 0 {
+			for d := 0; d < k.D; d++ {
+				k.centers[c][d] = sums[d] / count
+			}
+		}
+		if err := k.sys.Atomic(th, func(tx tm.Tx) error {
+			tx.Update(acc, func(d tm.Data) {
+				v := d.(*tm.Ints).V
+				for j := range v {
+					v[j] = 0
+				}
+			})
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalAssigned returns the sum of accumulator counts (testing).
+func (k *KMeans) TotalAssigned(th *tm.Thread) (int64, error) {
+	var total int64
+	for c := 0; c < k.K; c++ {
+		acc := k.accs[c]
+		if err := k.sys.Atomic(th, func(tx tm.Tx) error {
+			total += tx.Read(acc).(*tm.Ints).V[k.D]
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// Points returns the configured point count.
+func (k *KMeans) Points() int { return len(k.points) }
+
+// String describes the instance.
+func (k *KMeans) String() string {
+	return fmt.Sprintf("kmeans(n=%d k=%d d=%d)", len(k.points), k.K, k.D)
+}

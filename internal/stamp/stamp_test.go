@@ -1,0 +1,252 @@
+package stamp
+
+import (
+	"sync"
+	"testing"
+
+	"nztm/internal/core"
+	"nztm/internal/glock"
+	"nztm/internal/tm"
+)
+
+func thread(id int) *tm.Thread {
+	return tm.NewThread(id, tm.NewRealEnv(id, tm.NewRealWorld()))
+}
+
+func TestKMeansCountsConserved(t *testing.T) {
+	const workers, points = 4, 400
+	sys := core.NewNZSTM(tm.NewRealWorld(), workers)
+	k := NewKMeans(sys, KMeansConfig{Points: points, Clusters: 15, Seed: 3})
+	var wg sync.WaitGroup
+	chunk := (points + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := thread(id)
+			if _, err := k.AssignChunk(th, id*chunk, (id+1)*chunk); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	th := thread(0)
+	total, err := k.TotalAssigned(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != points {
+		t.Fatalf("accumulated %d points, want %d", total, points)
+	}
+	if err := k.FinishIteration(th); err != nil {
+		t.Fatal(err)
+	}
+	total, err = k.TotalAssigned(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 0 {
+		t.Fatalf("accumulators not reset: %d", total)
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	sys := glock.New(tm.NewRealWorld())
+	k := NewKMeans(sys, KMeansConfig{Points: 200, Clusters: 8, Seed: 5})
+	th := thread(0)
+	var lastChanged int
+	for iter := 0; iter < 20; iter++ {
+		changed, err := k.AssignChunk(th, 0, k.Points())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.FinishIteration(th); err != nil {
+			t.Fatal(err)
+		}
+		lastChanged = changed
+		if changed == 0 {
+			break
+		}
+	}
+	if lastChanged != 0 {
+		t.Fatalf("kmeans did not converge: %d reassignments in final iteration", lastChanged)
+	}
+}
+
+func TestGenomePhases(t *testing.T) {
+	const workers = 4
+	sys := core.NewNZSTM(tm.NewRealWorld(), workers)
+	g := NewGenome(sys, GenomeConfig{GeneLength: 128, SegLen: 8, Copies: 3, Seed: 11})
+
+	// Phase 1: parallel dedup.
+	var wg sync.WaitGroup
+	total := g.Segments()
+	chunk := (total + workers - 1) / workers
+	added := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := thread(id)
+			a, err := g.DedupChunk(th, id*chunk, (id+1)*chunk)
+			if err != nil {
+				t.Error(err)
+			}
+			added[id] = a
+		}(w)
+	}
+	wg.Wait()
+
+	th := thread(0)
+	uniq, err := g.Unique(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, a := range added {
+		sum += a
+	}
+	if sum != len(uniq) {
+		t.Fatalf("threads inserted %d unique segments, set holds %d", sum, len(uniq))
+	}
+	// A 128-long gene over a 4-letter alphabet yields (close to) 121
+	// distinct 8-mers; duplicates must have collapsed.
+	if len(uniq) > 121 || len(uniq) < 60 {
+		t.Fatalf("unique segments = %d, implausible for gene length 128", len(uniq))
+	}
+
+	// Phase 2: parallel matching.
+	if err := g.BuildIndex(th); err != nil {
+		t.Fatal(err)
+	}
+	links := make([]int, workers)
+	uchunk := (len(uniq) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := thread(id)
+			l, err := g.MatchChunk(th, uniq, id*uchunk, (id+1)*uchunk)
+			if err != nil {
+				t.Error(err)
+			}
+			links[id] = l
+		}(w)
+	}
+	wg.Wait()
+	totalLinks := 0
+	for _, l := range links {
+		totalLinks += l
+	}
+	// Each unique segment (except chain heads) can be linked at most once;
+	// a healthy run links a large fraction of them.
+	if totalLinks == 0 || totalLinks >= len(uniq) {
+		t.Fatalf("links = %d of %d unique segments", totalLinks, len(uniq))
+	}
+}
+
+func TestVacationConsistency(t *testing.T) {
+	const workers, opsEach = 4, 150
+	sys := core.NewNZSTM(tm.NewRealWorld(), workers)
+	th0 := thread(0)
+	for _, cfg := range []VacationConfig{
+		LowContentionVacation(64, 1),
+		HighContentionVacation(64, 2),
+	} {
+		v, err := NewVacation(sys, th0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th := thread(id)
+				rng := uint64(id*7919 + 13)
+				for i := 0; i < opsEach; i++ {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					if _, err := v.Op(th, rng); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := v.CheckConsistency(th0); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	}
+}
+
+func TestVacationOpMixRoughlyRight(t *testing.T) {
+	sys := glock.New(tm.NewRealWorld())
+	th := thread(0)
+	v, err := NewVacation(sys, th, LowContentionVacation(32, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	rng := uint64(4242)
+	for i := 0; i < 2000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		kind, err := v.Op(th, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[kind]++
+	}
+	if counts["reserve"] < 1800 {
+		t.Fatalf("reserve share %d/2000, want ≈98%%", counts["reserve"])
+	}
+	if err := v.CheckConsistency(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every link made in phase 2 must be a genuine overlap: the successor's
+// prefix equals the predecessor's suffix — the property that makes the
+// chains reassemble the gene.
+func TestGenomeLinksAreTrueOverlaps(t *testing.T) {
+	sys := glock.New(tm.NewRealWorld())
+	g := NewGenome(sys, GenomeConfig{GeneLength: 160, SegLen: 8, Copies: 2, Seed: 21})
+	th := thread(0)
+	total := g.Segments()
+	if _, err := g.DedupChunk(th, 0, total); err != nil {
+		t.Fatal(err)
+	}
+	uniq, err := g.Unique(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.BuildIndex(th); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.MatchChunk(th, uniq, 0, len(uniq)); err != nil {
+		t.Fatal(err)
+	}
+	links, err := g.Links(th, uniq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) == 0 {
+		t.Fatal("no links made")
+	}
+	seenSucc := map[int64]int{}
+	for pred, succ := range links {
+		if g.suffixOf(pred) != g.prefixOf(succ) {
+			t.Fatalf("link %x -> %x is not an overlap", pred, succ)
+		}
+		seenSucc[succ]++
+	}
+	for succ, n := range seenSucc {
+		if n > 1 {
+			t.Fatalf("segment %x linked as successor %d times", succ, n)
+		}
+	}
+}

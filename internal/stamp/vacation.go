@@ -1,0 +1,307 @@
+package stamp
+
+import (
+	"fmt"
+
+	"nztm/internal/bench"
+	"nztm/internal/tm"
+)
+
+// Vacation is the STAMP vacation benchmark: a travel-reservation system
+// whose car/flight/room tables are red-black-tree maps and whose
+// transactions make, cancel, and update reservations. The paper notes that
+// vacation "uses linked list and red-black tree data structures" and that
+// its transactions are "significantly bigger, in terms of runtime and size
+// of the read and write sets, than all other benchmarks" — big enough to
+// exhaust best-effort HTM resources about 25% of the time at 15 threads
+// (§4.4.1).
+type Vacation struct {
+	sys       tm.System
+	tables    [3]*bench.RBTree // cars, flights, rooms: id → resource record
+	customers *bench.RBTree    // customer id → customer record
+	relations int
+	queries   int // ids examined per reservation transaction
+	qrange    int // fraction (percent) of the id space queried
+	user      int // percent of transactions that are reservations
+}
+
+// Resource kinds.
+const (
+	Car = iota
+	Flight
+	Room
+)
+
+// resource is a reservation record: total capacity, in use, and price.
+type resource struct {
+	total, used, price int64
+}
+
+// Clone implements tm.Data.
+func (r *resource) Clone() tm.Data { c := *r; return &c }
+
+// CopyFrom implements tm.Data.
+func (r *resource) CopyFrom(src tm.Data) { *r = *(src.(*resource)) }
+
+// Words implements tm.Data.
+func (r *resource) Words() int { return 3 }
+
+// maxHeld bounds reservations per customer record.
+const maxHeld = 8
+
+// customer tracks a customer's open reservations.
+type customer struct {
+	spent int64
+	count int64
+	kinds [maxHeld]int8
+	ids   [maxHeld]int32
+}
+
+// Clone implements tm.Data.
+func (c *customer) Clone() tm.Data { d := *c; return &d }
+
+// CopyFrom implements tm.Data.
+func (c *customer) CopyFrom(src tm.Data) { *c = *(src.(*customer)) }
+
+// Words implements tm.Data.
+func (c *customer) Words() int { return 2 + maxHeld }
+
+// VacationConfig mirrors STAMP's parameters at reduced scale: the paper
+// uses Minh et al.'s low contention (-n2 -q90 -u98) and high contention
+// (-n4 -q60 -u90) settings.
+type VacationConfig struct {
+	Relations int // resources per table (and customers)
+	Queries   int // -n: queries per transaction
+	QueryPct  int // -q: percent of the id space queried
+	UserPct   int // -u: percent reservations (rest: deletes/updates)
+	Seed      uint64
+}
+
+// LowContentionVacation returns STAMP's -n2 -q90 -u98 at the given scale.
+func LowContentionVacation(relations int, seed uint64) VacationConfig {
+	return VacationConfig{Relations: relations, Queries: 2, QueryPct: 90, UserPct: 98, Seed: seed}
+}
+
+// HighContentionVacation returns STAMP's -n4 -q60 -u90 at the given scale.
+func HighContentionVacation(relations int, seed uint64) VacationConfig {
+	return VacationConfig{Relations: relations, Queries: 4, QueryPct: 60, UserPct: 90, Seed: seed}
+}
+
+// NewVacation populates the tables, using th for the setup transactions.
+func NewVacation(sys tm.System, th *tm.Thread, cfg VacationConfig) (*Vacation, error) {
+	if cfg.Relations <= 0 {
+		cfg.Relations = 128
+	}
+	v := &Vacation{
+		sys:       sys,
+		customers: bench.NewRBTree(sys),
+		relations: cfg.Relations,
+		queries:   max(cfg.Queries, 1),
+		qrange:    cfg.QueryPct,
+		user:      cfg.UserPct,
+	}
+	rng := cfg.Seed + 1
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for t := range v.tables {
+		v.tables[t] = bench.NewRBTree(sys)
+		for id := 0; id < cfg.Relations; id++ {
+			rec := sys.NewObject(&resource{
+				total: int64(next()%5 + 1),
+				price: int64(next()%500 + 50),
+			})
+			id := int64(id)
+			if err := sys.Atomic(th, func(tx tm.Tx) error {
+				v.tables[t].InsertTx(tx, id, rec)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for id := 0; id < cfg.Relations; id++ {
+		rec := sys.NewObject(&customer{})
+		id := int64(id)
+		if err := sys.Atomic(th, func(tx tm.Tx) error {
+			v.customers.InsertTx(tx, id, rec)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Op executes one client transaction chosen by the random value r, as
+// STAMP's client loop does: mostly reservations, with occasional customer
+// deletions and table updates. It returns the operation kind for stats.
+func (v *Vacation) Op(th *tm.Thread, r uint64) (string, error) {
+	choice := int(r % 100)
+	switch {
+	case choice < v.user:
+		return "reserve", v.makeReservation(th, r)
+	case choice < v.user+(100-v.user)/2:
+		return "delete-customer", v.deleteCustomer(th, r)
+	default:
+		return "update-tables", v.updateTables(th, r)
+	}
+}
+
+// span returns the number of distinct ids queries may touch.
+func (v *Vacation) span() uint64 {
+	s := uint64(v.relations*v.qrange) / 100
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// makeReservation examines Queries random resources per table, picks the
+// cheapest available of each kind, and books one of the kinds for a random
+// customer — one big transaction over tree lookups and record updates.
+func (v *Vacation) makeReservation(th *tm.Thread, r uint64) error {
+	span := v.span()
+	custID := int64(r>>32) % int64(v.relations)
+	return v.sys.Atomic(th, func(tx tm.Tx) error {
+		var bestObj tm.Object
+		var bestKind int8
+		var bestID int32
+		var bestPrice int64 = 1 << 62
+		rr := r | 1
+		for kind := range v.tables {
+			for q := 0; q < v.queries; q++ {
+				rr ^= rr << 13
+				rr ^= rr >> 7
+				rr ^= rr << 17
+				id := int64(rr % span)
+				recObj, ok := v.tables[kind].LookupTx(tx, id)
+				if !ok {
+					continue
+				}
+				rec := tx.Read(recObj).(*resource)
+				if rec.used < rec.total && rec.price < bestPrice {
+					bestObj, bestKind, bestID, bestPrice = recObj, int8(kind), int32(id), rec.price
+				}
+			}
+		}
+		if bestObj == nil {
+			return nil // nothing available: still a valid (read-only) txn
+		}
+		custObj, ok := v.customers.LookupTx(tx, custID)
+		if !ok {
+			return nil
+		}
+		cust := tx.Read(custObj).(*customer)
+		if cust.count >= maxHeld {
+			return nil
+		}
+		tx.Update(bestObj, func(d tm.Data) { d.(*resource).used++ })
+		price := bestPrice
+		tx.Update(custObj, func(d tm.Data) {
+			c := d.(*customer)
+			c.kinds[c.count] = bestKind
+			c.ids[c.count] = bestID
+			c.count++
+			c.spent += price
+		})
+		return nil
+	})
+}
+
+// deleteCustomer releases all of a customer's reservations.
+func (v *Vacation) deleteCustomer(th *tm.Thread, r uint64) error {
+	custID := int64(r>>24) % int64(v.relations)
+	return v.sys.Atomic(th, func(tx tm.Tx) error {
+		custObj, ok := v.customers.LookupTx(tx, custID)
+		if !ok {
+			return nil
+		}
+		cust := tx.Read(custObj).(*customer)
+		for i := int64(0); i < cust.count; i++ {
+			recObj, ok := v.tables[cust.kinds[i]].LookupTx(tx, int64(cust.ids[i]))
+			if !ok {
+				continue
+			}
+			tx.Update(recObj, func(d tm.Data) { d.(*resource).used-- })
+		}
+		tx.Update(custObj, func(d tm.Data) {
+			c := d.(*customer)
+			c.count = 0
+			c.spent = 0
+		})
+		return nil
+	})
+}
+
+// updateTables adds/removes capacity or changes prices (STAMP's "manager"
+// transactions).
+func (v *Vacation) updateTables(th *tm.Thread, r uint64) error {
+	kind := int(r>>16) % len(v.tables)
+	id := int64(r>>8) % int64(v.relations)
+	return v.sys.Atomic(th, func(tx tm.Tx) error {
+		recObj, ok := v.tables[kind].LookupTx(tx, id)
+		if !ok {
+			return nil
+		}
+		tx.Update(recObj, func(d tm.Data) {
+			rec := d.(*resource)
+			if r&1 == 0 {
+				rec.price = int64(r%400) + 50
+			} else {
+				rec.total++
+			}
+		})
+		return nil
+	})
+}
+
+// CheckConsistency verifies, in one transaction, that every resource's
+// usage count equals the customers' held reservations and never exceeds
+// capacity.
+func (v *Vacation) CheckConsistency(th *tm.Thread) error {
+	return v.sys.Atomic(th, func(tx tm.Tx) error {
+		held := map[[2]int64]int64{}
+		for id := int64(0); id < int64(v.relations); id++ {
+			custObj, ok := v.customers.LookupTx(tx, id)
+			if !ok {
+				continue
+			}
+			cust := tx.Read(custObj).(*customer)
+			for i := int64(0); i < cust.count; i++ {
+				held[[2]int64{int64(cust.kinds[i]), int64(cust.ids[i])}]++
+			}
+		}
+		for kind := range v.tables {
+			for id := int64(0); id < int64(v.relations); id++ {
+				recObj, ok := v.tables[kind].LookupTx(tx, id)
+				if !ok {
+					continue
+				}
+				rec := tx.Read(recObj).(*resource)
+				if rec.used > rec.total {
+					return fmt.Errorf("resource %d/%d overbooked: %d > %d", kind, id, rec.used, rec.total)
+				}
+				if want := held[[2]int64{int64(kind), id}]; rec.used != want {
+					return fmt.Errorf("resource %d/%d: used=%d, customers hold %d", kind, id, rec.used, want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// String describes the instance.
+func (v *Vacation) String() string {
+	return fmt.Sprintf("vacation(r=%d n=%d q=%d u=%d)", v.relations, v.queries, v.qrange, v.user)
+}

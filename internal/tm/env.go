@@ -1,0 +1,93 @@
+package tm
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"nztm/internal/machine"
+)
+
+// Env abstracts where a thread executes. machine.Proc implements it for the
+// simulated CMP (every call charges the cache model and is a scheduling
+// point); RealEnv implements it for ordinary concurrent execution, where the
+// charges are no-ops and the TM systems behave as a normal Go library.
+type Env interface {
+	// Access models touching words of (simulated) memory at addr.
+	Access(addr machine.Addr, words int, write bool)
+	// CAS models an atomic read-modify-write of the word at addr.
+	CAS(addr machine.Addr)
+	// Copy models the computational cost of copying words.
+	Copy(words int)
+	// Spin models one iteration of a wait loop.
+	Spin()
+	// Work models cycles of non-memory computation.
+	Work(cycles uint64)
+	// Now returns monotonically increasing logical time (cycles in sim
+	// mode, nanoseconds in real mode). Patience thresholds compare it.
+	Now() uint64
+	// Rand returns a fast thread-local pseudo-random value.
+	Rand() uint64
+	// ID identifies the executing core / OS-level worker.
+	ID() int
+	// Alloc reserves simulated memory for object layout.
+	Alloc(words int, lineAlign bool) machine.Addr
+}
+
+// Compile-time check that the simulated core satisfies Env.
+var _ Env = (*machine.Proc)(nil)
+
+// RealEnv is the Env for ordinary (non-simulated) execution.
+type RealEnv struct {
+	id    int
+	world World
+	rng   uint64
+	start time.Time
+}
+
+// NewRealEnv creates a real-execution environment. world may be shared by
+// many envs; it only hands out fake layout addresses.
+func NewRealEnv(id int, world World) *RealEnv {
+	return &RealEnv{
+		id:    id,
+		world: world,
+		rng:   uint64(id+1)*0x9e3779b97f4a7c15 ^ uint64(rand.Int63()),
+		start: time.Now(),
+	}
+}
+
+// Access implements Env (no cost in real mode).
+func (e *RealEnv) Access(machine.Addr, int, bool) {}
+
+// CAS implements Env (no cost in real mode).
+func (e *RealEnv) CAS(machine.Addr) {}
+
+// Copy implements Env (no cost in real mode).
+func (e *RealEnv) Copy(int) {}
+
+// Work implements Env (no cost in real mode).
+func (e *RealEnv) Work(uint64) {}
+
+// Spin yields the OS-level processor so the thread being waited on can run.
+func (e *RealEnv) Spin() { runtime.Gosched() }
+
+// Now returns nanoseconds since the env was created.
+func (e *RealEnv) Now() uint64 { return uint64(time.Since(e.start)) }
+
+// Rand returns a thread-local xorshift* value.
+func (e *RealEnv) Rand() uint64 {
+	x := e.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	e.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// ID implements Env.
+func (e *RealEnv) ID() int { return e.id }
+
+// Alloc implements Env via the shared World.
+func (e *RealEnv) Alloc(words int, lineAlign bool) machine.Addr {
+	return e.world.Alloc(words, lineAlign)
+}

@@ -1,0 +1,30 @@
+package tm
+
+// Ints is a ready-made Data implementation holding a fixed-length vector of
+// integers. Tests, examples, and the kmeans workload (whose transactional
+// object is a 100-byte centroid vector, §4.4.2) use it directly.
+type Ints struct {
+	V []int64
+}
+
+// NewInts returns an Ints of length n, zero-filled.
+func NewInts(n int) *Ints { return &Ints{V: make([]int64, n)} }
+
+// Clone implements Data.
+func (d *Ints) Clone() Data {
+	c := &Ints{V: make([]int64, len(d.V))}
+	copy(c.V, d.V)
+	return c
+}
+
+// CopyFrom implements Data.
+func (d *Ints) CopyFrom(src Data) {
+	s := src.(*Ints)
+	if len(d.V) != len(s.V) {
+		d.V = make([]int64, len(s.V))
+	}
+	copy(d.V, s.V)
+}
+
+// Words implements Data.
+func (d *Ints) Words() int { return len(d.V) }

@@ -1,0 +1,63 @@
+package tm
+
+import (
+	"reflect"
+
+	"nztm/internal/machine"
+)
+
+// Backup is a pooled backup buffer: the Data value plus the simulated
+// address its contents live at. Reusing the same buffer (and hence the same
+// simulated address) across transactions is what gives NZSTM its backup
+// cache locality — the effect the paper credits for beating DSTM2-SF on
+// kmeans (§4.4.2): "NZSTM uses thread-local memory for backups, which is
+// reused after successful transactions, thus improving cache locality."
+type Backup struct {
+	Data Data
+	Addr machine.Addr
+}
+
+// backupPool is a per-thread free list of backup buffers, bucketed by the
+// concrete Data type (a buffer restored into data of another type would
+// corrupt it).
+type backupPool struct {
+	buckets map[reflect.Type][]Backup
+}
+
+// GetBackup returns a backup of live: a pooled buffer refilled via CopyFrom
+// when one is available (recording the reuse in stats), otherwise a fresh
+// Clone placed at a newly allocated simulated address. The caller charges
+// the copy cost itself (it knows which env/addresses are involved).
+func (t *Thread) GetBackup(live Data, stats *Stats) Backup {
+	key := reflect.TypeOf(live)
+	if bs := t.pool.buckets[key]; len(bs) > 0 {
+		b := bs[len(bs)-1]
+		t.pool.buckets[key] = bs[:len(bs)-1]
+		b.Data.CopyFrom(live)
+		if stats != nil {
+			stats.BackupReuse.Add(1)
+		}
+		return b
+	}
+	return Backup{
+		Data: live.Clone(),
+		Addr: t.Env.Alloc(live.Words(), false),
+	}
+}
+
+// PutBackup returns a no-longer-needed backup buffer to the pool.
+func (t *Thread) PutBackup(b Backup) {
+	if b.Data == nil {
+		return
+	}
+	if t.pool.buckets == nil {
+		t.pool.buckets = make(map[reflect.Type][]Backup)
+	}
+	key := reflect.TypeOf(b.Data)
+	if len(t.pool.buckets[key]) < 64 { // bound per-type pool growth
+		t.pool.buckets[key] = append(t.pool.buckets[key], b)
+	}
+}
+
+// keyOf exposes the pool bucket key for tests.
+func keyOf(d Data) reflect.Type { return reflect.TypeOf(d) }

@@ -1,0 +1,70 @@
+package tm
+
+import "fmt"
+
+// AbortReason classifies why a transaction attempt aborted. The hardware
+// reasons mirror ATMTP's CPS register codes (§4.3), which the hybrid's retry
+// policy keys off: conflicts are retried in hardware, everything else falls
+// back to software.
+type AbortReason uint8
+
+// Abort reasons.
+const (
+	AbortNone     AbortReason = iota
+	AbortRequest              // our AbortNowPlease flag was set (software)
+	AbortConflict             // transactional (coherence) conflict (hardware)
+	AbortCapacity             // store buffer / cache geometry exhausted
+	AbortEvent                // TLB miss, interrupt, context switch, ...
+	AbortExplicit             // self-abort (e.g. hw tx saw a sw owner)
+	AbortSelf                 // contention manager told us to abort ourselves
+)
+
+// String implements fmt.Stringer.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortNone:
+		return "none"
+	case AbortRequest:
+		return "abort-requested"
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortEvent:
+		return "event"
+	case AbortExplicit:
+		return "explicit"
+	case AbortSelf:
+		return "self"
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// rollback is the panic token used to unwind a doomed transaction attempt
+// out of user code back into System.Atomic.
+type rollback struct {
+	reason AbortReason
+}
+
+// Retry aborts the current transaction attempt with the given reason. It
+// must only be called (directly or through Tx methods) from inside a
+// function passed to System.Atomic.
+func Retry(reason AbortReason) {
+	panic(rollback{reason: reason})
+}
+
+// RunAttempt executes one transaction attempt, converting a Retry unwind
+// into (AbortReason, false) and passing through fn's error. Every System's
+// Atomic loop is built on it.
+func RunAttempt(fn func() error) (err error, reason AbortReason, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			rb, is := r.(rollback)
+			if !is {
+				panic(r) // not ours: propagate user panics untouched
+			}
+			err, reason, ok = nil, rb.reason, false
+		}
+	}()
+	return fn(), AbortNone, true
+}

@@ -1,0 +1,106 @@
+package tm
+
+import "sync/atomic"
+
+// Stats holds a system's cumulative event counters. All fields are updated
+// atomically so real-concurrency runs can share one Stats across threads.
+type Stats struct {
+	Commits       atomic.Uint64 // committed transactions
+	Aborts        atomic.Uint64 // aborted attempts (all reasons)
+	AbortRequests atomic.Uint64 // AbortNowPlease flags we set on others
+	Waits         atomic.Uint64 // contention-manager wait decisions
+
+	Inflations  atomic.Uint64 // NZSTM objects inflated (§2.3.1)
+	Deflations  atomic.Uint64 // NZSTM objects deflated back in place
+	LocatorOps  atomic.Uint64 // operations served via a DSTM-style Locator
+	BackupReuse atomic.Uint64 // backups served from the thread-local pool
+
+	HWCommits   atomic.Uint64 // transactions committed in (simulated) HTM
+	HWConflict  atomic.Uint64 // hw aborts: coherence conflict
+	HWCapacity  atomic.Uint64 // hw aborts: store buffer / cache geometry
+	HWEvent     atomic.Uint64 // hw aborts: TLB miss / interrupt / ...
+	HWExplicit  atomic.Uint64 // hw aborts: self-abort on sw conflict
+	SWFallbacks atomic.Uint64 // attempts that fell back to software
+}
+
+// CountAbort records an aborted attempt with its hardware/software reason.
+func (s *Stats) CountAbort(r AbortReason) {
+	s.Aborts.Add(1)
+	switch r {
+	case AbortConflict:
+		s.HWConflict.Add(1)
+	case AbortCapacity:
+		s.HWCapacity.Add(1)
+	case AbortEvent:
+		s.HWEvent.Add(1)
+	case AbortExplicit:
+		s.HWExplicit.Add(1)
+	}
+}
+
+// Reset zeroes every counter (used between a benchmark's setup phase and
+// its measured phase).
+func (s *Stats) Reset() {
+	s.Commits.Store(0)
+	s.Aborts.Store(0)
+	s.AbortRequests.Store(0)
+	s.Waits.Store(0)
+	s.Inflations.Store(0)
+	s.Deflations.Store(0)
+	s.LocatorOps.Store(0)
+	s.BackupReuse.Store(0)
+	s.HWCommits.Store(0)
+	s.HWConflict.Store(0)
+	s.HWCapacity.Store(0)
+	s.HWEvent.Store(0)
+	s.HWExplicit.Store(0)
+	s.SWFallbacks.Store(0)
+}
+
+// StatsView is a plain-value snapshot of Stats.
+type StatsView struct {
+	Commits, Aborts, AbortRequests, Waits uint64
+	Inflations, Deflations, LocatorOps    uint64
+	BackupReuse                           uint64
+	HWCommits, HWConflict, HWCapacity     uint64
+	HWEvent, HWExplicit, SWFallbacks      uint64
+}
+
+// View snapshots the counters.
+func (s *Stats) View() StatsView {
+	return StatsView{
+		Commits:       s.Commits.Load(),
+		Aborts:        s.Aborts.Load(),
+		AbortRequests: s.AbortRequests.Load(),
+		Waits:         s.Waits.Load(),
+		Inflations:    s.Inflations.Load(),
+		Deflations:    s.Deflations.Load(),
+		LocatorOps:    s.LocatorOps.Load(),
+		BackupReuse:   s.BackupReuse.Load(),
+		HWCommits:     s.HWCommits.Load(),
+		HWConflict:    s.HWConflict.Load(),
+		HWCapacity:    s.HWCapacity.Load(),
+		HWEvent:       s.HWEvent.Load(),
+		HWExplicit:    s.HWExplicit.Load(),
+		SWFallbacks:   s.SWFallbacks.Load(),
+	}
+}
+
+// AbortRate returns aborted attempts / total attempts, the statistic the
+// paper reports per benchmark (§4.4.1).
+func (v StatsView) AbortRate() float64 {
+	total := v.Commits + v.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(v.Aborts) / float64(total)
+}
+
+// HWShare returns the fraction of commits that completed in hardware (§4.4.2
+// reports ≈75% for hashtable-low on Rock).
+func (v StatsView) HWShare() float64 {
+	if v.Commits == 0 {
+		return 0
+	}
+	return float64(v.HWCommits) / float64(v.Commits)
+}

@@ -1,0 +1,84 @@
+package tm
+
+import (
+	"testing"
+
+	"nztm/internal/machine"
+)
+
+func TestCountAbortReasons(t *testing.T) {
+	var s Stats
+	s.CountAbort(AbortConflict)
+	s.CountAbort(AbortCapacity)
+	s.CountAbort(AbortEvent)
+	s.CountAbort(AbortExplicit)
+	s.CountAbort(AbortRequest) // software reason: counted only in Aborts
+	v := s.View()
+	if v.Aborts != 5 {
+		t.Fatalf("aborts = %d, want 5", v.Aborts)
+	}
+	if v.HWConflict != 1 || v.HWCapacity != 1 || v.HWEvent != 1 || v.HWExplicit != 1 {
+		t.Fatalf("per-reason counts wrong: %+v", v)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	var s Stats
+	s.Commits.Add(3)
+	s.Inflations.Add(2)
+	s.HWCommits.Add(1)
+	s.SWFallbacks.Add(4)
+	s.Reset()
+	if v := s.View(); v != (StatsView{}) {
+		t.Fatalf("Reset left %+v", v)
+	}
+}
+
+func TestHWShareAndAbortRate(t *testing.T) {
+	var s Stats
+	if s.View().HWShare() != 0 || s.View().AbortRate() != 0 {
+		t.Fatal("empty stats must report zero rates")
+	}
+	s.Commits.Add(4)
+	s.HWCommits.Add(3)
+	s.Aborts.Add(1)
+	v := s.View()
+	if v.HWShare() != 0.75 {
+		t.Fatalf("hw share = %f", v.HWShare())
+	}
+	if v.AbortRate() != 0.2 {
+		t.Fatalf("abort rate = %f", v.AbortRate())
+	}
+}
+
+func TestBackupPoolBounded(t *testing.T) {
+	th := NewThread(0, NewRealEnv(0, NewRealWorld()))
+	live := &Ints{V: []int64{1}}
+	// Put far more buffers than the per-type bound; the pool must not grow
+	// without limit.
+	var backups []Backup
+	for i := 0; i < 200; i++ {
+		backups = append(backups, Backup{Data: live.Clone(), Addr: 100 + machine.Addr(i)})
+	}
+	for _, b := range backups {
+		th.PutBackup(b)
+	}
+	if n := len(th.pool.buckets[keyOf(live)]); n > 64 {
+		t.Fatalf("pool grew to %d entries, bound is 64", n)
+	}
+	// nil data is rejected silently.
+	th.PutBackup(Backup{})
+}
+
+func TestGetBackupFreshWhenPoolEmpty(t *testing.T) {
+	th := NewThread(0, NewRealEnv(0, NewRealWorld()))
+	var s Stats
+	live := &Ints{V: []int64{7, 8}}
+	b := th.GetBackup(live, &s)
+	if b.Data.(*Ints).V[1] != 8 {
+		t.Fatal("fresh backup contents wrong")
+	}
+	if s.BackupReuse.Load() != 0 {
+		t.Fatal("fresh clone counted as reuse")
+	}
+}

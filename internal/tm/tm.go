@@ -1,0 +1,140 @@
+// Package tm defines the transactional programming model shared by every TM
+// system in this repository, derived (as in the paper, §2) from DSTM's
+// object-based model: programs encapsulate data in transactional objects and
+// open each object before accessing it inside a transaction.
+//
+// The same benchmark code runs unchanged over NZSTM, BZSTM, SCSS, DSTM,
+// DSTM2-SF, the single-global-lock baseline, the simulated best-effort HTM,
+// LogTM-SE, and the NZTM hybrid, because all of them implement the System and
+// Tx interfaces below.
+package tm
+
+import (
+	"sync/atomic"
+
+	"nztm/internal/machine"
+)
+
+// Data is the user payload stored in a transactional object. Implementations
+// must be deep-copyable: Clone creates the backup copies the paper's
+// algorithms rely on, and CopyFrom restores a backup in place (undoing an
+// aborted transaction's effects, §2.2) or refills a pooled backup buffer.
+type Data interface {
+	// Clone returns a deep copy of the data.
+	Clone() Data
+	// CopyFrom overwrites the receiver with src's contents. src is always a
+	// value of the receiver's own concrete type.
+	CopyFrom(src Data)
+	// Words reports the data's size in simulated machine words; it drives
+	// the simulated memory layout and the cycle cost of copies.
+	Words() int
+}
+
+// Object is an opaque handle to a transactional object. Each System returns
+// its own concrete object type from NewObject and accepts only those handles.
+type Object any
+
+// Tx is an active transaction. Both methods abort the transaction (by
+// panicking with an internal token recovered inside System.Atomic) when a
+// conflict resolution or validation demands it.
+type Tx interface {
+	// Read opens the object for shared reading and returns its current
+	// data. The caller must not mutate the result and must not retain it
+	// across the end of the transaction.
+	Read(Object) Data
+
+	// Update opens the object for exclusive writing and applies fn to its
+	// data. The mutation goes through a callback so that store-interposing
+	// systems (SCSS short hardware transactions, LogTM-SE undo logging, HTM
+	// write buffering) can wrap it.
+	Update(Object, func(Data))
+}
+
+// Releaser is an optional Tx extension implementing DSTM-style early
+// release: a released read no longer participates in conflict detection.
+// The caller asserts the transaction's outcome no longer depends on the
+// released object's value — the classic use is hand-over-hand traversal of
+// a sorted linked list, where only a sliding window of nodes needs
+// protection.
+type Releaser interface {
+	// Release drops the calling transaction's read of the object. Releasing
+	// an object that was not read (or that the transaction wrote) is a
+	// no-op.
+	Release(Object)
+}
+
+// System is one complete transactional memory implementation.
+type System interface {
+	// Name identifies the system in reports ("NZSTM", "LogTM-SE", ...).
+	Name() string
+
+	// NewObject allocates a transactional object holding initial. It may be
+	// called at any time; objects are private until published to a shared
+	// structure inside a transaction.
+	NewObject(initial Data) Object
+
+	// Atomic runs fn as a transaction on the calling thread, retrying until
+	// it commits. A non-nil error from fn aborts the transaction and is
+	// returned verbatim (the transaction's effects are discarded).
+	Atomic(th *Thread, fn func(Tx) error) error
+
+	// Stats returns the system's cumulative counters.
+	Stats() *Stats
+}
+
+// World provides simulated-memory allocation for object layout. In sim mode
+// it is the *machine.Machine; in real mode RealWorld hands out monotonically
+// increasing fake addresses so that layout-dependent code works unchanged.
+type World interface {
+	Alloc(words int, lineAlign bool) machine.Addr
+}
+
+// RealWorld is the World used outside the simulator.
+type RealWorld struct {
+	next atomic.Uint64
+}
+
+// NewRealWorld returns a World whose allocations are fresh fake addresses.
+func NewRealWorld() *RealWorld {
+	w := &RealWorld{}
+	w.next.Store(64) // keep address 0 unused, mirroring machine.New
+	return w
+}
+
+// Alloc implements World.
+func (w *RealWorld) Alloc(words int, lineAlign bool) machine.Addr {
+	if words <= 0 {
+		words = 1
+	}
+	n := uint64(words)
+	if lineAlign {
+		n += 8 // crude alignment slack; real mode ignores layout effects
+	}
+	return machine.Addr(w.next.Add(n) - n)
+}
+
+// Thread is the per-thread context a transaction runs under: the execution
+// environment (real or simulated core), a thread-local backup pool (§2.2:
+// "the memory for the backup data is allocated from a thread-local memory
+// pool"), and a monotonically increasing transaction birth counter used for
+// timestamp-based contention decisions.
+type Thread struct {
+	ID  int
+	Env Env
+
+	pool   backupPool
+	births uint64
+}
+
+// NewThread creates a thread context bound to env.
+func NewThread(id int, env Env) *Thread {
+	return &Thread{ID: id, Env: env}
+}
+
+// NextBirth returns a fresh per-thread transaction ordinal. Combined with
+// the thread ID it yields a total order on transactions for timestamp-based
+// contention management.
+func (t *Thread) NextBirth() uint64 {
+	t.births++
+	return t.births<<16 | uint64(t.ID&0xffff)
+}

@@ -1,0 +1,247 @@
+package tm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// word is a minimal Data distinct from Ints, for pool type-safety tests.
+type word struct{ v int64 }
+
+func (w *word) Clone() Data       { return &word{v: w.v} }
+func (w *word) CopyFrom(src Data) { w.v = src.(*word).v }
+func (w *word) Words() int        { return 1 }
+
+func TestStatusWordLifecycle(t *testing.T) {
+	var s StatusWord
+	if st, anp := s.Load(); st != Active || anp {
+		t.Fatalf("fresh status = %v anp=%v, want Active/false", st, anp)
+	}
+	if st := s.RequestAbort(); st != Active {
+		t.Fatalf("RequestAbort on active returned %v", st)
+	}
+	if !s.AbortRequested() {
+		t.Fatal("AbortNowPlease not set")
+	}
+	if s.TryCommit() {
+		t.Fatal("TryCommit must fail once AbortNowPlease is set")
+	}
+	if !s.Acknowledge() {
+		t.Fatal("Acknowledge failed")
+	}
+	if s.State() != Aborted {
+		t.Fatalf("state = %v, want Aborted", s.State())
+	}
+}
+
+func TestStatusWordCommitWinsRace(t *testing.T) {
+	// Once committed, an abort request must report Committed and not flip
+	// the state; Acknowledge must refuse.
+	var s StatusWord
+	if !s.TryCommit() {
+		t.Fatal("TryCommit on clean active failed")
+	}
+	if st := s.RequestAbort(); st != Committed {
+		t.Fatalf("RequestAbort on committed returned %v", st)
+	}
+	if s.Acknowledge() {
+		t.Fatal("Acknowledge succeeded on a committed transaction")
+	}
+	if s.State() != Committed {
+		t.Fatalf("state = %v, want Committed", s.State())
+	}
+}
+
+// Exactly one of {commit, abort-ack} wins under concurrent racing.
+func TestStatusWordAtomicity(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		var s StatusWord
+		var wg sync.WaitGroup
+		var committed, acked bool
+		wg.Add(2)
+		go func() { defer wg.Done(); committed = s.TryCommit() }()
+		go func() {
+			defer wg.Done()
+			if s.RequestAbort() == Active {
+				acked = s.Acknowledge()
+			}
+		}()
+		wg.Wait()
+		if committed && s.State() != Committed {
+			t.Fatal("commit won but state is not Committed")
+		}
+		if !committed && s.AbortRequested() && s.State() == Active {
+			// requester set ANP but nobody acked; fine — still active.
+			continue
+		}
+		if committed && acked {
+			t.Fatal("both commit and abort-ack succeeded")
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[TxState]string{
+		Active: "Active", Committed: "Committed", Aborted: "Aborted", TxState(9): "Invalid",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestRunAttemptPassesError(t *testing.T) {
+	sentinel := errors.New("user error")
+	err, reason, ok := RunAttempt(func() error { return sentinel })
+	if !ok || err != sentinel || reason != AbortNone {
+		t.Fatalf("got (%v,%v,%v)", err, reason, ok)
+	}
+}
+
+func TestRunAttemptCatchesRetry(t *testing.T) {
+	err, reason, ok := RunAttempt(func() error {
+		Retry(AbortConflict)
+		return nil
+	})
+	if ok || err != nil || reason != AbortConflict {
+		t.Fatalf("got (%v,%v,%v), want conflict retry", err, reason, ok)
+	}
+}
+
+func TestRunAttemptPropagatesForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	_, _, _ = RunAttempt(func() error { panic("boom") })
+}
+
+func TestAbortReasonStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for r := AbortNone; r <= AbortSelf; r++ {
+		s := r.String()
+		if s == "" || seen[s] {
+			t.Errorf("reason %d has empty/duplicate string %q", r, s)
+		}
+		seen[s] = true
+	}
+	if AbortReason(200).String() == "" {
+		t.Error("unknown reason must still print")
+	}
+}
+
+func TestBackupPoolReuse(t *testing.T) {
+	th := NewThread(0, NewRealEnv(0, NewRealWorld()))
+	var stats Stats
+	live := &Ints{V: []int64{1, 2, 3}}
+
+	b1 := th.GetBackup(live, &stats)
+	if got := b1.Data.(*Ints).V[2]; got != 3 {
+		t.Fatalf("backup contents %d, want 3", got)
+	}
+	addr := b1.Addr
+	th.PutBackup(b1)
+
+	live.V[0] = 42
+	b2 := th.GetBackup(live, &stats)
+	if b2.Addr != addr {
+		t.Fatalf("pooled backup at %d, want reused address %d", b2.Addr, addr)
+	}
+	if got := b2.Data.(*Ints).V[0]; got != 42 {
+		t.Fatalf("pooled backup not refilled: %d", got)
+	}
+	if stats.BackupReuse.Load() != 1 {
+		t.Fatalf("BackupReuse = %d, want 1", stats.BackupReuse.Load())
+	}
+}
+
+func TestBackupPoolTypeSafety(t *testing.T) {
+	th := NewThread(0, NewRealEnv(0, NewRealWorld()))
+	a := &Ints{V: []int64{1}}
+	b := &word{v: 9}
+
+	ba := th.GetBackup(a, nil)
+	th.PutBackup(ba)
+	bb := th.GetBackup(b, nil)
+	if _, isWord := bb.Data.(*word); !isWord {
+		t.Fatalf("pool returned %T for *word", bb.Data)
+	}
+}
+
+func TestRealWorldAllocDistinct(t *testing.T) {
+	w := NewRealWorld()
+	a := w.Alloc(4, false)
+	b := w.Alloc(4, false)
+	if a == b {
+		t.Fatal("RealWorld returned the same address twice")
+	}
+}
+
+func TestThreadBirthsOrderedAndDistinct(t *testing.T) {
+	t1 := NewThread(1, NewRealEnv(1, NewRealWorld()))
+	t2 := NewThread(2, NewRealEnv(2, NewRealWorld()))
+	prev := uint64(0)
+	for i := 0; i < 10; i++ {
+		b := t1.NextBirth()
+		if b <= prev {
+			t.Fatalf("births not increasing: %d after %d", b, prev)
+		}
+		prev = b
+	}
+	if t1.NextBirth() == t2.NextBirth() {
+		t.Fatal("births collide across threads")
+	}
+}
+
+func TestIntsDataContract(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			vals = []int64{0}
+		}
+		d := &Ints{V: append([]int64(nil), vals...)}
+		c := d.Clone().(*Ints)
+		if len(c.V) != len(d.V) {
+			return false
+		}
+		c.V[0]++ // mutating the clone must not affect the original
+		if d.V[0] == c.V[0] {
+			return false
+		}
+		var e Ints
+		e.CopyFrom(d)
+		for i := range d.V {
+			if e.V[i] != d.V[i] {
+				return false
+			}
+		}
+		return d.Words() == len(d.V)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealEnvBasics(t *testing.T) {
+	e := NewRealEnv(3, NewRealWorld())
+	if e.ID() != 3 {
+		t.Fatalf("ID = %d", e.ID())
+	}
+	if e.Rand() == e.Rand() {
+		t.Fatal("Rand returned the same value twice")
+	}
+	n1 := e.Now()
+	for i := 0; i < 1000; i++ {
+		e.Spin()
+	}
+	if e.Now() < n1 {
+		t.Fatal("Now went backwards")
+	}
+	// The no-op charges must be callable.
+	e.Access(0, 1, true)
+	e.CAS(0)
+	e.Copy(10)
+	e.Work(5)
+}

@@ -1,0 +1,138 @@
+package tm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nztm/internal/machine"
+)
+
+// TraceKind classifies a transaction lifecycle event.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	TraceBegin TraceKind = iota
+	TraceCommit
+	TraceAbort
+	TraceAcquire
+	TraceReadShare
+	TraceAbortRequest
+	TraceAckWait
+	TraceInflate
+	TraceDeflate
+	TraceSteal
+	TraceHWCommit
+	TraceSWFallback
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceBegin:
+		return "begin"
+	case TraceCommit:
+		return "commit"
+	case TraceAbort:
+		return "abort"
+	case TraceAcquire:
+		return "acquire"
+	case TraceReadShare:
+		return "read"
+	case TraceAbortRequest:
+		return "abort-request"
+	case TraceAckWait:
+		return "ack-wait"
+	case TraceInflate:
+		return "inflate"
+	case TraceDeflate:
+		return "deflate"
+	case TraceSteal:
+		return "steal"
+	case TraceHWCommit:
+		return "hw-commit"
+	case TraceSWFallback:
+		return "sw-fallback"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// TraceEvent is one recorded lifecycle event.
+type TraceEvent struct {
+	Seq    uint64       // global order of recording
+	When   uint64       // env time (cycles in sim, ns in real mode)
+	Thread int          // recording thread
+	Kind   TraceKind    // what happened
+	Obj    machine.Addr // object involved (0 if none)
+	Aux    uint64       // kind-specific detail (e.g. enemy thread, reason)
+}
+
+// String renders an event compactly.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("#%d t=%d @%d %s obj=%d aux=%d",
+		e.Seq, e.Thread, e.When, e.Kind, e.Obj, e.Aux)
+}
+
+// Tracer records transaction lifecycle events into a fixed-size ring
+// buffer, safe for concurrent use and cheap enough to leave compiled in: a
+// nil *Tracer is valid and records nothing.
+type Tracer struct {
+	ring []TraceEvent
+	next atomic.Uint64
+	mask uint64
+}
+
+// NewTracer creates a tracer holding the most recent `size` events; size is
+// rounded up to a power of two.
+func NewTracer(size int) *Tracer {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Tracer{ring: make([]TraceEvent, n), mask: uint64(n - 1)}
+}
+
+// Record appends an event. Safe on a nil receiver.
+func (t *Tracer) Record(th *Thread, kind TraceKind, obj machine.Addr, aux uint64) {
+	if t == nil {
+		return
+	}
+	seq := t.next.Add(1) - 1
+	e := TraceEvent{Seq: seq, Thread: th.ID, Kind: kind, Obj: obj, Aux: aux}
+	if th.Env != nil {
+		e.When = th.Env.Now()
+	}
+	t.ring[seq&t.mask] = e
+}
+
+// Snapshot returns the retained events in recording order. It is intended
+// for post-mortem inspection of quiesced systems; events recorded
+// concurrently with Snapshot may be missed or torn.
+func (t *Tracer) Snapshot() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	n := t.next.Load()
+	size := uint64(len(t.ring))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]TraceEvent, 0, n-start)
+	for s := start; s < n; s++ {
+		e := t.ring[s&t.mask]
+		if e.Seq == s {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events have been recorded in total (including
+// those that have been overwritten).
+func (t *Tracer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.next.Load()
+}

@@ -1,0 +1,70 @@
+package tm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	th := NewThread(0, NewRealEnv(0, NewRealWorld()))
+	tr.Record(th, TraceBegin, 0, 0) // must not panic
+	if tr.Snapshot() != nil || tr.Count() != 0 {
+		t.Fatal("nil tracer must report nothing")
+	}
+}
+
+func TestTracerRecordsInOrder(t *testing.T) {
+	tr := NewTracer(16)
+	th := NewThread(3, NewRealEnv(3, NewRealWorld()))
+	tr.Record(th, TraceBegin, 0, 1)
+	tr.Record(th, TraceAcquire, 64, 0)
+	tr.Record(th, TraceCommit, 0, 0)
+	evs := tr.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Kind != TraceBegin || evs[1].Kind != TraceAcquire || evs[2].Kind != TraceCommit {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	if evs[1].Obj != 64 || evs[1].Thread != 3 {
+		t.Fatalf("fields wrong: %+v", evs[1])
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i) {
+			t.Fatalf("seq %d at index %d", e.Seq, i)
+		}
+	}
+}
+
+func TestTracerRingOverwrites(t *testing.T) {
+	tr := NewTracer(4) // rounded to 4
+	th := NewThread(0, NewRealEnv(0, NewRealWorld()))
+	for i := 0; i < 10; i++ {
+		tr.Record(th, TraceBegin, 0, uint64(i))
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Aux != 6 || evs[3].Aux != 9 {
+		t.Fatalf("oldest retained aux = %d, newest = %d", evs[0].Aux, evs[3].Aux)
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+}
+
+func TestTraceKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := TraceBegin; k <= TraceSWFallback; k++ {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty/dup string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if !strings.Contains(TraceEvent{Kind: TraceInflate, Thread: 2}.String(), "inflate") {
+		t.Fatal("event String misses kind")
+	}
+}

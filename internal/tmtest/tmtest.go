@@ -1,0 +1,310 @@
+// Package tmtest provides a reusable conformance suite that every TM system
+// in this repository must pass: basic commit/abort semantics, isolation,
+// consistency of concurrent readers, and conservation invariants under
+// contention.
+//
+// The suite runs in two harnesses:
+//
+//   - Run: ordinary Go concurrency (goroutines, tm.RealEnv) — exercises the
+//     systems as a real concurrent library, including under -race.
+//   - RunSim: virtual threads on the simulated CMP (machine.Proc env) —
+//     exercises the systems under adversarial interleaving at every memory
+//     access, plus injected stalls that make transactions unresponsive.
+//
+// Hardware TM models (htm, logtm, hybrid's hardware path) only execute on
+// the simulated machine, mirroring the paper: the Rock processor that would
+// run them was never shipped.
+package tmtest
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"nztm/internal/machine"
+	"nztm/internal/tm"
+)
+
+// Factory builds a fresh System able to run `threads` concurrent threads
+// over the given world.
+type Factory func(world tm.World, threads int) tm.System
+
+// harness abstracts how parallel sections execute.
+type harness interface {
+	// system returns the system under test, able to run n threads.
+	system(n int) tm.System
+	// parallel runs body once per thread ID in [0, n).
+	parallel(n int, body func(th *tm.Thread))
+}
+
+type realHarness struct{ f Factory }
+
+func (h *realHarness) system(n int) tm.System { return h.f(tm.NewRealWorld(), n) }
+
+func (h *realHarness) parallel(n int, body func(th *tm.Thread)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			body(tm.NewThread(id, tm.NewRealEnv(id, tm.NewRealWorld())))
+		}(i)
+	}
+	wg.Wait()
+}
+
+type simHarness struct {
+	f     Factory
+	cfg   machine.Config
+	m     *machine.Machine
+	limit int
+}
+
+func (h *simHarness) system(n int) tm.System {
+	cfg := h.cfg
+	cfg.Cores = h.limit
+	h.m = machine.New(cfg)
+	return h.f(h.m, n)
+}
+
+func (h *simHarness) parallel(n int, body func(th *tm.Thread)) {
+	h.m.Run(n, func(p *machine.Proc) {
+		body(tm.NewThread(p.ID(), p))
+	})
+}
+
+// Run executes the full conformance suite with ordinary Go concurrency.
+func Run(t *testing.T, f Factory) {
+	t.Helper()
+	runAll(t, &realHarness{f: f})
+}
+
+// RunSim executes the suite on a simulated machine. A nonzero stallProb
+// additionally injects random stalls (modelling preemptions/page faults) so
+// unresponsive-transaction paths get exercised.
+func RunSim(t *testing.T, f Factory, stallProb float64) {
+	t.Helper()
+	cfg := machine.DefaultConfig(8)
+	cfg.MaxCycles = 40_000_000_000
+	cfg.StallProb = stallProb
+	cfg.StallCycles = 200_000
+	runAll(t, &simHarness{f: f, cfg: cfg, limit: 8})
+}
+
+func runAll(t *testing.T, h harness) {
+	t.Run("CommitSingleThread", func(t *testing.T) { commitSingleThread(t, h) })
+	t.Run("ErrorDiscardsEffects", func(t *testing.T) { errorDiscards(t, h) })
+	t.Run("ReadYourWrites", func(t *testing.T) { readYourWrites(t, h) })
+	t.Run("ConcurrentCounter", func(t *testing.T) { concurrentCounter(t, h) })
+	t.Run("BankInvariant", func(t *testing.T) { bankInvariant(t, h) })
+	t.Run("OracleSequence", func(t *testing.T) { oracleSequence(t, h) })
+}
+
+func read0(t *testing.T, s tm.System, th *tm.Thread, o tm.Object) int64 {
+	t.Helper()
+	var v int64
+	if err := s.Atomic(th, func(tx tm.Tx) error {
+		v = tx.Read(o).(*tm.Ints).V[0]
+		return nil
+	}); err != nil {
+		t.Fatalf("%s: read failed: %v", s.Name(), err)
+	}
+	return v
+}
+
+func commitSingleThread(t *testing.T, h harness) {
+	s := h.system(1)
+	o := s.NewObject(tm.NewInts(1))
+	h.parallel(1, func(th *tm.Thread) {
+		for i := 0; i < 64; i++ {
+			if err := s.Atomic(th, func(tx tm.Tx) error {
+				tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if got := read0(t, s, th, o); got != 64 {
+			t.Errorf("%s: counter = %d, want 64", s.Name(), got)
+		}
+	})
+}
+
+func errorDiscards(t *testing.T, h harness) {
+	s := h.system(1)
+	o := s.NewObject(tm.NewInts(1))
+	boom := errors.New("boom")
+	h.parallel(1, func(th *tm.Thread) {
+		if err := s.Atomic(th, func(tx tm.Tx) error {
+			tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0] = 99 })
+			return boom
+		}); err != boom {
+			t.Errorf("err = %v, want boom", err)
+		}
+		if got := read0(t, s, th, o); got != 0 {
+			t.Errorf("%s: aborted write leaked: %d", s.Name(), got)
+		}
+	})
+}
+
+func readYourWrites(t *testing.T, h harness) {
+	s := h.system(1)
+	o := s.NewObject(tm.NewInts(1))
+	h.parallel(1, func(th *tm.Thread) {
+		if err := s.Atomic(th, func(tx tm.Tx) error {
+			tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0] = 7 })
+			if got := tx.Read(o).(*tm.Ints).V[0]; got != 7 {
+				t.Errorf("%s: read-your-write = %d, want 7", s.Name(), got)
+			}
+			tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0] *= 3 })
+			if got := tx.Read(o).(*tm.Ints).V[0]; got != 21 {
+				t.Errorf("%s: second read = %d, want 21", s.Name(), got)
+			}
+			return nil
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func concurrentCounter(t *testing.T, h harness) {
+	const workers, each = 6, 120
+	s := h.system(workers)
+	o := s.NewObject(tm.NewInts(1))
+	h.parallel(workers, func(th *tm.Thread) {
+		for i := 0; i < each; i++ {
+			if err := s.Atomic(th, func(tx tm.Tx) error {
+				tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	h.parallel(1, func(th *tm.Thread) {
+		if got := read0(t, s, th, o); got != workers*each {
+			t.Errorf("%s: counter = %d, want %d", s.Name(), got, workers*each)
+		}
+	})
+}
+
+func bankInvariant(t *testing.T, h harness) {
+	const accounts, workers, each, initial = 8, 6, 80, 1000
+	s := h.system(workers)
+	objs := make([]tm.Object, accounts)
+	for i := range objs {
+		d := tm.NewInts(1)
+		d.V[0] = initial
+		objs[i] = s.NewObject(d)
+	}
+	h.parallel(workers, func(th *tm.Thread) {
+		id := th.ID
+		for i := 0; i < each; i++ {
+			if id%3 == 2 {
+				var sum int64
+				if err := s.Atomic(th, func(tx tm.Tx) error {
+					sum = 0
+					for _, o := range objs {
+						sum += tx.Read(o).(*tm.Ints).V[0]
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if sum != accounts*initial {
+					t.Errorf("%s: audit total %d, want %d", s.Name(), sum, accounts*initial)
+					return
+				}
+				continue
+			}
+			from := (id + i) % accounts
+			to := (id + 3*i + 1) % accounts
+			if from == to {
+				continue
+			}
+			amt := int64(i%9 + 1)
+			if err := s.Atomic(th, func(tx tm.Tx) error {
+				tx.Update(objs[from], func(d tm.Data) { d.(*tm.Ints).V[0] -= amt })
+				tx.Update(objs[to], func(d tm.Data) { d.(*tm.Ints).V[0] += amt })
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	h.parallel(1, func(th *tm.Thread) {
+		var total int64
+		for _, o := range objs {
+			total += read0(t, s, th, o)
+		}
+		if total != accounts*initial {
+			t.Errorf("%s: total = %d, want %d", s.Name(), total, accounts*initial)
+		}
+	})
+}
+
+func oracleSequence(t *testing.T, h harness) {
+	s := h.system(1)
+	const regs = 6
+	objs := make([]tm.Object, regs)
+	oracle := make([]int64, regs)
+	for i := range objs {
+		objs[i] = s.NewObject(tm.NewInts(1))
+	}
+	errNope := errors.New("nope")
+	h.parallel(1, func(th *tm.Thread) {
+		rng := uint64(99)
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for step := 0; step < 600; step++ {
+			i, j := int(next()%regs), int(next()%regs)
+			switch next() % 3 {
+			case 0:
+				val := int64(next() % 500)
+				if err := s.Atomic(th, func(tx tm.Tx) error {
+					tx.Update(objs[i], func(d tm.Data) { d.(*tm.Ints).V[0] = val })
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				oracle[i] = val
+			case 1:
+				if err := s.Atomic(th, func(tx tm.Tx) error {
+					a := tx.Read(objs[i]).(*tm.Ints).V[0]
+					tx.Update(objs[j], func(d tm.Data) { d.(*tm.Ints).V[0] += a })
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				oracle[j] += oracle[i]
+			case 2:
+				if err := s.Atomic(th, func(tx tm.Tx) error {
+					tx.Update(objs[i], func(d tm.Data) { d.(*tm.Ints).V[0] = -5 })
+					tx.Update(objs[j], func(d tm.Data) { d.(*tm.Ints).V[0] = -6 })
+					return errNope
+				}); err != errNope {
+					t.Error(err)
+					return
+				}
+			}
+			if got := read0(t, s, th, objs[i]); got != oracle[i] {
+				t.Errorf("%s step %d: reg %d = %d, oracle %d", s.Name(), step, i, got, oracle[i])
+				return
+			}
+			if got := read0(t, s, th, objs[j]); got != oracle[j] {
+				t.Errorf("%s step %d: reg %d = %d, oracle %d", s.Name(), step, j, got, oracle[j])
+				return
+			}
+		}
+	})
+}
