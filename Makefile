@@ -1,0 +1,31 @@
+# Tier-1 verification and developer shortcuts.
+#
+#   make check      build + full tests + race detector over the concurrency-
+#                   critical packages (tm, core, kv, server) — run this
+#                   before sending a PR
+#   make bench-kv   serving-path benchmark: NZSTM vs GlobalLock over real
+#                   sockets, results in BENCH_kv.json
+#   make serve      run nztm-server with defaults
+
+GO ?= go
+
+RACE_PKGS = ./internal/tm ./internal/core ./internal/kv ./internal/server
+
+.PHONY: check build test race bench-kv serve
+
+check: build test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench-kv:
+	$(GO) run ./cmd/nztm-load -out BENCH_kv.json
+
+serve:
+	$(GO) run ./cmd/nztm-server

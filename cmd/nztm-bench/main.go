@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,14 +26,16 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "fig3",
 			"one of: fig3, fig4, aborts, gaps, rockhybrid, unresponsive, indirection, readers, managers, release, all")
-		ops     = flag.Int("ops", 600, "operations per thread per phase")
-		seed    = flag.Uint64("seed", 42, "workload seed")
-		threads = flag.Int("threads", 15, "thread count for the aborts experiment")
-		verbose = flag.Bool("v", false, "print per-cell progress")
-		csvPath = flag.String("csv", "", "also write figure cells to this CSV file")
+		ops      = flag.Int("ops", 600, "operations per thread per phase")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		threads  = flag.Int("threads", 15, "thread count for the aborts experiment")
+		verbose  = flag.Bool("v", false, "print per-cell progress")
+		csvPath  = flag.String("csv", "", "also write figure cells to this CSV file")
+		jsonPath = flag.String("json", "", "also write figure cells to this JSON file (machine-readable)")
 	)
 	flag.Parse()
 	csvOut = *csvPath
+	jsonOut = *jsonPath
 
 	cfg := harness.DefaultRunConfig()
 	cfg.OpsPerThread = *ops
@@ -80,11 +83,33 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if jsonOut != "" {
+		doc := struct {
+			Benchmark string             `json:"benchmark"`
+			Cells     []harness.CellJSON `json:"cells"`
+		}{Benchmark: "sim-figures", Cells: jsonCells}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nztm-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nztm-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // csvOut, when non-empty, receives the figure cells in CSV form
 // (appending, so fig3 and fig4 can share one file).
 var csvOut string
+
+// jsonOut, when non-empty, collects every figure's cells and writes them
+// as one JSON document when all experiments finish.
+var (
+	jsonOut   string
+	jsonCells []harness.CellJSON
+)
 
 func figure(spec harness.FigureSpec, cfg harness.RunConfig, progress io.Writer) error {
 	panels, err := harness.RunFigure(spec, cfg, progress)
@@ -92,6 +117,9 @@ func figure(spec harness.FigureSpec, cfg harness.RunConfig, progress io.Writer) 
 		return err
 	}
 	harness.PrintFigure(os.Stdout, spec, panels)
+	if jsonOut != "" {
+		jsonCells = append(jsonCells, harness.JSONCells(spec, panels)...)
+	}
 	if csvOut != "" {
 		f, err := os.OpenFile(csvOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

@@ -1,0 +1,345 @@
+// nztm-load is a closed-loop load generator for nztm-server: it drives N
+// concurrent clients over real TCP sockets against one or more backing TM
+// systems and reports throughput and latency percentiles per system — the
+// paper's Figure 4 comparison (NZSTM vs a single global lock) restated in
+// wall-clock serving form. Results land in a machine-readable JSON file
+// (BENCH_kv.json) to seed the repo's performance trajectory.
+//
+// Usage:
+//
+//	nztm-load                                  # self-host: nzstm vs glock
+//	nztm-load -systems nzstm,bzstm,glock -clients 16 -duration 3s
+//	nztm-load -addr host:7420 -duration 5s     # drive an external server
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nztm/internal/kv"
+	"nztm/internal/server"
+	"nztm/internal/tm"
+)
+
+type config struct {
+	clients   int
+	duration  time.Duration
+	warmup    time.Duration
+	keys      int
+	valueSize int
+	readFrac  float64
+	batchFrac float64
+	batchSize int
+	shards    int
+	buckets   int
+	threads   int
+}
+
+// result is one system's measurement, serialised into BENCH_kv.json.
+type result struct {
+	System     string  `json:"system"`
+	Clients    int     `json:"clients"`
+	DurationS  float64 `json:"duration_sec"`
+	Requests   uint64  `json:"requests"`
+	Failures   uint64  `json:"failures"`
+	Throughput float64 `json:"throughput_req_per_sec"`
+	P50Us      float64 `json:"p50_us"`
+	P99Us      float64 `json:"p99_us"`
+	MaxUs      float64 `json:"max_us"`
+	MeanUs     float64 `json:"mean_us"`
+	// TM counters over the measured interval (absent for -addr runs).
+	Commits    uint64  `json:"tm_commits,omitempty"`
+	Aborts     uint64  `json:"tm_aborts,omitempty"`
+	AbortRate  float64 `json:"tm_abort_rate,omitempty"`
+	Inflations uint64  `json:"tm_inflations,omitempty"`
+}
+
+type benchFile struct {
+	Benchmark string   `json:"benchmark"`
+	When      string   `json:"when"`
+	Clients   int      `json:"clients"`
+	Keys      int      `json:"keys"`
+	ValueSize int      `json:"value_size"`
+	ReadFrac  float64  `json:"read_frac"`
+	BatchFrac float64  `json:"batch_frac"`
+	BatchSize int      `json:"batch_size"`
+	Shards    int      `json:"shards"`
+	Buckets   int      `json:"buckets_per_shard"`
+	Threads   int      `json:"threads"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "drive an already-running server at this address instead of self-hosting")
+		systems  = flag.String("systems", "nzstm,glock", "comma-separated backends to self-host and compare: "+strings.Join(kv.BackendNames(), ", "))
+		clients  = flag.Int("clients", 8, "concurrent client connections")
+		duration = flag.Duration("duration", 2*time.Second, "measured run time per system")
+		warmup   = flag.Duration("warmup", 300*time.Millisecond, "unmeasured warmup per system")
+		// The default profile is TM-dominated (large values, wide batches)
+		// so that the backing system — not per-request socket overhead —
+		// sets the throughput.
+		keys     = flag.Int("keys", 256, "contended keyset size")
+		valSize  = flag.Int("value", 512, "value size in bytes")
+		readFrac = flag.Float64("reads", 0.5, "fraction of single-key requests that are GETs")
+		batch    = flag.Float64("batch", 0.5, "fraction of requests that are multi-key atomic batches")
+		batchSz  = flag.Int("batchsize", 16, "keys per batch request")
+		shards   = flag.Int("shards", 16, "self-hosted server shard count")
+		buckets  = flag.Int("buckets", 64, "self-hosted server buckets per shard")
+		threads  = flag.Int("threads", defaultThreads(), "self-hosted server TM thread pool size")
+		out      = flag.String("out", "BENCH_kv.json", "machine-readable output file (empty disables)")
+	)
+	flag.Parse()
+
+	cfg := config{
+		clients: *clients, duration: *duration, warmup: *warmup,
+		keys: *keys, valueSize: *valSize, readFrac: *readFrac,
+		batchFrac: *batch, batchSize: *batchSz,
+		shards: *shards, buckets: *buckets, threads: *threads,
+	}
+
+	var results []result
+	if *addr != "" {
+		r, err := measure("remote", *addr, nil, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, r)
+	} else {
+		for _, name := range strings.Split(*systems, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			r, err := selfHost(name, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+
+	fmt.Printf("\n%-10s %8s %12s %10s %10s %10s %10s\n",
+		"system", "clients", "req/s", "p50", "p99", "max", "abort%")
+	for _, r := range results {
+		fmt.Printf("%-10s %8d %12.0f %9.0fµs %9.0fµs %9.0fµs %9.2f%%\n",
+			r.System, r.Clients, r.Throughput, r.P50Us, r.P99Us, r.MaxUs, 100*r.AbortRate)
+	}
+	compare(results)
+
+	if *out != "" {
+		f := benchFile{
+			Benchmark: "kv-serving", When: time.Now().UTC().Format(time.RFC3339),
+			Clients: cfg.clients, Keys: cfg.keys, ValueSize: cfg.valueSize,
+			ReadFrac: cfg.readFrac, BatchFrac: cfg.batchFrac, BatchSize: cfg.batchSize,
+			Shards: cfg.shards, Buckets: cfg.buckets, Threads: cfg.threads,
+			Results: results,
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+// defaultThreads sizes the server's TM thread pool: all cores, but at
+// least 8 so request concurrency (and the lock-vs-NZSTM contention the
+// benchmark exists to show) survives small containers.
+func defaultThreads() int {
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		return n
+	}
+	return 8
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nztm-load:", err)
+	os.Exit(1)
+}
+
+// compare prints the paper's qualitative claim in serving form when both
+// NZSTM and the global-lock baseline were measured.
+func compare(results []result) {
+	var nz, gl *result
+	for i := range results {
+		switch results[i].System {
+		case "NZSTM":
+			nz = &results[i]
+		case "GlobalLock":
+			gl = &results[i]
+		}
+	}
+	if nz == nil || gl == nil || gl.Throughput == 0 {
+		return
+	}
+	fmt.Printf("\nNZSTM/GlobalLock throughput: %.2fx at %d clients (paper §4.4: NZSTM scales past the lock)\n",
+		nz.Throughput/gl.Throughput, nz.Clients)
+}
+
+// selfHost starts a server for the named backend on a loopback listener,
+// measures it, and shuts it down.
+func selfHost(name string, cfg config) (result, error) {
+	backend, err := kv.OpenBackend(name, cfg.threads)
+	if err != nil {
+		return result{}, err
+	}
+	store := kv.New(backend.Sys, cfg.shards, cfg.buckets)
+	srv := server.New(store, backend.Threads, server.Config{
+		MaxAttempts:    100_000,
+		RequestTimeout: 5 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return result{}, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	fmt.Printf("nztm-load: measuring %s on %s...\n", backend.Sys.Name(), ln.Addr())
+
+	r, err := measure(backend.Sys.Name(), ln.Addr().String(), backend.Sys.Stats(), cfg)
+	srv.Shutdown(5 * time.Second)
+	<-done
+	return r, err
+}
+
+// measure preloads the keyset and runs the closed loop: cfg.clients
+// goroutines, each with its own connection, issuing mixed single-key ops
+// and multi-key atomic batches as fast as responses come back.
+func measure(sysName, addr string, stats *tm.Stats, cfg config) (result, error) {
+	keys := make([]string, cfg.keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k:%06d", i)
+	}
+	value := make([]byte, cfg.valueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	setup, err := server.Dial(addr)
+	if err != nil {
+		return result{}, err
+	}
+	for _, k := range keys {
+		if _, err := setup.Put(k, value); err != nil {
+			setup.Close()
+			return result{}, fmt.Errorf("preload: %w", err)
+		}
+	}
+	setup.Close()
+
+	var (
+		recording atomic.Bool
+		stop      atomic.Bool
+		requests  atomic.Uint64
+		failures  atomic.Uint64
+		lat       server.Histogram
+		wg        sync.WaitGroup
+		errs      = make(chan error, cfg.clients)
+	)
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rng := uint64(id+1)*0x9e3779b97f4a7c15 + 11
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for !stop.Load() {
+				r := next()
+				var ops []kv.Op
+				switch {
+				case float64(r%1000)/1000 < cfg.batchFrac:
+					// Multi-key atomic batch: half reads, half writes.
+					ops = make([]kv.Op, cfg.batchSize)
+					write := next()%2 == 0
+					for i := range ops {
+						k := keys[next()%uint64(len(keys))]
+						if write {
+							ops[i] = kv.Op{Kind: kv.OpPut, Key: k, Value: value}
+						} else {
+							ops[i] = kv.Op{Kind: kv.OpGet, Key: k}
+						}
+					}
+				case float64(r>>10%1000)/1000 < cfg.readFrac:
+					ops = []kv.Op{{Kind: kv.OpGet, Key: keys[next()%uint64(len(keys))]}}
+				default:
+					ops = []kv.Op{{Kind: kv.OpPut, Key: keys[next()%uint64(len(keys))], Value: value}}
+				}
+				start := time.Now()
+				_, err := c.Do(ops)
+				if stop.Load() {
+					return
+				}
+				if err != nil {
+					if recording.Load() {
+						failures.Add(1)
+					}
+					continue
+				}
+				if recording.Load() {
+					requests.Add(1)
+					lat.Observe(time.Since(start))
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(cfg.warmup)
+	var before tm.StatsView
+	if stats != nil {
+		before = stats.View()
+	}
+	recording.Store(true)
+	measureStart := time.Now()
+	time.Sleep(cfg.duration)
+	recording.Store(false)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return result{}, err
+	default:
+	}
+
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	res := result{
+		System:     sysName,
+		Clients:    cfg.clients,
+		DurationS:  elapsed.Seconds(),
+		Requests:   requests.Load(),
+		Failures:   failures.Load(),
+		Throughput: float64(requests.Load()) / elapsed.Seconds(),
+		P50Us:      us(lat.Quantile(0.50)),
+		P99Us:      us(lat.Quantile(0.99)),
+		MaxUs:      us(lat.Max()),
+		MeanUs:     us(lat.Mean()),
+	}
+	if stats != nil {
+		d := stats.View().Delta(before)
+		res.Commits, res.Aborts, res.Inflations = d.Commits, d.Aborts, d.Inflations
+		res.AbortRate = d.AbortRate()
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+// nztm-server serves a sharded transactional key-value store over TCP,
+// backed by any of the repository's TM systems running in real-concurrency
+// mode — the serving-path deployment of NZSTM.
+//
+// Usage:
+//
+//	nztm-server -addr :7420 -statsz :7421 -system nzstm -shards 16 -buckets 64 -threads 8
+//
+// The binary speaks the length-prefixed binary protocol of internal/server
+// (use internal/server.Client or cmd/nztm-load to talk to it) and exposes a
+// plain-text /statsz HTTP endpoint dumping tm.StatsView counters, interval
+// rates, and server-side latency histograms. SIGINT/SIGTERM trigger a
+// graceful drain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"nztm/internal/kv"
+	"nztm/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7420", "TCP listen address for the KV protocol")
+		statsz  = flag.String("statsz", ":7421", "HTTP listen address for /statsz (empty disables)")
+		system  = flag.String("system", "nzstm", "backing TM system: "+strings.Join(kv.BackendNames(), ", "))
+		shards  = flag.Int("shards", 16, "shard count")
+		buckets = flag.Int("buckets", 64, "transactional buckets per shard")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "TM thread pool size (request execution concurrency)")
+		maxAtt  = flag.Int("max-attempts", 512, "per-request transaction attempt budget (0 = unlimited)")
+		timeout = flag.Duration("timeout", 2*time.Second, "per-request retry deadline (0 = none)")
+		infl    = flag.Int("max-inflight", 64, "max concurrently executing requests per connection")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	backend, err := kv.OpenBackend(*system, *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nztm-server:", err)
+		os.Exit(2)
+	}
+	store := kv.New(backend.Sys, *shards, *buckets)
+	srv := server.New(store, backend.Threads, server.Config{
+		MaxAttempts:    *maxAtt,
+		RequestTimeout: *timeout,
+		MaxInflight:    *infl,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nztm-server:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("nztm-server: serving %s (%d shards × %d buckets, %d threads) on %s\n",
+		backend.Sys.Name(), *shards, *buckets, *threads, ln.Addr())
+
+	if *statsz != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			srv.WriteStatsz(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*statsz, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "nztm-server: statsz:", err)
+			}
+		}()
+		fmt.Printf("nztm-server: /statsz on http://%s/statsz\n", *statsz)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Printf("nztm-server: %v, draining...\n", sig)
+		if err := srv.Shutdown(*drain); err != nil {
+			fmt.Fprintln(os.Stderr, "nztm-server:", err)
+		}
+		<-done
+	case err := <-done:
+		fmt.Fprintln(os.Stderr, "nztm-server:", err)
+		os.Exit(1)
+	}
+	srv.WriteStatsz(os.Stdout)
+}

@@ -151,6 +151,49 @@ func PrintFigure(w io.Writer, spec FigureSpec, panels []Panel) {
 // WriteCSV emits the panels as machine-readable rows: one line per
 // (workload, system, threads) cell with raw and normalised throughput and
 // the abort statistics — for plotting outside this repository.
+// CellJSON is one figure cell in machine-readable form, mirroring
+// WriteCSV's row schema (nztm-bench -json emits these).
+type CellJSON struct {
+	Figure      string  `json:"figure"`
+	Workload    string  `json:"workload"`
+	System      string  `json:"system"`
+	Threads     int     `json:"threads"`
+	Ops         uint64  `json:"ops"`
+	Cycles      uint64  `json:"cycles"`
+	Throughput  float64 `json:"throughput_ops_per_kcycle"`
+	Normalized  float64 `json:"normalized"`
+	Commits     uint64  `json:"commits"`
+	Aborts      uint64  `json:"aborts"`
+	AbortRate   float64 `json:"abort_rate"`
+	HWCommits   uint64  `json:"hw_commits"`
+	SWFallbacks uint64  `json:"sw_fallbacks"`
+	Inflations  uint64  `json:"inflations"`
+	Deflations  uint64  `json:"deflations"`
+}
+
+// JSONCells flattens a figure's panels into machine-readable cells.
+func JSONCells(spec FigureSpec, panels []Panel) []CellJSON {
+	var cells []CellJSON
+	for i := range panels {
+		p := &panels[i]
+		for _, th := range p.Threads {
+			for _, sys := range p.Systems {
+				r := p.Cells[th][sys]
+				cells = append(cells, CellJSON{
+					Figure: spec.Name, Workload: p.Workload, System: sys, Threads: th,
+					Ops: r.Ops, Cycles: r.Cycles,
+					Throughput: r.Throughput(), Normalized: p.Normalized(th, sys),
+					Commits: r.Stats.Commits, Aborts: r.Stats.Aborts,
+					AbortRate: r.Stats.AbortRate(),
+					HWCommits: r.Stats.HWCommits, SWFallbacks: r.Stats.SWFallbacks,
+					Inflations: r.Stats.Inflations, Deflations: r.Stats.Deflations,
+				})
+			}
+		}
+	}
+	return cells
+}
+
 func WriteCSV(w io.Writer, spec FigureSpec, panels []Panel) error {
 	cw := csv.NewWriter(w)
 	header := []string{

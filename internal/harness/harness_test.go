@@ -238,3 +238,32 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("bad row: %s", lines[1])
 	}
 }
+
+func TestJSONCells(t *testing.T) {
+	spec := FigureSpec{
+		Name:           "json-mini",
+		Systems:        []string{"NZSTM"},
+		Threads:        []int{1},
+		Workloads:      []string{"hashtable-low"},
+		BaselineSystem: "NZSTM",
+	}
+	panels, err := RunFigure(spec, RunConfig{OpsPerThread: 16, Seed: 9}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := JSONCells(spec, panels)
+	if len(cells) != 1 {
+		t.Fatalf("%d cells, want 1", len(cells))
+	}
+	c := cells[0]
+	if c.Figure != "json-mini" || c.Workload != "hashtable-low" || c.System != "NZSTM" || c.Threads != 1 {
+		t.Fatalf("cell identity wrong: %+v", c)
+	}
+	if c.Commits == 0 || c.Throughput <= 0 {
+		t.Fatalf("cell measurements missing: %+v", c)
+	}
+	// The baseline cell normalises to exactly 1.
+	if c.Normalized != 1 {
+		t.Fatalf("baseline normalization %v, want 1", c.Normalized)
+	}
+}

@@ -1,0 +1,68 @@
+package kv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nztm/internal/core"
+	"nztm/internal/dstm"
+	"nztm/internal/dstm2sf"
+	"nztm/internal/glock"
+	"nztm/internal/logtm"
+	"nztm/internal/tm"
+)
+
+// Backend bundles a TM system with the thread contexts that may drive it.
+// Thread IDs are unique in [0, threads) as the systems require; all threads
+// and the system share one World so layout addresses never collide.
+type Backend struct {
+	Sys     tm.System
+	Threads []*tm.Thread
+}
+
+// BackendNames lists the systems OpenBackend accepts, sorted.
+func BackendNames() []string {
+	names := make([]string, 0, len(backends))
+	for n := range backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var backends = map[string]func(world tm.World, threads int) tm.System{
+	"nzstm": func(w tm.World, n int) tm.System { return core.NewNZSTM(w, n) },
+	"nzstm-iv": func(w tm.World, n int) tm.System {
+		cfg := core.DefaultConfig(core.NZ, n)
+		cfg.Readers = core.InvisibleReaders
+		return core.New(w, cfg)
+	},
+	"bzstm":   func(w tm.World, n int) tm.System { return core.NewBZSTM(w, n) },
+	"scss":    func(w tm.World, n int) tm.System { return core.NewSCSS(w, n) },
+	"dstm":    func(w tm.World, n int) tm.System { return dstm.New(w, dstm.Config{Threads: n}) },
+	"dstm2sf": func(w tm.World, n int) tm.System { return dstm2sf.New(w, dstm2sf.Config{Threads: n}) },
+	"logtm":   func(w tm.World, n int) tm.System { return logtm.New(w, logtm.Config{Threads: n}) },
+	"glock":   func(w tm.World, n int) tm.System { return glock.New(w) },
+}
+
+// OpenBackend builds the named TM system for real-concurrency serving use,
+// along with `threads` ready-to-use thread contexts. Names are
+// case-insensitive; see BackendNames.
+func OpenBackend(name string, threads int) (*Backend, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	mk, ok := backends[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("kv: unknown backend %q (have %s)",
+			name, strings.Join(BackendNames(), ", "))
+	}
+	world := tm.NewRealWorld()
+	b := &Backend{Sys: mk(world, threads)}
+	b.Threads = make([]*tm.Thread, threads)
+	for i := range b.Threads {
+		b.Threads[i] = tm.NewThread(i, tm.NewRealEnv(i, world))
+	}
+	return b, nil
+}

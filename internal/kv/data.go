@@ -1,0 +1,89 @@
+package kv
+
+import "nztm/internal/tm"
+
+// entry is one key/value pair inside a bucket. Keys are immutable Go
+// strings; values are private byte slices owned by the bucket (Put copies
+// caller bytes in, Get copies bucket bytes out).
+type entry struct {
+	key string
+	val []byte
+}
+
+// bucketData is the tm.Data payload of one bucket object: an unordered
+// association list of the keys that hash to the bucket. It is the unit of
+// conflict detection — two requests conflict iff they touch the same
+// bucket — so the store's shard × bucket geometry directly sets the false
+// conflict rate (see DESIGN.md §8).
+type bucketData struct {
+	entries []entry
+}
+
+// Clone implements tm.Data: a deep copy (the TM systems keep clones as
+// backup copies and must not alias live value bytes).
+func (b *bucketData) Clone() tm.Data {
+	c := &bucketData{entries: make([]entry, len(b.entries))}
+	for i, e := range b.entries {
+		c.entries[i] = entry{key: e.key, val: append([]byte(nil), e.val...)}
+	}
+	return c
+}
+
+// CopyFrom implements tm.Data.
+func (b *bucketData) CopyFrom(src tm.Data) {
+	s := src.(*bucketData)
+	b.entries = b.entries[:0]
+	for _, e := range s.entries {
+		b.entries = append(b.entries, entry{key: e.key, val: append([]byte(nil), e.val...)})
+	}
+}
+
+// Words implements tm.Data: an estimate of the bucket's size in 8-byte
+// words, driving copy costs in sim mode (real mode ignores it).
+func (b *bucketData) Words() int {
+	w := 1
+	for _, e := range b.entries {
+		w += 2 + (len(e.key)+len(e.val)+7)/8
+	}
+	return w
+}
+
+// get returns the value stored under key. The returned slice aliases
+// bucket-owned memory; callers inside a transaction must copy it before
+// the transaction ends.
+func (b *bucketData) get(key string) ([]byte, bool) {
+	for i := range b.entries {
+		if b.entries[i].key == key {
+			return b.entries[i].val, true
+		}
+	}
+	return nil, false
+}
+
+// put stores a private copy of val under key.
+func (b *bucketData) put(key string, val []byte) {
+	v := append([]byte(nil), val...)
+	for i := range b.entries {
+		if b.entries[i].key == key {
+			b.entries[i].val = v
+			return
+		}
+	}
+	b.entries = append(b.entries, entry{key: key, val: v})
+}
+
+// del removes key, reporting whether it was present.
+func (b *bucketData) del(key string) bool {
+	for i := range b.entries {
+		if b.entries[i].key == key {
+			last := len(b.entries) - 1
+			b.entries[i] = b.entries[last]
+			b.entries[last] = entry{}
+			b.entries = b.entries[:last]
+			return true
+		}
+	}
+	return false
+}
+
+var _ tm.Data = (*bucketData)(nil)

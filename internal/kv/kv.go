@@ -1,0 +1,263 @@
+// Package kv is a sharded transactional key-value store built on the
+// repository's TM systems: the serving-path workload the ROADMAP asks for,
+// running NZSTM (or any other tm.System) in real-concurrency mode.
+//
+// Keys are strings, values are opaque byte slices. Every key hashes to one
+// of shards × bucketsPerShard transactional bucket objects; a request —
+// whether a single GET or a multi-key batch — executes as ONE transaction
+// over the buckets it touches. Because all buckets belong to a single
+// shared tm.System, cross-shard batches need no extra machinery: the TM
+// protocol itself provides atomicity and isolation across shards, which is
+// exactly the paper's pitch (zero-indirection data access with nonblocking
+// conflict resolution keeping the common, uncontended case fast).
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"nztm/internal/tm"
+)
+
+// OpKind selects a key-value operation.
+type OpKind uint8
+
+// Operations.
+const (
+	OpGet    OpKind = iota // read a key
+	OpPut                  // store a value unconditionally
+	OpDelete               // remove a key
+	OpCAS                  // compare-and-swap a value
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpCAS:
+		return "CAS"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one key-value operation inside a batch.
+type Op struct {
+	Kind OpKind
+	Key  string
+	// Value is the new value for PUT and CAS. A nil Value on CAS deletes
+	// the key when the expectation matches.
+	Value []byte
+	// Expect is CAS's expected current value; nil means "key must be
+	// absent". Ignored by the other ops.
+	Expect []byte
+}
+
+// Result is the outcome of one Op.
+type Result struct {
+	// Found reports: GET — the key was present; DELETE — the key existed;
+	// CAS — the expectation matched and the swap was applied; PUT — always
+	// true.
+	Found bool
+	// Value is the value read by a GET (nil when absent). The slice is
+	// private to the caller.
+	Value []byte
+}
+
+// Budget bounds the work a single request may spend retrying aborted
+// transaction attempts, so one pathologically contended request cannot
+// stall a serving thread forever.
+type Budget struct {
+	// MaxAttempts caps transaction attempts (0 = unlimited).
+	MaxAttempts int
+	// Deadline, when nonzero, stops retrying once passed. The first
+	// attempt always runs.
+	Deadline time.Time
+}
+
+// ErrBudget is returned when a request's retry budget is exhausted before
+// its transaction committed. The request had no effect.
+var ErrBudget = errors.New("kv: retry budget exhausted")
+
+// errCASMiss aborts a multi-op batch whose CAS expectation failed; it
+// never escapes Do.
+var errCASMiss = errors.New("kv: cas expectation failed")
+
+// Store is the sharded transactional key-value store.
+type Store struct {
+	sys     tm.System
+	shards  [][]tm.Object // shards[s][b] is one transactional bucket
+	buckets int           // buckets per shard
+}
+
+// New creates a store with shards × bucketsPerShard transactional bucket
+// objects on sys. Geometry only affects conflict granularity, never
+// correctness; see DESIGN.md ("Key-to-object mapping").
+func New(sys tm.System, shards, bucketsPerShard int) *Store {
+	if shards <= 0 {
+		shards = 1
+	}
+	if bucketsPerShard <= 0 {
+		bucketsPerShard = 1
+	}
+	s := &Store{sys: sys, buckets: bucketsPerShard}
+	s.shards = make([][]tm.Object, shards)
+	for i := range s.shards {
+		s.shards[i] = make([]tm.Object, bucketsPerShard)
+		for j := range s.shards[i] {
+			s.shards[i][j] = sys.NewObject(&bucketData{})
+		}
+	}
+	return s
+}
+
+// System returns the backing TM system (for stats reporting).
+func (s *Store) System() tm.System { return s.sys }
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// BucketsPerShard returns the per-shard bucket count.
+func (s *Store) BucketsPerShard() int { return s.buckets }
+
+// fnv1a is the 64-bit FNV-1a hash (inlined to avoid per-op allocation).
+func fnv1a(key string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime
+	}
+	return h
+}
+
+// object returns the bucket object key lives in. Shard and bucket indices
+// come from disjoint hash bits so shard count and bucket count do not have
+// to be coprime to spread keys evenly.
+func (s *Store) object(key string) tm.Object {
+	h := fnv1a(key)
+	shard := h % uint64(len(s.shards))
+	bucket := (h >> 32) % uint64(s.buckets)
+	return s.shards[shard][bucket]
+}
+
+// Do executes ops as one transaction on th, retrying aborted attempts
+// within budget. th must not be used concurrently by another goroutine for
+// the duration of the call.
+//
+// Batch semantics: either the whole batch commits or none of it does. A
+// CAS whose expectation fails inside a multi-op batch aborts the entire
+// batch (no effects; Do returns nil error) — results identify the failing
+// op with Found == false, and ops after it are zero-valued. A single-op
+// CAS miss simply reports Found == false.
+//
+// On ErrBudget the request had no effect.
+func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
+	results := make([]Result, len(ops))
+	attempt := 0
+	err := s.sys.Atomic(th, func(tx tm.Tx) error {
+		attempt++
+		if budget.MaxAttempts > 0 && attempt > budget.MaxAttempts {
+			return ErrBudget
+		}
+		if attempt > 1 && !budget.Deadline.IsZero() && time.Now().After(budget.Deadline) {
+			return ErrBudget
+		}
+		// A retried attempt re-runs from scratch: clear stale results.
+		for i := range results {
+			results[i] = Result{}
+		}
+		for i := range ops {
+			op := &ops[i]
+			switch op.Kind {
+			case OpGet:
+				d := tx.Read(s.object(op.Key)).(*bucketData)
+				if v, ok := d.get(op.Key); ok {
+					// Copy out: tx.Read data must not be retained past
+					// the transaction.
+					results[i] = Result{Found: true, Value: append([]byte(nil), v...)}
+				}
+			case OpPut:
+				tx.Update(s.object(op.Key), func(d tm.Data) {
+					d.(*bucketData).put(op.Key, op.Value)
+				})
+				results[i].Found = true
+			case OpDelete:
+				existed := false
+				tx.Update(s.object(op.Key), func(d tm.Data) {
+					existed = d.(*bucketData).del(op.Key)
+				})
+				results[i].Found = existed
+			case OpCAS:
+				swapped := false
+				tx.Update(s.object(op.Key), func(d tm.Data) {
+					b := d.(*bucketData)
+					cur, found := b.get(op.Key)
+					if found != (op.Expect != nil) || (found && !bytes.Equal(cur, op.Expect)) {
+						swapped = false
+						return
+					}
+					if op.Value == nil {
+						b.del(op.Key)
+					} else {
+						b.put(op.Key, op.Value)
+					}
+					swapped = true
+				})
+				results[i].Found = swapped
+				if !swapped && len(ops) > 1 {
+					return errCASMiss // aborts the attempt: batch is all-or-nothing
+				}
+			default:
+				return fmt.Errorf("kv: unknown op kind %d", op.Kind)
+			}
+		}
+		return nil
+	})
+	if errors.Is(err, errCASMiss) {
+		// The transaction's effects were discarded; the results slice
+		// (set before the abort) tells the caller which CAS missed.
+		return results, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Get reads one key.
+func (s *Store) Get(th *tm.Thread, key string, b Budget) (Result, error) {
+	return s.one(th, Op{Kind: OpGet, Key: key}, b)
+}
+
+// Put stores one key.
+func (s *Store) Put(th *tm.Thread, key string, val []byte, b Budget) (Result, error) {
+	return s.one(th, Op{Kind: OpPut, Key: key, Value: val}, b)
+}
+
+// Delete removes one key.
+func (s *Store) Delete(th *tm.Thread, key string, b Budget) (Result, error) {
+	return s.one(th, Op{Kind: OpDelete, Key: key}, b)
+}
+
+// CAS swaps one key's value if it currently equals expect.
+func (s *Store) CAS(th *tm.Thread, key string, expect, val []byte, b Budget) (Result, error) {
+	return s.one(th, Op{Kind: OpCAS, Key: key, Expect: expect, Value: val}, b)
+}
+
+func (s *Store) one(th *tm.Thread, op Op, b Budget) (Result, error) {
+	rs, err := s.Do(th, []Op{op}, b)
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], nil
+}

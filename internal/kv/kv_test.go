@@ -1,0 +1,371 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"nztm/internal/tm"
+)
+
+func newStore(t *testing.T, threads, shards, buckets int) (*Store, *Backend) {
+	t.Helper()
+	b, err := OpenBackend("nzstm", threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(b.Sys, shards, buckets), b
+}
+
+func TestBucketData(t *testing.T) {
+	b := &bucketData{}
+	if _, ok := b.get("a"); ok {
+		t.Fatal("empty bucket claims to hold a key")
+	}
+	b.put("a", []byte("1"))
+	b.put("b", []byte("2"))
+	b.put("a", []byte("3")) // overwrite
+	if v, ok := b.get("a"); !ok || string(v) != "3" {
+		t.Fatalf("get(a) = %q, %v", v, ok)
+	}
+	clone := b.Clone().(*bucketData)
+	b.put("a", []byte("4"))
+	if v, _ := clone.get("a"); string(v) != "3" {
+		t.Fatalf("clone aliases original: got %q", v)
+	}
+	if !b.del("a") || b.del("a") {
+		t.Fatal("del should report presence exactly once")
+	}
+	b.CopyFrom(clone)
+	if v, ok := b.get("a"); !ok || string(v) != "3" {
+		t.Fatalf("CopyFrom lost data: %q, %v", v, ok)
+	}
+	if b.Words() <= 0 {
+		t.Fatal("Words must be positive")
+	}
+}
+
+func TestSingleKeyOps(t *testing.T) {
+	s, b := newStore(t, 1, 4, 8)
+	th := b.Threads[0]
+	nb := Budget{}
+
+	if r, err := s.Get(th, "k", nb); err != nil || r.Found {
+		t.Fatalf("get of absent key: %+v, %v", r, err)
+	}
+	if r, err := s.Put(th, "k", []byte("v1"), nb); err != nil || !r.Found {
+		t.Fatalf("put: %+v, %v", r, err)
+	}
+	if r, err := s.Get(th, "k", nb); err != nil || !r.Found || string(r.Value) != "v1" {
+		t.Fatalf("get after put: %+v, %v", r, err)
+	}
+
+	// CAS with wrong expectation misses and has no effect.
+	if r, err := s.CAS(th, "k", []byte("nope"), []byte("v2"), nb); err != nil || r.Found {
+		t.Fatalf("cas miss: %+v, %v", r, err)
+	}
+	if r, _ := s.Get(th, "k", nb); string(r.Value) != "v1" {
+		t.Fatalf("cas miss mutated value: %q", r.Value)
+	}
+	// CAS with right expectation swaps.
+	if r, err := s.CAS(th, "k", []byte("v1"), []byte("v2"), nb); err != nil || !r.Found {
+		t.Fatalf("cas hit: %+v, %v", r, err)
+	}
+	// CAS expect-absent (nil) inserts only when missing.
+	if r, err := s.CAS(th, "new", nil, []byte("x"), nb); err != nil || !r.Found {
+		t.Fatalf("cas insert: %+v, %v", r, err)
+	}
+	if r, err := s.CAS(th, "new", nil, []byte("y"), nb); err != nil || r.Found {
+		t.Fatalf("cas insert over existing key should miss: %+v, %v", r, err)
+	}
+	// CAS with nil value deletes.
+	if r, err := s.CAS(th, "new", []byte("x"), nil, nb); err != nil || !r.Found {
+		t.Fatalf("cas delete: %+v, %v", r, err)
+	}
+	if r, _ := s.Get(th, "new", nb); r.Found {
+		t.Fatal("cas delete left the key behind")
+	}
+
+	if r, err := s.Delete(th, "k", nb); err != nil || !r.Found {
+		t.Fatalf("delete: %+v, %v", r, err)
+	}
+	if r, err := s.Delete(th, "k", nb); err != nil || r.Found {
+		t.Fatalf("double delete: %+v, %v", r, err)
+	}
+}
+
+func TestBatchAtomicCASMiss(t *testing.T) {
+	s, b := newStore(t, 1, 4, 8)
+	th := b.Threads[0]
+	nb := Budget{}
+	s.Put(th, "a", []byte("10"), nb)
+	s.Put(th, "b", []byte("20"), nb)
+
+	// Second CAS misses: the whole batch must have no effect, even though
+	// the first CAS matched.
+	rs, err := s.Do(th, []Op{
+		{Kind: OpCAS, Key: "a", Expect: []byte("10"), Value: []byte("5")},
+		{Kind: OpCAS, Key: "b", Expect: []byte("999"), Value: []byte("25")},
+		{Kind: OpPut, Key: "c", Value: []byte("zzz")},
+	}, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Found != true || rs[1].Found != false {
+		t.Fatalf("results should mark the failing CAS: %+v", rs)
+	}
+	if r, _ := s.Get(th, "a", nb); string(r.Value) != "10" {
+		t.Fatalf("aborted batch leaked a write: a=%q", r.Value)
+	}
+	if r, _ := s.Get(th, "c", nb); r.Found {
+		t.Fatal("aborted batch leaked a later op")
+	}
+
+	// Same batch with a matching expectation commits everything.
+	rs, err = s.Do(th, []Op{
+		{Kind: OpCAS, Key: "a", Expect: []byte("10"), Value: []byte("5")},
+		{Kind: OpCAS, Key: "b", Expect: []byte("20"), Value: []byte("25")},
+		{Kind: OpPut, Key: "c", Value: []byte("zzz")},
+	}, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if !r.Found {
+			t.Fatalf("op %d should have applied: %+v", i, rs)
+		}
+	}
+	if r, _ := s.Get(th, "c", nb); !r.Found {
+		t.Fatal("committed batch lost an op")
+	}
+}
+
+// fakeSys forces a configurable number of retries so the budget path can
+// be tested deterministically (real systems only retry under contention).
+type fakeSys struct {
+	objs  []*bucketData
+	force int
+}
+
+type fakeTx struct{ s *fakeSys }
+
+func (t *fakeTx) Read(o tm.Object) tm.Data            { return o.(*bucketData) }
+func (t *fakeTx) Update(o tm.Object, f func(tm.Data)) { f(o.(*bucketData)) }
+
+func (s *fakeSys) Name() string                  { return "fake" }
+func (s *fakeSys) Stats() *tm.Stats              { return &tm.Stats{} }
+func (s *fakeSys) NewObject(d tm.Data) tm.Object { return d }
+func (s *fakeSys) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	for {
+		err := fn(&fakeTx{s: s})
+		if s.force > 0 {
+			s.force--
+			continue // pretend the attempt aborted and retry
+		}
+		return err
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	fs := &fakeSys{force: 5}
+	s := New(fs, 1, 4)
+	th := tm.NewThread(0, tm.NewRealEnv(0, tm.NewRealWorld()))
+	_, err := s.Do(th, []Op{{Kind: OpPut, Key: "k", Value: []byte("v")}}, Budget{MaxAttempts: 3})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget after forced retries, got %v", err)
+	}
+	// With enough attempts the same request succeeds.
+	fs.force = 2
+	if _, err := s.Do(th, []Op{{Kind: OpPut, Key: "k", Value: []byte("v")}}, Budget{MaxAttempts: 5}); err != nil {
+		t.Fatalf("budgeted request should succeed: %v", err)
+	}
+}
+
+// TestConcurrentCounters drives many goroutines CAS-incrementing a small
+// contended keyset and checks no update is ever lost.
+func TestConcurrentCounters(t *testing.T) {
+	const (
+		threads = 8
+		keys    = 4
+		incs    = 200
+	)
+	s, b := newStore(t, threads, 4, 4)
+	th0 := b.Threads[0]
+	for k := 0; k < keys; k++ {
+		s.Put(th0, fmt.Sprintf("ctr:%d", k), []byte("0"), Budget{})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(th *tm.Thread, seed uint64) {
+			defer wg.Done()
+			rng := seed*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < incs; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				key := fmt.Sprintf("ctr:%d", rng%keys)
+				for {
+					cur, err := s.Get(th, key, Budget{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var n int64
+					fmt.Sscanf(string(cur.Value), "%d", &n)
+					next := []byte(fmt.Sprintf("%d", n+1))
+					r, err := s.CAS(th, key, cur.Value, next, Budget{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if r.Found {
+						break
+					}
+				}
+			}
+		}(b.Threads[w], uint64(w+1))
+	}
+	wg.Wait()
+
+	var total int64
+	for k := 0; k < keys; k++ {
+		r, err := s.Get(th0, fmt.Sprintf("ctr:%d", k), Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int64
+		fmt.Sscanf(string(r.Value), "%d", &n)
+		total += n
+	}
+	if want := int64(threads * incs); total != want {
+		t.Fatalf("lost updates: counters sum to %d, want %d", total, want)
+	}
+}
+
+// TestConcurrentBatchInvariant runs transfer batches against auditor
+// batches: the total across the keyset must be constant in every atomic
+// snapshot, across shards.
+func TestConcurrentBatchInvariant(t *testing.T) {
+	const (
+		threads = 8
+		keys    = 8
+		initial = 100
+		iters   = 150
+	)
+	s, b := newStore(t, threads, 4, 2) // few buckets: heavy contention
+	th0 := b.Threads[0]
+	allKeys := make([]string, keys)
+	for k := range allKeys {
+		allKeys[k] = fmt.Sprintf("acct:%d", k)
+		s.Put(th0, allKeys[k], []byte(fmt.Sprintf("%d", initial)), Budget{})
+	}
+	want := int64(keys * initial)
+
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(th *tm.Thread, id int) {
+			defer wg.Done()
+			rng := uint64(id)*0x9e3779b97f4a7c15 + 7
+			for i := 0; i < iters; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				if id%4 == 0 {
+					// Auditor: one atomic GET batch over every account.
+					ops := make([]Op, keys)
+					for k, key := range allKeys {
+						ops[k] = Op{Kind: OpGet, Key: key}
+					}
+					rs, err := s.Do(th, ops, Budget{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var sum int64
+					for _, r := range rs {
+						var n int64
+						fmt.Sscanf(string(r.Value), "%d", &n)
+						sum += n
+					}
+					if sum != want {
+						t.Errorf("audit saw torn total %d, want %d", sum, want)
+						return
+					}
+					continue
+				}
+				from := allKeys[rng%keys]
+				to := allKeys[(rng>>20)%keys]
+				if from == to {
+					continue
+				}
+				amt := int64(rng%9) + 1
+				// Optimistic read then CAS-batch: all-or-nothing.
+				for {
+					rs, err := s.Do(th, []Op{
+						{Kind: OpGet, Key: from}, {Kind: OpGet, Key: to},
+					}, Budget{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var vf, vt int64
+					fmt.Sscanf(string(rs[0].Value), "%d", &vf)
+					fmt.Sscanf(string(rs[1].Value), "%d", &vt)
+					cs, err := s.Do(th, []Op{
+						{Kind: OpCAS, Key: from, Expect: rs[0].Value, Value: []byte(fmt.Sprintf("%d", vf-amt))},
+						{Kind: OpCAS, Key: to, Expect: rs[1].Value, Value: []byte(fmt.Sprintf("%d", vt+amt))},
+					}, Budget{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if cs[0].Found && cs[1].Found {
+						break
+					}
+				}
+			}
+		}(b.Threads[w], w)
+	}
+	wg.Wait()
+
+	var sum int64
+	for _, key := range allKeys {
+		r, err := s.Get(th0, key, Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int64
+		fmt.Sscanf(string(r.Value), "%d", &n)
+		sum += n
+	}
+	if sum != want {
+		t.Fatalf("final total %d, want %d", sum, want)
+	}
+}
+
+func TestOpenBackendNames(t *testing.T) {
+	for _, name := range BackendNames() {
+		b, err := OpenBackend(name, 2)
+		if err != nil {
+			t.Fatalf("OpenBackend(%q): %v", name, err)
+		}
+		if len(b.Threads) != 2 {
+			t.Fatalf("OpenBackend(%q): %d threads", name, len(b.Threads))
+		}
+		s := New(b.Sys, 2, 2)
+		if _, err := s.Put(b.Threads[0], "k", []byte("v"), Budget{}); err != nil {
+			t.Fatalf("put on %q: %v", name, err)
+		}
+		r, err := s.Get(b.Threads[1], "k", Budget{})
+		if err != nil || !r.Found || string(r.Value) != "v" {
+			t.Fatalf("get on %q: %+v, %v", name, r, err)
+		}
+	}
+	if _, err := OpenBackend("bogus", 1); err == nil {
+		t.Fatal("bogus backend should fail")
+	}
+}

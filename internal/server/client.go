@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"nztm/internal/kv"
+)
+
+// Client is a pipelining connection to a Server. It is safe for concurrent
+// use: many goroutines may issue requests over one connection, writes are
+// serialised, and a background reader matches (possibly out-of-order)
+// responses to callers by request id — so a single TCP connection carries
+// many overlapping requests.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan reply
+	err     error // set once the connection dies
+
+	nextID atomic.Uint64
+}
+
+type reply struct {
+	status  uint8
+	results []kv.Result
+	errmsg  string
+}
+
+// Dial connects to a Server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		bw:      newBufWriter(conn),
+		pending: make(map[uint64]chan reply),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down; outstanding and future calls fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.fail(ErrClosed)
+	return err
+}
+
+// readLoop delivers responses to waiting callers.
+func (c *Client) readLoop() {
+	br := newBufReader(c.conn)
+	var buf []byte
+	for {
+		var payload []byte
+		var err error
+		payload, buf, err = readFrame(br, buf)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		id, status, results, errmsg, err := parseResponse(payload)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- reply{status: status, results: results, errmsg: errmsg}
+		}
+	}
+}
+
+// fail poisons the client and wakes every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	waiters := c.pending
+	c.pending = make(map[uint64]chan reply)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// Do executes ops as one atomic batch on the server and returns the
+// per-op results (see kv.Store.Do for batch semantics). It blocks until
+// the response arrives; other goroutines' requests overlap freely.
+func (c *Client) Do(ops []kv.Op) ([]kv.Result, error) {
+	id := c.nextID.Add(1)
+	payload, err := appendRequest(nil, id, ops)
+	if err != nil {
+		return nil, err
+	}
+
+	ch := make(chan reply, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	werr := writeFrame(c.bw, payload)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("%w: %v", ErrClosed, werr))
+		return nil, werr
+	}
+
+	r, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	switch r.status {
+	case StatusOK:
+		if len(r.results) != len(ops) {
+			return nil, fmt.Errorf("server: %d results for %d ops", len(r.results), len(ops))
+		}
+		return r.results, nil
+	case StatusBudget:
+		return nil, kv.ErrBudget
+	case StatusShutdown:
+		return nil, ErrServerClosed
+	default:
+		return nil, fmt.Errorf("server: status %d: %s", r.status, r.errmsg)
+	}
+}
+
+// Get reads key.
+func (c *Client) Get(key string) (kv.Result, error) {
+	return c.one(kv.Op{Kind: kv.OpGet, Key: key})
+}
+
+// Put stores val under key.
+func (c *Client) Put(key string, val []byte) (kv.Result, error) {
+	return c.one(kv.Op{Kind: kv.OpPut, Key: key, Value: val})
+}
+
+// Delete removes key.
+func (c *Client) Delete(key string) (kv.Result, error) {
+	return c.one(kv.Op{Kind: kv.OpDelete, Key: key})
+}
+
+// CAS swaps key's value to val if it currently equals expect (nil expect:
+// key must be absent; nil val: delete on match).
+func (c *Client) CAS(key string, expect, val []byte) (kv.Result, error) {
+	return c.one(kv.Op{Kind: kv.OpCAS, Key: key, Expect: expect, Value: val})
+}
+
+func (c *Client) one(op kv.Op) (kv.Result, error) {
+	rs, err := c.Do([]kv.Op{op})
+	if err != nil {
+		return kv.Result{}, err
+	}
+	return rs[0], nil
+}

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nztm/internal/kv"
+	"nztm/internal/tm"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxAttempts caps transaction attempts per request (0 = unlimited).
+	MaxAttempts int
+	// RequestTimeout is the per-request retry deadline (0 = none).
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrently executing requests per connection
+	// (further pipelined requests queue in the kernel socket buffer).
+	// Default 64.
+	MaxInflight int
+}
+
+// Server serves a kv.Store over length-prefixed TCP. One goroutine per
+// connection reads requests; each request checks a tm.Thread out of a
+// shared pool, executes as one transaction, and writes its response
+// (possibly out of order — responses carry the request id). Responses are
+// batched: the writer flushes only when its queue drains.
+type Server struct {
+	store *kv.Store
+	pool  chan *tm.Thread
+	cfg   Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	wg sync.WaitGroup // live connections
+
+	started       time.Time
+	connsTotal    atomic.Uint64
+	reqOK         atomic.Uint64
+	reqBudget     atomic.Uint64
+	reqBad        atomic.Uint64
+	reqErr        atomic.Uint64
+	reqShutdown   atomic.Uint64
+	singleLatency Histogram
+	batchLatency  Histogram
+
+	statszMu   sync.Mutex
+	statszPrev tm.StatsView
+	statszAt   time.Time
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// New creates a server over store. threads is the pool of TM thread
+// contexts bounding request-execution concurrency; each must have a unique
+// ID valid for the store's system, and the pool owns them exclusively.
+func New(store *kv.Store, threads []*tm.Thread, cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	s := &Server{
+		store:   store,
+		pool:    make(chan *tm.Thread, len(threads)),
+		cfg:     cfg,
+		conns:   make(map[net.Conn]struct{}),
+		started: time.Now(),
+	}
+	for _, th := range threads {
+		s.pool <- th
+	}
+	s.statszAt = s.started
+	return s
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.connsTotal.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown stops the server gracefully: the listener closes, connection
+// readers stop picking up new requests, in-flight requests finish and
+// their responses flush, then connections close. If the drain exceeds
+// timeout (0 = a generous default), remaining connections are closed hard.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return nil
+	}
+	s.shutdown = true
+	ln := s.ln
+	for conn := range s.conns {
+		// Unblock the connection's reader; it observes the shutdown flag
+		// and drains instead of treating this as an I/O failure.
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return fmt.Errorf("server: shutdown forced after %v", timeout)
+}
+
+func (s *Server) shuttingDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdown
+}
+
+// serveConn runs one connection: a reader loop (this goroutine) and a
+// response writer goroutine, with per-request handler goroutines in
+// between, bounded by MaxInflight and the thread pool.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	responses := make(chan []byte, 2*s.cfg.MaxInflight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := newBufWriter(conn)
+		for payload := range responses {
+			if err := writeFrame(bw, payload); err != nil {
+				drain(responses)
+				return
+			}
+			if len(responses) == 0 {
+				if err := bw.Flush(); err != nil {
+					drain(responses)
+					return
+				}
+			}
+		}
+		bw.Flush()
+	}()
+
+	var inflight sync.WaitGroup
+	sem := make(chan struct{}, s.cfg.MaxInflight)
+	br := newBufReader(conn)
+	var buf []byte
+	for {
+		var payload []byte
+		var err error
+		payload, buf, err = readFrame(br, buf)
+		if err != nil {
+			if isDeadline(err) && s.shuttingDown() {
+				// Graceful drain: stop reading, let in-flight requests
+				// finish, flush, close.
+				break
+			}
+			// EOF, hard error, or malformed stream: stop reading. For a
+			// desynchronised stream there is no way to answer reliably.
+			break
+		}
+		id, ops, perr := parseRequest(payload)
+		if perr != nil {
+			s.reqBad.Add(1)
+			inflight.Add(1)
+			responses <- appendResponse(nil, id, StatusBad, nil, perr.Error())
+			inflight.Done()
+			continue
+		}
+		if s.shuttingDown() {
+			s.reqShutdown.Add(1)
+			responses <- appendResponse(nil, id, StatusShutdown, nil, "shutting down")
+			break
+		}
+		sem <- struct{}{}
+		inflight.Add(1)
+		go func(id uint64, ops []kv.Op) {
+			defer func() { <-sem; inflight.Done() }()
+			responses <- s.execute(id, ops)
+		}(id, ops)
+	}
+	inflight.Wait()
+	close(responses)
+	<-writerDone
+}
+
+// execute runs one request on a pooled thread and encodes its response.
+func (s *Server) execute(id uint64, ops []kv.Op) []byte {
+	th := <-s.pool
+	start := time.Now()
+	budget := kv.Budget{MaxAttempts: s.cfg.MaxAttempts}
+	if s.cfg.RequestTimeout > 0 {
+		budget.Deadline = start.Add(s.cfg.RequestTimeout)
+	}
+	results, err := s.store.Do(th, ops, budget)
+	elapsed := time.Since(start)
+	s.pool <- th
+
+	if len(ops) > 1 {
+		s.batchLatency.Observe(elapsed)
+	} else {
+		s.singleLatency.Observe(elapsed)
+	}
+	switch {
+	case err == nil:
+		s.reqOK.Add(1)
+		return appendResponse(nil, id, StatusOK, results, "")
+	case errors.Is(err, kv.ErrBudget):
+		s.reqBudget.Add(1)
+		return appendResponse(nil, id, StatusBudget, nil, err.Error())
+	default:
+		s.reqErr.Add(1)
+		return appendResponse(nil, id, StatusError, nil, err.Error())
+	}
+}
+
+// SingleLatency exposes the single-op latency histogram.
+func (s *Server) SingleLatency() *Histogram { return &s.singleLatency }
+
+// BatchLatency exposes the batch latency histogram.
+func (s *Server) BatchLatency() *Histogram { return &s.batchLatency }
+
+// WriteStatsz dumps a human-readable metrics snapshot: server counters,
+// latency histograms, the backing system's cumulative tm counters, and —
+// via StatsView.Delta — per-second rates since the previous WriteStatsz
+// call.
+func (s *Server) WriteStatsz(w io.Writer) {
+	sys := s.store.System()
+	now := time.Now()
+	view := sys.Stats().View()
+
+	s.statszMu.Lock()
+	prev, prevAt := s.statszPrev, s.statszAt
+	s.statszPrev, s.statszAt = view, now
+	s.statszMu.Unlock()
+
+	s.mu.Lock()
+	open := len(s.conns)
+	s.mu.Unlock()
+
+	fmt.Fprintf(w, "nztm-server statsz\n")
+	fmt.Fprintf(w, "system: %s\n", sys.Name())
+	fmt.Fprintf(w, "uptime: %v\n", now.Sub(s.started).Round(time.Millisecond))
+	fmt.Fprintf(w, "store: shards=%d buckets/shard=%d threads=%d\n",
+		s.store.Shards(), s.store.BucketsPerShard(), cap(s.pool))
+	fmt.Fprintf(w, "connections: open=%d total=%d\n", open, s.connsTotal.Load())
+	fmt.Fprintf(w, "requests: ok=%d budget=%d bad=%d error=%d shutdown=%d\n",
+		s.reqOK.Load(), s.reqBudget.Load(), s.reqBad.Load(),
+		s.reqErr.Load(), s.reqShutdown.Load())
+	fmt.Fprintf(w, "latency single: %s\n", s.singleLatency.Summary())
+	fmt.Fprintf(w, "latency batch:  %s\n", s.batchLatency.Summary())
+	fmt.Fprintf(w, "tm cumulative: commits=%d aborts=%d abort_rate=%.2f%% abort_requests=%d waits=%d inflations=%d deflations=%d locator_ops=%d backup_reuse=%d\n",
+		view.Commits, view.Aborts, 100*view.AbortRate(), view.AbortRequests,
+		view.Waits, view.Inflations, view.Deflations, view.LocatorOps, view.BackupReuse)
+	dt := now.Sub(prevAt).Seconds()
+	if dt > 0 {
+		d := view.Delta(prev)
+		fmt.Fprintf(w, "tm interval (%.1fs): commits/s=%.0f aborts/s=%.0f inflations/s=%.0f\n",
+			dt, float64(d.Commits)/dt, float64(d.Aborts)/dt, float64(d.Inflations)/dt)
+	}
+	fmt.Fprintf(w, "latency single buckets:\n")
+	s.singleLatency.Dump(w)
+	fmt.Fprintf(w, "latency batch buckets:\n")
+	s.batchLatency.Dump(w)
+}
+
+func drain(ch chan []byte) {
+	for range ch {
+	}
+}
+
+func isDeadline(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

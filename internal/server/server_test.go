@@ -1,0 +1,411 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"nztm/internal/kv"
+)
+
+func TestProtocolRoundTrip(t *testing.T) {
+	ops := []kv.Op{
+		{Kind: kv.OpGet, Key: "k1"},
+		{Kind: kv.OpPut, Key: "k2", Value: []byte("v2")},
+		{Kind: kv.OpPut, Key: "k3", Value: []byte{}}, // empty ≠ nil
+		{Kind: kv.OpDelete, Key: "k4"},
+		{Kind: kv.OpCAS, Key: "k5", Expect: nil, Value: []byte("v5")},
+		{Kind: kv.OpCAS, Key: "k6", Expect: []byte("old"), Value: nil},
+	}
+	payload, err := appendRequest(nil, 42, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, got, err := parseRequest(payload)
+	if err != nil || id != 42 {
+		t.Fatalf("parseRequest: id=%d err=%v", id, err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("op count %d != %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i].Kind != ops[i].Kind || got[i].Key != ops[i].Key ||
+			!bytes.Equal(got[i].Value, ops[i].Value) || !bytes.Equal(got[i].Expect, ops[i].Expect) ||
+			(got[i].Value == nil) != (ops[i].Value == nil) ||
+			(got[i].Expect == nil) != (ops[i].Expect == nil) {
+			t.Fatalf("op %d mismatch: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+
+	results := []kv.Result{
+		{Found: true, Value: []byte("x")},
+		{Found: false, Value: nil},
+		{Found: true, Value: []byte{}},
+	}
+	rp := appendResponse(nil, 7, StatusOK, results, "")
+	rid, status, rs, _, err := parseResponse(rp)
+	if err != nil || rid != 7 || status != StatusOK || len(rs) != 3 {
+		t.Fatalf("parseResponse: id=%d status=%d n=%d err=%v", rid, status, len(rs), err)
+	}
+	for i := range results {
+		if rs[i].Found != results[i].Found || !bytes.Equal(rs[i].Value, results[i].Value) ||
+			(rs[i].Value == nil) != (results[i].Value == nil) {
+			t.Fatalf("result %d mismatch: %+v != %+v", i, rs[i], results[i])
+		}
+	}
+
+	ep := appendResponse(nil, 9, StatusBudget, nil, "out of budget")
+	_, status, _, msg, err := parseResponse(ep)
+	if err != nil || status != StatusBudget || msg != "out of budget" {
+		t.Fatalf("error response: status=%d msg=%q err=%v", status, msg, err)
+	}
+
+	// Truncated payloads must error, not panic.
+	for cut := 0; cut < len(payload); cut++ {
+		if _, _, err := parseRequest(payload[:cut]); err == nil && cut < len(payload) {
+			// Some prefixes can parse as a shorter valid request only if
+			// lengths line up; the trailing-bytes check prevents that.
+			t.Fatalf("truncated request at %d parsed", cut)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 250*time.Microsecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50 %v out of plausible range", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < p50 || p99 > h.Max() {
+		t.Fatalf("p99 %v not in [p50 %v, max %v]", p99, p50, h.Max())
+	}
+	if h.Max() != 1000*time.Microsecond {
+		t.Fatalf("max %v", h.Max())
+	}
+	if m := h.Mean(); m < 400*time.Microsecond || m > 600*time.Microsecond {
+		t.Fatalf("mean %v", m)
+	}
+}
+
+// startServer spins up a loopback server over an NZSTM-backed store and
+// returns its address and a stopper.
+func startServer(t *testing.T, backend string, threads int, cfg Config) (*Server, string, func()) {
+	t.Helper()
+	b, err := kv.OpenBackend(backend, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kv.New(b.Sys, 4, 16)
+	srv := New(store, b.Threads, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() {
+		srv.Shutdown(5 * time.Second)
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v", err)
+		}
+	}
+	return srv, ln.Addr().String(), stop
+}
+
+// TestEndToEnd drives ≥8 concurrent clients over real sockets against the
+// NZSTM backend: mixed single-key ops and multi-key atomic batches,
+// asserting no lost updates and batch atomicity (run under -race in tier-1
+// verification).
+func TestEndToEnd(t *testing.T) {
+	const (
+		clients  = 10
+		accounts = 8
+		counters = 4
+		initial  = 1000
+		iters    = 120
+	)
+	srv, addr, stop := startServer(t, "nzstm", 8, Config{})
+	defer stop()
+
+	setup, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acctKeys := make([]string, accounts)
+	for i := range acctKeys {
+		acctKeys[i] = fmt.Sprintf("acct:%d", i)
+		if _, err := setup.Put(acctKeys[i], []byte(strconv.Itoa(initial))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < counters; i++ {
+		if _, err := setup.Put(fmt.Sprintf("ctr:%d", i), []byte("0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantTotal := int64(accounts * initial)
+
+	var wg sync.WaitGroup
+	incs := make([]int64, clients) // successful increments per client
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rng := uint64(id+1)*0x9e3779b97f4a7c15 + 3
+			for i := 0; i < iters; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				switch id % 3 {
+				case 0: // auditor: atomic GET batch over all accounts
+					ops := make([]kv.Op, accounts)
+					for k, key := range acctKeys {
+						ops[k] = kv.Op{Kind: kv.OpGet, Key: key}
+					}
+					rs, err := c.Do(ops)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var sum int64
+					for _, r := range rs {
+						n, _ := strconv.ParseInt(string(r.Value), 10, 64)
+						sum += n
+					}
+					if sum != wantTotal {
+						t.Errorf("client %d: torn batch read, total %d != %d", id, sum, wantTotal)
+						return
+					}
+				case 1: // transfer: optimistic CAS batch across two accounts
+					from := acctKeys[rng%accounts]
+					to := acctKeys[(rng>>20)%accounts]
+					if from == to {
+						continue
+					}
+					amt := int64(rng%7) + 1
+					for {
+						rs, err := c.Do([]kv.Op{
+							{Kind: kv.OpGet, Key: from}, {Kind: kv.OpGet, Key: to},
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						vf, _ := strconv.ParseInt(string(rs[0].Value), 10, 64)
+						vt, _ := strconv.ParseInt(string(rs[1].Value), 10, 64)
+						cs, err := c.Do([]kv.Op{
+							{Kind: kv.OpCAS, Key: from, Expect: rs[0].Value,
+								Value: []byte(strconv.FormatInt(vf-amt, 10))},
+							{Kind: kv.OpCAS, Key: to, Expect: rs[1].Value,
+								Value: []byte(strconv.FormatInt(vt+amt, 10))},
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if cs[0].Found && cs[1].Found {
+							break
+						}
+					}
+				case 2: // counter: single-key CAS increment loop
+					key := fmt.Sprintf("ctr:%d", rng%counters)
+					for {
+						cur, err := c.Get(key)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						n, _ := strconv.ParseInt(string(cur.Value), 10, 64)
+						r, err := c.CAS(key, cur.Value, []byte(strconv.FormatInt(n+1, 10)))
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if r.Found {
+							incs[id]++
+							break
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// No lost updates: account total preserved, counter total = successful
+	// increments.
+	var finalTotal int64
+	for _, key := range acctKeys {
+		r, err := setup.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := strconv.ParseInt(string(r.Value), 10, 64)
+		finalTotal += n
+	}
+	if finalTotal != wantTotal {
+		t.Fatalf("lost transfer updates: %d != %d", finalTotal, wantTotal)
+	}
+	var wantIncs, gotIncs int64
+	for _, n := range incs {
+		wantIncs += n
+	}
+	for i := 0; i < counters; i++ {
+		r, err := setup.Get(fmt.Sprintf("ctr:%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := strconv.ParseInt(string(r.Value), 10, 64)
+		gotIncs += n
+	}
+	if gotIncs != wantIncs {
+		t.Fatalf("lost counter updates: %d != %d", gotIncs, wantIncs)
+	}
+
+	// statsz renders and reflects traffic.
+	var buf bytes.Buffer
+	srv.WriteStatsz(&buf)
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("system: NZSTM")) {
+		t.Fatalf("statsz missing system line:\n%s", out)
+	}
+	if srv.SingleLatency().Count() == 0 || srv.BatchLatency().Count() == 0 {
+		t.Fatalf("latency histograms empty:\n%s", out)
+	}
+	setup.Close()
+}
+
+// TestPipelining issues many overlapping requests from one connection's
+// worth of goroutines and checks they all complete correctly.
+func TestPipelining(t *testing.T) {
+	_, addr, stop := startServer(t, "nzstm", 4, Config{})
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("pipe:%d", g)
+			for i := 0; i < 50; i++ {
+				want := []byte(fmt.Sprintf("%d-%d", g, i))
+				if _, err := c.Put(key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				r, err := c.Get(key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !r.Found || !bytes.Equal(r.Value, want) {
+					t.Errorf("goroutine %d: read %q want %q", g, r.Value, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestBackendsServe smoke-tests every backend over a socket, including the
+// GlobalLock baseline the load generator compares against.
+func TestBackendsServe(t *testing.T) {
+	for _, backend := range []string{"nzstm", "bzstm", "glock"} {
+		t.Run(backend, func(t *testing.T) {
+			_, addr, stop := startServer(t, backend, 4, Config{MaxAttempts: 10_000})
+			defer stop()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Put("k", []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+			r, err := c.Get("k")
+			if err != nil || !r.Found || string(r.Value) != "v" {
+				t.Fatalf("get: %+v %v", r, err)
+			}
+			if r, err := c.Delete("k"); err != nil || !r.Found {
+				t.Fatalf("delete: %+v %v", r, err)
+			}
+		})
+	}
+}
+
+// TestGracefulShutdown checks Shutdown lets an in-flight request finish
+// and then refuses further traffic.
+func TestGracefulShutdown(t *testing.T) {
+	srv, addr, _ := startServer(t, "nzstm", 2, Config{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+	// The connection is now closed; further calls fail.
+	if _, err := c.Get("k"); err == nil {
+		t.Fatal("request after shutdown should fail")
+	}
+	if err := srv.Serve(nil); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve after shutdown: %v", err)
+	}
+}
+
+// TestBadFrame sends garbage and checks the server survives (closes the
+// connection without crashing) and keeps serving others.
+func TestBadFrame(t *testing.T) {
+	_, addr, stop := startServer(t, "nzstm", 2, Config{})
+	defer stop()
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame claiming to be bigger than MaxFrame.
+	raw.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	buf := make([]byte, 1)
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := raw.Read(buf); err == nil {
+		t.Fatal("server should close a desynchronised connection")
+	}
+	raw.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Put("still", []byte("alive")); err != nil {
+		t.Fatalf("server died after bad frame: %v", err)
+	}
+}

@@ -48,12 +48,17 @@ type RealEnv struct {
 // NewRealEnv creates a real-execution environment. world may be shared by
 // many envs; it only hands out fake layout addresses.
 func NewRealEnv(id int, world World) *RealEnv {
-	return &RealEnv{
+	e := &RealEnv{
 		id:    id,
 		world: world,
 		rng:   uint64(id+1)*0x9e3779b97f4a7c15 ^ uint64(rand.Int63()),
 		start: time.Now(),
 	}
+	if e.rng == 0 {
+		// xorshift* has an all-zero absorbing state; never start there.
+		e.rng = uint64(id+1) * 0x2545f4914f6cdd1d
+	}
+	return e
 }
 
 // Access implements Env (no cost in real mode).

@@ -1,0 +1,133 @@
+package tm
+
+import (
+	"sync"
+	"testing"
+
+	"nztm/internal/machine"
+)
+
+// TestRealEnvNowMonotone checks Now never goes backwards and eventually
+// advances — patience thresholds and timestamp contention decisions both
+// rely on it.
+func TestRealEnvNowMonotone(t *testing.T) {
+	e := NewRealEnv(0, NewRealWorld())
+	prev := e.Now()
+	advanced := false
+	for i := 0; i < 200_000; i++ {
+		now := e.Now()
+		if now < prev {
+			t.Fatalf("Now went backwards: %d -> %d", prev, now)
+		}
+		if now > prev {
+			advanced = true
+		}
+		prev = now
+	}
+	if !advanced {
+		t.Fatal("Now never advanced across 200k samples")
+	}
+}
+
+// TestRealEnvRandIndependence checks per-thread Rand streams are usable
+// concurrently (they are thread-local state), never get stuck, and differ
+// between threads.
+func TestRealEnvRandIndependence(t *testing.T) {
+	world := NewRealWorld()
+	const threads = 8
+	const draws = 10_000
+	streams := make([][]uint64, threads)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e := NewRealEnv(id, world)
+			s := make([]uint64, draws)
+			for j := range s {
+				s[j] = e.Rand()
+			}
+			streams[id] = s
+		}(i)
+	}
+	wg.Wait()
+
+	for i, s := range streams {
+		// A stuck xorshift* repeats (the all-zero state maps to 0 forever).
+		seen := make(map[uint64]struct{}, draws)
+		zeros := 0
+		for _, v := range s {
+			if v == 0 {
+				zeros++
+			}
+			seen[v] = struct{}{}
+		}
+		if zeros > 1 || len(seen) < draws-2 {
+			t.Fatalf("thread %d stream degenerate: %d zeros, %d distinct of %d",
+				i, zeros, len(seen), draws)
+		}
+		// Streams from different threads must not be identical.
+		for j := 0; j < i; j++ {
+			same := 0
+			for k := 0; k < draws; k++ {
+				if streams[j][k] == s[k] {
+					same++
+				}
+			}
+			if same == draws {
+				t.Fatalf("threads %d and %d produced identical Rand streams", j, i)
+			}
+		}
+	}
+}
+
+// TestRealWorldAllocUnique checks concurrent Alloc calls hand out disjoint
+// address ranges — object metadata collocation depends on every object
+// having its own addresses.
+func TestRealWorldAllocUnique(t *testing.T) {
+	world := NewRealWorld()
+	const threads = 8
+	const allocs = 5_000
+	got := make([][]machine.Addr, threads)
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e := NewRealEnv(id, world)
+			a := make([]machine.Addr, allocs)
+			for j := range a {
+				// Vary size and alignment; every call must get fresh space.
+				a[j] = e.Alloc(1+j%7, j%3 == 0)
+			}
+			got[id] = a
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[machine.Addr]int, threads*allocs)
+	for id, addrs := range got {
+		for _, a := range addrs {
+			if a == 0 {
+				t.Fatal("Alloc returned address 0 (reserved)")
+			}
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("address %d handed to both thread %d and thread %d", a, prev, id)
+			}
+			seen[a] = id
+		}
+	}
+}
+
+// TestRealEnvIDAndSpin covers the trivial Env methods on the real path.
+func TestRealEnvIDAndSpin(t *testing.T) {
+	e := NewRealEnv(3, NewRealWorld())
+	if e.ID() != 3 {
+		t.Fatalf("ID = %d", e.ID())
+	}
+	e.Spin() // must not deadlock or panic
+	e.Access(0, 1, true)
+	e.CAS(0)
+	e.Copy(10)
+	e.Work(100)
+}

@@ -86,6 +86,36 @@ func (s *Stats) View() StatsView {
 	}
 }
 
+// Delta returns the counter increments between prev and v (v - prev,
+// fieldwise). Servers and load generators snapshot a live system's View
+// periodically and report per-interval rates from the Delta instead of
+// cumulative totals. Counters only grow, so a negative delta (prev from a
+// different or reset system) saturates to zero rather than wrapping.
+func (v StatsView) Delta(prev StatsView) StatsView {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	return StatsView{
+		Commits:       sub(v.Commits, prev.Commits),
+		Aborts:        sub(v.Aborts, prev.Aborts),
+		AbortRequests: sub(v.AbortRequests, prev.AbortRequests),
+		Waits:         sub(v.Waits, prev.Waits),
+		Inflations:    sub(v.Inflations, prev.Inflations),
+		Deflations:    sub(v.Deflations, prev.Deflations),
+		LocatorOps:    sub(v.LocatorOps, prev.LocatorOps),
+		BackupReuse:   sub(v.BackupReuse, prev.BackupReuse),
+		HWCommits:     sub(v.HWCommits, prev.HWCommits),
+		HWConflict:    sub(v.HWConflict, prev.HWConflict),
+		HWCapacity:    sub(v.HWCapacity, prev.HWCapacity),
+		HWEvent:       sub(v.HWEvent, prev.HWEvent),
+		HWExplicit:    sub(v.HWExplicit, prev.HWExplicit),
+		SWFallbacks:   sub(v.SWFallbacks, prev.SWFallbacks),
+	}
+}
+
 // AbortRate returns aborted attempts / total attempts, the statistic the
 // paper reports per benchmark (§4.4.1).
 func (v StatsView) AbortRate() float64 {

@@ -82,3 +82,35 @@ func TestGetBackupFreshWhenPoolEmpty(t *testing.T) {
 		t.Fatal("fresh clone counted as reuse")
 	}
 }
+
+func TestStatsViewDelta(t *testing.T) {
+	var s Stats
+	s.Commits.Store(10)
+	s.Aborts.Store(4)
+	s.Inflations.Store(2)
+	prev := s.View()
+
+	s.Commits.Add(25)
+	s.Aborts.Add(5)
+	s.Inflations.Add(1)
+	s.HWCommits.Add(7)
+	d := s.View().Delta(prev)
+
+	if d.Commits != 25 || d.Aborts != 5 || d.Inflations != 1 || d.HWCommits != 7 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+	if d.Deflations != 0 || d.Waits != 0 {
+		t.Fatalf("untouched counters must delta to zero: %+v", d)
+	}
+	// Rates computed over the delta, not the cumulative view.
+	if got := d.AbortRate(); got != 5.0/30.0 {
+		t.Fatalf("interval abort rate %v", got)
+	}
+	// A prev from a reset/different system saturates at zero, not wraps.
+	var fresh Stats
+	fresh.Commits.Store(3)
+	d = fresh.View().Delta(s.View())
+	if d.Commits != 0 {
+		t.Fatalf("negative delta should saturate to 0, got %d", d.Commits)
+	}
+}
