@@ -1,19 +1,27 @@
 # Tier-1 verification and developer shortcuts.
 #
 #   make check      build + full tests + race detector over the concurrency-
-#                   critical packages (tm, core, kv, server) — run this
-#                   before sending a PR
+#                   critical packages (tm, core, kv, server, fault,
+#                   histcheck) + protocol fuzzers + a short fault-injected
+#                   soak — run this before sending a PR
+#   make fuzz       native Go fuzzing of the wire protocol (10s per target)
+#   make soak       short seeded fault-injection soak with linearizability
+#                   checking (see cmd/nztm-soak; SOAK_FLAGS to customise)
 #   make bench-kv   serving-path benchmark: NZSTM vs GlobalLock over real
 #                   sockets, results in BENCH_kv.json
 #   make serve      run nztm-server with defaults
 
 GO ?= go
 
-RACE_PKGS = ./internal/tm ./internal/core ./internal/kv ./internal/server
+RACE_PKGS = ./internal/tm ./internal/core ./internal/kv ./internal/server \
+            ./internal/fault ./internal/histcheck
 
-.PHONY: check build test race bench-kv serve
+FUZZ_TIME ?= 10s
+SOAK_FLAGS ?= -seed 1 -duration 5s
 
-check: build test race
+.PHONY: check build test race fuzz soak bench-kv serve
+
+check: build test race fuzz soak
 
 build:
 	$(GO) build ./...
@@ -23,6 +31,14 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+fuzz:
+	$(GO) test -run=NoTestsMatch -fuzz=FuzzParseRequest -fuzztime=$(FUZZ_TIME) ./internal/server
+	$(GO) test -run=NoTestsMatch -fuzz=FuzzParseResponse -fuzztime=$(FUZZ_TIME) ./internal/server
+	$(GO) test -run=NoTestsMatch -fuzz=FuzzFrame -fuzztime=$(FUZZ_TIME) ./internal/server
+
+soak:
+	$(GO) run ./cmd/nztm-soak $(SOAK_FLAGS)
 
 bench-kv:
 	$(GO) run ./cmd/nztm-load -out BENCH_kv.json

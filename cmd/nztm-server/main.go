@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"nztm/internal/fault"
 	"nztm/internal/kv"
 	"nztm/internal/server"
 )
@@ -41,6 +42,8 @@ func main() {
 		timeout = flag.Duration("timeout", 2*time.Second, "per-request retry deadline (0 = none)")
 		infl    = flag.Int("max-inflight", 64, "max concurrently executing requests per connection")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		faultSd = flag.Uint64("fault-seed", 0, "arm the fault-injection plane with this seed (0 = off)")
+		backoff = flag.Duration("retry-backoff", 0, "base backoff between transaction retries (0 = immediate retry)")
 	)
 	flag.Parse()
 
@@ -49,20 +52,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nztm-server:", err)
 		os.Exit(2)
 	}
-	store := kv.New(backend.Sys, *shards, *buckets)
-	srv := server.New(store, backend.Threads, server.Config{
+	sys := backend.Sys
+	cfg := server.Config{
 		MaxAttempts:    *maxAtt,
 		RequestTimeout: *timeout,
 		MaxInflight:    *infl,
-	})
+		RetryBackoff:   *backoff,
+	}
+	var plane *fault.Plane
+	if *faultSd != 0 {
+		fcfg := fault.DefaultConfig(*faultSd)
+		if strings.EqualFold(*system, "glock") {
+			// The global-lock baseline cannot retry (tm.Retry panics over
+			// it); every other fault class stays on.
+			fcfg.AbortProb = 0
+		}
+		plane = fault.New(fcfg)
+		plane.WrapThreads(backend.Threads)
+		sys = plane.WrapSystem(sys)
+		cfg.ExtraStatsz = plane.WriteStats
+	}
+	store := kv.New(sys, *shards, *buckets)
+	srv := server.New(store, backend.Threads, cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nztm-server:", err)
 		os.Exit(1)
 	}
+	if plane != nil {
+		ln = plane.WrapListener(ln)
+		fmt.Printf("nztm-server: fault plane armed, seed=%d\n", *faultSd)
+	}
 	fmt.Printf("nztm-server: serving %s (%d shards × %d buckets, %d threads) on %s\n",
-		backend.Sys.Name(), *shards, *buckets, *threads, ln.Addr())
+		store.System().Name(), *shards, *buckets, *threads, ln.Addr())
 
 	if *statsz != "" {
 		mux := http.NewServeMux()

@@ -1,0 +1,319 @@
+// nztm-soak is the serving stack's end-to-end torture test: it starts an
+// in-process nztm-server with the fault plane armed (injected transaction
+// aborts, latency spikes, mid-transaction stalls, connection resets, torn
+// writes, slow reads), hammers it with concurrent clients that reconnect
+// through the chaos, records every request's invocation/response window,
+// and then verifies the recorded history with internal/histcheck.
+//
+// It exits nonzero if any of the following fail:
+//
+//   - linearizability: the recorded history admits no legal sequential
+//     order under kv.Store semantics;
+//   - progress hygiene: goroutines leak past server shutdown;
+//   - chaos liveness: the fault plane injected nothing (a misconfigured
+//     soak proves nothing).
+//
+// Usage:
+//
+//	nztm-soak -system nzstm -seed 1 -duration 30s -clients 4 -rate 200
+//
+// Determinism: the seed fixes every injection schedule and the client
+// workload; goroutine interleaving still varies run to run, which is the
+// point — each run explores a different schedule of the same fault load.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"nztm/internal/fault"
+	"nztm/internal/histcheck"
+	"nztm/internal/kv"
+	"nztm/internal/server"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "nzstm", "backing TM system: "+strings.Join(kv.BackendNames(), ", "))
+		seed     = flag.Uint64("seed", 1, "fault-plane and workload seed")
+		duration = flag.Duration("duration", 5*time.Second, "soak duration")
+		clients  = flag.Int("clients", 4, "concurrent client connections")
+		keys     = flag.Int("keys", 16, "workload key-space size (grouped in cliques of 4)")
+		shards   = flag.Int("shards", 4, "store shard count")
+		buckets  = flag.Int("buckets", 16, "transactional buckets per shard")
+		threads  = flag.Int("threads", 4, "TM thread pool size")
+		rate     = flag.Int("rate", 200, "target ops/sec per client (0 = unthrottled; keep the history checkable)")
+		limit    = flag.Int("limit", 0, "linearizability search budget in states (0 = checker default)")
+	)
+	flag.Parse()
+	if err := run(*system, *seed, *duration, *clients, *keys, *shards, *buckets, *threads, *rate, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "nztm-soak: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("nztm-soak: PASS")
+}
+
+func run(system string, seed uint64, duration time.Duration, clients, keys, shards, buckets, threads, rate, limit int) error {
+	backend, err := kv.OpenBackend(system, threads)
+	if err != nil {
+		return err
+	}
+	cfg := fault.DefaultConfig(seed)
+	if strings.EqualFold(system, "glock") {
+		// The global-lock baseline cannot retry (tm.Retry panics over it),
+		// so injected aborts are off; every other fault class stays on.
+		cfg.AbortProb = 0
+	}
+	plane := fault.New(cfg)
+	plane.WrapThreads(backend.Threads)
+	store := kv.New(plane.WrapSystem(backend.Sys), shards, buckets)
+	srv := server.New(store, backend.Threads, server.Config{
+		MaxAttempts:    512,
+		RequestTimeout: 2 * time.Second,
+		RetryBackoff:   100 * time.Microsecond,
+		ExtraStatsz:    plane.WriteStats,
+	})
+
+	// Goroutine baseline before anything soak-owned starts; everything the
+	// soak spawns must be gone again after shutdown.
+	g0 := runtime.NumGoroutine()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(plane.WrapListener(ln)) }()
+	fmt.Printf("nztm-soak: %s on %s, seed=%d, %d clients for %v\n",
+		store.System().Name(), addr, seed, clients, duration)
+
+	rec := histcheck.NewRecorder()
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			soakClient(id, addr, seed, keys, rate, deadline, rec)
+		}(c)
+	}
+	wg.Wait()
+
+	if err := srv.Shutdown(10 * time.Second); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveDone; err != nil && !errors.Is(err, server.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	srv.WriteStatsz(os.Stdout)
+
+	// Chaos liveness: a soak that injected nothing proved nothing.
+	if plane.Injected() == 0 {
+		return errors.New("fault plane injected zero faults — soak configuration is inert")
+	}
+
+	// Progress hygiene: all soak-owned goroutines (connection handlers,
+	// client read loops, stalled sleepers) must unwind. Injected stalls
+	// sleep tens of milliseconds, so poll with a settle window.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	gN := runtime.NumGoroutine()
+	for gN > g0 && time.Now().Before(leakDeadline) {
+		time.Sleep(20 * time.Millisecond)
+		gN = runtime.NumGoroutine()
+	}
+	if gN > g0 {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		fmt.Fprintf(os.Stderr, "--- goroutine dump ---\n%s\n", buf[:n])
+		return fmt.Errorf("goroutine leak: %d before soak, %d after shutdown", g0, gN)
+	}
+
+	hist := rec.History()
+	start := time.Now()
+	res := histcheck.CheckWithLimit(hist, limit)
+	fmt.Printf("nztm-soak: checked %d ops in %d partitions (%d states visited) in %v\n",
+		res.Ops, res.Partitions, res.Visited, time.Since(start).Round(time.Millisecond))
+	if !res.Ok {
+		if res.Capped {
+			return fmt.Errorf("linearizability check exhausted its %d-state budget (rerun with -rate lower or -limit higher): %v", limit, res.Violation)
+		}
+		return fmt.Errorf("history is NOT linearizable: %v", res.Violation)
+	}
+	return nil
+}
+
+// soakClient drives one connection until deadline: randomized GET/PUT/CAS/
+// DELETE singles and occasional two-key batches over a clique-partitioned
+// key space, retrying budget-exhausted responses and reconnecting (and
+// recording the in-flight request as lost) when the connection dies.
+func soakClient(id int, addr string, seed uint64, keys, rate int, deadline time.Time, rec *histcheck.Recorder) {
+	rng := newWorkloadRNG(seed, id)
+	policy := server.RetryPolicy{MaxAttempts: 8, Base: time.Millisecond, Max: 50 * time.Millisecond}
+	lastSeen := make(map[string][]byte) // most recent value observed per key
+
+	cl := redial(addr, deadline)
+	if cl == nil {
+		return
+	}
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Second / time.Duration(rate)
+	}
+	next := time.Now()
+	for seq := 0; time.Now().Before(deadline); seq++ {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		ops := randomOps(rng, id, seq, keys, lastSeen)
+		p := rec.Begin(id, ops)
+		results, err := cl.DoRetry(ops, policy)
+		switch {
+		case err == nil:
+			p.Done(results)
+			observe(lastSeen, ops, results)
+		case errors.Is(err, kv.ErrBudget):
+			// The server guarantees a budget-exhausted request had no
+			// effect, so it constrains nothing.
+			p.Discard()
+		default:
+			// Connection death (possibly an injected reset): the request's
+			// outcome is unknown. Record it as lost and reconnect.
+			p.Lost()
+			cl.Close()
+			cl = redial(addr, deadline)
+			if cl == nil {
+				return
+			}
+		}
+	}
+}
+
+// redial connects with short retries until deadline; nil when it expires.
+func redial(addr string, deadline time.Time) *server.Client {
+	for time.Now().Before(deadline) {
+		cl, err := server.Dial(addr)
+		if err == nil {
+			return cl
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// randomOps builds the next request. Keys live in cliques of 4 and batches
+// only ever pair keys within one clique, so the recorded history partitions
+// into per-clique groups the checker can search independently.
+func randomOps(rng *workloadRNG, client, seq, keys int, lastSeen map[string][]byte) []kv.Op {
+	key := func() string { return fmt.Sprintf("k%03d", rng.intn(keys)) }
+	mkOp := func(k string) kv.Op {
+		val := []byte(fmt.Sprintf("c%d-%d", client, seq))
+		switch r := rng.intn(100); {
+		case r < 40:
+			return kv.Op{Kind: kv.OpGet, Key: k}
+		case r < 65:
+			return kv.Op{Kind: kv.OpPut, Key: k, Value: val}
+		case r < 90:
+			// CAS from the last value this client observed for k (nil
+			// expect = create-if-absent): a realistic mix of hits and
+			// misses that actually exercises the conditional path.
+			return kv.Op{Kind: kv.OpCAS, Key: k, Expect: lastSeen[k], Value: val}
+		default:
+			return kv.Op{Kind: kv.OpDelete, Key: k}
+		}
+	}
+	if rng.intn(100) < 15 && keys >= 2 {
+		// Two-key atomic batch within one clique of 4.
+		clique := rng.intn((keys + 3) / 4)
+		lo := clique * 4
+		hi := lo + 4
+		if hi > keys {
+			hi = keys
+		}
+		a := lo + rng.intn(hi-lo)
+		b := lo + rng.intn(hi-lo)
+		if a == b {
+			b = lo + (b-lo+1)%(hi-lo)
+		}
+		if a == b {
+			return []kv.Op{mkOp(fmt.Sprintf("k%03d", a))}
+		}
+		return []kv.Op{mkOp(fmt.Sprintf("k%03d", a)), mkOp(fmt.Sprintf("k%03d", b))}
+	}
+	return []kv.Op{mkOp(key())}
+}
+
+// observe updates the client's last-seen value map from a successful
+// response, feeding future CAS expectations.
+func observe(lastSeen map[string][]byte, ops []kv.Op, results []kv.Result) {
+	for i := range ops {
+		switch ops[i].Kind {
+		case kv.OpGet:
+			if results[i].Found {
+				lastSeen[ops[i].Key] = results[i].Value
+			} else {
+				delete(lastSeen, ops[i].Key)
+			}
+		case kv.OpPut:
+			lastSeen[ops[i].Key] = ops[i].Value
+		case kv.OpCAS:
+			if results[i].Found { // CAS hit: the new value is installed
+				if ops[i].Value == nil {
+					delete(lastSeen, ops[i].Key)
+				} else {
+					lastSeen[ops[i].Key] = ops[i].Value
+				}
+			}
+		case kv.OpDelete:
+			delete(lastSeen, ops[i].Key)
+		}
+	}
+}
+
+// workloadRNG is a splitmix64-seeded xorshift64* stream, one per client,
+// so the workload is reproducible from the soak seed alone.
+type workloadRNG struct{ x uint64 }
+
+func newWorkloadRNG(seed uint64, client int) *workloadRNG {
+	x := seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i <= client; i++ {
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	if x == 0 {
+		x = 0x2545f4914f6cdd1d
+	}
+	return &workloadRNG{x: x}
+}
+
+func (r *workloadRNG) next() uint64 {
+	x := r.x
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.x = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *workloadRNG) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

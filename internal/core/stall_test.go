@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+
+	"nztm/internal/cm"
+	"nztm/internal/tm"
+	"nztm/internal/tmtest"
+)
+
+// realFactory configures a variant for real-concurrency execution, where
+// env time is nanoseconds (so patience values are ns, not cycles).
+func realFactory(v Variant, readers ReaderMode) tmtest.Factory {
+	return func(world tm.World, threads int) tm.System {
+		cfg := DefaultConfig(v, threads)
+		cfg.Readers = readers
+		cfg.AckPatience = 50_000 // ns
+		cfg.Manager = cm.NewKarma(20_000)
+		return New(world, cfg)
+	}
+}
+
+// The paper's nonblocking property as a real concurrent library: a thread
+// that stalls forever mid-transaction, holding write ownership, must not
+// stop the other threads from committing. NZSTM's escape hatch is
+// inflation after AckPatience (§2.3.1); SCSS steals via its store barrier.
+// BZSTM is deliberately absent: it blocks on abort acknowledgements.
+func TestStallToleranceNZ(t *testing.T) {
+	tmtest.RunStall(t, realFactory(NZ, VisibleReaders))
+}
+
+func TestStallToleranceNZInvisible(t *testing.T) {
+	tmtest.RunStall(t, realFactory(NZ, InvisibleReaders))
+}
+
+func TestStallToleranceSCSS(t *testing.T) {
+	tmtest.RunStall(t, realFactory(SCSS, VisibleReaders))
+}

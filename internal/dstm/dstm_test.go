@@ -94,3 +94,10 @@ func TestAggressiveManagerStillCorrect(t *testing.T) {
 		t.Fatalf("counter = %d, want 300", v)
 	}
 }
+
+// A thread stalled forever mid-transaction must not block the others:
+// DSTM is obstruction-free — the contention manager aborts the stalled
+// owner after its patience and the Locator CAS installs a new version.
+func TestStallTolerance(t *testing.T) {
+	tmtest.RunStall(t, factory)
+}

@@ -66,3 +66,10 @@ func TestEagerRestoreOnAbortSelf(t *testing.T) {
 type tmErr struct{}
 
 func (tmErr) Error() string { return "tm error" }
+
+// tmtest.RunStall is deliberately NOT wired here: the shadow factory
+// mutates live data in place, so a conflicting transaction can only ask
+// the owner to abort and must block until the owner acknowledges (see the
+// package doc). A thread stalled mid-transaction therefore wedges its
+// rivals forever — the blocking behaviour NZSTM's inflation exists to
+// avoid, and exactly what the stall harness would (correctly) flag.

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// ErrInjectedReset is the error surfaced by a Conn whose write was chosen
+// for an injected connection reset.
+var ErrInjectedReset = errors.New("fault: injected connection reset")
+
+// Conn decorates a net.Conn with connection-layer faults:
+//
+//   - slow reads: a Read may sleep before touching the socket;
+//   - torn writes: a Write may be split into two segments with a delay in
+//     between, so frames cross the wire in pieces and the peer's reassembly
+//     is exercised;
+//   - resets: a Write may deliver only a prefix and then close the
+//     connection, leaving a torn frame and a peer that sees EOF/ECONNRESET
+//     mid-message.
+//
+// Reads and writes draw from independent deterministic streams, so a
+// connection may be read and written concurrently (as both the server and
+// the pipelining client do).
+type Conn struct {
+	net.Conn
+	p      *Plane
+	rs, ws *stream
+}
+
+// WrapConn decorates c. When the plane is disabled, c is returned
+// unwrapped. Each wrapped connection gets the next pair of deterministic
+// streams, so with the same seed the Nth accepted connection sees the same
+// fault schedule across runs.
+func (p *Plane) WrapConn(c net.Conn) net.Conn {
+	if !p.Enabled() {
+		return c
+	}
+	id := p.connSeq.Add(1)
+	return &Conn{
+		Conn: c,
+		p:    p,
+		rs:   newStream(p.cfg.Seed, 0x10000+2*id),
+		ws:   newStream(p.cfg.Seed, 0x10000+2*id+1),
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(b []byte) (int, error) {
+	cfg := &c.p.cfg
+	if c.rs.hit(cfg.SlowReadProb) {
+		c.p.SlowReads.Add(1)
+		time.Sleep(cfg.SlowRead)
+	}
+	return c.Conn.Read(b)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(b []byte) (int, error) {
+	cfg := &c.p.cfg
+	if len(b) > 1 && c.ws.hit(cfg.ResetProb) {
+		c.p.Resets.Add(1)
+		n, _ := c.Conn.Write(b[:len(b)/2]) // torn frame on the wire
+		c.Conn.Close()
+		return n, ErrInjectedReset
+	}
+	if len(b) > 1 && c.ws.hit(cfg.PartialWriteProb) {
+		c.p.PartialWrites.Add(1)
+		half := len(b) / 2
+		n, err := c.Conn.Write(b[:half])
+		if err != nil {
+			return n, err
+		}
+		time.Sleep(cfg.Delay)
+		m, err := c.Conn.Write(b[half:])
+		return n + m, err
+	}
+	return c.Conn.Write(b)
+}
+
+// Listener decorates a net.Listener so every accepted connection is
+// fault-wrapped.
+type Listener struct {
+	net.Listener
+	p *Plane
+}
+
+// WrapListener decorates ln. When the plane is disabled, ln is returned
+// unwrapped.
+func (p *Plane) WrapListener(ln net.Listener) net.Listener {
+	if !p.Enabled() {
+		return ln
+	}
+	return &Listener{Listener: ln, p: p}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.p.WrapConn(c), nil
+}

@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nztm/internal/core"
+	"nztm/internal/tm"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := newStream(42, 7)
+	b := newStream(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatalf("streams with identical seed/site diverged at draw %d", i)
+		}
+	}
+	c := newStream(42, 8)
+	same := true
+	a = newStream(42, 7)
+	for i := 0; i < 64; i++ {
+		if a.next() != c.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct sites produced identical streams")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	s := newStream(1, 1)
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if s.hit(0.1) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.08 || got > 0.12 {
+		t.Fatalf("hit rate for p=0.1: got %.4f", got)
+	}
+	if s.hit(0) {
+		t.Fatal("hit(0) fired")
+	}
+	if !s.hit(1) {
+		t.Fatal("hit(1) missed")
+	}
+}
+
+func TestDisabledPlaneIsTransparent(t *testing.T) {
+	p := New(Config{Seed: 1})
+	sys := core.NewNZSTM(tm.NewRealWorld(), 1)
+	if got := p.WrapSystem(sys); got != tm.System(sys) {
+		t.Fatal("disabled plane wrapped the system")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if got := p.WrapListener(ln); got != ln {
+		t.Fatal("disabled plane wrapped the listener")
+	}
+}
+
+// A heavily faulted NZSTM must stay correct: every injected abort retries,
+// every stall is ridden out, and the counter still lands exactly.
+func TestFaultedSystemStaysCorrect(t *testing.T) {
+	const workers, each = 4, 150
+	p := New(Config{
+		Seed:      7,
+		AbortProb: 0.05,
+		DelayProb: 0.05,
+		Delay:     50 * time.Microsecond,
+		StallProb: 0.01,
+		Stall:     2 * time.Millisecond,
+	})
+	world := tm.NewRealWorld()
+	sys := p.WrapSystem(core.NewNZSTM(world, workers))
+	o := sys.NewObject(tm.NewInts(1))
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := tm.NewThread(id, tm.NewRealEnv(id, world))
+			for j := 0; j < each; j++ {
+				if err := sys.Atomic(th, func(tx tm.Tx) error {
+					tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	th := tm.NewThread(0, tm.NewRealEnv(0, world))
+	var got int64
+	if err := sys.Atomic(th, func(tx tm.Tx) error {
+		got = tx.Read(o).(*tm.Ints).V[0]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+	if p.Aborts.Load() == 0 {
+		t.Error("no aborts injected despite AbortProb=0.05")
+	}
+	if p.FaultedCommits.Load() == 0 {
+		t.Error("no faulted transaction survived")
+	}
+	var sb strings.Builder
+	p.WriteStats(&sb)
+	if !strings.Contains(sb.String(), "fault injected:") {
+		t.Errorf("WriteStats output missing counters: %q", sb.String())
+	}
+}
+
+// A torn write must still deliver every byte, in order.
+func TestPartialWriteDeliversAllBytes(t *testing.T) {
+	p := New(Config{Seed: 3, PartialWriteProb: 1, Delay: time.Millisecond})
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := p.WrapConn(client)
+
+	msg := []byte("hello, torn world")
+	got := make([]byte, len(msg))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(server, got)
+		done <- err
+	}()
+	if n, err := fc.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("peer read %q, want %q", got, msg)
+	}
+	if p.PartialWrites.Load() == 0 {
+		t.Error("partial write not counted")
+	}
+	fc.Close()
+}
+
+// An injected reset delivers a prefix, reports ErrInjectedReset, and leaves
+// the peer seeing a truncated stream.
+func TestInjectedReset(t *testing.T) {
+	p := New(Config{Seed: 3, ResetProb: 1})
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := p.WrapConn(client)
+
+	msg := []byte("doomed frame")
+	var peerN int
+	var peerErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, len(msg))
+		for peerErr == nil {
+			var n int
+			n, peerErr = server.Read(buf)
+			peerN += n
+		}
+	}()
+	n, err := fc.Write(msg)
+	if err != ErrInjectedReset {
+		t.Fatalf("Write err = %v, want ErrInjectedReset", err)
+	}
+	if n >= len(msg) {
+		t.Fatalf("reset wrote the whole message (%d bytes)", n)
+	}
+	<-done
+	if peerN != n {
+		t.Fatalf("peer read %d bytes, writer reported %d", peerN, n)
+	}
+	if p.Resets.Load() != 1 {
+		t.Errorf("Resets = %d, want 1", p.Resets.Load())
+	}
+}
+
+// The env wrapper injects spin latency without breaking the Env contract.
+func TestWrapThreads(t *testing.T) {
+	p := New(Config{Seed: 9, DelayProb: 1, Delay: time.Microsecond})
+	world := tm.NewRealWorld()
+	th := tm.NewThread(0, tm.NewRealEnv(0, world))
+	inner := th.Env
+	p.WrapThreads([]*tm.Thread{th})
+	if th.Env == inner {
+		t.Fatal("WrapThreads left the env unwrapped")
+	}
+	th.Env.Spin()
+	if p.Delays.Load() == 0 {
+		t.Error("spin delay not injected")
+	}
+	if th.Env.ID() != 0 {
+		t.Errorf("wrapped env ID = %d", th.Env.ID())
+	}
+}

@@ -1,0 +1,336 @@
+package histcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"nztm/internal/kv"
+)
+
+// Result is the outcome of a linearizability check.
+type Result struct {
+	// Ok reports whether every partition linearized.
+	Ok bool
+	// Ops is the total number of checked operations, Partitions the
+	// number of independent key groups they split into.
+	Ops, Partitions int
+	// Visited counts explored search states across all partitions.
+	Visited int
+	// Capped reports that the search gave up after the state limit;
+	// Ok is false but no concrete violation was found.
+	Capped bool
+	// Violation, when non-nil, identifies the failing partition.
+	Violation *Violation
+}
+
+// Violation pinpoints a non-linearizable partition.
+type Violation struct {
+	// Keys are the keys of the failing partition.
+	Keys []string
+	// Ops is the partition's (call-ordered) sub-history.
+	Ops []Operation
+}
+
+// String implements fmt.Stringer.
+func (v *Violation) String() string {
+	keys := v.Keys
+	if len(keys) > 8 {
+		keys = keys[:8]
+	}
+	return fmt.Sprintf("histcheck: no linearization of %d ops over keys [%s]",
+		len(v.Ops), strings.Join(keys, " "))
+}
+
+// Check verifies that history is linearizable under kv.Store's sequential
+// semantics, with the default search budget.
+func Check(history []Operation) Result {
+	return CheckWithLimit(history, 0)
+}
+
+// CheckWithLimit is Check with an explicit search-state budget per call
+// (0 = the default, 4M states). Exceeding the budget yields Ok == false
+// with Capped set: the history was too entangled to decide, which in
+// practice means either far too much overlap was recorded or something is
+// genuinely wrong.
+func CheckWithLimit(history []Operation, limit int) Result {
+	if limit <= 0 {
+		limit = 4_000_000
+	}
+	res := Result{Ok: true, Ops: len(history)}
+	for _, part := range partition(history) {
+		res.Partitions++
+		c := newChecker(part)
+		ok := c.run(limit - res.Visited)
+		res.Visited += c.visited
+		if c.capped {
+			res.Ok = false
+			res.Capped = true
+			res.Violation = &Violation{Keys: part.keys, Ops: part.ops}
+			return res
+		}
+		if !ok {
+			res.Ok = false
+			res.Violation = &Violation{Keys: part.keys, Ops: part.ops}
+			return res
+		}
+	}
+	return res
+}
+
+// group is one independent sub-history: the ops touching one connected
+// component of keys (multi-key batches merge their keys' components).
+type group struct {
+	keys []string
+	ops  []Operation
+}
+
+// partition splits the history into independent key groups with a
+// union-find over the keys each batch touches. Two operations can only
+// constrain each other if their key sets are (transitively) connected, so
+// each group checks independently — the standard decomposition that keeps
+// Wing&Gong tractable.
+func partition(history []Operation) []group {
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(k string) string {
+		p, ok := parent[k]
+		if !ok {
+			parent[k] = k
+			return k
+		}
+		if p != k {
+			p = find(p)
+			parent[k] = p
+		}
+		return p
+	}
+	for i := range history {
+		ops := history[i].Ops
+		if len(ops) == 0 {
+			continue
+		}
+		r0 := find(ops[0].Key)
+		for j := 1; j < len(ops); j++ {
+			parent[find(ops[j].Key)] = r0
+			r0 = find(ops[0].Key)
+		}
+	}
+	byRoot := make(map[string]*group)
+	roots := []string{}
+	for i := range history {
+		if len(history[i].Ops) == 0 {
+			continue
+		}
+		r := find(history[i].Ops[0].Key)
+		g, ok := byRoot[r]
+		if !ok {
+			g = &group{}
+			byRoot[r] = g
+			roots = append(roots, r)
+		}
+		g.ops = append(g.ops, history[i])
+	}
+	seenKey := make(map[string]bool)
+	for k := range parent {
+		r := find(k)
+		if g, ok := byRoot[r]; ok && !seenKey[k] {
+			seenKey[k] = true
+			g.keys = append(g.keys, k)
+		}
+	}
+	out := make([]group, 0, len(roots))
+	for _, r := range roots {
+		g := byRoot[r]
+		sort.Strings(g.keys)
+		sort.SliceStable(g.ops, func(i, j int) bool { return g.ops[i].Call < g.ops[j].Call })
+		out = append(out, *g)
+	}
+	return out
+}
+
+// state is the sequential store state of one partition: presence + value
+// per key index.
+type state struct {
+	present []bool
+	vals    []string
+}
+
+func (s *state) clone() *state {
+	return &state{
+		present: append([]bool(nil), s.present...),
+		vals:    append([]string(nil), s.vals...),
+	}
+}
+
+// encode produces a canonical string for memoization.
+func (s *state) encode() string {
+	var b strings.Builder
+	for i := range s.present {
+		if s.present[i] {
+			b.WriteByte(1)
+			b.WriteString(s.vals[i])
+		} else {
+			b.WriteByte(0)
+		}
+		b.WriteByte(0xff)
+	}
+	return b.String()
+}
+
+// checker runs Wing&Gong on one partition.
+type checker struct {
+	ops      []Operation
+	keyIdx   map[string]int
+	complete int // complete ops to linearize
+
+	seen    map[string]struct{}
+	visited int
+	limit   int
+	capped  bool
+}
+
+func newChecker(g group) *checker {
+	c := &checker{
+		ops:    g.ops,
+		keyIdx: make(map[string]int, len(g.keys)),
+		seen:   make(map[string]struct{}),
+	}
+	for i, k := range g.keys {
+		c.keyIdx[k] = i
+	}
+	for i := range g.ops {
+		if g.ops[i].complete() {
+			c.complete++
+		}
+	}
+	return c
+}
+
+func (c *checker) run(limit int) bool {
+	if limit <= 0 {
+		c.capped = true
+		return false
+	}
+	c.limit = limit
+	st := &state{
+		present: make([]bool, len(c.keyIdx)),
+		vals:    make([]string, len(c.keyIdx)),
+	}
+	lin := make([]byte, (len(c.ops)+7)/8)
+	return c.dfs(lin, 0, st)
+}
+
+func bit(b []byte, i int) bool { return b[i/8]&(1<<uint(i%8)) != 0 }
+func setBit(b []byte, i int)   { b[i/8] |= 1 << uint(i%8) }
+
+// dfs searches for a legal linearization extending the current prefix:
+// lin marks already-linearized ops, done counts the complete ones among
+// them, st is the store state after the prefix. An operation may be
+// linearized next iff no un-linearized completed operation returned before
+// it was invoked (the Wing&Gong minimality rule); incomplete operations
+// may additionally be left out forever.
+func (c *checker) dfs(lin []byte, done int, st *state) bool {
+	if done == c.complete {
+		return true
+	}
+	c.visited++
+	if c.visited > c.limit {
+		c.capped = true
+		return false
+	}
+	key := string(lin) + "|" + st.encode()
+	if _, dup := c.seen[key]; dup {
+		return false
+	}
+	minRet := int64(math.MaxInt64)
+	for i := range c.ops {
+		if !bit(lin, i) && c.ops[i].complete() && c.ops[i].Return < minRet {
+			minRet = c.ops[i].Return
+		}
+	}
+	for i := range c.ops {
+		op := &c.ops[i]
+		if bit(lin, i) || op.Call > minRet {
+			continue
+		}
+		ns, ok := c.step(st, op)
+		if !ok {
+			continue
+		}
+		nl := append([]byte(nil), lin...)
+		setBit(nl, i)
+		nd := done
+		if op.complete() {
+			nd++
+		}
+		if c.dfs(nl, nd, ns) {
+			return true
+		}
+		if c.capped {
+			return false
+		}
+	}
+	c.seen[key] = struct{}{}
+	return false
+}
+
+// step applies op to st under kv.Store's sequential semantics, verifying
+// the recorded results when the op completed. It returns the post-state
+// and whether the op is legal at this point. States are immutable: the
+// input is never modified.
+func (c *checker) step(st *state, op *Operation) (*state, bool) {
+	check := op.complete()
+	ns := st.clone()
+	for i := range op.Ops {
+		o := &op.Ops[i]
+		ki := c.keyIdx[o.Key]
+		switch o.Kind {
+		case kv.OpGet:
+			if check {
+				r := &op.Results[i]
+				if r.Found != ns.present[ki] {
+					return nil, false
+				}
+				if r.Found && string(r.Value) != ns.vals[ki] {
+					return nil, false
+				}
+			}
+		case kv.OpPut:
+			ns.present[ki], ns.vals[ki] = true, string(o.Value)
+			if check && !op.Results[i].Found {
+				return nil, false
+			}
+		case kv.OpDelete:
+			existed := ns.present[ki]
+			ns.present[ki], ns.vals[ki] = false, ""
+			if check && op.Results[i].Found != existed {
+				return nil, false
+			}
+		case kv.OpCAS:
+			match := ns.present[ki] == (o.Expect != nil) &&
+				(!ns.present[ki] || string(o.Expect) == ns.vals[ki])
+			if match {
+				if o.Value == nil {
+					ns.present[ki], ns.vals[ki] = false, ""
+				} else {
+					ns.present[ki], ns.vals[ki] = true, string(o.Value)
+				}
+			}
+			if check && op.Results[i].Found != match {
+				return nil, false
+			}
+			if !match && len(op.Ops) > 1 {
+				// kv batch rule: a CAS miss aborts the whole batch with no
+				// effects. Results before the miss were read in the same
+				// (discarded) snapshot and were checked above; results
+				// after it are zero-valued and constrain nothing.
+				return st, true
+			}
+		default:
+			return nil, false
+		}
+	}
+	return ns, true
+}

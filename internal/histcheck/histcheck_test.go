@@ -1,0 +1,352 @@
+package histcheck
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nztm/internal/kv"
+	"nztm/internal/tm"
+)
+
+func get(k string) kv.Op    { return kv.Op{Kind: kv.OpGet, Key: k} }
+func put(k, v string) kv.Op { return kv.Op{Kind: kv.OpPut, Key: k, Value: []byte(v)} }
+func cas(k, exp, v string) kv.Op {
+	return kv.Op{Kind: kv.OpCAS, Key: k, Expect: []byte(exp), Value: []byte(v)}
+}
+func found(v string) kv.Result { return kv.Result{Found: true, Value: []byte(v)} }
+func absent() kv.Result        { return kv.Result{} }
+func ok() kv.Result            { return kv.Result{Found: true} }
+func miss() kv.Result          { return kv.Result{} }
+
+// op builds a complete hand-written operation.
+func op(client int, call, ret int64, ops []kv.Op, results []kv.Result) Operation {
+	return Operation{Client: client, Call: call, Return: ret, Ops: ops, Results: results}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	h := []Operation{
+		op(0, 1, 2, []kv.Op{put("k", "1")}, []kv.Result{ok()}),
+		op(0, 3, 4, []kv.Op{get("k")}, []kv.Result{found("1")}),
+		op(0, 5, 6, []kv.Op{cas("k", "1", "2")}, []kv.Result{ok()}),
+		op(0, 7, 8, []kv.Op{cas("k", "1", "3")}, []kv.Result{miss()}),
+		op(0, 9, 10, []kv.Op{{Kind: kv.OpDelete, Key: "k"}}, []kv.Result{ok()}),
+		op(0, 11, 12, []kv.Op{get("k")}, []kv.Result{absent()}),
+	}
+	res := Check(h)
+	if !res.Ok {
+		t.Fatalf("sequential history rejected: %+v", res)
+	}
+	if res.Partitions != 1 || res.Ops != len(h) {
+		t.Fatalf("partitions=%d ops=%d", res.Partitions, res.Ops)
+	}
+}
+
+func TestDisjointKeysPartition(t *testing.T) {
+	h := []Operation{
+		op(0, 1, 2, []kv.Op{put("a", "1")}, []kv.Result{ok()}),
+		op(1, 1, 2, []kv.Op{put("b", "1")}, []kv.Result{ok()}),
+		op(0, 3, 4, []kv.Op{get("a")}, []kv.Result{found("1")}),
+		op(1, 3, 4, []kv.Op{get("b")}, []kv.Result{found("1")}),
+	}
+	res := Check(h)
+	if !res.Ok || res.Partitions != 2 {
+		t.Fatalf("want 2 clean partitions, got %+v", res)
+	}
+}
+
+// A read that returns a value the real-time order has already overwritten
+// (or never held) is a violation.
+func TestStaleReadViolation(t *testing.T) {
+	h := []Operation{
+		op(0, 1, 2, []kv.Op{put("k", "1")}, []kv.Result{ok()}),
+		op(1, 3, 4, []kv.Op{get("k")}, []kv.Result{absent()}), // put already returned
+	}
+	res := Check(h)
+	if res.Ok {
+		t.Fatal("stale read accepted")
+	}
+	if res.Violation == nil || res.Violation.Keys[0] != "k" {
+		t.Fatalf("violation detail: %+v", res.Violation)
+	}
+	if res.Violation.String() == "" {
+		t.Fatal("empty violation string")
+	}
+}
+
+// The same read is fine when it overlaps the put: it may linearize first.
+func TestConcurrentReorderAllowed(t *testing.T) {
+	h := []Operation{
+		op(0, 1, 10, []kv.Op{put("k", "1")}, []kv.Result{ok()}),
+		op(1, 2, 3, []kv.Op{get("k")}, []kv.Result{absent()}),
+	}
+	if res := Check(h); !res.Ok {
+		t.Fatalf("overlapping reorder rejected: %+v", res)
+	}
+}
+
+// Two CAS from the same expected value cannot both succeed, even when they
+// overlap.
+func TestDoubleCASViolation(t *testing.T) {
+	h := []Operation{
+		op(0, 1, 2, []kv.Op{put("k", "0")}, []kv.Result{ok()}),
+		op(1, 3, 6, []kv.Op{cas("k", "0", "1")}, []kv.Result{ok()}),
+		op(2, 4, 7, []kv.Op{cas("k", "0", "2")}, []kv.Result{ok()}),
+	}
+	if res := Check(h); res.Ok {
+		t.Fatal("double CAS success accepted")
+	}
+}
+
+// An operation that never returned may take effect at any point after its
+// call — or never. Both observations must be accepted.
+func TestIncompleteOperation(t *testing.T) {
+	lost := Operation{Client: 0, Call: 1, Ops: []kv.Op{put("k", "1")}} // Return == 0
+	if res := Check([]Operation{
+		lost,
+		op(1, 5, 6, []kv.Op{get("k")}, []kv.Result{found("1")}),
+	}); !res.Ok {
+		t.Fatalf("lost put that took effect rejected: %+v", res)
+	}
+	if res := Check([]Operation{
+		lost,
+		op(1, 5, 6, []kv.Op{get("k")}, []kv.Result{absent()}),
+	}); !res.Ok {
+		t.Fatalf("lost put that never landed rejected: %+v", res)
+	}
+	// But it cannot half-land: a batch is atomic even when lost.
+	lostBatch := Operation{Client: 0, Call: 1, Ops: []kv.Op{put("a", "1"), put("b", "1")}}
+	if res := Check([]Operation{
+		lostBatch,
+		op(1, 5, 6, []kv.Op{get("a"), get("b")}, []kv.Result{found("1"), absent()}),
+	}); res.Ok {
+		t.Fatal("torn lost batch accepted")
+	}
+}
+
+// Batches are atomic: a reader may not observe one half.
+func TestBatchAtomicityViolation(t *testing.T) {
+	h := []Operation{
+		op(0, 1, 2, []kv.Op{put("a", "1"), put("b", "1")}, []kv.Result{ok(), ok()}),
+		op(1, 3, 4, []kv.Op{get("a"), get("b")}, []kv.Result{found("1"), absent()}),
+	}
+	if res := Check(h); res.Ok {
+		t.Fatal("torn batch read accepted")
+	}
+}
+
+// kv's batch rule: a CAS miss aborts the whole batch with no effects.
+func TestBatchCASMissAborts(t *testing.T) {
+	abortedBatch := op(1, 3, 4,
+		[]kv.Op{put("k", "9"), cas("k", "7", "8")},
+		[]kv.Result{ok(), miss()}) // results identify the failing op
+	if res := Check([]Operation{
+		op(0, 1, 2, []kv.Op{put("k", "5")}, []kv.Result{ok()}),
+		abortedBatch,
+		op(0, 5, 6, []kv.Op{get("k")}, []kv.Result{found("5")}),
+	}); !res.Ok {
+		t.Fatalf("aborted batch left no effects but was rejected: %+v", res)
+	}
+	// Seeing the aborted batch's put is a violation.
+	if res := Check([]Operation{
+		op(0, 1, 2, []kv.Op{put("k", "5")}, []kv.Result{ok()}),
+		abortedBatch,
+		op(0, 5, 6, []kv.Op{get("k")}, []kv.Result{found("9")}),
+	}); res.Ok {
+		t.Fatal("aborted batch's effects leaked and were accepted")
+	}
+	// Inside the (discarded) attempt the CAS still observed the batch's
+	// own earlier put: expect "9" matching is legal...
+	if res := Check([]Operation{
+		op(0, 1, 2, []kv.Op{put("k", "5")}, []kv.Result{ok()}),
+		op(1, 3, 4, []kv.Op{put("k", "9"), cas("k", "9", "8")}, []kv.Result{ok(), ok()}),
+		op(0, 5, 6, []kv.Op{get("k")}, []kv.Result{found("8")}),
+	}); !res.Ok {
+		t.Fatalf("read-your-writes CAS inside batch rejected: %+v", res)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	p := r.Begin(1, []kv.Op{get("k")})
+	p.Lost() // a lost pure read constrains nothing and is dropped
+	if r.Len() != 0 {
+		t.Fatalf("lost read recorded: %d ops", r.Len())
+	}
+	p = r.Begin(1, []kv.Op{put("k", "1")})
+	p.Lost()
+	p = r.Begin(2, []kv.Op{put("k", "2")})
+	p.Done([]kv.Result{ok()})
+	p = r.Begin(3, []kv.Op{put("k", "3")})
+	p.Discard()
+	h := r.History()
+	if len(h) != 2 {
+		t.Fatalf("history has %d ops, want 2", len(h))
+	}
+	if h[0].complete() || !h[1].complete() {
+		t.Fatalf("completion flags wrong: %+v", h)
+	}
+	if h[1].Call <= 0 || h[1].Return < h[1].Call {
+		t.Fatalf("timestamps wrong: %+v", h[1])
+	}
+}
+
+// A history recorded from the GlobalLock backend — fully serialised, so
+// linearizable by construction — must pass.
+func TestGlockHistoryLinearizable(t *testing.T) {
+	const clients, rounds, keys = 4, 120, 6
+	b, err := kv.OpenBackend("glock", clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kv.New(b.Sys, 2, 4)
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int, th *tm.Thread) {
+			defer wg.Done()
+			rng := uint64(id)*0x9e3779b97f4a7c15 + 1
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for i := 0; i < rounds; i++ {
+				k := fmt.Sprintf("k%d", next()%keys)
+				var ops []kv.Op
+				switch next() % 4 {
+				case 0:
+					ops = []kv.Op{get(k)}
+				case 1:
+					ops = []kv.Op{put(k, fmt.Sprintf("%d-%d", id, i))}
+				case 2:
+					ops = []kv.Op{{Kind: kv.OpDelete, Key: k}}
+				case 3: // atomic two-key batch
+					k2 := fmt.Sprintf("k%d", next()%keys)
+					ops = []kv.Op{get(k), put(k2, fmt.Sprintf("b%d-%d", id, i))}
+				}
+				p := rec.Begin(id, ops)
+				res, err := store.Do(th, ops, kv.Budget{})
+				if err != nil {
+					t.Error(err)
+					p.Lost()
+					return
+				}
+				p.Done(res)
+			}
+		}(c, b.Threads[c])
+	}
+	wg.Wait()
+	res := Check(rec.History())
+	if !res.Ok {
+		t.Fatalf("glock history rejected: %+v (violation %v)", res, res.Violation)
+	}
+	if res.Ops != clients*rounds {
+		t.Fatalf("checked %d ops, want %d", res.Ops, clients*rounds)
+	}
+}
+
+// noIsoSystem is a deliberately broken tm.System: each Read/Update is
+// individually race-free (a global mutex guards snapshot and write-back)
+// but updates are applied to a private snapshot and written back later, so
+// transactions provide no isolation — concurrent read-modify-writes lose
+// updates. The checker must catch it.
+type noIsoSystem struct {
+	mu    sync.Mutex
+	stats tm.Stats
+}
+
+type noIsoObject struct{ data tm.Data }
+
+func (s *noIsoSystem) Name() string                  { return "NoIso" }
+func (s *noIsoSystem) Stats() *tm.Stats              { return &s.stats }
+func (s *noIsoSystem) NewObject(d tm.Data) tm.Object { return &noIsoObject{data: d} }
+
+func (s *noIsoSystem) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	err := fn(&noIsoTx{s: s})
+	if err != nil {
+		s.stats.Aborts.Add(1)
+		return err
+	}
+	s.stats.Commits.Add(1)
+	return nil
+}
+
+type noIsoTx struct{ s *noIsoSystem }
+
+func (t *noIsoTx) Read(obj tm.Object) tm.Data {
+	o := obj.(*noIsoObject)
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return o.data.Clone()
+}
+
+func (t *noIsoTx) Update(obj tm.Object, fn func(tm.Data)) {
+	o := obj.(*noIsoObject)
+	t.s.mu.Lock()
+	snap := o.data.Clone()
+	t.s.mu.Unlock()
+	fn(snap)
+	time.Sleep(50 * time.Microsecond) // widen the lost-update window
+	t.s.mu.Lock()
+	o.data.CopyFrom(snap)
+	t.s.mu.Unlock()
+}
+
+// Concurrent CAS increments over the broken backend must produce a
+// non-linearizable history (two CAS from the same base both "succeed").
+func TestNoIsolationBackendViolates(t *testing.T) {
+	const clients, rounds = 4, 60
+	sys := &noIsoSystem{}
+	store := kv.New(sys, 1, 1)
+	world := tm.NewRealWorld()
+
+	for attempt := 0; attempt < 5; attempt++ {
+		rec := NewRecorder()
+		// Seed the counter.
+		th0 := tm.NewThread(0, tm.NewRealEnv(0, world))
+		p := rec.Begin(99, []kv.Op{put("ctr", "0")})
+		if res, err := store.Do(th0, []kv.Op{put("ctr", "0")}, kv.Budget{}); err != nil {
+			t.Fatal(err)
+		} else {
+			p.Done(res)
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				th := tm.NewThread(id, tm.NewRealEnv(id, world))
+				for i := 0; i < rounds; i++ {
+					gp := rec.Begin(id, []kv.Op{get("ctr")})
+					cur, err := store.Do(th, []kv.Op{get("ctr")}, kv.Budget{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					gp.Done(cur)
+					var n int
+					fmt.Sscanf(string(cur[0].Value), "%d", &n)
+					ops := []kv.Op{cas("ctr", string(cur[0].Value), fmt.Sprintf("%d", n+1))}
+					cp := rec.Begin(id, ops)
+					res, err := store.Do(th, ops, kv.Budget{})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					cp.Done(res)
+				}
+			}(c)
+		}
+		wg.Wait()
+		if res := Check(rec.History()); !res.Ok && !res.Capped {
+			return // violation caught, as it must be
+		}
+	}
+	t.Fatal("no-isolation backend produced only linearizable histories")
+}
+
+var _ tm.System = (*noIsoSystem)(nil)

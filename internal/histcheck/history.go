@@ -1,0 +1,127 @@
+// Package histcheck checks recorded key-value operation histories for
+// linearizability, in the style of Wing & Gong's algorithm (as popularised
+// by Knossos/Porcupine): a history is linearizable iff some total order of
+// its operations (a) respects real-time precedence — an operation that
+// returned before another was invoked comes first — and (b) is legal under
+// the sequential KV semantics of kv.Store (GET/PUT/DELETE/CAS, with
+// multi-op batches applied atomically and kv's CAS-miss-aborts-batch rule).
+//
+// This is the serving stack's ground truth: the soak runner hammers a
+// fault-injected server, records every request's invocation/response
+// window, and a single violation here means the TM layer, the store, or
+// the protocol broke atomicity or isolation under faults.
+package histcheck
+
+import (
+	"sync"
+	"time"
+
+	"nztm/internal/kv"
+)
+
+// Operation is one recorded client request: an atomic batch of kv ops with
+// its invocation/response window.
+type Operation struct {
+	// Client identifies the issuing client (used only for reporting).
+	Client int
+	// Call is the invocation timestamp; Return the response timestamp.
+	// Return == 0 marks an operation that never returned (the connection
+	// died with the request in flight): its outcome is unknown, so the
+	// checker may linearize it at any point after Call — or never.
+	Call, Return int64
+	// Ops is the request's batch; Results the observed outcome (nil when
+	// Return == 0).
+	Ops     []kv.Op
+	Results []kv.Result
+}
+
+// complete reports whether the operation's outcome was observed.
+func (o *Operation) complete() bool { return o.Return != 0 }
+
+// mutates reports whether the operation can change store state.
+func (o *Operation) mutates() bool {
+	for i := range o.Ops {
+		if o.Ops[i].Kind != kv.OpGet {
+			return true
+		}
+	}
+	return false
+}
+
+// Recorder collects a history from concurrent clients. All methods are
+// safe for concurrent use; timestamps come from one monotonic clock so
+// real-time precedence across clients is meaningful.
+type Recorder struct {
+	t0 time.Time
+
+	mu  sync.Mutex
+	ops []Operation
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{t0: time.Now()}
+}
+
+// now returns a strictly positive monotonic timestamp.
+func (r *Recorder) now() int64 {
+	return int64(time.Since(r.t0)) + 1
+}
+
+// Pending is an in-flight recorded operation. Exactly one of Done, Lost,
+// or Discard must be called to finish it.
+type Pending struct {
+	r  *Recorder
+	op Operation
+}
+
+// Begin records the invocation of ops by client. The caller must not
+// mutate ops (or the slices inside) afterwards.
+func (r *Recorder) Begin(client int, ops []kv.Op) *Pending {
+	return &Pending{r: r, op: Operation{Client: client, Call: r.now(), Ops: ops}}
+}
+
+// Done records a successful response. The caller must not mutate results
+// afterwards.
+func (p *Pending) Done(results []kv.Result) {
+	p.op.Return = p.r.now()
+	p.op.Results = results
+	p.r.add(p.op)
+}
+
+// Lost records that the operation's outcome is unknown (the connection
+// died mid-flight). Mutating operations stay in the history as incomplete
+// — they may have taken effect at any point after their call — while pure
+// reads constrain nothing and are dropped.
+func (p *Pending) Lost() {
+	if !p.op.mutates() {
+		return
+	}
+	p.op.Return = 0
+	p.r.add(p.op)
+}
+
+// Discard drops the operation: the server guaranteed it had no effect
+// (e.g. a budget-exhausted response).
+func (p *Pending) Discard() {}
+
+func (r *Recorder) add(op Operation) {
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
+	r.mu.Unlock()
+}
+
+// History returns the recorded operations. The recorder may keep being
+// used; the returned slice is a snapshot.
+func (r *Recorder) History() []Operation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Operation(nil), r.ops...)
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}

@@ -76,9 +76,50 @@ type Result struct {
 type Budget struct {
 	// MaxAttempts caps transaction attempts (0 = unlimited).
 	MaxAttempts int
-	// Deadline, when nonzero, stops retrying once passed. The first
-	// attempt always runs.
+	// Deadline, when nonzero, stops retrying once passed. It is checked
+	// before every attempt, including the first, so a request arriving
+	// with an already-expired deadline fails fast without burning a
+	// transaction.
 	Deadline time.Time
+	// Backoff, when positive, sleeps between retry attempts: attempt n
+	// waits an exponentially growing duration starting at Backoff, with
+	// jitter in [d/2, d), capped by BackoffMax (default 64×Backoff) and by
+	// the time remaining until Deadline. Spacing retries out keeps a
+	// contended key from turning the server's thread pool into a spin
+	// farm.
+	Backoff time.Duration
+	// BackoffMax caps the per-attempt backoff (0 = 64×Backoff).
+	BackoffMax time.Duration
+}
+
+// backoff returns the jittered sleep before attempt (2-based: the first
+// retry is attempt 2). rnd supplies the jitter bits.
+func (b Budget) backoff(attempt int, rnd uint64) time.Duration {
+	if b.Backoff <= 0 || attempt < 2 {
+		return 0
+	}
+	max := b.BackoffMax
+	if max <= 0 {
+		max = 64 * b.Backoff
+	}
+	d := b.Backoff
+	for i := 2; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Full jitter over the upper half: [d/2, d).
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(rnd%uint64(half))
+	}
+	if !b.Deadline.IsZero() {
+		if remain := time.Until(b.Deadline); d > remain {
+			d = remain
+		}
+	}
+	return d
 }
 
 // ErrBudget is returned when a request's retry budget is exhausted before
@@ -169,7 +210,10 @@ func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 		if budget.MaxAttempts > 0 && attempt > budget.MaxAttempts {
 			return ErrBudget
 		}
-		if attempt > 1 && !budget.Deadline.IsZero() && time.Now().After(budget.Deadline) {
+		if d := budget.backoff(attempt, th.Env.Rand()); d > 0 {
+			time.Sleep(d)
+		}
+		if !budget.Deadline.IsZero() && time.Now().After(budget.Deadline) {
 			return ErrBudget
 		}
 		// A retried attempt re-runs from scratch: clear stale results.

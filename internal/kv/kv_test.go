@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"nztm/internal/tm"
 )
@@ -367,5 +368,101 @@ func TestOpenBackendNames(t *testing.T) {
 	}
 	if _, err := OpenBackend("bogus", 1); err == nil {
 		t.Fatal("bogus backend should fail")
+	}
+}
+
+// A request arriving with an already-expired deadline must fail fast with
+// ErrBudget and leave the store untouched (the deadline used to be checked
+// only from the second attempt on, silently burning one transaction).
+func TestExpiredDeadlineFailsFast(t *testing.T) {
+	s, b := newStore(t, 1, 2, 2)
+	th := b.Threads[0]
+	bud := Budget{Deadline: time.Now().Add(-time.Second)}
+	if _, err := s.Put(th, "k", []byte("v"), bud); !errors.Is(err, ErrBudget) {
+		t.Fatalf("put with expired deadline: err = %v, want ErrBudget", err)
+	}
+	if r, err := s.Get(th, "k", Budget{}); err != nil || r.Found {
+		t.Fatalf("expired-deadline put took effect: %+v, %v", r, err)
+	}
+	// A live deadline still lets the request through.
+	bud = Budget{Deadline: time.Now().Add(time.Minute)}
+	if r, err := s.Put(th, "k", []byte("v"), bud); err != nil || !r.Found {
+		t.Fatalf("put with live deadline: %+v, %v", r, err)
+	}
+}
+
+func TestBudgetBackoff(t *testing.T) {
+	b := Budget{Backoff: time.Millisecond}
+	if d := b.backoff(1, 0); d != 0 {
+		t.Fatalf("first attempt backoff = %v, want 0", d)
+	}
+	if b2 := (Budget{}); b2.backoff(5, 123) != 0 {
+		t.Fatal("zero Backoff must not sleep")
+	}
+	// Exponential growth with jitter in [d/2, d).
+	prevMax := time.Duration(0)
+	for attempt := 2; attempt <= 8; attempt++ {
+		full := b.Backoff << uint(attempt-2)
+		for rnd := uint64(0); rnd < 5; rnd++ {
+			d := b.backoff(attempt, rnd*0x9e3779b97f4a7c15)
+			if d < full/2 || d >= full {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, full/2, full)
+			}
+		}
+		if full <= prevMax {
+			t.Fatalf("backoff stopped growing at attempt %d", attempt)
+		}
+		prevMax = full
+	}
+	// Cap: default 64×Backoff.
+	if d := b.backoff(40, 0); d > 64*time.Millisecond {
+		t.Fatalf("uncapped backoff: %v", d)
+	}
+	b.BackoffMax = 2 * time.Millisecond
+	if d := b.backoff(40, 0); d > 2*time.Millisecond {
+		t.Fatalf("BackoffMax ignored: %v", d)
+	}
+	// The sleep never overshoots the deadline.
+	b = Budget{Backoff: time.Hour, Deadline: time.Now().Add(10 * time.Millisecond)}
+	if d := b.backoff(3, 7); d > 15*time.Millisecond {
+		t.Fatalf("backoff %v overshoots deadline", d)
+	}
+}
+
+// Backoff must not change results: a batch retried under contention with
+// backoff configured still commits exactly once.
+func TestDoWithBackoffUnderContention(t *testing.T) {
+	const workers, each = 4, 60
+	s, b := newStore(t, workers, 1, 1) // one bucket: maximal contention
+	var wg sync.WaitGroup
+	bud := Budget{Backoff: 50 * time.Microsecond, BackoffMax: time.Millisecond}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(th *tm.Thread) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", th.ID)
+			for j := 0; j < each; j++ {
+				cur, err := s.Get(th, key, bud)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var n int
+				if cur.Found {
+					fmt.Sscanf(string(cur.Value), "%d", &n)
+				}
+				if _, err := s.Put(th, key, []byte(fmt.Sprintf("%d", n+1)), bud); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(b.Threads[i])
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		r, err := s.Get(b.Threads[0], fmt.Sprintf("k%d", i), Budget{})
+		if err != nil || !r.Found || string(r.Value) != fmt.Sprintf("%d", each) {
+			t.Fatalf("k%d = %+v, %v; want %d", i, r, err, each)
+		}
 	}
 }

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"nztm/internal/kv"
+)
+
+// sampleRequests seeds the fuzz corpora with well-formed payloads covering
+// every op kind, nil-vs-empty blobs, and batches.
+func sampleRequests(t interface{ Fatal(...any) }) [][]byte {
+	var seeds [][]byte
+	add := func(id uint64, ops []kv.Op) {
+		p, err := appendRequest(nil, id, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, p)
+	}
+	add(1, []kv.Op{{Kind: kv.OpGet, Key: "k"}})
+	add(2, []kv.Op{{Kind: kv.OpPut, Key: "k", Value: []byte("v")}})
+	add(3, []kv.Op{{Kind: kv.OpPut, Key: "", Value: []byte{}}})
+	add(4, []kv.Op{{Kind: kv.OpDelete, Key: "gone"}})
+	add(5, []kv.Op{{Kind: kv.OpCAS, Key: "k", Expect: nil, Value: []byte("new")}})
+	add(6, []kv.Op{{Kind: kv.OpCAS, Key: "k", Expect: []byte{}, Value: nil}})
+	add(7, []kv.Op{
+		{Kind: kv.OpGet, Key: "a"},
+		{Kind: kv.OpPut, Key: "b", Value: []byte("1")},
+		{Kind: kv.OpCAS, Key: "c", Expect: []byte("x"), Value: []byte("y")},
+	})
+	return seeds
+}
+
+// FuzzParseRequest checks that any payload the parser accepts survives an
+// encode→parse round trip unchanged, and that the parser never panics or
+// over-reads on arbitrary input.
+func FuzzParseRequest(f *testing.F) {
+	for _, s := range sampleRequests(f) {
+		f.Add(s)
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		id, ops, err := parseRequest(payload)
+		if err != nil {
+			return // rejected input: only requirement is no panic
+		}
+		re, err := appendRequest(nil, id, ops)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		id2, ops2, err := parseRequest(re)
+		if err != nil {
+			t.Fatalf("re-encoded request does not re-parse: %v", err)
+		}
+		if id2 != id || !reflect.DeepEqual(ops2, ops) {
+			t.Fatalf("round trip changed request:\n  ops  = %#v\n  ops2 = %#v", ops, ops2)
+		}
+	})
+}
+
+// FuzzParseResponse is the response-side round-trip counterpart.
+func FuzzParseResponse(f *testing.F) {
+	seeds := [][]byte{
+		appendResponse(nil, 1, StatusOK, []kv.Result{{Found: true, Value: []byte("v")}}, ""),
+		appendResponse(nil, 2, StatusOK, []kv.Result{{Found: false}, {Found: true, Value: []byte{}}}, ""),
+		appendResponse(nil, 3, StatusBudget, nil, "kv: retry budget exhausted"),
+		appendResponse(nil, 4, StatusBad, nil, ""),
+		appendResponse(nil, 5, StatusOK, nil, ""),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		id, status, results, errmsg, err := parseResponse(payload)
+		if err != nil {
+			return
+		}
+		re := appendResponse(nil, id, status, results, errmsg)
+		id2, status2, results2, errmsg2, err := parseResponse(re)
+		if err != nil {
+			t.Fatalf("re-encoded response does not re-parse: %v", err)
+		}
+		if id2 != id || status2 != status || errmsg2 != errmsg || !reflect.DeepEqual(results2, results) {
+			t.Fatalf("round trip changed response: (%d %d %q %#v) -> (%d %d %q %#v)",
+				id, status, errmsg, results, id2, status2, errmsg2, results2)
+		}
+	})
+}
+
+// FuzzFrame checks the length-prefixed framing layer: whatever readFrame
+// accepts must survive writeFrame→readFrame byte-for-byte, and arbitrary
+// streams never panic it.
+func FuzzFrame(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		return append(hdr[:], payload...)
+	}
+	f.Add(frame([]byte("hello")))
+	f.Add(frame(nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // over MaxFrame
+	f.Add([]byte{0, 0})                   // truncated header
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		payload, _, err := readFrame(newBufReader(bytes.NewReader(stream)), nil)
+		if err != nil {
+			return
+		}
+		got := append([]byte(nil), payload...)
+
+		var out bytes.Buffer
+		bw := newBufWriter(&out)
+		if err := writeFrame(bw, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		payload2, _, err := readFrame(newBufReader(&out), nil)
+		if err != nil {
+			t.Fatalf("re-framed payload does not re-read: %v", err)
+		}
+		if !bytes.Equal(payload2, got) {
+			t.Fatalf("frame round trip changed payload: %q -> %q", got, payload2)
+		}
+	})
+}

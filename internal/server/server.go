@@ -23,6 +23,13 @@ type Config struct {
 	// (further pipelined requests queue in the kernel socket buffer).
 	// Default 64.
 	MaxInflight int
+	// RetryBackoff, when positive, spaces a request's transaction retries
+	// with exponential, jittered sleeps (see kv.Budget.Backoff). It
+	// replaces the bare immediate-retry loop for contended requests.
+	RetryBackoff time.Duration
+	// ExtraStatsz, when non-nil, appends additional sections to the
+	// WriteStatsz dump (e.g. the fault plane's injection counters).
+	ExtraStatsz func(io.Writer)
 }
 
 // Server serves a kv.Store over length-prefixed TCP. One goroutine per
@@ -245,7 +252,7 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) execute(id uint64, ops []kv.Op) []byte {
 	th := <-s.pool
 	start := time.Now()
-	budget := kv.Budget{MaxAttempts: s.cfg.MaxAttempts}
+	budget := kv.Budget{MaxAttempts: s.cfg.MaxAttempts, Backoff: s.cfg.RetryBackoff}
 	if s.cfg.RequestTimeout > 0 {
 		budget.Deadline = start.Add(s.cfg.RequestTimeout)
 	}
@@ -319,6 +326,9 @@ func (s *Server) WriteStatsz(w io.Writer) {
 	s.singleLatency.Dump(w)
 	fmt.Fprintf(w, "latency batch buckets:\n")
 	s.batchLatency.Dump(w)
+	if s.cfg.ExtraStatsz != nil {
+		s.cfg.ExtraStatsz(w)
+	}
 }
 
 func drain(ch chan []byte) {

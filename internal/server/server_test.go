@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -407,5 +409,61 @@ func TestBadFrame(t *testing.T) {
 	defer c.Close()
 	if _, err := c.Put("still", []byte("alive")); err != nil {
 		t.Fatalf("server died after bad frame: %v", err)
+	}
+}
+
+// A server-side budget exhaustion is retried by DoRetry under the policy,
+// and the policy's delays grow exponentially up to the cap.
+func TestClientDoRetry(t *testing.T) {
+	// RequestTimeout of 1ns: every request's deadline is already expired
+	// when it executes, so the server answers StatusBudget without side
+	// effects — the exact response class DoRetry is allowed to retry.
+	srv, addr, stop := startServer(t, "nzstm", 2, Config{RequestTimeout: time.Nanosecond})
+	defer stop()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	policy := RetryPolicy{MaxAttempts: 3, Base: 100 * time.Microsecond}
+	if _, err := c.DoRetry([]kv.Op{{Kind: kv.OpPut, Key: "k", Value: []byte("v")}}, policy); !errors.Is(err, kv.ErrBudget) {
+		t.Fatalf("DoRetry err = %v, want ErrBudget", err)
+	}
+	if got := srv.reqBudget.Load(); got != 3 {
+		t.Fatalf("server saw %d budget-exhausted attempts, want 3", got)
+	}
+}
+
+func TestRetryPolicyDelay(t *testing.T) {
+	p := RetryPolicy{Base: time.Millisecond, Max: 8 * time.Millisecond}
+	for attempt := 2; attempt <= 10; attempt++ {
+		d := p.delay(attempt)
+		full := time.Millisecond << uint(attempt-2)
+		if full > p.Max {
+			full = p.Max
+		}
+		if d < full/2 || d >= full {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, full/2, full)
+		}
+	}
+	if d := (RetryPolicy{}).delay(2); d < 500*time.Microsecond || d >= time.Millisecond {
+		t.Fatalf("default base delay %v", d)
+	}
+}
+
+// ExtraStatsz sections ride along at the end of the statsz dump.
+func TestExtraStatsz(t *testing.T) {
+	b, err := kv.OpenBackend("nzstm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(kv.New(b.Sys, 2, 2), b.Threads, Config{
+		ExtraStatsz: func(w io.Writer) { fmt.Fprintf(w, "extra section: marker=42\n") },
+	})
+	var sb strings.Builder
+	srv.WriteStatsz(&sb)
+	if !strings.Contains(sb.String(), "extra section: marker=42") {
+		t.Fatalf("ExtraStatsz section missing from dump:\n%s", sb.String())
 	}
 }
