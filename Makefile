@@ -1,9 +1,12 @@
 # Tier-1 verification and developer shortcuts.
 #
-#   make check      build + full tests + race detector over the concurrency-
+#   make check      build + go vet + full tests (including the hot-path
+#                   allocation gate) + race detector over the concurrency-
 #                   critical packages (tm, core, kv, server, fault,
 #                   histcheck) + protocol fuzzers + a short fault-injected
-#                   soak — run this before sending a PR
+#                   soak + the serving benchmark (regenerates BENCH_kv.json)
+#                   — run this before sending a PR
+#   make vet        go vet ./...
 #   make fuzz       native Go fuzzing of the wire protocol (10s per target)
 #   make soak       short seeded fault-injection soak with linearizability
 #                   checking (see cmd/nztm-soak; SOAK_FLAGS to customise)
@@ -19,12 +22,15 @@ RACE_PKGS = ./internal/tm ./internal/core ./internal/kv ./internal/server \
 FUZZ_TIME ?= 10s
 SOAK_FLAGS ?= -seed 1 -duration 5s
 
-.PHONY: check build test race fuzz soak bench-kv serve
+.PHONY: check build vet test race fuzz soak bench-kv serve
 
-check: build test race fuzz soak
+check: build vet test race fuzz soak bench-kv
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...

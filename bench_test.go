@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"testing"
 
+	"nztm"
 	"nztm/internal/harness"
 )
 
@@ -123,4 +124,72 @@ func BenchmarkRockHybrid(b *testing.B) {
 			runCell(b, sys, "hashtable-low", 16)
 		})
 	}
+}
+
+// BenchmarkAtomicRealMode measures the Atomic hot path as an ordinary Go
+// library (no simulator): NZSTM in real-concurrency mode with registry-
+// minted threads. Run with -benchmem — the read-only and write cells must
+// report ~0 allocs/op (pooled descriptors + backup pool + bump arenas;
+// TestAtomicRealModeAllocFree pins this under `make check`), and the
+// contended cell exercises the conflict path at full parallelism.
+func BenchmarkAtomicRealMode(b *testing.B) {
+	b.Run("ReadOnly", func(b *testing.B) {
+		sys, reg := nztm.NewNZSTMDynamic(8, 0)
+		o := sys.NewObject(nztm.NewInts(4))
+		th := reg.NewThread()
+		defer th.Close()
+		// Transaction functions are hoisted out of the loops (as a
+		// steady-state caller would) so allocs/op reflects the library.
+		fn := func(tx nztm.Tx) error {
+			_ = tx.Read(o).(*nztm.Ints).V[0]
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sys.Atomic(th, fn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Write", func(b *testing.B) {
+		sys, reg := nztm.NewNZSTMDynamic(8, 0)
+		o := sys.NewObject(nztm.NewInts(4))
+		th := reg.NewThread()
+		defer th.Close()
+		var v int64
+		upd := func(d nztm.Data) { d.(*nztm.Ints).V[0] = v + 1 }
+		fn := func(tx nztm.Tx) error {
+			v = tx.Read(o).(*nztm.Ints).V[0]
+			tx.Update(o, upd)
+			return nil
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sys.Atomic(th, fn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Contended", func(b *testing.B) {
+		sys, reg := nztm.NewNZSTMDynamic(8, 0)
+		o := sys.NewObject(nztm.NewInts(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			th := reg.NewThread()
+			defer th.Close()
+			upd := func(d nztm.Data) { d.(*nztm.Ints).V[0]++ }
+			fn := func(tx nztm.Tx) error {
+				tx.Update(o, upd)
+				return nil
+			}
+			for pb.Next() {
+				if err := sys.Atomic(th, fn); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }

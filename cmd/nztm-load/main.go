@@ -196,7 +196,7 @@ func selfHost(name string, cfg config) (result, error) {
 		return result{}, err
 	}
 	store := kv.New(backend.Sys, cfg.shards, cfg.buckets)
-	srv := server.New(store, backend.Threads, server.Config{
+	srv := server.New(store, backend.Reg, server.Config{
 		MaxAttempts:    100_000,
 		RequestTimeout: 5 * time.Second,
 	})

@@ -37,7 +37,7 @@ func main() {
 		system  = flag.String("system", "nzstm", "backing TM system: "+strings.Join(kv.BackendNames(), ", "))
 		shards  = flag.Int("shards", 16, "shard count")
 		buckets = flag.Int("buckets", 64, "transactional buckets per shard")
-		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "TM thread pool size (request execution concurrency)")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "expected concurrency hint (soft max: sizes initial TM tables; connections beyond it still get thread slots)")
 		maxAtt  = flag.Int("max-attempts", 512, "per-request transaction attempt budget (0 = unlimited)")
 		timeout = flag.Duration("timeout", 2*time.Second, "per-request retry deadline (0 = none)")
 		infl    = flag.Int("max-inflight", 64, "max concurrently executing requests per connection")
@@ -68,12 +68,12 @@ func main() {
 			fcfg.AbortProb = 0
 		}
 		plane = fault.New(fcfg)
-		plane.WrapThreads(backend.Threads)
+		cfg.WrapThread = plane.WrapThread
 		sys = plane.WrapSystem(sys)
 		cfg.ExtraStatsz = plane.WriteStats
 	}
 	store := kv.New(sys, *shards, *buckets)
-	srv := server.New(store, backend.Threads, cfg)
+	srv := server.New(store, backend.Reg, cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -84,8 +84,8 @@ func main() {
 		ln = plane.WrapListener(ln)
 		fmt.Printf("nztm-server: fault plane armed, seed=%d\n", *faultSd)
 	}
-	fmt.Printf("nztm-server: serving %s (%d shards × %d buckets, %d threads) on %s\n",
-		store.System().Name(), *shards, *buckets, *threads, ln.Addr())
+	fmt.Printf("nztm-server: serving %s (%d shards × %d buckets, %d-thread hint, %d slot cap) on %s\n",
+		store.System().Name(), *shards, *buckets, *threads, backend.Reg.Max(), ln.Addr())
 
 	if *statsz != "" {
 		mux := http.NewServeMux()

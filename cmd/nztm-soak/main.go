@@ -72,13 +72,13 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 		cfg.AbortProb = 0
 	}
 	plane := fault.New(cfg)
-	plane.WrapThreads(backend.Threads)
 	store := kv.New(plane.WrapSystem(backend.Sys), shards, buckets)
-	srv := server.New(store, backend.Threads, server.Config{
+	srv := server.New(store, backend.Reg, server.Config{
 		MaxAttempts:    512,
 		RequestTimeout: 2 * time.Second,
 		RetryBackoff:   100 * time.Microsecond,
 		ExtraStatsz:    plane.WriteStats,
+		WrapThread:     plane.WrapThread,
 	})
 
 	// Goroutine baseline before anything soak-owned starts; everything the

@@ -26,31 +26,42 @@ import (
 	"nztm/internal/tm"
 )
 
-func buildSystem(name string, threads int, patience uint64, tracer *tm.Tracer) (tm.System, error) {
-	mk := func(v core.Variant) tm.System {
+// buildSystem returns the system under torture plus a registry its worker
+// threads mint slots from. Core systems treat threads as a sizing hint and
+// cap the registry at their MaxThreads; the fixed-table baselines size
+// their per-thread structures for the registry's full capacity.
+func buildSystem(name string, threads int, patience uint64, tracer *tm.Tracer) (tm.System, *tm.Registry, error) {
+	world := tm.NewRealWorld()
+	mk := func(v core.Variant) (tm.System, *tm.Registry) {
+		reg := tm.NewRegistryWorld(0, world)
 		cfg := core.DefaultConfig(v, threads)
+		cfg.MaxThreads = reg.Max()
 		cfg.AckPatience = patience
 		cfg.Manager = cm.NewKarma(patience * 4)
 		cfg.Tracer = tracer
-		return core.New(tm.NewRealWorld(), cfg)
+		return core.New(world, cfg), reg
 	}
+	fixed := tm.NewRegistryWorld(threads, world)
 	switch name {
 	case "NZSTM":
-		return mk(core.NZ), nil
+		s, r := mk(core.NZ)
+		return s, r, nil
 	case "BZSTM":
-		return mk(core.BZ), nil
+		s, r := mk(core.BZ)
+		return s, r, nil
 	case "SCSS":
-		return mk(core.SCSS), nil
+		s, r := mk(core.SCSS)
+		return s, r, nil
 	case "DSTM":
-		return dstm.New(tm.NewRealWorld(), dstm.Config{Threads: threads}), nil
+		return dstm.New(world, dstm.Config{Threads: threads}), fixed, nil
 	case "DSTM2-SF":
-		return dstm2sf.New(tm.NewRealWorld(), dstm2sf.Config{Threads: threads}), nil
+		return dstm2sf.New(world, dstm2sf.Config{Threads: threads}), fixed, nil
 	case "LogTM-SE":
-		return logtm.New(tm.NewRealWorld(), logtm.Config{Threads: threads}), nil
+		return logtm.New(world, logtm.Config{Threads: threads}), fixed, nil
 	case "GlobalLock":
-		return glock.New(tm.NewRealWorld()), nil
+		return glock.New(world), fixed, nil
 	}
-	return nil, fmt.Errorf("unknown system %q", name)
+	return nil, nil, fmt.Errorf("unknown system %q", name)
 }
 
 func main() {
@@ -68,7 +79,7 @@ func main() {
 	if *trace > 0 {
 		tracer = tm.NewTracer(*trace)
 	}
-	sys, err := buildSystem(*system, *threads, *patience, tracer)
+	sys, reg, err := buildSystem(*system, *threads, *patience, tracer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nztm-stress:", err)
 		os.Exit(2)
@@ -90,7 +101,8 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			th := tm.NewThread(id, tm.NewRealEnv(id, tm.NewRealWorld()))
+			th := reg.NewThread()
+			defer th.Close()
 			rng := uint64(id)*0x9e3779b97f4a7c15 + 1
 			for !stop.Load() {
 				rng ^= rng << 13
@@ -138,7 +150,8 @@ func main() {
 	wg.Wait()
 
 	// Final audit.
-	th := tm.NewThread(0, tm.NewRealEnv(0, tm.NewRealWorld()))
+	th := reg.NewThread()
+	defer th.Close()
 	var total int64
 	if err := sys.Atomic(th, func(tx tm.Tx) error {
 		total = 0

@@ -41,7 +41,7 @@ func main() {
 			fail(err)
 		}
 		store := kv.New(backend.Sys, 8, 32)
-		srv := server.New(store, backend.Threads, server.Config{})
+		srv := server.New(store, backend.Reg, server.Config{})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fail(err)

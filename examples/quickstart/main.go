@@ -11,14 +11,16 @@ import (
 
 func main() {
 	const threads = 4
-	sys := nztm.NewNZSTM(threads)
+	// A registry-backed system: worker threads acquire slots at runtime and
+	// release them when done, instead of pre-claiming fixed IDs.
+	sys, reg := nztm.NewNZSTMDynamic(threads, 0)
 
 	counter := sys.NewObject(nztm.NewInts(1))
 	checking := sys.NewObject(nztm.NewInts(1))
 	savings := sys.NewObject(nztm.NewInts(1))
 
 	// Seed the accounts.
-	setup := nztm.NewThread(0)
+	setup := reg.NewThread()
 	if err := sys.Atomic(setup, func(tx nztm.Tx) error {
 		tx.Update(checking, func(d nztm.Data) { d.(*nztm.Ints).V[0] = 900 })
 		tx.Update(savings, func(d nztm.Data) { d.(*nztm.Ints).V[0] = 100 })
@@ -26,13 +28,15 @@ func main() {
 	}); err != nil {
 		panic(err)
 	}
+	setup.Close()
 
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
-		go func(id int) {
+		go func() {
 			defer wg.Done()
-			th := nztm.NewThread(id)
+			th := reg.NewThread()
+			defer th.Close()
 			for i := 0; i < 1000; i++ {
 				// Increment the counter and move a unit between accounts,
 				// atomically. If another thread conflicts, the transaction
@@ -46,11 +50,12 @@ func main() {
 					panic(err)
 				}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 
-	th := nztm.NewThread(0)
+	th := reg.NewThread()
+	defer th.Close()
 	var count, total int64
 	if err := sys.Atomic(th, func(tx nztm.Tx) error {
 		count = tx.Read(counter).(*nztm.Ints).V[0]

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"nztm/internal/tmtest"
+)
+
+// The registry-churn suite: thread slots are acquired and released at
+// runtime while transactions run, recycling slot IDs — and with them pooled
+// descriptors, reader-table entries, and owner words — through many tenants.
+// The attempt-generation protocol (DESIGN.md §10) is what keeps a recycled
+// slot's new tenant from being confused with its predecessor; these tests
+// are its conformance check across all variants and both reader modes.
+func TestRegistryChurnNZ(t *testing.T) {
+	tmtest.RunChurn(t, realFactory(NZ, VisibleReaders))
+}
+
+func TestRegistryChurnNZInvisible(t *testing.T) {
+	tmtest.RunChurn(t, realFactory(NZ, InvisibleReaders))
+}
+
+func TestRegistryChurnBZ(t *testing.T) {
+	tmtest.RunChurn(t, realFactory(BZ, VisibleReaders))
+}
+
+func TestRegistryChurnSCSS(t *testing.T) {
+	tmtest.RunChurn(t, realFactory(SCSS, VisibleReaders))
+}

@@ -467,13 +467,23 @@ func TestVariantString(t *testing.T) {
 }
 
 func TestThreadIDRangeChecked(t *testing.T) {
+	// Threads is only a sizing hint now: IDs beyond it are accepted (the
+	// reader tables grow), but negative IDs and IDs at or beyond MaxThreads
+	// still panic.
 	s := newSys(NZ, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for out-of-range thread ID")
-		}
-	}()
-	_ = s.Atomic(thread(5), func(tx tm.Tx) error { return nil })
+	if err := s.Atomic(thread(5), func(tx tm.Tx) error { return nil }); err != nil {
+		t.Fatalf("thread ID beyond the hint must be accepted: %v", err)
+	}
+	for _, id := range []int{-1, s.Config().MaxThreads} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for thread ID %d", id)
+				}
+			}()
+			_ = s.Atomic(thread(id), func(tx tm.Tx) error { return nil })
+		}()
+	}
 }
 
 func TestBackupPoolingAcrossTransactions(t *testing.T) {

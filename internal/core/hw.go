@@ -49,14 +49,13 @@ func (o *Object) HWInspect(env tm.Env) HWView {
 		}
 		w := or.txn
 		env.Access(w.addr, 1, false)
-		switch w.status.State() {
-		case tm.Active:
+		if w.status.ActiveFor(or.gen) {
 			return v // conflict with an active software transaction
-		case tm.Committed:
-			v.NeedsCleanup = true // stale owner: clear it for successors
-		case tm.Aborted:
-			v.NeedsCleanup = true // restore the backup, clear the owner
 		}
+		// The owning attempt committed, aborted, or (generation moved on)
+		// finished entirely: the stale owner word must be cleared for
+		// successors, and a pending backup restored.
+		v.NeedsCleanup = true
 	}
 	v.OK = true
 	v.Logical, v.LogicalAddr = o.logicalData(env)
@@ -67,7 +66,8 @@ func (o *Object) HWInspect(env tm.Env) HWView {
 // a hardware transaction must not write an object with active software
 // readers (it cannot wait for their acknowledgements).
 func (o *Object) HWActiveReaders(env tm.Env) bool {
-	return len(o.activeReaders(env, nil)) > 0
+	_, _, found := o.firstActiveReader(env, nil)
+	return found
 }
 
 // HWPublish applies a hardware transaction's committed write to the object:

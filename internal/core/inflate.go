@@ -17,8 +17,22 @@ const locatorWords = 4
 // Data field is invalid because the unresponsive transaction may still
 // scribble on it.
 type Locator struct {
-	owner   *Txn
-	aborted *Txn // the unresponsive transaction, preserved across locators
+	// owner is the transaction that installed the locator. Publishing a
+	// locator *pins* the owner descriptor (Txn.pinned): it is withdrawn from
+	// per-thread pooling so its status word stays genuine for the locator's
+	// whole lifetime, and the plain (un-generation-qualified) status loads
+	// below remain sound.
+	owner *Txn
+
+	// aborted is the unresponsive enemy the inflation stepped past,
+	// preserved across locators; abortedGen is the enemy's attempt
+	// generation at inflation time. The enemy's descriptor belongs to a
+	// foreign thread and cannot be pinned, so checks on it are
+	// generation-qualified: its AbortNowPlease flag was set before the
+	// inflation, so attempt abortedGen can never commit — a moved-on
+	// generation therefore *implies* that attempt aborted.
+	aborted    *Txn
+	abortedGen uint64
 
 	oldData tm.Data // committed value if owner aborted
 	newData tm.Data // committed value if owner committed; owner's working copy
@@ -29,6 +43,16 @@ type Locator struct {
 	dirty bool // owner has mutated newData (blocks adoption as a backup)
 }
 
+// abortedDone reports whether the locator's unresponsive enemy attempt has
+// reached its (necessarily Aborted) terminal state.
+func (loc *Locator) abortedDone() bool {
+	st, _, g := loc.aborted.status.LoadGen()
+	if g != loc.abortedGen {
+		return true // attempt over; ANP was set pre-inflation, so it aborted
+	}
+	return st == tm.Aborted
+}
+
 // inflationSource returns the value (and its simulated address) that the
 // new Locator's old-data field should adopt: the pending backup when one
 // belongs to a non-committed transaction — either the unresponsive owner's
@@ -37,7 +61,7 @@ type Locator struct {
 func (o *Object) inflationSource(env tm.Env) (tm.Data, machine.Addr, bool) {
 	if c := o.loadBackup(env); c != nil {
 		env.Access(c.by.addr, 1, false)
-		if c.by.status.State() != tm.Committed {
+		if c.resolve() != cellCommitted {
 			return c.data, c.addr, true // adopt the backup buffer itself
 		}
 	}
@@ -48,18 +72,27 @@ func (o *Object) inflationSource(env tm.Env) (tm.Data, machine.Addr, bool) {
 // transaction failed to acknowledge an abort request in time. The enemy is
 // either the unresponsive owner (the owner word points to it) or an
 // unresponsive visible reader (in which case tx itself is the owner).
-func (tx *Txn) inflate(o *Object, enemy *Txn) {
+// enemyGen scopes every enemy-status check to the attempt that was actually
+// asked to abort.
+func (tx *Txn) inflate(o *Object, enemy *Txn, enemyGen uint64) {
 	env := tx.th.Env
 
 	for {
 		tx.validate()
 		env.Access(enemy.addr, 1, false)
-		if enemy.status.State() != tm.Active {
+		if !enemy.status.ActiveFor(enemyGen) {
 			return // the enemy acknowledged after all; back to the fast path
 		}
 		or := o.ownerWord(env)
 		if or == nil || or.loc != nil || (or.txn != enemy && or.txn != tx) {
 			return // someone else resolved the situation; re-examine
+		}
+		if or.txn == enemy && or.gen != enemyGen {
+			// The enemy descriptor's ownership is from an *older* attempt
+			// (never cleaned up after it aborted); the attempt we doomed does
+			// not own the object after all. Re-examine via the fast path,
+			// which handles stale terminal owners and lazy restore.
+			return
 		}
 
 		src, srcAddr, adopted := o.inflationSource(env)
@@ -81,13 +114,14 @@ func (tx *Txn) inflate(o *Object, enemy *Txn) {
 		env.Access(newAddr, o.words, true)
 		env.Copy(o.words)
 		loc := &Locator{
-			owner:   tx,
-			aborted: enemy,
-			oldData: old,
-			newData: old.Clone(),
-			oldAddr: oldAddr,
-			newAddr: newAddr,
-			addr:    env.Alloc(locatorWords, false),
+			owner:      tx,
+			aborted:    enemy,
+			abortedGen: enemyGen,
+			oldData:    old,
+			newData:    old.Clone(),
+			oldAddr:    oldAddr,
+			newAddr:    newAddr,
+			addr:       env.Alloc(locatorWords, false),
 		}
 		env.Access(loc.addr, locatorWords, true)
 
@@ -95,10 +129,14 @@ func (tx *Txn) inflate(o *Object, enemy *Txn) {
 		// to the Locator (the tagged-pointer CAS of §2.3.1).
 		tx.validate()
 		env.Access(enemy.addr, 1, false)
-		if enemy.status.State() != tm.Active {
+		if !enemy.status.ActiveFor(enemyGen) {
 			return
 		}
-		if o.casOwner(env, or, &ownerRef{loc: loc}) {
+		if o.casOwner(env, or, tx.locRef(loc)) {
+			// Our descriptor is now a published Locator owner: its terminal
+			// status will be read (unqualified) for as long as the locator is
+			// reachable, so withdraw it from pooling.
+			tx.pinned = true
 			tx.sys.stats.Inflations.Add(1)
 			tx.sys.cfg.Tracer.Record(tx.th, tm.TraceInflate, o.base, uint64(enemy.th.ID))
 			return
@@ -193,22 +231,24 @@ func (tx *Txn) updateInflated(o *Object, or *ownerRef, fn func(tm.Data)) bool {
 	env.Access(newAddr, o.words, true)
 	env.Copy(o.words)
 	loc2 := &Locator{
-		owner:   tx,
-		aborted: loc.aborted,
-		oldData: cur,
-		newData: cur.Clone(),
-		oldAddr: curAddr,
-		newAddr: newAddr,
-		addr:    env.Alloc(locatorWords, false),
+		owner:      tx,
+		aborted:    loc.aborted,
+		abortedGen: loc.abortedGen,
+		oldData:    cur,
+		newData:    cur.Clone(),
+		oldAddr:    curAddr,
+		newAddr:    newAddr,
+		addr:       env.Alloc(locatorWords, false),
 	}
 	env.Access(loc2.addr, locatorWords, true)
 
 	tx.validate()
-	or2 := &ownerRef{loc: loc2}
+	or2 := tx.locRef(loc2)
 	preVer := o.version.Load()
 	if !o.casOwner(env, or, or2) {
 		return false
 	}
+	tx.pinned = true // published as loc2's owner: see inflate
 	tx.refreshRead(o, preVer)
 	tx.BumpPriority()
 	tx.sys.stats.LocatorOps.Add(1)
@@ -230,34 +270,40 @@ func (tx *Txn) updateInflated(o *Object, or *ownerRef, fn func(tm.Data)) bool {
 
 // doomReaders drives every registered reader (other than tx) to a state in
 // which it can no longer commit: finished, acknowledged, or AbortNowPlease
-// set. Contention-manager Wait decisions spin; AbortSelf unwinds tx.
+// set. Contention-manager Wait decisions spin; AbortSelf unwinds tx. Abort
+// requests are scoped to the observed attempt generation — a stale reader
+// slot must not doom the descriptor's current (unrelated) attempt.
 func (tx *Txn) doomReaders(o *Object) {
 	env := tx.th.Env
 	mgr := tx.sys.cfg.Manager
-	for i := range o.readers {
-		start := env.Now()
-		for {
-			r := o.readers[i].Load()
-			if r == nil || r == tx {
-				break
-			}
-			env.Access(r.addr, 1, false)
-			st, anp := r.status.Load()
-			if st != tm.Active || anp {
-				break
-			}
-			tx.validate()
-			switch mgr.Resolve(tx, r, env.Now()-start) {
-			case cm.Wait:
-				env.Spin()
-			case cm.AbortSelf:
-				tx.status.Acknowledge()
-				tm.Retry(tm.AbortSelf)
-			case cm.AbortOther:
-				env.CAS(r.addr)
-				r.status.RequestAbort()
-				tx.sys.stats.AbortRequests.Add(1)
+	dir, _ := o.readerSlots()
+	for _, chunk := range dir {
+		for i := range chunk {
+			slot := &chunk[i]
+			start := env.Now()
+			for {
+				r := slot.Load()
+				if r == nil || r == tx {
+					break
+				}
+				env.Access(r.addr, 1, false)
+				st, anp, g := r.status.LoadGen()
+				if st != tm.Active || anp {
+					break
+				}
 				tx.validate()
+				switch mgr.Resolve(tx, r, env.Now()-start) {
+				case cm.Wait:
+					env.Spin()
+				case cm.AbortSelf:
+					tx.status.Acknowledge()
+					tm.Retry(tm.AbortSelf)
+				case cm.AbortOther:
+					env.CAS(r.addr)
+					r.status.RequestAbortFor(g)
+					tx.sys.stats.AbortRequests.Add(1)
+					tx.validate()
+				}
 			}
 		}
 	}
@@ -316,18 +362,23 @@ func (tx *Txn) tryDeflate(o *Object, or *ownerRef) bool {
 		return false
 	}
 	env.Access(loc.aborted.addr, 1, false)
-	if loc.aborted.status.State() != tm.Aborted {
+	if !loc.abortedDone() {
 		return false // still unresponsive: in-place data is still unsafe
 	}
 	tx.validate()
 
 	// Any still-active registered reader may be reading the in-place data
-	// from before inflation; deflation writes it, so it must wait.
-	env.Access(o.readerAddr, len(o.readers), false)
-	for i := range o.readers {
-		if r := o.readers[i].Load(); r != nil && r != tx &&
-			r.status.State() == tm.Active {
-			return false
+	// from before inflation; deflation writes it, so it must wait. (A stale
+	// slot whose tenant is active in a *later* attempt merely delays
+	// deflation — a safe direction to be conservative in.)
+	dir, n := o.readerSlots()
+	env.Access(o.readerAddr, n, false)
+	for _, chunk := range dir {
+		for i := range chunk {
+			if r := chunk[i].Load(); r != nil && r != tx &&
+				r.status.State() == tm.Active {
+				return false
+			}
 		}
 	}
 
@@ -339,11 +390,11 @@ func (tx *Txn) tryDeflate(o *Object, or *ownerRef) bool {
 	// at the backup — and it prevents a stale doomed deflator from ever
 	// touching the Backup Data field (it can no longer win this CAS).
 	preVer := o.version.Load()
-	if !o.casOwner(env, or, &ownerRef{txn: tx}) {
+	if !o.casOwner(env, or, tx.selfRef()) {
 		return false
 	}
 	tx.refreshRead(o, preVer)
-	o.setBackup(env, &backupCell{data: loc.newData, addr: loc.newAddr, by: tx})
+	o.setBackup(env, tx.newCell(loc.newData, loc.newAddr))
 	env.Access(loc.newAddr, o.words, false)
 	env.Access(o.dataAddr, o.words, true)
 	env.Copy(o.words)

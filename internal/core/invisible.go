@@ -95,18 +95,18 @@ func (tx *Txn) readInvisible(o *Object) tm.Data {
 		if or != nil {
 			w = or.txn
 		}
-		if w == tx {
-			// We own it for writing: our in-place working data is current.
-			// Under SCSS a doomed owner can be stolen from, so the fast
-			// path still snapshots; under NZ/BZ writers obtain our
-			// acknowledgement first, so the raw pointer is safe.
+		if w == tx && or.gen == tx.gen {
+			// We own it for writing in this attempt: our in-place working
+			// data is current. Under SCSS a doomed owner can be stolen from,
+			// so the fast path still snapshots; under NZ/BZ writers obtain
+			// our acknowledgement first, so the raw pointer is safe.
 			env.Access(o.dataAddr, o.words, false)
 			return tx.maybeSnapshot(o, o.data)
 		}
 		if w != nil {
 			env.Access(w.addr, 1, false)
-			if w.status.State() == tm.Active {
-				tx.resolveConflict(o, or, w, false)
+			if w.status.ActiveFor(or.gen) {
+				tx.resolveConflict(o, or, w, or.gen, false)
 				continue
 			}
 		}

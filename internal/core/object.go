@@ -37,20 +37,72 @@ const headerWords = 4
 // pointer's low-order bit (§2.3.1); Go's garbage collector forbids tagged
 // pointers, so the tag is modelled by which field is non-nil. The simulated
 // layout still charges a single header word for it.
+//
+// Because descriptors are pooled (one per thread and system) rather than
+// freshly allocated per attempt, the ref also records the attempt generation
+// the owner held when it installed itself: anyone inspecting a stale owner
+// word asks about *that* attempt (status.ActiveFor / RequestAbortFor) and
+// can never mistake the descriptor's next attempt for the installing one.
+// ownerRef values themselves are CAS identities (casOwner compares the
+// pointer), so they must be fresh memory per install — they come from a
+// per-descriptor bump arena, never a free list (see Txn.newOwnerRef).
 type ownerRef struct {
 	txn *Txn     // non-nil: normal NZObject owned by this transaction
+	gen uint64   // txn's attempt generation at install time
 	loc *Locator // non-nil: inflated object (the low-order-bit case)
 }
 
+// Outcomes of the attempt that installed a backupCell.
+const (
+	cellPending   uint32 = iota // installer's attempt still running
+	cellCommitted               // installer committed: in-place data is truth
+	cellAborted                 // installer aborted: the backup is truth until restored
+)
+
 // backupCell is the target of the Backup Data field: a backup copy of the
-// object data, the simulated address it lives at, and the transaction that
-// installed it. The installing transaction is recorded so that a transaction
-// inflating past an unresponsive owner can tell whether the backup belongs
-// to that owner or is a leftover from a previous one (§2.3.1 footnote 1).
+// object data, the simulated address it lives at, and the transaction (and
+// attempt generation) that installed it. The installing transaction is
+// recorded so that a transaction inflating past an unresponsive owner can
+// tell whether the backup belongs to that owner or is a leftover from a
+// previous one (§2.3.1 footnote 1).
+//
+// With fresh-per-attempt descriptors the installer's status word alone
+// decided whether the backup is the logical truth; a pooled descriptor's
+// status word speaks only for its *current* attempt, so each cell carries
+// its own outcome, sealed by Txn.finish before the descriptor can be
+// renewed. resolve() folds the two sources together.
 type backupCell struct {
-	data tm.Data
-	addr machine.Addr
-	by   *Txn
+	data    tm.Data
+	addr    machine.Addr
+	by      *Txn
+	gen     uint64 // by's attempt generation at install time
+	outcome atomic.Uint32
+}
+
+// resolve returns the fate of the attempt that installed c: cellPending
+// while that attempt is still running, otherwise its sealed terminal
+// outcome. The installer marks every cell it installed (finish) before its
+// descriptor can be renewed (begin), so observing a moved-on generation
+// guarantees a re-read of the outcome is terminal; atomics are sequentially
+// consistent in Go, which makes that ordering visible to every observer.
+func (c *backupCell) resolve() uint32 {
+	for {
+		if oc := c.outcome.Load(); oc != cellPending {
+			return oc
+		}
+		st, _, gen := c.by.status.LoadGen()
+		if gen != c.gen {
+			continue // attempt over; its finish sealed the outcome — re-read
+		}
+		switch st {
+		case tm.Committed:
+			return cellCommitted
+		case tm.Aborted:
+			return cellAborted
+		default:
+			return cellPending
+		}
+	}
 }
 
 // Object is an NZObject (Figure 1): collocated metadata plus in-place data.
@@ -64,10 +116,15 @@ type Object struct {
 	// back into it.
 	data tm.Data
 
-	// readers is the visible-reader table: one slot per thread. A writer
-	// must obtain acknowledgements from (or, in NZSTM, inflate past) every
-	// active registered reader before mutating data in place.
-	readers []atomic.Pointer[Txn]
+	// readers is the visible-reader table: one slot per thread slot ID. A
+	// writer must obtain acknowledgements from (or, in NZSTM, inflate past)
+	// every active registered reader before mutating data in place. The
+	// table is chunked and grows on demand to the registry's high-water
+	// mark: the directory (an immutable slice of chunk pointers) is swapped
+	// atomically, and chunk pointers are shared between directory versions,
+	// so a registration in an old chunk stays visible through any number of
+	// growths. See DESIGN.md §10.
+	readers atomic.Pointer[[]*readerChunk]
 
 	// version counts ownership changes; invisible readers validate their
 	// snapshots against it. It is bumped inside every successful owner-word
@@ -105,21 +162,96 @@ func (o *Object) DataAddr() machine.Addr { return o.dataAddr }
 // Words returns the data size in simulated words.
 func (o *Object) Words() int { return o.words }
 
+// readerChunkBits sizes a reader-table chunk: 32 slots per chunk keeps the
+// table one small allocation for the paper's 16-thread regime while letting
+// it grow to the registry maximum without ever copying a registration.
+const readerChunkBits = 5
+
+// readerChunkSize is the number of reader slots per chunk.
+const readerChunkSize = 1 << readerChunkBits
+
+// readerChunk is one fixed block of visible-reader slots. Chunks are only
+// ever added to a directory, never moved or dropped, so a slot's address is
+// stable for the object's lifetime.
+type readerChunk [readerChunkSize]atomic.Pointer[Txn]
+
 // newObject lays out and initialises an NZObject.
 func (s *System) newObject(initial tm.Data) *Object {
 	w := initial.Words()
-	total := headerWords + w + s.threads
+	// The simulated layout charges the configured thread hint's worth of
+	// reader slots, as the fixed-table implementation did; sim harnesses
+	// bound thread IDs by the hint, so growth only happens in real mode
+	// (where layout addresses are fake anyway).
+	total := headerWords + w + s.cfg.Threads
 	base := s.world.Alloc(total, true)
 	o := &Object{
 		data:       initial,
-		readers:    make([]atomic.Pointer[Txn], s.threads),
 		base:       base,
 		dataAddr:   base + headerWords,
 		readerAddr: base + headerWords + machine.Addr(w),
 		words:      w,
 		sys:        s,
 	}
+	dir := make([]*readerChunk, (s.cfg.Threads+readerChunkSize-1)/readerChunkSize)
+	for i := range dir {
+		dir[i] = new(readerChunk)
+	}
+	o.readers.Store(&dir)
 	return o
+}
+
+// readerSlot returns the table slot for thread slot ID id, growing the
+// directory when id lies beyond it. Growth copies only the chunk *pointers*
+// into a longer directory and swaps it in with a CAS; registrations already
+// made stay visible because the chunks themselves are shared.
+func (o *Object) readerSlot(id int) *atomic.Pointer[Txn] {
+	for {
+		dir := *o.readers.Load()
+		if c := id >> readerChunkBits; c < len(dir) {
+			return &dir[c][id&(readerChunkSize-1)]
+		}
+		o.growReaders(id)
+	}
+}
+
+// readerSlotLoad returns the registered reader in slot id, or nil — without
+// growing the table (a slot the table does not cover holds no reader).
+func (o *Object) readerSlotLoad(id int) *Txn {
+	dir := *o.readers.Load()
+	if c := id >> readerChunkBits; c < len(dir) {
+		return dir[c][id&(readerChunkSize-1)].Load()
+	}
+	return nil
+}
+
+// growReaders extends the directory to cover slot id.
+func (o *Object) growReaders(id int) {
+	if max := o.sys.maxThreads; id >= max {
+		panic("core: thread slot ID beyond Config.MaxThreads")
+	}
+	for {
+		old := o.readers.Load()
+		dir := *old
+		need := id>>readerChunkBits + 1
+		if need <= len(dir) {
+			return
+		}
+		grown := make([]*readerChunk, need)
+		copy(grown, dir)
+		for i := len(dir); i < need; i++ {
+			grown[i] = new(readerChunk)
+		}
+		if o.readers.CompareAndSwap(old, &grown) {
+			return
+		}
+	}
+}
+
+// readerSlots returns the current directory and the number of slots it
+// covers, for table scans.
+func (o *Object) readerSlots() ([]*readerChunk, int) {
+	dir := *o.readers.Load()
+	return dir, len(dir) * readerChunkSize
 }
 
 // ownerWord atomically loads the Owner field, charging one header-word read.
@@ -155,34 +287,52 @@ func (o *Object) setBackup(env tm.Env, c *backupCell) {
 	o.backup.Store(c)
 }
 
-// registerReader announces tx in the visible-reader table.
+// registerReader announces tx in the visible-reader table, growing the table
+// if tx's slot ID lies beyond it.
 func (o *Object) registerReader(env tm.Env, tx *Txn) {
 	env.Access(o.readerAddr+machine.Addr(tx.th.ID), 1, true)
-	o.readers[tx.th.ID].Store(tx)
+	o.readerSlot(tx.th.ID).Store(tx)
 }
 
 // deregisterReader clears tx's slot if it still holds it.
 func (o *Object) deregisterReader(env tm.Env, tx *Txn) {
-	slot := &o.readers[tx.th.ID]
+	dir := *o.readers.Load()
+	c := tx.th.ID >> readerChunkBits
+	if c >= len(dir) {
+		return // table never grew to tx's slot: nothing registered
+	}
+	slot := &dir[c][tx.th.ID&(readerChunkSize-1)]
 	if slot.Load() == tx {
 		env.Access(o.readerAddr+machine.Addr(tx.th.ID), 1, true)
 		slot.Store(nil)
 	}
 }
 
-// activeReaders charges a scan of the reader table and returns the active
-// registered readers other than me.
-func (o *Object) activeReaders(env tm.Env, me *Txn) []*Txn {
-	env.Access(o.readerAddr, len(o.readers), false)
-	var rs []*Txn
-	for i := range o.readers {
-		t := o.readers[i].Load()
-		if t == nil || t == me {
-			continue
-		}
-		if t.status.State() == tm.Active {
-			rs = append(rs, t)
+// firstActiveReader charges a scan of the reader table and returns the first
+// active registered reader other than me, with the attempt generation it was
+// observed at. Writers call it repeatedly — resolve the returned reader, scan
+// again — until the table is quiet.
+//
+// Reader slots hold bare descriptor pointers: a slot can be stale (its tenant
+// finished, and — descriptors being pooled — may even be Active again in a
+// later attempt that never read this object). The captured generation bounds
+// the damage: conflict resolution dooms at most the observed attempt, so a
+// stale slot costs a spurious abort at worst, never a missed reader — the
+// registration protocol (register, then re-validate, §2.2) guarantees any
+// reader that could still commit is genuinely in the table.
+func (o *Object) firstActiveReader(env tm.Env, me *Txn) (*Txn, uint64, bool) {
+	dir, n := o.readerSlots()
+	env.Access(o.readerAddr, n, false)
+	for _, chunk := range dir {
+		for i := range chunk {
+			t := chunk[i].Load()
+			if t == nil || t == me {
+				continue
+			}
+			if st, _, gen := t.status.LoadGen(); st == tm.Active {
+				return t, gen, true
+			}
 		}
 	}
-	return rs
+	return nil, 0, false
 }

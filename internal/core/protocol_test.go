@@ -172,12 +172,12 @@ func TestReaderSlotHygiene(t *testing.T) {
 
 	t1 := s.begin(th0)
 	_ = t1.Read(obj)
-	if obj.readers[0].Load() != t1 {
+	if obj.readerSlotLoad(0) != t1 {
 		t.Fatal("t1 not registered")
 	}
 	t1.status.Acknowledge()
 	t1.finish(false)
-	if obj.readers[0].Load() != nil {
+	if obj.readerSlotLoad(0) != nil {
 		t.Fatal("finish did not clear the slot")
 	}
 
@@ -185,13 +185,13 @@ func TestReaderSlotHygiene(t *testing.T) {
 	_ = t2.Read(obj)
 	t3 := s.begin(th0) // same thread, new txn takes over the slot
 	_ = t3.Read(obj)
-	if obj.readers[0].Load() != t3 {
+	if obj.readerSlotLoad(0) != t3 {
 		t.Fatal("slot not taken over by the newer transaction")
 	}
 	// t2's deregistration must not clobber t3's registration.
 	t2.status.Acknowledge()
 	t2.finish(false)
-	if obj.readers[0].Load() != t3 {
+	if obj.readerSlotLoad(0) != t3 {
 		t.Fatal("stale deregistration cleared the live registration")
 	}
 	t3.status.Acknowledge()

@@ -60,9 +60,17 @@ func (r ReaderMode) String() string {
 
 // Config parameterises a System.
 type Config struct {
-	// Threads is the maximum number of concurrent threads (sizes the
-	// visible-reader tables).
+	// Threads is a *hint* for the expected number of concurrent threads: it
+	// sizes the initial visible-reader tables (and their simulated layout
+	// charge). Threads with higher slot IDs are still accepted — the tables
+	// grow on demand up to MaxThreads.
 	Threads int
+
+	// MaxThreads is the hard ceiling on thread slot IDs the system will
+	// accept (it bounds reader-table growth). Zero selects
+	// tm.DefaultMaxSlots, matching the default Registry capacity; it is
+	// never below Threads.
+	MaxThreads int
 
 	// Variant selects NZSTM, BZSTM, or SCSS behaviour.
 	Variant Variant
@@ -131,10 +139,10 @@ func DefaultConfig(v Variant, threads int) Config {
 
 // System is an NZSTM/BZSTM/SCSS transactional memory instance.
 type System struct {
-	cfg     Config
-	world   tm.World
-	threads int
-	stats   *tm.Stats
+	cfg        Config
+	world      tm.World
+	maxThreads int
+	stats      *tm.Stats
 }
 
 // New creates a System over the given world (a *machine.Machine in sim mode,
@@ -142,6 +150,12 @@ type System struct {
 func New(world tm.World, cfg Config) *System {
 	if cfg.Threads <= 0 {
 		cfg.Threads = 1
+	}
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = tm.DefaultMaxSlots
+	}
+	if cfg.MaxThreads < cfg.Threads {
+		cfg.MaxThreads = cfg.Threads
 	}
 	if cfg.Manager == nil {
 		cfg.Manager = cm.NewKarma(4_000)
@@ -153,7 +167,7 @@ func New(world tm.World, cfg Config) *System {
 	if stats == nil {
 		stats = &tm.Stats{}
 	}
-	return &System{cfg: cfg, world: world, threads: cfg.Threads, stats: stats}
+	return &System{cfg: cfg, world: world, maxThreads: cfg.MaxThreads, stats: stats}
 }
 
 // NewNZSTM returns an NZSTM system with default configuration.
@@ -186,15 +200,19 @@ func (s *System) NewObject(initial tm.Data) tm.Object {
 }
 
 // Atomic implements tm.System: it runs fn transactionally on th, retrying
-// aborted attempts with contention-manager backoff. As in the paper (§3), a
-// retried transaction allocates a fresh Transaction descriptor.
+// aborted attempts with contention-manager backoff. The paper (§3) gives each
+// attempt a fresh Transaction descriptor; here each attempt gets a fresh
+// *generation* of a per-thread pooled descriptor instead, which is
+// observationally equivalent (see DESIGN.md §10) and keeps the hot path
+// allocation-free.
 func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
-	if th.ID < 0 || th.ID >= s.threads {
+	if th.ID < 0 || th.ID >= s.maxThreads {
 		panic("core: thread ID out of range for this System")
 	}
 	for attempt := 0; ; attempt++ {
 		tx := s.begin(th)
-		err, reason, ok := tm.RunAttempt(func() error { return fn(tx) })
+		tx.userFn = fn
+		err, reason, ok := tm.RunAttempt(tx.runFn)
 		if ok {
 			if err != nil {
 				// User-level failure: discard effects and return the error.
@@ -228,13 +246,24 @@ func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
 	}
 }
 
-// begin allocates a fresh transaction descriptor.
+// begin produces the attempt's transaction descriptor: the thread's cached
+// descriptor renewed to a fresh generation when possible, a fresh allocation
+// otherwise. A cached descriptor is unusable when it was pinned (published as
+// a Locator owner — its terminal status is load-bearing forever, see
+// inflate.go) or when Renew fails because the previous attempt never reached
+// a terminal state (a user panic unwound through Atomic).
 func (s *System) begin(th *tm.Thread) *Txn {
-	tx := &Txn{
-		sys:  s,
-		th:   th,
-		addr: s.world.Alloc(2, false),
+	tx, _ := th.CachedTx(s).(*Txn)
+	if tx == nil || tx.pinned || !tx.status.Renew() {
+		tx = &Txn{
+			sys:  s,
+			th:   th,
+			addr: s.world.Alloc(2, false),
+		}
+		tx.runFn = func() error { return tx.userFn(tx) }
+		th.SetCachedTx(s, tx)
 	}
+	tx.gen = tx.status.Gen()
 	tx.InitMeta(th.NextBirth())
 	s.cfg.Tracer.Record(th, tm.TraceBegin, 0, tx.Birth())
 	return tx

@@ -8,8 +8,10 @@ import (
 
 // Txn is an NZSTM transaction descriptor (Figure 1): a status word packing
 // {Active, Committed, Aborted} with the AbortNowPlease flag, plus
-// contention-manager metadata. A fresh descriptor is allocated per attempt,
-// as in the paper (§3).
+// contention-manager metadata. The paper allocates a fresh descriptor per
+// attempt (§3); here one descriptor per (thread, system) is pooled across
+// attempts, and the status word's generation bits stand in for the fresh
+// allocation — see DESIGN.md §10 for why this is observationally equivalent.
 type Txn struct {
 	cm.Meta
 	status tm.StatusWord
@@ -17,11 +19,81 @@ type Txn struct {
 	sys  *System
 	th   *tm.Thread
 	addr machine.Addr // simulated address of the status word
+	gen  uint64       // this attempt's generation (== status.Gen() while running)
 
-	reads []*Object   // objects whose reader slots we occupy (visible mode)
-	rset  []readEntry // versioned snapshot records (invisible mode)
-	owned []*Object   // non-inflated objects we acquired for writing
+	// pinned marks a descriptor whose pointer was published as a Locator's
+	// owner or aborted-enemy field: those fields are read with plain (un-gen-
+	// qualified) status loads for the Locator's whole lifetime, so the
+	// descriptor must stay terminally frozen — begin never renews it.
+	pinned bool
+
+	// userFn/runFn avoid a per-attempt closure allocation: runFn is built
+	// once per descriptor and trampolines to whatever userFn holds.
+	userFn func(tm.Tx) error
+	runFn  func() error
+
+	reads []*Object     // objects whose reader slots we occupy (visible mode)
+	rset  []readEntry   // versioned snapshot records (invisible mode)
+	owned []*Object     // non-inflated objects we acquired for writing
+	cells []*backupCell // every backup cell this attempt installed
 	snaps []tm.Backup
+
+	// Bump arenas for ownerRef and backupCell values. Both are CAS / match
+	// identities (casOwner compares ownerRef pointers; lazy restore matches
+	// cells), so each value must be fresh memory, never recycled — but they
+	// need not each be a separate heap allocation. Blocks are abandoned to
+	// the GC when exhausted; any published pointer keeps its block alive.
+	refArena  []ownerRef
+	refN      int
+	cellArena []backupCell
+	cellN     int
+}
+
+// arenaBlock sizes the ownerRef/backupCell bump-arena blocks: one block
+// amortises to ~1/64th of an allocation per install, which benchmem rounds
+// to 0 allocs/op on the uncontended hot path.
+const arenaBlock = 64
+
+// newRef returns fresh ownerRef memory from the bump arena.
+func (tx *Txn) newRef() *ownerRef {
+	if tx.refN == len(tx.refArena) {
+		tx.refArena = make([]ownerRef, arenaBlock)
+		tx.refN = 0
+	}
+	r := &tx.refArena[tx.refN]
+	tx.refN++
+	return r
+}
+
+// selfRef builds the owner word value "owned by tx's current attempt".
+func (tx *Txn) selfRef() *ownerRef {
+	r := tx.newRef()
+	r.txn, r.gen = tx, tx.gen
+	return r
+}
+
+// locRef builds the owner word value "inflated into loc".
+func (tx *Txn) locRef(loc *Locator) *ownerRef {
+	r := tx.newRef()
+	r.loc = loc
+	return r
+}
+
+// newCell builds a backup cell installed by tx's current attempt and records
+// it for outcome sealing in finish. Fields are assigned individually because
+// backupCell embeds an atomic (a whole-struct copy would trip go vet's
+// copylocks check); arena entries are zero-valued fresh memory, so the
+// outcome field is already cellPending.
+func (tx *Txn) newCell(data tm.Data, addr machine.Addr) *backupCell {
+	if tx.cellN == len(tx.cellArena) {
+		tx.cellArena = make([]backupCell, arenaBlock)
+		tx.cellN = 0
+	}
+	c := &tx.cellArena[tx.cellN]
+	tx.cellN++
+	c.data, c.addr, c.by, c.gen = data, addr, tx, tx.gen
+	tx.cells = append(tx.cells, c)
+	return c
 }
 
 // readEntry is one invisible-mode read-set record: the object and the
@@ -51,18 +123,30 @@ func (tx *Txn) validate() {
 	tm.Retry(tm.AbortRequest)
 }
 
-// finish releases per-attempt state: reader-table slots are cleared, SCSS
-// read snapshots are recycled, and on commit the transaction's backup
+// finish releases per-attempt state: every installed backup cell's outcome
+// is sealed (so observers holding the cell never need this descriptor's —
+// soon to be renewed — status word again), reader-table slots are cleared,
+// SCSS read snapshots are recycled, and on commit the transaction's backup
 // buffers return to the thread-local pool (aborted transactions must leave
 // their backups in place — the next acquirer restores from them, §2.2).
+// finish runs before begin can renew the descriptor, which is what makes
+// backupCell.resolve's "generation moved on ⇒ outcome is sealed" argument
+// hold.
 func (tx *Txn) finish(committed bool) {
 	env := tx.th.Env
+	outcome := cellAborted
+	if committed {
+		outcome = cellCommitted
+	}
+	for _, c := range tx.cells {
+		c.outcome.Store(outcome)
+	}
 	for _, o := range tx.reads {
 		o.deregisterReader(env, tx)
 	}
 	if committed {
 		for _, o := range tx.owned {
-			if c := o.backup.Load(); c != nil && c.by == tx {
+			if c := o.backup.Load(); c != nil && c.by == tx && c.gen == tx.gen {
 				tx.th.PutBackup(tm.Backup{Data: c.data, Addr: c.addr})
 			}
 		}
@@ -70,15 +154,20 @@ func (tx *Txn) finish(committed bool) {
 	for _, s := range tx.snaps {
 		tx.th.PutBackup(s)
 	}
-	tx.reads, tx.rset, tx.owned, tx.snaps = nil, nil, nil, nil
+	tx.userFn = nil
+	tx.reads = tx.reads[:0]
+	tx.rset = tx.rset[:0]
+	tx.owned = tx.owned[:0]
+	tx.cells = tx.cells[:0]
+	tx.snaps = tx.snaps[:0]
 }
 
 // logicalData returns the object's current logical value given that no
 // active writer owns it: if the installed backup cell belongs to an aborted
-// transaction, its lazy restoration is still pending and the backup is the
+// attempt, its lazy restoration is still pending and the backup is the
 // truth (§2.2); otherwise the in-place data is.
 func (o *Object) logicalData(env tm.Env) (tm.Data, machine.Addr) {
-	if c := o.loadBackup(env); c != nil && c.by.status.State() == tm.Aborted {
+	if c := o.loadBackup(env); c != nil && c.resolve() == cellAborted {
 		return c.data, c.addr
 	}
 	return o.data, o.dataAddr
@@ -132,15 +221,18 @@ func (tx *Txn) Read(obj tm.Object) tm.Data {
 		if or != nil {
 			w = or.txn
 		}
-		if w == tx {
-			// We own it for writing: our in-place working data is current.
+		if w == tx && or.gen == tx.gen {
+			// We own it for writing *in this attempt*: our in-place working
+			// data is current. (A stale owner word from one of this pooled
+			// descriptor's previous attempts fails the generation check and
+			// takes the dead-owner path below, which lazily restores.)
 			env.Access(o.dataAddr, o.words, false)
 			return tx.maybeSnapshot(o, o.data)
 		}
 		if w != nil {
 			env.Access(w.addr, 1, false)
-			if w.status.State() == tm.Active {
-				tx.resolveConflict(o, or, w, false)
+			if w.status.ActiveFor(or.gen) {
+				tx.resolveConflict(o, or, w, or.gen, false)
 				continue
 			}
 		}
@@ -210,7 +302,7 @@ func (tx *Txn) Update(obj tm.Object, fn func(tm.Data)) {
 		if or != nil {
 			w = or.txn
 		}
-		if w == tx {
+		if w == tx && or.gen == tx.gen {
 			tx.applyStore(o, o.data, o.dataAddr, fn)
 			return
 		}
@@ -285,15 +377,15 @@ func (tx *Txn) acquireWrite(o *Object, or *ownerRef, w *Txn) bool {
 	// Resolve the writer conflict, if any (§2.2).
 	if w != nil {
 		env.Access(w.addr, 1, false)
-		if w.status.State() == tm.Active {
-			tx.resolveConflict(o, or, w, false)
+		if w.status.ActiveFor(or.gen) {
+			tx.resolveConflict(o, or, w, or.gen, false)
 			return false // re-examine whatever state resolution left behind
 		}
 	}
 
 	// Claim ownership.
 	preVer := o.version.Load()
-	if !o.casOwner(env, or, &ownerRef{txn: tx}) {
+	if !o.casOwner(env, or, tx.selfRef()) {
 		return false
 	}
 	tx.refreshRead(o, preVer)
@@ -305,11 +397,11 @@ func (tx *Txn) acquireWrite(o *Object, or *ownerRef, w *Txn) bool {
 	// registering concurrently re-checks the owner word and will see us)
 	// and before we touch the data in place.
 	for {
-		rs := o.activeReaders(env, tx)
-		if len(rs) == 0 {
+		r, rgen, found := o.firstActiveReader(env, tx)
+		if !found {
 			break
 		}
-		if !tx.resolveConflict(o, o.owner.Load(), rs[0], true) {
+		if !tx.resolveConflict(o, o.owner.Load(), r, rgen, true) {
 			// The object was inflated out from under us (we inflated past
 			// an unresponsive reader). Re-examine.
 			return false
@@ -320,7 +412,7 @@ func (tx *Txn) acquireWrite(o *Object, or *ownerRef, w *Txn) bool {
 	// (§2.2). The cell may belong to an owner before w if w itself aborted
 	// during its acquisition (footnote 1).
 	prev := o.loadBackup(env)
-	if prev != nil && prev.by.status.State() == tm.Aborted {
+	if prev != nil && prev.resolve() == cellAborted {
 		env.Access(prev.addr, o.words, false)
 		env.Access(o.dataAddr, o.words, true)
 		env.Copy(o.words)
@@ -340,7 +432,7 @@ func (tx *Txn) acquireWrite(o *Object, or *ownerRef, w *Txn) bool {
 	var b tm.Backup
 	tx.guardedCopy(o, func() {
 		b = tx.th.GetBackup(o.data, tx.sys.stats)
-		o.backup.Store(&backupCell{data: b.Data, addr: b.Addr, by: tx})
+		o.backup.Store(tx.newCell(b.Data, b.Addr))
 	})
 	env.Access(b.Addr, o.words, true)
 	env.Copy(o.words)
@@ -351,13 +443,17 @@ func (tx *Txn) acquireWrite(o *Object, or *ownerRef, w *Txn) bool {
 }
 
 // resolveConflict handles a conflict between tx and the active enemy over
-// object o, whose owner word was observed as or. enemyIsReader records
-// whether the enemy holds o as a visible reader (otherwise it is the
-// owner). It returns true when the enemy is no longer an obstacle
-// (acknowledged, finished, or deregistered) and false when the object's
-// owner word changed — including when we inflated it — so the caller must
-// re-examine. It unwinds tx when the manager decides AbortSelf.
-func (tx *Txn) resolveConflict(o *Object, or *ownerRef, enemy *Txn, enemyIsReader bool) bool {
+// object o, whose owner word was observed as or. enemyGen is the enemy's
+// attempt generation at observation time: with pooled descriptors the enemy
+// pointer alone does not name an attempt, so every status check and abort
+// request here is scoped to that generation — a stale pointer can never doom
+// the enemy descriptor's *next* attempt. enemyIsReader records whether the
+// enemy holds o as a visible reader (otherwise it is the owner). It returns
+// true when the enemy is no longer an obstacle (acknowledged, finished, or
+// deregistered) and false when the object's owner word changed — including
+// when we inflated it — so the caller must re-examine. It unwinds tx when
+// the manager decides AbortSelf.
+func (tx *Txn) resolveConflict(o *Object, or *ownerRef, enemy *Txn, enemyGen uint64, enemyIsReader bool) bool {
 	env := tx.th.Env
 	mgr := tx.sys.cfg.Manager
 	start := env.Now()
@@ -370,14 +466,14 @@ func (tx *Txn) resolveConflict(o *Object, or *ownerRef, enemy *Txn, enemyIsReade
 
 		// Is the enemy still an obstacle at all?
 		if enemyIsReader {
-			if o.readers[enemy.th.ID].Load() != enemy {
+			if o.readerSlotLoad(enemy.th.ID) != enemy {
 				return true
 			}
 		} else if o.owner.Load() != or {
 			return false
 		}
 		env.Access(enemy.addr, 1, false)
-		if enemy.status.State() != tm.Active {
+		if !enemy.status.ActiveFor(enemyGen) {
 			return true
 		}
 
@@ -393,7 +489,7 @@ func (tx *Txn) resolveConflict(o *Object, or *ownerRef, enemy *Txn, enemyIsReade
 				// AbortNowPlease, then confirm that we have not been asked
 				// to abort ourselves before waiting for the ack.
 				env.CAS(enemy.addr)
-				if enemy.status.RequestAbort() != tm.Active {
+				if enemy.status.RequestAbortFor(enemyGen) != tm.Active {
 					return true
 				}
 				tx.sys.stats.AbortRequests.Add(1)
@@ -422,8 +518,10 @@ func (tx *Txn) resolveConflict(o *Object, or *ownerRef, enemy *Txn, enemyIsReade
 			// acknowledgement (§2.3.2).
 			env.Work(tx.sys.cfg.SCSSStoreCost)
 			o.scssMu.Lock()
-			o.scssMu.Unlock()          //nolint:staticcheck // memory barrier, not a critical section
-			enemy.status.Acknowledge() // now indistinguishable from acked
+			o.scssMu.Unlock() //nolint:staticcheck // memory barrier, not a critical section
+			// Gen-scoped: if the enemy's attempt already ended (in either
+			// direction) it is equally no longer an obstacle.
+			enemy.status.AcknowledgeFor(enemyGen) // now indistinguishable from acked
 			return true
 		default: // NZ
 			if waited < tx.sys.cfg.AckPatience {
@@ -432,7 +530,7 @@ func (tx *Txn) resolveConflict(o *Object, or *ownerRef, enemy *Txn, enemyIsReade
 			}
 			// Unresponsive enemy: make progress nonblocking by inflating
 			// the object (§2.3.1).
-			tx.inflate(o, enemy)
+			tx.inflate(o, enemy, enemyGen)
 			return false
 		}
 	}

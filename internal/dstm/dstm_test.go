@@ -101,3 +101,10 @@ func TestAggressiveManagerStillCorrect(t *testing.T) {
 func TestStallTolerance(t *testing.T) {
 	tmtest.RunStall(t, factory)
 }
+
+// DSTM has fixed per-object reader tables sized by Config.Threads, so the
+// churn suite builds it with threads = the registry capacity; slot recycling
+// must still be safe because every attempt gets a fresh descriptor.
+func TestRegistryChurn(t *testing.T) {
+	tmtest.RunChurn(t, factory)
+}

@@ -132,8 +132,10 @@ func (p *Plane) Enabled() bool {
 }
 
 // threadStream returns the deterministic stream for tm thread id. Each
-// stream is drawn from by one goroutine at a time (threads are pooled and
-// checked out exclusively), so streams need no internal locking.
+// stream is drawn from by one goroutine at a time (a registry slot ID has
+// exactly one live tenant, and the server binds one slot per connection),
+// so streams need no internal locking. A recycled slot resumes its
+// predecessor's stream, keeping injection schedules seed-deterministic.
 func (p *Plane) threadStream(id int) *stream {
 	p.mu.Lock()
 	defer p.mu.Unlock()

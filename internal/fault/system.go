@@ -126,16 +126,23 @@ func (p *Plane) WrapEnv(env tm.Env, id int) tm.Env {
 	return &Env{Env: env, p: p, st: p.threadStream(id)}
 }
 
-// WrapThreads rebinds every thread context's Env to a fault-wrapped one.
-// The threads share streams with WrapSystem injection for the same ID,
-// which is safe because a thread context is only ever driven by one
-// goroutine at a time.
-func (p *Plane) WrapThreads(threads []*tm.Thread) {
+// WrapThread rebinds one thread context's Env to a fault-wrapped one. The
+// thread shares streams with WrapSystem injection for the same ID, which is
+// safe because a thread context is only ever driven by one goroutine at a
+// time. With registry-minted threads this is the per-connection hook
+// (server.Config.WrapThread); note that a recycled slot ID resumes its
+// predecessor's deterministic stream, which keeps runs reproducible.
+func (p *Plane) WrapThread(th *tm.Thread) {
 	if !p.Enabled() {
 		return
 	}
+	th.Env = p.WrapEnv(th.Env, th.ID)
+}
+
+// WrapThreads rebinds every thread context's Env to a fault-wrapped one.
+func (p *Plane) WrapThreads(threads []*tm.Thread) {
 	for _, th := range threads {
-		th.Env = p.WrapEnv(th.Env, th.ID)
+		p.WrapThread(th)
 	}
 }
 

@@ -47,3 +47,9 @@ func TestUndoOrderNested(t *testing.T) {
 type tmErr struct{}
 
 func (tmErr) Error() string { return "tm error" }
+
+// The global lock ignores thread identity entirely, so registry churn is
+// trivially safe — this pins that it stays so.
+func TestRegistryChurn(t *testing.T) {
+	tmtest.RunChurn(t, factory)
+}

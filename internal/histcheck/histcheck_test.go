@@ -237,7 +237,7 @@ func TestGlockHistoryLinearizable(t *testing.T) {
 				}
 				p.Done(res)
 			}
-		}(c, b.Threads[c])
+		}(c, b.NewThread())
 	}
 	wg.Wait()
 	res := Check(rec.History())

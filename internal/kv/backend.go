@@ -13,13 +13,19 @@ import (
 	"nztm/internal/tm"
 )
 
-// Backend bundles a TM system with the thread contexts that may drive it.
-// Thread IDs are unique in [0, threads) as the systems require; all threads
-// and the system share one World so layout addresses never collide.
+// Backend bundles a TM system with the thread Registry that mints driver
+// contexts for it at runtime. Callers acquire a thread per worker (the server
+// binds one per connection) via NewThread and release it with Thread.Close;
+// slot IDs are recycled with generation counters, and the registry and system
+// share one World so layout addresses never collide.
 type Backend struct {
-	Sys     tm.System
-	Threads []*tm.Thread
+	Sys tm.System
+	Reg *tm.Registry
 }
+
+// NewThread mints a thread context bound to a registry slot (blocking while
+// the registry is at capacity). Close the thread to return the slot.
+func (b *Backend) NewThread() *tm.Thread { return b.Reg.NewThread() }
 
 // BackendNames lists the systems OpenBackend accepts, sorted.
 func BackendNames() []string {
@@ -31,38 +37,75 @@ func BackendNames() []string {
 	return names
 }
 
-var backends = map[string]func(world tm.World, threads int) tm.System{
-	"nzstm": func(w tm.World, n int) tm.System { return core.NewNZSTM(w, n) },
-	"nzstm-iv": func(w tm.World, n int) tm.System {
+// fixedTableSlots caps the registry for backends whose per-object reader
+// tables are fixed slices sized by Config.Threads (DSTM, DSTM2-SF, LogTM-SE):
+// their tables must cover every slot the registry can hand out, so an
+// unbounded registry would bloat every object. internal/core has no such
+// limit — its chunked tables grow to the high-water mark actually reached.
+const fixedTableSlots = 256
+
+// backend builders. hint is the caller's expected-concurrency hint; max is
+// the registry capacity the system must be prepared to see thread IDs below.
+var backends = map[string]struct {
+	mk          func(world tm.World, hint, max int) tm.System
+	fixedTables bool
+}{
+	"nzstm": {mk: func(w tm.World, n, max int) tm.System {
+		cfg := core.DefaultConfig(core.NZ, n)
+		cfg.MaxThreads = max
+		return core.New(w, cfg)
+	}},
+	"nzstm-iv": {mk: func(w tm.World, n, max int) tm.System {
 		cfg := core.DefaultConfig(core.NZ, n)
 		cfg.Readers = core.InvisibleReaders
+		cfg.MaxThreads = max
 		return core.New(w, cfg)
-	},
-	"bzstm":   func(w tm.World, n int) tm.System { return core.NewBZSTM(w, n) },
-	"scss":    func(w tm.World, n int) tm.System { return core.NewSCSS(w, n) },
-	"dstm":    func(w tm.World, n int) tm.System { return dstm.New(w, dstm.Config{Threads: n}) },
-	"dstm2sf": func(w tm.World, n int) tm.System { return dstm2sf.New(w, dstm2sf.Config{Threads: n}) },
-	"logtm":   func(w tm.World, n int) tm.System { return logtm.New(w, logtm.Config{Threads: n}) },
-	"glock":   func(w tm.World, n int) tm.System { return glock.New(w) },
+	}},
+	"bzstm": {mk: func(w tm.World, n, max int) tm.System {
+		cfg := core.DefaultConfig(core.BZ, n)
+		cfg.MaxThreads = max
+		return core.New(w, cfg)
+	}},
+	"scss": {mk: func(w tm.World, n, max int) tm.System {
+		cfg := core.DefaultConfig(core.SCSS, n)
+		cfg.MaxThreads = max
+		return core.New(w, cfg)
+	}},
+	"dstm": {fixedTables: true, mk: func(w tm.World, n, max int) tm.System {
+		return dstm.New(w, dstm.Config{Threads: max})
+	}},
+	"dstm2sf": {fixedTables: true, mk: func(w tm.World, n, max int) tm.System {
+		return dstm2sf.New(w, dstm2sf.Config{Threads: max})
+	}},
+	"logtm": {fixedTables: true, mk: func(w tm.World, n, max int) tm.System {
+		return logtm.New(w, logtm.Config{Threads: max})
+	}},
+	"glock": {mk: func(w tm.World, n, max int) tm.System { return glock.New(w) }},
 }
 
 // OpenBackend builds the named TM system for real-concurrency serving use,
-// along with `threads` ready-to-use thread contexts. Names are
-// case-insensitive; see BackendNames.
+// along with the Registry that mints thread contexts for it. threads is a
+// soft concurrency hint (it sizes initial tables), not a cap: the registry
+// accepts up to its capacity — tm.DefaultMaxSlots for backends whose reader
+// tables grow dynamically, fixedTableSlots for the fixed-table comparison
+// systems. Names are case-insensitive; see BackendNames.
 func OpenBackend(name string, threads int) (*Backend, error) {
 	if threads <= 0 {
 		threads = 1
 	}
-	mk, ok := backends[strings.ToLower(name)]
+	be, ok := backends[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("kv: unknown backend %q (have %s)",
 			name, strings.Join(BackendNames(), ", "))
 	}
 	world := tm.NewRealWorld()
-	b := &Backend{Sys: mk(world, threads)}
-	b.Threads = make([]*tm.Thread, threads)
-	for i := range b.Threads {
-		b.Threads[i] = tm.NewThread(i, tm.NewRealEnv(i, world))
+	maxSlots := 0 // tm.DefaultMaxSlots
+	if be.fixedTables {
+		maxSlots = fixedTableSlots
+		if threads > maxSlots {
+			maxSlots = threads
+		}
 	}
-	return b, nil
+	reg := tm.NewRegistryWorld(maxSlots, world)
+	return &Backend{Sys: be.mk(world, threads, reg.Max()), Reg: reg}, nil
 }

@@ -19,6 +19,18 @@ func newStore(t *testing.T, threads, shards, buckets int) (*Store, *Backend) {
 	return New(b.Sys, shards, buckets), b
 }
 
+// mint acquires n registry threads up front (densely numbered from 0, since
+// the registry hands out lowest slots first).
+func mint(t *testing.T, b *Backend, n int) []*tm.Thread {
+	t.Helper()
+	ths := make([]*tm.Thread, n)
+	for i := range ths {
+		ths[i] = b.NewThread()
+		t.Cleanup(ths[i].Close)
+	}
+	return ths
+}
+
 func TestBucketData(t *testing.T) {
 	b := &bucketData{}
 	if _, ok := b.get("a"); ok {
@@ -49,7 +61,7 @@ func TestBucketData(t *testing.T) {
 
 func TestSingleKeyOps(t *testing.T) {
 	s, b := newStore(t, 1, 4, 8)
-	th := b.Threads[0]
+	th := mint(t, b, 1)[0]
 	nb := Budget{}
 
 	if r, err := s.Get(th, "k", nb); err != nil || r.Found {
@@ -98,7 +110,7 @@ func TestSingleKeyOps(t *testing.T) {
 
 func TestBatchAtomicCASMiss(t *testing.T) {
 	s, b := newStore(t, 1, 4, 8)
-	th := b.Threads[0]
+	th := mint(t, b, 1)[0]
 	nb := Budget{}
 	s.Put(th, "a", []byte("10"), nb)
 	s.Put(th, "b", []byte("20"), nb)
@@ -192,7 +204,8 @@ func TestConcurrentCounters(t *testing.T) {
 		incs    = 200
 	)
 	s, b := newStore(t, threads, 4, 4)
-	th0 := b.Threads[0]
+	ths := mint(t, b, threads)
+	th0 := ths[0]
 	for k := 0; k < keys; k++ {
 		s.Put(th0, fmt.Sprintf("ctr:%d", k), []byte("0"), Budget{})
 	}
@@ -227,7 +240,7 @@ func TestConcurrentCounters(t *testing.T) {
 					}
 				}
 			}
-		}(b.Threads[w], uint64(w+1))
+		}(ths[w], uint64(w+1))
 	}
 	wg.Wait()
 
@@ -257,7 +270,8 @@ func TestConcurrentBatchInvariant(t *testing.T) {
 		iters   = 150
 	)
 	s, b := newStore(t, threads, 4, 2) // few buckets: heavy contention
-	th0 := b.Threads[0]
+	ths := mint(t, b, threads)
+	th0 := ths[0]
 	allKeys := make([]string, keys)
 	for k := range allKeys {
 		allKeys[k] = fmt.Sprintf("acct:%d", k)
@@ -329,7 +343,7 @@ func TestConcurrentBatchInvariant(t *testing.T) {
 					}
 				}
 			}
-		}(b.Threads[w], w)
+		}(ths[w], w)
 	}
 	wg.Wait()
 
@@ -354,14 +368,15 @@ func TestOpenBackendNames(t *testing.T) {
 		if err != nil {
 			t.Fatalf("OpenBackend(%q): %v", name, err)
 		}
-		if len(b.Threads) != 2 {
-			t.Fatalf("OpenBackend(%q): %d threads", name, len(b.Threads))
+		if b.Reg.Max() < 2 {
+			t.Fatalf("OpenBackend(%q): registry capacity %d", name, b.Reg.Max())
 		}
+		ths := mint(t, b, 2)
 		s := New(b.Sys, 2, 2)
-		if _, err := s.Put(b.Threads[0], "k", []byte("v"), Budget{}); err != nil {
+		if _, err := s.Put(ths[0], "k", []byte("v"), Budget{}); err != nil {
 			t.Fatalf("put on %q: %v", name, err)
 		}
-		r, err := s.Get(b.Threads[1], "k", Budget{})
+		r, err := s.Get(ths[1], "k", Budget{})
 		if err != nil || !r.Found || string(r.Value) != "v" {
 			t.Fatalf("get on %q: %+v, %v", name, r, err)
 		}
@@ -376,7 +391,7 @@ func TestOpenBackendNames(t *testing.T) {
 // only from the second attempt on, silently burning one transaction).
 func TestExpiredDeadlineFailsFast(t *testing.T) {
 	s, b := newStore(t, 1, 2, 2)
-	th := b.Threads[0]
+	th := mint(t, b, 1)[0]
 	bud := Budget{Deadline: time.Now().Add(-time.Second)}
 	if _, err := s.Put(th, "k", []byte("v"), bud); !errors.Is(err, ErrBudget) {
 		t.Fatalf("put with expired deadline: err = %v, want ErrBudget", err)
@@ -434,6 +449,7 @@ func TestBudgetBackoff(t *testing.T) {
 func TestDoWithBackoffUnderContention(t *testing.T) {
 	const workers, each = 4, 60
 	s, b := newStore(t, workers, 1, 1) // one bucket: maximal contention
+	ths := mint(t, b, workers)
 	var wg sync.WaitGroup
 	bud := Budget{Backoff: 50 * time.Microsecond, BackoffMax: time.Millisecond}
 	for i := 0; i < workers; i++ {
@@ -456,11 +472,11 @@ func TestDoWithBackoffUnderContention(t *testing.T) {
 					return
 				}
 			}
-		}(b.Threads[i])
+		}(ths[i])
 	}
 	wg.Wait()
 	for i := 0; i < workers; i++ {
-		r, err := s.Get(b.Threads[0], fmt.Sprintf("k%d", i), Budget{})
+		r, err := s.Get(ths[0], fmt.Sprintf("k%d", i), Budget{})
 		if err != nil || !r.Found || string(r.Value) != fmt.Sprintf("%d", each) {
 			t.Fatalf("k%d = %+v, %v; want %d", i, r, err, each)
 		}

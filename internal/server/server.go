@@ -30,16 +30,21 @@ type Config struct {
 	// ExtraStatsz, when non-nil, appends additional sections to the
 	// WriteStatsz dump (e.g. the fault plane's injection counters).
 	ExtraStatsz func(io.Writer)
+	// WrapThread, when non-nil, decorates each per-connection thread
+	// context right after it is minted (the fault plane rebinds Env here).
+	WrapThread func(*tm.Thread)
 }
 
-// Server serves a kv.Store over length-prefixed TCP. One goroutine per
-// connection reads requests; each request checks a tm.Thread out of a
-// shared pool, executes as one transaction, and writes its response
-// (possibly out of order — responses carry the request id). Responses are
-// batched: the writer flushes only when its queue drains.
+// Server serves a kv.Store over length-prefixed TCP. Each connection binds a
+// TM thread context for its whole lifetime — a registry slot is acquired on
+// accept and released on close — and executes its requests on it in arrival
+// order; responses carry the request id, so pipelined clients still match
+// them up. Cross-connection parallelism is bounded only by the registry's
+// capacity, not by a boot-time thread pool. Responses are batched: the
+// writer flushes only when its queue drains.
 type Server struct {
 	store *kv.Store
-	pool  chan *tm.Thread
+	reg   *tm.Registry
 	cfg   Config
 
 	mu       sync.Mutex
@@ -67,22 +72,20 @@ type Server struct {
 // ErrServerClosed is returned by Serve after Shutdown.
 var ErrServerClosed = errors.New("server: closed")
 
-// New creates a server over store. threads is the pool of TM thread
-// contexts bounding request-execution concurrency; each must have a unique
-// ID valid for the store's system, and the pool owns them exclusively.
-func New(store *kv.Store, threads []*tm.Thread, cfg Config) *Server {
+// New creates a server over store. reg mints the per-connection TM thread
+// contexts: every accepted connection acquires one slot for its lifetime, so
+// the registry's capacity is the server's hard connection-concurrency bound
+// (a connection arriving when the registry is exhausted waits for a slot).
+func New(store *kv.Store, reg *tm.Registry, cfg Config) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 64
 	}
 	s := &Server{
 		store:   store,
-		pool:    make(chan *tm.Thread, len(threads)),
+		reg:     reg,
 		cfg:     cfg,
 		conns:   make(map[net.Conn]struct{}),
 		started: time.Now(),
-	}
-	for _, th := range threads {
-		s.pool <- th
 	}
 	s.statszAt = s.started
 	return s
@@ -173,9 +176,17 @@ func (s *Server) shuttingDown() bool {
 	return s.shutdown
 }
 
-// serveConn runs one connection: a reader loop (this goroutine) and a
-// response writer goroutine, with per-request handler goroutines in
-// between, bounded by MaxInflight and the thread pool.
+// request is one parsed frame queued for the connection's executor.
+type request struct {
+	id  uint64
+	ops []kv.Op
+}
+
+// serveConn runs one connection: this goroutine reads and parses frames, a
+// single executor goroutine runs them in arrival order on the connection's
+// own TM thread, and a writer goroutine batches responses out. The thread
+// context is minted from the registry on accept and released on close — the
+// per-connection analogue of the paper's one-descriptor-per-thread contract.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -184,6 +195,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+
+	// Bind a registry slot for the connection's lifetime.
+	th := s.reg.NewThread()
+	defer th.Close()
+	if s.cfg.WrapThread != nil {
+		s.cfg.WrapThread(th)
+	}
 
 	responses := make(chan []byte, 2*s.cfg.MaxInflight)
 	writerDone := make(chan struct{})
@@ -205,8 +223,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		bw.Flush()
 	}()
 
-	var inflight sync.WaitGroup
-	sem := make(chan struct{}, s.cfg.MaxInflight)
+	// The executor owns th exclusively; pipelined requests beyond
+	// MaxInflight park in the requests channel / kernel socket buffer.
+	requests := make(chan request, s.cfg.MaxInflight)
+	execDone := make(chan struct{})
+	go func() {
+		defer close(execDone)
+		for r := range requests {
+			responses <- s.execute(th, r.id, r.ops)
+		}
+	}()
+
 	br := newBufReader(conn)
 	var buf []byte
 	for {
@@ -226,9 +253,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		id, ops, perr := parseRequest(payload)
 		if perr != nil {
 			s.reqBad.Add(1)
-			inflight.Add(1)
 			responses <- appendResponse(nil, id, StatusBad, nil, perr.Error())
-			inflight.Done()
 			continue
 		}
 		if s.shuttingDown() {
@@ -236,21 +261,17 @@ func (s *Server) serveConn(conn net.Conn) {
 			responses <- appendResponse(nil, id, StatusShutdown, nil, "shutting down")
 			break
 		}
-		sem <- struct{}{}
-		inflight.Add(1)
-		go func(id uint64, ops []kv.Op) {
-			defer func() { <-sem; inflight.Done() }()
-			responses <- s.execute(id, ops)
-		}(id, ops)
+		requests <- request{id: id, ops: ops}
 	}
-	inflight.Wait()
+	close(requests)
+	<-execDone
 	close(responses)
 	<-writerDone
 }
 
-// execute runs one request on a pooled thread and encodes its response.
-func (s *Server) execute(id uint64, ops []kv.Op) []byte {
-	th := <-s.pool
+// execute runs one request on the connection's thread and encodes its
+// response.
+func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op) []byte {
 	start := time.Now()
 	budget := kv.Budget{MaxAttempts: s.cfg.MaxAttempts, Backoff: s.cfg.RetryBackoff}
 	if s.cfg.RequestTimeout > 0 {
@@ -258,7 +279,6 @@ func (s *Server) execute(id uint64, ops []kv.Op) []byte {
 	}
 	results, err := s.store.Do(th, ops, budget)
 	elapsed := time.Since(start)
-	s.pool <- th
 
 	if len(ops) > 1 {
 		s.batchLatency.Observe(elapsed)
@@ -305,8 +325,10 @@ func (s *Server) WriteStatsz(w io.Writer) {
 	fmt.Fprintf(w, "nztm-server statsz\n")
 	fmt.Fprintf(w, "system: %s\n", sys.Name())
 	fmt.Fprintf(w, "uptime: %v\n", now.Sub(s.started).Round(time.Millisecond))
-	fmt.Fprintf(w, "store: shards=%d buckets/shard=%d threads=%d\n",
-		s.store.Shards(), s.store.BucketsPerShard(), cap(s.pool))
+	fmt.Fprintf(w, "store: shards=%d buckets/shard=%d\n",
+		s.store.Shards(), s.store.BucketsPerShard())
+	fmt.Fprintf(w, "threads: active=%d high=%d max=%d\n",
+		s.reg.Active(), s.reg.High(), s.reg.Max())
 	fmt.Fprintf(w, "connections: open=%d total=%d\n", open, s.connsTotal.Load())
 	fmt.Fprintf(w, "requests: ok=%d budget=%d bad=%d error=%d shutdown=%d\n",
 		s.reqOK.Load(), s.reqBudget.Load(), s.reqBad.Load(),

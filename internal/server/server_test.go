@@ -110,7 +110,7 @@ func startServer(t *testing.T, backend string, threads int, cfg Config) (*Server
 		t.Fatal(err)
 	}
 	store := kv.New(b.Sys, 4, 16)
-	srv := New(store, b.Threads, cfg)
+	srv := New(store, b.Reg, cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -458,12 +458,86 @@ func TestExtraStatsz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(kv.New(b.Sys, 2, 2), b.Threads, Config{
+	srv := New(kv.New(b.Sys, 2, 2), b.Reg, Config{
 		ExtraStatsz: func(w io.Writer) { fmt.Fprintf(w, "extra section: marker=42\n") },
 	})
 	var sb strings.Builder
 	srv.WriteStatsz(&sb)
 	if !strings.Contains(sb.String(), "extra section: marker=42") {
 		t.Fatalf("ExtraStatsz section missing from dump:\n%s", sb.String())
+	}
+}
+
+// TestMoreConnectionsThanThreadHint is the acceptance test for the dynamic
+// thread registry: a server booted with a tiny -threads hint must serve many
+// more *simultaneous* connections than the hint. Under the old fixed
+// thread-checkout model the extra connections would have blocked waiting for
+// one of the `threads` pooled TM threads; now each connection mints its own
+// registry slot on accept.
+func TestMoreConnectionsThanThreadHint(t *testing.T) {
+	const hint = 2
+	const conns = hint + 6
+
+	b, err := kv.OpenBackend("nzstm", hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kv.New(b.Sys, 4, 16)
+	srv := New(store, b.Reg, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown(5 * time.Second)
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v", err)
+		}
+	}()
+
+	// Hold all connections open at once, then release one request per
+	// connection through a barrier so they are in flight together.
+	clients := make([]*Client, conns)
+	for i := range clients {
+		c, err := Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatalf("conn %d beyond the %d-thread hint refused: %v", i, hint, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			<-release
+			key := fmt.Sprintf("conn%d", i)
+			if _, err := c.Put(key, []byte("v")); err != nil {
+				errs <- fmt.Errorf("conn %d put: %w", i, err)
+				return
+			}
+			r, err := c.Get(key)
+			if err != nil || !r.Found || string(r.Value) != "v" {
+				errs <- fmt.Errorf("conn %d get: %+v, %v", i, r, err)
+			}
+		}(i, c)
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every live connection held a distinct slot, so the registry's
+	// high-water mark must have passed the boot hint.
+	if high := b.Reg.High(); high < conns {
+		t.Fatalf("registry high-water %d; want >= %d (hint was %d)", high, conns, hint)
 	}
 }

@@ -37,12 +37,19 @@ type Env interface {
 // Compile-time check that the simulated core satisfies Env.
 var _ Env = (*machine.Proc)(nil)
 
+// processStart is the shared epoch for RealEnv.Now. Patience thresholds
+// compare Now values *across* threads (how long has that enemy ignored my
+// abort request?), so every env must read one clock: with per-env start
+// instants, threads created at different times disagreed by their creation
+// skew — harmless for the long AckPatience defaults, but wrong, and fatal
+// for short patience values once threads are minted per connection.
+var processStart = time.Now()
+
 // RealEnv is the Env for ordinary (non-simulated) execution.
 type RealEnv struct {
 	id    int
 	world World
 	rng   uint64
-	start time.Time
 }
 
 // NewRealEnv creates a real-execution environment. world may be shared by
@@ -52,7 +59,6 @@ func NewRealEnv(id int, world World) *RealEnv {
 		id:    id,
 		world: world,
 		rng:   uint64(id+1)*0x9e3779b97f4a7c15 ^ uint64(rand.Int63()),
-		start: time.Now(),
 	}
 	if e.rng == 0 {
 		// xorshift* has an all-zero absorbing state; never start there.
@@ -76,8 +82,9 @@ func (e *RealEnv) Work(uint64) {}
 // Spin yields the OS-level processor so the thread being waited on can run.
 func (e *RealEnv) Spin() { runtime.Gosched() }
 
-// Now returns nanoseconds since the env was created.
-func (e *RealEnv) Now() uint64 { return uint64(time.Since(e.start)) }
+// Now returns nanoseconds since the process-wide start instant, so Now
+// values from different threads are on one clock.
+func (e *RealEnv) Now() uint64 { return uint64(time.Since(processStart)) }
 
 // Rand returns a thread-local xorshift* value.
 func (e *RealEnv) Rand() uint64 {

@@ -1,6 +1,8 @@
 package tm
 
 import (
+	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"nztm/internal/machine"
@@ -112,5 +114,67 @@ func TestStatsViewDelta(t *testing.T) {
 	d = fresh.View().Delta(s.View())
 	if d.Commits != 0 {
 		t.Fatalf("negative delta should saturate to 0, got %d", d.Commits)
+	}
+}
+
+// TestStatsCoverageByReflection guards the Stats/StatsView contract against
+// counter drift: every time a counter is added to Stats, it must also be
+// wired through Reset, StatsView, View, and Delta. Each check works by
+// reflection so the test cannot itself go stale.
+func TestStatsCoverageByReflection(t *testing.T) {
+	var s Stats
+	sv := reflect.ValueOf(&s).Elem()
+	st := sv.Type()
+
+	// Every Stats field is an atomic.Uint64 counter we can drive.
+	for i := 0; i < st.NumField(); i++ {
+		f, ok := sv.Field(i).Addr().Interface().(*atomic.Uint64)
+		if !ok {
+			t.Fatalf("Stats.%s is %s, not atomic.Uint64; extend this test for the new shape",
+				st.Field(i).Name, st.Field(i).Type)
+		}
+		f.Store(uint64(i + 1)) // distinct nonzero value per field
+	}
+
+	// View must copy every Stats field into a same-named StatsView field.
+	view := s.View()
+	vv := reflect.ValueOf(view)
+	vt := vv.Type()
+	if vt.NumField() != st.NumField() {
+		t.Fatalf("StatsView has %d fields, Stats has %d", vt.NumField(), st.NumField())
+	}
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		fv := vv.FieldByName(name)
+		if !fv.IsValid() {
+			t.Fatalf("StatsView is missing field %s", name)
+		}
+		if got, want := fv.Uint(), uint64(i+1); got != want {
+			t.Errorf("View().%s = %d, want %d — View does not copy Stats.%s", name, got, want, name)
+		}
+	}
+
+	// Delta against a zero snapshot must reproduce the view exactly
+	// (a field Delta forgets would come back zero)...
+	d := view.Delta(StatsView{})
+	for i := 0; i < vt.NumField(); i++ {
+		if got, want := reflect.ValueOf(d).Field(i).Uint(), uint64(i+1); got != want {
+			t.Errorf("Delta(zero).%s = %d, want %d — Delta drops the field", vt.Field(i).Name, got, want)
+		}
+	}
+	// ...and against itself must be all zeros.
+	d = view.Delta(view)
+	for i := 0; i < vt.NumField(); i++ {
+		if got := reflect.ValueOf(d).Field(i).Uint(); got != 0 {
+			t.Errorf("Delta(self).%s = %d, want 0", vt.Field(i).Name, got)
+		}
+	}
+
+	// Reset must zero every counter.
+	s.Reset()
+	for i := 0; i < st.NumField(); i++ {
+		if got := sv.Field(i).Addr().Interface().(*atomic.Uint64).Load(); got != 0 {
+			t.Errorf("after Reset, Stats.%s = %d, want 0 — Reset misses the field", st.Field(i).Name, got)
+		}
 	}
 }

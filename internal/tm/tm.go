@@ -124,11 +124,33 @@ type Thread struct {
 
 	pool   backupPool
 	births uint64
+	slot   Slot // registry slot, when minted by Registry.NewThread
+
+	// Single-slot descriptor cache, keyed by the system that populated it.
+	// Systems that pool transaction descriptors per thread (internal/core)
+	// park the reusable descriptor here between Atomic calls; a thread that
+	// alternates between systems just misses the cache and allocates fresh.
+	txKey any
+	txVal any
 }
 
 // NewThread creates a thread context bound to env.
 func NewThread(id int, env Env) *Thread {
 	return &Thread{ID: id, Env: env}
+}
+
+// CachedTx returns the descriptor cached under key, or nil.
+func (t *Thread) CachedTx(key any) any {
+	if t.txKey == key {
+		return t.txVal
+	}
+	return nil
+}
+
+// SetCachedTx caches a reusable transaction descriptor under key (a nil
+// value evicts). Threads are single-owner, so no synchronisation is needed.
+func (t *Thread) SetCachedTx(key, val any) {
+	t.txKey, t.txVal = key, val
 }
 
 // NextBirth returns a fresh per-thread transaction ordinal. Combined with

@@ -76,9 +76,37 @@ type (
 func NewInts(n int) *Ints { return tm.NewInts(n) }
 
 // NewThread creates a thread context for ordinary (non-simulated) use.
-// Thread IDs must be unique and in [0, threads) of the systems used.
+// Thread IDs must be unique among concurrently running threads and below
+// the system's thread cap. Prefer a Registry (see NewNZSTMDynamic), which
+// hands IDs out and recycles them safely.
 func NewThread(id int) *Thread {
 	return tm.NewThread(id, tm.NewRealEnv(id, tm.NewRealWorld()))
+}
+
+// Registry hands out numbered thread slots at runtime: Registry.NewThread
+// mints a Thread bound to the lowest free slot (blocking at capacity) and
+// Thread.Close returns it. Generation counters distinguish a recycled
+// slot's new tenant from its predecessor, so threads may come and go freely
+// — the dynamic replacement for the fixed thread counts of the paper's
+// 16-core chip.
+type Registry = tm.Registry
+
+// NewRegistry creates a registry of at most max slots (0 selects the
+// default cap). For threads that drive a specific system, prefer the paired
+// constructor (NewNZSTMDynamic) so both share one layout address space.
+func NewRegistry(max int) *Registry { return tm.NewRegistry(max) }
+
+// NewNZSTMDynamic returns NZSTM wired to a thread registry: instead of a
+// fixed thread count, threads acquire slots at runtime (reg.NewThread) and
+// release them (Thread.Close) when done. hint sizes the initial reader
+// tables (they grow on demand); max bounds concurrently live threads, with
+// 0 selecting the default cap.
+func NewNZSTMDynamic(hint, max int) (System, *Registry) {
+	world := tm.NewRealWorld()
+	reg := tm.NewRegistryWorld(max, world)
+	cfg := core.DefaultConfig(core.NZ, hint)
+	cfg.MaxThreads = reg.Max()
+	return core.New(world, cfg), reg
 }
 
 // NewNZSTM returns the paper's nonblocking zero-indirection STM for
