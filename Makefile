@@ -1,11 +1,13 @@
 # Tier-1 verification and developer shortcuts.
 #
 #   make check      build + go vet + full tests (including the hot-path
-#                   allocation gate) + race detector over the concurrency-
-#                   critical packages (tm, core, kv, server, fault,
-#                   histcheck) + protocol fuzzers + a short fault-injected
-#                   soak + the serving benchmark (regenerates BENCH_kv.json)
-#                   — run this before sending a PR
+#                   allocation gate and the tracing 0-allocs-off /
+#                   ≤2-allocs-on guard) + race detector over the concurrency-
+#                   critical packages (tm, core, kv, server, fault, trace,
+#                   metrics, histcheck) + a tracing-enabled race pass +
+#                   protocol fuzzers + a short fault-injected soak + the
+#                   serving benchmark (regenerates BENCH_kv.json) — run this
+#                   before sending a PR
 #   make vet        go vet ./...
 #   make fuzz       native Go fuzzing of the wire protocol (10s per target)
 #   make soak       short seeded fault-injection soak with linearizability
@@ -17,14 +19,15 @@
 GO ?= go
 
 RACE_PKGS = ./internal/tm ./internal/core ./internal/kv ./internal/server \
-            ./internal/fault ./internal/histcheck
+            ./internal/fault ./internal/histcheck ./internal/trace \
+            ./internal/metrics
 
 FUZZ_TIME ?= 10s
 SOAK_FLAGS ?= -seed 1 -duration 5s
 
-.PHONY: check build vet test race fuzz soak bench-kv serve
+.PHONY: check build vet test race race-tracing fuzz soak bench-kv serve
 
-check: build vet test race fuzz soak bench-kv
+check: build vet test race race-tracing fuzz soak bench-kv
 
 build:
 	$(GO) build ./...
@@ -37,6 +40,12 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# The flight recorder is lock-free and read while written; drive the traced
+# hot path under the race detector (contended transactions with a recorder
+# bound, plus the allocation guard for both tracing modes).
+race-tracing:
+	$(GO) test -race -run 'TestTracing' .
 
 fuzz:
 	$(GO) test -run=NoTestsMatch -fuzz=FuzzParseRequest -fuzztime=$(FUZZ_TIME) ./internal/server

@@ -52,9 +52,16 @@ type result struct {
 	Failures   uint64  `json:"failures"`
 	Throughput float64 `json:"throughput_req_per_sec"`
 	P50Us      float64 `json:"p50_us"`
+	P95Us      float64 `json:"p95_us"`
 	P99Us      float64 `json:"p99_us"`
 	MaxUs      float64 `json:"max_us"`
 	MeanUs     float64 `json:"mean_us"`
+	// Server-side kv commit-latency histogram percentiles (the same
+	// distribution /metricsz exports as nztm_kv_commit_latency_seconds;
+	// absent for -addr runs, which have no in-process store).
+	CommitP50Us float64 `json:"commit_p50_us,omitempty"`
+	CommitP95Us float64 `json:"commit_p95_us,omitempty"`
+	CommitP99Us float64 `json:"commit_p99_us,omitempty"`
 	// TM counters over the measured interval (absent for -addr runs).
 	Commits    uint64  `json:"tm_commits,omitempty"`
 	Aborts     uint64  `json:"tm_aborts,omitempty"`
@@ -96,6 +103,7 @@ func main() {
 		buckets  = flag.Int("buckets", 64, "self-hosted server buckets per shard")
 		threads  = flag.Int("threads", defaultThreads(), "self-hosted server TM thread pool size")
 		out      = flag.String("out", "BENCH_kv.json", "machine-readable output file (empty disables)")
+		mOut     = flag.String("metrics-out", "BENCH_kv.json", "bench file that also receives server-side commit-latency histogram percentiles; usually the same file as -out (empty disables)")
 	)
 	flag.Parse()
 
@@ -127,30 +135,40 @@ func main() {
 		}
 	}
 
-	fmt.Printf("\n%-10s %8s %12s %10s %10s %10s %10s\n",
-		"system", "clients", "req/s", "p50", "p99", "max", "abort%")
+	fmt.Printf("\n%-10s %8s %12s %10s %10s %10s %10s %10s\n",
+		"system", "clients", "req/s", "p50", "p95", "p99", "max", "abort%")
 	for _, r := range results {
-		fmt.Printf("%-10s %8d %12.0f %9.0fµs %9.0fµs %9.0fµs %9.2f%%\n",
-			r.System, r.Clients, r.Throughput, r.P50Us, r.P99Us, r.MaxUs, 100*r.AbortRate)
+		fmt.Printf("%-10s %8d %12.0f %9.0fµs %9.0fµs %9.0fµs %9.0fµs %9.2f%%\n",
+			r.System, r.Clients, r.Throughput, r.P50Us, r.P95Us, r.P99Us, r.MaxUs, 100*r.AbortRate)
 	}
 	compare(results)
 
-	if *out != "" {
-		f := benchFile{
-			Benchmark: "kv-serving", When: time.Now().UTC().Format(time.RFC3339),
-			Clients: cfg.clients, Keys: cfg.keys, ValueSize: cfg.valueSize,
-			ReadFrac: cfg.readFrac, BatchFrac: cfg.batchFrac, BatchSize: cfg.batchSize,
-			Shards: cfg.shards, Buckets: cfg.buckets, Threads: cfg.threads,
-			Results: results,
+	f := benchFile{
+		Benchmark: "kv-serving", When: time.Now().UTC().Format(time.RFC3339),
+		Clients: cfg.clients, Keys: cfg.keys, ValueSize: cfg.valueSize,
+		ReadFrac: cfg.readFrac, BatchFrac: cfg.batchFrac, BatchSize: cfg.batchSize,
+		Shards: cfg.shards, Buckets: cfg.buckets, Threads: cfg.threads,
+		Results: results,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	// Results carry both client-side and server-side (commit-latency)
+	// percentiles, so -out and -metrics-out usually name the same file and
+	// cost one write; distinct paths get distinct copies.
+	paths := []string{*out}
+	if *mOut != "" && *mOut != *out {
+		paths = append(paths, *mOut)
+	}
+	for _, path := range paths {
+		if path == "" {
+			continue
 		}
-		data, err := json.MarshalIndent(f, "", "  ")
-		if err != nil {
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("\nwrote %s\n", *out)
+		fmt.Printf("\nwrote %s\n", path)
 	}
 }
 
@@ -196,6 +214,7 @@ func selfHost(name string, cfg config) (result, error) {
 		return result{}, err
 	}
 	store := kv.New(backend.Sys, cfg.shards, cfg.buckets)
+	m := store.EnableMetrics()
 	srv := server.New(store, backend.Reg, server.Config{
 		MaxAttempts:    100_000,
 		RequestTimeout: 5 * time.Second,
@@ -211,6 +230,14 @@ func selfHost(name string, cfg config) (result, error) {
 	r, err := measure(backend.Sys.Name(), ln.Addr().String(), backend.Sys.Stats(), cfg)
 	srv.Shutdown(5 * time.Second)
 	<-done
+	if err == nil {
+		// Server-side commit-latency percentiles: the distribution covers
+		// the whole run (warmup included) — the per-interval client
+		// histogram above stays the headline number.
+		us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+		p50, p95, p99 := m.CommitLatency.Percentiles()
+		r.CommitP50Us, r.CommitP95Us, r.CommitP99Us = us(p50), us(p95), us(p99)
+	}
 	return r, err
 }
 
@@ -332,6 +359,7 @@ func measure(sysName, addr string, stats *tm.Stats, cfg config) (result, error) 
 		Failures:   failures.Load(),
 		Throughput: float64(requests.Load()) / elapsed.Seconds(),
 		P50Us:      us(lat.Quantile(0.50)),
+		P95Us:      us(lat.Quantile(0.95)),
 		P99Us:      us(lat.Quantile(0.99)),
 		MaxUs:      us(lat.Max()),
 		MeanUs:     us(lat.Mean()),

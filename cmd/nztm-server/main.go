@@ -7,10 +7,12 @@
 //	nztm-server -addr :7420 -statsz :7421 -system nzstm -shards 16 -buckets 64 -threads 8
 //
 // The binary speaks the length-prefixed binary protocol of internal/server
-// (use internal/server.Client or cmd/nztm-load to talk to it) and exposes a
-// plain-text /statsz HTTP endpoint dumping tm.StatsView counters, interval
-// rates, and server-side latency histograms. SIGINT/SIGTERM trigger a
-// graceful drain.
+// (use internal/server.Client or cmd/nztm-load to talk to it) and exposes an
+// HTTP observability mux beside it: plain-text /statsz (counters, interval
+// rates, latency histograms, contention hotspots), Prometheus /metricsz,
+// JSON /tracez (per-thread flight-recorder event logs, -trace to enable),
+// and net/http/pprof under /debug/pprof/ behind -pprof. SIGINT/SIGTERM
+// trigger a graceful drain.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -28,12 +31,13 @@ import (
 	"nztm/internal/fault"
 	"nztm/internal/kv"
 	"nztm/internal/server"
+	"nztm/internal/trace"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":7420", "TCP listen address for the KV protocol")
-		statsz  = flag.String("statsz", ":7421", "HTTP listen address for /statsz (empty disables)")
+		statsz  = flag.String("statsz", ":7421", "HTTP listen address for /statsz, /metricsz, /tracez (empty disables)")
 		system  = flag.String("system", "nzstm", "backing TM system: "+strings.Join(kv.BackendNames(), ", "))
 		shards  = flag.Int("shards", 16, "shard count")
 		buckets = flag.Int("buckets", 64, "transactional buckets per shard")
@@ -44,6 +48,8 @@ func main() {
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 		faultSd = flag.Uint64("fault-seed", 0, "arm the fault-injection plane with this seed (0 = off)")
 		backoff = flag.Duration("retry-backoff", 0, "base backoff between transaction retries (0 = immediate retry)")
+		traceN  = flag.Int("trace", 0, "per-thread flight-recorder capacity in events (0 = tracing off; keeps the hot path allocation-free)")
+		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the statsz mux")
 	)
 	flag.Parse()
 
@@ -59,6 +65,11 @@ func main() {
 		MaxInflight:    *infl,
 		RetryBackoff:   *backoff,
 	}
+	var fr *trace.FlightRecorder
+	if *traceN > 0 {
+		fr = trace.New(*traceN)
+		backend.Reg.BindRecorder(fr)
+	}
 	var plane *fault.Plane
 	if *faultSd != 0 {
 		fcfg := fault.DefaultConfig(*faultSd)
@@ -71,8 +82,12 @@ func main() {
 		cfg.WrapThread = plane.WrapThread
 		sys = plane.WrapSystem(sys)
 		cfg.ExtraStatsz = plane.WriteStats
+		if fr != nil {
+			plane.BindRecorder(fr)
+		}
 	}
 	store := kv.New(sys, *shards, *buckets)
+	store.EnableMetrics()
 	srv := server.New(store, backend.Reg, cfg)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -93,12 +108,28 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			srv.WriteStatsz(w)
 		})
+		mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			srv.WriteMetricsz(w)
+		})
+		mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			srv.WriteTracez(w)
+		})
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		go func() {
 			if err := http.ListenAndServe(*statsz, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "nztm-server: statsz:", err)
 			}
 		}()
-		fmt.Printf("nztm-server: /statsz on http://%s/statsz\n", *statsz)
+		fmt.Printf("nztm-server: /statsz /metricsz /tracez on http://%s (pprof=%v, trace=%d events/thread)\n",
+			*statsz, *pprofOn, *traceN)
 	}
 
 	sigs := make(chan os.Signal, 1)

@@ -37,6 +37,7 @@ import (
 	"nztm/internal/histcheck"
 	"nztm/internal/kv"
 	"nztm/internal/server"
+	"nztm/internal/trace"
 )
 
 func main() {
@@ -51,16 +52,17 @@ func main() {
 		threads  = flag.Int("threads", 4, "TM thread pool size")
 		rate     = flag.Int("rate", 200, "target ops/sec per client (0 = unthrottled; keep the history checkable)")
 		limit    = flag.Int("limit", 0, "linearizability search budget in states (0 = checker default)")
+		traceN   = flag.Int("trace", 0, "per-thread flight-recorder capacity in events; on failure the recorder of every registered thread is dumped to stderr (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*system, *seed, *duration, *clients, *keys, *shards, *buckets, *threads, *rate, *limit); err != nil {
+	if err := run(*system, *seed, *duration, *clients, *keys, *shards, *buckets, *threads, *rate, *limit, *traceN); err != nil {
 		fmt.Fprintln(os.Stderr, "nztm-soak: FAIL:", err)
 		os.Exit(1)
 	}
 	fmt.Println("nztm-soak: PASS")
 }
 
-func run(system string, seed uint64, duration time.Duration, clients, keys, shards, buckets, threads, rate, limit int) error {
+func run(system string, seed uint64, duration time.Duration, clients, keys, shards, buckets, threads, rate, limit, traceN int) error {
 	backend, err := kv.OpenBackend(system, threads)
 	if err != nil {
 		return err
@@ -72,7 +74,24 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 		cfg.AbortProb = 0
 	}
 	plane := fault.New(cfg)
+	// With -trace, every connection thread records into a per-slot flight
+	// ring and the fault plane's connection layer into the plane ring; on
+	// any gate failure the full event log is dumped for post-mortem.
+	var fr *trace.FlightRecorder
+	if traceN > 0 {
+		fr = trace.New(traceN)
+		backend.Reg.BindRecorder(fr)
+		plane.BindRecorder(fr)
+	}
+	dumpTrace := func() {
+		if fr == nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "--- flight recorder (%d events) ---\n", fr.Count())
+		fr.Dump(os.Stderr)
+	}
 	store := kv.New(plane.WrapSystem(backend.Sys), shards, buckets)
+	store.EnableMetrics()
 	srv := server.New(store, backend.Reg, server.Config{
 		MaxAttempts:    512,
 		RequestTimeout: 2 * time.Second,
@@ -134,6 +153,7 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 		buf := make([]byte, 1<<20)
 		n := runtime.Stack(buf, true)
 		fmt.Fprintf(os.Stderr, "--- goroutine dump ---\n%s\n", buf[:n])
+		dumpTrace()
 		return fmt.Errorf("goroutine leak: %d before soak, %d after shutdown", g0, gN)
 	}
 
@@ -143,6 +163,7 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 	fmt.Printf("nztm-soak: checked %d ops in %d partitions (%d states visited) in %v\n",
 		res.Ops, res.Partitions, res.Visited, time.Since(start).Round(time.Millisecond))
 	if !res.Ok {
+		dumpTrace()
 		if res.Capped {
 			return fmt.Errorf("linearizability check exhausted its %d-state budget (rerun with -rate lower or -limit higher): %v", limit, res.Violation)
 		}

@@ -4,6 +4,7 @@ import (
 	"nztm/internal/cm"
 	"nztm/internal/machine"
 	"nztm/internal/tm"
+	"nztm/internal/trace"
 )
 
 // locatorWords is the simulated size of a Locator header (owner, aborted
@@ -139,6 +140,7 @@ func (tx *Txn) inflate(o *Object, enemy *Txn, enemyGen uint64) {
 			tx.pinned = true
 			tx.sys.stats.Inflations.Add(1)
 			tx.sys.cfg.Tracer.Record(tx.th, tm.TraceInflate, o.base, uint64(enemy.th.ID))
+			tx.th.Trace(trace.KindInflate, o.base, uint64(enemy.th.ID), 0)
 			return
 		}
 	}
@@ -402,5 +404,6 @@ func (tx *Txn) tryDeflate(o *Object, or *ownerRef) bool {
 	tx.owned = append(tx.owned, o)
 	tx.sys.stats.Deflations.Add(1)
 	tx.sys.cfg.Tracer.Record(tx.th, tm.TraceDeflate, o.base, 0)
+	tx.th.Trace(trace.KindDeflate, o.base, 0, 0)
 	return true
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"nztm/internal/cm"
 	"nztm/internal/tm"
+	"nztm/internal/trace"
 )
 
 // Variant selects which of the paper's three STM flavours a System runs.
@@ -233,6 +234,7 @@ func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
 				tx.finish(true)
 				s.stats.Commits.Add(1)
 				s.cfg.Tracer.Record(th, tm.TraceCommit, 0, uint64(attempt))
+				th.Trace(trace.KindCommit, 0, uint64(attempt), 0)
 				return nil
 			}
 			// AbortNowPlease beat us to the status word.
@@ -242,6 +244,7 @@ func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
 		tx.finish(false)
 		s.stats.CountAbort(reason)
 		s.cfg.Tracer.Record(th, tm.TraceAbort, 0, uint64(reason))
+		th.Trace(trace.KindAbort, 0, uint64(reason), uint64(attempt))
 		s.cfg.Manager.Backoff(th.Env, attempt+1)
 	}
 }
@@ -266,6 +269,7 @@ func (s *System) begin(th *tm.Thread) *Txn {
 	tx.gen = tx.status.Gen()
 	tx.InitMeta(th.NextBirth())
 	s.cfg.Tracer.Record(th, tm.TraceBegin, 0, tx.Birth())
+	th.Trace(trace.KindBegin, 0, tx.Birth(), 0)
 	return tx
 }
 

@@ -4,6 +4,7 @@ import (
 	"nztm/internal/cm"
 	"nztm/internal/machine"
 	"nztm/internal/tm"
+	"nztm/internal/trace"
 )
 
 // Txn is an NZSTM transaction descriptor (Figure 1): a status word packing
@@ -202,6 +203,7 @@ func (tx *Txn) Read(obj tm.Object) tm.Data {
 	env := tx.th.Env
 	tx.validate()
 	tx.validateReads()
+	tx.th.Trace(trace.KindRead, o.base, 0, 0)
 	if c := tx.sys.cfg.InflationCheckCost; c > 0 {
 		env.Work(c)
 	}
@@ -392,6 +394,7 @@ func (tx *Txn) acquireWrite(o *Object, or *ownerRef, w *Txn) bool {
 	tx.BumpPriority() // Karma: priority ∝ objects acquired (§4.3)
 	tx.owned = append(tx.owned, o)
 	tx.sys.cfg.Tracer.Record(tx.th, tm.TraceAcquire, o.base, 0)
+	tx.th.Trace(trace.KindAcquire, o.base, 0, 0)
 
 	// Now resolve visible readers. This must happen after the CAS (a reader
 	// registering concurrently re-checks the owner word and will see us)
@@ -458,7 +461,13 @@ func (tx *Txn) resolveConflict(o *Object, or *ownerRef, enemy *Txn, enemyGen uin
 	mgr := tx.sys.cfg.Manager
 	start := env.Now()
 	requested := false
+	waitTraced := false
 	tx.sys.stats.Waits.Add(1)
+	enemyRole := uint64(0)
+	if enemyIsReader {
+		enemyRole = 1
+	}
+	tx.th.Trace(trace.KindConflict, o.base, uint64(enemy.th.ID), enemyRole)
 	defer tx.SetWaiting(false)
 
 	for {
@@ -480,8 +489,16 @@ func (tx *Txn) resolveConflict(o *Object, or *ownerRef, enemy *Txn, enemyGen uin
 		if !requested {
 			switch mgr.Resolve(tx, enemy, env.Now()-start) {
 			case cm.Wait:
+				// Stamp the wait verdict once per conflict, not once per
+				// spin iteration: a long wait would otherwise evict every
+				// other event from the ring.
+				if !waitTraced {
+					waitTraced = true
+					tx.th.Trace(trace.KindCMWait, o.base, uint64(enemy.th.ID), 0)
+				}
 				env.Spin()
 			case cm.AbortSelf:
+				tx.th.Trace(trace.KindCMAbortSelf, o.base, uint64(enemy.th.ID), 0)
 				tx.status.Acknowledge()
 				tm.Retry(tm.AbortSelf)
 			case cm.AbortOther:
@@ -494,6 +511,7 @@ func (tx *Txn) resolveConflict(o *Object, or *ownerRef, enemy *Txn, enemyGen uin
 				}
 				tx.sys.stats.AbortRequests.Add(1)
 				tx.sys.cfg.Tracer.Record(tx.th, tm.TraceAbortRequest, o.base, uint64(enemy.th.ID))
+				tx.th.Trace(trace.KindCMAbortOther, o.base, uint64(enemy.th.ID), 0)
 				tx.validate()
 				requested = true
 				start = env.Now() // acknowledgement patience starts now

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"net"
 	"time"
+
+	"nztm/internal/trace"
 )
 
 // ErrInjectedReset is the error surfaced by a Conn whose write was chosen
@@ -26,6 +28,7 @@ var ErrInjectedReset = errors.New("fault: injected connection reset")
 type Conn struct {
 	net.Conn
 	p      *Plane
+	id     uint64 // connection sequence number, the Obj of its trace events
 	rs, ws *stream
 }
 
@@ -41,6 +44,7 @@ func (p *Plane) WrapConn(c net.Conn) net.Conn {
 	return &Conn{
 		Conn: c,
 		p:    p,
+		id:   id,
 		rs:   newStream(p.cfg.Seed, 0x10000+2*id),
 		ws:   newStream(p.cfg.Seed, 0x10000+2*id+1),
 	}
@@ -51,6 +55,7 @@ func (c *Conn) Read(b []byte) (int, error) {
 	cfg := &c.p.cfg
 	if c.rs.hit(cfg.SlowReadProb) {
 		c.p.SlowReads.Add(1)
+		c.p.planeTrace(trace.KindFaultSlowRead, c.id, uint64(cfg.SlowRead))
 		time.Sleep(cfg.SlowRead)
 	}
 	return c.Conn.Read(b)
@@ -61,12 +66,14 @@ func (c *Conn) Write(b []byte) (int, error) {
 	cfg := &c.p.cfg
 	if len(b) > 1 && c.ws.hit(cfg.ResetProb) {
 		c.p.Resets.Add(1)
+		c.p.planeTrace(trace.KindFaultReset, c.id, 0)
 		n, _ := c.Conn.Write(b[:len(b)/2]) // torn frame on the wire
 		c.Conn.Close()
 		return n, ErrInjectedReset
 	}
 	if len(b) > 1 && c.ws.hit(cfg.PartialWriteProb) {
 		c.p.PartialWrites.Add(1)
+		c.p.planeTrace(trace.KindFaultTornWrite, c.id, 0)
 		half := len(b) / 2
 		n, err := c.Conn.Write(b[:half])
 		if err != nil {

@@ -27,6 +27,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nztm/internal/tm"
+	"nztm/internal/trace"
 )
 
 // Config tunes a Plane. Probabilities are per injection site visit: per
@@ -111,6 +114,11 @@ type Plane struct {
 
 	connSeq atomic.Uint64 // allocates connection stream ids
 
+	// rec, when bound, receives connection-layer fault events (which have no
+	// thread context) under trace.PlaneSource. TM-layer faults record into
+	// the faulted thread's own ring instead.
+	rec atomic.Pointer[trace.Recorder]
+
 	mu      sync.Mutex
 	threads map[int]*stream // per-tm.Thread-ID streams
 }
@@ -123,6 +131,26 @@ func New(cfg Config) *Plane {
 
 // Config returns the plane's configuration.
 func (p *Plane) Config() Config { return p.cfg }
+
+// BindRecorder routes the plane's connection-layer fault events (resets,
+// torn writes, slow reads — injected below any thread context) into fr's
+// trace.PlaneSource ring, timestamped on the same tm.Monotime clock as
+// per-thread events. TM-layer faults need no binding: they land in the
+// faulted thread's own ring. Nil detaches.
+func (p *Plane) BindRecorder(fr *trace.FlightRecorder) {
+	if fr == nil {
+		p.rec.Store(nil)
+		return
+	}
+	p.rec.Store(fr.ForSource(trace.PlaneSource))
+}
+
+// planeTrace records one connection-layer event, if a recorder is bound.
+func (p *Plane) planeTrace(kind trace.Kind, obj, a uint64) {
+	if r := p.rec.Load(); r != nil {
+		r.Record(tm.Monotime(), kind, obj, a, 0)
+	}
+}
 
 // Enabled reports whether any fault class has a nonzero probability.
 func (p *Plane) Enabled() bool {

@@ -10,6 +10,7 @@ import (
 
 	"nztm/internal/core"
 	"nztm/internal/tm"
+	"nztm/internal/trace"
 )
 
 func TestStreamDeterminism(t *testing.T) {
@@ -211,5 +212,79 @@ func TestWrapThreads(t *testing.T) {
 	}
 	if th.Env.ID() != 0 {
 		t.Errorf("wrapped env ID = %d", th.Env.ID())
+	}
+}
+
+// TestFaultTraceEvents: injected faults land in the flight recorder — TM-layer
+// faults in the faulted thread's ring, connection-layer faults in the plane's
+// trace.PlaneSource ring.
+func TestFaultTraceEvents(t *testing.T) {
+	p := New(Config{Seed: 7, AbortProb: 0.5, DelayProb: 0.5, Delay: time.Microsecond})
+	fr := trace.New(64)
+	p.BindRecorder(fr)
+
+	world := tm.NewRealWorld()
+	sys := p.WrapSystem(core.NewNZSTM(world, 1))
+	th := tm.NewThread(0, tm.NewRealEnv(0, world))
+	th.SetRecorder(fr.ForSource(0))
+	obj := sys.NewObject(tm.NewInts(1))
+	for i := 0; i < 50; i++ {
+		sys.Atomic(th, func(tx tm.Tx) error {
+			tx.Update(obj, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+			return nil
+		})
+	}
+	var sawAbort, sawDelay bool
+	for _, src := range fr.Snapshot() {
+		if src.Source != 0 {
+			continue
+		}
+		for _, e := range src.Events {
+			switch e.Kind {
+			case trace.KindFaultAbort:
+				sawAbort = true
+			case trace.KindFaultDelay:
+				sawDelay = true
+			}
+		}
+	}
+	if !sawAbort || !sawDelay {
+		t.Fatalf("thread ring missing fault events: abort=%v delay=%v", sawAbort, sawDelay)
+	}
+
+	// Connection layer: a wrapped pipe with certain slow reads and torn
+	// writes must emit plane-source events.
+	pc := New(Config{Seed: 9, SlowReadProb: 1, SlowRead: time.Microsecond,
+		PartialWriteProb: 1, Delay: time.Microsecond})
+	pc.BindRecorder(fr)
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	wc := pc.WrapConn(a)
+	go io.Copy(io.Discard, b)
+	go b.Write([]byte("pong"))
+	if _, err := wc.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := wc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	var sawSlow, sawTorn bool
+	for _, src := range fr.Snapshot() {
+		if src.Source != trace.PlaneSource {
+			continue
+		}
+		for _, e := range src.Events {
+			switch e.Kind {
+			case trace.KindFaultSlowRead:
+				sawSlow = true
+			case trace.KindFaultTornWrite:
+				sawTorn = true
+			}
+		}
+	}
+	if !sawSlow || !sawTorn {
+		t.Fatalf("plane ring missing conn events: slow_read=%v torn_write=%v", sawSlow, sawTorn)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"nztm/internal/tm"
+	"nztm/internal/trace"
 )
 
 // System is a tm.System decorated with TM-layer fault injection: every
@@ -44,7 +45,7 @@ func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
 	st := s.p.threadStream(th.ID)
 	faulted := false
 	err := s.inner.Atomic(th, func(tx tm.Tx) error {
-		return fn(&faultTx{inner: tx, p: s.p, st: st, faulted: &faulted})
+		return fn(&faultTx{inner: tx, p: s.p, st: st, th: th, faulted: &faulted})
 	})
 	if faulted {
 		if err == nil {
@@ -66,6 +67,7 @@ type faultTx struct {
 	inner   tm.Tx
 	p       *Plane
 	st      *stream
+	th      *tm.Thread // injected faults land in this thread's flight ring
 	faulted *bool
 }
 
@@ -94,16 +96,19 @@ func (t *faultTx) inject() {
 	if t.st.hit(cfg.DelayProb) {
 		*t.faulted = true
 		t.p.Delays.Add(1)
+		t.th.Trace(trace.KindFaultDelay, 0, uint64(cfg.Delay), 0)
 		time.Sleep(cfg.Delay)
 	}
 	if t.st.hit(cfg.StallProb) {
 		*t.faulted = true
 		t.p.Stalls.Add(1)
+		t.th.Trace(trace.KindFaultStall, 0, uint64(cfg.Stall), 0)
 		time.Sleep(cfg.Stall)
 	}
 	if t.st.hit(cfg.AbortProb) {
 		*t.faulted = true
 		t.p.Aborts.Add(1)
+		t.th.Trace(trace.KindFaultAbort, 0, 0, 0)
 		tm.Retry(tm.AbortRequest)
 	}
 }

@@ -135,6 +135,7 @@ type Store struct {
 	sys     tm.System
 	shards  [][]tm.Object // shards[s][b] is one transactional bucket
 	buckets int           // buckets per shard
+	metrics *Metrics      // nil until EnableMetrics; nil is fully inert
 }
 
 // New creates a store with shards × bucketsPerShard transactional bucket
@@ -205,13 +206,26 @@ func (s *Store) object(key string) tm.Object {
 func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 	results := make([]Result, len(ops))
 	attempt := 0
+	m := s.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	err := s.sys.Atomic(th, func(tx tm.Tx) error {
 		attempt++
 		if budget.MaxAttempts > 0 && attempt > budget.MaxAttempts {
 			return ErrBudget
 		}
+		if attempt > 1 {
+			// The previous attempt aborted: charge the batch's keys in the
+			// hotspot table before any backoff sleep.
+			m.noteAbortedOps(ops)
+		}
 		if d := budget.backoff(attempt, th.Env.Rand()); d > 0 {
 			time.Sleep(d)
+			if m != nil {
+				m.BackoffTime.Observe(d)
+			}
 		}
 		if !budget.Deadline.IsZero() && time.Now().After(budget.Deadline) {
 			return ErrBudget
@@ -270,10 +284,14 @@ func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 	if errors.Is(err, errCASMiss) {
 		// The transaction's effects were discarded; the results slice
 		// (set before the abort) tells the caller which CAS missed.
-		return results, nil
+		err = nil
 	}
 	if err != nil {
 		return nil, err
+	}
+	if m != nil {
+		m.CommitLatency.Observe(time.Since(start))
+		m.Retries.ObserveValue(uint64(attempt - 1))
 	}
 	return results, nil
 }

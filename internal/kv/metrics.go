@@ -1,0 +1,158 @@
+package kv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"nztm/internal/metrics"
+)
+
+// hotKeysPerShard caps how many distinct keys each shard's hotspot table
+// tracks. Contention is by definition concentrated — a handful of keys absorb
+// most aborts — so a small per-shard cap captures the hot set while bounding
+// memory on adversarial key churn. Keys arriving after a shard's table is
+// full are counted in the shard's overflow tally instead of individually.
+const hotKeysPerShard = 128
+
+// hotShard is one shard's abort-attribution table. A mutex (not atomics) is
+// fine here: the table is only touched on the retry path, which has already
+// paid for an aborted transaction and usually a backoff sleep.
+type hotShard struct {
+	mu       sync.Mutex
+	counts   map[string]uint64
+	overflow uint64 // aborts on keys the full table could not admit
+}
+
+func (h *hotShard) note(key string) {
+	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = make(map[string]uint64, hotKeysPerShard)
+	}
+	if _, ok := h.counts[key]; ok || len(h.counts) < hotKeysPerShard {
+		h.counts[key]++
+	} else {
+		h.overflow++
+	}
+	h.mu.Unlock()
+}
+
+// Hotspot is one entry of the top-K aborted-keys report.
+type Hotspot struct {
+	Key    string `json:"key"`
+	Aborts uint64 `json:"aborts"`
+}
+
+// Metrics collects the store's request-level latency distributions and
+// contention hotspot attribution. All histogram updates are lock-free; the
+// hotspot table takes a per-shard mutex only on the retry path. A nil
+// *Metrics is inert: every method is a no-op or returns zero values, so the
+// store's hot path stays allocation- and branch-cheap when metrics are off.
+type Metrics struct {
+	// CommitLatency is the wall time of each successful Store.Do call,
+	// from entry to commit, including all retries and backoff sleeps.
+	CommitLatency metrics.Histogram
+	// Retries counts aborted attempts per committed request (0 = first
+	// attempt committed) — the paper's abort-rate story seen per request
+	// rather than per attempt.
+	Retries metrics.Histogram
+	// BackoffTime is the duration of each retry backoff sleep.
+	BackoffTime metrics.Histogram
+
+	hot []hotShard // indexed like Store.shards
+}
+
+// newMetrics sizes the hotspot table to the store's shard geometry.
+func newMetrics(shards int) *Metrics {
+	return &Metrics{hot: make([]hotShard, shards)}
+}
+
+// noteAbortedOps attributes one aborted attempt to every key the batch
+// touches. Batch aborts cannot be blamed on a single key (the TM only knows
+// the conflicting object, which several keys may share), so each key in the
+// batch is charged once — for the dominant single-op request shape this is
+// exact.
+func (m *Metrics) noteAbortedOps(ops []Op) {
+	if m == nil {
+		return
+	}
+	for i := range ops {
+		key := ops[i].Key
+		m.hot[fnv1a(key)%uint64(len(m.hot))].note(key)
+	}
+}
+
+// TopK returns the k most-aborted keys across all shards, most aborted
+// first (ties broken by key for determinism). k <= 0 returns all tracked
+// keys.
+func (m *Metrics) TopK(k int) []Hotspot {
+	if m == nil {
+		return nil
+	}
+	var all []Hotspot
+	for i := range m.hot {
+		h := &m.hot[i]
+		h.mu.Lock()
+		for key, n := range h.counts {
+			all = append(all, Hotspot{Key: key, Aborts: n})
+		}
+		h.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Aborts != all[j].Aborts {
+			return all[i].Aborts > all[j].Aborts
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// OverflowAborts returns the number of aborts charged to keys the capped
+// per-shard tables could not admit — nonzero means the TopK report is a
+// lower bound on the tail.
+func (m *Metrics) OverflowAborts() uint64 {
+	if m == nil {
+		return 0
+	}
+	var n uint64
+	for i := range m.hot {
+		h := &m.hot[i]
+		h.mu.Lock()
+		n += h.overflow
+		h.mu.Unlock()
+	}
+	return n
+}
+
+// WriteProm emits the store's metrics in Prometheus text exposition format:
+// the three histograms plus per-key abort counters for the top-k hotspots.
+func (m *Metrics) WriteProm(w io.Writer, topK int) {
+	if m == nil {
+		return
+	}
+	m.CommitLatency.WriteProm(w, "nztm_kv_commit_latency_seconds")
+	m.Retries.WritePromValues(w, "nztm_kv_retries_per_commit")
+	m.BackoffTime.WriteProm(w, "nztm_kv_backoff_seconds")
+	fmt.Fprintf(w, "# TYPE nztm_kv_key_aborts_total counter\n")
+	for _, h := range m.TopK(topK) {
+		metrics.Counter(w, "nztm_kv_key_aborts_total", h.Aborts, "key", h.Key)
+	}
+	metrics.Counter(w, "nztm_kv_key_aborts_overflow_total", m.OverflowAborts())
+}
+
+// EnableMetrics attaches (and returns) a Metrics collector to the store.
+// Idempotent: repeated calls return the same collector. Not safe to race
+// with in-flight Do calls — enable before serving.
+func (s *Store) EnableMetrics() *Metrics {
+	if s.metrics == nil {
+		s.metrics = newMetrics(len(s.shards))
+	}
+	return s.metrics
+}
+
+// Metrics returns the store's collector, nil when metrics are off.
+func (s *Store) Metrics() *Metrics { return s.metrics }

@@ -1,0 +1,138 @@
+package kv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsNilIsInert: a store without EnableMetrics must behave exactly
+// as before — nil receivers everywhere.
+func TestMetricsNilIsInert(t *testing.T) {
+	be, err := OpenBackend("nzstm", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := New(be.Sys, 4, 4)
+	if st.Metrics() != nil {
+		t.Fatal("metrics non-nil before EnableMetrics")
+	}
+	th := be.NewThread()
+	defer th.Close()
+	if _, err := st.Put(th, "k", []byte("v"), Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	var m *Metrics
+	if got := m.TopK(10); got != nil {
+		t.Fatalf("nil TopK = %v", got)
+	}
+	if got := m.OverflowAborts(); got != 0 {
+		t.Fatalf("nil OverflowAborts = %d", got)
+	}
+	m.WriteProm(&strings.Builder{}, 10) // must not panic
+}
+
+// TestMetricsCommitLatencyAndRetries: every successful Do lands one sample
+// in CommitLatency and one in Retries.
+func TestMetricsCommitLatencyAndRetries(t *testing.T) {
+	be, err := OpenBackend("nzstm", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := New(be.Sys, 4, 4)
+	m := st.EnableMetrics()
+	if st.EnableMetrics() != m {
+		t.Fatal("EnableMetrics not idempotent")
+	}
+	th := be.NewThread()
+	defer th.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := st.Put(th, fmt.Sprintf("k%d", i), []byte("v"), Budget{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.CommitLatency.Count(); got != n {
+		t.Fatalf("CommitLatency.Count = %d, want %d", got, n)
+	}
+	if got := m.Retries.Count(); got != n {
+		t.Fatalf("Retries.Count = %d, want %d", got, n)
+	}
+	var buf strings.Builder
+	m.WriteProm(&buf, 10)
+	out := buf.String()
+	for _, want := range []string{
+		"nztm_kv_commit_latency_seconds_count " + fmt.Sprint(n),
+		"nztm_kv_retries_per_commit_count " + fmt.Sprint(n),
+		"nztm_kv_key_aborts_overflow_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsHotspotAttribution: contended keys accumulate abort charges and
+// surface in TopK order.
+func TestMetricsHotspotAttribution(t *testing.T) {
+	be, err := OpenBackend("nzstm", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := New(be.Sys, 2, 1) // tiny geometry: every key contends
+	m := st.EnableMetrics()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := time.Now().Add(150 * time.Millisecond)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := be.NewThread()
+			defer th.Close()
+			for time.Now().Before(stop) {
+				st.Put(th, "hot", []byte("v"), Budget{})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if m.Retries.Sum() == 0 {
+		t.Skip("no aborts observed under contention (single-core run?)")
+	}
+	top := m.TopK(1)
+	if len(top) != 1 || top[0].Key != "hot" || top[0].Aborts == 0 {
+		t.Fatalf("TopK(1) = %+v, want key \"hot\" with aborts > 0", top)
+	}
+}
+
+// TestMetricsTopKOrderAndOverflow exercises the capped table directly.
+func TestMetricsTopKOrderAndOverflow(t *testing.T) {
+	m := newMetrics(1)
+	ops := func(key string) []Op { return []Op{{Kind: OpPut, Key: key}} }
+	for i := 0; i < 3; i++ {
+		m.noteAbortedOps(ops("a"))
+	}
+	m.noteAbortedOps(ops("b"))
+	m.noteAbortedOps(ops("b"))
+	m.noteAbortedOps(ops("c"))
+	top := m.TopK(2)
+	if len(top) != 2 || top[0] != (Hotspot{Key: "a", Aborts: 3}) || top[1] != (Hotspot{Key: "b", Aborts: 2}) {
+		t.Fatalf("TopK(2) = %+v", top)
+	}
+	// Fill the shard past capacity: later fresh keys overflow, existing
+	// keys still count.
+	for i := 0; i < hotKeysPerShard+10; i++ {
+		m.noteAbortedOps(ops(fmt.Sprintf("fill%d", i)))
+	}
+	if m.OverflowAborts() == 0 {
+		t.Fatal("expected overflow after exceeding per-shard capacity")
+	}
+	m.noteAbortedOps(ops("a"))
+	if got := m.TopK(1)[0]; got != (Hotspot{Key: "a", Aborts: 4}) {
+		t.Fatalf("existing key stopped counting after overflow: %+v", got)
+	}
+}

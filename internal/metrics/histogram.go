@@ -1,0 +1,243 @@
+// Package metrics provides the serving stack's lock-free instrumentation
+// primitives: power-of-two-bucket histograms for latency and count
+// distributions, plus Prometheus text rendering for the /metricsz endpoint.
+//
+// The paper's evaluation reasons about distributions, not averages (related
+// work quantifies TM overhead the same way), so every recorded quantity —
+// commit latency, retries-to-commit, backoff time, request latency — is a
+// histogram here. Observations are a handful of atomic adds: no locks, no
+// allocation, safe under full parallelism; snapshots are approximate while
+// writers run, which is fine for serving metrics.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers 1 .. 2^42 in power-of-two buckets — for nanosecond
+// samples that is 1ns to ~1.2h, for count samples more range than anyone
+// needs. Bucket i counts observations in [2^i, 2^(i+1)); values of zero
+// land in bucket 0.
+const histBuckets = 43
+
+// Histogram is a lock-free power-of-two-bucket histogram. The zero value is
+// ready to use. Record durations with Observe and dimensionless counts
+// (retries, batch sizes) with ObserveValue; the Duration-typed accessors
+// only make sense for the former.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.ObserveValue(uint64(d))
+}
+
+// ObserveValue records one raw sample.
+func (h *Histogram) ObserveValue(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	i := bits.Len64(v)
+	if i > 0 {
+		i--
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Bucket returns bucket i's count (i in [0, Buckets())).
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i].Load() }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return histBuckets }
+
+// MaxValue returns the largest raw sample.
+func (h *Histogram) MaxValue() uint64 { return h.max.Load() }
+
+// Max returns the largest sample as a duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// MeanValue returns the average raw sample.
+func (h *Histogram) MeanValue() uint64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / n
+}
+
+// Mean returns the average sample as a duration.
+func (h *Histogram) Mean() time.Duration { return time.Duration(h.MeanValue()) }
+
+// QuantileValue returns an upper bound on the q-quantile (0 < q <= 1): the
+// top of the bucket the quantile falls in, clamped to the observed max.
+func (h *Histogram) QuantileValue(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			top := uint64(1)<<(i+1) - 1
+			if m := h.max.Load(); m < top {
+				top = m
+			}
+			return top
+		}
+	}
+	return h.max.Load()
+}
+
+// Quantile returns the q-quantile upper bound as a duration.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return time.Duration(h.QuantileValue(q))
+}
+
+// Percentiles returns the p50/p95/p99 upper bounds, the triple every
+// report in this repository quotes.
+func (h *Histogram) Percentiles() (p50, p95, p99 time.Duration) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
+// Summary returns a one-line digest ("count p50 p95 p99 max mean").
+func (h *Histogram) Summary() string {
+	p50, p95, p99 := h.Percentiles()
+	return fmt.Sprintf("count=%d p50=%v p95=%v p99=%v max=%v mean=%v",
+		h.Count(), p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+		p99.Round(time.Microsecond), h.Max().Round(time.Microsecond),
+		h.Mean().Round(time.Microsecond))
+}
+
+// SummaryValues is Summary for dimensionless histograms (no time units).
+func (h *Histogram) SummaryValues() string {
+	return fmt.Sprintf("count=%d p50=%d p95=%d p99=%d max=%d mean=%d",
+		h.Count(), h.QuantileValue(0.50), h.QuantileValue(0.95),
+		h.QuantileValue(0.99), h.MaxValue(), h.MeanValue())
+}
+
+// Dump prints the non-empty buckets, one per line, duration-labelled.
+func (h *Histogram) Dump(w io.Writer) {
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  [%v, %v) %d\n",
+			time.Duration(uint64(1)<<i), time.Duration(uint64(1)<<(i+1)), n)
+	}
+}
+
+// WriteProm renders the histogram in Prometheus text exposition format
+// under the given metric name. Nanosecond samples are scaled to seconds
+// (the Prometheus convention); quantile gauges give scrapers p50/p95/p99
+// without server-side histogram_quantile. labels (alternating key, value —
+// may be empty) are attached to every series.
+func (h *Histogram) WriteProm(w io.Writer, name string, labels ...string) {
+	h.writeProm(w, name, 1e-9, labels)
+}
+
+// WritePromValues is WriteProm for dimensionless histograms: bucket bounds
+// and quantiles are exported as raw values.
+func (h *Histogram) WritePromValues(w io.Writer, name string, labels ...string) {
+	h.writeProm(w, name, 1, labels)
+}
+
+func (h *Histogram) writeProm(w io.Writer, name string, scale float64, labels []string) {
+	base := joinLabels(labels, "")
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue // keep the exposition compact; cumulative counts stay exact
+		}
+		cum += n
+		le := float64(uint64(1)<<(i+1)) * scale
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, joinLabels(labels, fmt.Sprintf("le=%q", formatFloat(le))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, joinLabels(labels, `le="+Inf"`), h.Count())
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatFloat(float64(h.Sum())*scale))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, base, h.Count())
+	for _, q := range []struct {
+		q float64
+		s string
+	}{{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}} {
+		fmt.Fprintf(w, "%s_quantile%s %s\n", name,
+			joinLabels(labels, fmt.Sprintf("quantile=%q", q.s)),
+			formatFloat(float64(h.QuantileValue(q.q))*scale))
+	}
+}
+
+// Counter writes one Prometheus counter sample.
+func Counter(w io.Writer, name string, v uint64, labels ...string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, joinLabels(labels, ""), v)
+}
+
+// Gauge writes one Prometheus gauge sample.
+func Gauge(w io.Writer, name string, v float64, labels ...string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, joinLabels(labels, ""), formatFloat(v))
+}
+
+// joinLabels renders {k1="v1",k2="v2",extra} from alternating key, value
+// pairs, quoting the values (empty string when there is nothing to render).
+func joinLabels(labels []string, extra string) string {
+	pairs := len(labels) / 2
+	if pairs == 0 && extra == "" {
+		return ""
+	}
+	s := "{"
+	for i := 0; i < pairs; i++ {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%q", labels[2*i], labels[2*i+1])
+	}
+	if extra != "" {
+		if pairs > 0 {
+			s += ","
+		}
+		s += extra
+	}
+	return s + "}"
+}
+
+// formatFloat renders floats the way Prometheus expects (no exponent for
+// common magnitudes, no trailing zeros).
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

@@ -1,107 +1,9 @@
 package server
 
-import (
-	"fmt"
-	"io"
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "nztm/internal/metrics"
 
-// histBuckets covers 1ns .. ~2.3h in power-of-two buckets.
-const histBuckets = 43
-
-// Histogram is a lock-free latency histogram with power-of-two buckets:
-// bucket i counts observations in [2^i, 2^(i+1)) nanoseconds. Concurrent
-// Observe calls are safe; snapshots are approximate under concurrency,
-// which is fine for serving metrics.
-type Histogram struct {
-	count   atomic.Uint64
-	sum     atomic.Uint64 // nanoseconds
-	max     atomic.Uint64 // nanoseconds
-	buckets [histBuckets]atomic.Uint64
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	ns := uint64(d)
-	if d < 0 {
-		ns = 0
-	}
-	h.count.Add(1)
-	h.sum.Add(ns)
-	for {
-		cur := h.max.Load()
-		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
-	i := bits.Len64(ns)
-	if i > 0 {
-		i--
-	}
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	h.buckets[i].Add(1)
-}
-
-// Count returns the number of samples.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Mean returns the average sample.
-func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Max returns the largest sample.
-func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
-
-// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the top
-// of the bucket the quantile falls in, clamped to the observed max.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(q * float64(total))
-	if target < 1 {
-		target = 1
-	}
-	var seen uint64
-	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen >= target {
-			top := time.Duration(uint64(1)<<(i+1) - 1)
-			if m := h.Max(); m < top {
-				top = m
-			}
-			return top
-		}
-	}
-	return h.Max()
-}
-
-// Summary returns a one-line digest ("count p50 p99 max mean").
-func (h *Histogram) Summary() string {
-	return fmt.Sprintf("count=%d p50=%v p99=%v max=%v mean=%v",
-		h.Count(), h.Quantile(0.50).Round(time.Microsecond),
-		h.Quantile(0.99).Round(time.Microsecond),
-		h.Max().Round(time.Microsecond), h.Mean().Round(time.Microsecond))
-}
-
-// Dump prints the non-empty buckets, one per line, for /statsz.
-func (h *Histogram) Dump(w io.Writer) {
-	for i := 0; i < histBuckets; i++ {
-		n := h.buckets[i].Load()
-		if n == 0 {
-			continue
-		}
-		fmt.Fprintf(w, "  [%v, %v) %d\n",
-			time.Duration(uint64(1)<<i), time.Duration(uint64(1)<<(i+1)), n)
-	}
-}
+// Histogram is the shared lock-free power-of-two-bucket latency histogram.
+// The server grew its own copy before internal/metrics existed; it is now an
+// alias so the same data feeds both the human /statsz dump and the
+// Prometheus /metricsz exposition without double observation.
+type Histogram = metrics.Histogram

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"fmt"
+	"io"
+
+	"nztm/internal/metrics"
+	"nztm/internal/trace"
+)
+
+// hotspotTopK is how many contended keys /metricsz and /statsz report.
+const hotspotTopK = 10
+
+// WriteMetricsz dumps the server's metrics in Prometheus text exposition
+// format: request counters, latency histograms with p50/p95/p99 quantile
+// gauges, the backing TM system's cumulative counters (including registry
+// slot churn), and — when the store has metrics enabled — commit-latency /
+// retry / backoff histograms plus top-K contended-key abort counters.
+func (s *Server) WriteMetricsz(w io.Writer) {
+	s.mu.Lock()
+	open := len(s.conns)
+	s.mu.Unlock()
+
+	metrics.Gauge(w, "nztm_server_connections_open", float64(open))
+	metrics.Counter(w, "nztm_server_connections_total", s.connsTotal.Load())
+	metrics.Counter(w, "nztm_server_requests_total", s.reqOK.Load(), "status", "ok")
+	metrics.Counter(w, "nztm_server_requests_total", s.reqBudget.Load(), "status", "budget")
+	metrics.Counter(w, "nztm_server_requests_total", s.reqBad.Load(), "status", "bad")
+	metrics.Counter(w, "nztm_server_requests_total", s.reqErr.Load(), "status", "error")
+	metrics.Counter(w, "nztm_server_requests_total", s.reqShutdown.Load(), "status", "shutdown")
+
+	s.singleLatency.WriteProm(w, "nztm_server_single_latency_seconds")
+	s.batchLatency.WriteProm(w, "nztm_server_batch_latency_seconds")
+
+	v := s.store.System().Stats().View()
+	metrics.Counter(w, "nztm_tm_commits_total", v.Commits)
+	metrics.Counter(w, "nztm_tm_aborts_total", v.Aborts)
+	metrics.Counter(w, "nztm_tm_abort_requests_total", v.AbortRequests)
+	metrics.Counter(w, "nztm_tm_waits_total", v.Waits)
+	metrics.Counter(w, "nztm_tm_inflations_total", v.Inflations)
+	metrics.Counter(w, "nztm_tm_deflations_total", v.Deflations)
+	metrics.Counter(w, "nztm_tm_locator_ops_total", v.LocatorOps)
+	metrics.Counter(w, "nztm_tm_backup_reuse_total", v.BackupReuse)
+	metrics.Counter(w, "nztm_tm_slot_acquires_total", v.SlotAcquires)
+	metrics.Counter(w, "nztm_tm_slot_releases_total", v.SlotReleases)
+	metrics.Gauge(w, "nztm_tm_threads_active", float64(s.reg.Active()))
+	metrics.Gauge(w, "nztm_tm_threads_high_water", float64(s.reg.High()))
+
+	s.store.Metrics().WriteProm(w, hotspotTopK)
+
+	if s.cfg.ExtraMetricsz != nil {
+		s.cfg.ExtraMetricsz(w)
+	}
+}
+
+// tracezRecorder picks the flight recorder /tracez serves: the one bound to
+// the registry (the normal wiring — per-connection threads record into it),
+// falling back to an explicitly configured one.
+func (s *Server) tracezRecorder() *trace.FlightRecorder {
+	if fr := s.reg.Recorder(); fr != nil {
+		return fr
+	}
+	return s.cfg.Recorder
+}
+
+// WriteTracez dumps the flight recorder's per-source event logs as JSON.
+// With no recorder bound it emits a disabled marker instead of an error, so
+// the endpoint is always safe to poll.
+func (s *Server) WriteTracez(w io.Writer) {
+	fr := s.tracezRecorder()
+	if fr == nil {
+		fmt.Fprintln(w, `{"enabled":false}`)
+		return
+	}
+	fr.WriteJSON(w)
+}

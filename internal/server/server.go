@@ -11,6 +11,7 @@ import (
 
 	"nztm/internal/kv"
 	"nztm/internal/tm"
+	"nztm/internal/trace"
 )
 
 // Config tunes a Server.
@@ -30,6 +31,14 @@ type Config struct {
 	// ExtraStatsz, when non-nil, appends additional sections to the
 	// WriteStatsz dump (e.g. the fault plane's injection counters).
 	ExtraStatsz func(io.Writer)
+	// ExtraMetricsz, when non-nil, appends additional Prometheus lines to
+	// the WriteMetricsz exposition.
+	ExtraMetricsz func(io.Writer)
+	// Recorder, when non-nil, is the flight recorder WriteTracez serves if
+	// the registry has none bound. Normal wiring binds the recorder to the
+	// registry instead (tm.Registry.BindRecorder), so per-connection
+	// threads record into per-slot rings automatically.
+	Recorder *trace.FlightRecorder
 	// WrapThread, when non-nil, decorates each per-connection thread
 	// context right after it is minted (the fault plane rebinds Env here).
 	WrapThread func(*tm.Thread)
@@ -329,6 +338,8 @@ func (s *Server) WriteStatsz(w io.Writer) {
 		s.store.Shards(), s.store.BucketsPerShard())
 	fmt.Fprintf(w, "threads: active=%d high=%d max=%d\n",
 		s.reg.Active(), s.reg.High(), s.reg.Max())
+	fmt.Fprintf(w, "slots: acquires=%d releases=%d\n",
+		view.SlotAcquires, view.SlotReleases)
 	fmt.Fprintf(w, "connections: open=%d total=%d\n", open, s.connsTotal.Load())
 	fmt.Fprintf(w, "requests: ok=%d budget=%d bad=%d error=%d shutdown=%d\n",
 		s.reqOK.Load(), s.reqBudget.Load(), s.reqBad.Load(),
@@ -348,6 +359,15 @@ func (s *Server) WriteStatsz(w io.Writer) {
 	s.singleLatency.Dump(w)
 	fmt.Fprintf(w, "latency batch buckets:\n")
 	s.batchLatency.Dump(w)
+	if m := s.store.Metrics(); m != nil {
+		fmt.Fprintf(w, "kv commit latency: %s\n", m.CommitLatency.Summary())
+		if hot := m.TopK(hotspotTopK); len(hot) > 0 {
+			fmt.Fprintf(w, "contention hotspots (top %d by aborts):\n", len(hot))
+			for _, h := range hot {
+				fmt.Fprintf(w, "  %-24q %d\n", h.Key, h.Aborts)
+			}
+		}
+	}
 	if s.cfg.ExtraStatsz != nil {
 		s.cfg.ExtraStatsz(w)
 	}

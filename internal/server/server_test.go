@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"nztm/internal/kv"
+	"nztm/internal/trace"
 )
 
 func TestProtocolRoundTrip(t *testing.T) {
@@ -539,5 +540,85 @@ func TestMoreConnectionsThanThreadHint(t *testing.T) {
 	// high-water mark must have passed the boot hint.
 	if high := b.Reg.High(); high < conns {
 		t.Fatalf("registry high-water %d; want >= %d (hint was %d)", high, conns, hint)
+	}
+}
+
+// TestMetricszAndTracez: the Prometheus and trace endpoints report live
+// server state — request counters, latency histograms with quantiles, slot
+// churn, kv commit-latency metrics, and per-thread trace events recorded
+// through the registry-bound flight recorder.
+func TestMetricszAndTracez(t *testing.T) {
+	b, err := kv.OpenBackend("nzstm", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := trace.New(256)
+	b.Reg.BindRecorder(fr)
+	store := kv.New(b.Sys, 4, 16)
+	store.EnableMetrics()
+	srv := New(store, b.Reg, Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown(5 * time.Second)
+		<-done
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mb strings.Builder
+	srv.WriteMetricsz(&mb)
+	out := mb.String()
+	for _, want := range []string{
+		`nztm_server_requests_total{status="ok"} 20`,
+		"nztm_server_single_latency_seconds_count 20",
+		`nztm_server_single_latency_seconds_quantile{quantile="0.99"}`,
+		"nztm_tm_commits_total",
+		"nztm_tm_slot_acquires_total 1",
+		"nztm_kv_commit_latency_seconds_count 20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metricsz missing %q", want)
+		}
+	}
+
+	var tb strings.Builder
+	srv.WriteTracez(&tb)
+	tz := tb.String()
+	if !strings.Contains(tz, `"events_total"`) || !strings.Contains(tz, `"commit"`) {
+		t.Errorf("tracez missing recorded commit events:\n%.500s", tz)
+	}
+
+	var sb strings.Builder
+	srv.WriteStatsz(&sb)
+	if !strings.Contains(sb.String(), "slots: acquires=1") {
+		t.Errorf("statsz missing slot churn line:\n%s", sb.String())
+	}
+}
+
+// TestTracezDisabled: with no recorder anywhere, /tracez reports disabled.
+func TestTracezDisabled(t *testing.T) {
+	b, err := kv.OpenBackend("nzstm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(kv.New(b.Sys, 1, 1), b.Reg, Config{})
+	var buf strings.Builder
+	srv.WriteTracez(&buf)
+	if strings.TrimSpace(buf.String()) != `{"enabled":false}` {
+		t.Fatalf("tracez without recorder = %q", buf.String())
 	}
 }

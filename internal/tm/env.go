@@ -45,6 +45,12 @@ var _ Env = (*machine.Proc)(nil)
 // for short patience values once threads are minted per connection.
 var processStart = time.Now()
 
+// Monotime returns nanoseconds since the process-wide start instant — the
+// same clock RealEnv.Now reads. Code that records flight-recorder events
+// without a thread context (the fault plane's connection layer) uses it so
+// its timestamps line up with the per-thread ones.
+func Monotime() uint64 { return uint64(time.Since(processStart)) }
+
 // RealEnv is the Env for ordinary (non-simulated) execution.
 type RealEnv struct {
 	id    int
@@ -84,7 +90,7 @@ func (e *RealEnv) Spin() { runtime.Gosched() }
 
 // Now returns nanoseconds since the process-wide start instant, so Now
 // values from different threads are on one clock.
-func (e *RealEnv) Now() uint64 { return uint64(time.Since(processStart)) }
+func (e *RealEnv) Now() uint64 { return Monotime() }
 
 // Rand returns a thread-local xorshift* value.
 func (e *RealEnv) Rand() uint64 {

@@ -5,6 +5,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"nztm/internal/trace"
 )
 
 // DefaultMaxSlots bounds a Registry when no explicit maximum is given. It is
@@ -41,6 +43,13 @@ type Registry struct {
 	active atomic.Int64 // currently held slots
 
 	wake chan struct{} // capacity-1 doorbell for blocked Acquire calls
+
+	// stats, when bound, receives SlotAcquires/SlotReleases — the
+	// connection-churn signal /statsz and /metricsz report.
+	stats atomic.Pointer[Stats]
+	// rec, when bound, hands each minted thread its per-slot flight-recorder
+	// ring.
+	rec atomic.Pointer[trace.FlightRecorder]
 }
 
 // NewRegistry creates a registry of at most max slots (0 or negative selects
@@ -76,6 +85,20 @@ func (r *Registry) High() int { return int(r.high.Load()) }
 
 // World returns the World registry-minted threads allocate from.
 func (r *Registry) World() World { return r.world }
+
+// BindStats routes the registry's slot-churn counters (SlotAcquires,
+// SlotReleases) into s — normally the backing system's Stats, so connection
+// churn shows up next to commit/abort counts. Nil detaches.
+func (r *Registry) BindStats(s *Stats) { r.stats.Store(s) }
+
+// BindRecorder attaches a flight recorder: every thread minted after the
+// call carries the recorder's ring for its slot ID (rings are reused across
+// slot recycling, so one ring holds a slot's successive tenants in a single
+// timeline). Nil detaches; threads already minted keep whatever they have.
+func (r *Registry) BindRecorder(fr *trace.FlightRecorder) { r.rec.Store(fr) }
+
+// Recorder returns the bound flight recorder, if any.
+func (r *Registry) Recorder() *trace.FlightRecorder { return r.rec.Load() }
 
 // Slot is one acquired registry slot: its ID plus the generation it was
 // acquired at. The generation distinguishes this tenancy from any previous
@@ -121,6 +144,9 @@ func (r *Registry) TryAcquire() (Slot, bool) {
 			// so this load observes a generation no previous tenant held.
 			gen := r.gens[id].Load()
 			r.active.Add(1)
+			if s := r.stats.Load(); s != nil {
+				s.SlotAcquires.Add(1)
+			}
 			for {
 				h := r.high.Load()
 				if int64(id+1) <= h || r.high.CompareAndSwap(h, int64(id+1)) {
@@ -172,6 +198,9 @@ func (r *Registry) Release(s Slot) {
 		}
 	}
 	r.active.Add(-1)
+	if st := r.stats.Load(); st != nil {
+		st.SlotReleases.Add(1)
+	}
 	select {
 	case r.wake <- struct{}{}:
 	default:
@@ -197,6 +226,9 @@ func (r *Registry) TryNewThread() (*Thread, bool) {
 func (r *Registry) bind(s Slot) *Thread {
 	th := NewThread(s.id, NewRealEnv(s.id, r.world))
 	th.slot = s
+	if fr := r.rec.Load(); fr != nil {
+		th.rec = fr.ForSource(s.id)
+	}
 	return th
 }
 

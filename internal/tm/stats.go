@@ -21,6 +21,9 @@ type Stats struct {
 	HWEvent     atomic.Uint64 // hw aborts: TLB miss / interrupt / ...
 	HWExplicit  atomic.Uint64 // hw aborts: self-abort on sw conflict
 	SWFallbacks atomic.Uint64 // attempts that fell back to software
+
+	SlotAcquires atomic.Uint64 // registry thread slots acquired (connection churn)
+	SlotReleases atomic.Uint64 // registry thread slots released
 }
 
 // CountAbort records an aborted attempt with its hardware/software reason.
@@ -55,6 +58,8 @@ func (s *Stats) Reset() {
 	s.HWEvent.Store(0)
 	s.HWExplicit.Store(0)
 	s.SWFallbacks.Store(0)
+	s.SlotAcquires.Store(0)
+	s.SlotReleases.Store(0)
 }
 
 // StatsView is a plain-value snapshot of Stats.
@@ -64,6 +69,7 @@ type StatsView struct {
 	BackupReuse                           uint64
 	HWCommits, HWConflict, HWCapacity     uint64
 	HWEvent, HWExplicit, SWFallbacks      uint64
+	SlotAcquires, SlotReleases            uint64
 }
 
 // View snapshots the counters.
@@ -83,6 +89,8 @@ func (s *Stats) View() StatsView {
 		HWEvent:       s.HWEvent.Load(),
 		HWExplicit:    s.HWExplicit.Load(),
 		SWFallbacks:   s.SWFallbacks.Load(),
+		SlotAcquires:  s.SlotAcquires.Load(),
+		SlotReleases:  s.SlotReleases.Load(),
 	}
 }
 
@@ -113,6 +121,8 @@ func (v StatsView) Delta(prev StatsView) StatsView {
 		HWEvent:       sub(v.HWEvent, prev.HWEvent),
 		HWExplicit:    sub(v.HWExplicit, prev.HWExplicit),
 		SWFallbacks:   sub(v.SWFallbacks, prev.SWFallbacks),
+		SlotAcquires:  sub(v.SlotAcquires, prev.SlotAcquires),
+		SlotReleases:  sub(v.SlotReleases, prev.SlotReleases),
 	}
 }
 

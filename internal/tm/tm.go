@@ -10,10 +10,41 @@
 package tm
 
 import (
+	"fmt"
 	"sync/atomic"
+	"time"
 
 	"nztm/internal/machine"
+	"nztm/internal/trace"
 )
+
+// The trace package sits below tm in the layering and cannot name tm types;
+// install the formatter that decodes tm enums (abort reasons, conflict
+// roles) in event dumps, so a soak failure log reads "abort reason=conflict"
+// instead of "abort a=2".
+func init() {
+	trace.AuxFormatter = func(e trace.Event) string {
+		switch e.Kind {
+		case trace.KindAbort:
+			return fmt.Sprintf("reason=%s attempt=%d", AbortReason(e.A), e.B)
+		case trace.KindCommit:
+			return fmt.Sprintf("attempt=%d", e.A)
+		case trace.KindBegin:
+			return fmt.Sprintf("birth=%d", e.A)
+		case trace.KindConflict:
+			role := "owner"
+			if e.B != 0 {
+				role = "reader"
+			}
+			return fmt.Sprintf("enemy=%d role=%s", e.A, role)
+		case trace.KindCMWait, trace.KindCMAbortSelf, trace.KindCMAbortOther, trace.KindInflate:
+			return fmt.Sprintf("enemy=%d", e.A)
+		case trace.KindFaultDelay, trace.KindFaultStall, trace.KindFaultSlowRead:
+			return fmt.Sprintf("dur=%v", time.Duration(e.A))
+		}
+		return ""
+	}
+}
 
 // Data is the user payload stored in a transactional object. Implementations
 // must be deep-copyable: Clone creates the backup copies the paper's
@@ -126,6 +157,12 @@ type Thread struct {
 	births uint64
 	slot   Slot // registry slot, when minted by Registry.NewThread
 
+	// rec, when non-nil, is this thread's flight-recorder ring: systems
+	// stamp transaction lifecycle events into it via Trace. Nil (the
+	// default) records nothing and costs one pointer compare per event
+	// site, preserving the allocation-free hot path.
+	rec *trace.Recorder
+
 	// Single-slot descriptor cache, keyed by the system that populated it.
 	// Systems that pool transaction descriptors per thread (internal/core)
 	// park the reusable descriptor here between Atomic calls; a thread that
@@ -151,6 +188,29 @@ func (t *Thread) CachedTx(key any) any {
 // value evicts). Threads are single-owner, so no synchronisation is needed.
 func (t *Thread) SetCachedTx(key, val any) {
 	t.txKey, t.txVal = key, val
+}
+
+// SetRecorder attaches (or, with nil, detaches) the thread's flight-recorder
+// ring. Registry-minted threads get theirs automatically when the registry
+// has a bound FlightRecorder; manual threads attach one here.
+func (t *Thread) SetRecorder(r *trace.Recorder) { t.rec = r }
+
+// Recorder returns the thread's flight-recorder ring, if any.
+func (t *Thread) Recorder() *trace.Recorder { return t.rec }
+
+// Trace stamps one lifecycle event into the thread's flight recorder. With
+// no recorder attached (the default) it is a single pointer compare —
+// cheap enough to leave compiled into every hot-path event site — and it
+// never allocates either way.
+func (t *Thread) Trace(kind trace.Kind, obj machine.Addr, a, b uint64) {
+	if t.rec == nil {
+		return
+	}
+	var when uint64
+	if t.Env != nil {
+		when = t.Env.Now()
+	}
+	t.rec.Record(when, kind, uint64(obj), a, b)
 }
 
 // NextBirth returns a fresh per-thread transaction ordinal. Combined with

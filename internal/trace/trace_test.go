@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Record(1, KindBegin, 0, 0, 0) // must not panic
+	if r.Count() != 0 || r.Capacity() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil recorder must report nothing")
+	}
+	var f *FlightRecorder
+	if f.ForSource(0) != nil || f.Count() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil flight recorder must report nothing")
+	}
+	f.Dump(&bytes.Buffer{}) // must not panic
+}
+
+func TestRecorderKeepsNewestInOrder(t *testing.T) {
+	// Ring capacity 16; record 100 events. The recorder must retain exactly
+	// the newest 16, in recording order — the wraparound guarantee the soak
+	// dump relies on.
+	fr := New(16)
+	r := fr.ForSource(3)
+	const total = 100
+	for i := 0; i < total; i++ {
+		r.Record(uint64(i), KindBegin, 0, uint64(i), 0)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	for i, e := range evs {
+		wantA := uint64(total - 16 + i)
+		if e.A != wantA {
+			t.Fatalf("event %d has A=%d, want %d (newest 16 in order)", i, e.A, wantA)
+		}
+		if i > 0 && e.Seq <= evs[i-1].Seq {
+			t.Fatalf("seq not strictly increasing at %d: %d then %d", i, evs[i-1].Seq, e.Seq)
+		}
+	}
+	if r.Count() != total {
+		t.Fatalf("Count = %d, want %d", r.Count(), total)
+	}
+	if got := fr.Snapshot()[0]; got.Dropped != total-16 {
+		t.Fatalf("Dropped = %d, want %d", got.Dropped, total-16)
+	}
+}
+
+func TestRecorderBelowCapacityKeepsAll(t *testing.T) {
+	fr := New(64)
+	r := fr.ForSource(0)
+	for i := 0; i < 10; i++ {
+		r.Record(0, KindCommit, 0, uint64(i), 0)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 10 {
+		t.Fatalf("retained %d, want all 10", len(evs))
+	}
+	for i, e := range evs {
+		if e.A != uint64(i) || e.Kind != KindCommit {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestGlobalSeqOrdersAcrossSources(t *testing.T) {
+	fr := New(16)
+	a, b := fr.ForSource(0), fr.ForSource(1)
+	a.Record(0, KindBegin, 0, 0, 0)
+	b.Record(0, KindBegin, 0, 0, 0)
+	a.Record(0, KindCommit, 0, 0, 0)
+	ea, eb := a.Snapshot(), b.Snapshot()
+	if !(ea[0].Seq < eb[0].Seq && eb[0].Seq < ea[1].Seq) {
+		t.Fatalf("global seq does not interleave: a=%v b=%v", ea, eb)
+	}
+	if fr.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", fr.Count())
+	}
+}
+
+func TestForSourceReturnsSameRing(t *testing.T) {
+	fr := New(16)
+	if fr.ForSource(7) != fr.ForSource(7) {
+		t.Fatal("ForSource must be stable per ID")
+	}
+	if fr.ForSource(7) == fr.ForSource(8) {
+		t.Fatal("distinct sources must get distinct rings")
+	}
+}
+
+// TestConcurrentRecordAndSnapshot is the race-detector gate: recording from
+// many goroutines while snapshots run concurrently must be race-free, and a
+// quiesced snapshot must be exact.
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	fr := New(256)
+	const writers, per = 8, 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader: must not race
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				fr.Snapshot()
+				fr.WriteJSON(&bytes.Buffer{})
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(id int) {
+			defer ww.Done()
+			r := fr.ForSource(id)
+			for i := 0; i < per; i++ {
+				r.Record(uint64(i), KindBegin, 1, uint64(i), 0)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if fr.Count() != writers*per {
+		t.Fatalf("Count = %d, want %d", fr.Count(), writers*per)
+	}
+	for _, log := range fr.Snapshot() {
+		if log.Recorded != per {
+			t.Fatalf("source %d recorded %d, want %d", log.Source, log.Recorded, per)
+		}
+		if len(log.Events) != 256 {
+			t.Fatalf("source %d retained %d, want 256", log.Source, len(log.Events))
+		}
+		for i, e := range log.Events {
+			if want := uint64(per - 256 + i); e.A != want {
+				t.Fatalf("source %d event %d: A=%d want %d", log.Source, i, e.A, want)
+			}
+		}
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	fr := New(16)
+	fr.ForSource(2).Record(42, KindAbort, 7, 1, 3)
+	var buf bytes.Buffer
+	if err := fr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		EventsTotal uint64 `json:"events_total"`
+		Sources     []struct {
+			Source int `json:"source"`
+			Events []struct {
+				Kind string `json:"kind"`
+				When uint64 `json:"when"`
+				Obj  uint64 `json:"obj"`
+			} `json:"events"`
+		} `json:"sources"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("tracez output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.EventsTotal != 1 || len(doc.Sources) != 1 || doc.Sources[0].Source != 2 {
+		t.Fatalf("unexpected document: %s", buf.String())
+	}
+	e := doc.Sources[0].Events[0]
+	if e.Kind != "abort" || e.When != 42 || e.Obj != 7 {
+		t.Fatalf("event rendered wrong: %+v", e)
+	}
+}
+
+func TestKindStringsDistinct(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < kindCount; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestDumpMentionsPlaneSource(t *testing.T) {
+	fr := New(16)
+	fr.ForSource(PlaneSource).Record(1, KindFaultReset, 0, 0, 0)
+	var buf bytes.Buffer
+	fr.Dump(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "fault plane") || !strings.Contains(out, "fault-conn-reset") {
+		t.Fatalf("dump missing plane section:\n%s", out)
+	}
+}

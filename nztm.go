@@ -42,6 +42,7 @@ import (
 	"nztm/internal/logtm"
 	"nztm/internal/machine"
 	"nztm/internal/tm"
+	"nztm/internal/trace"
 )
 
 // Core programming-model types (see the tm package for full documentation).
@@ -106,7 +107,28 @@ func NewNZSTMDynamic(hint, max int) (System, *Registry) {
 	reg := tm.NewRegistryWorld(max, world)
 	cfg := core.DefaultConfig(core.NZ, hint)
 	cfg.MaxThreads = reg.Max()
-	return core.New(world, cfg), reg
+	sys := core.New(world, cfg)
+	// Slot churn shows up in the system's Stats (SlotAcquires/SlotReleases).
+	reg.BindStats(sys.Stats())
+	return sys, reg
+}
+
+// FlightRecorder is the per-thread transaction event tracer: each source
+// (thread slot) records begin/read/acquire/conflict/contention-decision/
+// abort/commit/inflate/deflate events into a fixed-capacity lock-free ring.
+// Bind one to a Registry (Registry.BindRecorder) and every thread it mints
+// records automatically; Snapshot, WriteJSON, and Dump expose the newest
+// events per source in order. Tracing off (no recorder bound) costs one nil
+// check per event site and keeps the hot path allocation-free.
+type FlightRecorder = trace.FlightRecorder
+
+// TraceEvent is one recorded flight-recorder event.
+type TraceEvent = trace.Event
+
+// NewFlightRecorder creates a flight recorder holding the newest
+// perSourceCap events per thread (rounded up to a power of two, minimum 16).
+func NewFlightRecorder(perSourceCap int) *FlightRecorder {
+	return trace.New(perSourceCap)
 }
 
 // NewNZSTM returns the paper's nonblocking zero-indirection STM for

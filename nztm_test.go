@@ -236,3 +236,111 @@ func TestAtomicRealModeAllocFree(t *testing.T) {
 		t.Errorf("uncontended read-write transaction allocates %.2f allocs/op; want ~0", avg)
 	}
 }
+
+// TestTracingAllocGuard is the observability-plane allocation gate (run by
+// `make check`): with no flight recorder bound, the hot path must stay
+// allocation-free exactly as TestAtomicRealModeAllocFree demands; with
+// tracing enabled, recording into the preallocated per-thread ring may cost
+// at most 2 allocs/op (in practice 0 — events are atomic stores into a
+// fixed ring).
+func TestTracingAllocGuard(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		tracing bool
+		limit   float64
+	}{
+		{"disabled", false, 0.5},
+		{"enabled", true, 2.0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, reg := nztm.NewNZSTMDynamic(4, 0)
+			if tc.tracing {
+				reg.BindRecorder(nztm.NewFlightRecorder(1024))
+			}
+			o := sys.NewObject(nztm.NewInts(4))
+			th := reg.NewThread()
+			defer th.Close()
+			if tc.tracing && th.Recorder() == nil {
+				t.Fatal("registry-minted thread has no recorder despite BindRecorder")
+			}
+			var v int64
+			upd := func(d nztm.Data) { d.(*nztm.Ints).V[0] = v + 1 }
+			fn := func(tx nztm.Tx) error {
+				v = tx.Read(o).(*nztm.Ints).V[0]
+				tx.Update(o, upd)
+				return nil
+			}
+			run := func() {
+				if err := sys.Atomic(th, fn); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 200; i++ {
+				run()
+			}
+			if avg := testing.AllocsPerRun(500, run); avg >= tc.limit {
+				t.Errorf("tracing %s: %.2f allocs/op, want < %.1f", tc.name, avg, tc.limit)
+			}
+		})
+	}
+}
+
+// TestTracingUnderContention drives contended transactions with tracing on
+// and checks the recorder captured the conflict story: commits, conflicts,
+// and contention-manager decisions, in per-thread order. Run under -race by
+// `make check` (race-tracing), this is also the tracing-enabled race gate.
+func TestTracingUnderContention(t *testing.T) {
+	sys, reg := nztm.NewNZSTMDynamic(4, 0)
+	fr := nztm.NewFlightRecorder(4096)
+	reg.BindRecorder(fr)
+	o := sys.NewObject(nztm.NewInts(1))
+
+	const workers, each = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := reg.NewThread()
+			defer th.Close()
+			for i := 0; i < each; i++ {
+				sys.Atomic(th, func(tx nztm.Tx) error {
+					tx.Update(o, func(d nztm.Data) { d.(*nztm.Ints).V[0]++ })
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total int64
+	th := reg.NewThread()
+	defer th.Close()
+	sys.Atomic(th, func(tx nztm.Tx) error {
+		total = tx.Read(o).(*nztm.Ints).V[0]
+		return nil
+	})
+	if total != workers*each {
+		t.Fatalf("counter = %d, want %d", total, workers*each)
+	}
+
+	commits := 0
+	for _, src := range fr.Snapshot() {
+		last := uint64(0)
+		for _, e := range src.Events {
+			if e.Seq <= last {
+				t.Fatalf("source %d events out of order: seq %d after %d", src.Source, e.Seq, last)
+			}
+			last = e.Seq
+			if e.Kind.String() == "commit" {
+				commits++
+			}
+		}
+	}
+	if commits == 0 {
+		t.Fatal("no commit events recorded under contention")
+	}
+	if fr.Count() == 0 {
+		t.Fatal("flight recorder is empty")
+	}
+}
