@@ -4,30 +4,39 @@
 #                   allocation gate and the tracing 0-allocs-off /
 #                   ≤2-allocs-on guard) + race detector over the concurrency-
 #                   critical packages (tm, core, kv, server, fault, trace,
-#                   metrics, histcheck) + a tracing-enabled race pass +
-#                   protocol fuzzers + a short fault-injected soak + the
-#                   serving benchmark (regenerates BENCH_kv.json) — run this
-#                   before sending a PR
+#                   metrics, histcheck, wal) + a tracing-enabled race pass +
+#                   protocol and WAL fuzzers + a short fault-injected soak +
+#                   the crash-recovery soak + the serving benchmark
+#                   (regenerates BENCH_kv.json, memory-only vs WAL fsync
+#                   policies) — run this before sending a PR
 #   make vet        go vet ./...
-#   make fuzz       native Go fuzzing of the wire protocol (10s per target)
+#   make fuzz       native Go fuzzing of the wire protocol and the WAL
+#                   frame/recovery decoders (10s per target)
 #   make soak       short seeded fault-injection soak with linearizability
 #                   checking (see cmd/nztm-soak; SOAK_FLAGS to customise)
+#   make crash      crash-recovery soak: SIGKILL a child nztm-server at
+#                   seeded WAL crash points (all five sites), restart it,
+#                   and verify every acknowledged write survives and the
+#                   recovered history stays linearizable (CRASH_FLAGS to
+#                   customise; see DESIGN.md §12)
 #   make bench-kv   serving-path benchmark: NZSTM vs GlobalLock over real
-#                   sockets, results in BENCH_kv.json
+#                   sockets, plus WAL fsync=always/interval/never durability
+#                   pricing, results in BENCH_kv.json
 #   make serve      run nztm-server with defaults
 
 GO ?= go
 
 RACE_PKGS = ./internal/tm ./internal/core ./internal/kv ./internal/server \
             ./internal/fault ./internal/histcheck ./internal/trace \
-            ./internal/metrics
+            ./internal/metrics ./internal/wal
 
 FUZZ_TIME ?= 10s
 SOAK_FLAGS ?= -seed 1 -duration 5s
+CRASH_FLAGS ?= -crash -crash-target 200 -seed 1
 
-.PHONY: check build vet test race race-tracing fuzz soak bench-kv serve
+.PHONY: check build vet test race race-tracing fuzz soak crash bench-kv serve
 
-check: build vet test race race-tracing fuzz soak bench-kv
+check: build vet test race race-tracing fuzz soak crash bench-kv
 
 build:
 	$(GO) build ./...
@@ -51,12 +60,17 @@ fuzz:
 	$(GO) test -run=NoTestsMatch -fuzz=FuzzParseRequest -fuzztime=$(FUZZ_TIME) ./internal/server
 	$(GO) test -run=NoTestsMatch -fuzz=FuzzParseResponse -fuzztime=$(FUZZ_TIME) ./internal/server
 	$(GO) test -run=NoTestsMatch -fuzz=FuzzFrame -fuzztime=$(FUZZ_TIME) ./internal/server
+	$(GO) test -run=NoTestsMatch -fuzz=FuzzWALFrame -fuzztime=$(FUZZ_TIME) ./internal/wal
+	$(GO) test -run=NoTestsMatch -fuzz=FuzzRecoverLog -fuzztime=$(FUZZ_TIME) ./internal/wal
 
 soak:
 	$(GO) run ./cmd/nztm-soak $(SOAK_FLAGS)
 
+crash:
+	$(GO) run ./cmd/nztm-soak $(CRASH_FLAGS)
+
 bench-kv:
-	$(GO) run ./cmd/nztm-load -out BENCH_kv.json
+	$(GO) run ./cmd/nztm-load -out BENCH_kv.json -fsync always,interval,never
 
 serve:
 	$(GO) run ./cmd/nztm-server

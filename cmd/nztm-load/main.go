@@ -27,6 +27,7 @@ import (
 	"nztm/internal/kv"
 	"nztm/internal/server"
 	"nztm/internal/tm"
+	"nztm/internal/wal"
 )
 
 type config struct {
@@ -45,7 +46,10 @@ type config struct {
 
 // result is one system's measurement, serialised into BENCH_kv.json.
 type result struct {
-	System     string  `json:"system"`
+	System string `json:"system"`
+	// Fsync names the WAL sync policy for crash-durable runs (-fsync);
+	// empty for the memory-only baselines.
+	Fsync      string  `json:"wal_fsync,omitempty"`
 	Clients    int     `json:"clients"`
 	DurationS  float64 `json:"duration_sec"`
 	Requests   uint64  `json:"requests"`
@@ -104,6 +108,7 @@ func main() {
 		threads  = flag.Int("threads", defaultThreads(), "self-hosted server TM thread pool size")
 		out      = flag.String("out", "BENCH_kv.json", "machine-readable output file (empty disables)")
 		mOut     = flag.String("metrics-out", "BENCH_kv.json", "bench file that also receives server-side commit-latency histogram percentiles; usually the same file as -out (empty disables)")
+		fsyncs   = flag.String("fsync", "", "also measure a crash-durable NZSTM server per listed WAL fsync policy (comma-separated: always,interval,never); the memory-only baselines above are unchanged")
 	)
 	flag.Parse()
 
@@ -127,7 +132,18 @@ func main() {
 			if name == "" {
 				continue
 			}
-			r, err := selfHost(name, cfg)
+			r, err := selfHost(name, "", cfg)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, r)
+		}
+		for _, policy := range strings.Split(*fsyncs, ",") {
+			policy = strings.TrimSpace(policy)
+			if policy == "" {
+				continue
+			}
+			r, err := selfHost("nzstm", policy, cfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -135,10 +151,10 @@ func main() {
 		}
 	}
 
-	fmt.Printf("\n%-10s %8s %12s %10s %10s %10s %10s %10s\n",
+	fmt.Printf("\n%-20s %8s %12s %10s %10s %10s %10s %10s\n",
 		"system", "clients", "req/s", "p50", "p95", "p99", "max", "abort%")
 	for _, r := range results {
-		fmt.Printf("%-10s %8d %12.0f %9.0fµs %9.0fµs %9.0fµs %9.0fµs %9.2f%%\n",
+		fmt.Printf("%-20s %8d %12.0f %9.0fµs %9.0fµs %9.0fµs %9.0fµs %9.2f%%\n",
 			r.System, r.Clients, r.Throughput, r.P50Us, r.P95Us, r.P99Us, r.MaxUs, 100*r.AbortRate)
 	}
 	compare(results)
@@ -207,13 +223,37 @@ func compare(results []result) {
 }
 
 // selfHost starts a server for the named backend on a loopback listener,
-// measures it, and shuts it down.
-func selfHost(name string, cfg config) (result, error) {
+// measures it, and shuts it down. A non-empty fsync policy makes the
+// store crash-durable (WAL in a temp directory, snapshots every 500ms),
+// so the run prices exactly what durability costs over the same stack.
+func selfHost(name, fsync string, cfg config) (result, error) {
 	backend, err := kv.OpenBackend(name, cfg.threads)
 	if err != nil {
 		return result{}, err
 	}
-	store := kv.New(backend.Sys, cfg.shards, cfg.buckets)
+	var store *kv.Store
+	if fsync != "" {
+		policy, err := wal.ParseFsyncPolicy(fsync)
+		if err != nil {
+			return result{}, err
+		}
+		dir, err := os.MkdirTemp("", "nztm-load-wal-")
+		if err != nil {
+			return result{}, err
+		}
+		defer os.RemoveAll(dir)
+		store, _, err = kv.NewDurable(backend.Sys, cfg.shards, cfg.buckets, kv.Durability{
+			Dir:           dir,
+			Fsync:         policy,
+			SnapshotEvery: 500 * time.Millisecond,
+			NewThread:     backend.NewThread,
+		})
+		if err != nil {
+			return result{}, err
+		}
+	} else {
+		store = kv.New(backend.Sys, cfg.shards, cfg.buckets)
+	}
 	m := store.EnableMetrics()
 	srv := server.New(store, backend.Reg, server.Config{
 		MaxAttempts:    100_000,
@@ -225,11 +265,19 @@ func selfHost(name string, cfg config) (result, error) {
 	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
-	fmt.Printf("nztm-load: measuring %s on %s...\n", backend.Sys.Name(), ln.Addr())
+	label := backend.Sys.Name()
+	if fsync != "" {
+		label += "+wal(" + fsync + ")"
+	}
+	fmt.Printf("nztm-load: measuring %s on %s...\n", label, ln.Addr())
 
-	r, err := measure(backend.Sys.Name(), ln.Addr().String(), backend.Sys.Stats(), cfg)
+	r, err := measure(label, ln.Addr().String(), backend.Sys.Stats(), cfg)
 	srv.Shutdown(5 * time.Second)
 	<-done
+	if cerr := store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	r.Fsync = fsync
 	if err == nil {
 		// Server-side commit-latency percentiles: the distribution covers
 		// the whole run (warmup included) — the per-interval client

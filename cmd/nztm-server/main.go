@@ -12,12 +12,21 @@
 // rates, latency histograms, contention hotspots), Prometheus /metricsz,
 // JSON /tracez (per-thread flight-recorder event logs, -trace to enable),
 // and net/http/pprof under /debug/pprof/ behind -pprof. SIGINT/SIGTERM
-// trigger a graceful drain.
+// trigger a graceful drain: stop accepting, finish in-flight requests
+// within -drain, flush + sync the write-ahead log, exit 0.
+//
+// With -data-dir the store is crash-durable: committed transactions are
+// appended to a per-shard checksummed write-ahead log (group commit,
+// -fsync always|interval|never), -snapshot-every seals periodic
+// per-shard snapshots that truncate the covered log, and boot recovers
+// the directory's provable state before the listener opens. See
+// DESIGN.md §12.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -32,6 +41,7 @@ import (
 	"nztm/internal/kv"
 	"nztm/internal/server"
 	"nztm/internal/trace"
+	"nztm/internal/wal"
 )
 
 func main() {
@@ -50,6 +60,15 @@ func main() {
 		backoff = flag.Duration("retry-backoff", 0, "base backoff between transaction retries (0 = immediate retry)")
 		traceN  = flag.Int("trace", 0, "per-thread flight-recorder capacity in events (0 = tracing off; keeps the hot path allocation-free)")
 		pprofOn = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the statsz mux")
+
+		dataDir   = flag.String("data-dir", "", "write-ahead-log data directory (empty = memory-only, no durability)")
+		fsyncMode = flag.String("fsync", "always", "WAL sync policy: always (fsync before every ack), interval (background fsync every -fsync-interval), never (OS decides)")
+		fsyncIntv = flag.Duration("fsync-interval", 50*time.Millisecond, "background fsync period under -fsync interval")
+		snapEvery = flag.Duration("snapshot-every", 0, "per-shard snapshot + log-truncation period (0 = never snapshot; the log grows unbounded)")
+
+		crashSeed  = flag.Uint64("crash-seed", 0, "arm deterministic kill-self crash-point injection with this seed (0 = off; testing only)")
+		crashSites = flag.String("crash-sites", "all", "comma-separated WAL crash sites to arm (pre-append, mid-append, post-append, mid-snapshot, mid-truncate, or all)")
+		crashProb  = flag.Float64("crash-prob", 0.01, "per-visit firing probability at each armed crash site")
 	)
 	flag.Parse()
 
@@ -70,6 +89,7 @@ func main() {
 		fr = trace.New(*traceN)
 		backend.Reg.BindRecorder(fr)
 	}
+	var statszHooks, metricszHooks []func(io.Writer)
 	var plane *fault.Plane
 	if *faultSd != 0 {
 		fcfg := fault.DefaultConfig(*faultSd)
@@ -81,13 +101,59 @@ func main() {
 		plane = fault.New(fcfg)
 		cfg.WrapThread = plane.WrapThread
 		sys = plane.WrapSystem(sys)
-		cfg.ExtraStatsz = plane.WriteStats
+		statszHooks = append(statszHooks, plane.WriteStats)
 		if fr != nil {
 			plane.BindRecorder(fr)
 		}
 	}
-	store := kv.New(sys, *shards, *buckets)
+
+	var store *kv.Store
+	if *dataDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nztm-server:", err)
+			os.Exit(2)
+		}
+		dur := kv.Durability{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncIntv,
+			SnapshotEvery: *snapEvery,
+			NewThread:     backend.NewThread,
+		}
+		if fr != nil {
+			dur.Recorder = fr.ForSource(trace.WALSource)
+		}
+		if *crashSeed != 0 {
+			probs, err := fault.ParseCrashSites(*crashSites, *crashProb)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nztm-server:", err)
+				os.Exit(2)
+			}
+			cp := fault.NewCrashPoints(fault.CrashConfig{Seed: *crashSeed, Probs: probs})
+			dur.CrashHook = cp.Hook
+			fmt.Printf("nztm-server: crash points armed: sites=%s prob=%g seed=%d\n",
+				*crashSites, *crashProb, *crashSeed)
+		}
+		// Recovery runs here, before the listener opens: the store never
+		// serves a byte it cannot prove.
+		s, st, err := kv.NewDurable(sys, *shards, *buckets, dur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nztm-server:", err)
+			os.Exit(1)
+		}
+		store = s
+		fmt.Printf("nztm-server: recovered %s: replayed=%d dropped=%d truncated_bytes=%d in %v (fsync=%s snapshot-every=%v)\n",
+			*dataDir, st.ReplayedFrames, st.DroppedFrames, st.TruncatedBytes,
+			st.Duration.Round(time.Microsecond), policy, *snapEvery)
+		statszHooks = append(statszHooks, store.WriteDurabilityStats)
+		metricszHooks = append(metricszHooks, store.WriteDurabilityProm)
+	} else {
+		store = kv.New(sys, *shards, *buckets)
+	}
 	store.EnableMetrics()
+	cfg.ExtraStatsz = chainWriters(statszHooks)
+	cfg.ExtraMetricsz = chainWriters(metricszHooks)
 	srv := server.New(store, backend.Reg, cfg)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -136,17 +202,42 @@ func main() {
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+	// The machine-readable ready line: recovery is complete and the
+	// listener is accepting (crash soaks and scripts wait for this).
+	fmt.Printf("nztm-server: ready addr=%s\n", ln.Addr())
 
 	select {
 	case sig := <-sigs:
 		fmt.Printf("nztm-server: %v, draining...\n", sig)
 		if err := srv.Shutdown(*drain); err != nil {
+			// In-flight requests may still be running; closing the WAL
+			// under them could tear a frame, so fail loudly instead.
 			fmt.Fprintln(os.Stderr, "nztm-server:", err)
+			os.Exit(1)
 		}
 		<-done
 	case err := <-done:
 		fmt.Fprintln(os.Stderr, "nztm-server:", err)
 		os.Exit(1)
 	}
+	// Drained: flush + sync + close the WAL and release registry slots,
+	// so a clean exit always recovers to exactly the acknowledged state.
+	if err := store.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "nztm-server: close:", err)
+		os.Exit(1)
+	}
 	srv.WriteStatsz(os.Stdout)
+}
+
+// chainWriters folds stats/metrics appenders into one hook (nil when
+// the list is empty, keeping the export paths branch-free).
+func chainWriters(hooks []func(io.Writer)) func(io.Writer) {
+	if len(hooks) == 0 {
+		return nil
+	}
+	return func(w io.Writer) {
+		for _, h := range hooks {
+			h(w)
+		}
+	}
 }

@@ -38,6 +38,7 @@ import (
 	"nztm/internal/kv"
 	"nztm/internal/server"
 	"nztm/internal/trace"
+	"nztm/internal/wal"
 )
 
 func main() {
@@ -53,16 +54,34 @@ func main() {
 		rate     = flag.Int("rate", 200, "target ops/sec per client (0 = unthrottled; keep the history checkable)")
 		limit    = flag.Int("limit", 0, "linearizability search budget in states (0 = checker default)")
 		traceN   = flag.Int("trace", 0, "per-thread flight-recorder capacity in events; on failure the recorder of every registered thread is dumped to stderr (0 = off)")
+		dataDir  = flag.String("data-dir", "", "run the store crash-durable (WAL + snapshots) in this directory; the leak gate then also covers Store.Close")
+
+		crashMode   = flag.Bool("crash", false, "crash-recovery soak: repeatedly kill a child nztm-server at WAL crash points and verify recovery (see DESIGN.md §12)")
+		crashTarget = flag.Int("crash-target", 200, "crash mode: total crash-point injections to accumulate across all five sites")
+		crashDir    = flag.String("crash-data-dir", "", "crash mode: persistent data directory (default: a temp dir, removed on success)")
+		serverBin   = flag.String("server-bin", "", "crash mode: path to an nztm-server binary (default: go build it)")
 	)
 	flag.Parse()
-	if err := run(*system, *seed, *duration, *clients, *keys, *shards, *buckets, *threads, *rate, *limit, *traceN); err != nil {
+	if *crashMode {
+		err := runCrash(crashCfg{
+			bin: *serverBin, dir: *crashDir, seed: *seed, target: *crashTarget,
+			shards: *shards, buckets: *buckets, keys: 12, workers: 2, limit: *limit,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nztm-soak: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("nztm-soak: PASS")
+		return
+	}
+	if err := run(*system, *seed, *duration, *clients, *keys, *shards, *buckets, *threads, *rate, *limit, *traceN, *dataDir); err != nil {
 		fmt.Fprintln(os.Stderr, "nztm-soak: FAIL:", err)
 		os.Exit(1)
 	}
 	fmt.Println("nztm-soak: PASS")
 }
 
-func run(system string, seed uint64, duration time.Duration, clients, keys, shards, buckets, threads, rate, limit, traceN int) error {
+func run(system string, seed uint64, duration time.Duration, clients, keys, shards, buckets, threads, rate, limit, traceN int, dataDir string) error {
 	backend, err := kv.OpenBackend(system, threads)
 	if err != nil {
 		return err
@@ -90,7 +109,32 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 		fmt.Fprintf(os.Stderr, "--- flight recorder (%d events) ---\n", fr.Count())
 		fr.Dump(os.Stderr)
 	}
-	store := kv.New(plane.WrapSystem(backend.Sys), shards, buckets)
+	var store *kv.Store
+	if dataDir != "" {
+		// Durable soak: the chaos plane injects aborts and stalls while
+		// every commit is WAL-logged and snapshots truncate behind it; the
+		// shutdown leak gate below then also proves Store.Close unwinds
+		// the snapshotter and WAL goroutines.
+		dur := kv.Durability{
+			Dir:           dataDir,
+			Fsync:         wal.FsyncInterval,
+			FsyncInterval: 10 * time.Millisecond,
+			SnapshotEvery: 200 * time.Millisecond,
+			NewThread:     backend.NewThread,
+		}
+		if fr != nil {
+			dur.Recorder = fr.ForSource(trace.WALSource)
+		}
+		var st *wal.State
+		store, st, err = kv.NewDurable(plane.WrapSystem(backend.Sys), shards, buckets, dur)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("nztm-soak: durable in %s: recovered replayed=%d dropped=%d truncated=%d in %v\n",
+			dataDir, st.ReplayedFrames, st.DroppedFrames, st.TruncatedBytes, st.Duration.Round(time.Microsecond))
+	} else {
+		store = kv.New(plane.WrapSystem(backend.Sys), shards, buckets)
+	}
 	store.EnableMetrics()
 	srv := server.New(store, backend.Reg, server.Config{
 		MaxAttempts:    512,
@@ -131,6 +175,11 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 	}
 	if err := <-serveDone; err != nil && !errors.Is(err, server.ErrServerClosed) {
 		return fmt.Errorf("serve: %w", err)
+	}
+	// Close before the leak gate: the snapshotter and WAL sync goroutines
+	// must unwind with everything else (no-op for memory-only stores).
+	if err := store.Close(); err != nil {
+		return fmt.Errorf("store close: %w", err)
 	}
 
 	srv.WriteStatsz(os.Stdout)

@@ -1,0 +1,345 @@
+package kv
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"nztm/internal/metrics"
+	"nztm/internal/tm"
+	"nztm/internal/trace"
+	"nztm/internal/wal"
+)
+
+// seqData is the per-shard commit sequencer: a single transactional
+// counter. Every transaction that writes shard s bumps seq[s] inside
+// the transaction, so the TM's serializability makes LSN order equal
+// commit order per shard — the property the WAL needs and a post-commit
+// handoff alone cannot provide. Transactions that only read a shard
+// tx.Read the sequencer instead, pinning the exact prefix of commits
+// their results depend on; the acknowledgement then waits until that
+// prefix is durable, so no client ever observes a commit that recovery
+// could drop.
+type seqData struct {
+	lsn uint64
+}
+
+// Clone implements tm.Data.
+func (s *seqData) Clone() tm.Data { return &seqData{lsn: s.lsn} }
+
+// CopyFrom implements tm.Data.
+func (s *seqData) CopyFrom(src tm.Data) { s.lsn = src.(*seqData).lsn }
+
+// Words implements tm.Data.
+func (s *seqData) Words() int { return 1 }
+
+var _ tm.Data = (*seqData)(nil)
+
+// Durability configures NewDurable.
+type Durability struct {
+	// Dir is the WAL data directory.
+	Dir string
+	// Fsync is the sync policy (default wal.FsyncAlways).
+	Fsync wal.FsyncPolicy
+	// FsyncInterval is the background sync period under FsyncInterval.
+	FsyncInterval time.Duration
+	// SnapshotEvery, when positive, starts a background snapshotter
+	// that periodically snapshots every shard (via a read-only
+	// transaction) and truncates the covered log. Requires NewThread.
+	SnapshotEvery time.Duration
+	// NewThread mints the snapshotter's TM thread (kv.Backend.NewThread
+	// fits). Required when SnapshotEvery > 0.
+	NewThread func() *tm.Thread
+	// CrashHook is passed through to the WAL (fault.CrashPoints.Hook).
+	CrashHook func(wal.CrashPoint)
+	// Recorder, when non-nil, receives durability-plane trace events
+	// (recovery, snapshots, truncation) — typically
+	// FlightRecorder.ForSource(trace.WALSource).
+	Recorder *trace.Recorder
+}
+
+// durState is a durable store's extra machinery. A nil *durState (the
+// memory-only store) keeps the hot path untouched: every durable branch
+// in Do is behind one pointer test.
+type durState struct {
+	log   *wal.Log
+	state *wal.State
+	seqs  []tm.Object // per-shard sequencer objects
+	cfg   Durability
+	rec   *trace.Recorder
+
+	recovery metrics.Histogram // recovery wall time (one observation per boot)
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	th        *tm.Thread // snapshotter's registry slot
+	closeOnce sync.Once
+}
+
+// NewDurable creates a store whose commits are logged to a write-ahead
+// log under d.Dir, after first recovering whatever state the directory
+// proves: the latest valid snapshots plus the surviving log prefix.
+// Recovery happens before any object is published, so the store starts
+// serving the recovered state. The returned wal.State reports what
+// recovery found.
+func NewDurable(sys tm.System, shards, bucketsPerShard int, d Durability) (*Store, *wal.State, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	if bucketsPerShard <= 0 {
+		bucketsPerShard = 1
+	}
+	log, st, err := wal.Open(wal.Config{
+		Dir:           d.Dir,
+		Shards:        shards,
+		Fsync:         d.Fsync,
+		FsyncInterval: d.FsyncInterval,
+		CrashHook:     d.CrashHook,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	s := buildStore(sys, shards, bucketsPerShard, st.Keys)
+	dur := &durState{
+		log:   log,
+		state: st,
+		cfg:   d,
+		rec:   d.Recorder,
+		stop:  make(chan struct{}),
+	}
+	dur.recovery.Observe(st.Duration)
+	dur.seqs = make([]tm.Object, shards)
+	for i := range dur.seqs {
+		// The sequencer resumes one below NextLSN so the next commit is
+		// assigned exactly NextLSN — never re-using an LSN that a
+		// dropped (unacknowledged) frame still occupies on disk.
+		dur.seqs[i] = sys.NewObject(&seqData{lsn: st.NextLSN[i] - 1})
+	}
+	dur.rec.Record(tm.Monotime(), trace.KindWALRecover, uint64(shards), st.ReplayedFrames, st.TruncatedBytes)
+	s.dur = dur
+	if d.SnapshotEvery > 0 {
+		if d.NewThread == nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("kv: SnapshotEvery set without NewThread")
+		}
+		dur.th = d.NewThread()
+		dur.wg.Add(1)
+		go dur.snapshotLoop(s)
+	}
+	return s, st, nil
+}
+
+// WAL returns the store's write-ahead log (nil for memory-only stores).
+func (s *Store) WAL() *wal.Log {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.log
+}
+
+// RecoveryState returns what boot-time recovery found (nil for
+// memory-only stores).
+func (s *Store) RecoveryState() *wal.State {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.state
+}
+
+// Close stops the store's background work — the snapshotter and its
+// registry slot, then the WAL (flush + sync + close files). Idempotent;
+// a memory-only store's Close is a cheap no-op. Callers must drain
+// in-flight Do calls first.
+func (s *Store) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	var err error
+	s.dur.closeOnce.Do(func() {
+		close(s.dur.stop)
+		s.dur.wg.Wait()
+		if s.dur.th != nil {
+			s.dur.th.Close()
+			s.dur.th = nil
+		}
+		err = s.dur.log.Close()
+	})
+	return err
+}
+
+// durAttempt is one Do call's durability bookkeeping: which shards the
+// transaction touched, the sequence numbers pinned there, and the
+// resolved write effects. It is reset at the start of every attempt (a
+// retry re-runs from scratch).
+type durAttempt struct {
+	seen     map[int]uint64 // shard → sequencer value observed before any bump
+	assigned map[int]uint64 // shard → LSN this transaction holds (writers only)
+	ops      []wal.Op       // resolved effects (absolute values)
+}
+
+func newDurAttempt() *durAttempt {
+	return &durAttempt{
+		seen:     make(map[int]uint64, 4),
+		assigned: make(map[int]uint64, 4),
+	}
+}
+
+func (da *durAttempt) reset() {
+	for k := range da.seen {
+		delete(da.seen, k)
+	}
+	for k := range da.assigned {
+		delete(da.assigned, k)
+	}
+	da.ops = da.ops[:0]
+}
+
+// observe pins the shard's sequence number on first touch: every result
+// this transaction returns depends on at most the commits ≤ that value.
+func (da *durAttempt) observe(tx tm.Tx, d *durState, shard int) {
+	if _, ok := da.seen[shard]; ok {
+		return
+	}
+	da.seen[shard] = tx.Read(d.seqs[shard]).(*seqData).lsn
+}
+
+// effect records one resolved write, bumping the shard's sequencer on
+// the shard's first effect (LSN assignment inside the transaction is
+// what makes log order equal commit order).
+func (da *durAttempt) effect(tx tm.Tx, d *durState, shard int, op wal.Op) {
+	if _, ok := da.assigned[shard]; !ok {
+		var lsn uint64
+		tx.Update(d.seqs[shard], func(data tm.Data) {
+			sd := data.(*seqData)
+			sd.lsn++
+			lsn = sd.lsn
+		})
+		da.assigned[shard] = lsn
+	}
+	da.ops = append(da.ops, op)
+}
+
+// finish runs after the Atomic call, before results are released to the
+// caller. committed reports whether the transaction committed (false on
+// the CAS-miss abort path, whose observations are still acknowledged).
+// It appends the frame for any write effects and gates the
+// acknowledgement on the durability of every observed prefix.
+func (d *durState) finish(da *durAttempt, committed bool) error {
+	if committed && len(da.assigned) > 0 {
+		f := &wal.Frame{
+			Shards: make([]wal.ShardLSN, 0, len(da.assigned)),
+			Ops:    da.ops,
+		}
+		for shard, lsn := range da.assigned {
+			f.Shards = append(f.Shards, wal.ShardLSN{Shard: shard, LSN: lsn})
+		}
+		if err := d.log.Append(f); err != nil {
+			// The commit is live in memory but not durable: failing the
+			// request keeps "acknowledged implies recoverable" intact.
+			return fmt.Errorf("kv: wal append: %w", err)
+		}
+	}
+	for shard, lsn := range da.seen {
+		if committed {
+			if _, wrote := da.assigned[shard]; wrote {
+				continue // Append already waited past our own LSN here
+			}
+		}
+		if err := d.log.WaitStable(shard, lsn); err != nil {
+			return fmt.Errorf("kv: wal wait: %w", err)
+		}
+	}
+	return nil
+}
+
+// snapshotLoop periodically snapshots every shard through a read-only
+// transaction and lets the WAL truncate covered segments.
+func (d *durState) snapshotLoop(s *Store) {
+	defer d.wg.Done()
+	t := time.NewTicker(d.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			for shard := 0; shard < len(s.shards); shard++ {
+				select {
+				case <-d.stop:
+					return
+				default:
+				}
+				d.snapshotShard(s, shard)
+			}
+		}
+	}
+}
+
+// snapshotShard seals one shard's snapshot. Failures are recorded (the
+// log keeps growing, correctness is unaffected) and retried next tick.
+func (d *durState) snapshotShard(s *Store, shard int) {
+	var lsn uint64
+	var keys map[string][]byte
+	err := s.sys.Atomic(d.th, func(tx tm.Tx) error {
+		// A retried attempt re-reads from scratch.
+		lsn = tx.Read(d.seqs[shard]).(*seqData).lsn
+		keys = make(map[string][]byte)
+		for b := 0; b < s.buckets; b++ {
+			bd := tx.Read(s.shards[shard][b]).(*bucketData)
+			for i := range bd.entries {
+				keys[bd.entries[i].key] = append([]byte(nil), bd.entries[i].val...)
+			}
+		}
+		return nil
+	})
+	if err != nil || lsn == 0 {
+		return
+	}
+	removedBefore := d.log.Stats().RemovedFiles.Load()
+	if err := d.log.Snapshot(shard, lsn, keys); err != nil {
+		return
+	}
+	d.rec.Record(tm.Monotime(), trace.KindWALSnapshot, uint64(shard), lsn, uint64(len(keys)))
+	if removed := d.log.Stats().RemovedFiles.Load() - removedBefore; removed > 0 {
+		d.rec.Record(tm.Monotime(), trace.KindWALTruncate, uint64(shard), removed, 0)
+	}
+}
+
+// WriteDurabilityStats appends the durability plane's /statsz section.
+// No-op for memory-only stores.
+func (s *Store) WriteDurabilityStats(w io.Writer) {
+	if s.dur == nil {
+		return
+	}
+	d := s.dur
+	st := d.state
+	ls := d.log.Stats()
+	fmt.Fprintf(w, "durability: dir=%s fsync=%s\n", d.log.Dir(), d.cfg.Fsync)
+	fmt.Fprintf(w, "recovery: replayed_frames=%d dropped_frames=%d truncated_bytes=%d duration=%s\n",
+		st.ReplayedFrames, st.DroppedFrames, st.TruncatedBytes, st.Duration)
+	fmt.Fprintf(w, "wal: appended_frames=%d appended_bytes=%d fsyncs=%d snapshots=%d removed_files=%d\n",
+		ls.AppendedFrames.Load(), ls.AppendedBytes.Load(), ls.Fsyncs.Load(),
+		ls.Snapshots.Load(), ls.RemovedFiles.Load())
+}
+
+// WriteDurabilityProm appends the durability plane's Prometheus
+// metrics: recovery counters and duration histogram plus live WAL
+// counters. No-op for memory-only stores.
+func (s *Store) WriteDurabilityProm(w io.Writer) {
+	if s.dur == nil {
+		return
+	}
+	d := s.dur
+	st := d.state
+	metrics.Counter(w, "nztm_wal_replayed_frames_total", st.ReplayedFrames)
+	metrics.Counter(w, "nztm_wal_dropped_frames_total", st.DroppedFrames)
+	metrics.Counter(w, "nztm_wal_truncated_bytes_total", st.TruncatedBytes)
+	d.recovery.WriteProm(w, "nztm_wal_recovery_seconds")
+	ls := d.log.Stats()
+	metrics.Counter(w, "nztm_wal_appended_frames_total", ls.AppendedFrames.Load())
+	metrics.Counter(w, "nztm_wal_appended_bytes_total", ls.AppendedBytes.Load())
+	metrics.Counter(w, "nztm_wal_fsyncs_total", ls.Fsyncs.Load())
+	metrics.Counter(w, "nztm_wal_snapshots_total", ls.Snapshots.Load())
+	metrics.Counter(w, "nztm_wal_removed_files_total", ls.RemovedFiles.Load())
+}

@@ -1,0 +1,271 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"nztm/internal/wal"
+)
+
+// newDurableStore opens a durable store over a fresh nzstm backend.
+func newDurableStore(t *testing.T, dir string, shards, buckets int, d Durability) (*Store, *Backend) {
+	t.Helper()
+	b, err := OpenBackend("nzstm", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Dir = dir
+	if d.NewThread == nil {
+		d.NewThread = b.NewThread
+	}
+	s, _, err := NewDurable(b.Sys, shards, buckets, d)
+	if err != nil {
+		t.Fatalf("NewDurable: %v", err)
+	}
+	return s, b
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, b := newDurableStore(t, dir, 4, 2, Durability{Fsync: wal.FsyncNever})
+	th := b.NewThread()
+	budget := Budget{MaxAttempts: 100}
+	if _, err := s.Put(th, "alpha", []byte("1"), budget); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(th, "beta", []byte("2"), budget); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CAS(th, "alpha", []byte("1"), []byte("3"), budget); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete(th, "beta", budget); err != nil {
+		t.Fatal(err)
+	}
+	// Multi-key batch: lands in several shards as one frame.
+	if _, err := s.Do(th, []Op{
+		{Kind: OpPut, Key: "gamma", Value: []byte("4")},
+		{Kind: OpPut, Key: "delta", Value: []byte("5")},
+		{Kind: OpGet, Key: "alpha"},
+	}, budget); err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: the recovered store must serve the exact committed state.
+	s2, b2 := newDurableStore(t, dir, 4, 2, Durability{Fsync: wal.FsyncNever})
+	defer s2.Close()
+	th2 := b2.NewThread()
+	defer th2.Close()
+	want := map[string]string{"alpha": "3", "gamma": "4", "delta": "5"}
+	for k, v := range want {
+		r, err := s2.Get(th2, k, budget)
+		if err != nil || !r.Found || !bytes.Equal(r.Value, []byte(v)) {
+			t.Fatalf("Get(%s) = %+v, %v; want %q", k, r, err, v)
+		}
+	}
+	if r, _ := s2.Get(th2, "beta", budget); r.Found {
+		t.Fatal("deleted key survived recovery")
+	}
+	// The sequencer must resume past the recovered LSNs: new writes
+	// after recovery must themselves recover.
+	if _, err := s2.Put(th2, "epsilon", []byte("6"), budget); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	st, err := wal.Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range st.Keys {
+		total += len(m)
+	}
+	if total != 4 {
+		t.Fatalf("recovered %d keys, want 4 (%v)", total, st.Keys)
+	}
+}
+
+func TestDurableGeometryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newDurableStore(t, dir, 4, 2, Durability{Fsync: wal.FsyncNever})
+	s.Close()
+	b, err := OpenBackend("nzstm", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewDurable(b.Sys, 8, 2, Durability{Dir: dir, Fsync: wal.FsyncNever}); err == nil {
+		t.Fatal("NewDurable accepted a shard-count change")
+	}
+}
+
+func TestDurableCASMissDoesNotLog(t *testing.T) {
+	dir := t.TempDir()
+	s, b := newDurableStore(t, dir, 2, 2, Durability{Fsync: wal.FsyncNever})
+	th := b.NewThread()
+	defer th.Close()
+	budget := Budget{MaxAttempts: 100}
+	if _, err := s.Put(th, "k", []byte("v"), budget); err != nil {
+		t.Fatal(err)
+	}
+	before := s.WAL().Stats().AppendedFrames.Load()
+	// Single-op CAS miss: commits, but resolves to no effect — no frame.
+	r, err := s.CAS(th, "k", []byte("wrong"), []byte("x"), budget)
+	if err != nil || r.Found {
+		t.Fatalf("CAS = %+v, %v", r, err)
+	}
+	// Multi-op batch aborted by a CAS miss: no effects at all.
+	rs, err := s.Do(th, []Op{
+		{Kind: OpCAS, Key: "k", Expect: []byte("wrong"), Value: []byte("x")},
+		{Kind: OpPut, Key: "other", Value: []byte("y")},
+	}, budget)
+	if err != nil || rs[0].Found {
+		t.Fatalf("batch = %+v, %v", rs, err)
+	}
+	if got := s.WAL().Stats().AppendedFrames.Load(); got != before {
+		t.Fatalf("CAS misses appended %d frames", got-before)
+	}
+	s.Close()
+	st, err := wal.Recover(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Keys[int(fnv1a("other")%2)]) != 0 && st.Keys[int(fnv1a("other")%2)]["other"] != nil {
+		t.Fatal("aborted batch effect leaked into the log")
+	}
+}
+
+func TestDurableSnapshotter(t *testing.T) {
+	dir := t.TempDir()
+	s, b := newDurableStore(t, dir, 2, 2, Durability{
+		Fsync:         wal.FsyncNever,
+		SnapshotEvery: 10 * time.Millisecond,
+	})
+	th := b.NewThread()
+	budget := Budget{MaxAttempts: 100}
+	for i := 0; i < 50; i++ {
+		if _, err := s.Put(th, fmt.Sprintf("k%d", i), []byte("v"), budget); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.WAL().Stats().Snapshots.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.WAL().Stats().Snapshots.Load() == 0 {
+		t.Fatal("snapshotter never sealed a snapshot")
+	}
+	th.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot + remaining log must reproduce all 50 keys.
+	st, err := wal.Recover(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range st.Keys {
+		total += len(m)
+	}
+	if total != 50 {
+		t.Fatalf("recovered %d keys, want 50", total)
+	}
+}
+
+func TestDurableConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	s, b := newDurableStore(t, dir, 4, 2, Durability{
+		Fsync:         wal.FsyncInterval,
+		FsyncInterval: 5 * time.Millisecond,
+		SnapshotEvery: 20 * time.Millisecond,
+	})
+	const writers, per = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := b.NewThread()
+			defer th.Close()
+			budget := Budget{MaxAttempts: 1000}
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i%10)
+				if _, err := s.Put(th, key, []byte(fmt.Sprintf("%d", i)), budget); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if i%7 == 0 {
+					if _, err := s.Get(th, key, budget); err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := wal.Recover(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each writer's final values must all be present.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < 10; i++ {
+			key := fmt.Sprintf("w%d-%d", w, i)
+			found := false
+			for _, m := range st.Keys {
+				if _, ok := m[key]; ok {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("key %s lost", key)
+			}
+		}
+	}
+}
+
+func TestStoreCloseIdempotentAndLeakFree(t *testing.T) {
+	g0 := runtime.NumGoroutine()
+	dir := t.TempDir()
+	s, b := newDurableStore(t, dir, 2, 2, Durability{
+		Fsync:         wal.FsyncInterval,
+		FsyncInterval: 5 * time.Millisecond,
+		SnapshotEvery: 10 * time.Millisecond,
+	})
+	th := b.NewThread()
+	if _, err := s.Put(th, "k", []byte("v"), Budget{MaxAttempts: 100}); err != nil {
+		t.Fatal(err)
+	}
+	th.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Memory-only stores are no-ops.
+	mem, _ := newStore(t, 1, 1, 1)
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > g0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > g0 {
+		t.Fatalf("goroutines leaked: %d > %d", g, g0)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"nztm/internal/tm"
+	"nztm/internal/wal"
 )
 
 // OpKind selects a key-value operation.
@@ -136,11 +137,13 @@ type Store struct {
 	shards  [][]tm.Object // shards[s][b] is one transactional bucket
 	buckets int           // buckets per shard
 	metrics *Metrics      // nil until EnableMetrics; nil is fully inert
+	dur     *durState     // nil for memory-only stores; nil is fully inert
 }
 
-// New creates a store with shards × bucketsPerShard transactional bucket
-// objects on sys. Geometry only affects conflict granularity, never
-// correctness; see DESIGN.md ("Key-to-object mapping").
+// New creates a memory-only store with shards × bucketsPerShard
+// transactional bucket objects on sys. Geometry only affects conflict
+// granularity, never correctness; see DESIGN.md ("Key-to-object
+// mapping"). For crash-durable stores see NewDurable.
 func New(sys tm.System, shards, bucketsPerShard int) *Store {
 	if shards <= 0 {
 		shards = 1
@@ -148,12 +151,36 @@ func New(sys tm.System, shards, bucketsPerShard int) *Store {
 	if bucketsPerShard <= 0 {
 		bucketsPerShard = 1
 	}
+	return buildStore(sys, shards, bucketsPerShard, nil)
+}
+
+// buildStore builds the bucket matrix, loading any recovered per-shard
+// state into the bucket payloads BEFORE the objects are published to
+// the TM system — recovery is a construction-time event, not a stream
+// of transactions.
+func buildStore(sys tm.System, shards, bucketsPerShard int, recovered []map[string][]byte) *Store {
 	s := &Store{sys: sys, buckets: bucketsPerShard}
+	data := make([][]*bucketData, shards)
+	for i := range data {
+		data[i] = make([]*bucketData, bucketsPerShard)
+		for j := range data[i] {
+			data[i][j] = &bucketData{}
+		}
+	}
+	for _, m := range recovered {
+		for k, v := range m {
+			// Placement is by hash, the same rule lookups use; the
+			// frame's recorded shard always agrees because writers
+			// derive it from the same hash.
+			h := fnv1a(k)
+			data[h%uint64(shards)][(h>>32)%uint64(bucketsPerShard)].put(k, v)
+		}
+	}
 	s.shards = make([][]tm.Object, shards)
 	for i := range s.shards {
 		s.shards[i] = make([]tm.Object, bucketsPerShard)
 		for j := range s.shards[i] {
-			s.shards[i][j] = sys.NewObject(&bucketData{})
+			s.shards[i][j] = sys.NewObject(data[i][j])
 		}
 	}
 	return s
@@ -186,10 +213,16 @@ func fnv1a(key string) uint64 {
 // come from disjoint hash bits so shard count and bucket count do not have
 // to be coprime to spread keys evenly.
 func (s *Store) object(key string) tm.Object {
+	o, _ := s.locate(key)
+	return o
+}
+
+// locate returns key's bucket object and shard index.
+func (s *Store) locate(key string) (tm.Object, int) {
 	h := fnv1a(key)
 	shard := h % uint64(len(s.shards))
 	bucket := (h >> 32) % uint64(s.buckets)
-	return s.shards[shard][bucket]
+	return s.shards[shard][bucket], int(shard)
 }
 
 // Do executes ops as one transaction on th, retrying aborted attempts
@@ -210,6 +243,10 @@ func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 	var start time.Time
 	if m != nil {
 		start = time.Now()
+	}
+	var da *durAttempt // durability bookkeeping; nil when memory-only
+	if s.dur != nil {
+		da = newDurAttempt()
 	}
 	err := s.sys.Atomic(th, func(tx tm.Tx) error {
 		attempt++
@@ -234,30 +271,46 @@ func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 		for i := range results {
 			results[i] = Result{}
 		}
+		if da != nil {
+			da.reset()
+		}
 		for i := range ops {
 			op := &ops[i]
+			obj, shard := s.locate(op.Key)
+			if da != nil {
+				// Pin the shard's commit sequence number before touching
+				// its state: the ack will wait for that prefix's
+				// durability, and writers bump from exactly this value.
+				da.observe(tx, s.dur, shard)
+			}
 			switch op.Kind {
 			case OpGet:
-				d := tx.Read(s.object(op.Key)).(*bucketData)
+				d := tx.Read(obj).(*bucketData)
 				if v, ok := d.get(op.Key); ok {
 					// Copy out: tx.Read data must not be retained past
 					// the transaction.
 					results[i] = Result{Found: true, Value: append([]byte(nil), v...)}
 				}
 			case OpPut:
-				tx.Update(s.object(op.Key), func(d tm.Data) {
+				tx.Update(obj, func(d tm.Data) {
 					d.(*bucketData).put(op.Key, op.Value)
 				})
 				results[i].Found = true
+				if da != nil {
+					da.effect(tx, s.dur, shard, wal.Op{Shard: shard, Key: op.Key, Val: op.Value})
+				}
 			case OpDelete:
 				existed := false
-				tx.Update(s.object(op.Key), func(d tm.Data) {
+				tx.Update(obj, func(d tm.Data) {
 					existed = d.(*bucketData).del(op.Key)
 				})
 				results[i].Found = existed
+				if da != nil && existed {
+					da.effect(tx, s.dur, shard, wal.Op{Shard: shard, Key: op.Key, Del: true})
+				}
 			case OpCAS:
 				swapped := false
-				tx.Update(s.object(op.Key), func(d tm.Data) {
+				tx.Update(obj, func(d tm.Data) {
 					b := d.(*bucketData)
 					cur, found := b.get(op.Key)
 					if found != (op.Expect != nil) || (found && !bytes.Equal(cur, op.Expect)) {
@@ -272,6 +325,14 @@ func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 					swapped = true
 				})
 				results[i].Found = swapped
+				if da != nil && swapped {
+					// Log the CAS's resolved effect as an absolute write.
+					if op.Value == nil {
+						da.effect(tx, s.dur, shard, wal.Op{Shard: shard, Key: op.Key, Del: true})
+					} else {
+						da.effect(tx, s.dur, shard, wal.Op{Shard: shard, Key: op.Key, Val: op.Value})
+					}
+				}
 				if !swapped && len(ops) > 1 {
 					return errCASMiss // aborts the attempt: batch is all-or-nothing
 				}
@@ -281,6 +342,7 @@ func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 		}
 		return nil
 	})
+	committed := err == nil
 	if errors.Is(err, errCASMiss) {
 		// The transaction's effects were discarded; the results slice
 		// (set before the abort) tells the caller which CAS missed.
@@ -288,6 +350,15 @@ func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if da != nil {
+		// Durability barrier: log the committed effects (waiting until
+		// they are persisted per policy in every shard they touch) and
+		// gate every observed read prefix the same way, so an
+		// acknowledged result never depends on a commit recovery drops.
+		if err := s.dur.finish(da, committed); err != nil {
+			return nil, err
+		}
 	}
 	if m != nil {
 		m.CommitLatency.Observe(time.Since(start))

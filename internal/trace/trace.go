@@ -57,6 +57,9 @@ const (
 	KindFaultReset               // fault plane reset a connection mid-write
 	KindFaultTornWrite           // fault plane split a write; A=bytes delivered first
 	KindFaultSlowRead            // fault plane delayed a read; A=ns
+	KindWALRecover               // durability plane recovered a shard; Obj=shard, A=replayed frames, B=truncated bytes
+	KindWALSnapshot              // durability plane sealed a snapshot; Obj=shard, A=snapshot LSN, B=keys
+	KindWALTruncate              // durability plane removed covered files; Obj=shard, A=files removed
 	kindCount
 )
 
@@ -97,6 +100,12 @@ func (k Kind) String() string {
 		return "fault-torn-write"
 	case KindFaultSlowRead:
 		return "fault-slow-read"
+	case KindWALRecover:
+		return "wal-recover"
+	case KindWALSnapshot:
+		return "wal-snapshot"
+	case KindWALTruncate:
+		return "wal-truncate"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -164,6 +173,10 @@ type Recorder struct {
 // PlaneSource is the reserved source ID for events that belong to no TM
 // thread (the fault plane's connection-layer injections).
 const PlaneSource = -1
+
+// WALSource is the reserved source ID for durability-plane events
+// (recovery, snapshots, truncation), which run outside any TM thread.
+const WALSource = -2
 
 // Source returns the recorder's source ID (a thread slot, or PlaneSource).
 func (r *Recorder) Source() int { return r.source }
@@ -362,6 +375,9 @@ func (f *FlightRecorder) Dump(w io.Writer) {
 		name := fmt.Sprintf("thread %d", log.Source)
 		if log.Source == PlaneSource {
 			name = "fault plane (connection layer)"
+		}
+		if log.Source == WALSource {
+			name = "durability plane (wal)"
 		}
 		fmt.Fprintf(w, "--- %s: %d recorded, last %d retained ---\n",
 			name, log.Recorded, len(log.Events))

@@ -1,0 +1,246 @@
+// Package wal is the durability plane for the sharded KV store: a
+// per-shard write-ahead log of checksummed frames, periodic full-shard
+// snapshots, and a recovery path that rebuilds committed state from the
+// latest valid snapshot plus the surviving log prefix.
+//
+// One frame records the resolved effects of one committed transaction
+// (absolute values, post-CAS resolution) together with the per-shard
+// commit sequence numbers (LSNs) the transaction was assigned inside the
+// transaction itself. A cross-shard transaction's frame is duplicated
+// into the log of every shard it wrote, and the frame's identity is its
+// exact shard-LSN vector: recovery only applies a frame when every shard
+// named in the vector either retains the frame at that LSN or has a
+// snapshot covering it, so a crash that tears the frame out of one log
+// drops the whole transaction instead of half of it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Frame container layout, preceding the payload:
+//
+//	offset 0: uint32 LE  payload length
+//	offset 4: uint32 LE  CRC32-C of the payload
+//	offset 8: payload (frameVersion, shard-LSN vector, ops)
+const frameHeaderSize = 8
+
+// frameVersion is the payload format version byte.
+const frameVersion = 1
+
+// maxFramePayload bounds a single frame (and snapshot record) so a
+// corrupt length prefix cannot drive recovery into a giant allocation.
+const maxFramePayload = 1 << 26 // 64 MiB
+
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode failure classes. Recovery treats both as "stop cleanly here",
+// but distinguishes them for metrics and for tail repair: a torn frame
+// at the end of a log is the expected residue of a crash mid-write and
+// is truncated away on open; a corrupt frame (bad checksum, malformed
+// payload) is preserved on disk and merely ignored.
+var (
+	// ErrTorn reports a frame whose bytes end before the declared
+	// length: the tail of a log cut off mid-write.
+	ErrTorn = errors.New("wal: torn frame")
+	// ErrCorrupt reports a frame whose bytes are complete but wrong:
+	// checksum mismatch, unknown version, or a malformed payload.
+	ErrCorrupt = errors.New("wal: corrupt frame")
+)
+
+// Op is one resolved key effect inside a frame. Values are absolute
+// (the state after the transaction), never deltas, so replay is
+// idempotent and a dropped earlier frame cannot corrupt a later one.
+type Op struct {
+	Shard int    // shard the key lives in (recovery needs no hash)
+	Del   bool   // true: delete Key; false: set Key = Val
+	Key   string
+	Val   []byte
+}
+
+// ShardLSN is one entry of a frame's identity vector: the commit
+// sequence number the transaction holds in one shard.
+type ShardLSN struct {
+	Shard int
+	LSN   uint64
+}
+
+// Frame is the durable record of one committed transaction.
+type Frame struct {
+	// Shards is the identity vector: every shard the transaction wrote,
+	// with the LSN it was assigned there. Sorted by shard on encode.
+	Shards []ShardLSN
+	// Ops are the resolved write effects, each tagged with its shard.
+	Ops []Op
+}
+
+// LSNFor returns the frame's LSN in shard s, or false if s is not in
+// the vector.
+func (f *Frame) LSNFor(s int) (uint64, bool) {
+	for _, sl := range f.Shards {
+		if sl.Shard == s {
+			return sl.LSN, true
+		}
+	}
+	return 0, false
+}
+
+// vectorKey is the frame's identity: a canonical encoding of the
+// shard-LSN vector. Two log copies of the same transaction compare
+// equal; a stale frame left over from a dropped, re-used LSN does not.
+func (f *Frame) vectorKey() string {
+	var buf [binary.MaxVarintLen64 * 2 * 8]byte
+	b := buf[:0]
+	for _, sl := range f.Shards {
+		b = binary.AppendUvarint(b, uint64(sl.Shard))
+		b = binary.AppendUvarint(b, sl.LSN)
+	}
+	return string(b)
+}
+
+// appendFrame appends the encoded container (header + payload) to dst.
+func appendFrame(dst []byte, f *Frame) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	dst = append(dst, frameVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Shards)))
+	for _, sl := range f.Shards {
+		dst = binary.AppendUvarint(dst, uint64(sl.Shard))
+		dst = binary.AppendUvarint(dst, sl.LSN)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(f.Ops)))
+	for i := range f.Ops {
+		op := &f.Ops[i]
+		kind := byte(0)
+		if op.Del {
+			kind = 1
+		}
+		dst = append(dst, kind)
+		dst = binary.AppendUvarint(dst, uint64(op.Shard))
+		dst = binary.AppendUvarint(dst, uint64(len(op.Key)))
+		dst = append(dst, op.Key...)
+		if !op.Del {
+			dst = binary.AppendUvarint(dst, uint64(len(op.Val)))
+			dst = append(dst, op.Val...)
+		}
+	}
+	payload := dst[start+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// decodeFrame decodes one frame from the head of b, returning the frame
+// and the total container size consumed. Errors wrap ErrTorn or
+// ErrCorrupt.
+func decodeFrame(b []byte) (*Frame, int, error) {
+	if len(b) < frameHeaderSize {
+		return nil, 0, fmt.Errorf("%w: %d header bytes", ErrTorn, len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > maxFramePayload {
+		return nil, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
+	}
+	if uint32(len(b)-frameHeaderSize) < n {
+		return nil, 0, fmt.Errorf("%w: %d of %d payload bytes", ErrTorn, len(b)-frameHeaderSize, n)
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int(n)]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return nil, 0, fmt.Errorf("%w: checksum %08x != %08x", ErrCorrupt, got, want)
+	}
+	f, err := decodePayload(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, frameHeaderSize + int(n), nil
+}
+
+// decodePayload decodes a checksummed-OK payload. Any structural
+// problem is ErrCorrupt: the checksum matched, so the writer was buggy
+// or the version is from the future.
+func decodePayload(p []byte) (*Frame, error) {
+	if len(p) < 1 || p[0] != frameVersion {
+		return nil, fmt.Errorf("%w: payload version", ErrCorrupt)
+	}
+	p = p[1:]
+	nShards, p, err := uvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if nShards > uint64(len(p)) { // each entry needs ≥ 2 bytes
+		return nil, fmt.Errorf("%w: %d vector entries", ErrCorrupt, nShards)
+	}
+	f := &Frame{Shards: make([]ShardLSN, 0, nShards)}
+	for i := uint64(0); i < nShards; i++ {
+		var shard, lsn uint64
+		if shard, p, err = uvarint(p); err != nil {
+			return nil, err
+		}
+		if lsn, p, err = uvarint(p); err != nil {
+			return nil, err
+		}
+		f.Shards = append(f.Shards, ShardLSN{Shard: int(shard), LSN: lsn})
+	}
+	nOps, p, err := uvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	if nOps > uint64(len(p)) {
+		return nil, fmt.Errorf("%w: %d ops", ErrCorrupt, nOps)
+	}
+	f.Ops = make([]Op, 0, nOps)
+	for i := uint64(0); i < nOps; i++ {
+		if len(p) < 1 {
+			return nil, fmt.Errorf("%w: op kind", ErrCorrupt)
+		}
+		kind := p[0]
+		if kind > 1 {
+			return nil, fmt.Errorf("%w: op kind %d", ErrCorrupt, kind)
+		}
+		p = p[1:]
+		var shard uint64
+		if shard, p, err = uvarint(p); err != nil {
+			return nil, err
+		}
+		var key []byte
+		if key, p, err = lenBytes(p); err != nil {
+			return nil, err
+		}
+		op := Op{Shard: int(shard), Del: kind == 1, Key: string(key)}
+		if kind == 0 {
+			var val []byte
+			if val, p, err = lenBytes(p); err != nil {
+				return nil, err
+			}
+			op.Val = append([]byte(nil), val...)
+		}
+		f.Ops = append(f.Ops, op)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
+	}
+	return f, nil
+}
+
+func uvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, p[n:], nil
+}
+
+func lenBytes(p []byte) ([]byte, []byte, error) {
+	n, p, err := uvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(p)) {
+		return nil, nil, fmt.Errorf("%w: %d-byte field exceeds payload", ErrCorrupt, n)
+	}
+	return p[:n], p[n:], nil
+}

@@ -1,0 +1,91 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALFrame throws arbitrary bytes at the frame decoder: it must
+// never panic, and everything it accepts must re-encode to the exact
+// bytes it consumed (round-trip fidelity is what makes replay safe).
+func FuzzWALFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendFrame(nil, &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 1}},
+		Ops:    []Op{{Shard: 0, Key: "k", Val: []byte("v")}},
+	}))
+	f.Add(appendFrame(nil, &Frame{
+		Shards: []ShardLSN{{Shard: 1, LSN: 9}, {Shard: 3, LSN: 2}},
+		Ops:    []Op{{Shard: 1, Key: "a", Del: true}, {Shard: 3, Key: "", Val: nil}},
+	}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := decodeFrame(b)
+		if err != nil {
+			if !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		re := appendFrame(nil, fr)
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode mismatch:\n in: %x\nout: %x", b[:n], re)
+		}
+	})
+}
+
+// FuzzRecoverLog plants arbitrary bytes as a shard's log segment (and a
+// second mutation of a valid log) and recovers: recovery must never
+// panic, never error on garbage (it stops cleanly), and never hand back
+// a record that a checksummed frame did not prove.
+func FuzzRecoverLog(f *testing.F) {
+	valid := appendFrame(nil, &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 1}},
+		Ops:    []Op{{Shard: 0, Key: "k", Val: []byte("v")}},
+	})
+	valid = appendFrame(valid, &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 2}},
+		Ops:    []Op{{Shard: 0, Key: "k", Del: true}},
+	})
+	f.Add([]byte{}, uint16(0))
+	f.Add(valid, uint16(3))
+	f.Add(valid[:len(valid)-4], uint16(0))
+	f.Fuzz(func(t *testing.T, b []byte, flip uint16) {
+		dir := t.TempDir()
+		mut := append([]byte(nil), b...)
+		if len(mut) > 0 {
+			mut[int(flip)%len(mut)] ^= 1 << (flip % 8)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segmentName(0, 1)), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Recover(dir, 1)
+		if err != nil {
+			t.Fatalf("Recover must stop cleanly, got: %v", err)
+		}
+		// Never return corrupt records: every recovered value must be
+		// provable from a checksummed frame retained in the file — an
+		// op that actually wrote that exact (key, value) pair.
+		frames, _ := readShardLog(&State{repairs: make([]repair, 1)}, 0,
+			[]segment{{base: 1, path: filepath.Join(dir, segmentName(0, 1))}})
+		for k, v := range st.Keys[0] {
+			proved := false
+			for _, fa := range frames {
+				for i := range fa.f.Ops {
+					op := &fa.f.Ops[i]
+					if op.Shard == 0 && !op.Del && op.Key == k && bytes.Equal(op.Val, v) {
+						proved = true
+					}
+				}
+			}
+			if !proved {
+				t.Fatalf("recovered %q=%q not provable from retained frames", k, v)
+			}
+		}
+	})
+}

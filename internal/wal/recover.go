@@ -1,0 +1,379 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// manifestName seals the store geometry into the data directory.
+const manifestName = "MANIFEST"
+
+func manifestContents(shards int) string {
+	return fmt.Sprintf("nztm-wal v1 shards %d\n", shards)
+}
+
+// State is the outcome of recovery: the committed state the directory
+// proves, plus counters for observability and a private repair plan
+// that Open applies before appending resumes.
+type State struct {
+	// Shards is the store geometry (from MANIFEST / the caller).
+	Shards int
+	// Keys is the recovered state: per shard, key → value.
+	Keys []map[string][]byte
+	// NextLSN is, per shard, the sequence number the next commit must
+	// use: one past the last physically retained frame (even if that
+	// frame was dropped as unacknowledged — re-using its LSN would
+	// collide with the stale on-disk copy) and past the snapshot LSN.
+	NextLSN []uint64
+	// SnapshotLSN is, per shard, the LSN of the snapshot recovery
+	// loaded (0 = none).
+	SnapshotLSN []uint64
+	// ReplayedFrames counts frame applications (per shard copy).
+	ReplayedFrames uint64
+	// DroppedFrames counts frames discarded as unacknowledged: their
+	// identity vector was not fully present across the surviving logs.
+	DroppedFrames uint64
+	// TruncatedBytes counts log bytes abandoned at torn or corrupt
+	// frames (including whole segments past a mid-log corruption).
+	TruncatedBytes uint64
+	// Duration is how long recovery took.
+	Duration time.Duration
+
+	repairs []repair // per shard: what Open must do before appending
+	remove  []string // stray files (temp snapshots) to delete on Open
+}
+
+// repair is one shard's disk cleanup: truncate the stop-point segment
+// to its valid prefix and delete segments past it, so the appender
+// resumes onto a clean prefix.
+type repair struct {
+	truncPath string // "" = nothing to truncate
+	truncSize int64
+	removes   []string
+	liveSegs  []segment // segments that survive, ascending base
+}
+
+// frameAt is one physically retained frame of a shard's log.
+type frameAt struct {
+	lsn uint64
+	f   *Frame
+}
+
+// Recover reads the durable state out of dir without modifying any
+// file (recovering twice must yield identical state). shards must
+// match the MANIFEST when one exists. A missing or empty directory
+// recovers to an empty store.
+func Recover(dir string, shards int) (*State, error) {
+	start := time.Now()
+	if shards <= 0 {
+		return nil, errors.New("wal: recover with no shards")
+	}
+	st := &State{
+		Shards:      shards,
+		Keys:        make([]map[string][]byte, shards),
+		NextLSN:     make([]uint64, shards),
+		SnapshotLSN: make([]uint64, shards),
+		repairs:     make([]repair, shards),
+	}
+	for s := range st.Keys {
+		st.Keys[s] = make(map[string][]byte)
+		st.NextLSN[s] = 1
+	}
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		st.Duration = time.Since(start)
+		return st, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if mf, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+		if string(mf) != manifestContents(shards) {
+			return nil, fmt.Errorf("wal: MANIFEST %q does not match %d shards", strings.TrimSpace(string(mf)), shards)
+		}
+	}
+
+	// Index the directory: per shard, snapshots (descending LSN) and
+	// segments (ascending base LSN).
+	snaps := make([][]segment, shards) // path + LSN, reusing segment
+	segs := make([][]segment, shards)
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "tmp-") {
+			st.remove = append(st.remove, filepath.Join(dir, name))
+			continue
+		}
+		if sh, lsn, ok := parseFileName(name, "wal-", ".log"); ok && sh < shards {
+			segs[sh] = append(segs[sh], segment{base: lsn, path: filepath.Join(dir, name)})
+		} else if sh, lsn, ok := parseFileName(name, "snap-", ".snap"); ok && sh < shards {
+			snaps[sh] = append(snaps[sh], segment{base: lsn, path: filepath.Join(dir, name)})
+		}
+	}
+
+	frames := make([][]frameAt, shards)
+	presence := make([]map[uint64]string, shards)
+	for s := 0; s < shards; s++ {
+		sort.Slice(snaps[s], func(i, j int) bool { return snaps[s][i].base > snaps[s][j].base })
+		sort.Slice(segs[s], func(i, j int) bool { return segs[s][i].base < segs[s][j].base })
+
+		// Latest snapshot that decodes cleanly wins; older ones are a
+		// fallback against a defective latest file.
+		for _, sn := range snaps[s] {
+			b, err := os.ReadFile(sn.path)
+			if err != nil {
+				continue
+			}
+			sh, lsn, keys, err := decodeSnapshot(b)
+			if err != nil || sh != s || lsn != sn.base {
+				continue
+			}
+			st.SnapshotLSN[s] = lsn
+			st.Keys[s] = keys
+			break
+		}
+
+		frames[s], presence[s] = readShardLog(st, s, segs[s])
+		next := st.SnapshotLSN[s] + 1
+		if n := len(frames[s]); n > 0 {
+			if last := frames[s][n-1].lsn + 1; last > next {
+				next = last
+			}
+		}
+		st.NextLSN[s] = next
+	}
+
+	// Apply. A frame is valid — acknowledged, or at least fully
+	// persisted — iff every (shard, LSN) of its identity vector is
+	// either covered by that shard's snapshot or physically present in
+	// that shard's surviving log with the same vector. Ops are applied
+	// from their own shard's stream, so each op applies exactly once
+	// and per-shard LSN order is commit order.
+	for s := 0; s < shards; s++ {
+		for _, fa := range frames[s] {
+			key := fa.f.vectorKey()
+			valid := true
+			for _, sl := range fa.f.Shards {
+				if sl.Shard < 0 || sl.Shard >= shards {
+					valid = false
+					break
+				}
+				if sl.LSN <= st.SnapshotLSN[sl.Shard] {
+					continue // covered: the snapshot only sealed once this frame was stable
+				}
+				if presence[sl.Shard][sl.LSN] != key {
+					valid = false
+					break
+				}
+			}
+			if !valid {
+				st.DroppedFrames++
+				continue
+			}
+			if fa.lsn <= st.SnapshotLSN[s] {
+				continue // covered leftovers from an interrupted truncation
+			}
+			for i := range fa.f.Ops {
+				op := &fa.f.Ops[i]
+				if op.Shard != s {
+					continue
+				}
+				if op.Del {
+					delete(st.Keys[s], op.Key)
+				} else {
+					st.Keys[s][op.Key] = op.Val
+				}
+			}
+			st.ReplayedFrames++
+		}
+	}
+	st.Duration = time.Since(start)
+	return st, nil
+}
+
+// readShardLog walks one shard's segments in base order, decoding
+// frames until the first torn or corrupt frame, and records the repair
+// plan (tail truncation + removal of unreachable later segments). The
+// returned presence map carries each retained LSN's identity vector.
+func readShardLog(st *State, s int, segs []segment) ([]frameAt, map[uint64]string) {
+	var frames []frameAt
+	presence := make(map[uint64]string)
+	rep := &st.repairs[s]
+	stop := func(segIdx int, validOff int64, fileSize int64) {
+		rep.truncPath = segs[segIdx].path
+		rep.truncSize = validOff
+		st.TruncatedBytes += uint64(fileSize - validOff)
+		for _, later := range segs[segIdx+1:] {
+			if fi, err := os.Stat(later.path); err == nil {
+				st.TruncatedBytes += uint64(fi.Size())
+			}
+			rep.removes = append(rep.removes, later.path)
+		}
+		rep.liveSegs = append([]segment(nil), segs[:segIdx+1]...)
+	}
+	var expected uint64
+	for i, seg := range segs {
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			stop(i, 0, 0)
+			return frames, presence
+		}
+		if i == 0 {
+			expected = seg.base
+		} else if seg.base != expected {
+			// A segment is missing from the middle: nothing past the
+			// gap is a provable prefix.
+			stop(i, 0, int64(len(b)))
+			return frames, presence
+		}
+		off := 0
+		for off < len(b) {
+			f, n, err := decodeFrame(b[off:])
+			if err != nil {
+				stop(i, int64(off), int64(len(b)))
+				return frames, presence
+			}
+			lsn, ok := f.LSNFor(s)
+			if !ok || lsn != expected {
+				// The checksum passed but the frame is not this log's
+				// next LSN: writer bug or foreign file. Stop cleanly.
+				stop(i, int64(off), int64(len(b)))
+				return frames, presence
+			}
+			frames = append(frames, frameAt{lsn: lsn, f: f})
+			presence[lsn] = f.vectorKey()
+			expected++
+			off += n
+		}
+	}
+	rep.liveSegs = append([]segment(nil), segs...)
+	return frames, presence
+}
+
+// parseFileName parses prefix + 3-digit shard + "-" + 16-hex LSN + ext.
+func parseFileName(name, prefix, ext string) (shard int, lsn uint64, ok bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ext) {
+		return 0, 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(ext)]
+	dash := strings.IndexByte(mid, '-')
+	if dash < 0 {
+		return 0, 0, false
+	}
+	sh, err := strconv.Atoi(mid[:dash])
+	if err != nil || sh < 0 {
+		return 0, 0, false
+	}
+	l, err := strconv.ParseUint(mid[dash+1:], 16, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return sh, l, true
+}
+
+// Open recovers dir, repairs it (truncates torn tails, deletes
+// unreachable segments and stray temp files), and returns a Log
+// positioned to append at each shard's NextLSN, plus the recovered
+// state. The caller loads State.Keys into the store before serving.
+func Open(cfg Config) (*Log, *State, error) {
+	if cfg.Shards <= 0 {
+		return nil, nil, errors.New("wal: open with no shards")
+	}
+	if cfg.FsyncInterval <= 0 {
+		cfg.FsyncInterval = 50 * time.Millisecond
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	mfPath := filepath.Join(cfg.Dir, manifestName)
+	if mf, err := os.ReadFile(mfPath); err == nil {
+		if string(mf) != manifestContents(cfg.Shards) {
+			return nil, nil, fmt.Errorf("wal: MANIFEST %q does not match %d shards", strings.TrimSpace(string(mf)), cfg.Shards)
+		}
+	} else if err := os.WriteFile(mfPath, []byte(manifestContents(cfg.Shards)), 0o644); err != nil {
+		return nil, nil, err
+	}
+
+	st, err := Recover(cfg.Dir, cfg.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Apply the repair plan: future appends must land on a clean,
+	// provable prefix, not interleave with garbage.
+	for _, p := range st.remove {
+		os.Remove(p)
+	}
+	for s := range st.repairs {
+		rep := &st.repairs[s]
+		if rep.truncPath != "" {
+			if err := os.Truncate(rep.truncPath, rep.truncSize); err != nil {
+				return nil, nil, err
+			}
+			if rep.truncSize == 0 {
+				// A zero-length segment is indistinguishable from a
+				// fresh one; drop it so the live list stays tidy.
+				if len(rep.liveSegs) > 0 && rep.liveSegs[len(rep.liveSegs)-1].path == rep.truncPath {
+					os.Remove(rep.truncPath)
+					rep.liveSegs = rep.liveSegs[:len(rep.liveSegs)-1]
+				}
+			}
+		}
+		for _, p := range rep.removes {
+			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return nil, nil, err
+			}
+		}
+	}
+	syncDir(cfg.Dir)
+
+	l := &Log{cfg: cfg, dir: cfg.Dir, stop: make(chan struct{})}
+	l.shards = make([]*shardLog, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		sh := &shardLog{
+			idx:       s,
+			pending:   make(map[uint64][]byte),
+			stableSet: make(map[uint64]struct{}),
+			written:   st.NextLSN[s] - 1,
+			durable:   st.NextLSN[s] - 1,
+			stable:    st.NextLSN[s] - 1,
+			snapLSN:   st.SnapshotLSN[s],
+		}
+		sh.cond = sync.NewCond(&sh.mu)
+		sh.segs = append([]segment(nil), st.repairs[s].liveSegs...)
+		// Position the appender: reuse the last live segment when it is
+		// exactly the fresh (empty) segment for NextLSN, else start a
+		// new segment there.
+		base := st.NextLSN[s]
+		var path string
+		if n := len(sh.segs); n > 0 && sh.segs[n-1].base == base {
+			path = sh.segs[n-1].path
+		} else {
+			path = filepath.Join(cfg.Dir, segmentName(s, base))
+			sh.segs = append(sh.segs, segment{base: base, path: path})
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			for _, prev := range l.shards {
+				if prev != nil && prev.f != nil {
+					prev.f.Close()
+				}
+			}
+			return nil, nil, err
+		}
+		sh.f = f
+		l.shards[s] = sh
+	}
+	syncDir(cfg.Dir)
+	if cfg.Fsync == FsyncInterval {
+		l.wg.Add(1)
+		go l.syncLoop()
+	}
+	return l, st, nil
+}

@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// snapVersion is the snapshot payload format version byte (distinct
+// from frameVersion so a snapshot record can never be mistaken for a
+// log frame).
+const snapVersion = 2
+
+// encodeSnapshot builds a snapshot file's contents: a single
+// checksummed container (same header as a log frame) whose payload is
+//
+//	snapVersion, uvarint shard, uvarint lsn,
+//	uvarint nKeys, then per key: len-prefixed key, len-prefixed value
+//
+// Keys are sorted so identical state encodes identically (the
+// double-recovery test depends on determinism).
+func encodeSnapshot(shard int, lsn uint64, keys map[string][]byte) []byte {
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	payload := []byte{snapVersion}
+	payload = binary.AppendUvarint(payload, uint64(shard))
+	payload = binary.AppendUvarint(payload, lsn)
+	payload = binary.AppendUvarint(payload, uint64(len(names)))
+	for _, k := range names {
+		payload = binary.AppendUvarint(payload, uint64(len(k)))
+		payload = append(payload, k...)
+		v := keys[k]
+		payload = binary.AppendUvarint(payload, uint64(len(v)))
+		payload = append(payload, v...)
+	}
+	out := make([]byte, frameHeaderSize, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.Checksum(payload, castagnoli))
+	return append(out, payload...)
+}
+
+// decodeSnapshot parses a snapshot file's contents. Any defect —
+// truncation, checksum mismatch, malformed payload, trailing bytes —
+// makes the snapshot invalid (recovery falls back to an older one).
+func decodeSnapshot(b []byte) (shard int, lsn uint64, keys map[string][]byte, err error) {
+	if len(b) < frameHeaderSize {
+		return 0, 0, nil, fmt.Errorf("%w: snapshot header", ErrTorn)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > maxFramePayload {
+		return 0, 0, nil, fmt.Errorf("%w: snapshot payload length %d", ErrCorrupt, n)
+	}
+	if uint32(len(b)-frameHeaderSize) < n {
+		return 0, 0, nil, fmt.Errorf("%w: snapshot payload", ErrTorn)
+	}
+	payload := b[frameHeaderSize : frameHeaderSize+int(n)]
+	if len(b) != frameHeaderSize+int(n) {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(b)-frameHeaderSize-int(n))
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	if len(payload) < 1 || payload[0] != snapVersion {
+		return 0, 0, nil, fmt.Errorf("%w: snapshot version", ErrCorrupt)
+	}
+	p := payload[1:]
+	var sh, nKeys uint64
+	if sh, p, err = uvarint(p); err != nil {
+		return 0, 0, nil, err
+	}
+	if lsn, p, err = uvarint(p); err != nil {
+		return 0, 0, nil, err
+	}
+	if nKeys, p, err = uvarint(p); err != nil {
+		return 0, 0, nil, err
+	}
+	if nKeys > uint64(len(p)) {
+		return 0, 0, nil, fmt.Errorf("%w: %d snapshot keys", ErrCorrupt, nKeys)
+	}
+	keys = make(map[string][]byte, nKeys)
+	for i := uint64(0); i < nKeys; i++ {
+		var k, v []byte
+		if k, p, err = lenBytes(p); err != nil {
+			return 0, 0, nil, err
+		}
+		if v, p, err = lenBytes(p); err != nil {
+			return 0, 0, nil, err
+		}
+		keys[string(k)] = append([]byte(nil), v...)
+	}
+	if len(p) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: trailing snapshot payload", ErrCorrupt)
+	}
+	return int(sh), lsn, keys, nil
+}
+
+// Snapshot seals a snapshot of shard at lsn: keys must be the shard's
+// complete state as observed by a transaction that read sequence number
+// lsn. The snapshot only seals once every frame ≤ lsn is stable (else a
+// crash could leave the snapshot exposing a cross-shard commit that
+// recovery drops from another shard — a half-applied transaction). On
+// seal the shard rotates to a fresh segment and deletes covered
+// segments plus stale snapshots.
+func (l *Log) Snapshot(shard int, lsn uint64, keys map[string][]byte) error {
+	if shard < 0 || shard >= len(l.shards) {
+		return fmt.Errorf("wal: snapshot of shard %d of %d", shard, len(l.shards))
+	}
+	s := l.shards[shard]
+	if lsn > 0 {
+		if err := s.waitStable(lsn); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	already := lsn <= s.snapLSN
+	s.mu.Unlock()
+	if already {
+		return nil // an equal-or-newer snapshot is already sealed
+	}
+
+	// Write the snapshot to a temp file, sync it, then publish with an
+	// atomic rename: a crash mid-write leaves only ignorable garbage.
+	enc := encodeSnapshot(shard, lsn, keys)
+	tmp, err := os.CreateTemp(l.dir, "tmp-snap-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(enc); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	l.hook(CrashMidSnapshot)
+	final := filepath.Join(l.dir, snapshotName(shard, lsn))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	syncDir(l.dir)
+	l.stats.Snapshots.Add(1)
+	l.stats.SnapshotKeys.Store(uint64(len(keys)))
+
+	// Rotate so future appends land past the snapshot, then drop files
+	// the snapshot covers: closed segments whose last LSN ≤ lsn and any
+	// older snapshot of this shard.
+	var dead []string
+	s.mu.Lock()
+	if lsn > s.snapLSN {
+		s.snapLSN = lsn
+	}
+	if s.err == nil && s.f != nil {
+		s.rotateLocked(l)
+	}
+	for len(s.segs) >= 2 && s.segs[1].base-1 <= s.snapLSN {
+		dead = append(dead, s.segs[0].path)
+		s.segs = s.segs[1:]
+	}
+	s.mu.Unlock()
+	if olds, err := filepath.Glob(filepath.Join(l.dir, fmt.Sprintf("snap-%03d-*.snap", shard))); err == nil {
+		for _, p := range olds {
+			if p != final {
+				dead = append(dead, p)
+			}
+		}
+	}
+	for i, p := range dead {
+		if i > 0 {
+			l.hook(CrashMidTruncate)
+		}
+		if os.Remove(p) == nil {
+			l.stats.RemovedFiles.Add(1)
+		}
+	}
+	if len(dead) > 0 {
+		syncDir(l.dir)
+	}
+	return nil
+}

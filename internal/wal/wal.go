@@ -1,0 +1,490 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncPolicy selects when appended frames are forced to stable media.
+type FsyncPolicy int
+
+// Fsync policies. The acknowledgement rule each implies is documented on
+// Append.
+const (
+	// FsyncAlways fsyncs before every append acknowledgement: commits
+	// survive an OS crash at the cost of one sync per group commit.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs in the background every Config.FsyncInterval:
+	// commits survive a process crash immediately (the page cache holds
+	// the write) and an OS crash after at most one interval.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS (and to segment rotation and
+	// Close): process-crash durable only.
+	FsyncNever
+)
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("fsync(%d)", int(p))
+}
+
+// ParseFsyncPolicy parses "always", "interval" or "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// CrashPoint names a site where Config.CrashHook is invoked, so a fault
+// plane can kill the process at the exact moments that stress recovery.
+type CrashPoint int
+
+// Crash-point sites, in log-lifecycle order.
+const (
+	// CrashPreAppend fires before any byte of a frame is written: the
+	// commit is in memory, the log has nothing.
+	CrashPreAppend CrashPoint = iota
+	// CrashMidAppend fires halfway through writing a frame's bytes,
+	// leaving a torn frame at the tail of one shard's log.
+	CrashMidAppend
+	// CrashPostAppend fires after the frame is fully written (and
+	// synced, under FsyncAlways) but before the append is acknowledged.
+	CrashPostAppend
+	// CrashMidSnapshot fires after a snapshot's temp file is written
+	// but before the atomic rename that publishes it.
+	CrashMidSnapshot
+	// CrashMidTruncate fires between file deletions while covered
+	// segments and stale snapshots are being removed.
+	CrashMidTruncate
+	// CrashPointCount is the number of sites (not itself a site).
+	CrashPointCount
+)
+
+// String implements fmt.Stringer; the names are stable (the crash soak
+// greps them out of the child's stderr).
+func (c CrashPoint) String() string {
+	switch c {
+	case CrashPreAppend:
+		return "pre-append"
+	case CrashMidAppend:
+		return "mid-append"
+	case CrashPostAppend:
+		return "post-append"
+	case CrashMidSnapshot:
+		return "mid-snapshot"
+	case CrashMidTruncate:
+		return "mid-truncate"
+	}
+	return fmt.Sprintf("crash-point(%d)", int(c))
+}
+
+// Config configures Open.
+type Config struct {
+	// Dir is the data directory (created if absent). One directory holds
+	// one store's logs, snapshots and MANIFEST.
+	Dir string
+	// Shards is the store's shard count; it is sealed into MANIFEST and
+	// must match on reopen (recovery has no hash function, so replay
+	// cannot re-shard).
+	Shards int
+	// Fsync is the sync policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the background sync period under FsyncInterval
+	// (default 50ms).
+	FsyncInterval time.Duration
+	// CrashHook, when non-nil, is called at every CrashPoint site. It is
+	// expected to usually return; when the fault plane decides to fire
+	// it never returns (the process dies).
+	CrashHook func(CrashPoint)
+}
+
+// Stats are cumulative counters, safe for concurrent reading while the
+// log runs (exported to /statsz and /metricsz by the server).
+type Stats struct {
+	AppendedFrames atomic.Uint64 // frame copies written (one per shard touched)
+	AppendedBytes  atomic.Uint64
+	Fsyncs         atomic.Uint64
+	Snapshots      atomic.Uint64 // snapshots sealed
+	SnapshotKeys   atomic.Uint64 // keys in the last sealed snapshot pass
+	RemovedFiles   atomic.Uint64 // covered segments + stale snapshots deleted
+}
+
+// segment is one on-disk log file of a shard. base is the LSN of its
+// first frame; a closed segment's last LSN is the next segment's base-1.
+type segment struct {
+	base uint64
+	path string
+}
+
+// shardLog is the append side of one shard's log: a reorder buffer
+// (post-commit handoff can arrive out of LSN order), a dense writer, and
+// written / durable / stable watermarks with group-commit fsync.
+type shardLog struct {
+	idx  int // shard index
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	f    *os.File  // current (last) segment
+	segs []segment // all live segments, ascending base
+
+	pending map[uint64][]byte // encoded frames awaiting their dense turn
+
+	// Watermarks. All are dense prefixes of the LSN sequence:
+	//   written — every frame ≤ written is fully write()n to this log
+	//   durable — ≤ written, and fsynced
+	//   stable  — every frame ≤ stable is persisted (per policy) in
+	//             EVERY shard of its identity vector, so recovery is
+	//             guaranteed to keep it; acknowledgements gate on this
+	written uint64
+	durable uint64
+	stable  uint64
+
+	stableSet map[uint64]struct{} // lsns > stable already persisted everywhere
+
+	rotateAt uint64 // rotate to a fresh segment once written ≥ rotateAt
+	snapLSN  uint64 // latest sealed snapshot LSN
+	syncing  bool   // one fsync in flight; others wait (group commit)
+	err      error  // sticky I/O error; fails all future waits
+}
+
+// Log is an open write-ahead log: one shardLog per shard plus the
+// background interval syncer.
+type Log struct {
+	cfg    Config
+	dir    string
+	shards []*shardLog
+	stats  Stats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// Stats returns the log's counters (live; fields are atomics).
+func (l *Log) Stats() *Stats { return &l.stats }
+
+// Dir returns the data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// hook invokes the crash hook, if any.
+func (l *Log) hook(p CrashPoint) {
+	if h := l.cfg.CrashHook; h != nil {
+		h(p)
+	}
+}
+
+// Append durably records f, which must carry a fully-populated identity
+// vector (every shard written, with the LSN assigned inside the
+// transaction). It blocks until the frame is persisted per policy in
+// every vector shard — write()n for FsyncInterval / FsyncNever (process
+// crashes cannot lose it), fsynced for FsyncAlways — and until every
+// earlier LSN in each of those shards is equally persisted, then marks
+// those LSNs stable. Only after Append returns may the commit be
+// acknowledged to a client.
+func (l *Log) Append(f *Frame) error {
+	if len(f.Shards) == 0 {
+		return errors.New("wal: frame with empty shard vector")
+	}
+	sort.Slice(f.Shards, func(i, j int) bool { return f.Shards[i].Shard < f.Shards[j].Shard })
+	l.hook(CrashPreAppend)
+	enc := appendFrame(nil, f)
+	for _, sl := range f.Shards {
+		if sl.Shard < 0 || sl.Shard >= len(l.shards) {
+			return fmt.Errorf("wal: frame names shard %d of %d", sl.Shard, len(l.shards))
+		}
+		l.shards[sl.Shard].enqueue(l, sl.LSN, enc)
+	}
+	for _, sl := range f.Shards {
+		if err := l.shards[sl.Shard].waitWritten(sl.LSN); err != nil {
+			return err
+		}
+	}
+	if l.cfg.Fsync == FsyncAlways {
+		for _, sl := range f.Shards {
+			if err := l.shards[sl.Shard].ensureDurable(l, sl.LSN); err != nil {
+				return err
+			}
+		}
+	}
+	for _, sl := range f.Shards {
+		l.shards[sl.Shard].markStable(sl.LSN)
+	}
+	l.hook(CrashPostAppend)
+	return nil
+}
+
+// WaitStable blocks until every frame with an LSN ≤ lsn in shard is
+// persisted (per policy) in all of its vector shards. Transactions that
+// only read shard call this with the sequence number they observed
+// before acknowledging results: an acked read must never expose a
+// commit that recovery could drop.
+func (l *Log) WaitStable(shard int, lsn uint64) error {
+	if lsn == 0 || shard < 0 || shard >= len(l.shards) {
+		return nil
+	}
+	return l.shards[shard].waitStable(lsn)
+}
+
+// enqueue hands the encoded frame to the shard's reorder buffer and
+// drains every frame whose dense turn has come (possibly including
+// frames enqueued by other appenders).
+func (s *shardLog) enqueue(l *Log, lsn uint64, enc []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if lsn <= s.written {
+		// Duplicate handoff (e.g. a snapshot raced truncation): ignore.
+		return
+	}
+	s.pending[lsn] = enc
+	s.drainLocked(l)
+}
+
+// drainLocked writes pending frames in dense LSN order. Called with mu
+// held; temporarily releases it around file writes.
+func (s *shardLog) drainLocked(l *Log) {
+	for s.err == nil {
+		enc, ok := s.pending[s.written+1]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.written+1)
+		f := s.f
+		s.mu.Unlock()
+		err := writeFrameBytes(l, f, enc)
+		s.mu.Lock()
+		if err != nil {
+			s.err = err
+			s.cond.Broadcast()
+			return
+		}
+		l.stats.AppendedFrames.Add(1)
+		l.stats.AppendedBytes.Add(uint64(len(enc)))
+		s.written++
+		if s.rotateAt != 0 && s.written >= s.rotateAt {
+			s.rotateLocked(l)
+		}
+		s.cond.Broadcast()
+	}
+}
+
+// writeFrameBytes writes one encoded frame. With a crash hook armed the
+// write is split in half around the CrashMidAppend site, so a firing
+// hook leaves a torn frame — exactly the tail a real kill-9 mid-write
+// leaves.
+func writeFrameBytes(l *Log, f *os.File, enc []byte) error {
+	if l.cfg.CrashHook != nil {
+		half := len(enc) / 2
+		if _, err := f.Write(enc[:half]); err != nil {
+			return err
+		}
+		l.hook(CrashMidAppend)
+		_, err := f.Write(enc[half:])
+		return err
+	}
+	_, err := f.Write(enc)
+	return err
+}
+
+// waitWritten blocks until written ≥ lsn in this shard.
+func (s *shardLog) waitWritten(lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.written < lsn && s.err == nil {
+		s.cond.Wait()
+	}
+	return s.err
+}
+
+// ensureDurable blocks until durable ≥ lsn, issuing (or joining) a
+// group-commit fsync: one caller syncs on behalf of everything written
+// so far; the rest wait on the watermark.
+func (s *shardLog) ensureDurable(l *Log, lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.durable < lsn {
+		if s.err != nil {
+			return s.err
+		}
+		if s.syncing {
+			s.cond.Wait()
+			continue
+		}
+		s.syncing = true
+		target := s.written
+		f := s.f
+		s.mu.Unlock()
+		err := f.Sync()
+		s.mu.Lock()
+		s.syncing = false
+		if err != nil {
+			s.err = err
+		} else {
+			l.stats.Fsyncs.Add(1)
+			if target > s.durable {
+				s.durable = target
+			}
+		}
+		s.cond.Broadcast()
+	}
+	return s.err
+}
+
+// markStable records that the frame at lsn is persisted in all its
+// vector shards and advances the dense stable watermark.
+func (s *shardLog) markStable(lsn uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lsn <= s.stable {
+		return
+	}
+	s.stableSet[lsn] = struct{}{}
+	for {
+		if _, ok := s.stableSet[s.stable+1]; !ok {
+			break
+		}
+		delete(s.stableSet, s.stable+1)
+		s.stable++
+	}
+	s.cond.Broadcast()
+}
+
+// waitStable blocks until stable ≥ lsn.
+func (s *shardLog) waitStable(lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.stable < lsn && s.err == nil {
+		s.cond.Wait()
+	}
+	return s.err
+}
+
+// rotateLocked closes the current segment (after syncing it, so a
+// closed segment is always durable) and starts a fresh one at
+// written+1. Called with mu held.
+func (s *shardLog) rotateLocked(l *Log) {
+	for s.syncing {
+		s.cond.Wait()
+	}
+	if s.err != nil {
+		return
+	}
+	s.rotateAt = 0
+	old := s.f
+	if err := old.Sync(); err != nil {
+		s.err = err
+		return
+	}
+	l.stats.Fsyncs.Add(1)
+	old.Close()
+	s.durable = s.written
+	base := s.written + 1
+	path := filepath.Join(l.dir, segmentName(s.idx, base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.f = f
+	s.segs = append(s.segs, segment{base: base, path: path})
+	syncDir(l.dir)
+}
+
+// syncLoop is the FsyncInterval background goroutine.
+func (l *Log) syncLoop() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.cfg.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			for _, s := range l.shards {
+				s.mu.Lock()
+				target := s.written
+				s.mu.Unlock()
+				if target > 0 {
+					s.ensureDurable(l, target)
+				}
+			}
+		}
+	}
+}
+
+// Close flushes and syncs every shard's log and stops background work.
+// It must not race in-flight Appends (drain the server first).
+func (l *Log) Close() error {
+	var err error
+	l.closeOnce.Do(func() {
+		close(l.stop)
+		l.wg.Wait()
+		for _, s := range l.shards {
+			s.mu.Lock()
+			if s.f != nil {
+				if e := s.f.Sync(); e == nil {
+					l.stats.Fsyncs.Add(1)
+					s.durable = s.written
+				} else if err == nil {
+					err = e
+				}
+				if e := s.f.Close(); e != nil && err == nil {
+					err = e
+				}
+				s.f = nil
+			}
+			if s.err != nil && err == nil && !errors.Is(s.err, errClosed) {
+				err = s.err
+			}
+			s.err = errClosed
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	})
+	return err
+}
+
+// errClosed poisons a shardLog after Close.
+var errClosed = errors.New("wal: log closed")
+
+// File-name helpers. Names embed the shard and a 16-hex-digit LSN so
+// lexicographic order equals numeric order.
+func segmentName(shard int, base uint64) string {
+	return fmt.Sprintf("wal-%03d-%016x.log", shard, base)
+}
+
+func snapshotName(shard int, lsn uint64) string {
+	return fmt.Sprintf("snap-%03d-%016x.snap", shard, lsn)
+}
+
+// syncDir best-effort fsyncs a directory so renames and unlinks are
+// durable. Errors are ignored: not every filesystem supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

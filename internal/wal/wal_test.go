@@ -1,0 +1,449 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// put builds a single-shard put frame at lsn.
+func put(shard int, lsn uint64, key, val string) *Frame {
+	return &Frame{
+		Shards: []ShardLSN{{Shard: shard, LSN: lsn}},
+		Ops:    []Op{{Shard: shard, Key: key, Val: []byte(val)}},
+	}
+}
+
+func openLog(t *testing.T, dir string, shards int, policy FsyncPolicy) (*Log, *State) {
+	t.Helper()
+	l, st, err := Open(Config{Dir: dir, Shards: shards, Fsync: policy})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, st
+}
+
+func mustAppend(t *testing.T, l *Log, f *Frame) {
+	t.Helper()
+	if err := l.Append(f); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+}
+
+func wantKeys(t *testing.T, st *State, shard int, want map[string]string) {
+	t.Helper()
+	got := st.Keys[shard]
+	if len(got) != len(want) {
+		t.Fatalf("shard %d: %d keys, want %d (%v)", shard, len(got), len(want), got)
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], []byte(v)) {
+			t.Fatalf("shard %d key %q = %q, want %q", shard, k, got[k], v)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 7}, {Shard: 3, LSN: 1}},
+		Ops: []Op{
+			{Shard: 0, Key: "a", Val: []byte("hello")},
+			{Shard: 3, Key: "b", Del: true},
+			{Shard: 0, Key: "", Val: nil},
+		},
+	}
+	enc := appendFrame(nil, f)
+	got, n, err := decodeFrame(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d of %d bytes", n, len(enc))
+	}
+	if !reflect.DeepEqual(got.Shards, f.Shards) {
+		t.Fatalf("shards %v != %v", got.Shards, f.Shards)
+	}
+	if len(got.Ops) != len(f.Ops) {
+		t.Fatalf("%d ops != %d", len(got.Ops), len(f.Ops))
+	}
+	for i := range f.Ops {
+		if got.Ops[i].Shard != f.Ops[i].Shard || got.Ops[i].Del != f.Ops[i].Del ||
+			got.Ops[i].Key != f.Ops[i].Key || !bytes.Equal(got.Ops[i].Val, f.Ops[i].Val) {
+			t.Fatalf("op %d: %+v != %+v", i, got.Ops[i], f.Ops[i])
+		}
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, st := openLog(t, dir, 2, FsyncNever)
+	wantKeys(t, st, 0, nil)
+	mustAppend(t, l, put(0, 1, "a", "1"))
+	mustAppend(t, l, put(1, 1, "b", "2"))
+	// Cross-shard frame: duplicated into both logs.
+	mustAppend(t, l, &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 2}, {Shard: 1, LSN: 2}},
+		Ops: []Op{
+			{Shard: 0, Key: "a", Val: []byte("3")},
+			{Shard: 1, Key: "c", Val: []byte("4")},
+		},
+	})
+	mustAppend(t, l, &Frame{
+		Shards: []ShardLSN{{Shard: 1, LSN: 3}},
+		Ops:    []Op{{Shard: 1, Key: "b", Del: true}},
+	})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st2, err := Recover(dir, 2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	wantKeys(t, st2, 0, map[string]string{"a": "3"})
+	wantKeys(t, st2, 1, map[string]string{"c": "4"})
+	if st2.NextLSN[0] != 3 || st2.NextLSN[1] != 4 {
+		t.Fatalf("NextLSN = %v, want [3 4]", st2.NextLSN)
+	}
+	if st2.ReplayedFrames != 5 { // 3 copies in shard 0? no: shard0 has 2 frames + shard1 has 3 copies
+		// shard 0 log: lsn1, lsn2(cross) = 2 applications; shard 1 log:
+		// lsn1, lsn2(cross), lsn3 = 3 applications.
+		t.Fatalf("ReplayedFrames = %d, want 5", st2.ReplayedFrames)
+	}
+}
+
+func TestOutOfOrderHandoff(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1, FsyncNever)
+	// Hand the appender LSNs 1..8 from separate goroutines in a
+	// scrambled order; the reorder buffer must serialize them densely.
+	var wg sync.WaitGroup
+	for _, lsn := range []uint64{3, 1, 4, 2, 8, 6, 5, 7} {
+		wg.Add(1)
+		go func(lsn uint64) {
+			defer wg.Done()
+			if err := l.Append(put(0, lsn, fmt.Sprintf("k%d", lsn), fmt.Sprintf("v%d", lsn))); err != nil {
+				t.Errorf("Append(%d): %v", lsn, err)
+			}
+		}(lsn)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(st.Keys[0]) != 8 {
+		t.Fatalf("recovered %d keys, want 8", len(st.Keys[0]))
+	}
+	if st.ReplayedFrames != 8 || st.DroppedFrames != 0 || st.TruncatedBytes != 0 {
+		t.Fatalf("replayed=%d dropped=%d truncated=%d", st.ReplayedFrames, st.DroppedFrames, st.TruncatedBytes)
+	}
+}
+
+// findSegments returns the shard's segment paths sorted ascending.
+func findSegments(t *testing.T, dir string, shard int) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("wal-%03d-*.log", shard)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestTruncatedFinalFrame(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1, FsyncNever)
+	mustAppend(t, l, put(0, 1, "a", "1"))
+	mustAppend(t, l, put(0, 2, "b", "2"))
+	l.Close()
+	segs := findSegments(t, dir, 0)
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	// Cut the final frame mid-payload: the classic crash-mid-write tail.
+	b, _ := os.ReadFile(segs[0])
+	if err := os.WriteFile(segs[0], b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	wantKeys(t, st, 0, map[string]string{"a": "1"})
+	if st.TruncatedBytes == 0 {
+		t.Fatal("torn tail not counted in TruncatedBytes")
+	}
+	if st.NextLSN[0] != 2 {
+		t.Fatalf("NextLSN = %d, want 2", st.NextLSN[0])
+	}
+	// Open must repair the tail and resume appending at LSN 2.
+	l2, st2 := openLog(t, dir, 1, FsyncNever)
+	wantKeys(t, st2, 0, map[string]string{"a": "1"})
+	mustAppend(t, l2, put(0, 2, "c", "3"))
+	l2.Close()
+	st3, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatalf("Recover after repair: %v", err)
+	}
+	wantKeys(t, st3, 0, map[string]string{"a": "1", "c": "3"})
+}
+
+func TestBitFlipMidLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1, FsyncNever)
+	for i := uint64(1); i <= 3; i++ {
+		mustAppend(t, l, put(0, i, fmt.Sprintf("k%d", i), "v"))
+	}
+	l.Close()
+	segs := findSegments(t, dir, 0)
+	b, _ := os.ReadFile(segs[0])
+	// Flip one bit inside the SECOND frame's payload: recovery must keep
+	// frame 1, stop at frame 2, and not resurrect frame 3.
+	_, n1, err := decodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), b...)
+	mut[n1+frameHeaderSize+2] ^= 0x40
+	if err := os.WriteFile(segs[0], mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	wantKeys(t, st, 0, map[string]string{"k1": "v"})
+	if st.TruncatedBytes != uint64(len(b)-n1) {
+		t.Fatalf("TruncatedBytes = %d, want %d", st.TruncatedBytes, len(b)-n1)
+	}
+	if st.NextLSN[0] != 2 {
+		t.Fatalf("NextLSN = %d, want 2", st.NextLSN[0])
+	}
+}
+
+func TestEmptyLogValidSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1, FsyncNever)
+	mustAppend(t, l, put(0, 1, "a", "1"))
+	mustAppend(t, l, put(0, 2, "b", "2"))
+	if err := l.Snapshot(0, 2, map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	l.Close()
+	// The covered segment was truncated away; only the snapshot and an
+	// empty fresh segment remain.
+	st, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	wantKeys(t, st, 0, map[string]string{"a": "1", "b": "2"})
+	if st.SnapshotLSN[0] != 2 || st.NextLSN[0] != 3 {
+		t.Fatalf("SnapshotLSN=%d NextLSN=%d, want 2 3", st.SnapshotLSN[0], st.NextLSN[0])
+	}
+	if st.ReplayedFrames != 0 {
+		t.Fatalf("ReplayedFrames = %d, want 0 (all state from snapshot)", st.ReplayedFrames)
+	}
+	// And appending after the snapshot still replays on top of it.
+	l2, _ := openLog(t, dir, 1, FsyncNever)
+	mustAppend(t, l2, put(0, 3, "a", "9"))
+	l2.Close()
+	st2, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, st2, 0, map[string]string{"a": "9", "b": "2"})
+}
+
+func TestSnapshotWithNoLog(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-plant a snapshot with no MANIFEST-era log files at all.
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(0, 5)),
+		encodeSnapshot(0, 5, map[string][]byte{"x": []byte("y")}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	wantKeys(t, st, 0, map[string]string{"x": "y"})
+	if st.NextLSN[0] != 6 {
+		t.Fatalf("NextLSN = %d, want 6", st.NextLSN[0])
+	}
+	// Open resumes past the snapshot LSN.
+	l, _ := openLog(t, dir, 1, FsyncNever)
+	mustAppend(t, l, put(0, 6, "x", "z"))
+	l.Close()
+	st2, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, st2, 0, map[string]string{"x": "z"})
+}
+
+func TestDoubleRecoveryIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 2, FsyncNever)
+	mustAppend(t, l, put(0, 1, "a", "1"))
+	mustAppend(t, l, &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 2}, {Shard: 1, LSN: 1}},
+		Ops:    []Op{{Shard: 0, Key: "b", Val: []byte("2")}, {Shard: 1, Key: "c", Val: []byte("3")}},
+	})
+	if err := l.Snapshot(0, 2, map[string][]byte{"a": []byte("1"), "b": []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, put(1, 2, "d", "4"))
+	l.Close()
+	// Tear the tail of shard 1's log so recovery exercises its stop path.
+	segs := findSegments(t, dir, 1)
+	last := segs[len(segs)-1]
+	if b, _ := os.ReadFile(last); len(b) > 2 {
+		os.WriteFile(last, b[:len(b)-2], 0o644)
+	}
+	st1, err := Recover(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Recover(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover must not have modified the directory: identical outcomes.
+	if !reflect.DeepEqual(st1.Keys, st2.Keys) ||
+		!reflect.DeepEqual(st1.NextLSN, st2.NextLSN) ||
+		st1.ReplayedFrames != st2.ReplayedFrames ||
+		st1.DroppedFrames != st2.DroppedFrames ||
+		st1.TruncatedBytes != st2.TruncatedBytes {
+		t.Fatalf("recoveries differ:\n1: %+v\n2: %+v", st1, st2)
+	}
+}
+
+func TestUnackedCrossShardFrameDropped(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 2, FsyncNever)
+	mustAppend(t, l, put(0, 1, "a", "1"))
+	mustAppend(t, l, put(1, 1, "b", "1"))
+	l.Close()
+	// Simulate a crash that persisted a cross-shard frame in shard 0's
+	// log only: hand-append the frame to shard 0's segment.
+	cross := &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 2}, {Shard: 1, LSN: 2}},
+		Ops:    []Op{{Shard: 0, Key: "a", Val: []byte("X")}, {Shard: 1, Key: "b", Val: []byte("X")}},
+	}
+	segs := findSegments(t, dir, 0)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(appendFrame(nil, cross)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	st, err := Recover(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The half-persisted transaction must vanish from BOTH shards.
+	wantKeys(t, st, 0, map[string]string{"a": "1"})
+	wantKeys(t, st, 1, map[string]string{"b": "1"})
+	if st.DroppedFrames != 1 {
+		t.Fatalf("DroppedFrames = %d, want 1", st.DroppedFrames)
+	}
+	// But its LSN is burned: the next writer must not reuse it.
+	if st.NextLSN[0] != 3 {
+		t.Fatalf("NextLSN[0] = %d, want 3", st.NextLSN[0])
+	}
+}
+
+func TestManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 2, FsyncNever)
+	l.Close()
+	if _, _, err := Open(Config{Dir: dir, Shards: 3}); err == nil {
+		t.Fatal("Open with wrong shard count succeeded")
+	}
+	if _, err := Recover(dir, 3); err == nil {
+		t.Fatal("Recover with wrong shard count succeeded")
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(p.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openLog(t, dir, 1, p)
+			for i := uint64(1); i <= 10; i++ {
+				mustAppend(t, l, put(0, i, fmt.Sprintf("k%d", i), "v"))
+			}
+			if p == FsyncInterval {
+				time.Sleep(120 * time.Millisecond) // let the syncer tick
+			}
+			if err := l.WaitStable(0, 10); err != nil {
+				t.Fatalf("WaitStable: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			st, err := Recover(dir, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st.Keys[0]) != 10 {
+				t.Fatalf("recovered %d keys, want 10", len(st.Keys[0]))
+			}
+			if p == FsyncAlways && l.Stats().Fsyncs.Load() == 0 {
+				t.Fatal("fsync=always issued no fsyncs")
+			}
+		})
+	}
+	if _, err := ParseFsyncPolicy("bogus"); err == nil {
+		t.Fatal("ParseFsyncPolicy accepted bogus")
+	}
+	for _, s := range []string{"always", "interval", "never"} {
+		p, err := ParseFsyncPolicy(s)
+		if err != nil || p.String() != s {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+}
+
+func TestSnapshotTruncatesCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1, FsyncNever)
+	for i := uint64(1); i <= 4; i++ {
+		mustAppend(t, l, put(0, i, fmt.Sprintf("k%d", i), "v"))
+	}
+	if err := l.Snapshot(0, 4, map[string][]byte{
+		"k1": []byte("v"), "k2": []byte("v"), "k3": []byte("v"), "k4": []byte("v"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, put(0, 5, "k5", "v"))
+	if err := l.Snapshot(0, 5, map[string][]byte{
+		"k1": []byte("v"), "k2": []byte("v"), "k3": []byte("v"), "k4": []byte("v"), "k5": []byte("v"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Exactly one snapshot survives, and no segment holding LSNs ≤ 5.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-000-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots: %v", snaps)
+	}
+	if l.Stats().RemovedFiles.Load() == 0 {
+		t.Fatal("no covered files were removed")
+	}
+	st, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Keys[0]) != 5 || st.NextLSN[0] != 6 {
+		t.Fatalf("keys=%d NextLSN=%d", len(st.Keys[0]), st.NextLSN[0])
+	}
+}
