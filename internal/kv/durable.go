@@ -112,8 +112,9 @@ func NewDurable(sys tm.System, shards, bucketsPerShard int, d Durability) (*Stor
 	dur.seqs = make([]tm.Object, shards)
 	for i := range dur.seqs {
 		// The sequencer resumes one below NextLSN so the next commit is
-		// assigned exactly NextLSN — never re-using an LSN that a
-		// dropped (unacknowledged) frame still occupies on disk.
+		// assigned exactly NextLSN — the first LSN past the provable
+		// prefix (recovery excised any dropped frames past it, so the
+		// slot is genuinely free).
 		dur.seqs[i] = sys.NewObject(&seqData{lsn: st.NextLSN[i] - 1})
 	}
 	dur.rec.Record(tm.Monotime(), trace.KindWALRecover, uint64(shards), st.ReplayedFrames, st.TruncatedBytes)
@@ -224,7 +225,14 @@ func (da *durAttempt) effect(tx tm.Tx, d *durState, shard int, op wal.Op) {
 // caller. committed reports whether the transaction committed (false on
 // the CAS-miss abort path, whose observations are still acknowledged).
 // It appends the frame for any write effects and gates the
-// acknowledgement on the durability of every observed prefix.
+// acknowledgement on the stability of every observed prefix — in
+// written shards too: Append only guarantees the frame's OWN copies are
+// persisted, while an earlier cross-shard commit in those logs may
+// still be unpersisted in its other shards, and this transaction's
+// results may depend on it. Waiting on the seen LSN (one below this
+// transaction's own in written shards, which Append already marked
+// stable) cannot self-deadlock: the wait only covers other commits,
+// each of which marks itself stable from its own finish.
 func (d *durState) finish(da *durAttempt, committed bool) error {
 	if committed && len(da.assigned) > 0 {
 		f := &wal.Frame{
@@ -241,11 +249,6 @@ func (d *durState) finish(da *durAttempt, committed bool) error {
 		}
 	}
 	for shard, lsn := range da.seen {
-		if committed {
-			if _, wrote := da.assigned[shard]; wrote {
-				continue // Append already waited past our own LSN here
-			}
-		}
 		if err := d.log.WaitStable(shard, lsn); err != nil {
 			return fmt.Errorf("kv: wal wait: %w", err)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -234,6 +235,87 @@ func TestDurableConcurrentWriters(t *testing.T) {
 				t.Fatalf("key %s lost", key)
 			}
 		}
+	}
+}
+
+// TestAckGatedOnCrossShardStability pins the acknowledgement rule for
+// single-shard transactions: a commit that observed an earlier
+// cross-shard commit must not be acked until that commit is persisted
+// in EVERY shard it touched. Append only persists the frame's own
+// copies, so without the explicit WaitStable a crash could drop the
+// cross-shard commit from recovery while the acked response that
+// depended on it survives — an acked read of a vanished write.
+func TestAckGatedOnCrossShardStability(t *testing.T) {
+	var (
+		mids    atomic.Uint64
+		armed   atomic.Bool
+		block   = make(chan struct{})
+		blocked = make(chan struct{})
+	)
+	var release sync.Once
+	unblock := func() { release.Do(func() { close(block) }) }
+	defer unblock()
+	// The cross-shard frame is written shard 0 first, then shard 1
+	// (Append sorts the vector): the second mid-append site is the
+	// shard-1 copy. Stall it there, leaving the cross-shard commit
+	// fully written in shard 0 but torn in shard 1.
+	hook := func(p wal.CrashPoint) {
+		if p != wal.CrashMidAppend || !armed.Load() {
+			return
+		}
+		if mids.Add(1) == 2 {
+			close(blocked)
+			<-block
+		}
+	}
+	dir := t.TempDir()
+	s, b := newDurableStore(t, dir, 2, 2, Durability{Fsync: wal.FsyncNever, CrashHook: hook})
+	defer s.Close()
+	budget := Budget{MaxAttempts: 100}
+	keyIn := func(shard int, skip string) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("probe%d", i)
+			if _, sh := s.locate(k); sh == shard && k != skip {
+				return k
+			}
+		}
+	}
+	kA := keyIn(0, "")
+	kA2 := keyIn(0, kA)
+	kB := keyIn(1, "")
+
+	armed.Store(true)
+	t1done := make(chan error, 1)
+	go func() {
+		th := b.NewThread()
+		defer th.Close()
+		_, err := s.Do(th, []Op{
+			{Kind: OpPut, Key: kA, Value: []byte("1")},
+			{Kind: OpPut, Key: kB, Value: []byte("1")},
+		}, budget)
+		t1done <- err
+	}()
+	<-blocked // the cross-shard commit is now torn mid-append in shard 1
+
+	t2done := make(chan error, 1)
+	go func() {
+		th := b.NewThread()
+		defer th.Close()
+		_, err := s.Put(th, kA2, []byte("2"), budget)
+		t2done <- err
+	}()
+	select {
+	case err := <-t2done:
+		t.Fatalf("single-shard put acked while the cross-shard commit it observed was torn (err=%v)", err)
+	case <-time.After(200 * time.Millisecond):
+		// Correctly gated: the ack is waiting on the observed prefix.
+	}
+	unblock()
+	if err := <-t1done; err != nil {
+		t.Fatalf("cross-shard Do: %v", err)
+	}
+	if err := <-t2done; err != nil {
+		t.Fatalf("gated Put: %v", err)
 	}
 }
 

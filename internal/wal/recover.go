@@ -28,9 +28,10 @@ type State struct {
 	// Keys is the recovered state: per shard, key → value.
 	Keys []map[string][]byte
 	// NextLSN is, per shard, the sequence number the next commit must
-	// use: one past the last physically retained frame (even if that
-	// frame was dropped as unacknowledged — re-using its LSN would
-	// collide with the stale on-disk copy) and past the snapshot LSN.
+	// use: one past the last provable frame and past the snapshot LSN.
+	// Re-using the LSNs of dropped frames is safe because Open excises
+	// everything at and past the shard's replay cut before appending
+	// resumes — no stale on-disk copy survives to collide with.
 	NextLSN []uint64
 	// SnapshotLSN is, per shard, the LSN of the snapshot recovery
 	// loaded (0 = none).
@@ -38,7 +39,9 @@ type State struct {
 	// ReplayedFrames counts frame applications (per shard copy).
 	ReplayedFrames uint64
 	// DroppedFrames counts frames discarded as unacknowledged: their
-	// identity vector was not fully present across the surviving logs.
+	// identity vector was not fully present across the surviving logs,
+	// or they sat at or past their shard's replay cut (an earlier frame
+	// of that shard was dropped, so nothing after it is provable).
 	DroppedFrames uint64
 	// TruncatedBytes counts log bytes abandoned at torn or corrupt
 	// frames (including whole segments past a mid-log corruption).
@@ -60,10 +63,14 @@ type repair struct {
 	liveSegs  []segment // segments that survive, ascending base
 }
 
-// frameAt is one physically retained frame of a shard's log.
+// frameAt is one physically retained frame of a shard's log, with its
+// position (segment index + byte offset) so a replay cut can be turned
+// into a physical truncation by Open.
 type frameAt struct {
 	lsn uint64
 	f   *Frame
+	seg int   // index into the shard's segment slice
+	off int64 // byte offset of the frame within that segment
 }
 
 // Recover reads the durable state out of dir without modifying any
@@ -119,6 +126,7 @@ func Recover(dir string, shards int) (*State, error) {
 
 	frames := make([][]frameAt, shards)
 	presence := make([]map[uint64]string, shards)
+	ends := make([][]int64, shards) // per shard, per segment: end of valid data
 	for s := 0; s < shards; s++ {
 		sort.Slice(snaps[s], func(i, j int) bool { return snaps[s][i].base > snaps[s][j].base })
 		sort.Slice(segs[s], func(i, j int) bool { return segs[s][i].base < segs[s][j].base })
@@ -139,7 +147,11 @@ func Recover(dir string, shards int) (*State, error) {
 			break
 		}
 
-		frames[s], presence[s] = readShardLog(st, s, segs[s])
+		var rerr error
+		frames[s], presence[s], ends[s], rerr = readShardLog(st, s, segs[s])
+		if rerr != nil {
+			return nil, rerr
+		}
 		next := st.SnapshotLSN[s] + 1
 		if n := len(frames[s]); n > 0 {
 			if last := frames[s][n-1].lsn + 1; last > next {
@@ -149,30 +161,72 @@ func Recover(dir string, shards int) (*State, error) {
 		st.NextLSN[s] = next
 	}
 
-	// Apply. A frame is valid — acknowledged, or at least fully
+	// Apply. A frame is provable — acknowledged, or at least fully
 	// persisted — iff every (shard, LSN) of its identity vector is
 	// either covered by that shard's snapshot or physically present in
-	// that shard's surviving log with the same vector. Ops are applied
+	// that shard's surviving log with the same vector. Replay of a
+	// shard additionally stops at its first unprovable frame (the cut):
+	// later frames may be fully persisted, but they were never
+	// acknowledged (the ack gate is a dense stable prefix) and their
+	// reads may depend on the dropped commit, so keeping them would
+	// admit a recovered state no serial prefix of the committed history
+	// explains. Dropping a frame can strand cross-shard frames in
+	// sibling shards, so the cuts iterate to a fixed point (each pass
+	// only lowers them, so termination is bounded). Ops are applied
 	// from their own shard's stream, so each op applies exactly once
 	// and per-shard LSN order is commit order.
-	for s := 0; s < shards; s++ {
-		for _, fa := range frames[s] {
-			key := fa.f.vectorKey()
-			valid := true
-			for _, sl := range fa.f.Shards {
-				if sl.Shard < 0 || sl.Shard >= shards {
-					valid = false
+	cut := make([]uint64, shards)
+	for s := range cut {
+		cut[s] = ^uint64(0) // no cut
+	}
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < shards; s++ {
+			for _, fa := range frames[s] {
+				if fa.lsn >= cut[s] {
 					break
 				}
-				if sl.LSN <= st.SnapshotLSN[sl.Shard] {
-					continue // covered: the snapshot only sealed once this frame was stable
+				if fa.lsn <= st.SnapshotLSN[s] {
+					continue // covered leftovers from an interrupted truncation
 				}
-				if presence[sl.Shard][sl.LSN] != key {
-					valid = false
+				if !provable(st, presence, cut, fa.f) {
+					cut[s] = fa.lsn
+					changed = true
 					break
 				}
 			}
-			if !valid {
+		}
+	}
+	// A cut becomes a physical repair: Open truncates the shard's log at
+	// the cut frame and deletes every later segment, so appending resumes
+	// exactly at the cut. Leaving the dropped frames on disk instead
+	// would be fatal on the NEXT recovery: new acknowledged commits would
+	// sit past a stale, forever-unprovable frame in the same log and be
+	// cut away with it. Excision also makes re-using the dropped LSNs
+	// safe — no stale copy survives to collide with.
+	for s := 0; s < shards; s++ {
+		if cut[s] == ^uint64(0) || len(frames[s]) == 0 {
+			continue
+		}
+		idx := int(cut[s] - frames[s][0].lsn)
+		fa := frames[s][idx]
+		rep := &st.repairs[s]
+		st.TruncatedBytes += uint64(ends[s][fa.seg] - fa.off)
+		for _, e := range ends[s][fa.seg+1:] {
+			st.TruncatedBytes += uint64(e)
+		}
+		rep.truncPath = segs[s][fa.seg].path
+		rep.truncSize = fa.off
+		rep.removes = rep.removes[:0]
+		for _, later := range segs[s][fa.seg+1:] {
+			rep.removes = append(rep.removes, later.path)
+		}
+		rep.liveSegs = append([]segment(nil), segs[s][:fa.seg+1]...)
+		st.NextLSN[s] = cut[s]
+	}
+	for s := 0; s < shards; s++ {
+		for _, fa := range frames[s] {
+			if fa.lsn >= cut[s] {
 				st.DroppedFrames++
 				continue
 			}
@@ -197,13 +251,40 @@ func Recover(dir string, shards int) (*State, error) {
 	return st, nil
 }
 
+// provable reports whether every (shard, LSN) of f's identity vector is
+// covered by that shard's snapshot or physically retained below that
+// shard's current cut with the same vector.
+func provable(st *State, presence []map[uint64]string, cut []uint64, f *Frame) bool {
+	key := f.vectorKey()
+	for _, sl := range f.Shards {
+		if sl.Shard < 0 || sl.Shard >= st.Shards {
+			return false
+		}
+		if sl.LSN <= st.SnapshotLSN[sl.Shard] {
+			continue // covered: the snapshot only sealed once this frame was stable
+		}
+		if sl.LSN >= cut[sl.Shard] || presence[sl.Shard][sl.LSN] != key {
+			return false
+		}
+	}
+	return true
+}
+
 // readShardLog walks one shard's segments in base order, decoding
 // frames until the first torn or corrupt frame, and records the repair
 // plan (tail truncation + removal of unreachable later segments). The
-// returned presence map carries each retained LSN's identity vector.
-func readShardLog(st *State, s int, segs []segment) ([]frameAt, map[uint64]string) {
+// returned presence map carries each retained LSN's identity vector;
+// ends records, per segment, where its valid data stops (so a replay
+// cut can be priced and truncated later). It errors when the first
+// segment does not connect to the loaded snapshot (base >
+// SnapshotLSN+1): the covered LSN range is gone, so replaying the
+// disconnected suffix would silently lose committed, possibly
+// acknowledged writes — an unrecoverable gap must fail loudly rather
+// than produce wrong state.
+func readShardLog(st *State, s int, segs []segment) ([]frameAt, map[uint64]string, []int64, error) {
 	var frames []frameAt
 	presence := make(map[uint64]string)
+	ends := make([]int64, len(segs))
 	rep := &st.repairs[s]
 	stop := func(segIdx int, validOff int64, fileSize int64) {
 		rep.truncPath = segs[segIdx].path
@@ -219,10 +300,15 @@ func readShardLog(st *State, s int, segs []segment) ([]frameAt, map[uint64]strin
 	}
 	var expected uint64
 	for i, seg := range segs {
+		if i == 0 && seg.base > st.SnapshotLSN[s]+1 {
+			return nil, nil, nil, fmt.Errorf(
+				"wal: shard %d: unrecoverable gap: first segment %s starts at lsn %d but the snapshot covers only lsn %d",
+				s, filepath.Base(seg.path), seg.base, st.SnapshotLSN[s])
+		}
 		b, err := os.ReadFile(seg.path)
 		if err != nil {
 			stop(i, 0, 0)
-			return frames, presence
+			return frames, presence, ends, nil
 		}
 		if i == 0 {
 			expected = seg.base
@@ -230,30 +316,31 @@ func readShardLog(st *State, s int, segs []segment) ([]frameAt, map[uint64]strin
 			// A segment is missing from the middle: nothing past the
 			// gap is a provable prefix.
 			stop(i, 0, int64(len(b)))
-			return frames, presence
+			return frames, presence, ends, nil
 		}
 		off := 0
 		for off < len(b) {
 			f, n, err := decodeFrame(b[off:])
 			if err != nil {
 				stop(i, int64(off), int64(len(b)))
-				return frames, presence
+				return frames, presence, ends, nil
 			}
 			lsn, ok := f.LSNFor(s)
 			if !ok || lsn != expected {
 				// The checksum passed but the frame is not this log's
 				// next LSN: writer bug or foreign file. Stop cleanly.
 				stop(i, int64(off), int64(len(b)))
-				return frames, presence
+				return frames, presence, ends, nil
 			}
-			frames = append(frames, frameAt{lsn: lsn, f: f})
+			frames = append(frames, frameAt{lsn: lsn, f: f, seg: i, off: int64(off)})
 			presence[lsn] = f.vectorKey()
 			expected++
 			off += n
+			ends[i] = int64(off)
 		}
 	}
 	rep.liveSegs = append([]segment(nil), segs...)
-	return frames, presence
+	return frames, presence, ends, nil
 }
 
 // parseFileName parses prefix + 3-digit shard + "-" + 16-hex LSN + ext.

@@ -206,24 +206,29 @@ func (l *Log) Append(f *Frame) error {
 	if len(f.Shards) == 0 {
 		return errors.New("wal: frame with empty shard vector")
 	}
-	sort.Slice(f.Shards, func(i, j int) bool { return f.Shards[i].Shard < f.Shards[j].Shard })
-	l.hook(CrashPreAppend)
-	enc := appendFrame(nil, f)
+	// Validate the whole vector before touching any shardLog: enqueueing
+	// a frame whose later entry then fails would leave LSNs written but
+	// never marked stable, wedging the shard's dense stable watermark.
 	for _, sl := range f.Shards {
 		if sl.Shard < 0 || sl.Shard >= len(l.shards) {
 			return fmt.Errorf("wal: frame names shard %d of %d", sl.Shard, len(l.shards))
 		}
+	}
+	sort.Slice(f.Shards, func(i, j int) bool { return f.Shards[i].Shard < f.Shards[j].Shard })
+	l.hook(CrashPreAppend)
+	enc := appendFrame(nil, f)
+	for _, sl := range f.Shards {
 		l.shards[sl.Shard].enqueue(l, sl.LSN, enc)
 	}
 	for _, sl := range f.Shards {
 		if err := l.shards[sl.Shard].waitWritten(sl.LSN); err != nil {
-			return err
+			return l.poison(f, err)
 		}
 	}
 	if l.cfg.Fsync == FsyncAlways {
 		for _, sl := range f.Shards {
 			if err := l.shards[sl.Shard].ensureDurable(l, sl.LSN); err != nil {
-				return err
+				return l.poison(f, err)
 			}
 		}
 	}
@@ -232,6 +237,27 @@ func (l *Log) Append(f *Frame) error {
 	}
 	l.hook(CrashPostAppend)
 	return nil
+}
+
+// poison propagates an append failure to every shard in the frame's
+// vector. The frame will never be marked stable, so without a sticky
+// error those shards' stable watermarks would wedge and every later
+// WaitStable there would hang instead of failing.
+func (l *Log) poison(f *Frame, err error) error {
+	for _, sl := range f.Shards {
+		l.shards[sl.Shard].fail(err)
+	}
+	return err
+}
+
+// fail records a sticky error (first writer wins) and wakes waiters.
+func (s *shardLog) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 // WaitStable blocks until every frame with an LSN ≤ lsn in shard is

@@ -355,9 +355,148 @@ func TestUnackedCrossShardFrameDropped(t *testing.T) {
 	if st.DroppedFrames != 1 {
 		t.Fatalf("DroppedFrames = %d, want 1", st.DroppedFrames)
 	}
-	// But its LSN is burned: the next writer must not reuse it.
-	if st.NextLSN[0] != 3 {
-		t.Fatalf("NextLSN[0] = %d, want 3", st.NextLSN[0])
+	// The dropped frame is a replay cut: appending resumes at its LSN
+	// (Open excises the stale copy, so re-use cannot collide).
+	if st.NextLSN[0] != 2 {
+		t.Fatalf("NextLSN[0] = %d, want 2", st.NextLSN[0])
+	}
+	// Open must excise the dropped frame; a fresh append at its LSN must
+	// win on the next recovery.
+	l2, _ := openLog(t, dir, 2, FsyncNever)
+	mustAppend(t, l2, put(0, 2, "a", "2"))
+	l2.Close()
+	st2, err := Recover(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, st2, 0, map[string]string{"a": "2"})
+	wantKeys(t, st2, 1, map[string]string{"b": "1"})
+	if st2.DroppedFrames != 0 {
+		t.Fatalf("DroppedFrames after repair = %d, want 0", st2.DroppedFrames)
+	}
+}
+
+func TestReplayStopsAtDroppedFrame(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-craft a crash residue across two shards:
+	//   shard 0 log: put(1), cross1 {0:2, 1:3}, cross2 {0:3, 1:2}
+	//   shard 1 log: put(1), cross2 {0:3, 1:2}
+	// cross1's shard-1 copy (LSN 3) was torn away, so cross1 is
+	// unprovable. cross2 is fully persisted — but it sits past cross1 in
+	// shard 0, and nothing at or past a dropped frame could have been
+	// acknowledged (the ack gate is a dense stable prefix) or be
+	// independent of the dropped commit. Recovery must cut shard 0 at
+	// LSN 2, which strands cross2's shard-1 copy too: no partial
+	// application, no unexplainable state.
+	cross1 := &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 2}, {Shard: 1, LSN: 3}},
+		Ops:    []Op{{Shard: 0, Key: "a", Val: []byte("X")}, {Shard: 1, Key: "c", Val: []byte("X")}},
+	}
+	cross2 := &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 3}, {Shard: 1, LSN: 2}},
+		Ops:    []Op{{Shard: 0, Key: "d", Val: []byte("Y")}, {Shard: 1, Key: "e", Val: []byte("Y")}},
+	}
+	s0 := appendFrame(nil, put(0, 1, "a", "1"))
+	s0 = appendFrame(s0, cross1)
+	s0 = appendFrame(s0, cross2)
+	s1 := appendFrame(nil, put(1, 1, "b", "1"))
+	s1 = appendFrame(s1, cross2)
+	if err := os.WriteFile(filepath.Join(dir, segmentName(0, 1)), s0, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1, 1)), s1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Recover(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, st, 0, map[string]string{"a": "1"})
+	wantKeys(t, st, 1, map[string]string{"b": "1"})
+	if st.ReplayedFrames != 2 {
+		t.Fatalf("ReplayedFrames = %d, want 2", st.ReplayedFrames)
+	}
+	// Dropped copies: shard 0's cross1 and cross2, shard 1's cross2.
+	if st.DroppedFrames != 3 {
+		t.Fatalf("DroppedFrames = %d, want 3", st.DroppedFrames)
+	}
+	// Appending resumes at each shard's cut (Open excises the residue).
+	if st.NextLSN[0] != 2 || st.NextLSN[1] != 2 {
+		t.Fatalf("NextLSN = %v, want [2 2]", st.NextLSN)
+	}
+	// After Open's repair, new appends at the cut LSNs must survive a
+	// second crash-free recovery with nothing left to drop — the exact
+	// property whose absence loses acked writes across two crashes.
+	l, _ := openLog(t, dir, 2, FsyncNever)
+	mustAppend(t, l, put(0, 2, "f", "2"))
+	mustAppend(t, l, put(1, 2, "g", "2"))
+	l.Close()
+	st2, err := Recover(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, st2, 0, map[string]string{"a": "1", "f": "2"})
+	wantKeys(t, st2, 1, map[string]string{"b": "1", "g": "2"})
+	if st2.DroppedFrames != 0 {
+		t.Fatalf("DroppedFrames after repair = %d, want 0", st2.DroppedFrames)
+	}
+}
+
+func TestRecoverRejectsSnapshotGap(t *testing.T) {
+	// A snapshot covering LSNs ≤ 2 with the only surviving segment
+	// starting at LSN 4: the covered range is gone (e.g. the newest
+	// snapshot rotted after its truncation ran and recovery fell back).
+	// Replaying the disconnected suffix would silently lose LSN 3, so
+	// recovery must refuse instead of producing wrong state.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(0, 2)),
+		encodeSnapshot(0, 2, map[string][]byte{"a": []byte("1")}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(0, 4)),
+		appendFrame(nil, put(0, 4, "b", "2")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir, 1); err == nil {
+		t.Fatal("Recover replayed a log disconnected from its snapshot")
+	}
+	// Same gap with no snapshot at all: a first segment past LSN 1.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, segmentName(0, 2)),
+		appendFrame(nil, put(0, 2, "b", "2")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir2, 1); err == nil {
+		t.Fatal("Recover replayed a log with no connected base")
+	}
+}
+
+func TestAppendRejectsBadShardVector(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 2, FsyncNever)
+	bad := &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 1}, {Shard: 5, LSN: 1}},
+		Ops:    []Op{{Shard: 0, Key: "a", Val: []byte("0")}},
+	}
+	if err := l.Append(bad); err == nil {
+		t.Fatal("Append accepted an out-of-range shard")
+	}
+	// The malformed frame must not have touched shard 0's log: the real
+	// LSN-1 append must land, stabilize, and survive recovery.
+	mustAppend(t, l, put(0, 1, "a", "1"))
+	if err := l.WaitStable(0, 1); err != nil {
+		t.Fatalf("WaitStable after rejected frame: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Recover(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys(t, st, 0, map[string]string{"a": "1"})
+	if st.DroppedFrames != 0 {
+		t.Fatalf("DroppedFrames = %d, want 0", st.DroppedFrames)
 	}
 }
 
