@@ -19,24 +19,33 @@
 #                   and verify every acknowledged write survives and the
 #                   recovered history stays linearizable (CRASH_FLAGS to
 #                   customise; see DESIGN.md §12)
+#   make failover   replication failover soak: run a 3-node cluster of
+#                   child servers under load, SIGKILL the primary ≥50
+#                   times, require automatic promotion each time, prove
+#                   the deposed primary is fenced on rejoin, and verify
+#                   no acked write is lost and the cross-failover history
+#                   stays linearizable (FAILOVER_FLAGS to customise; see
+#                   DESIGN.md §13)
 #   make bench-kv   serving-path benchmark: NZSTM vs GlobalLock over real
 #                   sockets, plus WAL fsync=always/interval/never durability
-#                   pricing, results in BENCH_kv.json
+#                   pricing and the 3-node replicated-reads comparison,
+#                   results in BENCH_kv.json
 #   make serve      run nztm-server with defaults
 
 GO ?= go
 
 RACE_PKGS = ./internal/tm ./internal/core ./internal/kv ./internal/server \
             ./internal/fault ./internal/histcheck ./internal/trace \
-            ./internal/metrics ./internal/wal
+            ./internal/metrics ./internal/wal ./internal/repl
 
 FUZZ_TIME ?= 10s
 SOAK_FLAGS ?= -seed 1 -duration 5s
 CRASH_FLAGS ?= -crash -crash-target 200 -seed 1
+FAILOVER_FLAGS ?= -failover -kills 50 -seed 1
 
-.PHONY: check build vet test race race-tracing fuzz soak crash bench-kv serve
+.PHONY: check build vet test race race-tracing fuzz soak crash failover bench-kv serve
 
-check: build vet test race race-tracing fuzz soak crash bench-kv
+check: build vet test race race-tracing fuzz soak crash failover bench-kv
 
 build:
 	$(GO) build ./...
@@ -62,6 +71,7 @@ fuzz:
 	$(GO) test -run=NoTestsMatch -fuzz=FuzzFrame -fuzztime=$(FUZZ_TIME) ./internal/server
 	$(GO) test -run=NoTestsMatch -fuzz=FuzzWALFrame -fuzztime=$(FUZZ_TIME) ./internal/wal
 	$(GO) test -run=NoTestsMatch -fuzz=FuzzRecoverLog -fuzztime=$(FUZZ_TIME) ./internal/wal
+	$(GO) test -run=NoTestsMatch -fuzz=FuzzReplFrame -fuzztime=$(FUZZ_TIME) ./internal/repl
 
 soak:
 	$(GO) run ./cmd/nztm-soak $(SOAK_FLAGS)
@@ -69,8 +79,11 @@ soak:
 crash:
 	$(GO) run ./cmd/nztm-soak $(CRASH_FLAGS)
 
+failover:
+	$(GO) run ./cmd/nztm-soak $(FAILOVER_FLAGS)
+
 bench-kv:
-	$(GO) run ./cmd/nztm-load -out BENCH_kv.json -fsync always,interval,never
+	$(GO) run ./cmd/nztm-load -out BENCH_kv.json -fsync always,interval,never -replicated
 
 serve:
 	$(GO) run ./cmd/nztm-server

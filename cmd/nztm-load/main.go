@@ -19,6 +19,7 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -55,6 +56,9 @@ type result struct {
 	Requests   uint64  `json:"requests"`
 	Failures   uint64  `json:"failures"`
 	Throughput float64 `json:"throughput_req_per_sec"`
+	// ReadThroughput is the GET-only rate for replicated runs, where
+	// reads route to replicas (absent elsewhere).
+	ReadThroughput float64 `json:"read_req_per_sec,omitempty"`
 	P50Us      float64 `json:"p50_us"`
 	P95Us      float64 `json:"p95_us"`
 	P99Us      float64 `json:"p99_us"`
@@ -109,8 +113,21 @@ func main() {
 		out      = flag.String("out", "BENCH_kv.json", "machine-readable output file (empty disables)")
 		mOut     = flag.String("metrics-out", "BENCH_kv.json", "bench file that also receives server-side commit-latency histogram percentiles; usually the same file as -out (empty disables)")
 		fsyncs   = flag.String("fsync", "", "also measure a crash-durable NZSTM server per listed WAL fsync policy (comma-separated: always,interval,never); the memory-only baselines above are unchanged")
+		repl     = flag.Bool("replicated", false, "also measure a 3-node replication cluster (1 primary + 2 read replicas, reads routed to replicas) against a single-node control on the same read-heavy profile")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := config{
 		clients: *clients, duration: *duration, warmup: *warmup,
@@ -148,6 +165,13 @@ func main() {
 				fatal(err)
 			}
 			results = append(results, r)
+		}
+		if *repl {
+			rs, err := measureReplicated(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, rs...)
 		}
 	}
 

@@ -1,0 +1,371 @@
+// Replicated serving benchmark (-replicated): self-hosts a 3-node
+// replication cluster (1 primary + 2 bounded-staleness read replicas,
+// both planes over real loopback TCP) and a single-node control, and
+// drives the same workload through the replica-aware cluster client
+// against each: dedicated readers running a closed loop under a 250ms
+// staleness budget, plus a writer pool paced to a fixed offered rate
+// so both configurations carry an identical replicated-write stream
+// (closed-loop writers would self-throttle to whichever config's write
+// path is slower and the two sides would no longer run the same load).
+//
+// The interesting number is aggregate read throughput: reads route to
+// the replicas (round-robin), so the replicas absorb the entire read
+// fleet while the primary pays only the write stream. On a multi-core
+// host that is added capacity outright — each replica serves reads on
+// cores the single node doesn't have. On a single-core host (this CI
+// box) the comparison instead prices the replication tax: both sides
+// share one core, the cluster does strictly more work per write (ship,
+// double-apply, ack), and the read number shows how much of the solo
+// capacity survives — while buying failover, redundancy, and commit
+// stalls hidden from readers (replicas serve applied state without the
+// primary's fsync in the read path).
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nztm/internal/kv"
+	"nztm/internal/repl"
+	"nztm/internal/server"
+	"nztm/internal/wal"
+)
+
+// loadReplNode is one in-process cluster member.
+type loadReplNode struct {
+	backend *kv.Backend
+	store   *kv.Store
+	node    *repl.Node
+	srv     *server.Server
+	ln      net.Listener
+	dir     string
+	done    chan error
+}
+
+func (n *loadReplNode) close() {
+	if n.srv != nil {
+		n.srv.Shutdown(5 * time.Second)
+		<-n.done
+	}
+	if n.node != nil {
+		n.node.Close()
+	}
+	if n.store != nil {
+		n.store.Close()
+	}
+	if n.dir != "" {
+		os.RemoveAll(n.dir)
+	}
+}
+
+// startLoadReplNode boots one member. primaryFrom "" starts it as the
+// primary; ack names the commit-gate policy (a 1-node "cluster" must
+// use AckNone — there is no follower to ack). The primary (and the
+// solo control) runs fsync=always — the full-durability configuration
+// whose commit stalls this benchmark exists to price — while followers
+// run fsync=interval: a follower's durability is the primary's already
+// fsynced log plus cluster redundancy, so it may mark applied frames
+// stable immediately instead of re-paying the fsync on the read path.
+func startLoadReplNode(id int, kvAddr, replAddr string, peers []string, primaryFrom, ack string, cfg config) (*loadReplNode, error) {
+	n := &loadReplNode{done: make(chan error, 1)}
+	fail := func(err error) (*loadReplNode, error) {
+		n.close()
+		return nil, err
+	}
+	backend, err := kv.OpenBackend("nzstm", cfg.threads)
+	if err != nil {
+		return fail(err)
+	}
+	n.backend = backend
+	n.dir, err = os.MkdirTemp("", fmt.Sprintf("nztm-load-repl-n%d-", id))
+	if err != nil {
+		return fail(err)
+	}
+	policy := wal.FsyncAlways
+	if primaryFrom != "" {
+		policy = wal.FsyncInterval
+	}
+	n.store, _, err = kv.NewDurable(backend.Sys, cfg.shards, cfg.buckets, kv.Durability{
+		Dir:           n.dir,
+		Fsync:         policy,
+		FsyncInterval: 10 * time.Millisecond,
+		SnapshotEvery: 500 * time.Millisecond,
+		NewThread:     backend.NewThread,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	n.node, err = repl.Start(n.store, repl.Config{
+		NodeID:         id,
+		KVAddr:         kvAddr,
+		ReplAddr:       replAddr,
+		Peers:          peers,
+		PrimaryFrom:    primaryFrom,
+		AckPolicy:      ack,
+		HeartbeatEvery: 100 * time.Millisecond,
+		LeaseTimeout:   5 * time.Second,
+		NewThread:      backend.NewThread,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	n.srv = server.New(n.store, backend.Reg, server.Config{
+		MaxAttempts:    100_000,
+		RequestTimeout: 5 * time.Second,
+		CheckRequest:   n.node.CheckRequest,
+	})
+	n.ln, err = net.Listen("tcp", kvAddr)
+	if err != nil {
+		return fail(err)
+	}
+	go func() { n.done <- n.srv.Serve(n.ln) }()
+	return n, nil
+}
+
+// measureReplicated runs the replicated comparison and returns the
+// single-node control followed by the 3-node cluster result.
+func measureReplicated(cfg config) ([]result, error) {
+	// The replicated profile splits clients: dedicated readers (what
+	// replicas absorb) plus a writer pool keeping a continuous replicated
+	// write stream flowing.
+
+	freeAddr := func() (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr, nil
+	}
+
+	// Single-node control: same stack, same client, no followers.
+	soloKV, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	soloRepl, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	solo, err := startLoadReplNode(0, soloKV, soloRepl, nil, "", repl.AckNone, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("replicated bench: single-node control: %w", err)
+	}
+	fmt.Printf("nztm-load: measuring NZSTM+repl(1 node) on %s...\n", soloKV)
+	soloRes, err := measureCluster("NZSTM+repl(1node)", []string{soloKV}, cfg)
+	solo.close()
+	if err != nil {
+		return nil, err
+	}
+	// Both phases share one process: collect the control phase's garbage
+	// now so the cluster phase doesn't pay its GC debt.
+	runtime.GC()
+
+	// 3-node cluster: node 0 primary, 1 and 2 replicas, ack=one.
+	var kvAddrs, replAddrs []string
+	for i := 0; i < 3; i++ {
+		ka, err := freeAddr()
+		if err != nil {
+			return nil, err
+		}
+		ra, err := freeAddr()
+		if err != nil {
+			return nil, err
+		}
+		kvAddrs, replAddrs = append(kvAddrs, ka), append(replAddrs, ra)
+	}
+	var nodes []*loadReplNode
+	defer func() {
+		for _, n := range nodes {
+			n.close()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		var peers []string
+		for j := 0; j < 3; j++ {
+			if j != i {
+				peers = append(peers, replAddrs[j])
+			}
+		}
+		primaryFrom := ""
+		if i > 0 {
+			primaryFrom = replAddrs[0]
+		}
+		n, err := startLoadReplNode(i, kvAddrs[i], replAddrs[i], peers, primaryFrom, repl.AckOne, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("replicated bench: node %d: %w", i, err)
+		}
+		nodes = append(nodes, n)
+	}
+	fmt.Printf("nztm-load: measuring NZSTM+repl(3 nodes, reads@replicas) on %v...\n", kvAddrs)
+	clusterRes, err := measureCluster("NZSTM+repl(3nodes,reads@replicas)", kvAddrs, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	if soloRes.ReadThroughput > 0 {
+		fmt.Printf("\nreplicated/single read throughput: %.2fx (%.0f vs %.0f reads/s; reads served by 2 replicas)\n",
+			clusterRes.ReadThroughput/soloRes.ReadThroughput,
+			clusterRes.ReadThroughput, soloRes.ReadThroughput)
+	}
+	return []result{soloRes, clusterRes}, nil
+}
+
+// clusterWriteRate is the fixed offered write rate (writes/s, summed
+// across the writer pool) both configurations carry. Low enough that a
+// 1-core host can replicate it without starving readers, high enough
+// that every read races a live apply stream.
+const clusterWriteRate = 250
+
+// measureCluster drives cfg.clients dedicated readers in a closed loop
+// through repl.Cluster clients (bounded-staleness replica reads, no
+// read-your-writes coupling — they never write) plus cfg.clients/4
+// dedicated writers paced to clusterWriteRate in aggregate. Latency
+// quantiles cover reads only; write latency would otherwise drown the
+// read distribution whenever the write path is the expensive one.
+func measureCluster(label string, addrs []string, cfg config) (result, error) {
+	keys := make([]string, cfg.keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k:%06d", i)
+	}
+	value := make([]byte, cfg.valueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	// Preload through the primary in batches.
+	setup, err := repl.DialCluster(repl.ClusterConfig{Addrs: addrs, MaxLagMs: server.NoLagBudget})
+	if err != nil {
+		return result{}, err
+	}
+	for i := 0; i < len(keys); i += 16 {
+		end := i + 16
+		if end > len(keys) {
+			end = len(keys)
+		}
+		ops := make([]kv.Op, 0, end-i)
+		for _, k := range keys[i:end] {
+			ops = append(ops, kv.Op{Kind: kv.OpPut, Key: k, Value: value})
+		}
+		if _, err := setup.Write(ops); err != nil {
+			setup.Close()
+			return result{}, fmt.Errorf("preload: %w", err)
+		}
+	}
+	setup.Close()
+
+	var (
+		recording atomic.Bool
+		stop      atomic.Bool
+		reads     atomic.Uint64
+		writes    atomic.Uint64
+		failures  atomic.Uint64
+		lat       server.Histogram
+		wg        sync.WaitGroup
+		errs      = make(chan error, 2*cfg.clients+1)
+	)
+	nWriters := cfg.clients / 4
+	if nWriters < 1 {
+		nWriters = 1
+	}
+	// Each writer owes a write every writeEvery to hit the aggregate
+	// offered rate.
+	writeEvery := time.Duration(nWriters) * time.Second / clusterWriteRate
+	worker := func(id int, isReader bool) {
+		defer wg.Done()
+		// Readers tolerate 250ms of staleness and carry no token (they
+		// never write), so replicas serve them without cross-node
+		// synchronization; writers go to the primary under ack=one.
+		cl, err := repl.DialCluster(repl.ClusterConfig{Addrs: addrs, MaxLagMs: 250})
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer cl.Close()
+		rng := uint64(id+1)*0x9e3779b97f4a7c15 + 11
+		next := func() uint64 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return rng
+		}
+		for !stop.Load() {
+			start := time.Now()
+			if isReader {
+				_, err = cl.Read([]kv.Op{{Kind: kv.OpGet, Key: keys[next()%uint64(len(keys))]}})
+			} else {
+				_, err = cl.Write([]kv.Op{{Kind: kv.OpPut, Key: keys[next()%uint64(len(keys))], Value: value}})
+			}
+			if stop.Load() {
+				return
+			}
+			if err != nil {
+				if recording.Load() {
+					failures.Add(1)
+				}
+				continue
+			}
+			if recording.Load() {
+				if isReader {
+					reads.Add(1)
+					lat.Observe(time.Since(start))
+				} else {
+					writes.Add(1)
+				}
+			}
+			if !isReader {
+				// Paced, not closed-loop: sleep off the rest of this slot so
+				// the offered write rate is the same in every configuration.
+				if spent := time.Since(start); spent < writeEvery {
+					time.Sleep(writeEvery - spent)
+				}
+			}
+		}
+	}
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go worker(w, true)
+	}
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go worker(cfg.clients+w, false)
+	}
+
+	time.Sleep(cfg.warmup)
+	recording.Store(true)
+	measureStart := time.Now()
+	time.Sleep(cfg.duration)
+	recording.Store(false)
+	elapsed := time.Since(measureStart)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return result{}, err
+	default:
+	}
+
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	total := reads.Load() + writes.Load()
+	return result{
+		System:         label,
+		Fsync:          "always@primary",
+		Clients:        cfg.clients,
+		DurationS:      elapsed.Seconds(),
+		Requests:       total,
+		Failures:       failures.Load(),
+		Throughput:     float64(total) / elapsed.Seconds(),
+		ReadThroughput: float64(reads.Load()) / elapsed.Seconds(),
+		P50Us:          us(lat.Quantile(0.50)),
+		P95Us:          us(lat.Quantile(0.95)),
+		P99Us:          us(lat.Quantile(0.99)),
+		MaxUs:          us(lat.Max()),
+		MeanUs:         us(lat.Mean()),
+	}, nil
+}

@@ -39,6 +39,7 @@ import (
 
 	"nztm/internal/fault"
 	"nztm/internal/kv"
+	"nztm/internal/repl"
 	"nztm/internal/server"
 	"nztm/internal/trace"
 	"nztm/internal/wal"
@@ -69,6 +70,16 @@ func main() {
 		crashSeed  = flag.Uint64("crash-seed", 0, "arm deterministic kill-self crash-point injection with this seed (0 = off; testing only)")
 		crashSites = flag.String("crash-sites", "all", "comma-separated WAL crash sites to arm (pre-append, mid-append, post-append, mid-snapshot, mid-truncate, or all)")
 		crashProb  = flag.Float64("crash-prob", 0.01, "per-visit firing probability at each armed crash site")
+
+		replAddr  = flag.String("repl-addr", "", "replication listen address (empty disables the replication plane; requires -data-dir)")
+		replFrom  = flag.String("replicate-from", "", "start as a follower of the primary at this replication address (empty with -repl-addr = start as primary)")
+		advertise = flag.String("advertise", "", "replication address to advertise to peers (default: the bound -repl-addr)")
+		peers     = flag.String("peers", "", "comma-separated replication addresses of every OTHER node (election quorum + discovery)")
+		nodeID    = flag.Int("node-id", 0, "this node's unique id in the cluster (election tie-break: lower wins)")
+		replAck   = flag.String("repl-ack", "one", "write acknowledgement policy: none, one, majority")
+		hbEvery   = flag.Duration("heartbeat-every", 50*time.Millisecond, "primary lease-renewal period")
+		leaseTo   = flag.Duration("lease-timeout", 0, "follower election trigger after this silence (default 5 × -heartbeat-every)")
+		readWait  = flag.Duration("max-read-wait", time.Second, "bounded-staleness read wait budget before StatusLagging")
 	)
 	flag.Parse()
 
@@ -152,15 +163,59 @@ func main() {
 		store = kv.New(sys, *shards, *buckets)
 	}
 	store.EnableMetrics()
-	cfg.ExtraStatsz = chainWriters(statszHooks)
-	cfg.ExtraMetricsz = chainWriters(metricszHooks)
-	srv := server.New(store, backend.Reg, cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nztm-server:", err)
 		os.Exit(1)
 	}
+
+	// The replication plane sits between the listener and the executor:
+	// its CheckRequest hook redirects writes off followers, holds bounded
+	// reads to their staleness contract, and (via the store's commit
+	// gate) delays write acks until enough followers applied the frame.
+	var replNode *repl.Node
+	if *replAddr != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "nztm-server: -repl-addr requires -data-dir (the log is the stream)")
+			os.Exit(2)
+		}
+		rcfg := repl.Config{
+			NodeID:         *nodeID,
+			KVAddr:         ln.Addr().String(),
+			ReplAddr:       *replAddr,
+			Advertise:      *advertise,
+			PrimaryFrom:    *replFrom,
+			AckPolicy:      *replAck,
+			HeartbeatEvery: *hbEvery,
+			LeaseTimeout:   *leaseTo,
+			MaxReadWait:    *readWait,
+			NewThread:      backend.NewThread,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		}
+		if *peers != "" {
+			rcfg.Peers = strings.Split(*peers, ",")
+		}
+		if fr != nil {
+			rcfg.Recorder = fr.ForSource(trace.ReplSource)
+		}
+		replNode, err = repl.Start(store, rcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nztm-server:", err)
+			os.Exit(1)
+		}
+		cfg.CheckRequest = replNode.CheckRequest
+		statszHooks = append(statszHooks, replNode.WriteStatsz)
+		metricszHooks = append(metricszHooks, replNode.WriteMetricsz)
+		fmt.Printf("nztm-server: replication on %s: node=%d role=%s epoch=%d ack=%s peers=%d\n",
+			replNode.ReplAddr(), *nodeID, replNode.Role(), replNode.Epoch(), *replAck, len(rcfg.Peers))
+	}
+
+	cfg.ExtraStatsz = chainWriters(statszHooks)
+	cfg.ExtraMetricsz = chainWriters(metricszHooks)
+	srv := server.New(store, backend.Reg, cfg)
 	if plane != nil {
 		ln = plane.WrapListener(ln)
 		fmt.Printf("nztm-server: fault plane armed, seed=%d\n", *faultSd)
@@ -222,6 +277,9 @@ func main() {
 	}
 	// Drained: flush + sync + close the WAL and release registry slots,
 	// so a clean exit always recovers to exactly the acknowledged state.
+	if replNode != nil {
+		replNode.Close()
+	}
 	if err := store.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "nztm-server: close:", err)
 		os.Exit(1)

@@ -59,9 +59,24 @@ func main() {
 		crashMode   = flag.Bool("crash", false, "crash-recovery soak: repeatedly kill a child nztm-server at WAL crash points and verify recovery (see DESIGN.md §12)")
 		crashTarget = flag.Int("crash-target", 200, "crash mode: total crash-point injections to accumulate across all five sites")
 		crashDir    = flag.String("crash-data-dir", "", "crash mode: persistent data directory (default: a temp dir, removed on success)")
-		serverBin   = flag.String("server-bin", "", "crash mode: path to an nztm-server binary (default: go build it)")
+		serverBin   = flag.String("server-bin", "", "crash/failover mode: path to an nztm-server binary (default: go build it)")
+
+		failoverMode = flag.Bool("failover", false, "replication failover soak: run a 3-node cluster, repeatedly SIGKILL the primary mid-load, require automatic promotion, no acked-write loss, fencing of the deposed primary, and a linearizable cross-failover history (see DESIGN.md §13)")
+		failKills    = flag.Int("kills", 50, "failover mode: primary SIGKILLs to survive")
 	)
 	flag.Parse()
+	if *failoverMode {
+		err := runFailover(failCfg{
+			bin: *serverBin, seed: *seed, kills: *failKills,
+			shards: *shards, buckets: *buckets, keys: 12, workers: 3, limit: *limit,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nztm-soak: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("nztm-soak: PASS")
+		return
+	}
 	if *crashMode {
 		err := runCrash(crashCfg{
 			bin: *serverBin, dir: *crashDir, seed: *seed, target: *crashTarget,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nztm/internal/metrics"
@@ -70,6 +71,10 @@ type durState struct {
 	rec   *trace.Recorder
 
 	recovery metrics.Histogram // recovery wall time (one observation per boot)
+
+	// gate, when set, delays acknowledgements on the replication plane's
+	// say-so (semi-synchronous replication); see SetCommitGate.
+	gate atomic.Pointer[CommitGate]
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -253,6 +258,18 @@ func (d *durState) finish(da *durAttempt, committed bool) error {
 			return fmt.Errorf("kv: wal wait: %w", err)
 		}
 	}
+	// Replication gate: local durability alone is not enough when a
+	// failover could abandon this machine's tail. Reads gate too — a
+	// result may expose a concurrent commit that no follower has yet, and
+	// acknowledging it would let a client observe state the promoted
+	// primary never had.
+	if gp := d.gate.Load(); gp != nil {
+		if vec := da.vector(); len(vec) > 0 {
+			if err := (*gp)(vec, committed && len(da.assigned) > 0); err != nil {
+				return fmt.Errorf("kv: commit gate: %w", err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -282,20 +299,7 @@ func (d *durState) snapshotLoop(s *Store) {
 // snapshotShard seals one shard's snapshot. Failures are recorded (the
 // log keeps growing, correctness is unaffected) and retried next tick.
 func (d *durState) snapshotShard(s *Store, shard int) {
-	var lsn uint64
-	var keys map[string][]byte
-	err := s.sys.Atomic(d.th, func(tx tm.Tx) error {
-		// A retried attempt re-reads from scratch.
-		lsn = tx.Read(d.seqs[shard]).(*seqData).lsn
-		keys = make(map[string][]byte)
-		for b := 0; b < s.buckets; b++ {
-			bd := tx.Read(s.shards[shard][b]).(*bucketData)
-			for i := range bd.entries {
-				keys[bd.entries[i].key] = append([]byte(nil), bd.entries[i].val...)
-			}
-		}
-		return nil
-	})
+	lsn, keys, err := s.SnapshotShard(d.th, shard)
 	if err != nil || lsn == 0 {
 		return
 	}

@@ -237,6 +237,21 @@ func (s *Store) locate(key string) (tm.Object, int) {
 //
 // On ErrBudget the request had no effect.
 func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
+	results, _, err := s.do(th, ops, budget, false)
+	return results, err
+}
+
+// DoVec is Do plus the request's commit vector: for each shard the
+// transaction touched, the highest LSN its results depend on (its own
+// writes and every observed read prefix). Clients hold the vector as a
+// read-your-writes token and hand it to replicas, which refuse to serve
+// until they have applied at least that prefix. Nil for memory-only
+// stores.
+func (s *Store) DoVec(th *tm.Thread, ops []Op, budget Budget) ([]Result, []wal.ShardLSN, error) {
+	return s.do(th, ops, budget, true)
+}
+
+func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool) ([]Result, []wal.ShardLSN, error) {
 	results := make([]Result, len(ops))
 	attempt := 0
 	m := s.metrics
@@ -349,22 +364,26 @@ func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 		err = nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	var vec []wal.ShardLSN
 	if da != nil {
 		// Durability barrier: log the committed effects (waiting until
 		// they are persisted per policy in every shard they touch) and
 		// gate every observed read prefix the same way, so an
 		// acknowledged result never depends on a commit recovery drops.
 		if err := s.dur.finish(da, committed); err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if wantVec {
+			vec = da.vector()
 		}
 	}
 	if m != nil {
 		m.CommitLatency.Observe(time.Since(start))
 		m.Retries.ObserveValue(uint64(attempt - 1))
 	}
-	return results, nil
+	return results, vec, nil
 }
 
 // Get reads one key.

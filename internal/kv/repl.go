@@ -1,0 +1,234 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nztm/internal/tm"
+	"nztm/internal/wal"
+)
+
+// Replication-facing surface of the store. A follower applies the
+// primary's WAL frames through ApplyFrame (one transaction per frame,
+// so streamed cross-shard atomicity holds on the replica) and
+// bootstraps whole shards through LoadShardSnapshot when the primary
+// has truncated past its position. The primary serves those bootstrap
+// snapshots from SnapshotShard and gates client acknowledgements on
+// follower acknowledgement through the commit gate — the property that
+// makes "no acked write lost" survive a primary SIGKILL.
+
+// CommitGate delays an acknowledgement until the replication plane is
+// satisfied: vec is the per-shard commit prefix the request's results
+// depend on (its own writes plus every observed read prefix), and wrote
+// reports whether the request itself committed writes — the plane fails
+// a deposed primary's writes outright but lets replica-local reads
+// through. A nil error releases the ack; an error fails the request
+// with its outcome unknown to the client.
+type CommitGate func(vec []wal.ShardLSN, wrote bool) error
+
+// SetCommitGate installs (or, with nil, removes) the acknowledgement
+// gate. No-op on memory-only stores. Safe to swap while serving — a
+// follower promoting to primary installs its gate before accepting
+// writes.
+func (s *Store) SetCommitGate(g CommitGate) {
+	if s.dur == nil {
+		return
+	}
+	if g == nil {
+		s.dur.gate.Store(nil)
+		return
+	}
+	s.dur.gate.Store(&g)
+}
+
+// vector merges an attempt's observed and assigned LSNs into the
+// per-shard commit prefix its results depend on, sorted by shard.
+// Shards observed at LSN 0 (nothing ever committed there) are omitted.
+func (da *durAttempt) vector() []wal.ShardLSN {
+	m := make(map[int]uint64, len(da.seen)+len(da.assigned))
+	for sh, lsn := range da.seen {
+		if lsn > 0 {
+			m[sh] = lsn
+		}
+	}
+	for sh, lsn := range da.assigned {
+		if lsn > m[sh] {
+			m[sh] = lsn
+		}
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	vec := make([]wal.ShardLSN, 0, len(m))
+	for sh, lsn := range m {
+		vec = append(vec, wal.ShardLSN{Shard: sh, LSN: lsn})
+	}
+	sort.Slice(vec, func(i, j int) bool { return vec[i].Shard < vec[j].Shard })
+	return vec
+}
+
+// ApplyFrame applies one replicated frame to a follower store: a single
+// transaction advances every vector shard's sequencer from lsn-1 to lsn
+// and applies that shard's ops, then the frame is appended to the
+// follower's own WAL so the follower's log remains a dense, provable
+// prefix of the primary's history (and can seed promotion or re-serve
+// the stream later).
+//
+// A vector entry already covered by the follower's state (sequencer ≥
+// lsn, e.g. after a snapshot bootstrap) is skipped — ops included — and
+// the WAL append ignores the covered copy. A vector entry that would
+// leave a gap (sequencer < lsn-1) is a stream-order violation and
+// errors without effect; the subscriber resyncs.
+//
+// th must not be used concurrently; the follower's single apply
+// goroutine is the store's only writer.
+func (s *Store) ApplyFrame(th *tm.Thread, f *wal.Frame) error {
+	if s.dur == nil {
+		return errors.New("kv: ApplyFrame on a memory-only store")
+	}
+	if len(f.Shards) == 0 {
+		return errors.New("kv: ApplyFrame with empty shard vector")
+	}
+	d := s.dur
+	anyNew := false
+	apply := make(map[int]bool, len(f.Shards))
+	err := s.sys.Atomic(th, func(tx tm.Tx) error {
+		// A retried attempt re-decides from scratch.
+		anyNew = false
+		for k := range apply {
+			delete(apply, k)
+		}
+		for _, sl := range f.Shards {
+			if sl.Shard < 0 || sl.Shard >= len(s.shards) {
+				return fmt.Errorf("kv: frame names shard %d of %d", sl.Shard, len(s.shards))
+			}
+			cur := tx.Read(d.seqs[sl.Shard]).(*seqData).lsn
+			switch {
+			case cur >= sl.LSN:
+				apply[sl.Shard] = false // covered: snapshot bootstrap got here first
+			case cur == sl.LSN-1:
+				tx.Update(d.seqs[sl.Shard], func(data tm.Data) {
+					data.(*seqData).lsn = sl.LSN
+				})
+				apply[sl.Shard] = true
+				anyNew = true
+			default:
+				return fmt.Errorf("kv: replication gap: shard %d applied through %d, frame carries lsn %d",
+					sl.Shard, cur, sl.LSN)
+			}
+		}
+		if !anyNew {
+			return nil
+		}
+		for i := range f.Ops {
+			op := &f.Ops[i]
+			if !apply[op.Shard] {
+				continue
+			}
+			obj, shard := s.locate(op.Key)
+			if shard != op.Shard {
+				return fmt.Errorf("kv: frame op key %q hashes to shard %d, frame says %d", op.Key, shard, op.Shard)
+			}
+			if op.Del {
+				tx.Update(obj, func(dd tm.Data) {
+					dd.(*bucketData).del(op.Key)
+				})
+			} else {
+				tx.Update(obj, func(dd tm.Data) {
+					dd.(*bucketData).put(op.Key, op.Val)
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil || !anyNew {
+		return err
+	}
+	return d.log.Append(f)
+}
+
+// LoadShardSnapshot replaces one shard's entire state with a snapshot
+// shipped by the primary: the sequencer jumps to lsn, every bucket is
+// rebuilt from keys, and the follower's WAL force-installs the snapshot
+// so its on-disk history matches (see wal.InstallSnapshot). The
+// follower's apply goroutine is the only permitted caller.
+func (s *Store) LoadShardSnapshot(th *tm.Thread, shard int, lsn uint64, keys map[string][]byte) error {
+	if s.dur == nil {
+		return errors.New("kv: LoadShardSnapshot on a memory-only store")
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("kv: snapshot of shard %d of %d", shard, len(s.shards))
+	}
+	d := s.dur
+	err := s.sys.Atomic(th, func(tx tm.Tx) error {
+		tx.Update(d.seqs[shard], func(data tm.Data) {
+			data.(*seqData).lsn = lsn
+		})
+		for b := 0; b < s.buckets; b++ {
+			tx.Update(s.shards[shard][b], func(dd tm.Data) {
+				bd := dd.(*bucketData)
+				bd.entries = bd.entries[:0]
+			})
+		}
+		for k, v := range keys {
+			obj, sh := s.locate(k)
+			if sh != shard {
+				return fmt.Errorf("kv: snapshot key %q hashes to shard %d, not %d", k, sh, shard)
+			}
+			key, val := k, v
+			tx.Update(obj, func(dd tm.Data) {
+				dd.(*bucketData).put(key, val)
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return d.log.InstallSnapshot(shard, lsn, keys)
+}
+
+// SnapshotShard reads one shard's complete state — sequencer value plus
+// every key — in a single read-only transaction, so the result is a
+// consistent cut at exactly that LSN. The periodic snapshotter and the
+// replication catch-up path (the primary shipping a bootstrap snapshot
+// to a lagging follower) both use it.
+func (s *Store) SnapshotShard(th *tm.Thread, shard int) (uint64, map[string][]byte, error) {
+	if s.dur == nil {
+		return 0, nil, errors.New("kv: SnapshotShard on a memory-only store")
+	}
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, nil, fmt.Errorf("kv: snapshot of shard %d of %d", shard, len(s.shards))
+	}
+	d := s.dur
+	var lsn uint64
+	var keys map[string][]byte
+	err := s.sys.Atomic(th, func(tx tm.Tx) error {
+		// A retried attempt re-reads from scratch.
+		lsn = tx.Read(d.seqs[shard]).(*seqData).lsn
+		keys = make(map[string][]byte)
+		for b := 0; b < s.buckets; b++ {
+			bd := tx.Read(s.shards[shard][b]).(*bucketData)
+			for i := range bd.entries {
+				keys[bd.entries[i].key] = append([]byte(nil), bd.entries[i].val...)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return lsn, keys, nil
+}
+
+// AppliedVector returns the per-shard prefix this durable store has
+// applied and persisted — for a follower, exactly the frames it can
+// prove, which is what it offers when (re)subscribing and what its
+// acks report. Nil for memory-only stores.
+func (s *Store) AppliedVector() []uint64 {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.log.StableVector()
+}

@@ -1,0 +1,144 @@
+package repl
+
+// Lease-based election. A follower whose primary lease lapses (stream
+// broken, no heartbeat for LeaseTimeout) polls every peer. It promotes
+// itself only when (a) a majority of the cluster is reachable, (b) no
+// reachable peer sees a live primary at an epoch ≥ ours, and (c) no
+// reachable peer has applied more history (ties break toward the lower
+// node id). Because the primary ships one merged order and — under
+// AckOne/AckMajority — acknowledged a write only after enough followers
+// applied it, the most-caught-up reachable follower provably holds
+// every acknowledged write, so rule (c) is exactly "no acked write
+// lost". The epoch bump on promotion fences the old primary.
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"nztm/internal/server"
+)
+
+// pollResult is one peer's answer (or its absence).
+type pollResult struct {
+	ok   bool
+	resp *Message
+}
+
+// runElection polls the cluster once and promotes this node if it
+// should lead. Safe to call repeatedly; a lost election just returns
+// and followOnce retries after its backoff.
+func (n *Node) runElection() {
+	if len(n.cfg.Peers) == 0 {
+		// Single-node cluster: nothing to poll, nobody to lose to.
+		n.mu.Lock()
+		epoch := n.epoch
+		stopped := n.stopped
+		n.mu.Unlock()
+		if !stopped {
+			n.stats.Elections.Add(1)
+			n.promote(epoch + 1)
+		}
+		return
+	}
+
+	n.stats.Elections.Add(1)
+	n.mu.Lock()
+	epoch := n.epoch
+	resync := n.needResync
+	n.mu.Unlock()
+	myTotal := n.appliedTotalLocked()
+	if resync {
+		// A diverged tail inflates the applied total with history nobody
+		// else shares; this node cannot safely stand, and pretends to hold
+		// nothing when comparing against peers.
+		myTotal = 0
+	}
+
+	results := make([]pollResult, len(n.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, addr := range n.cfg.Peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			resp, err := pollPeer(addr, &Message{
+				Type: MsgPoll, Epoch: epoch, NodeID: uint16(n.cfg.NodeID), Total: myTotal,
+			})
+			if err != nil {
+				return
+			}
+			results[i] = pollResult{ok: true, resp: resp}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	reachable := 1 // self
+	maxEpoch := epoch
+	liveKV, liveRpl := "", ""
+	var livePrimaryEpoch uint64
+	lose := false
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		reachable++
+		m := r.resp
+		if m.Epoch > maxEpoch {
+			maxEpoch = m.Epoch
+		}
+		if m.PrimaryLive && m.Epoch >= epoch && m.Epoch >= livePrimaryEpoch {
+			livePrimaryEpoch = m.Epoch
+			liveKV, liveRpl = m.KVAddr, m.ReplAddr
+		}
+		if m.Total > myTotal || (m.Total == myTotal && int(m.NodeID) < n.cfg.NodeID) {
+			lose = true
+		}
+	}
+
+	if liveRpl != "" && liveRpl != n.cfg.Advertise {
+		// Someone still sees a primary: follow it instead of fighting it.
+		n.mu.Lock()
+		n.adoptEpochLocked(maxEpoch, liveKV, liveRpl)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Lock()
+	n.adoptEpochLocked(maxEpoch, "", "")
+	n.mu.Unlock()
+
+	cluster := len(n.cfg.Peers) + 1
+	if 2*reachable <= cluster {
+		n.cfg.Logf("repl: node %d: election stalled: %d/%d reachable", n.cfg.NodeID, reachable, cluster)
+		return
+	}
+	if lose {
+		return // a better-positioned peer will promote itself
+	}
+	if resync {
+		n.cfg.Logf("repl: node %d: election: standing aside (unresynced diverged tail)", n.cfg.NodeID)
+		return
+	}
+	n.promote(maxEpoch + 1)
+}
+
+// pollPeer sends one MsgPoll and reads the MsgPollResp.
+func pollPeer(addr string, poll *Message) (*Message, error) {
+	conn, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	bw := server.NewBufWriter(conn)
+	if err := writeMsg(bw, poll); err != nil {
+		return nil, err
+	}
+	m, _, err := readMsg(server.NewBufReader(conn), nil)
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != MsgPollResp {
+		return nil, errMsg
+	}
+	return m, nil
+}

@@ -1,0 +1,759 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"nztm/internal/kv"
+	"nztm/internal/server"
+	"nztm/internal/tm"
+	"nztm/internal/trace"
+	"nztm/internal/wal"
+)
+
+// Role is a node's current station in the replication topology.
+type Role int
+
+// Roles.
+const (
+	RoleFollower Role = iota
+	RolePrimary
+)
+
+func (r Role) String() string {
+	if r == RolePrimary {
+		return "primary"
+	}
+	return "follower"
+}
+
+// Ack policies: how many followers must apply a frame before the
+// primary acknowledges the commit that produced it.
+const (
+	// AckNone disables the commit gate: local durability only. A
+	// failover can lose acknowledged writes the followers had not
+	// applied yet.
+	AckNone = "none"
+	// AckOne requires one follower (the default). Combined with the
+	// most-caught-up promotion rule this keeps every acknowledged write
+	// across a primary crash.
+	AckOne = "one"
+	// AckMajority requires enough followers that the primary plus its
+	// ackers form a strict majority of the cluster.
+	AckMajority = "majority"
+)
+
+// Config configures a replication node.
+type Config struct {
+	// NodeID identifies this node in the cluster (unique, ≥ 0; breaks
+	// election ties — lower wins).
+	NodeID int
+	// KVAddr is the advertised client (KV protocol) address.
+	KVAddr string
+	// ReplAddr is the replication listen address (subscriptions, acks,
+	// election polls).
+	ReplAddr string
+	// Advertise, when non-empty, overrides the replication address told
+	// to peers (e.g. when ReplAddr binds a wildcard or :0).
+	Advertise string
+	// Peers lists every OTHER node's replication address (for election
+	// quorum and discovery).
+	Peers []string
+	// PrimaryFrom, when non-empty, starts this node as a follower of
+	// the primary at that replication address. Empty starts it as the
+	// primary.
+	PrimaryFrom string
+	// AckPolicy is AckNone, AckOne (default), or AckMajority.
+	AckPolicy string
+	// AckTimeout bounds a commit-gate wait (default 3s); on expiry the
+	// request fails with its outcome unknown.
+	AckTimeout time.Duration
+	// HeartbeatEvery is the primary's lease-renewal period (default
+	// 50ms).
+	HeartbeatEvery time.Duration
+	// LeaseTimeout is how long a follower waits without a heartbeat
+	// before calling an election (default 5 × HeartbeatEvery).
+	LeaseTimeout time.Duration
+	// MaxReadWait bounds how long a bounded-staleness read may block
+	// waiting for the replica to catch up before StatusLagging (default
+	// 1s).
+	MaxReadWait time.Duration
+	// NewThread mints TM thread contexts for the apply path and for
+	// snapshot serving (kv.Backend.NewThread fits). Required.
+	NewThread func() *tm.Thread
+	// Recorder, when non-nil, receives replication trace events —
+	// typically FlightRecorder.ForSource(trace.ReplSource).
+	Recorder *trace.Recorder
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Node is one replication participant: a primary streaming its WAL to
+// subscribers, or a follower applying the stream, serving
+// bounded-staleness reads, and standing for election when the lease
+// lapses. Wire CheckRequest into server.Config.CheckRequest and (for
+// semi-synchronous acks) the node installs the store's commit gate
+// itself at Start.
+type Node struct {
+	cfg     Config
+	store   *kv.Store
+	log     *wal.Log
+	stats   Stats
+	rec     *trace.Recorder
+	ackNeed int // followers required per ack (0 = gate off)
+
+	applyTh *tm.Thread // follower apply path's registry slot
+
+	ln        net.Listener
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	mu         sync.Mutex
+	waitCh     chan struct{} // closed + replaced on any state change
+	epoch      uint64
+	role       Role
+	primaryKV  string // current primary's client address ("" unknown)
+	primaryRpl string // current primary's replication address
+	needResync bool
+	stopped    bool
+	subs       map[*subState]struct{}
+
+	// Follower staleness accounting.
+	lastHBTotal uint64    // primary's stable total at the last heartbeat
+	lastHBAt    time.Time // when that heartbeat arrived
+	freshAsOf   time.Time // newest heartbeat time whose total we have applied
+}
+
+// subState is the primary's view of one subscribed follower.
+type subState struct {
+	nodeID      int
+	remote      string
+	ackedVec    []uint64
+	ackedTotal  uint64
+	lastAck     time.Time
+	behindSince time.Time // zero while caught up
+}
+
+// epochFile is the fencing epoch's persistence file inside the data dir.
+const epochFile = "EPOCH"
+
+// markerFile is created when a node becomes primary and removed only
+// after it has completed a full resync as a follower. Its presence at
+// follower startup means this node's WAL tail may have diverged from
+// the cluster's history (it was a primary once and never proved
+// otherwise), so the node must bootstrap from snapshots rather than
+// resume the stream on top of a possibly-sibling branch.
+const markerFile = "PRIMARY"
+
+// Start brings the node up: loads the persisted epoch, opens the
+// replication listener, and starts the role loop (primary duties or the
+// follow/elect loop). store must be durable (it has a WAL — the log is
+// the stream).
+func Start(store *kv.Store, cfg Config) (*Node, error) {
+	log := store.WAL()
+	if log == nil {
+		return nil, errors.New("repl: store has no WAL (replication streams the log)")
+	}
+	if cfg.NewThread == nil {
+		return nil, errors.New("repl: Config.NewThread is required")
+	}
+	if cfg.AckPolicy == "" {
+		cfg.AckPolicy = AckOne
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 3 * time.Second
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 50 * time.Millisecond
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 5 * cfg.HeartbeatEvery
+	}
+	if cfg.MaxReadWait <= 0 {
+		cfg.MaxReadWait = time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	var need int
+	switch cfg.AckPolicy {
+	case AckNone:
+		need = 0
+	case AckOne:
+		need = 1
+	case AckMajority:
+		need = (len(cfg.Peers) + 1) / 2
+	default:
+		return nil, fmt.Errorf("repl: unknown ack policy %q (have none, one, majority)", cfg.AckPolicy)
+	}
+
+	n := &Node{
+		cfg:     cfg,
+		store:   store,
+		log:     log,
+		rec:     cfg.Recorder,
+		ackNeed: need,
+		stop:    make(chan struct{}),
+		waitCh:  make(chan struct{}),
+		subs:    make(map[*subState]struct{}),
+		applyTh: cfg.NewThread(),
+	}
+	epoch, err := n.loadEpoch()
+	if err != nil {
+		n.applyTh.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.ReplAddr)
+	if err != nil {
+		n.applyTh.Close()
+		return nil, err
+	}
+	n.ln = ln
+	if cfg.Advertise == "" {
+		n.cfg.Advertise = ln.Addr().String()
+	}
+
+	if cfg.PrimaryFrom == "" {
+		// Each primary term gets a fresh epoch, so a restarted primary's
+		// stream is distinguishable from its previous life's.
+		n.epoch = epoch + 1
+		n.role = RolePrimary
+		n.primaryKV, n.primaryRpl = n.cfg.KVAddr, n.cfg.Advertise
+		if err := n.setMarker(); err != nil {
+			ln.Close()
+			n.applyTh.Close()
+			return nil, err
+		}
+		if err := n.persistEpoch(n.epoch); err != nil {
+			ln.Close()
+			n.applyTh.Close()
+			return nil, err
+		}
+		n.stats.IsPrimary.Store(1)
+	} else {
+		n.epoch = epoch
+		n.role = RoleFollower
+		n.primaryRpl = cfg.PrimaryFrom
+		if _, err := os.Stat(filepath.Join(log.Dir(), markerFile)); err == nil {
+			// This node was a primary in a previous life and never resynced:
+			// its log may hold a diverged tail. Bootstrap from snapshots.
+			n.needResync = true
+		}
+	}
+	n.stats.Epoch.Store(n.epoch)
+	if n.ackNeed > 0 {
+		store.SetCommitGate(n.commitGate)
+	}
+
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.run()
+	n.cfg.Logf("repl: node %d up: role=%s epoch=%d advertise=%s peers=%v",
+		cfg.NodeID, n.role, n.epoch, n.cfg.Advertise, cfg.Peers)
+	return n, nil
+}
+
+// Close stops the node: listener, loops, gate (released), threads.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		n.mu.Lock()
+		n.stopped = true
+		n.broadcastLocked()
+		n.mu.Unlock()
+		close(n.stop)
+		n.ln.Close()
+		n.store.SetCommitGate(nil)
+		n.wg.Wait()
+		n.applyTh.Close()
+	})
+	return nil
+}
+
+// ReplAddr returns the advertised replication address.
+func (n *Node) ReplAddr() string { return n.cfg.Advertise }
+
+// Stats returns the node's counter block.
+func (n *Node) Stats() *Stats { return &n.stats }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Epoch returns the node's current fencing epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// PrimaryKVAddr returns the current primary's client address ("" when
+// unknown).
+func (n *Node) PrimaryKVAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.primaryKV
+}
+
+// loadEpoch reads the persisted epoch (0 when absent).
+func (n *Node) loadEpoch() (uint64, error) {
+	raw, err := os.ReadFile(filepath.Join(n.log.Dir(), epochFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("repl: corrupt %s file: %w", epochFile, err)
+	}
+	return v, nil
+}
+
+// setMarker durably records that this node is (or has been) a primary.
+func (n *Node) setMarker() error {
+	path := filepath.Join(n.log.Dir(), markerFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// clearResync marks the node's state as a proven prefix of the
+// primary's history again: a full snapshot resync completed, so the
+// diverged-tail marker comes off.
+func (n *Node) clearResync() {
+	n.mu.Lock()
+	n.needResync = false
+	n.broadcastLocked()
+	n.mu.Unlock()
+	if err := os.Remove(filepath.Join(n.log.Dir(), markerFile)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		n.cfg.Logf("repl: node %d: remove %s: %v", n.cfg.NodeID, markerFile, err)
+	}
+}
+
+// persistEpoch durably records the epoch (temp + rename).
+func (n *Node) persistEpoch(e uint64) error {
+	dir := n.log.Dir()
+	tmp, err := os.CreateTemp(dir, "tmp-epoch-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := fmt.Fprintf(tmp, "%d\n", e); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, filepath.Join(dir, epochFile))
+}
+
+// broadcastLocked wakes every waiter (gate, bounded reads, role loop).
+// Callers hold n.mu.
+func (n *Node) broadcastLocked() {
+	close(n.waitCh)
+	n.waitCh = make(chan struct{})
+}
+
+// adoptEpochLocked raises the local epoch to e (persisting it) and, if
+// this node was the primary, steps it down — it has been deposed.
+// Callers hold n.mu. Reports whether anything changed.
+func (n *Node) adoptEpochLocked(e uint64, primaryKV, primaryRpl string) bool {
+	if e <= n.epoch && primaryRpl == "" {
+		return false
+	}
+	changed := false
+	if e > n.epoch {
+		n.epoch = e
+		n.stats.Epoch.Store(e)
+		if err := n.persistEpoch(e); err != nil {
+			n.cfg.Logf("repl: node %d: persist epoch %d: %v", n.cfg.NodeID, e, err)
+		}
+		if n.role == RolePrimary {
+			n.role = RoleFollower
+			n.needResync = true // our un-replicated tail may diverge: wipe and re-fetch
+			n.stats.IsPrimary.Store(0)
+			n.stats.Depositions.Add(1)
+			n.primaryKV, n.primaryRpl = "", ""
+			n.cfg.Logf("repl: node %d DEPOSED at epoch %d", n.cfg.NodeID, e)
+		}
+		changed = true
+	}
+	if primaryRpl != "" && primaryRpl != n.cfg.Advertise {
+		if n.primaryRpl != primaryRpl || n.primaryKV != primaryKV {
+			n.primaryKV, n.primaryRpl = primaryKV, primaryRpl
+			changed = true
+		}
+	}
+	if changed {
+		n.broadcastLocked()
+	}
+	return changed
+}
+
+// promote makes this node the primary at epoch e.
+func (n *Node) promote(e uint64) {
+	n.mu.Lock()
+	if n.stopped || e <= n.epoch && n.role == RolePrimary {
+		n.mu.Unlock()
+		return
+	}
+	if err := n.setMarker(); err != nil {
+		n.cfg.Logf("repl: node %d: persist %s marker: %v", n.cfg.NodeID, markerFile, err)
+	}
+	n.epoch = e
+	n.role = RolePrimary
+	n.primaryKV, n.primaryRpl = n.cfg.KVAddr, n.cfg.Advertise
+	n.needResync = false
+	if err := n.persistEpoch(e); err != nil {
+		n.cfg.Logf("repl: node %d: persist epoch %d: %v", n.cfg.NodeID, e, err)
+	}
+	n.stats.Epoch.Store(e)
+	n.stats.IsPrimary.Store(1)
+	n.stats.Promotions.Add(1)
+	n.stats.LagFrames.Store(0)
+	n.stats.LagMs.Store(0)
+	total := n.appliedTotalLocked()
+	n.broadcastLocked()
+	n.mu.Unlock()
+	n.rec.Record(tm.Monotime(), trace.KindReplPromote, 0, e, total)
+	n.cfg.Logf("repl: node %d PROMOTED: epoch=%d applied_total=%d", n.cfg.NodeID, e, total)
+}
+
+// appliedTotalLocked sums the store's applied vector. (The store read
+// takes no node lock; "Locked" marks the call sites' convention.)
+func (n *Node) appliedTotalLocked() uint64 {
+	var t uint64
+	for _, v := range n.store.AppliedVector() {
+		t += v
+	}
+	return t
+}
+
+// AppliedTotal returns the node's applied LSN total.
+func (n *Node) AppliedTotal() uint64 {
+	return n.appliedTotalLocked()
+}
+
+// run is the role loop: follow (subscribe or elect) while a follower,
+// park while primary.
+func (n *Node) run() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		if n.stopped {
+			n.mu.Unlock()
+			return
+		}
+		role := n.role
+		ch := n.waitCh
+		n.mu.Unlock()
+		if role == RolePrimary {
+			// Primary duties live in the accept loop; park until deposed.
+			select {
+			case <-ch:
+			case <-n.stop:
+				return
+			}
+			continue
+		}
+		n.followOnce()
+		// Pace reconnect/election attempts; stagger by node id so two
+		// followers don't poll in lockstep forever.
+		d := 15*time.Millisecond + time.Duration(n.cfg.NodeID%7)*5*time.Millisecond
+		select {
+		case <-time.After(d):
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// followOnce makes one attempt at being a follower: subscribe to the
+// known primary if there is one, otherwise poll the cluster (adopting a
+// discovered primary or promoting if this node should lead).
+func (n *Node) followOnce() {
+	n.mu.Lock()
+	addr := n.primaryRpl
+	n.mu.Unlock()
+	if addr != "" && addr != n.cfg.Advertise {
+		err := n.subscribe(addr)
+		if err != nil {
+			n.cfg.Logf("repl: node %d: stream from %s ended: %v", n.cfg.NodeID, addr, err)
+			// The stream died; forget this primary unless something newer
+			// already replaced it.
+			n.mu.Lock()
+			if n.primaryRpl == addr {
+				n.primaryKV, n.primaryRpl = "", ""
+			}
+			n.mu.Unlock()
+		}
+		return
+	}
+	n.runElection()
+}
+
+// CheckRequest is the server's replication interposition (wire it into
+// server.Config.CheckRequest). On the primary everything passes. On a
+// follower, writes are redirected (StatusNotPrimary names the primary's
+// client address) and reads are served at a bounded-staleness cut:
+// un-tokened reads serve immediately from local state; a staleness
+// token blocks — up to MaxReadWait — until the applied vector covers
+// the token's read-your-writes vector AND the replica has confirmed
+// (via a primary heartbeat no older than the lag budget) that its
+// applied state was complete at that moment. A lag budget of 0 ms
+// therefore forces a post-read-arrival heartbeat: the strictest bound a
+// replica can offer. On expiry the read is refused with StatusLagging
+// and the client falls back to the primary.
+func (n *Node) CheckRequest(ops []kv.Op, st *server.Staleness) (uint8, string) {
+	hasWrite := false
+	for i := range ops {
+		if ops[i].Kind != kv.OpGet {
+			hasWrite = true
+			break
+		}
+	}
+	start := time.Now()
+	deadline := start.Add(n.cfg.MaxReadWait)
+	for {
+		n.mu.Lock()
+		if n.stopped {
+			n.mu.Unlock()
+			return server.StatusShutdown, "replication node closed"
+		}
+		if n.role == RolePrimary {
+			n.mu.Unlock()
+			return server.StatusOK, ""
+		}
+		if hasWrite {
+			pk := n.primaryKV
+			n.mu.Unlock()
+			return server.StatusNotPrimary, "primary=" + pk
+		}
+		if n.needResync {
+			// This node's state may hold a diverged tail (it was a primary
+			// once); refusing reads until the resync completes keeps even
+			// unbounded replica reads inside the shared history.
+			ch := n.waitCh
+			n.mu.Unlock()
+			now := time.Now()
+			if !now.Before(deadline) {
+				return server.StatusLagging, "replica resyncing after deposition"
+			}
+			wait := deadline.Sub(now)
+			if wait > 25*time.Millisecond {
+				wait = 25 * time.Millisecond
+			}
+			select {
+			case <-ch:
+			case <-time.After(wait):
+			case <-n.stop:
+			}
+			continue
+		}
+		if st == nil {
+			n.mu.Unlock()
+			return server.StatusOK, ""
+		}
+		fresh := true
+		if st.MaxLagMs != server.NoLagBudget {
+			budget := time.Duration(st.MaxLagMs) * time.Millisecond
+			fresh = !n.freshAsOf.IsZero() && !n.freshAsOf.Before(start.Add(-budget))
+		}
+		ch := n.waitCh
+		lagTotal := n.lastHBTotal
+		n.mu.Unlock()
+
+		covered := true
+		if len(st.Vector) > 0 {
+			applied := n.store.AppliedVector()
+			for _, sl := range st.Vector {
+				if sl.Shard < 0 || sl.Shard >= len(applied) || applied[sl.Shard] < sl.LSN {
+					covered = false
+					break
+				}
+			}
+		}
+		if covered && fresh {
+			return server.StatusOK, ""
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return server.StatusLagging, fmt.Sprintf(
+				"replica lagging: covered=%v fresh=%v primary_total=%d after %v",
+				covered, fresh, lagTotal, now.Sub(start).Round(time.Millisecond))
+		}
+		wait := deadline.Sub(now)
+		if wait > 25*time.Millisecond {
+			wait = 25 * time.Millisecond
+		}
+		select {
+		case <-ch:
+		case <-time.After(wait):
+		case <-n.stop:
+		}
+	}
+}
+
+// commitGate is the store's acknowledgement gate (installed at Start
+// for AckOne/AckMajority). Writes on the primary wait until ackNeed
+// followers report the commit vector applied; a node that is no longer
+// primary fails writes outright (the fencing half of failover safety)
+// while letting replica-local reads pass — their staleness contract is
+// CheckRequest's job.
+func (n *Node) commitGate(vec []wal.ShardLSN, wrote bool) error {
+	waited := false
+	deadline := time.Now().Add(n.cfg.AckTimeout)
+	for {
+		n.mu.Lock()
+		if n.stopped {
+			n.mu.Unlock()
+			return errors.New("repl: node closed")
+		}
+		if n.role != RolePrimary {
+			n.mu.Unlock()
+			if wrote {
+				return errors.New("repl: not primary (deposed before the write was replicated)")
+			}
+			return nil
+		}
+		acked := 0
+		for sub := range n.subs {
+			if coversSparse(sub.ackedVec, vec) {
+				acked++
+			}
+		}
+		ch := n.waitCh
+		n.mu.Unlock()
+		if acked >= n.ackNeed {
+			return nil
+		}
+		if !waited {
+			waited = true
+			n.stats.GateWaits.Add(1)
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			n.stats.GateTimeouts.Add(1)
+			return fmt.Errorf("repl: %d/%d follower acks after %v", acked, n.ackNeed, n.cfg.AckTimeout)
+		}
+		wait := deadline.Sub(now)
+		if wait > 25*time.Millisecond {
+			wait = 25 * time.Millisecond
+		}
+		select {
+		case <-ch:
+		case <-time.After(wait):
+		case <-n.stop:
+		}
+	}
+}
+
+// coversSparse reports whether the dense applied vector covers every
+// entry of the sparse commit vector.
+func coversSparse(applied []uint64, vec []wal.ShardLSN) bool {
+	for _, sl := range vec {
+		if sl.Shard < 0 || sl.Shard >= len(applied) || applied[sl.Shard] < sl.LSN {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteStatsz appends the replication section to /statsz: the counter
+// block, the node's role line, and per-follower lag (primary only).
+func (n *Node) WriteStatsz(w io.Writer) {
+	n.stats.WriteStatsz(w)
+	n.mu.Lock()
+	role := n.role
+	epoch := n.epoch
+	pk := n.primaryKV
+	type followerLag struct {
+		id          int
+		ackedTotal  uint64
+		lagLSN      uint64
+		lagFor      time.Duration
+		sinceAck    time.Duration
+	}
+	var fl []followerLag
+	if role == RolePrimary {
+		var stableTotal uint64
+		for _, v := range n.log.StableVector() {
+			stableTotal += v
+		}
+		now := time.Now()
+		for sub := range n.subs {
+			l := followerLag{id: sub.nodeID, ackedTotal: sub.ackedTotal}
+			if stableTotal > sub.ackedTotal {
+				l.lagLSN = stableTotal - sub.ackedTotal
+			}
+			if !sub.behindSince.IsZero() {
+				l.lagFor = now.Sub(sub.behindSince).Round(time.Millisecond)
+			}
+			if !sub.lastAck.IsZero() {
+				l.sinceAck = now.Sub(sub.lastAck).Round(time.Millisecond)
+			}
+			fl = append(fl, l)
+		}
+	}
+	n.mu.Unlock()
+	fmt.Fprintf(w, "repl node: id=%d role=%s epoch=%d primary=%s applied_total=%d\n",
+		n.cfg.NodeID, role, epoch, pk, n.AppliedTotal())
+	sort.Slice(fl, func(i, j int) bool { return fl[i].id < fl[j].id })
+	for _, l := range fl {
+		fmt.Fprintf(w, "repl follower %d: acked_total=%d lag_lsn=%d lag_for=%v since_ack=%v\n",
+			l.id, l.ackedTotal, l.lagLSN, l.lagFor, l.sinceAck)
+	}
+}
+
+// WriteMetricsz appends the replication Prometheus series, including
+// per-follower lag gauges on the primary.
+func (n *Node) WriteMetricsz(w io.Writer) {
+	n.stats.WriteMetricsz(w)
+	n.mu.Lock()
+	if n.role == RolePrimary {
+		var stableTotal uint64
+		for _, v := range n.log.StableVector() {
+			stableTotal += v
+		}
+		now := time.Now()
+		for sub := range n.subs {
+			var lag uint64
+			if stableTotal > sub.ackedTotal {
+				lag = stableTotal - sub.ackedTotal
+			}
+			var lagMs int64
+			if !sub.behindSince.IsZero() {
+				lagMs = now.Sub(sub.behindSince).Milliseconds()
+			}
+			fmt.Fprintf(w, "nztm_repl_follower_lag_lsn{follower=\"%d\"} %d\n", sub.nodeID, lag)
+			fmt.Fprintf(w, "nztm_repl_follower_lag_ms{follower=\"%d\"} %d\n", sub.nodeID, lagMs)
+		}
+	}
+	n.mu.Unlock()
+}

@@ -1,0 +1,478 @@
+// Package repl is the replication plane: a primary streams its
+// write-ahead log to follower processes over TCP, followers apply the
+// frames through the same transactional path recovery uses and serve
+// bounded-staleness reads, and a lease-based election promotes the
+// most-caught-up follower when the primary dies — with epoch fencing so
+// a deposed primary can never acknowledge another write.
+//
+// The log IS the replication stream: the primary re-reads stable frames
+// off disk with wal.StreamReader and ships them in one merged order (a
+// frame is sendable only when every shard named in its identity vector
+// is exactly up to date or already covered on the follower), so every
+// follower's applied state is always a prefix of one shared history.
+// That prefix property is what makes "most caught up by applied total"
+// a safe promotion rule: of two followers, the one with the larger
+// applied total has strictly more of the same history, never a sibling
+// branch — so with the default ack policy (one follower must apply a
+// frame before the primary acknowledges it), the promotion winner
+// provably holds every acknowledged write.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nztm/internal/server"
+)
+
+// Replication messages ride the same length-prefixed framing as the KV
+// protocol (server.ReadFrame / server.WriteFrame) but speak their own
+// payload vocabulary. Every message carries the sender's epoch — the
+// fencing token — immediately after the type byte.
+//
+//	uint8   message type
+//	uint64  epoch
+//	...     type-specific fields (big endian; strings are uint16
+//	        length + bytes, dense vectors are uint16 shard count +
+//	        one uint64 LSN per shard)
+type MsgType uint8
+
+// Message types.
+const (
+	// MsgSubscribe opens a follower's stream: node id, advertised KV
+	// address, a resync flag (discard my state, send snapshots), and the
+	// follower's applied vector (where to resume).
+	MsgSubscribe MsgType = 1
+	// MsgFrames ships a batch of encoded WAL frame containers, in merged
+	// stream order.
+	MsgFrames MsgType = 2
+	// MsgHeartbeat renews the primary's lease and carries its stable
+	// vector, total, wall clock (ms) for staleness accounting, and its
+	// client address (so followers can redirect writes).
+	MsgHeartbeat MsgType = 3
+	// MsgSnapshot ships one chunk of a shard bootstrap snapshot (the
+	// primary truncated past the follower's position, or a resync). The
+	// last chunk is flagged; the follower installs the accumulated keys.
+	MsgSnapshot MsgType = 4
+	// MsgAck reports a follower's applied vector and total back to the
+	// primary — the semi-synchronous acknowledgement signal.
+	MsgAck MsgType = 5
+	// MsgReject refuses a message or a subscription: fencing (stale
+	// epoch) or redirection (not primary, with the primary's addresses).
+	MsgReject MsgType = 6
+	// MsgPoll is an election probe: epoch, node id, applied total.
+	MsgPoll MsgType = 7
+	// MsgPollResp answers a poll with the peer's epoch, id, applied
+	// total, and whether it sees a live primary (with its addresses).
+	MsgPollResp MsgType = 8
+)
+
+// Reject codes.
+const (
+	// RejectNotPrimary redirects: this node cannot serve the stream; the
+	// message's KVAddr/ReplAddr name the primary when known.
+	RejectNotPrimary = 1
+	// RejectStaleEpoch fences: the sender's epoch is behind the
+	// receiver's, so the sender is a deposed primary (or hopelessly
+	// stale) and none of its frames were — or ever will be — applied.
+	RejectStaleEpoch = 2
+)
+
+// Protocol limits.
+const (
+	// maxShards bounds a dense vector.
+	maxShards = 1 << 10
+	// maxBatch bounds the frames in one MsgFrames.
+	maxBatch = 1 << 12
+	// maxSnapshotKeys bounds the keys in one MsgSnapshot chunk.
+	maxSnapshotKeys = 1 << 20
+	// snapshotChunkBytes is the soft chunk size for snapshot shipping,
+	// kept well under the transport's server.MaxFrame.
+	snapshotChunkBytes = 4 << 20
+	// maxStr bounds an encoded string (addresses, reject messages).
+	maxStr = 1 << 12
+)
+
+var errMsg = errors.New("repl: malformed message")
+
+// Message is the decoded form of every replication message; which
+// fields are meaningful depends on Type (see the type constants).
+type Message struct {
+	Type  MsgType
+	Epoch uint64
+
+	NodeID uint16 // subscribe, poll, pollresp
+	KVAddr string // subscribe + heartbeat (sender's), reject + pollresp (primary's)
+	Resync bool   // subscribe
+
+	Total  uint64   // heartbeat, ack, poll, pollresp: applied/stable total
+	NowMs  uint64   // heartbeat: primary wall clock, unix ms
+	Vector []uint64 // subscribe, heartbeat, ack: dense per-shard LSNs
+
+	Frames [][]byte // frames: encoded wal frame containers
+
+	Shard uint16            // snapshot
+	LSN   uint64            // snapshot: the cut the chunks accumulate to
+	Last  bool              // snapshot: final chunk, install now
+	Keys  map[string][]byte // snapshot chunk payload
+
+	Code     uint8  // reject
+	Text     string // reject: human-readable detail
+	ReplAddr string // reject + pollresp: primary's replication address
+
+	PrimaryLive bool // pollresp
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendDense(b []byte, v []uint64) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(v)))
+	for _, x := range v {
+		b = binary.BigEndian.AppendUint64(b, x)
+	}
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// EncodeMessage appends m's wire form onto b.
+func EncodeMessage(b []byte, m *Message) ([]byte, error) {
+	if len(m.Vector) > maxShards {
+		return nil, fmt.Errorf("repl: vector with %d shards (max %d)", len(m.Vector), maxShards)
+	}
+	if len(m.KVAddr) > maxStr || len(m.ReplAddr) > maxStr || len(m.Text) > maxStr {
+		return nil, fmt.Errorf("repl: string field over %d bytes", maxStr)
+	}
+	b = append(b, byte(m.Type))
+	b = binary.BigEndian.AppendUint64(b, m.Epoch)
+	switch m.Type {
+	case MsgSubscribe:
+		b = binary.BigEndian.AppendUint16(b, m.NodeID)
+		b = appendStr(b, m.KVAddr)
+		b = appendBool(b, m.Resync)
+		b = appendDense(b, m.Vector)
+	case MsgFrames:
+		if len(m.Frames) > maxBatch {
+			return nil, fmt.Errorf("repl: %d frames in one batch (max %d)", len(m.Frames), maxBatch)
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(m.Frames)))
+		for _, f := range m.Frames {
+			b = binary.BigEndian.AppendUint32(b, uint32(len(f)))
+			b = append(b, f...)
+		}
+	case MsgHeartbeat:
+		b = binary.BigEndian.AppendUint64(b, m.Total)
+		b = binary.BigEndian.AppendUint64(b, m.NowMs)
+		b = appendStr(b, m.KVAddr)
+		b = appendDense(b, m.Vector)
+	case MsgSnapshot:
+		if len(m.Keys) > maxSnapshotKeys {
+			return nil, fmt.Errorf("repl: %d keys in one snapshot chunk", len(m.Keys))
+		}
+		b = binary.BigEndian.AppendUint16(b, m.Shard)
+		b = binary.BigEndian.AppendUint64(b, m.LSN)
+		b = appendBool(b, m.Last)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m.Keys)))
+		for k, v := range m.Keys {
+			if len(k) > maxStr {
+				return nil, fmt.Errorf("repl: snapshot key over %d bytes", maxStr)
+			}
+			b = appendStr(b, k)
+			b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+			b = append(b, v...)
+		}
+	case MsgAck:
+		b = binary.BigEndian.AppendUint64(b, m.Total)
+		b = appendDense(b, m.Vector)
+	case MsgReject:
+		b = append(b, m.Code)
+		b = appendStr(b, m.Text)
+		b = appendStr(b, m.KVAddr)
+		b = appendStr(b, m.ReplAddr)
+	case MsgPoll:
+		b = binary.BigEndian.AppendUint16(b, m.NodeID)
+		b = binary.BigEndian.AppendUint64(b, m.Total)
+	case MsgPollResp:
+		b = binary.BigEndian.AppendUint16(b, m.NodeID)
+		b = binary.BigEndian.AppendUint64(b, m.Total)
+		b = appendBool(b, m.PrimaryLive)
+		b = appendStr(b, m.KVAddr)
+		b = appendStr(b, m.ReplAddr)
+	default:
+		return nil, fmt.Errorf("repl: unknown message type %d", m.Type)
+	}
+	return b, nil
+}
+
+// decoder walks a payload.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.off+1 > len(d.b) {
+		return 0, errMsg
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.off+2 > len(d.b) {
+		return 0, errMsg
+	}
+	v := binary.BigEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.b) {
+		return 0, errMsg
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.off+8 > len(d.b) {
+		return 0, errMsg
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) boolean() (bool, error) {
+	v, err := d.u8()
+	if err != nil || v > 1 {
+		return false, errMsg
+	}
+	return v == 1, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.b) {
+		return nil, errMsg
+	}
+	v := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxStr {
+		return "", errMsg
+	}
+	raw, err := d.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func (d *decoder) dense() ([]uint64, error) {
+	n, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > maxShards {
+		return nil, errMsg
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		if v[i], err = d.u64(); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// ParseMessage decodes one message payload. Accepted payloads survive
+// an EncodeMessage round trip semantically unchanged.
+func ParseMessage(payload []byte) (*Message, error) {
+	d := &decoder{b: payload}
+	t, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Type: MsgType(t)}
+	if m.Epoch, err = d.u64(); err != nil {
+		return nil, err
+	}
+	switch m.Type {
+	case MsgSubscribe:
+		if m.NodeID, err = d.u16(); err != nil {
+			return nil, err
+		}
+		if m.KVAddr, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.Resync, err = d.boolean(); err != nil {
+			return nil, err
+		}
+		if m.Vector, err = d.dense(); err != nil {
+			return nil, err
+		}
+	case MsgFrames:
+		n, err := d.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(n) > maxBatch {
+			return nil, errMsg
+		}
+		m.Frames = make([][]byte, 0, n)
+		for i := 0; i < int(n); i++ {
+			fl, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			raw, err := d.bytes(int(fl))
+			if err != nil {
+				return nil, err
+			}
+			m.Frames = append(m.Frames, append([]byte(nil), raw...))
+		}
+	case MsgHeartbeat:
+		if m.Total, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if m.NowMs, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if m.KVAddr, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.Vector, err = d.dense(); err != nil {
+			return nil, err
+		}
+	case MsgSnapshot:
+		if m.Shard, err = d.u16(); err != nil {
+			return nil, err
+		}
+		if m.LSN, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if m.Last, err = d.boolean(); err != nil {
+			return nil, err
+		}
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxSnapshotKeys {
+			return nil, errMsg
+		}
+		m.Keys = make(map[string][]byte, n)
+		for i := uint32(0); i < n; i++ {
+			k, err := d.str()
+			if err != nil {
+				return nil, err
+			}
+			vl, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			raw, err := d.bytes(int(vl))
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := m.Keys[k]; dup {
+				return nil, errMsg
+			}
+			m.Keys[k] = append([]byte(nil), raw...)
+		}
+	case MsgAck:
+		if m.Total, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if m.Vector, err = d.dense(); err != nil {
+			return nil, err
+		}
+	case MsgReject:
+		if m.Code, err = d.u8(); err != nil {
+			return nil, err
+		}
+		if m.Text, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.KVAddr, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.ReplAddr, err = d.str(); err != nil {
+			return nil, err
+		}
+	case MsgPoll:
+		if m.NodeID, err = d.u16(); err != nil {
+			return nil, err
+		}
+		if m.Total, err = d.u64(); err != nil {
+			return nil, err
+		}
+	case MsgPollResp:
+		if m.NodeID, err = d.u16(); err != nil {
+			return nil, err
+		}
+		if m.Total, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if m.PrimaryLive, err = d.boolean(); err != nil {
+			return nil, err
+		}
+		if m.KVAddr, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.ReplAddr, err = d.str(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: type %d", errMsg, t)
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errMsg, len(payload)-d.off)
+	}
+	return m, nil
+}
+
+// writeMsg frames, writes, and flushes one message.
+func writeMsg(bw *bufio.Writer, m *Message) error {
+	payload, err := EncodeMessage(nil, m)
+	if err != nil {
+		return err
+	}
+	if err := server.WriteFrame(bw, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readMsg reads and decodes one framed message, reusing buf.
+func readMsg(br *bufio.Reader, buf []byte) (*Message, []byte, error) {
+	payload, buf, err := server.ReadFrame(br, buf)
+	if err != nil {
+		return nil, buf, err
+	}
+	m, err := ParseMessage(payload)
+	return m, buf, err
+}

@@ -1,0 +1,477 @@
+package repl
+
+// Primary side of the replication stream: accept subscriptions and
+// election polls, ship stable WAL frames in one merged order, ship
+// bootstrap snapshots when the log has been truncated past a
+// follower's position, and fold follower acks into the commit gate.
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"nztm/internal/server"
+	"nztm/internal/tm"
+	"nztm/internal/trace"
+	"nztm/internal/wal"
+)
+
+// framesPerBatch caps one MsgFrames batch; small enough to interleave
+// heartbeats under sustained load, large enough to amortize flushes.
+const framesPerBatch = 64
+
+// acceptLoop owns the replication listener.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		n.wg.Add(1)
+		go n.handleConn(conn)
+	}
+}
+
+// handleConn dispatches one inbound replication connection on its first
+// message: an election poll (answer and close) or a subscription (serve
+// the stream until it breaks or this node is deposed).
+func (n *Node) handleConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	br := server.NewBufReader(conn)
+	bw := server.NewBufWriter(conn)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	m, _, err := readMsg(br, nil)
+	if err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch m.Type {
+	case MsgPoll:
+		n.handlePoll(bw, m)
+	case MsgSubscribe:
+		n.handleSubscribe(conn, br, bw, m)
+	}
+}
+
+// handlePoll answers an election probe with this node's view: epoch,
+// applied total, and whether a primary is live from here (itself, or a
+// lease-fresh upstream).
+func (n *Node) handlePoll(bw *bufio.Writer, m *Message) {
+	n.mu.Lock()
+	n.adoptEpochLocked(m.Epoch, "", "")
+	live := n.role == RolePrimary ||
+		(n.primaryRpl != "" && !n.lastHBAt.IsZero() && time.Since(n.lastHBAt) < n.cfg.LeaseTimeout)
+	total := n.appliedTotalLocked()
+	if n.needResync {
+		// A diverged tail is not comparable history; don't let a candidate
+		// defer to it (see runElection).
+		total = 0
+	}
+	resp := &Message{
+		Type:        MsgPollResp,
+		Epoch:       n.epoch,
+		NodeID:      uint16(n.cfg.NodeID),
+		Total:       total,
+		PrimaryLive: live,
+		KVAddr:      n.primaryKV,
+		ReplAddr:    n.primaryRpl,
+	}
+	n.mu.Unlock()
+	writeMsg(bw, resp)
+}
+
+// handleSubscribe serves one follower's stream on this goroutine and
+// reads its acks on a second until either side breaks or this node
+// stops being the primary at the stream's epoch.
+func (n *Node) handleSubscribe(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, m *Message) {
+	n.mu.Lock()
+	// A subscriber advertising a higher epoch proves a newer primary was
+	// elected: step down first, then redirect.
+	n.adoptEpochLocked(m.Epoch, "", "")
+	if n.role != RolePrimary {
+		rej := &Message{
+			Type: MsgReject, Epoch: n.epoch, Code: RejectNotPrimary,
+			Text: "not primary", KVAddr: n.primaryKV, ReplAddr: n.primaryRpl,
+		}
+		n.mu.Unlock()
+		writeMsg(bw, rej)
+		return
+	}
+	epoch := n.epoch
+	var followerTotal uint64
+	for _, v := range m.Vector {
+		followerTotal += v
+	}
+	sub := &subState{
+		nodeID:     int(m.NodeID),
+		remote:     conn.RemoteAddr().String(),
+		ackedVec:   append([]uint64(nil), m.Vector...),
+		ackedTotal: followerTotal,
+		lastAck:    time.Now(),
+	}
+	n.subs[sub] = struct{}{}
+	n.broadcastLocked()
+	n.mu.Unlock()
+
+	n.stats.Subscribes.Add(1)
+	n.rec.Record(tm.Monotime(), trace.KindReplSubscribe, uint64(m.NodeID), epoch, followerTotal)
+	n.cfg.Logf("repl: node %d: follower %d subscribed (epoch=%d applied_total=%d resync=%v)",
+		n.cfg.NodeID, m.NodeID, epoch, followerTotal, m.Resync)
+
+	n.wg.Add(1)
+	go n.readAcks(conn, br, sub, epoch)
+
+	err := n.streamTo(bw, sub, m, epoch)
+	conn.Close() // unblocks readAcks, which unregisters sub
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		n.cfg.Logf("repl: node %d: stream to follower %d ended: %v", n.cfg.NodeID, sub.nodeID, err)
+	}
+}
+
+// readAcks consumes a follower's acks, folding them into the sub state
+// the commit gate counts. A message bearing a higher epoch deposes this
+// primary. Exits (and unregisters the sub) when the conn dies.
+func (n *Node) readAcks(conn net.Conn, br *bufio.Reader, sub *subState, epoch uint64) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.subs, sub)
+		n.broadcastLocked()
+		n.mu.Unlock()
+	}()
+	var buf []byte
+	for {
+		m, b, err := readMsg(br, buf)
+		if err != nil {
+			return
+		}
+		buf = b
+		if m.Epoch > epoch {
+			n.mu.Lock()
+			n.adoptEpochLocked(m.Epoch, m.KVAddr, m.ReplAddr)
+			n.mu.Unlock()
+			return
+		}
+		if m.Epoch < epoch || m.Type != MsgAck {
+			if m.Type == MsgReject {
+				return
+			}
+			continue
+		}
+		n.stats.AcksReceived.Add(1)
+		var total uint64
+		for _, v := range m.Vector {
+			total += v
+		}
+		var stableTotal uint64
+		for _, v := range n.log.StableVector() {
+			stableTotal += v
+		}
+		n.mu.Lock()
+		sub.ackedVec = append(sub.ackedVec[:0], m.Vector...)
+		sub.ackedTotal = total
+		sub.lastAck = time.Now()
+		if total >= stableTotal {
+			sub.behindSince = time.Time{}
+		} else if sub.behindSince.IsZero() {
+			sub.behindSince = time.Now()
+		}
+		n.broadcastLocked()
+		n.mu.Unlock()
+	}
+}
+
+// streamTo ships the merged stream to one follower: bootstrap
+// snapshots where the log can't reach back far enough, then stable
+// frames in an order where every frame lands only when each shard in
+// its identity vector is exactly one behind (or already covered) —
+// the property that makes every follower's state a prefix of one
+// shared history. Heartbeats interleave on a timer. Returns when the
+// connection breaks, the node stops, or this node is no longer the
+// primary at epoch.
+func (n *Node) streamTo(bw *bufio.Writer, sub *subState, m *Message, epoch uint64) error {
+	th := n.cfg.NewThread()
+	defer th.Close()
+
+	notify := make(chan struct{}, 1)
+	n.log.NotifyStable(notify)
+	defer n.log.StopNotify(notify)
+
+	stable := n.log.StableVector()
+	nShards := len(stable)
+	sent := make([]uint64, nShards)
+	forceSnap := make([]bool, nShards)
+	resync := m.Resync || len(m.Vector) != nShards
+	if !resync {
+		for s, v := range m.Vector {
+			if v > stable[s] {
+				// The follower is ahead of our stable history: it diverged
+				// (e.g. it was a primary whose tail we never saw). Re-seed it
+				// wholesale.
+				resync = true
+				break
+			}
+		}
+	}
+	if resync {
+		for s := range forceSnap {
+			forceSnap[s] = true
+		}
+		if m.Resync {
+			n.stats.Resyncs.Add(1)
+		}
+	} else {
+		copy(sent, m.Vector)
+	}
+
+	readers := make([]*wal.StreamReader, nShards)
+	defer func() {
+		for _, r := range readers {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+	heads := make([]*wal.Frame, nShards)
+	headLSN := make([]uint64, nShards)
+
+	hb := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer hb.Stop()
+	if err := n.heartbeat(bw, epoch, stable); err != nil {
+		return err
+	}
+
+	for {
+		if n.Epoch() != epoch || n.Role() != RolePrimary {
+			return errors.New("repl: deposed")
+		}
+		stable = n.log.StableVector()
+
+		for s := range forceSnap {
+			if !forceSnap[s] {
+				continue
+			}
+			lsn, err := n.shipSnapshot(bw, th, s, epoch)
+			if err != nil {
+				return err
+			}
+			forceSnap[s] = false
+			sent[s] = lsn
+			heads[s] = nil
+			if readers[s] != nil {
+				readers[s].Close()
+				readers[s] = nil
+			}
+		}
+
+		// Pull each shard's next unshipped stable frame into its head slot.
+		for s := 0; s < nShards; s++ {
+			for heads[s] == nil && sent[s] < stable[s] {
+				if readers[s] == nil {
+					r, err := n.log.OpenStream(s, sent[s]+1)
+					if errors.Is(err, wal.ErrGap) {
+						// Snapshotting truncated past the resume point.
+						lsn, serr := n.shipSnapshot(bw, th, s, epoch)
+						if serr != nil {
+							return serr
+						}
+						sent[s] = lsn
+						continue
+					}
+					if err != nil {
+						return err
+					}
+					readers[s] = r
+				}
+				entry, err := readers[s].Next()
+				if err != nil {
+					// EOF/torn at the live tail usually means our segment-list
+					// snapshot predates a rotation; reopen from the resume
+					// point. Anything else is a real defect.
+					readers[s].Close()
+					readers[s] = nil
+					if errors.Is(err, io.EOF) || errors.Is(err, wal.ErrTorn) {
+						r, rerr := n.log.OpenStream(s, sent[s]+1)
+						if rerr == nil {
+							if e2, err2 := r.Next(); err2 == nil {
+								readers[s] = r
+								if e2.LSN > sent[s] {
+									heads[s], headLSN[s] = e2.Frame, e2.LSN
+								}
+								continue
+							}
+							r.Close()
+						}
+						break // genuinely not readable yet; retry after notify
+					}
+					return err
+				}
+				if entry.LSN > sent[s] {
+					heads[s], headLSN[s] = entry.Frame, entry.LSN
+				}
+			}
+		}
+
+		// Sweep ready heads into batches. A frame is ready when every
+		// shard in its vector is exactly one behind or already covers it;
+		// shipping it advances those shards, which may both ready other
+		// heads and make duplicate heads (other shards' copies of a
+		// cross-shard frame) stale.
+		var batch [][]byte
+		var batchBytes int
+		progress := true
+		for progress {
+			progress = false
+			for s := 0; s < nShards; s++ {
+				if heads[s] == nil {
+					continue
+				}
+				if headLSN[s] <= sent[s] {
+					heads[s] = nil // duplicate copy, already shipped via another shard
+					progress = true
+					continue
+				}
+				ready := true
+				for _, sl := range heads[s].Shards {
+					if sl.Shard >= nShards || (sent[sl.Shard] != sl.LSN-1 && sent[sl.Shard] < sl.LSN) {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				enc := wal.EncodeFrame(nil, heads[s])
+				batch = append(batch, enc)
+				batchBytes += len(enc)
+				for _, sl := range heads[s].Shards {
+					if sent[sl.Shard] < sl.LSN {
+						sent[sl.Shard] = sl.LSN
+					}
+				}
+				heads[s] = nil
+				progress = true
+				if len(batch) >= framesPerBatch {
+					if err := n.sendFrames(bw, epoch, batch, batchBytes, sent); err != nil {
+						return err
+					}
+					batch, batchBytes = nil, 0
+				}
+			}
+			if !progress {
+				// Refill drained heads before giving up: a swept shard may
+				// have more stable frames waiting.
+				for s := 0; s < nShards; s++ {
+					if heads[s] != nil || sent[s] >= stable[s] || readers[s] == nil {
+						continue
+					}
+					entry, err := readers[s].Next()
+					if err != nil {
+						if errors.Is(err, io.EOF) || errors.Is(err, wal.ErrTorn) {
+							readers[s].Close()
+							readers[s] = nil
+							continue
+						}
+						return err
+					}
+					if entry.LSN > sent[s] {
+						heads[s], headLSN[s] = entry.Frame, entry.LSN
+						progress = true
+					}
+				}
+			}
+		}
+		if len(batch) > 0 {
+			if err := n.sendFrames(bw, epoch, batch, batchBytes, sent); err != nil {
+				return err
+			}
+		}
+
+		select {
+		case <-notify:
+		case <-hb.C:
+			if err := n.heartbeat(bw, epoch, n.log.StableVector()); err != nil {
+				return err
+			}
+		case <-n.stop:
+			return errors.New("repl: node closed")
+		}
+	}
+}
+
+// sendFrames ships one MsgFrames batch and records the bookkeeping.
+func (n *Node) sendFrames(bw *bufio.Writer, epoch uint64, batch [][]byte, bytes int, sent []uint64) error {
+	if err := writeMsg(bw, &Message{Type: MsgFrames, Epoch: epoch, Frames: batch}); err != nil {
+		return err
+	}
+	n.stats.FramesShipped.Add(uint64(len(batch)))
+	n.stats.BytesShipped.Add(uint64(bytes))
+	var total uint64
+	for _, v := range sent {
+		total += v
+	}
+	n.rec.Record(tm.Monotime(), trace.KindReplFrames, 0, uint64(len(batch)), total)
+	return nil
+}
+
+// heartbeat ships one lease renewal carrying the stable vector.
+func (n *Node) heartbeat(bw *bufio.Writer, epoch uint64, stable []uint64) error {
+	var total uint64
+	for _, v := range stable {
+		total += v
+	}
+	err := writeMsg(bw, &Message{
+		Type: MsgHeartbeat, Epoch: epoch, Total: total,
+		NowMs: uint64(time.Now().UnixMilli()), KVAddr: n.cfg.KVAddr, Vector: stable,
+	})
+	if err == nil {
+		n.stats.Heartbeats.Add(1)
+	}
+	return err
+}
+
+// shipSnapshot sends shard's full state as chunked MsgSnapshot messages
+// and returns the cut LSN the chunks accumulate to.
+func (n *Node) shipSnapshot(bw *bufio.Writer, th *tm.Thread, shard int, epoch uint64) (uint64, error) {
+	lsn, keys, err := n.store.SnapshotShard(th, shard)
+	if err != nil {
+		return 0, err
+	}
+	chunk := make(map[string][]byte)
+	bytes := 0
+	flush := func(last bool) error {
+		err := writeMsg(bw, &Message{
+			Type: MsgSnapshot, Epoch: epoch, Shard: uint16(shard),
+			LSN: lsn, Last: last, Keys: chunk,
+		})
+		chunk, bytes = make(map[string][]byte), 0
+		return err
+	}
+	for k, v := range keys {
+		chunk[k] = v
+		bytes += len(k) + len(v) + 8
+		if bytes >= snapshotChunkBytes || len(chunk) >= maxSnapshotKeys {
+			if err := flush(false); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := flush(true); err != nil {
+		return 0, err
+	}
+	n.stats.SnapshotsShipped.Add(1)
+	n.cfg.Logf("repl: node %d: shipped snapshot shard=%d lsn=%d keys=%d", n.cfg.NodeID, shard, lsn, len(keys))
+	return lsn, nil
+}

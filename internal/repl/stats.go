@@ -1,0 +1,105 @@
+package repl
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"sync/atomic"
+)
+
+// Stats is the replication plane's counter block. Every field is
+// exported through WriteStatsz (one "repl:" line) and WriteMetricsz
+// (one nztm_repl_<snake_case> series each) by reflection, so adding a
+// counter here is all it takes to export it — the coverage test in
+// stats_test.go enforces that both outputs carry every field.
+type Stats struct {
+	// Epoch is the node's current fencing epoch.
+	Epoch atomic.Uint64
+	// IsPrimary is 1 while this node is the primary.
+	IsPrimary atomic.Uint64
+	// FramesShipped counts WAL frames sent to followers (all
+	// subscribers summed).
+	FramesShipped atomic.Uint64
+	// BytesShipped counts encoded frame bytes sent to followers.
+	BytesShipped atomic.Uint64
+	// FramesApplied counts frames this node applied from a primary.
+	FramesApplied atomic.Uint64
+	// SnapshotsShipped counts bootstrap shard snapshots sent.
+	SnapshotsShipped atomic.Uint64
+	// SnapshotsLoaded counts bootstrap shard snapshots installed.
+	SnapshotsLoaded atomic.Uint64
+	// Subscribes counts follower subscriptions accepted.
+	Subscribes atomic.Uint64
+	// Heartbeats counts heartbeats sent (primary) or received (follower).
+	Heartbeats atomic.Uint64
+	// AcksSent counts applied-vector acks this node sent upstream.
+	AcksSent atomic.Uint64
+	// AcksReceived counts follower acks this node received.
+	AcksReceived atomic.Uint64
+	// GateWaits counts requests that blocked in the commit gate.
+	GateWaits atomic.Uint64
+	// GateTimeouts counts requests the commit gate failed on timeout.
+	GateTimeouts atomic.Uint64
+	// Elections counts election rounds this node started.
+	Elections atomic.Uint64
+	// Promotions counts times this node promoted itself to primary.
+	Promotions atomic.Uint64
+	// Depositions counts times this node stepped down from primary.
+	Depositions atomic.Uint64
+	// FencingRejects counts stale-epoch messages this node refused.
+	FencingRejects atomic.Uint64
+	// Resyncs counts full snapshot resyncs this node requested.
+	Resyncs atomic.Uint64
+	// LagFrames is the follower's LSN-total delta behind the primary's
+	// last advertised stable total (0 when caught up or primary).
+	LagFrames atomic.Uint64
+	// LagMs is the follower's staleness in milliseconds: time since its
+	// applied state last covered a primary heartbeat (0 when primary).
+	LagMs atomic.Uint64
+}
+
+// snake converts a Go field name to snake_case (FramesShipped →
+// frames_shipped).
+func snake(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// fields iterates the Stats counters as (snake_case name, value).
+func (st *Stats) fields(fn func(name string, v uint64)) {
+	rv := reflect.ValueOf(st).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		c, ok := rv.Field(i).Addr().Interface().(*atomic.Uint64)
+		if !ok {
+			continue
+		}
+		fn(snake(rt.Field(i).Name), c.Load())
+	}
+}
+
+// WriteStatsz appends the replication counters as "repl:" lines.
+func (st *Stats) WriteStatsz(w io.Writer) {
+	fmt.Fprintf(w, "repl:")
+	st.fields(func(name string, v uint64) {
+		fmt.Fprintf(w, " %s=%d", name, v)
+	})
+	fmt.Fprintf(w, "\n")
+}
+
+// WriteMetricsz appends one Prometheus gauge per counter.
+func (st *Stats) WriteMetricsz(w io.Writer) {
+	st.fields(func(name string, v uint64) {
+		fmt.Fprintf(w, "# TYPE nztm_repl_%s gauge\nnztm_repl_%s %d\n", name, name, v)
+	})
+}

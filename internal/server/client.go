@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"nztm/internal/kv"
+	"nztm/internal/wal"
 )
 
 // Client is a pipelining connection to a Server. It is safe for concurrent
@@ -31,6 +32,7 @@ type Client struct {
 type reply struct {
 	status  uint8
 	results []kv.Result
+	vec     []wal.ShardLSN
 	errmsg  string
 }
 
@@ -74,7 +76,7 @@ func (c *Client) readLoop() {
 			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 			return
 		}
-		id, status, results, errmsg, err := parseResponse(payload)
+		id, status, results, vec, errmsg, err := parseResponse(payload)
 		if err != nil {
 			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 			return
@@ -84,7 +86,7 @@ func (c *Client) readLoop() {
 		delete(c.pending, id)
 		c.mu.Unlock()
 		if ok {
-			ch <- reply{status: status, results: results, errmsg: errmsg}
+			ch <- reply{status: status, results: results, vec: vec, errmsg: errmsg}
 		}
 	}
 }
@@ -108,41 +110,8 @@ func (c *Client) fail(err error) {
 // per-op results (see kv.Store.Do for batch semantics). It blocks until
 // the response arrives; other goroutines' requests overlap freely.
 func (c *Client) Do(ops []kv.Op) ([]kv.Result, error) {
-	id := c.nextID.Add(1)
-	payload, err := appendRequest(nil, id, ops)
+	r, err := c.roundTrip(ops, nil)
 	if err != nil {
-		return nil, err
-	}
-
-	ch := make(chan reply, 1)
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
-		return nil, err
-	}
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	c.wmu.Lock()
-	werr := writeFrame(c.bw, payload)
-	if werr == nil {
-		werr = c.bw.Flush()
-	}
-	c.wmu.Unlock()
-	if werr != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		c.fail(fmt.Errorf("%w: %v", ErrClosed, werr))
-		return nil, werr
-	}
-
-	r, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.err
-		c.mu.Unlock()
 		return nil, err
 	}
 	switch r.status {
@@ -158,6 +127,66 @@ func (c *Client) Do(ops []kv.Op) ([]kv.Result, error) {
 	default:
 		return nil, fmt.Errorf("server: status %d: %s", r.status, r.errmsg)
 	}
+}
+
+// DoVec executes ops as a vector-aware request carrying the staleness
+// token st. On success (StatusOKVec) it returns the results and the
+// request's commit vector — the caller's next read-your-writes token.
+// StatusLagging and StatusNotPrimary are NOT errors at this layer: they
+// come back as the status with nil results (errmsg in msg), so a
+// replica-aware wrapper can re-route. Transport failures and malformed
+// responses are errors.
+func (c *Client) DoVec(ops []kv.Op, st *Staleness) (results []kv.Result, vec []wal.ShardLSN, status uint8, msg string, err error) {
+	r, err := c.roundTrip(ops, st)
+	if err != nil {
+		return nil, nil, 0, "", err
+	}
+	if r.status == StatusOKVec && len(r.results) != len(ops) {
+		return nil, nil, 0, "", fmt.Errorf("server: %d results for %d ops", len(r.results), len(ops))
+	}
+	return r.results, r.vec, r.status, r.errmsg, nil
+}
+
+// roundTrip sends one request and waits for its reply.
+func (c *Client) roundTrip(ops []kv.Op, st *Staleness) (reply, error) {
+	id := c.nextID.Add(1)
+	payload, err := appendRequestVec(nil, id, ops, st)
+	if err != nil {
+		return reply{}, err
+	}
+
+	ch := make(chan reply, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return reply{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	werr := writeFrame(c.bw, payload)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("%w: %v", ErrClosed, werr))
+		return reply{}, werr
+	}
+
+	r, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return reply{}, err
+	}
+	return r, nil
 }
 
 // Get reads key.

@@ -7,14 +7,23 @@ import (
 	"testing"
 
 	"nztm/internal/kv"
+	"nztm/internal/wal"
 )
 
 // sampleRequests seeds the fuzz corpora with well-formed payloads covering
-// every op kind, nil-vs-empty blobs, and batches.
+// every op kind, nil-vs-empty blobs, batches, and vector-aware requests
+// (staleness tokens).
 func sampleRequests(t interface{ Fatal(...any) }) [][]byte {
 	var seeds [][]byte
 	add := func(id uint64, ops []kv.Op) {
 		p, err := appendRequest(nil, id, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, p)
+	}
+	addVec := func(id uint64, ops []kv.Op, st *Staleness) {
+		p, err := appendRequestVec(nil, id, ops, st)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -31,6 +40,11 @@ func sampleRequests(t interface{ Fatal(...any) }) [][]byte {
 		{Kind: kv.OpPut, Key: "b", Value: []byte("1")},
 		{Kind: kv.OpCAS, Key: "c", Expect: []byte("x"), Value: []byte("y")},
 	})
+	addVec(8, []kv.Op{{Kind: kv.OpGet, Key: "k"}}, &Staleness{MaxLagMs: NoLagBudget})
+	addVec(9, []kv.Op{{Kind: kv.OpGet, Key: "k"}}, &Staleness{MaxLagMs: 0,
+		Vector: []wal.ShardLSN{{Shard: 0, LSN: 12}, {Shard: 3, LSN: 7}}})
+	addVec(10, []kv.Op{{Kind: kv.OpPut, Key: "k", Value: []byte("v")}}, &Staleness{
+		MaxLagMs: 250, Vector: []wal.ShardLSN{{Shard: 1, LSN: 1}}})
 	return seeds
 }
 
@@ -43,20 +57,21 @@ func FuzzParseRequest(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		id, ops, err := parseRequest(payload)
+		id, ops, st, err := parseRequest(payload)
 		if err != nil {
 			return // rejected input: only requirement is no panic
 		}
-		re, err := appendRequest(nil, id, ops)
+		re, err := appendRequestVec(nil, id, ops, st)
 		if err != nil {
 			t.Fatalf("accepted request does not re-encode: %v", err)
 		}
-		id2, ops2, err := parseRequest(re)
+		id2, ops2, st2, err := parseRequest(re)
 		if err != nil {
 			t.Fatalf("re-encoded request does not re-parse: %v", err)
 		}
-		if id2 != id || !reflect.DeepEqual(ops2, ops) {
-			t.Fatalf("round trip changed request:\n  ops  = %#v\n  ops2 = %#v", ops, ops2)
+		if id2 != id || !reflect.DeepEqual(ops2, ops) || !reflect.DeepEqual(st2, st) {
+			t.Fatalf("round trip changed request:\n  ops  = %#v st  = %#v\n  ops2 = %#v st2 = %#v",
+				ops, st, ops2, st2)
 		}
 	})
 }
@@ -69,23 +84,28 @@ func FuzzParseResponse(f *testing.F) {
 		appendResponse(nil, 3, StatusBudget, nil, "kv: retry budget exhausted"),
 		appendResponse(nil, 4, StatusBad, nil, ""),
 		appendResponse(nil, 5, StatusOK, nil, ""),
+		appendResponseVec(nil, 6, StatusOKVec, []kv.Result{{Found: true, Value: []byte("v")}},
+			[]wal.ShardLSN{{Shard: 0, LSN: 9}, {Shard: 2, LSN: 4}}, ""),
+		appendResponseVec(nil, 7, StatusLagging, nil, nil, "replica 812ms behind"),
+		appendResponseVec(nil, 8, StatusNotPrimary, nil, nil, "primary=127.0.0.1:4100"),
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		id, status, results, errmsg, err := parseResponse(payload)
+		id, status, results, vec, errmsg, err := parseResponse(payload)
 		if err != nil {
 			return
 		}
-		re := appendResponse(nil, id, status, results, errmsg)
-		id2, status2, results2, errmsg2, err := parseResponse(re)
+		re := appendResponseVec(nil, id, status, results, vec, errmsg)
+		id2, status2, results2, vec2, errmsg2, err := parseResponse(re)
 		if err != nil {
 			t.Fatalf("re-encoded response does not re-parse: %v", err)
 		}
-		if id2 != id || status2 != status || errmsg2 != errmsg || !reflect.DeepEqual(results2, results) {
-			t.Fatalf("round trip changed response: (%d %d %q %#v) -> (%d %d %q %#v)",
-				id, status, errmsg, results, id2, status2, errmsg2, results2)
+		if id2 != id || status2 != status || errmsg2 != errmsg ||
+			!reflect.DeepEqual(results2, results) || !reflect.DeepEqual(vec2, vec) {
+			t.Fatalf("round trip changed response: (%d %d %q %#v %#v) -> (%d %d %q %#v %#v)",
+				id, status, errmsg, results, vec, id2, status2, errmsg2, results2, vec2)
 		}
 	})
 }

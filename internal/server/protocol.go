@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"nztm/internal/kv"
+	"nztm/internal/wal"
 )
 
 // Wire format. Every message, in both directions, is one frame:
@@ -182,59 +183,71 @@ func appendRequest(b []byte, id uint64, ops []kv.Op) ([]byte, error) {
 	return b, nil
 }
 
-// parseRequest decodes a request frame payload.
-func parseRequest(payload []byte) (id uint64, ops []kv.Op, err error) {
+// parseRequest decodes a request frame payload. st is non-nil exactly
+// when the request was vector-aware (its op count carried vecFlag).
+func parseRequest(payload []byte) (id uint64, ops []kv.Op, st *Staleness, err error) {
 	c := &cursor{b: payload}
 	if id, err = c.u64(); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	n, err := c.u16()
 	if err != nil {
-		return id, nil, err
+		return id, nil, nil, err
 	}
+	vecAware := n&vecFlag != 0
+	n &^= vecFlag
 	if n == 0 || int(n) > MaxOps {
-		return id, nil, errFrame
+		return id, nil, nil, errFrame
 	}
 	ops = make([]kv.Op, n)
 	for i := range ops {
 		kind, err := c.u8()
 		if err != nil {
-			return id, nil, err
+			return id, nil, nil, err
 		}
 		klen, err := c.u16()
 		if err != nil {
-			return id, nil, err
+			return id, nil, nil, err
 		}
 		if int(klen) > MaxKey {
-			return id, nil, errFrame
+			return id, nil, nil, errFrame
 		}
 		key, err := c.bytes(int(klen))
 		if err != nil {
-			return id, nil, err
+			return id, nil, nil, err
 		}
 		op := kv.Op{Kind: kv.OpKind(kind), Key: string(key)}
 		switch op.Kind {
 		case kv.OpGet, kv.OpDelete:
 		case kv.OpPut:
 			if op.Value, err = c.blob(); err != nil {
-				return id, nil, err
+				return id, nil, nil, err
 			}
 		case kv.OpCAS:
 			if op.Expect, err = c.blob(); err != nil {
-				return id, nil, err
+				return id, nil, nil, err
 			}
 			if op.Value, err = c.blob(); err != nil {
-				return id, nil, err
+				return id, nil, nil, err
 			}
 		default:
-			return id, nil, errFrame
+			return id, nil, nil, errFrame
 		}
 		ops[i] = op
 	}
-	if c.off != len(payload) {
-		return id, nil, errFrame
+	if vecAware {
+		st = &Staleness{}
+		if st.MaxLagMs, err = c.u32(); err != nil {
+			return id, nil, nil, err
+		}
+		if st.Vector, err = c.vector(); err != nil {
+			return id, nil, nil, err
+		}
 	}
-	return id, ops, nil
+	if c.off != len(payload) {
+		return id, nil, nil, errFrame
+	}
+	return id, ops, st, nil
 }
 
 // appendResponse encodes a response frame payload onto b. For StatusOK,
@@ -257,8 +270,9 @@ func appendResponse(b []byte, id uint64, status uint8, results []kv.Result, errm
 	return b
 }
 
-// parseResponse decodes a response frame payload.
-func parseResponse(payload []byte) (id uint64, status uint8, results []kv.Result, errmsg string, err error) {
+// parseResponse decodes a response frame payload. vec is non-nil only
+// for StatusOKVec responses carrying a non-empty commit vector.
+func parseResponse(payload []byte) (id uint64, status uint8, results []kv.Result, vec []wal.ShardLSN, errmsg string, err error) {
 	c := &cursor{b: payload}
 	if id, err = c.u64(); err != nil {
 		return
@@ -266,7 +280,7 @@ func parseResponse(payload []byte) (id uint64, status uint8, results []kv.Result
 	if status, err = c.u8(); err != nil {
 		return
 	}
-	if status != StatusOK {
+	if status != StatusOK && status != StatusOKVec {
 		var msg []byte
 		if msg, err = c.blob(); err != nil {
 			return
@@ -293,6 +307,11 @@ func parseResponse(payload []byte) (id uint64, status uint8, results []kv.Result
 			return
 		}
 	}
+	if status == StatusOKVec {
+		if vec, err = c.vector(); err != nil {
+			return
+		}
+	}
 	if c.off != len(payload) {
 		err = errFrame
 	}
@@ -303,6 +322,22 @@ func parseResponse(payload []byte) (id uint64, status uint8, results []kv.Result
 // small frames.
 func newBufReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, 64<<10) }
 func newBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, 64<<10) }
+
+// NewBufReader, NewBufWriter, ReadFrame and WriteFrame expose the
+// framing layer to the replication plane, which speaks its own message
+// vocabulary over the same length-prefixed transport.
+func NewBufReader(r io.Reader) *bufio.Reader { return newBufReader(r) }
+
+// NewBufWriter sizes a write buffer for pipelined small frames.
+func NewBufWriter(w io.Writer) *bufio.Writer { return newBufWriter(w) }
+
+// ReadFrame reads one length-prefixed frame; see readFrame.
+func ReadFrame(r *bufio.Reader, buf []byte) (payload, newBuf []byte, err error) {
+	return readFrame(r, buf)
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w *bufio.Writer, payload []byte) error { return writeFrame(w, payload) }
 
 // readFrame reads one length-prefixed frame, reusing buf when it is big
 // enough. It returns the payload (valid until the next call with the same

@@ -12,6 +12,7 @@ import (
 	"nztm/internal/kv"
 	"nztm/internal/tm"
 	"nztm/internal/trace"
+	"nztm/internal/wal"
 )
 
 // Config tunes a Server.
@@ -42,6 +43,15 @@ type Config struct {
 	// WrapThread, when non-nil, decorates each per-connection thread
 	// context right after it is minted (the fault plane rebinds Env here).
 	WrapThread func(*tm.Thread)
+	// CheckRequest, when non-nil, is consulted before each request
+	// executes — the replication plane's interposition point. Returning
+	// StatusOK lets the request run; any other status (typically
+	// StatusNotPrimary for writes on a follower, StatusLagging for a
+	// bounded-staleness read the replica cannot serve in time) answers
+	// the request immediately with that status and message. The hook may
+	// block, e.g. while a replica waits to catch up to a token vector; it
+	// runs on the connection's executor goroutine.
+	CheckRequest func(ops []kv.Op, st *Staleness) (uint8, string)
 }
 
 // Server serves a kv.Store over length-prefixed TCP. Each connection binds a
@@ -70,6 +80,8 @@ type Server struct {
 	reqBad        atomic.Uint64
 	reqErr        atomic.Uint64
 	reqShutdown   atomic.Uint64
+	reqLagging    atomic.Uint64 // bounded-staleness reads refused (replica behind)
+	reqRedirect   atomic.Uint64 // StatusNotPrimary answers (client re-routes)
 	singleLatency Histogram
 	batchLatency  Histogram
 
@@ -189,6 +201,7 @@ func (s *Server) shuttingDown() bool {
 type request struct {
 	id  uint64
 	ops []kv.Op
+	st  *Staleness // non-nil for vector-aware requests
 }
 
 // serveConn runs one connection: this goroutine reads and parses frames, a
@@ -239,7 +252,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	go func() {
 		defer close(execDone)
 		for r := range requests {
-			responses <- s.execute(th, r.id, r.ops)
+			responses <- s.execute(th, r.id, r.ops, r.st)
 		}
 	}()
 
@@ -259,7 +272,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// desynchronised stream there is no way to answer reliably.
 			break
 		}
-		id, ops, perr := parseRequest(payload)
+		id, ops, st, perr := parseRequest(payload)
 		if perr != nil {
 			s.reqBad.Add(1)
 			responses <- appendResponse(nil, id, StatusBad, nil, perr.Error())
@@ -270,7 +283,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			responses <- appendResponse(nil, id, StatusShutdown, nil, "shutting down")
 			break
 		}
-		requests <- request{id: id, ops: ops}
+		requests <- request{id: id, ops: ops, st: st}
 	}
 	close(requests)
 	<-execDone
@@ -279,14 +292,35 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // execute runs one request on the connection's thread and encodes its
-// response.
-func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op) []byte {
+// response. A vector-aware request (st non-nil) is answered with
+// StatusOKVec carrying its commit vector.
+func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op, st *Staleness) []byte {
+	if s.cfg.CheckRequest != nil {
+		if status, msg := s.cfg.CheckRequest(ops, st); status != StatusOK {
+			switch status {
+			case StatusLagging:
+				s.reqLagging.Add(1)
+			case StatusNotPrimary:
+				s.reqRedirect.Add(1)
+			default:
+				s.reqErr.Add(1)
+			}
+			return appendResponse(nil, id, status, nil, msg)
+		}
+	}
 	start := time.Now()
 	budget := kv.Budget{MaxAttempts: s.cfg.MaxAttempts, Backoff: s.cfg.RetryBackoff}
 	if s.cfg.RequestTimeout > 0 {
 		budget.Deadline = start.Add(s.cfg.RequestTimeout)
 	}
-	results, err := s.store.Do(th, ops, budget)
+	var results []kv.Result
+	var vec []wal.ShardLSN
+	var err error
+	if st != nil {
+		results, vec, err = s.store.DoVec(th, ops, budget)
+	} else {
+		results, err = s.store.Do(th, ops, budget)
+	}
 	elapsed := time.Since(start)
 
 	if len(ops) > 1 {
@@ -297,6 +331,9 @@ func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op) []byte {
 	switch {
 	case err == nil:
 		s.reqOK.Add(1)
+		if st != nil {
+			return appendResponseVec(nil, id, StatusOKVec, results, vec, "")
+		}
 		return appendResponse(nil, id, StatusOK, results, "")
 	case errors.Is(err, kv.ErrBudget):
 		s.reqBudget.Add(1)
@@ -341,9 +378,9 @@ func (s *Server) WriteStatsz(w io.Writer) {
 	fmt.Fprintf(w, "slots: acquires=%d releases=%d\n",
 		view.SlotAcquires, view.SlotReleases)
 	fmt.Fprintf(w, "connections: open=%d total=%d\n", open, s.connsTotal.Load())
-	fmt.Fprintf(w, "requests: ok=%d budget=%d bad=%d error=%d shutdown=%d\n",
+	fmt.Fprintf(w, "requests: ok=%d budget=%d bad=%d error=%d shutdown=%d lagging=%d not_primary=%d\n",
 		s.reqOK.Load(), s.reqBudget.Load(), s.reqBad.Load(),
-		s.reqErr.Load(), s.reqShutdown.Load())
+		s.reqErr.Load(), s.reqShutdown.Load(), s.reqLagging.Load(), s.reqRedirect.Load())
 	fmt.Fprintf(w, "latency single: %s\n", s.singleLatency.Summary())
 	fmt.Fprintf(w, "latency batch:  %s\n", s.batchLatency.Summary())
 	fmt.Fprintf(w, "tm cumulative: commits=%d aborts=%d abort_rate=%.2f%% abort_requests=%d waits=%d inflations=%d deflations=%d locator_ops=%d backup_reuse=%d\n",

@@ -29,9 +29,9 @@ func TestProtocolRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, got, err := parseRequest(payload)
-	if err != nil || id != 42 {
-		t.Fatalf("parseRequest: id=%d err=%v", id, err)
+	id, got, st, err := parseRequest(payload)
+	if err != nil || id != 42 || st != nil {
+		t.Fatalf("parseRequest: id=%d st=%v err=%v", id, st, err)
 	}
 	if len(got) != len(ops) {
 		t.Fatalf("op count %d != %d", len(got), len(ops))
@@ -51,7 +51,7 @@ func TestProtocolRoundTrip(t *testing.T) {
 		{Found: true, Value: []byte{}},
 	}
 	rp := appendResponse(nil, 7, StatusOK, results, "")
-	rid, status, rs, _, err := parseResponse(rp)
+	rid, status, rs, _, _, err := parseResponse(rp)
 	if err != nil || rid != 7 || status != StatusOK || len(rs) != 3 {
 		t.Fatalf("parseResponse: id=%d status=%d n=%d err=%v", rid, status, len(rs), err)
 	}
@@ -63,14 +63,14 @@ func TestProtocolRoundTrip(t *testing.T) {
 	}
 
 	ep := appendResponse(nil, 9, StatusBudget, nil, "out of budget")
-	_, status, _, msg, err := parseResponse(ep)
+	_, status, _, _, msg, err := parseResponse(ep)
 	if err != nil || status != StatusBudget || msg != "out of budget" {
 		t.Fatalf("error response: status=%d msg=%q err=%v", status, msg, err)
 	}
 
 	// Truncated payloads must error, not panic.
 	for cut := 0; cut < len(payload); cut++ {
-		if _, _, err := parseRequest(payload[:cut]); err == nil && cut < len(payload) {
+		if _, _, _, err := parseRequest(payload[:cut]); err == nil && cut < len(payload) {
 			// Some prefixes can parse as a shorter valid request only if
 			// lengths line up; the trailing-bytes check prevents that.
 			t.Fatalf("truncated request at %d parsed", cut)

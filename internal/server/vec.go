@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+
+	"nztm/internal/kv"
+	"nztm/internal/wal"
+)
+
+// Replication-aware protocol extension. A client that cares about
+// staleness sets bit 15 of the request's op-count u16 (MaxOps is 4096,
+// so the bit is free) and appends a staleness token after the ops:
+//
+//	uint32  max lag in ms (NoLagBudget = no bound)
+//	uint16  vector entry count
+//	n ×     uint16 shard; uint64 lsn  — read-your-writes LSN vector
+//
+// The server answers a vector-aware request with StatusOKVec, which is
+// StatusOK's payload followed by the request's commit vector in the
+// same encoding (count + entries). Plain clients never set the bit and
+// never see the new statuses; the base protocol is untouched.
+const (
+	// StatusOKVec is StatusOK plus a trailing commit vector — the
+	// per-shard prefix the results depend on, returned to vector-aware
+	// clients as their next read-your-writes token.
+	StatusOKVec = 5
+	// StatusLagging is a replica refusing a bounded-staleness read: it
+	// could not reach the requested cut (token vector or lag budget)
+	// within its wait bound. The client falls back to the primary.
+	StatusLagging = 6
+	// StatusNotPrimary rejects a write (or a primary-only read) sent to
+	// a follower or a deposed primary; the message carries the current
+	// primary's advertised address when known.
+	StatusNotPrimary = 7
+
+	// vecFlag marks a vector-aware request in the op-count field.
+	vecFlag = 0x8000
+
+	// NoLagBudget in Staleness.MaxLagMs means "any applied state will
+	// do" (subject to the token vector).
+	NoLagBudget = 0xFFFFFFFF
+
+	// MaxVector bounds a token or response vector (a store never has
+	// more shards than this).
+	MaxVector = 1 << 10
+)
+
+// Staleness is a vector-aware request's read bound: serve only at a cut
+// that has applied at least Vector and lags the primary by at most
+// MaxLagMs milliseconds.
+type Staleness struct {
+	MaxLagMs uint32
+	Vector   []wal.ShardLSN
+}
+
+// appendVector encodes count + entries.
+func appendVector(b []byte, vec []wal.ShardLSN) []byte {
+	b = appendU16(b, uint16(len(vec)))
+	for _, sl := range vec {
+		b = appendU16(b, uint16(sl.Shard))
+		b = appendU64(b, sl.LSN)
+	}
+	return b
+}
+
+// parseVector decodes count + entries.
+func (c *cursor) vector() ([]wal.ShardLSN, error) {
+	n, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxVector {
+		return nil, errFrame
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	vec := make([]wal.ShardLSN, n)
+	for i := range vec {
+		sh, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		lsn, err := c.u64()
+		if err != nil {
+			return nil, err
+		}
+		vec[i] = wal.ShardLSN{Shard: int(sh), LSN: lsn}
+	}
+	return vec, nil
+}
+
+// appendRequestVec encodes a vector-aware request: the base encoding
+// with vecFlag set, followed by the staleness token.
+func appendRequestVec(b []byte, id uint64, ops []kv.Op, st *Staleness) ([]byte, error) {
+	if st == nil {
+		return appendRequest(b, id, ops)
+	}
+	if len(st.Vector) > MaxVector {
+		return nil, fmt.Errorf("server: token vector with %d entries (max %d)", len(st.Vector), MaxVector)
+	}
+	for _, sl := range st.Vector {
+		if sl.Shard < 0 || sl.Shard > 0xFFFF {
+			return nil, fmt.Errorf("server: token vector names shard %d", sl.Shard)
+		}
+	}
+	start := len(b)
+	b, err := appendRequest(b, id, ops)
+	if err != nil {
+		return nil, err
+	}
+	// Flip the op-count flag in place (offset: 8-byte id, then the u16).
+	b[start+8] |= vecFlag >> 8
+	b = appendU32(b, st.MaxLagMs)
+	return appendVector(b, st.Vector), nil
+}
+
+// appendResponseVec is appendResponse for vector-aware requests: a
+// StatusOKVec payload carries results then the commit vector; the other
+// statuses are encoded exactly as appendResponse does.
+func appendResponseVec(b []byte, id uint64, status uint8, results []kv.Result, vec []wal.ShardLSN, errmsg string) []byte {
+	if status != StatusOKVec {
+		return appendResponse(b, id, status, results, errmsg)
+	}
+	b = appendU64(b, id)
+	b = append(b, status)
+	b = appendU16(b, uint16(len(results)))
+	for i := range results {
+		if results[i].Found {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendBlob(b, results[i].Value)
+	}
+	return appendVector(b, vec)
+}

@@ -60,6 +60,10 @@ const (
 	KindWALRecover               // durability plane recovered a shard; Obj=shard, A=replayed frames, B=truncated bytes
 	KindWALSnapshot              // durability plane sealed a snapshot; Obj=shard, A=snapshot LSN, B=keys
 	KindWALTruncate              // durability plane removed covered files; Obj=shard, A=files removed
+	KindReplSubscribe            // replication: follower subscribed; A=epoch, B=follower's applied total
+	KindReplFrames               // replication: batch of frames shipped/applied; A=frames, B=last total LSN
+	KindReplPromote              // replication: node promoted to primary; A=new epoch, B=applied total at promotion
+	KindReplReject               // replication: fencing rejected a stale-epoch message; A=msg epoch, B=local epoch
 	kindCount
 )
 
@@ -106,6 +110,14 @@ func (k Kind) String() string {
 		return "wal-snapshot"
 	case KindWALTruncate:
 		return "wal-truncate"
+	case KindReplSubscribe:
+		return "repl-subscribe"
+	case KindReplFrames:
+		return "repl-frames"
+	case KindReplPromote:
+		return "repl-promote"
+	case KindReplReject:
+		return "repl-reject"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -177,6 +189,10 @@ const PlaneSource = -1
 // WALSource is the reserved source ID for durability-plane events
 // (recovery, snapshots, truncation), which run outside any TM thread.
 const WALSource = -2
+
+// ReplSource is the reserved source ID for replication-plane events
+// (subscriptions, frame shipping, promotions, fencing rejections).
+const ReplSource = -3
 
 // Source returns the recorder's source ID (a thread slot, or PlaneSource).
 func (r *Recorder) Source() int { return r.source }
@@ -378,6 +394,9 @@ func (f *FlightRecorder) Dump(w io.Writer) {
 		}
 		if log.Source == WALSource {
 			name = "durability plane (wal)"
+		}
+		if log.Source == ReplSource {
+			name = "replication plane (repl)"
 		}
 		fmt.Fprintf(w, "--- %s: %d recorded, last %d retained ---\n",
 			name, log.Recorded, len(log.Events))

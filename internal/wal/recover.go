@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -270,14 +271,15 @@ func provable(st *State, presence []map[uint64]string, cut []uint64, f *Frame) b
 	return true
 }
 
-// readShardLog walks one shard's segments in base order, decoding
-// frames until the first torn or corrupt frame, and records the repair
-// plan (tail truncation + removal of unreachable later segments). The
-// returned presence map carries each retained LSN's identity vector;
-// ends records, per segment, where its valid data stops (so a replay
-// cut can be priced and truncated later). It errors when the first
-// segment does not connect to the loaded snapshot (base >
-// SnapshotLSN+1): the covered LSN range is gone, so replaying the
+// readShardLog walks one shard's segments in base order through a
+// StreamReader (the frame-iteration path shared with replication),
+// decoding frames until the first torn or corrupt frame, and records
+// the repair plan (tail truncation + removal of unreachable later
+// segments). The returned presence map carries each retained LSN's
+// identity vector; ends records, per segment, where its valid data
+// stops (so a replay cut can be priced and truncated later). It errors
+// when the first segment does not connect to the loaded snapshot (base
+// > SnapshotLSN+1): the covered LSN range is gone, so replaying the
 // disconnected suffix would silently lose committed, possibly
 // acknowledged writes — an unrecoverable gap must fail loudly rather
 // than produce wrong state.
@@ -286,61 +288,49 @@ func readShardLog(st *State, s int, segs []segment) ([]frameAt, map[uint64]strin
 	presence := make(map[uint64]string)
 	ends := make([]int64, len(segs))
 	rep := &st.repairs[s]
-	stop := func(segIdx int, validOff int64, fileSize int64) {
+	if len(segs) > 0 && segs[0].base > st.SnapshotLSN[s]+1 {
+		return nil, nil, nil, fmt.Errorf(
+			"wal: shard %d: unrecoverable gap: first segment %s starts at lsn %d but the snapshot covers only lsn %d",
+			s, filepath.Base(segs[0].path), segs[0].base, st.SnapshotLSN[s])
+	}
+	refs := make([]SegmentRef, len(segs))
+	for i, seg := range segs {
+		refs[i] = SegmentRef{Base: seg.base, Path: seg.path}
+	}
+	sr := NewStreamReader(s, refs, 0)
+	defer sr.Close()
+	for {
+		e, err := sr.Next()
+		if err == nil {
+			frames = append(frames, frameAt{lsn: e.LSN, f: e.Frame, seg: e.Seg, off: e.Off})
+			presence[e.LSN] = e.Frame.vectorKey()
+			ends[e.Seg] = e.End
+			continue
+		}
+		if errors.Is(err, io.EOF) {
+			// Clean end of the chain: every segment survives as-is.
+			rep.liveSegs = append([]segment(nil), segs...)
+			return frames, presence, ends, nil
+		}
+		// First defect (torn tail, corrupt frame, LSN discontinuity,
+		// missing segment, unreadable file): truncate here, drop every
+		// later segment. Recovery never errors on log damage — the valid
+		// prefix is the recovered state.
+		segIdx, validOff := sr.Pos()
 		rep.truncPath = segs[segIdx].path
 		rep.truncSize = validOff
-		st.TruncatedBytes += uint64(fileSize - validOff)
+		if fi, serr := os.Stat(segs[segIdx].path); serr == nil && fi.Size() > validOff {
+			st.TruncatedBytes += uint64(fi.Size() - validOff)
+		}
 		for _, later := range segs[segIdx+1:] {
-			if fi, err := os.Stat(later.path); err == nil {
+			if fi, serr := os.Stat(later.path); serr == nil {
 				st.TruncatedBytes += uint64(fi.Size())
 			}
 			rep.removes = append(rep.removes, later.path)
 		}
 		rep.liveSegs = append([]segment(nil), segs[:segIdx+1]...)
+		return frames, presence, ends, nil
 	}
-	var expected uint64
-	for i, seg := range segs {
-		if i == 0 && seg.base > st.SnapshotLSN[s]+1 {
-			return nil, nil, nil, fmt.Errorf(
-				"wal: shard %d: unrecoverable gap: first segment %s starts at lsn %d but the snapshot covers only lsn %d",
-				s, filepath.Base(seg.path), seg.base, st.SnapshotLSN[s])
-		}
-		b, err := os.ReadFile(seg.path)
-		if err != nil {
-			stop(i, 0, 0)
-			return frames, presence, ends, nil
-		}
-		if i == 0 {
-			expected = seg.base
-		} else if seg.base != expected {
-			// A segment is missing from the middle: nothing past the
-			// gap is a provable prefix.
-			stop(i, 0, int64(len(b)))
-			return frames, presence, ends, nil
-		}
-		off := 0
-		for off < len(b) {
-			f, n, err := decodeFrame(b[off:])
-			if err != nil {
-				stop(i, int64(off), int64(len(b)))
-				return frames, presence, ends, nil
-			}
-			lsn, ok := f.LSNFor(s)
-			if !ok || lsn != expected {
-				// The checksum passed but the frame is not this log's
-				// next LSN: writer bug or foreign file. Stop cleanly.
-				stop(i, int64(off), int64(len(b)))
-				return frames, presence, ends, nil
-			}
-			frames = append(frames, frameAt{lsn: lsn, f: f, seg: i, off: int64(off)})
-			presence[lsn] = f.vectorKey()
-			expected++
-			off += n
-			ends[i] = int64(off)
-		}
-	}
-	rep.liveSegs = append([]segment(nil), segs...)
-	return frames, presence, ends, nil
 }
 
 // parseFileName parses prefix + 3-digit shard + "-" + 16-hex LSN + ext.

@@ -1,0 +1,246 @@
+package wal
+
+// Replication-facing surface of the log. The replication plane ships
+// stable frames to followers by reading them back off disk (the log IS
+// the replication stream), so it needs: the frame codec, each shard's
+// live segment list, the stable watermarks that bound what may be
+// shipped, a wakeup when they advance, and a way to force-install a
+// snapshot into a follower's log during catch-up bootstrap.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// EncodeFrame appends f's encoded container (checksummed header +
+// payload) to dst and returns the extended slice. The bytes are exactly
+// what Append writes to the log — the on-disk and on-wire frame formats
+// are one format.
+func EncodeFrame(dst []byte, f *Frame) []byte { return appendFrame(dst, f) }
+
+// DecodeFrame decodes one frame from the head of b, returning the frame
+// and the container size consumed. Errors wrap ErrTorn (b ends before
+// the declared length) or ErrCorrupt (checksum or structure).
+func DecodeFrame(b []byte) (*Frame, int, error) { return decodeFrame(b) }
+
+// SegmentRefs returns a copy of shard's live segment list (ascending
+// base LSN), for building a StreamReader. The list is a snapshot:
+// rotation may append segments and snapshotting may delete covered ones
+// afterwards; readers hitting a deleted file or the end of the listed
+// chain simply re-fetch refs.
+func (l *Log) SegmentRefs(shard int) []SegmentRef {
+	if shard < 0 || shard >= len(l.shards) {
+		return nil
+	}
+	s := l.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refs := make([]SegmentRef, len(s.segs))
+	for i, seg := range s.segs {
+		refs[i] = SegmentRef{Base: seg.base, Path: seg.path}
+	}
+	return refs
+}
+
+// StableLSN returns shard's stable watermark: every frame at or below
+// it is persisted in all of its vector shards and fully written to this
+// shard's segment files, so it may be shipped to followers. Frames
+// above it must not be shipped — recovery could still drop them.
+func (l *Log) StableLSN(shard int) uint64 {
+	if shard < 0 || shard >= len(l.shards) {
+		return 0
+	}
+	s := l.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stable
+}
+
+// StableVector returns every shard's stable watermark.
+func (l *Log) StableVector() []uint64 {
+	v := make([]uint64, len(l.shards))
+	for i := range l.shards {
+		v[i] = l.StableLSN(i)
+	}
+	return v
+}
+
+// SnapshotLSN returns shard's latest sealed snapshot LSN (0 = none).
+// Frames at or below it may no longer be on disk.
+func (l *Log) SnapshotLSN(shard int) uint64 {
+	if shard < 0 || shard >= len(l.shards) {
+		return 0
+	}
+	s := l.shards[shard]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapLSN
+}
+
+// NotifyStable registers ch to receive a non-blocking signal whenever
+// any shard's stable watermark advances (and when the log closes). The
+// replication sender parks on it instead of polling. A full channel is
+// skipped, so register a buffered channel and treat a receive as "go
+// look", not as a count.
+func (l *Log) NotifyStable(ch chan struct{}) {
+	l.notifyMu.Lock()
+	defer l.notifyMu.Unlock()
+	if l.notify == nil {
+		l.notify = make(map[chan struct{}]struct{})
+	}
+	l.notify[ch] = struct{}{}
+}
+
+// StopNotify unregisters ch.
+func (l *Log) StopNotify(ch chan struct{}) {
+	l.notifyMu.Lock()
+	defer l.notifyMu.Unlock()
+	delete(l.notify, ch)
+}
+
+// notifyStable signals every registered watcher, without blocking.
+func (l *Log) notifyStable() {
+	l.notifyMu.Lock()
+	defer l.notifyMu.Unlock()
+	for ch := range l.notify {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// InstallSnapshot force-installs a snapshot of shard at lsn: the shard's
+// existing log files are discarded, the snapshot becomes the shard's
+// entire history at or below lsn, and appending resumes at lsn+1. This
+// is the follower catch-up bootstrap — the primary has truncated past
+// the follower's position, so the follower replaces the shard wholesale
+// instead of replaying frames.
+//
+// The caller must have quiesced appends to this shard (the follower's
+// single apply goroutine is the only writer). Crash safety: old
+// segments are removed before the new snapshot is published, so a crash
+// mid-install recovers to either the old snapshot state or the new one,
+// never a splice of the two; either way the follower resyncs on
+// restart.
+func (l *Log) InstallSnapshot(shard int, lsn uint64, keys map[string][]byte) error {
+	if shard < 0 || shard >= len(l.shards) {
+		return fmt.Errorf("wal: install snapshot of shard %d of %d", shard, len(l.shards))
+	}
+	s := l.shards[shard]
+
+	enc := encodeSnapshot(shard, lsn, keys)
+	tmp, err := os.CreateTemp(l.dir, "tmp-snap-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(enc); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+
+	s.mu.Lock()
+	// Wait out any in-flight background work on the shard's files: a
+	// rotation flush completing after the reset below would advance the
+	// durable watermark past the installed cut, and a group-commit sync
+	// would race the close.
+	for s.rotating || s.syncing {
+		s.cond.Wait()
+	}
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		os.Remove(tmpName)
+		return err
+	}
+	// Drop the old log: close the appender and remove every segment
+	// BEFORE publishing the new snapshot (see crash-safety note above).
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	oldSegs := s.segs
+	s.segs = nil
+	for _, seg := range oldSegs {
+		if os.Remove(seg.path) == nil {
+			l.stats.RemovedFiles.Add(1)
+		}
+	}
+	syncDir(l.dir)
+
+	final := filepath.Join(l.dir, snapshotName(shard, lsn))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		s.err = err
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return err
+	}
+	syncDir(l.dir)
+	l.stats.Snapshots.Add(1)
+	l.stats.SnapshotKeys.Store(uint64(len(keys)))
+
+	// Reset the shard onto the installed state and open a fresh segment.
+	s.pending = make(map[uint64][]byte)
+	s.stableSet = make(map[uint64]struct{})
+	s.written, s.durable, s.stable = lsn, lsn, lsn
+	s.snapLSN = lsn
+	s.rotateAt = 0
+	base := lsn + 1
+	path := filepath.Join(l.dir, segmentName(shard, base))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.err = err
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return err
+	}
+	s.f = f
+	s.segs = append(s.segs, segment{base: base, path: path})
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	// Remove superseded snapshots of this shard.
+	if olds, err := filepath.Glob(filepath.Join(l.dir, fmt.Sprintf("snap-%03d-*.snap", shard))); err == nil {
+		for _, p := range olds {
+			if p != final && os.Remove(p) == nil {
+				l.stats.RemovedFiles.Add(1)
+			}
+		}
+	}
+	syncDir(l.dir)
+	l.notifyStable()
+	return nil
+}
+
+// OpenStream builds a StreamReader over shard's current segment list,
+// positioned to yield frames with LSN ≥ from. Returns ErrGap (wrapped)
+// when the log no longer reaches back to from — the shard's earliest
+// on-disk frame is newer, so the caller needs a snapshot instead.
+func (l *Log) OpenStream(shard int, from uint64) (*StreamReader, error) {
+	refs := l.SegmentRefs(shard)
+	if len(refs) == 0 || refs[0].Base > from {
+		return nil, fmt.Errorf("%w: shard %d lsn %d predates the log (earliest %d)",
+			ErrGap, shard, from, firstBase(refs))
+	}
+	return NewStreamReader(shard, refs, from), nil
+}
+
+func firstBase(refs []SegmentRef) uint64 {
+	if len(refs) == 0 {
+		return 0
+	}
+	return refs[0].Base
+}

@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// SegmentRef names one on-disk log segment of a shard: the LSN of its
+// first frame plus its path. Refs are how the frame-iteration machinery
+// (recovery, replication shipping) addresses a shard's log without
+// holding the log's locks.
+type SegmentRef struct {
+	Base uint64
+	Path string
+}
+
+// ErrGap reports a segment missing from the middle of a shard's log:
+// the next segment's base is not the LSN the previous segment ended at,
+// so nothing past the gap is a provable prefix.
+var ErrGap = errors.New("wal: segment gap")
+
+// StreamEntry is one frame yielded by a StreamReader, with its physical
+// position so callers (recovery's repair planner, the replication
+// sender) can turn a logical cut into a byte offset.
+type StreamEntry struct {
+	LSN   uint64 // the frame's LSN in the reader's shard
+	Frame *Frame
+	Seg   int   // index into the reader's segment list
+	Off   int64 // byte offset of the frame within that segment
+	End   int64 // byte offset just past the frame
+}
+
+// streamReadChunk bounds one incremental read from a live segment.
+const streamReadChunk = 256 << 10
+
+// StreamReader iterates the frames of one shard's log in dense LSN
+// order across segment rotations. It is the single frame-iteration code
+// path shared by recovery and replication: recovery walks a quiesced
+// directory to its first defect, the replication sender tails a live
+// log up to the stable watermark.
+//
+// Errors are sticky except at the tail: io.EOF (clean end of the last
+// segment) and ErrTorn (a partial frame at the tail) leave the reader
+// positioned so a later Next can pick up bytes appended since — the
+// live-tailing case. ErrCorrupt, ErrGap, and LSN discontinuities are
+// permanent: the log is defective past Pos and re-reading cannot fix it.
+//
+// A StreamReader is not safe for concurrent use.
+type StreamReader struct {
+	shard int
+	segs  []SegmentRef
+	start uint64 // first LSN the caller wants (0 = everything)
+
+	idx      int      // current segment index
+	f        *os.File // open handle on segs[idx]
+	buf      []byte   // unconsumed bytes read from segs[idx]
+	bufStart int64    // file offset of buf[0]
+	expected uint64   // LSN the next decoded frame must carry
+	began    bool
+	sticky   error
+}
+
+// NewStreamReader builds a reader over segs (ascending base order, as
+// recovery indexes them or Log.SegmentRefs returns them) that yields
+// frames of shard with LSN ≥ start. Frames below start are still
+// decoded — the chain must prove itself from the first segment — but
+// not returned. A nil or empty segs yields io.EOF immediately.
+func NewStreamReader(shard int, segs []SegmentRef, start uint64) *StreamReader {
+	r := &StreamReader{shard: shard, segs: segs, start: start}
+	// Skip whole segments entirely below start: a segment whose
+	// successor's base is ≤ start+1 contributes no wanted frames and its
+	// bytes need not decode (replication must not pay to re-read
+	// covered history; the segments below a snapshot may even be
+	// mid-deletion). start == 0 means "walk everything" — recovery
+	// validates the chain from the first byte on disk.
+	if start > 0 {
+		// Segment i holds frames [base_i, base_{i+1}-1]; it is skippable
+		// exactly when base_{i+1} ≤ start (every frame below start).
+		for r.idx+1 < len(segs) && segs[r.idx+1].Base <= start {
+			r.idx++
+		}
+	}
+	return r
+}
+
+// NextLSN returns the LSN the next yielded frame will carry (the dense
+// successor of the last yielded one, or the reader's start position).
+func (r *StreamReader) NextLSN() uint64 {
+	lsn := r.start
+	if r.expected > lsn {
+		lsn = r.expected
+	}
+	if !r.began && r.idx < len(r.segs) && r.segs[r.idx].Base > lsn {
+		lsn = r.segs[r.idx].Base
+	}
+	return lsn
+}
+
+// Pos returns where valid data ends so far: the current segment index
+// and the byte offset of the first unconsumed (or defective) byte. For
+// a reader that returned an error, this is the truncation point.
+func (r *StreamReader) Pos() (seg int, off int64) {
+	return r.idx, r.bufStart
+}
+
+// Close releases the open segment handle. The reader stays usable for
+// Pos but not Next.
+func (r *StreamReader) Close() error {
+	if r.f != nil {
+		err := r.f.Close()
+		r.f = nil
+		r.sticky = errClosed
+		return err
+	}
+	r.sticky = errClosed
+	return nil
+}
+
+// Next yields the next frame. io.EOF means the last segment ended
+// cleanly; ErrTorn means a partial frame sits at the current position.
+// Both are retriable on a live log (the reader re-reads appended bytes
+// on the next call); all other errors are sticky.
+func (r *StreamReader) Next() (StreamEntry, error) {
+	if r.sticky != nil {
+		return StreamEntry{}, r.sticky
+	}
+	for {
+		if r.idx >= len(r.segs) {
+			return StreamEntry{}, io.EOF
+		}
+		if r.f == nil {
+			seg := r.segs[r.idx]
+			f, err := os.Open(seg.Path)
+			if err != nil {
+				r.sticky = err
+				return StreamEntry{}, err
+			}
+			r.f = f
+			r.buf = r.buf[:0]
+			r.bufStart = 0
+			if !r.began {
+				r.expected = seg.Base
+				r.began = true
+			} else if seg.Base != r.expected {
+				// A segment is missing from the middle (or the chain is
+				// mis-sequenced): permanent defect at this segment's head.
+				r.f.Close()
+				r.f = nil
+				r.sticky = fmt.Errorf("%w: shard %d segment %s starts at lsn %d, want %d",
+					ErrGap, r.shard, seg.Path, seg.Base, r.expected)
+				return StreamEntry{}, r.sticky
+			}
+		}
+		f, n, derr := decodeFrame(r.buf)
+		if derr == nil {
+			lsn, ok := f.LSNFor(r.shard)
+			if !ok || lsn != r.expected {
+				// The checksum passed but the frame is not this log's next
+				// LSN: writer bug, foreign file, or stale residue. The
+				// defect is permanent and positioned exactly here.
+				r.sticky = fmt.Errorf("%w: shard %d lsn %d where %d expected at %s+%d",
+					ErrCorrupt, r.shard, lsn, r.expected, r.segs[r.idx].Path, r.bufStart)
+				return StreamEntry{}, r.sticky
+			}
+			e := StreamEntry{
+				LSN:   lsn,
+				Frame: f,
+				Seg:   r.idx,
+				Off:   r.bufStart,
+				End:   r.bufStart + int64(n),
+			}
+			r.buf = r.buf[n:]
+			r.bufStart += int64(n)
+			r.expected++
+			if lsn < r.start {
+				continue // decoded for chain validation only
+			}
+			return e, nil
+		}
+		if errors.Is(derr, ErrCorrupt) {
+			r.sticky = derr
+			return StreamEntry{}, derr
+		}
+		// Torn: the buffer holds less than one frame. Try to read more.
+		read, rerr := r.fill()
+		if read > 0 {
+			continue
+		}
+		if rerr != nil && rerr != io.EOF {
+			r.sticky = rerr
+			return StreamEntry{}, rerr
+		}
+		// End of this segment's bytes.
+		if len(r.buf) == 0 {
+			if r.idx+1 < len(r.segs) {
+				r.f.Close()
+				r.f = nil
+				r.idx++
+				r.bufStart = 0
+				continue
+			}
+			return StreamEntry{}, io.EOF // clean end; retriable on a live log
+		}
+		if r.idx+1 < len(r.segs) {
+			// Partial frame mid-chain: permanent — the writer never
+			// resumes a closed segment.
+			r.sticky = fmt.Errorf("%w: %d trailing bytes before next segment", ErrTorn, len(r.buf))
+			return StreamEntry{}, r.sticky
+		}
+		return StreamEntry{}, fmt.Errorf("%w: %d tail bytes of a frame", ErrTorn, len(r.buf))
+	}
+}
+
+// fill reads more bytes of the current segment after the buffered ones.
+func (r *StreamReader) fill() (int, error) {
+	chunk := make([]byte, streamReadChunk)
+	n, err := r.f.ReadAt(chunk, r.bufStart+int64(len(r.buf)))
+	if n > 0 {
+		r.buf = append(r.buf, chunk[:n]...)
+	}
+	return n, err
+}

@@ -1,0 +1,320 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+)
+
+// collect drains a StreamReader, returning the yielded LSNs and the
+// terminal error.
+func collect(r *StreamReader) ([]uint64, error) {
+	var lsns []uint64
+	for {
+		e, err := r.Next()
+		if err != nil {
+			return lsns, err
+		}
+		lsns = append(lsns, e.LSN)
+	}
+}
+
+func wantLSNs(t *testing.T, got []uint64, first, last uint64) {
+	t.Helper()
+	if first > last {
+		if len(got) != 0 {
+			t.Fatalf("got %d frames %v, want none", len(got), got)
+		}
+		return
+	}
+	if uint64(len(got)) != last-first+1 {
+		t.Fatalf("got %d frames %v, want %d..%d", len(got), got, first, last)
+	}
+	for i, lsn := range got {
+		if lsn != first+uint64(i) {
+			t.Fatalf("frame %d has lsn %d, want %d (all: %v)", i, lsn, first+uint64(i), got)
+		}
+	}
+}
+
+// streamFixture builds a shard-0 log with enough frames to span several
+// rotations (forced via snapshots would delete covered segments, so it
+// rotates manually through rotateAt) and returns the log still open.
+func streamFixture(t *testing.T, dir string, frames int, rotateEvery int) *Log {
+	t.Helper()
+	l, _ := openLog(t, dir, 1, FsyncNever)
+	for i := 1; i <= frames; i++ {
+		mustAppend(t, l, put(0, uint64(i), "k", "v"))
+		if rotateEvery > 0 && i%rotateEvery == 0 {
+			s := l.shards[0]
+			s.mu.Lock()
+			s.rotateLocked(l)
+			s.mu.Unlock()
+		}
+	}
+	return l
+}
+
+func TestStreamReaderAcrossRotations(t *testing.T) {
+	dir := t.TempDir()
+	l := streamFixture(t, dir, 10, 3) // segments: 1-3, 4-6, 7-9, 10
+	defer l.Close()
+	refs := l.SegmentRefs(0)
+	if len(refs) < 4 {
+		t.Fatalf("expected ≥4 segments after rotations, got %v", refs)
+	}
+
+	// Full walk from the beginning.
+	got, err := collect(NewStreamReader(0, refs, 0))
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("terminal error %v, want io.EOF", err)
+	}
+	wantLSNs(t, got, 1, 10)
+
+	// Start mid-rotation: only frames ≥ start come back, including ones
+	// that sit mid-segment.
+	for _, start := range []uint64{2, 4, 5, 9, 10, 11} {
+		got, err := collect(NewStreamReader(0, refs, start))
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("start %d: terminal error %v, want io.EOF", start, err)
+		}
+		wantLSNs(t, got, start, 10)
+	}
+}
+
+func TestStreamReaderTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l := streamFixture(t, dir, 5, 0)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	refs := (&Log{shards: []*shardLog{}}).SegmentRefs(0) // exercise bounds
+	if refs != nil {
+		t.Fatalf("SegmentRefs out of range = %v, want nil", refs)
+	}
+
+	st, err := Recover(dir, 1)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	_ = st
+	segs, _ := os.ReadDir(dir)
+	var path string
+	for _, e := range segs {
+		if sh, _, ok := parseFileName(e.Name(), "wal-", ".log"); ok && sh == 0 {
+			path = dir + "/" + e.Name()
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last frame: drop its final 3 bytes.
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamReader(0, []SegmentRef{{Base: 1, Path: path}}, 0)
+	got, terr := collect(sr)
+	if !errors.Is(terr, ErrTorn) {
+		t.Fatalf("terminal error %v, want ErrTorn", terr)
+	}
+	wantLSNs(t, got, 1, 4)
+	seg, off := sr.Pos()
+	if seg != 0 || off <= 0 || off >= fi.Size()-3 {
+		t.Fatalf("Pos = (%d, %d), want segment 0 at the start of the torn frame", seg, off)
+	}
+
+	// Live-tailing contract: ErrTorn is retriable. Complete the frame by
+	// re-appending its missing tail and Next must yield it.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = full
+	f5 := EncodeFrame(nil, put(0, 5, "k", "v"))
+	fh, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.WriteAt(f5, off); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	e, err := sr.Next()
+	if err != nil || e.LSN != 5 {
+		t.Fatalf("Next after tail completion = (%v, %v), want lsn 5", e.LSN, err)
+	}
+	if _, err := sr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF after last frame, got %v", err)
+	}
+}
+
+func TestStreamReaderCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l := streamFixture(t, dir, 5, 0)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	refs := []SegmentRef{{Base: 1, Path: dir + "/" + segmentName(0, 1)}}
+	b, err := os.ReadFile(refs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the middle of the file (inside frame 3 or so).
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(refs[0].Path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamReader(0, refs, 0)
+	got, terr := collect(sr)
+	if !errors.Is(terr, ErrCorrupt) {
+		t.Fatalf("terminal error %v, want ErrCorrupt", terr)
+	}
+	if len(got) >= 5 {
+		t.Fatalf("yielded all %d frames despite corruption", len(got))
+	}
+	// Corrupt is sticky: retrying must not succeed.
+	if _, err := sr.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sticky error %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStreamReaderSegmentGap(t *testing.T) {
+	dir := t.TempDir()
+	l := streamFixture(t, dir, 9, 3) // segments 1-3, 4-6, 7-9
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	refs := l.SegmentRefs(0)
+	if len(refs) < 3 {
+		t.Fatalf("want ≥3 segments, got %v", refs)
+	}
+	// Excise the middle segment, as an interrupted truncation (or a cut
+	// region removed by repair) would.
+	if err := os.Remove(refs[1].Path); err != nil {
+		t.Fatal(err)
+	}
+	gapped := append([]SegmentRef{refs[0]}, refs[2:]...)
+	sr := NewStreamReader(0, gapped, 0)
+	got, terr := collect(sr)
+	if !errors.Is(terr, ErrGap) {
+		t.Fatalf("terminal error %v, want ErrGap", terr)
+	}
+	wantLSNs(t, got, 1, 3)
+	if seg, off := sr.Pos(); seg != 1 || off != 0 {
+		t.Fatalf("Pos = (%d, %d), want (1, 0) at the gapped segment head", seg, off)
+	}
+}
+
+// TestStreamReaderCutExcisedLog exercises the reader over a directory
+// recovery has repaired: a cross-shard frame whose sibling copy was
+// torn gets cut and physically excised on Open, and a subsequent
+// StreamReader walk of the repaired log must see exactly the surviving
+// dense prefix (this is what a replication sender reads after the
+// primary restarts post-crash).
+func TestStreamReaderCutExcisedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 2, FsyncNever)
+	mustAppend(t, l, put(0, 1, "a", "1"))
+	mustAppend(t, l, &Frame{
+		Shards: []ShardLSN{{Shard: 0, LSN: 2}, {Shard: 1, LSN: 1}},
+		Ops:    []Op{{Shard: 0, Key: "b", Val: []byte("2")}, {Shard: 1, Key: "c", Val: []byte("3")}},
+	})
+	mustAppend(t, l, put(0, 3, "d", "4"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Destroy shard 1's log entirely: the cross-shard frame loses its
+	// sibling copy, so shard 0 must cut at lsn 2 and drop lsn 3 with it.
+	if err := os.Remove(dir + "/" + segmentName(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	l2, st := openLog(t, dir, 2, FsyncNever)
+	defer l2.Close()
+	if st.NextLSN[0] != 2 || st.DroppedFrames == 0 {
+		t.Fatalf("NextLSN[0] = %d (dropped %d), want cut at 2", st.NextLSN[0], st.DroppedFrames)
+	}
+	got, terr := collect(NewStreamReader(0, l2.SegmentRefs(0), 0))
+	if !errors.Is(terr, io.EOF) {
+		t.Fatalf("terminal error %v, want io.EOF on the excised log", terr)
+	}
+	wantLSNs(t, got, 1, 1)
+	// And the repaired log accepts appends that reuse the cut LSNs.
+	mustAppend(t, l2, put(0, 2, "e", "5"))
+	got, terr = collect(NewStreamReader(0, l2.SegmentRefs(0), 0))
+	if !errors.Is(terr, io.EOF) {
+		t.Fatalf("terminal error %v after reuse, want io.EOF", terr)
+	}
+	wantLSNs(t, got, 1, 2)
+}
+
+func TestOpenStreamGapAndNotify(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 1, FsyncNever)
+	defer l.Close()
+	ch := make(chan struct{}, 1)
+	l.NotifyStable(ch)
+	defer l.StopNotify(ch)
+
+	mustAppend(t, l, put(0, 1, "a", "1"))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("no stable notification after Append")
+	}
+	if got := l.StableLSN(0); got != 1 {
+		t.Fatalf("StableLSN = %d, want 1", got)
+	}
+	if v := l.StableVector(); len(v) != 1 || v[0] != 1 {
+		t.Fatalf("StableVector = %v, want [1]", v)
+	}
+
+	// Snapshot at 1, which truncates the covered segment; OpenStream
+	// from 0 must now report a gap (serve a snapshot instead), while
+	// OpenStream from 1 still works.
+	if err := l.Snapshot(0, 1, map[string][]byte{"a": []byte("1")}); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if _, err := l.OpenStream(0, 0); !errors.Is(err, ErrGap) {
+		t.Fatalf("OpenStream(0) = %v, want ErrGap", err)
+	}
+	mustAppend(t, l, put(0, 2, "b", "2"))
+	sr, err := l.OpenStream(0, 2)
+	if err != nil {
+		t.Fatalf("OpenStream(2): %v", err)
+	}
+	defer sr.Close()
+	e, err := sr.Next()
+	if err != nil || e.LSN != 2 {
+		t.Fatalf("Next = (%v, %v), want lsn 2", e.LSN, err)
+	}
+}
+
+func TestInstallSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openLog(t, dir, 2, FsyncNever)
+	mustAppend(t, l, put(0, 1, "old", "x"))
+	// Install a snapshot far past the log's position, as a follower
+	// bootstrapping from a primary that truncated long ago would.
+	keys := map[string][]byte{"k1": []byte("v1"), "k2": []byte("v2")}
+	if err := l.InstallSnapshot(0, 100, keys); err != nil {
+		t.Fatalf("InstallSnapshot: %v", err)
+	}
+	if got := l.StableLSN(0); got != 100 {
+		t.Fatalf("StableLSN = %d, want 100", got)
+	}
+	// Appending resumes at 101 and the old frames are gone.
+	mustAppend(t, l, put(0, 101, "k3", "v3"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st, err := Recover(dir, 2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	wantKeys(t, st, 0, map[string]string{"k1": "v1", "k2": "v2", "k3": "v3"})
+	if st.NextLSN[0] != 102 || st.SnapshotLSN[0] != 100 {
+		t.Fatalf("NextLSN[0]=%d SnapshotLSN[0]=%d, want 102/100", st.NextLSN[0], st.SnapshotLSN[0])
+	}
+}

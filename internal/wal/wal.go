@@ -164,6 +164,7 @@ type shardLog struct {
 	rotateAt uint64 // rotate to a fresh segment once written ≥ rotateAt
 	snapLSN  uint64 // latest sealed snapshot LSN
 	syncing  bool   // one fsync in flight; others wait (group commit)
+	rotating bool   // a rotated-out segment's flush is in flight
 	err      error  // sticky I/O error; fails all future waits
 }
 
@@ -177,6 +178,10 @@ type Log struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// Stable-advance watchers (replication senders); see NotifyStable.
+	notifyMu sync.Mutex
+	notify   map[chan struct{}]struct{}
 
 	closeOnce sync.Once
 }
@@ -232,8 +237,14 @@ func (l *Log) Append(f *Frame) error {
 			}
 		}
 	}
+	advanced := false
 	for _, sl := range f.Shards {
-		l.shards[sl.Shard].markStable(sl.LSN)
+		if l.shards[sl.Shard].markStable(sl.LSN) {
+			advanced = true
+		}
+	}
+	if advanced {
+		l.notifyStable()
 	}
 	l.hook(CrashPostAppend)
 	return nil
@@ -355,7 +366,10 @@ func (s *shardLog) ensureDurable(l *Log, lsn uint64) error {
 		if s.err != nil {
 			return s.err
 		}
-		if s.syncing {
+		if s.syncing || s.rotating {
+			// While a rotated-out segment's flush is in flight, syncing s.f
+			// (the fresh segment) cannot make frames in the old one durable;
+			// the rotation's completion advances the watermark instead.
 			s.cond.Wait()
 			continue
 		}
@@ -380,13 +394,15 @@ func (s *shardLog) ensureDurable(l *Log, lsn uint64) error {
 }
 
 // markStable records that the frame at lsn is persisted in all its
-// vector shards and advances the dense stable watermark.
-func (s *shardLog) markStable(lsn uint64) {
+// vector shards and advances the dense stable watermark, reporting
+// whether the watermark moved (so Append can wake stable watchers).
+func (s *shardLog) markStable(lsn uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if lsn <= s.stable {
-		return
+		return false
 	}
+	before := s.stable
 	s.stableSet[lsn] = struct{}{}
 	for {
 		if _, ok := s.stableSet[s.stable+1]; !ok {
@@ -396,6 +412,7 @@ func (s *shardLog) markStable(lsn uint64) {
 		s.stable++
 	}
 	s.cond.Broadcast()
+	return s.stable > before
 }
 
 // waitStable blocks until stable ≥ lsn.
@@ -408,11 +425,16 @@ func (s *shardLog) waitStable(lsn uint64) error {
 	return s.err
 }
 
-// rotateLocked closes the current segment (after syncing it, so a
-// closed segment is always durable) and starts a fresh one at
-// written+1. Called with mu held.
+// rotateLocked starts a fresh segment at written+1 and flushes the
+// rotated-out segment in the background (a closed segment is still
+// always durable — the durable watermark only advances past it once
+// the flush lands). The swap happens first so appends never wait on
+// the outgoing segment's fsync: under FsyncNever that flush covers a
+// whole snapshot interval of dirty pages, and doing it synchronously
+// under mu froze the shard (appends, acks, and WaitStable alike) for
+// its whole duration. Called with mu held.
 func (s *shardLog) rotateLocked(l *Log) {
-	for s.syncing {
+	for s.syncing || s.rotating {
 		s.cond.Wait()
 	}
 	if s.err != nil {
@@ -420,13 +442,7 @@ func (s *shardLog) rotateLocked(l *Log) {
 	}
 	s.rotateAt = 0
 	old := s.f
-	if err := old.Sync(); err != nil {
-		s.err = err
-		return
-	}
-	l.stats.Fsyncs.Add(1)
-	old.Close()
-	s.durable = s.written
+	target := s.written
 	base := s.written + 1
 	path := filepath.Join(l.dir, segmentName(s.idx, base))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -436,7 +452,28 @@ func (s *shardLog) rotateLocked(l *Log) {
 	}
 	s.f = f
 	s.segs = append(s.segs, segment{base: base, path: path})
-	syncDir(l.dir)
+	s.rotating = true
+	go func() {
+		err := old.Sync()
+		old.Close()
+		if err == nil {
+			syncDir(l.dir)
+		}
+		s.mu.Lock()
+		s.rotating = false
+		if err != nil {
+			if s.err == nil {
+				s.err = err
+			}
+		} else {
+			l.stats.Fsyncs.Add(1)
+			if target > s.durable {
+				s.durable = target
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
 }
 
 // syncLoop is the FsyncInterval background goroutine.
@@ -470,6 +507,9 @@ func (l *Log) Close() error {
 		l.wg.Wait()
 		for _, s := range l.shards {
 			s.mu.Lock()
+			for s.rotating {
+				s.cond.Wait()
+			}
 			if s.f != nil {
 				if e := s.f.Sync(); e == nil {
 					l.stats.Fsyncs.Add(1)
@@ -489,6 +529,7 @@ func (l *Log) Close() error {
 			s.cond.Broadcast()
 			s.mu.Unlock()
 		}
+		l.notifyStable() // wake stable watchers so they observe the close
 	})
 	return err
 }

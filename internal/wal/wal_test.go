@@ -586,3 +586,54 @@ func TestSnapshotTruncatesCoveredSegments(t *testing.T) {
 		t.Fatalf("keys=%d NextLSN=%d", len(st.Keys[0]), st.NextLSN[0])
 	}
 }
+
+// TestRotationFlushInBackground: rotation swaps in the fresh segment
+// immediately and flushes the outgoing one off the append path. Appends
+// right after a rotation must proceed (and, under FsyncAlways, become
+// durable) while the old segment's flush is still allowed to be in
+// flight, and everything must survive recovery.
+func TestRotationFlushInBackground(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncNever} {
+		t.Run(p.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openLog(t, dir, 1, p)
+			state := map[string][]byte{}
+			lsn := uint64(0)
+			for round := 0; round < 3; round++ {
+				for i := 0; i < 5; i++ {
+					lsn++
+					k := fmt.Sprintf("k%d", lsn)
+					mustAppend(t, l, put(0, lsn, k, "v"))
+					state[k] = []byte("v")
+				}
+				// Snapshot rotates the segment; the next round's appends land
+				// in the fresh one while the flush may still be running.
+				snap := make(map[string][]byte, len(state))
+				for k, v := range state {
+					snap[k] = v
+				}
+				if err := l.Snapshot(0, lsn, snap); err != nil {
+					t.Fatalf("Snapshot round %d: %v", round, err)
+				}
+			}
+			lsn++
+			mustAppend(t, l, put(0, lsn, "tail", "v"))
+			if err := l.WaitStable(0, lsn); err != nil {
+				t.Fatalf("WaitStable: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			st, err := Recover(dir, 1)
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if len(st.Keys[0]) != len(state)+1 {
+				t.Fatalf("recovered %d keys, want %d", len(st.Keys[0]), len(state)+1)
+			}
+			if st.NextLSN[0] != lsn+1 {
+				t.Fatalf("NextLSN = %d, want %d", st.NextLSN[0], lsn+1)
+			}
+		})
+	}
+}
