@@ -13,7 +13,10 @@
 #   make fuzz       native Go fuzzing of the wire protocol and the WAL
 #                   frame/recovery decoders (10s per target)
 #   make soak       short seeded fault-injection soak with linearizability
-#                   checking (see cmd/nztm-soak; SOAK_FLAGS to customise)
+#                   checking, then an oversubscribed pass (connections ≫
+#                   executors through the M:N scheduler, backpressure and
+#                   slot-leak gates on; see cmd/nztm-soak; SOAK_FLAGS /
+#                   OVERSUB_FLAGS to customise)
 #   make crash      crash-recovery soak: SIGKILL a child nztm-server at
 #                   seeded WAL crash points (all five sites), restart it,
 #                   and verify every acknowledged write survives and the
@@ -28,8 +31,10 @@
 #                   DESIGN.md §13)
 #   make bench-kv   serving-path benchmark: NZSTM vs GlobalLock over real
 #                   sockets, plus WAL fsync=always/interval/never durability
-#                   pricing and the 3-node replicated-reads comparison,
-#                   results in BENCH_kv.json
+#                   pricing, the 3-node replicated-reads comparison, and a
+#                   connection sweep (8/64/512 conns over a fixed 8-executor
+#                   pool — the M:N scheduler scaling curve), results in
+#                   BENCH_kv.json
 #   make serve      run nztm-server with defaults
 
 GO ?= go
@@ -40,6 +45,9 @@ RACE_PKGS = ./internal/tm ./internal/core ./internal/kv ./internal/server \
 
 FUZZ_TIME ?= 10s
 SOAK_FLAGS ?= -seed 1 -duration 5s
+# Oversubscribed soak: 64 connections (16× the 4 executors) at a rate and
+# key spread that keeps the per-clique histories inside the checker budget.
+OVERSUB_FLAGS ?= -oversubscribed -seed 1 -duration 4s -threads 4 -keys 64 -rate 25
 CRASH_FLAGS ?= -crash -crash-target 200 -seed 1
 FAILOVER_FLAGS ?= -failover -kills 50 -seed 1
 
@@ -75,6 +83,7 @@ fuzz:
 
 soak:
 	$(GO) run ./cmd/nztm-soak $(SOAK_FLAGS)
+	$(GO) run ./cmd/nztm-soak $(OVERSUB_FLAGS)
 
 crash:
 	$(GO) run ./cmd/nztm-soak $(CRASH_FLAGS)
@@ -83,7 +92,7 @@ failover:
 	$(GO) run ./cmd/nztm-soak $(FAILOVER_FLAGS)
 
 bench-kv:
-	$(GO) run ./cmd/nztm-load -out BENCH_kv.json -fsync always,interval,never -replicated
+	$(GO) run ./cmd/nztm-load -out BENCH_kv.json -fsync always,interval,never -replicated -connections 8,64,512 -executors 8
 
 serve:
 	$(GO) run ./cmd/nztm-server

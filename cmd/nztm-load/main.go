@@ -10,6 +10,7 @@
 //	nztm-load                                  # self-host: nzstm vs glock
 //	nztm-load -systems nzstm,bzstm,glock -clients 16 -duration 3s
 //	nztm-load -addr host:7420 -duration 5s     # drive an external server
+//	nztm-load -connections 8,64,512 -executors 8   # M:N scheduler scaling curve
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,6 +45,7 @@ type config struct {
 	shards    int
 	buckets   int
 	threads   int
+	executors int
 }
 
 // result is one system's measurement, serialised into BENCH_kv.json.
@@ -52,6 +55,9 @@ type result struct {
 	// empty for the memory-only baselines.
 	Fsync      string  `json:"wal_fsync,omitempty"`
 	Clients    int     `json:"clients"`
+	// Executors is the server's M:N scheduler pool size when the run
+	// pinned it (-executors / -connections sweep); absent otherwise.
+	Executors  int     `json:"executors,omitempty"`
 	DurationS  float64 `json:"duration_sec"`
 	Requests   uint64  `json:"requests"`
 	Failures   uint64  `json:"failures"`
@@ -114,6 +120,8 @@ func main() {
 		mOut     = flag.String("metrics-out", "BENCH_kv.json", "bench file that also receives server-side commit-latency histogram percentiles; usually the same file as -out (empty disables)")
 		fsyncs   = flag.String("fsync", "", "also measure a crash-durable NZSTM server per listed WAL fsync policy (comma-separated: always,interval,never); the memory-only baselines above are unchanged")
 		repl     = flag.Bool("replicated", false, "also measure a 3-node replication cluster (1 primary + 2 read replicas, reads routed to replicas) against a single-node control on the same read-heavy profile")
+		connsSw  = flag.String("connections", "", "comma-separated connection counts (e.g. 8,64,512) to sweep against one fixed NZSTM executor pool — the M:N scheduler scaling curve; each count lands as its own labeled result")
+		execsN   = flag.Int("executors", 0, "pin the self-hosted servers' executor-pool size (0 = server default: 2×GOMAXPROCS); the -connections sweep uses this fixed pool")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
 	)
 	flag.Parse()
@@ -134,6 +142,7 @@ func main() {
 		keys: *keys, valueSize: *valSize, readFrac: *readFrac,
 		batchFrac: *batch, batchSize: *batchSz,
 		shards: *shards, buckets: *buckets, threads: *threads,
+		executors: *execsN,
 	}
 
 	var results []result
@@ -172,6 +181,27 @@ func main() {
 				fatal(err)
 			}
 			results = append(results, rs...)
+		}
+		// Connection sweep: the same NZSTM server profile at each listed
+		// connection count over one fixed executor pool, so the results
+		// plot throughput/latency as N grows past M.
+		for _, c := range strings.Split(*connsSw, ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				continue
+			}
+			n, err := strconv.Atoi(c)
+			if err != nil || n <= 0 {
+				fatal(fmt.Errorf("bad -connections entry %q", c))
+			}
+			swCfg := cfg
+			swCfg.clients = n
+			r, err := selfHost("nzstm", "", swCfg)
+			if err != nil {
+				fatal(err)
+			}
+			r.System = fmt.Sprintf("%s@c%d", r.System, n)
+			results = append(results, r)
 		}
 	}
 
@@ -279,10 +309,14 @@ func selfHost(name, fsync string, cfg config) (result, error) {
 		store = kv.New(backend.Sys, cfg.shards, cfg.buckets)
 	}
 	m := store.EnableMetrics()
-	srv := server.New(store, backend.Reg, server.Config{
+	scfg := server.Config{
 		MaxAttempts:    100_000,
 		RequestTimeout: 5 * time.Second,
-	})
+	}
+	if cfg.executors > 0 {
+		scfg.Executors = backend.Executors(cfg.executors)
+	}
+	srv := server.New(store, backend.Reg, scfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return result{}, err
@@ -302,6 +336,7 @@ func selfHost(name, fsync string, cfg config) (result, error) {
 		err = cerr
 	}
 	r.Fsync = fsync
+	r.Executors = scfg.Executors
 	if err == nil {
 		// Server-side commit-latency percentiles: the distribution covers
 		// the whole run (warmup included) — the per-interval client

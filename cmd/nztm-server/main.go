@@ -15,6 +15,13 @@
 // trigger a graceful drain: stop accepting, finish in-flight requests
 // within -drain, flush + sync the write-ahead log, exit 0.
 //
+// Requests are served by an M:N scheduler (DESIGN.md §14): connections
+// never bind registry slots; their requests flow through a bounded
+// admission queue (-queue-depth, -admission reject|block) into a pool of
+// -executors slot-bound workers, so N connections share M TM threads and
+// overload is shed as StatusOverloaded instead of accepted and queued
+// without bound.
+//
 // With -data-dir the store is crash-durable: committed transactions are
 // appended to a per-shard checksummed write-ahead log (group commit,
 // -fsync always|interval|never), -snapshot-every seals periodic
@@ -52,7 +59,10 @@ func main() {
 		system  = flag.String("system", "nzstm", "backing TM system: "+strings.Join(kv.BackendNames(), ", "))
 		shards  = flag.Int("shards", 16, "shard count")
 		buckets = flag.Int("buckets", 64, "transactional buckets per shard")
-		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "expected concurrency hint (soft max: sizes initial TM tables; connections beyond it still get thread slots)")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "expected concurrency hint (soft max: sizes initial TM tables; serving concurrency is set by -executors)")
+		execs   = flag.Int("executors", 0, "slot-bound executor workers draining the admission queue (0 = 2×GOMAXPROCS, clamped to registry capacity); connections share this pool M:N")
+		queueD  = flag.Int("queue-depth", 0, "admission queue capacity (0 = default 1024)")
+		admit   = flag.String("admission", server.AdmitReject, "queue-full policy: reject (shed with StatusOverloaded) or block (park the connection reader)")
 		maxAtt  = flag.Int("max-attempts", 512, "per-request transaction attempt budget (0 = unlimited)")
 		timeout = flag.Duration("timeout", 2*time.Second, "per-request retry deadline (0 = none)")
 		infl    = flag.Int("max-inflight", 64, "max concurrently executing requests per connection")
@@ -83,6 +93,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if *admit != server.AdmitReject && *admit != server.AdmitBlock {
+		fmt.Fprintf(os.Stderr, "nztm-server: -admission must be %q or %q, got %q\n",
+			server.AdmitReject, server.AdmitBlock, *admit)
+		os.Exit(2)
+	}
 	backend, err := kv.OpenBackend(*system, *threads)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nztm-server:", err)
@@ -94,6 +109,14 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxInflight:    *infl,
 		RetryBackoff:   *backoff,
+		QueueDepth:     *queueD,
+		Admission:      *admit,
+	}
+	// -executors 0 keeps the server's own default (2×GOMAXPROCS, clamped);
+	// an explicit count is clamped to what the registry can bind with a
+	// slot spared for system actors (WAL, snapshots, replication apply).
+	if *execs > 0 {
+		cfg.Executors = backend.Executors(*execs)
 	}
 	var fr *trace.FlightRecorder
 	if *traceN > 0 {
@@ -222,6 +245,8 @@ func main() {
 	}
 	fmt.Printf("nztm-server: serving %s (%d shards × %d buckets, %d-thread hint, %d slot cap) on %s\n",
 		store.System().Name(), *shards, *buckets, *threads, backend.Reg.Max(), ln.Addr())
+	fmt.Printf("nztm-server: scheduler: executors=%d queue-depth=%d admission=%s (connections share the executor pool M:N)\n",
+		cfg.Executors, srv.QueueCap(), cfg.Admission)
 
 	if *statsz != "" {
 		mux := http.NewServeMux()

@@ -63,8 +63,13 @@ func main() {
 
 		failoverMode = flag.Bool("failover", false, "replication failover soak: run a 3-node cluster, repeatedly SIGKILL the primary mid-load, require automatic promotion, no acked-write loss, fencing of the deposed primary, and a linearizable cross-failover history (see DESIGN.md §13)")
 		failKills    = flag.Int("kills", 50, "failover mode: primary SIGKILLs to survive")
+
+		oversub = flag.Bool("oversubscribed", false, "oversubscription soak: pin the executor pool to -threads, shrink the admission queue, and raise -clients to ≫ executors (min 16×), so N connections contend for M slots under chaos; adds a zero-slot-leak gate and requires the scheduler to have shed load (see DESIGN.md §14)")
 	)
 	flag.Parse()
+	if *oversub && *clients < 16**threads {
+		*clients = 16 * *threads
+	}
 	if *failoverMode {
 		err := runFailover(failCfg{
 			bin: *serverBin, seed: *seed, kills: *failKills,
@@ -89,14 +94,14 @@ func main() {
 		fmt.Println("nztm-soak: PASS")
 		return
 	}
-	if err := run(*system, *seed, *duration, *clients, *keys, *shards, *buckets, *threads, *rate, *limit, *traceN, *dataDir); err != nil {
+	if err := run(*system, *seed, *duration, *clients, *keys, *shards, *buckets, *threads, *rate, *limit, *traceN, *dataDir, *oversub); err != nil {
 		fmt.Fprintln(os.Stderr, "nztm-soak: FAIL:", err)
 		os.Exit(1)
 	}
 	fmt.Println("nztm-soak: PASS")
 }
 
-func run(system string, seed uint64, duration time.Duration, clients, keys, shards, buckets, threads, rate, limit, traceN int, dataDir string) error {
+func run(system string, seed uint64, duration time.Duration, clients, keys, shards, buckets, threads, rate, limit, traceN int, dataDir string, oversub bool) error {
 	backend, err := kv.OpenBackend(system, threads)
 	if err != nil {
 		return err
@@ -151,13 +156,22 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 		store = kv.New(plane.WrapSystem(backend.Sys), shards, buckets)
 	}
 	store.EnableMetrics()
-	srv := server.New(store, backend.Reg, server.Config{
+	scfg := server.Config{
 		MaxAttempts:    512,
 		RequestTimeout: 2 * time.Second,
 		RetryBackoff:   100 * time.Microsecond,
 		ExtraStatsz:    plane.WriteStats,
 		WrapThread:     plane.WrapThread,
-	})
+	}
+	if oversub {
+		// Pin the pool to the thread count and shrink the queue so the
+		// N:M ratio is real and queue-full sheds actually happen under
+		// chaos — the soak then proves sheds are clean (retried or
+		// discarded, never a hang, never a non-linearizable effect).
+		scfg.Executors = backend.Executors(threads)
+		scfg.QueueDepth = 2 * scfg.Executors
+	}
+	srv := server.New(store, backend.Reg, scfg)
 
 	// Goroutine baseline before anything soak-owned starts; everything the
 	// soak spawns must be gone again after shutdown.
@@ -172,6 +186,10 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 	go func() { serveDone <- srv.Serve(plane.WrapListener(ln)) }()
 	fmt.Printf("nztm-soak: %s on %s, seed=%d, %d clients for %v\n",
 		store.System().Name(), addr, seed, clients, duration)
+	if oversub {
+		fmt.Printf("nztm-soak: oversubscribed: %d connections over %d executors (queue %d, admission %s)\n",
+			clients, scfg.Executors, srv.QueueCap(), server.AdmitReject)
+	}
 
 	rec := histcheck.NewRecorder()
 	deadline := time.Now().Add(duration)
@@ -202,6 +220,27 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 	// Chaos liveness: a soak that injected nothing proved nothing.
 	if plane.Injected() == 0 {
 		return errors.New("fault plane injected zero faults — soak configuration is inert")
+	}
+
+	// Slot hygiene: after shutdown released the executor pool and Close
+	// released the WAL thread, every registry slot must be back. A nonzero
+	// residue means a scheduler or durability path leaked its TM thread.
+	if act := backend.Reg.Active(); act != 0 {
+		dumpTrace()
+		return fmt.Errorf("registry slot leak: %d slots still active after shutdown", act)
+	}
+	if oversub {
+		st := srv.SchedStats()
+		fmt.Printf("nztm-soak: oversubscribed: enqueued=%d completed=%d rejected=%d slow_client_drops=%d\n",
+			st.Enqueued.Load(), st.Completed.Load(), st.Rejected.Load(), st.SlowClientDrops.Load())
+		// The ratio must have been real: work flowed through the shared
+		// pool, and some of it actually hit the queue-full path.
+		if st.Completed.Load() == 0 {
+			return errors.New("oversubscribed soak completed zero scheduled requests")
+		}
+		if st.Rejected.Load() == 0 {
+			return errors.New("oversubscribed soak never shed load — queue/clients too generous to prove backpressure")
+		}
 	}
 
 	// Progress hygiene: all soak-owned goroutines (connection handlers,
@@ -274,9 +313,9 @@ func soakClient(id int, addr string, seed uint64, keys, rate int, deadline time.
 		case err == nil:
 			p.Done(results)
 			observe(lastSeen, ops, results)
-		case errors.Is(err, kv.ErrBudget):
-			// The server guarantees a budget-exhausted request had no
-			// effect, so it constrains nothing.
+		case errors.Is(err, kv.ErrBudget), errors.Is(err, server.ErrOverloaded):
+			// The server guarantees budget-exhausted and admission-shed
+			// requests had no effect, so they constrain nothing.
 			p.Discard()
 		default:
 			// Connection death (possibly an injected reset): the request's

@@ -192,16 +192,20 @@ func (p *Polite) Resolve(_, _ Txn, waited uint64) Decision {
 func (p *Polite) Backoff(env tm.Env, attempt int) { expBackoff(env, attempt) }
 
 // Meta is a convenience implementation of the Txn interface that TM systems
-// can embed in their transaction descriptors.
+// can embed in their transaction descriptors. Every field is atomic: a
+// conflicting thread may hold a stale owner reference and read the
+// descriptor's metadata concurrently with the owner re-initializing it for
+// its next transaction (descriptor reuse is generation-checked at the
+// protocol layer; the metadata reads just need to be tear-free).
 type Meta struct {
 	prio    atomic.Int32
 	waiting atomic.Bool
-	birth   uint64
+	birth   atomic.Uint64
 }
 
 // InitMeta sets the transaction's birth stamp (call once at begin).
 func (m *Meta) InitMeta(birth uint64) {
-	m.birth = birth
+	m.birth.Store(birth)
 	m.prio.Store(0)
 	m.waiting.Store(false)
 }
@@ -213,7 +217,7 @@ func (m *Meta) BumpPriority() { m.prio.Add(1) }
 func (m *Meta) Priority() int32 { return m.prio.Load() }
 
 // Birth implements Txn.
-func (m *Meta) Birth() uint64 { return m.birth }
+func (m *Meta) Birth() uint64 { return m.birth.Load() }
 
 // Waiting implements Txn.
 func (m *Meta) Waiting() bool { return m.waiting.Load() }

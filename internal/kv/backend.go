@@ -14,10 +14,11 @@ import (
 )
 
 // Backend bundles a TM system with the thread Registry that mints driver
-// contexts for it at runtime. Callers acquire a thread per worker (the server
-// binds one per connection) via NewThread and release it with Thread.Close;
-// slot IDs are recycled with generation counters, and the registry and system
-// share one World so layout addresses never collide.
+// contexts for it at runtime. Callers acquire a thread per worker — the
+// server binds one per executor in its M:N scheduler pool, so N connections
+// share M slots — via NewThread and release it with Thread.Close; slot IDs
+// are recycled with generation counters, and the registry and system share
+// one World so layout addresses never collide.
 type Backend struct {
 	Sys tm.System
 	Reg *tm.Registry
@@ -26,6 +27,24 @@ type Backend struct {
 // NewThread mints a thread context bound to a registry slot (blocking while
 // the registry is at capacity). Close the thread to return the slot.
 func (b *Backend) NewThread() *tm.Thread { return b.Reg.NewThread() }
+
+// Executors clamps a requested executor-pool size to what this backend's
+// registry can actually bind. A pool sized above the registry would park
+// surplus workers in NewThread forever; a pool that consumed every slot
+// would starve system actors (replication apply loops, snapshotters) that
+// also mint threads from the same registry. The clamp leaves one slot free
+// whenever the registry has more than one, so those actors always make
+// progress. n <= 0 asks for "as many as fit".
+func (b *Backend) Executors(n int) int {
+	max := b.Reg.Max()
+	if max > 1 {
+		max-- // reserve a slot for system threads (repl apply, snapshots)
+	}
+	if n <= 0 || n > max {
+		return max
+	}
+	return n
+}
 
 // BackendNames lists the systems OpenBackend accepts, sorted.
 func BackendNames() []string {

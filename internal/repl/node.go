@@ -519,7 +519,11 @@ func (n *Node) followOnce() {
 }
 
 // CheckRequest is the server's replication interposition (wire it into
-// server.Config.CheckRequest). On the primary everything passes. On a
+// server.Config.CheckRequest). It runs on the connection's reader
+// goroutine in the listener plane, before admission to the scheduler
+// queue — so a follower read parked here waiting for replica catch-up
+// stalls only its own connection, never one of the shared executor-pool
+// workers. On the primary everything passes. On a
 // follower, writes are redirected (StatusNotPrimary names the primary's
 // client address) and reads are served at a bounded-staleness cut:
 // un-tokened reads serve immediately from local state; a staleness

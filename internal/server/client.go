@@ -122,6 +122,8 @@ func (c *Client) Do(ops []kv.Op) ([]kv.Result, error) {
 		return r.results, nil
 	case StatusBudget:
 		return nil, kv.ErrBudget
+	case StatusOverloaded:
+		return nil, ErrOverloaded
 	case StatusShutdown:
 		return nil, ErrServerClosed
 	default:

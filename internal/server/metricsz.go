@@ -28,6 +28,13 @@ func (s *Server) WriteMetricsz(w io.Writer) {
 	metrics.Counter(w, "nztm_server_requests_total", s.reqBad.Load(), "status", "bad")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqErr.Load(), "status", "error")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqShutdown.Load(), "status", "shutdown")
+	metrics.Counter(w, "nztm_server_requests_total", s.reqOverload.Load(), "status", "overloaded")
+
+	// Scheduler plane: executor pool size, admission counters, derived
+	// queue-depth/busy gauges, and the enqueue→dispatch wait histogram.
+	metrics.Gauge(w, "nztm_sched_executors", float64(s.sched.bound.Load()))
+	s.sched.stats.WriteMetricsz(w)
+	s.sched.wait.WriteProm(w, "nztm_sched_queue_wait_seconds")
 
 	s.singleLatency.WriteProm(w, "nztm_server_single_latency_seconds")
 	s.batchLatency.WriteProm(w, "nztm_server_batch_latency_seconds")

@@ -50,19 +50,24 @@ const (
 	nilBlob = 0xFFFFFFFF
 )
 
-// Response statuses.
+// Response statuses (5–7 are the replication extension; see vec.go).
 const (
-	StatusOK       = 0 // results follow
-	StatusBudget   = 1 // retry budget exhausted; request had no effect
-	StatusBad      = 2 // malformed or over-limit request
-	StatusShutdown = 3 // server is shutting down; request not executed
-	StatusError    = 4 // internal execution error
+	StatusOK         = 0 // results follow
+	StatusBudget     = 1 // retry budget exhausted; request had no effect
+	StatusBad        = 2 // malformed or over-limit request
+	StatusShutdown   = 3 // server is shutting down; request not executed
+	StatusError      = 4 // internal execution error
+	StatusOverloaded = 8 // admission queue full; request had no effect
 )
 
 // Protocol-level errors.
 var (
 	// ErrClosed is returned by Client calls after the connection died.
 	ErrClosed = errors.New("server: connection closed")
+	// ErrOverloaded is returned by Client calls answered with
+	// StatusOverloaded: the scheduler's admission queue was full and the
+	// request had no effect, so retrying (with backoff) is always safe.
+	ErrOverloaded = errors.New("server: overloaded (admission queue full)")
 	// errFrame aborts a connection whose byte stream desynchronised.
 	errFrame = errors.New("server: malformed frame")
 )

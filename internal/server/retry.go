@@ -9,8 +9,9 @@ import (
 )
 
 // RetryPolicy is the client-side analogue of kv.Budget: it retries requests
-// whose server-side budget was exhausted (StatusBudget — the server
-// guarantees such a request had no effect, so retrying is always safe) with
+// whose server-side budget was exhausted (StatusBudget) or that admission
+// control shed (StatusOverloaded) — in both cases the server guarantees
+// the request had no effect, so retrying is always safe — with
 // exponential backoff and jitter, instead of the bare immediate-retry loop
 // a naive caller would write.
 //
@@ -59,9 +60,10 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 }
 
 // DoRetry executes ops as one atomic batch like Do, but retries
-// budget-exhausted responses under the policy. Any other error — including
-// a dead connection — is returned immediately. When every attempt exhausts
-// its server-side budget, the last kv.ErrBudget is returned.
+// budget-exhausted and admission-shed responses under the policy. Any
+// other error — including a dead connection — is returned immediately.
+// When every attempt is refused, the last kv.ErrBudget or ErrOverloaded
+// is returned.
 func (c *Client) DoRetry(ops []kv.Op, p RetryPolicy) ([]kv.Result, error) {
 	attempts := p.MaxAttempts
 	if attempts <= 0 {
@@ -69,7 +71,8 @@ func (c *Client) DoRetry(ops []kv.Op, p RetryPolicy) ([]kv.Result, error) {
 	}
 	for attempt := 1; ; attempt++ {
 		results, err := c.Do(ops)
-		if err == nil || !errors.Is(err, kv.ErrBudget) || attempt >= attempts {
+		retryable := errors.Is(err, kv.ErrBudget) || errors.Is(err, ErrOverloaded)
+		if err == nil || !retryable || attempt >= attempts {
 			return results, err
 		}
 		time.Sleep(p.delay(attempt + 1))

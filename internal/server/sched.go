@@ -1,0 +1,280 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nztm/internal/kv"
+	"nztm/internal/metrics"
+	"nztm/internal/tm"
+	"nztm/internal/trace"
+)
+
+// Admission policies: what happens when the scheduler's bounded queue is
+// full. See Config.Admission.
+const (
+	// AdmitReject answers queue-full requests immediately with
+	// StatusOverloaded — explicit backpressure instead of unbounded
+	// buffering. The request had no effect, so clients retry safely.
+	AdmitReject = "reject"
+	// AdmitBlock parks the connection's reader until queue space frees:
+	// per-connection backpressure through the kernel socket buffer, no
+	// rejects. One connection's flood slows only itself and the queue.
+	AdmitBlock = "block"
+)
+
+// SchedStats is the scheduler's counter block. Every atomic.Uint64 field
+// is exported through WriteStatsz (one "sched:" line) and WriteMetricsz
+// (one nztm_sched_<snake_case> series each) by reflection, so adding a
+// counter here is all it takes to export it — the coverage test in
+// sched_test.go enforces that both outputs carry every field. The two
+// interesting gauges are derived, not stored: queue depth is
+// Enqueued−Dispatched and busy executors is Dispatched−Completed, so they
+// can never drift from the counters that define them.
+type SchedStats struct {
+	// Enqueued counts requests admitted to the queue.
+	Enqueued atomic.Uint64
+	// Dispatched counts requests an executor picked up.
+	Dispatched atomic.Uint64
+	// Completed counts requests whose response was handed to the writer.
+	Completed atomic.Uint64
+	// Rejected counts admissions refused with StatusOverloaded
+	// (queue full under the AdmitReject policy).
+	Rejected atomic.Uint64
+	// SlowClientDrops counts responses dropped — and connections killed —
+	// because the client stopped draining its socket while pipelining
+	// more requests (the executor pool never blocks on one connection's
+	// full response buffer).
+	SlowClientDrops atomic.Uint64
+}
+
+// Depth returns the current queue depth (admitted, not yet dispatched).
+func (st *SchedStats) Depth() uint64 {
+	// Loads race benignly: Dispatched only grows after Enqueued.
+	d := st.Dispatched.Load()
+	if e := st.Enqueued.Load(); e > d {
+		return e - d
+	}
+	return 0
+}
+
+// Busy returns how many executors are running a request right now.
+func (st *SchedStats) Busy() uint64 {
+	c := st.Completed.Load()
+	if d := st.Dispatched.Load(); d > c {
+		return d - c
+	}
+	return 0
+}
+
+// schedSnake converts a Go field name to snake_case.
+func schedSnake(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// fields iterates the counters as (snake_case name, value).
+func (st *SchedStats) fields(fn func(name string, v uint64)) {
+	rv := reflect.ValueOf(st).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		c, ok := rv.Field(i).Addr().Interface().(*atomic.Uint64)
+		if !ok {
+			continue
+		}
+		fn(schedSnake(rt.Field(i).Name), c.Load())
+	}
+}
+
+// WriteStatsz appends the scheduler counters and derived gauges as one
+// "sched:" line.
+func (st *SchedStats) WriteStatsz(w io.Writer) {
+	fmt.Fprintf(w, "sched:")
+	st.fields(func(name string, v uint64) {
+		fmt.Fprintf(w, " %s=%d", name, v)
+	})
+	fmt.Fprintf(w, " queue_depth=%d executors_busy=%d\n", st.Depth(), st.Busy())
+}
+
+// WriteMetricsz appends one Prometheus counter per field plus the derived
+// depth/busy gauges.
+func (st *SchedStats) WriteMetricsz(w io.Writer) {
+	st.fields(func(name string, v uint64) {
+		metrics.Counter(w, "nztm_sched_"+name+"_total", v)
+	})
+	metrics.Gauge(w, "nztm_sched_queue_depth", float64(st.Depth()))
+	metrics.Gauge(w, "nztm_sched_executors_busy", float64(st.Busy()))
+}
+
+// task is one decoded request waiting in the admission queue. Tasks move
+// by value through a channel, so dispatch adds no per-request allocation
+// beyond the response buffer the request was always going to need.
+type task struct {
+	id  uint64
+	ops []kv.Op
+	st  *Staleness
+	c   *connState
+	enq time.Time
+}
+
+// connState is one connection's slice of the scheduler: the response
+// channel its writer drains, the in-flight semaphore that preserves
+// per-connection pipelining limits, and the bookkeeping that lets the
+// connection goroutine wait for its outstanding tasks before closing.
+type connState struct {
+	responses chan []byte
+	sem       chan struct{}  // holds one token per admitted, unanswered task
+	wg        sync.WaitGroup // admitted tasks not yet answered
+	kill      func()         // closes the net.Conn (slow-consumer defence)
+	killed    atomic.Bool
+}
+
+// finish releases a task's admission token after its response was handed
+// to the writer (or dropped on a killed connection).
+func (cs *connState) finish() {
+	<-cs.sem
+	cs.wg.Done()
+}
+
+// deliver hands a response to the connection's writer without ever
+// blocking the executor pool: a connection whose client stopped draining
+// responses while pipelining more requests is killed rather than allowed
+// to pin an executor. The writer keeps draining the channel until the
+// connection goroutine closes it, so a successful send never leaks.
+func (cs *connState) deliver(payload []byte, st *SchedStats) {
+	select {
+	case cs.responses <- payload:
+	default:
+		if cs.killed.CompareAndSwap(false, true) {
+			st.SlowClientDrops.Add(1)
+			cs.kill()
+		}
+	}
+}
+
+// scheduler is the server's M:N request plane: N connections' readers
+// admit decoded requests into one bounded queue; M slot-bound executors
+// drain it. Connections therefore hold no registry slot — only executors
+// (and system threads like the WAL snapshotter) do, so live connections
+// are bounded by file descriptors, not MaxThreads.
+type scheduler struct {
+	tasks     chan task
+	block     bool // AdmitBlock
+	executors int  // requested pool size (cap on slots bound)
+	bound     atomic.Int64
+	stats     SchedStats
+	wait      Histogram // enqueue→dispatch latency
+	rec       *trace.Recorder
+
+	start sync.Once
+	wg    sync.WaitGroup
+	stop  sync.Once
+}
+
+// newScheduler validates the knobs and builds the (not yet running)
+// plane. The caller has already resolved and clamped executors.
+func newScheduler(executors, queueDepth int, admission string) *scheduler {
+	if queueDepth <= 0 {
+		queueDepth = 1024
+	}
+	return &scheduler{
+		tasks:     make(chan task, queueDepth),
+		block:     admission == AdmitBlock,
+		executors: executors,
+	}
+}
+
+// admit queues a decoded request. It returns false when the request was
+// refused (AdmitReject with a full queue); the caller answers
+// StatusOverloaded. Under AdmitBlock it parks until space frees — the
+// per-connection backpressure path — and always returns true.
+func (s *scheduler) admit(t task) bool {
+	if s.block {
+		s.tasks <- t
+	} else {
+		select {
+		case s.tasks <- t:
+		default:
+			s.stats.Rejected.Add(1)
+			s.rec.Record(tm.Monotime(), trace.KindSchedReject, 0, s.stats.Depth(), 0)
+			return false
+		}
+	}
+	s.stats.Enqueued.Add(1)
+	s.rec.Record(tm.Monotime(), trace.KindSchedEnqueue, 0, s.stats.Depth(), 0)
+	return true
+}
+
+// run starts the executor pool (idempotent). Each executor binds one
+// registry slot for the pool's lifetime — the M in M:N. Slots are claimed
+// without blocking so a registry already crowded by system threads yields
+// a smaller pool instead of a hung server; at least one executor always
+// starts (blocking for its slot if it must) so the queue drains.
+func (s *scheduler) run(srv *Server) {
+	s.start.Do(func() {
+		if fr := srv.reg.Recorder(); fr != nil {
+			s.rec = fr.ForSource(trace.SchedSource)
+		} else if srv.cfg.Recorder != nil {
+			s.rec = srv.cfg.Recorder.ForSource(trace.SchedSource)
+		}
+		for i := 0; i < s.executors; i++ {
+			var th *tm.Thread
+			if i == 0 {
+				th = srv.reg.NewThread()
+			} else {
+				var ok bool
+				if th, ok = srv.reg.TryNewThread(); !ok {
+					break
+				}
+			}
+			if srv.cfg.WrapThread != nil {
+				srv.cfg.WrapThread(th)
+			}
+			s.bound.Add(1)
+			s.wg.Add(1)
+			go s.executor(srv, th)
+		}
+	})
+}
+
+// executor is one slot-bound worker: it owns th exclusively and drains
+// the shared queue until shutdown closes it.
+func (s *scheduler) executor(srv *Server, th *tm.Thread) {
+	defer s.wg.Done()
+	defer th.Close()
+	for t := range s.tasks {
+		s.stats.Dispatched.Add(1)
+		waited := time.Since(t.enq)
+		s.wait.Observe(waited)
+		s.rec.Record(tm.Monotime(), trace.KindSchedDispatch, 0, uint64(waited), 0)
+		if srv.preExec != nil {
+			srv.preExec(t.ops)
+		}
+		resp := srv.execute(th, t.id, t.ops, t.st)
+		t.c.deliver(resp, &s.stats)
+		s.stats.Completed.Add(1)
+		t.c.finish()
+	}
+}
+
+// shutdown stops the pool after every connection has drained: the queue
+// closes, executors finish their current task, and their registry slots
+// release. Safe to call repeatedly and before run.
+func (s *scheduler) shutdown() {
+	s.stop.Do(func() { close(s.tasks) })
+	s.wg.Wait()
+}

@@ -1,0 +1,425 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nztm/internal/core"
+	"nztm/internal/kv"
+	"nztm/internal/tm"
+)
+
+// doWithin runs one batch with a hang guard: a scheduler bug that wedges a
+// request surfaces as a test failure, not a suite timeout.
+func doWithin(t *testing.T, c *Client, ops []kv.Op, d time.Duration) ([]kv.Result, error) {
+	t.Helper()
+	type out struct {
+		rs  []kv.Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		rs, err := c.Do(ops)
+		ch <- out{rs, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.rs, o.err
+	case <-time.After(d):
+		t.Fatalf("request %v hung past %v", ops, d)
+		return nil, nil
+	}
+}
+
+// TestSchedulerOversubscription is the scheduler correctness suite: under
+// both admission policies, 4× more concurrent connections than executors
+// all make progress, idle connections acquire no registry slot (asserted
+// via SlotAcquires/SlotReleases deltas), and the registry high-water mark
+// stays pinned at the executor count. Runs under -race in tier-1
+// verification (the server package is in RACE_PKGS).
+func TestSchedulerOversubscription(t *testing.T) {
+	const executors = 2
+	const conns = 4 * executors
+	for _, tc := range []struct {
+		name      string
+		admission string
+		queue     int
+	}{
+		{"reject-admission", AdmitReject, 256},
+		{"block-admission", AdmitBlock, 4},
+		{"tiny-queue-reject", AdmitReject, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := kv.OpenBackend("nzstm", executors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store := kv.New(b.Sys, 4, 16)
+			srv := New(store, b.Reg, Config{
+				Executors:  executors,
+				QueueDepth: tc.queue,
+				Admission:  tc.admission,
+			})
+			_, addr, stop := serveOn(t, srv)
+			defer stop()
+
+			// Slot baseline after the executor pool is up: opening idle
+			// connections must not move it.
+			waitFor(t, time.Second, func() bool {
+				return b.Sys.Stats().View().SlotAcquires == executors
+			})
+			before := b.Sys.Stats().View()
+
+			clients := make([]*Client, conns)
+			for i := range clients {
+				c, err := Dial(addr)
+				if err != nil {
+					t.Fatalf("conn %d (beyond %d executors) refused: %v", i, executors, err)
+				}
+				defer c.Close()
+				clients[i] = c
+			}
+			// Idle connections hold no slot.
+			time.Sleep(20 * time.Millisecond)
+			idle := b.Sys.Stats().View()
+			if idle.SlotAcquires != before.SlotAcquires || idle.SlotReleases != before.SlotReleases {
+				t.Fatalf("idle connections moved slot counters: acquires %d→%d releases %d→%d",
+					before.SlotAcquires, idle.SlotAcquires, before.SlotReleases, idle.SlotReleases)
+			}
+
+			// All connections make progress together through the shared pool.
+			policy := RetryPolicy{MaxAttempts: 64, Base: 200 * time.Microsecond}
+			var wg sync.WaitGroup
+			errs := make(chan error, conns)
+			for i, c := range clients {
+				wg.Add(1)
+				go func(i int, c *Client) {
+					defer wg.Done()
+					key := fmt.Sprintf("over:%d", i)
+					for n := 0; n < 25; n++ {
+						want := []byte(fmt.Sprintf("%d-%d", i, n))
+						if _, err := c.DoRetry([]kv.Op{{Kind: kv.OpPut, Key: key, Value: want}}, policy); err != nil {
+							errs <- fmt.Errorf("conn %d put %d: %w", i, n, err)
+							return
+						}
+						rs, err := c.DoRetry([]kv.Op{{Kind: kv.OpGet, Key: key}}, policy)
+						if err != nil || !rs[0].Found || string(rs[0].Value) != string(want) {
+							errs <- fmt.Errorf("conn %d get %d: %v %v", i, n, rs, err)
+							return
+						}
+					}
+				}(i, c)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			// The workload itself minted no connection slots either.
+			after := b.Sys.Stats().View()
+			if after.SlotAcquires != before.SlotAcquires {
+				t.Errorf("workload acquired %d extra slots (connections binding slots?)",
+					after.SlotAcquires-before.SlotAcquires)
+			}
+			if high := b.Reg.High(); high > executors {
+				t.Errorf("registry high-water %d > %d executors", high, executors)
+			}
+			if tc.admission == AdmitBlock && srv.SchedStats().Rejected.Load() != 0 {
+				t.Errorf("block admission rejected %d requests", srv.SchedStats().Rejected.Load())
+			}
+		})
+	}
+}
+
+// serveOn starts srv on a loopback listener.
+func serveOn(t *testing.T, srv *Server) (*Server, string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	stop := func() {
+		srv.Shutdown(5 * time.Second)
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v", err)
+		}
+	}
+	return srv, ln.Addr().String(), stop
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOverloadRejectNotHang: with every executor stalled and the queue
+// full, a further request is answered StatusOverloaded promptly — never
+// parked indefinitely — and the reject is visible in the /statsz dump.
+// Once the stall lifts, the queued work completes untouched.
+func TestOverloadRejectNotHang(t *testing.T) {
+	b, err := kv.OpenBackend("nzstm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kv.New(b.Sys, 4, 16)
+	srv := New(store, b.Reg, Config{Executors: 1, QueueDepth: 1})
+	stall := make(chan struct{})
+	var stalled atomic.Int32
+	srv.preExec = func(ops []kv.Op) {
+		if len(ops) == 1 && strings.HasPrefix(ops[0].Key, "stall:") {
+			stalled.Add(1)
+			<-stall
+		}
+	}
+	_, addr, stop := serveOn(t, srv)
+	defer stop()
+
+	cA, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cA.Close()
+	cB, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cB.Close()
+
+	// Occupy the lone executor...
+	resA := make(chan error, 1)
+	go func() {
+		_, err := cA.Put("stall:1", []byte("v"))
+		resA <- err
+	}()
+	waitFor(t, 2*time.Second, func() bool { return stalled.Load() == 1 })
+	// ...fill the depth-1 queue...
+	resQ := make(chan error, 1)
+	go func() {
+		_, err := cA.Put("queued", []byte("v"))
+		resQ <- err
+	}()
+	waitFor(t, 2*time.Second, func() bool { return srv.SchedStats().Depth() >= 1 })
+
+	// ...and the next request must be shed, fast.
+	start := time.Now()
+	_, err = doWithin(t, cB, []kv.Op{{Kind: kv.OpPut, Key: "shed", Value: []byte("v")}}, 2*time.Second)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full request: err=%v, want ErrOverloaded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("overload answer took %v — should be immediate", d)
+	}
+
+	// The reject shows up in /statsz (sched line and request counters).
+	var sb strings.Builder
+	srv.WriteStatsz(&sb)
+	out := sb.String()
+	if !regexp.MustCompile(`rejected=[1-9]`).MatchString(out) {
+		t.Errorf("statsz sched line missing nonzero rejected:\n%s", out)
+	}
+	if !regexp.MustCompile(`overloaded=[1-9]`).MatchString(out) {
+		t.Errorf("statsz requests line missing nonzero overloaded:\n%s", out)
+	}
+
+	// Lift the stall: the stalled and queued requests complete.
+	close(stall)
+	if err := <-resA; err != nil {
+		t.Fatalf("stalled request failed: %v", err)
+	}
+	if err := <-resQ; err != nil {
+		t.Fatalf("queued request failed: %v", err)
+	}
+}
+
+// TestStalledExecutorDoesNotWedgeListener: one stalled executor (an
+// injected mid-request stall, the fault plane's signature move) must not
+// stop the listener plane — other connections' requests keep completing
+// through the remaining executors, and brand-new connections are still
+// accepted.
+func TestStalledExecutorDoesNotWedgeListener(t *testing.T) {
+	b, err := kv.OpenBackend("nzstm", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kv.New(b.Sys, 4, 16)
+	srv := New(store, b.Reg, Config{Executors: 2, QueueDepth: 64})
+	stall := make(chan struct{})
+	var stalled atomic.Int32
+	srv.preExec = func(ops []kv.Op) {
+		if len(ops) == 1 && strings.HasPrefix(ops[0].Key, "stall:") {
+			stalled.Add(1)
+			<-stall
+		}
+	}
+	_, addr, stop := serveOn(t, srv)
+	defer stop()
+
+	cA, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cA.Close()
+	resA := make(chan error, 1)
+	go func() {
+		_, err := cA.Put("stall:hold", []byte("v"))
+		resA <- err
+	}()
+	waitFor(t, 2*time.Second, func() bool { return stalled.Load() == 1 })
+
+	// Other connections complete within deadline through executor #2.
+	cB, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cB.Close()
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("live:%d", i)
+		if _, err := doWithin(t, cB, []kv.Op{{Kind: kv.OpPut, Key: key, Value: []byte("v")}}, 2*time.Second); err != nil {
+			t.Fatalf("request %d during stall: %v", i, err)
+		}
+	}
+	// The listener still accepts fresh connections mid-stall.
+	cC, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("accept wedged by stalled executor: %v", err)
+	}
+	defer cC.Close()
+	if _, err := doWithin(t, cC, []kv.Op{{Kind: kv.OpGet, Key: "live:0"}}, 2*time.Second); err != nil {
+		t.Fatalf("new connection's request during stall: %v", err)
+	}
+
+	close(stall)
+	if err := <-resA; err != nil {
+		t.Fatalf("stalled request failed after release: %v", err)
+	}
+}
+
+// TestAcceptNeverBlocksOnSlotExhaustion pins the latent pre-scheduler
+// bug: a connection arriving while the registry is exhausted used to
+// block inside Registry.Acquire before its first byte was read. With the
+// scheduler, connections never touch the registry — even on a registry
+// whose every slot is held by the executor pool, accept + serve works.
+func TestAcceptNeverBlocksOnSlotExhaustion(t *testing.T) {
+	const slots = 2
+	world := tm.NewRealWorld()
+	reg := tm.NewRegistryWorld(slots, world)
+	ccfg := core.DefaultConfig(core.NZ, slots)
+	ccfg.MaxThreads = reg.Max()
+	sys := core.New(world, ccfg)
+	reg.BindStats(sys.Stats())
+	store := kv.New(sys, 2, 8)
+	srv := New(store, reg, Config{Executors: slots})
+	_, addr, stop := serveOn(t, srv)
+	defer stop()
+
+	// The pool owns the whole registry: nothing is left to acquire.
+	waitFor(t, time.Second, func() bool { return reg.Active() == slots })
+
+	// Connections still accept and serve — each one would have hung in
+	// Acquire under the slot-per-connection model.
+	for i := 0; i < 3; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatalf("conn %d on exhausted registry refused: %v", i, err)
+		}
+		key := fmt.Sprintf("exhausted:%d", i)
+		if _, err := doWithin(t, c, []kv.Op{{Kind: kv.OpPut, Key: key, Value: []byte("v")}}, 3*time.Second); err != nil {
+			t.Fatalf("conn %d request on exhausted registry: %v", i, err)
+		}
+		rs, err := doWithin(t, c, []kv.Op{{Kind: kv.OpGet, Key: key}}, 3*time.Second)
+		if err != nil || !rs[0].Found {
+			t.Fatalf("conn %d readback: %v %v", i, rs, err)
+		}
+		c.Close()
+	}
+	if reg.Active() != slots {
+		t.Fatalf("registry active %d; want %d (connections should hold no slot)", reg.Active(), slots)
+	}
+}
+
+// TestSchedStatsCoverage guards the scheduler stats contract by
+// reflection, the same pattern as tm's Stats coverage test: every
+// atomic.Uint64 field of SchedStats must appear (with its value) in both
+// the "sched:" /statsz line and the nztm_sched_* /metricsz series, so a
+// newly added counter can never silently drop out of exposition.
+func TestSchedStatsCoverage(t *testing.T) {
+	var st SchedStats
+	rv := reflect.ValueOf(&st).Elem()
+	rt := rv.Type()
+	n := 0
+	for i := 0; i < rt.NumField(); i++ {
+		c, ok := rv.Field(i).Addr().Interface().(*atomic.Uint64)
+		if !ok {
+			t.Fatalf("SchedStats.%s is not atomic.Uint64 — extend the coverage test", rt.Field(i).Name)
+		}
+		c.Store(uint64(i + 1))
+		n++
+	}
+	if n == 0 {
+		t.Fatal("SchedStats has no counters")
+	}
+
+	var statsz, metricsz strings.Builder
+	st.WriteStatsz(&statsz)
+	st.WriteMetricsz(&metricsz)
+	for i := 0; i < rt.NumField(); i++ {
+		name := schedSnake(rt.Field(i).Name)
+		if want := fmt.Sprintf("%s=%d", name, i+1); !strings.Contains(statsz.String(), want) {
+			t.Errorf("statsz missing %q:\n%s", want, statsz.String())
+		}
+		if want := fmt.Sprintf("nztm_sched_%s_total %d", name, i+1); !strings.Contains(metricsz.String(), want) {
+			t.Errorf("metricsz missing %q:\n%s", want, metricsz.String())
+		}
+	}
+	// The derived gauges ride along in both outputs.
+	for _, want := range []string{"queue_depth=", "executors_busy="} {
+		if !strings.Contains(statsz.String(), want) {
+			t.Errorf("statsz missing derived gauge %q", want)
+		}
+	}
+	for _, want := range []string{"nztm_sched_queue_depth", "nztm_sched_executors_busy"} {
+		if !strings.Contains(metricsz.String(), want) {
+			t.Errorf("metricsz missing derived gauge %q", want)
+		}
+	}
+
+	// And the server wires them through: a live server's dumps carry the
+	// sched section plus the queue-wait histogram.
+	b, err := kv.OpenBackend("nzstm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(kv.New(b.Sys, 2, 2), b.Reg, Config{Executors: 1})
+	var sb, mb strings.Builder
+	srv.WriteStatsz(&sb)
+	srv.WriteMetricsz(&mb)
+	if !strings.Contains(sb.String(), "sched: enqueued=") || !strings.Contains(sb.String(), "queue wait:") {
+		t.Errorf("server statsz missing scheduler section:\n%s", sb.String())
+	}
+	for _, want := range []string{
+		"nztm_sched_enqueued_total", "nztm_sched_executors",
+		"nztm_sched_queue_wait_seconds", `nztm_server_requests_total{status="overloaded"}`,
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Errorf("server metricsz missing %q", want)
+		}
+	}
+}

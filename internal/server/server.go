@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,18 @@ type Config struct {
 	// (further pipelined requests queue in the kernel socket buffer).
 	// Default 64.
 	MaxInflight int
+	// Executors sizes the slot-bound executor pool — the M in the M:N
+	// request scheduler. Each executor binds one registry slot for the
+	// server's lifetime; connections bind none, so live connections are
+	// not capped by the registry. Default 2×GOMAXPROCS.
+	Executors int
+	// QueueDepth bounds the shared admission queue between connection
+	// readers and the executor pool. Default 1024.
+	QueueDepth int
+	// Admission picks the queue-full policy: AdmitReject (default —
+	// answer StatusOverloaded immediately) or AdmitBlock (park the
+	// connection's reader until space frees).
+	Admission string
 	// RetryBackoff, when positive, spaces a request's transaction retries
 	// with exponential, jittered sleeps (see kv.Budget.Backoff). It
 	// replaces the bare immediate-retry loop for contended requests.
@@ -43,28 +56,39 @@ type Config struct {
 	// WrapThread, when non-nil, decorates each per-connection thread
 	// context right after it is minted (the fault plane rebinds Env here).
 	WrapThread func(*tm.Thread)
-	// CheckRequest, when non-nil, is consulted before each request
-	// executes — the replication plane's interposition point. Returning
-	// StatusOK lets the request run; any other status (typically
-	// StatusNotPrimary for writes on a follower, StatusLagging for a
-	// bounded-staleness read the replica cannot serve in time) answers
-	// the request immediately with that status and message. The hook may
-	// block, e.g. while a replica waits to catch up to a token vector; it
-	// runs on the connection's executor goroutine.
+	// CheckRequest, when non-nil, is consulted before each request is
+	// admitted to the scheduler — the replication plane's interposition
+	// point. Returning StatusOK lets the request run; any other status
+	// (typically StatusNotPrimary for writes on a follower, StatusLagging
+	// for a bounded-staleness read the replica cannot serve in time)
+	// answers the request immediately with that status and message. The
+	// hook may block, e.g. while a replica waits to catch up to a token
+	// vector; it runs on the connection's reader goroutine in the
+	// listener plane, so a waiting read stalls only its own connection —
+	// never an executor slot.
 	CheckRequest func(ops []kv.Op, st *Staleness) (uint8, string)
 }
 
-// Server serves a kv.Store over length-prefixed TCP. Each connection binds a
-// TM thread context for its whole lifetime — a registry slot is acquired on
-// accept and released on close — and executes its requests on it in arrival
-// order; responses carry the request id, so pipelined clients still match
-// them up. Cross-connection parallelism is bounded only by the registry's
-// capacity, not by a boot-time thread pool. Responses are batched: the
-// writer flushes only when its queue drains.
+// Server serves a kv.Store over length-prefixed TCP through three
+// swappable planes. The LISTENER plane accepts connections and decodes
+// frames without ever touching the thread registry; decoded requests pass
+// through a bounded ADMISSION queue (queue-full → StatusOverloaded under
+// the default policy, never unbounded buffering); an EXECUTOR pool of M
+// slot-bound workers drains the queue and runs requests against the
+// store. N connections therefore share M registry slots instead of
+// binding one each — idle connections hold no slot, and live connections
+// are bounded by file descriptors, not MaxThreads. Responses carry the
+// request id, so pipelined clients match them up, and the per-connection
+// writer batches: it flushes only when its queue drains.
 type Server struct {
 	store *kv.Store
 	reg   *tm.Registry
 	cfg   Config
+	sched *scheduler
+
+	// preExec, when non-nil, runs on the executor goroutine just before
+	// each request executes — a test seam for stalling executors.
+	preExec func(ops []kv.Op)
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -82,6 +106,7 @@ type Server struct {
 	reqShutdown   atomic.Uint64
 	reqLagging    atomic.Uint64 // bounded-staleness reads refused (replica behind)
 	reqRedirect   atomic.Uint64 // StatusNotPrimary answers (client re-routes)
+	reqOverload   atomic.Uint64 // StatusOverloaded rejects (admission queue full)
 	singleLatency Histogram
 	batchLatency  Histogram
 
@@ -93,18 +118,25 @@ type Server struct {
 // ErrServerClosed is returned by Serve after Shutdown.
 var ErrServerClosed = errors.New("server: closed")
 
-// New creates a server over store. reg mints the per-connection TM thread
-// contexts: every accepted connection acquires one slot for its lifetime, so
-// the registry's capacity is the server's hard connection-concurrency bound
-// (a connection arriving when the registry is exhausted waits for a slot).
+// New creates a server over store. reg mints the executor pool's TM
+// thread contexts when Serve starts; accepted connections acquire no
+// slot, so accept never blocks on registry capacity and the number of
+// live connections is independent of MaxThreads.
 func New(store *kv.Store, reg *tm.Registry, cfg Config) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 64
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.Executors > reg.Max() {
+		cfg.Executors = reg.Max()
 	}
 	s := &Server{
 		store:   store,
 		reg:     reg,
 		cfg:     cfg,
+		sched:   newScheduler(cfg.Executors, cfg.QueueDepth, cfg.Admission),
 		conns:   make(map[net.Conn]struct{}),
 		started: time.Now(),
 	}
@@ -122,6 +154,10 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	// The executor pool binds its registry slots once, here — never on
+	// accept. Connections beyond the pool size share the M slots through
+	// the admission queue.
+	s.sched.run(s)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -179,6 +215,9 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	}()
 	select {
 	case <-done:
+		// Every connection drained, so no admitter remains: stop the
+		// executor pool and release its registry slots.
+		s.sched.shutdown()
 		return nil
 	case <-time.After(timeout):
 	}
@@ -188,8 +227,18 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	}
 	s.mu.Unlock()
 	<-done
+	s.sched.shutdown()
 	return fmt.Errorf("server: shutdown forced after %v", timeout)
 }
+
+// SchedStats exposes the scheduler's counter block (tests and embedders).
+func (s *Server) SchedStats() *SchedStats { return &s.sched.stats }
+
+// QueueWait exposes the enqueue→dispatch latency histogram.
+func (s *Server) QueueWait() *Histogram { return &s.sched.wait }
+
+// QueueCap reports the admission queue's resolved capacity.
+func (s *Server) QueueCap() int { return cap(s.sched.tasks) }
 
 func (s *Server) shuttingDown() bool {
 	s.mu.Lock()
@@ -197,18 +246,13 @@ func (s *Server) shuttingDown() bool {
 	return s.shutdown
 }
 
-// request is one parsed frame queued for the connection's executor.
-type request struct {
-	id  uint64
-	ops []kv.Op
-	st  *Staleness // non-nil for vector-aware requests
-}
-
-// serveConn runs one connection: this goroutine reads and parses frames, a
-// single executor goroutine runs them in arrival order on the connection's
-// own TM thread, and a writer goroutine batches responses out. The thread
-// context is minted from the registry on accept and released on close — the
-// per-connection analogue of the paper's one-descriptor-per-thread contract.
+// serveConn runs one connection in the listener plane: this goroutine
+// reads and parses frames and admits them to the shared scheduler — it
+// never touches the thread registry, so accept and decode cost no slot. A
+// writer goroutine batches responses out. Requests the scheduler cannot
+// take (queue full, AdmitReject) are answered StatusOverloaded here; up
+// to MaxInflight of the connection's requests may be admitted at once
+// (preserving pipelining), further ones park in the kernel socket buffer.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -218,42 +262,28 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 
-	// Bind a registry slot for the connection's lifetime.
-	th := s.reg.NewThread()
-	defer th.Close()
-	if s.cfg.WrapThread != nil {
-		s.cfg.WrapThread(th)
+	cs := &connState{
+		responses: make(chan []byte, 2*s.cfg.MaxInflight),
+		sem:       make(chan struct{}, s.cfg.MaxInflight),
+		kill:      func() { conn.Close() },
 	}
-
-	responses := make(chan []byte, 2*s.cfg.MaxInflight)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		bw := newBufWriter(conn)
-		for payload := range responses {
+		for payload := range cs.responses {
 			if err := writeFrame(bw, payload); err != nil {
-				drain(responses)
+				drain(cs.responses)
 				return
 			}
-			if len(responses) == 0 {
+			if len(cs.responses) == 0 {
 				if err := bw.Flush(); err != nil {
-					drain(responses)
+					drain(cs.responses)
 					return
 				}
 			}
 		}
 		bw.Flush()
-	}()
-
-	// The executor owns th exclusively; pipelined requests beyond
-	// MaxInflight park in the requests channel / kernel socket buffer.
-	requests := make(chan request, s.cfg.MaxInflight)
-	execDone := make(chan struct{})
-	go func() {
-		defer close(execDone)
-		for r := range requests {
-			responses <- s.execute(th, r.id, r.ops, r.st)
-		}
 	}()
 
 	br := newBufReader(conn)
@@ -275,39 +305,54 @@ func (s *Server) serveConn(conn net.Conn) {
 		id, ops, st, perr := parseRequest(payload)
 		if perr != nil {
 			s.reqBad.Add(1)
-			responses <- appendResponse(nil, id, StatusBad, nil, perr.Error())
+			cs.responses <- appendResponse(nil, id, StatusBad, nil, perr.Error())
 			continue
 		}
 		if s.shuttingDown() {
 			s.reqShutdown.Add(1)
-			responses <- appendResponse(nil, id, StatusShutdown, nil, "shutting down")
+			cs.responses <- appendResponse(nil, id, StatusShutdown, nil, "shutting down")
 			break
 		}
-		requests <- request{id: id, ops: ops, st: st}
+		// The replication interposition runs here, pre-admission: a
+		// blocking catch-up wait stalls only this connection, never an
+		// executor slot.
+		if s.cfg.CheckRequest != nil {
+			if status, msg := s.cfg.CheckRequest(ops, st); status != StatusOK {
+				switch status {
+				case StatusLagging:
+					s.reqLagging.Add(1)
+				case StatusNotPrimary:
+					s.reqRedirect.Add(1)
+				default:
+					s.reqErr.Add(1)
+				}
+				cs.responses <- appendResponse(nil, id, status, nil, msg)
+				continue
+			}
+		}
+		// Admission: take an in-flight token (parking here is the
+		// per-connection pipelining bound), then offer the task to the
+		// bounded queue.
+		cs.sem <- struct{}{}
+		cs.wg.Add(1)
+		if !s.sched.admit(task{id: id, ops: ops, st: st, c: cs, enq: time.Now()}) {
+			s.reqOverload.Add(1)
+			cs.wg.Done()
+			<-cs.sem
+			cs.responses <- appendResponse(nil, id, StatusOverloaded, nil, "admission queue full")
+		}
 	}
-	close(requests)
-	<-execDone
-	close(responses)
+	// Wait for this connection's admitted tasks to be answered before
+	// closing the response channel the executors deliver into.
+	cs.wg.Wait()
+	close(cs.responses)
 	<-writerDone
 }
 
-// execute runs one request on the connection's thread and encodes its
+// execute runs one request on an executor's thread and encodes its
 // response. A vector-aware request (st non-nil) is answered with
 // StatusOKVec carrying its commit vector.
 func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op, st *Staleness) []byte {
-	if s.cfg.CheckRequest != nil {
-		if status, msg := s.cfg.CheckRequest(ops, st); status != StatusOK {
-			switch status {
-			case StatusLagging:
-				s.reqLagging.Add(1)
-			case StatusNotPrimary:
-				s.reqRedirect.Add(1)
-			default:
-				s.reqErr.Add(1)
-			}
-			return appendResponse(nil, id, status, nil, msg)
-		}
-	}
 	start := time.Now()
 	budget := kv.Budget{MaxAttempts: s.cfg.MaxAttempts, Backoff: s.cfg.RetryBackoff}
 	if s.cfg.RequestTimeout > 0 {
@@ -378,11 +423,16 @@ func (s *Server) WriteStatsz(w io.Writer) {
 	fmt.Fprintf(w, "slots: acquires=%d releases=%d\n",
 		view.SlotAcquires, view.SlotReleases)
 	fmt.Fprintf(w, "connections: open=%d total=%d\n", open, s.connsTotal.Load())
-	fmt.Fprintf(w, "requests: ok=%d budget=%d bad=%d error=%d shutdown=%d lagging=%d not_primary=%d\n",
+	fmt.Fprintf(w, "executors: bound=%d requested=%d queue_cap=%d admission=%s\n",
+		s.sched.bound.Load(), s.sched.executors, cap(s.sched.tasks), s.admissionName())
+	s.sched.stats.WriteStatsz(w)
+	fmt.Fprintf(w, "requests: ok=%d budget=%d bad=%d error=%d shutdown=%d lagging=%d not_primary=%d overloaded=%d\n",
 		s.reqOK.Load(), s.reqBudget.Load(), s.reqBad.Load(),
-		s.reqErr.Load(), s.reqShutdown.Load(), s.reqLagging.Load(), s.reqRedirect.Load())
+		s.reqErr.Load(), s.reqShutdown.Load(), s.reqLagging.Load(), s.reqRedirect.Load(),
+		s.reqOverload.Load())
 	fmt.Fprintf(w, "latency single: %s\n", s.singleLatency.Summary())
 	fmt.Fprintf(w, "latency batch:  %s\n", s.batchLatency.Summary())
+	fmt.Fprintf(w, "queue wait:     %s\n", s.sched.wait.Summary())
 	fmt.Fprintf(w, "tm cumulative: commits=%d aborts=%d abort_rate=%.2f%% abort_requests=%d waits=%d inflations=%d deflations=%d locator_ops=%d backup_reuse=%d\n",
 		view.Commits, view.Aborts, 100*view.AbortRate(), view.AbortRequests,
 		view.Waits, view.Inflations, view.Deflations, view.LocatorOps, view.BackupReuse)
@@ -408,6 +458,14 @@ func (s *Server) WriteStatsz(w io.Writer) {
 	if s.cfg.ExtraStatsz != nil {
 		s.cfg.ExtraStatsz(w)
 	}
+}
+
+// admissionName renders the effective admission policy.
+func (s *Server) admissionName() string {
+	if s.sched.block {
+		return AdmitBlock
+	}
+	return AdmitReject
 }
 
 func drain(ch chan []byte) {

@@ -469,12 +469,12 @@ func TestExtraStatsz(t *testing.T) {
 	}
 }
 
-// TestMoreConnectionsThanThreadHint is the acceptance test for the dynamic
-// thread registry: a server booted with a tiny -threads hint must serve many
-// more *simultaneous* connections than the hint. Under the old fixed
-// thread-checkout model the extra connections would have blocked waiting for
-// one of the `threads` pooled TM threads; now each connection mints its own
-// registry slot on accept.
+// TestMoreConnectionsThanThreadHint is the acceptance test for the M:N
+// scheduler: a server with a tiny executor pool must serve many more
+// *simultaneous* connections than it has pool slots. Under the old
+// slot-per-connection model each extra connection would have bound its
+// own registry slot; now connections bind none — the registry high-water
+// mark stays at the executor count no matter how many connections open.
 func TestMoreConnectionsThanThreadHint(t *testing.T) {
 	const hint = 2
 	const conns = hint + 6
@@ -484,7 +484,7 @@ func TestMoreConnectionsThanThreadHint(t *testing.T) {
 		t.Fatal(err)
 	}
 	store := kv.New(b.Sys, 4, 16)
-	srv := New(store, b.Reg, Config{})
+	srv := New(store, b.Reg, Config{Executors: hint})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -536,10 +536,12 @@ func TestMoreConnectionsThanThreadHint(t *testing.T) {
 		t.Error(err)
 	}
 
-	// Every live connection held a distinct slot, so the registry's
-	// high-water mark must have passed the boot hint.
-	if high := b.Reg.High(); high < conns {
-		t.Fatalf("registry high-water %d; want >= %d (hint was %d)", high, conns, hint)
+	// Connections share the executor pool's slots: the registry
+	// high-water mark must NOT have grown past the pool, even with 4×
+	// as many simultaneous connections.
+	if high := b.Reg.High(); high > hint {
+		t.Fatalf("registry high-water %d; want <= %d executors (%d conns held slots?)",
+			high, hint, conns)
 	}
 }
 
@@ -556,7 +558,9 @@ func TestMetricszAndTracez(t *testing.T) {
 	b.Reg.BindRecorder(fr)
 	store := kv.New(b.Sys, 4, 16)
 	store.EnableMetrics()
-	srv := New(store, b.Reg, Config{})
+	// One executor: exactly one registry slot is ever acquired, no
+	// matter how many requests or connections arrive.
+	srv := New(store, b.Reg, Config{Executors: 1})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

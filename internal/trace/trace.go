@@ -64,6 +64,9 @@ const (
 	KindReplFrames               // replication: batch of frames shipped/applied; A=frames, B=last total LSN
 	KindReplPromote              // replication: node promoted to primary; A=new epoch, B=applied total at promotion
 	KindReplReject               // replication: fencing rejected a stale-epoch message; A=msg epoch, B=local epoch
+	KindSchedEnqueue             // scheduler: request admitted to the queue; A=queue depth after enqueue
+	KindSchedDispatch            // scheduler: executor picked a request up; A=queue wait ns
+	KindSchedReject              // scheduler: admission refused a request (queue full); A=queue depth
 	kindCount
 )
 
@@ -118,6 +121,12 @@ func (k Kind) String() string {
 		return "repl-promote"
 	case KindReplReject:
 		return "repl-reject"
+	case KindSchedEnqueue:
+		return "sched-enqueue"
+	case KindSchedDispatch:
+		return "sched-dispatch"
+	case KindSchedReject:
+		return "sched-reject"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -193,6 +202,11 @@ const WALSource = -2
 // ReplSource is the reserved source ID for replication-plane events
 // (subscriptions, frame shipping, promotions, fencing rejections).
 const ReplSource = -3
+
+// SchedSource is the reserved source ID for request-scheduler events
+// (admission, dispatch, rejection), which happen before any TM thread is
+// involved with a request.
+const SchedSource = -4
 
 // Source returns the recorder's source ID (a thread slot, or PlaneSource).
 func (r *Recorder) Source() int { return r.source }
@@ -397,6 +411,9 @@ func (f *FlightRecorder) Dump(w io.Writer) {
 		}
 		if log.Source == ReplSource {
 			name = "replication plane (repl)"
+		}
+		if log.Source == SchedSource {
+			name = "scheduler plane (admission/dispatch)"
 		}
 		fmt.Fprintf(w, "--- %s: %d recorded, last %d retained ---\n",
 			name, log.Recorded, len(log.Events))
