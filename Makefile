@@ -15,8 +15,10 @@
 #   make soak       short seeded fault-injection soak with linearizability
 #                   checking, then an oversubscribed pass (connections ≫
 #                   executors through the M:N scheduler, backpressure and
-#                   slot-leak gates on; see cmd/nztm-soak; SOAK_FLAGS /
-#                   OVERSUB_FLAGS to customise)
+#                   slot-leak gates on), then an adaptive-backend pass
+#                   (aggressive mode-switch thresholds under chaos with an
+#                   at-least-N-switches gate; see cmd/nztm-soak; SOAK_FLAGS /
+#                   OVERSUB_FLAGS / ADAPTIVE_FLAGS to customise)
 #   make crash      crash-recovery soak: SIGKILL a child nztm-server at
 #                   seeded WAL crash points (all five sites), restart it,
 #                   and verify every acknowledged write survives and the
@@ -31,23 +33,29 @@
 #                   DESIGN.md §13)
 #   make bench-kv   serving-path benchmark: NZSTM vs GlobalLock over real
 #                   sockets, plus WAL fsync=always/interval/never durability
-#                   pricing, the 3-node replicated-reads comparison, and a
+#                   pricing, the 3-node replicated-reads comparison, a
 #                   connection sweep (8/64/512 conns over a fixed 8-executor
-#                   pool — the M:N scheduler scaling curve), results in
-#                   BENCH_kv.json
+#                   pool — the M:N scheduler scaling curve), and the adaptive
+#                   crossover matrix ({nzstm, glock, adaptive} × {uniform,
+#                   zipfian-skewed}, per-regime winners + switch counts),
+#                   results in BENCH_kv.json
 #   make serve      run nztm-server with defaults
 
 GO ?= go
 
 RACE_PKGS = ./internal/tm ./internal/core ./internal/kv ./internal/server \
             ./internal/fault ./internal/histcheck ./internal/trace \
-            ./internal/metrics ./internal/wal ./internal/repl
+            ./internal/metrics ./internal/wal ./internal/repl \
+            ./internal/adaptive
 
 FUZZ_TIME ?= 10s
 SOAK_FLAGS ?= -seed 1 -duration 5s
 # Oversubscribed soak: 64 connections (16× the 4 executors) at a rate and
 # key spread that keeps the per-clique histories inside the checker budget.
 OVERSUB_FLAGS ?= -oversubscribed -seed 1 -duration 4s -threads 4 -keys 64 -rate 25
+# Adaptive soak: hair-trigger controller thresholds so chaos thrashes group
+# modes (the switch-protocol stress test); gates on >=4 observed switches.
+ADAPTIVE_FLAGS ?= -adaptive -seed 1 -duration 5s
 CRASH_FLAGS ?= -crash -crash-target 200 -seed 1
 FAILOVER_FLAGS ?= -failover -kills 50 -seed 1
 
@@ -84,6 +92,7 @@ fuzz:
 soak:
 	$(GO) run ./cmd/nztm-soak $(SOAK_FLAGS)
 	$(GO) run ./cmd/nztm-soak $(OVERSUB_FLAGS)
+	$(GO) run ./cmd/nztm-soak $(ADAPTIVE_FLAGS)
 
 crash:
 	$(GO) run ./cmd/nztm-soak $(CRASH_FLAGS)
@@ -92,7 +101,7 @@ failover:
 	$(GO) run ./cmd/nztm-soak $(FAILOVER_FLAGS)
 
 bench-kv:
-	$(GO) run ./cmd/nztm-load -out BENCH_kv.json -fsync always,interval,never -replicated -connections 8,64,512 -executors 8
+	$(GO) run ./cmd/nztm-load -out BENCH_kv.json -fsync always,interval,never -replicated -connections 8,64,512 -executors 8 -crossover
 
 serve:
 	$(GO) run ./cmd/nztm-server

@@ -11,12 +11,14 @@
 //	nztm-load -systems nzstm,bzstm,glock -clients 16 -duration 3s
 //	nztm-load -addr host:7420 -duration 5s     # drive an external server
 //	nztm-load -connections 8,64,512 -executors 8   # M:N scheduler scaling curve
+//	nztm-load -crossover                       # adaptive-vs-fixed regime matrix
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"runtime"
@@ -27,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nztm/internal/adaptive"
 	"nztm/internal/kv"
 	"nztm/internal/server"
 	"nztm/internal/tm"
@@ -46,6 +49,12 @@ type config struct {
 	buckets   int
 	threads   int
 	executors int
+	// zipfTheta > 0 draws single-key and RMW keys from a zipfian(theta)
+	// distribution over the keyset instead of uniformly.
+	zipfTheta float64
+	// rmwFrac of requests are atomic read-modify-writes ([GET k, PUT k])
+	// on one key — the contention-amplifying shape under skew.
+	rmwFrac float64
 }
 
 // result is one system's measurement, serialised into BENCH_kv.json.
@@ -53,8 +62,8 @@ type result struct {
 	System string `json:"system"`
 	// Fsync names the WAL sync policy for crash-durable runs (-fsync);
 	// empty for the memory-only baselines.
-	Fsync      string  `json:"wal_fsync,omitempty"`
-	Clients    int     `json:"clients"`
+	Fsync   string `json:"wal_fsync,omitempty"`
+	Clients int    `json:"clients"`
 	// Executors is the server's M:N scheduler pool size when the run
 	// pinned it (-executors / -connections sweep); absent otherwise.
 	Executors  int     `json:"executors,omitempty"`
@@ -65,11 +74,11 @@ type result struct {
 	// ReadThroughput is the GET-only rate for replicated runs, where
 	// reads route to replicas (absent elsewhere).
 	ReadThroughput float64 `json:"read_req_per_sec,omitempty"`
-	P50Us      float64 `json:"p50_us"`
-	P95Us      float64 `json:"p95_us"`
-	P99Us      float64 `json:"p99_us"`
-	MaxUs      float64 `json:"max_us"`
-	MeanUs     float64 `json:"mean_us"`
+	P50Us          float64 `json:"p50_us"`
+	P95Us          float64 `json:"p95_us"`
+	P99Us          float64 `json:"p99_us"`
+	MaxUs          float64 `json:"max_us"`
+	MeanUs         float64 `json:"mean_us"`
 	// Server-side kv commit-latency histogram percentiles (the same
 	// distribution /metricsz exports as nztm_kv_commit_latency_seconds;
 	// absent for -addr runs, which have no in-process store).
@@ -81,6 +90,16 @@ type result struct {
 	Aborts     uint64  `json:"tm_aborts,omitempty"`
 	AbortRate  float64 `json:"tm_abort_rate,omitempty"`
 	Inflations uint64  `json:"tm_inflations,omitempty"`
+	// Adaptive-facade mode activity over the run (absent for fixed
+	// backends): total switches in each direction plus how many shard
+	// groups ended the run pessimistic.
+	SwitchesToPes  uint64 `json:"adaptive_switches_to_pessimistic,omitempty"`
+	SwitchesToOpt  uint64 `json:"adaptive_switches_to_optimistic,omitempty"`
+	FinalPesGroups int    `json:"adaptive_final_pessimistic_groups,omitempty"`
+	// ZipfTheta is the key-skew of this particular run (0 = uniform);
+	// crossover rows carry it so regimes are self-describing.
+	ZipfTheta float64 `json:"zipf_theta,omitempty"`
+	RMWFrac   float64 `json:"rmw_frac,omitempty"`
 }
 
 type benchFile struct {
@@ -108,21 +127,24 @@ func main() {
 		// The default profile is TM-dominated (large values, wide batches)
 		// so that the backing system — not per-request socket overhead —
 		// sets the throughput.
-		keys     = flag.Int("keys", 256, "contended keyset size")
-		valSize  = flag.Int("value", 512, "value size in bytes")
-		readFrac = flag.Float64("reads", 0.5, "fraction of single-key requests that are GETs")
-		batch    = flag.Float64("batch", 0.5, "fraction of requests that are multi-key atomic batches")
-		batchSz  = flag.Int("batchsize", 16, "keys per batch request")
-		shards   = flag.Int("shards", 16, "self-hosted server shard count")
-		buckets  = flag.Int("buckets", 64, "self-hosted server buckets per shard")
-		threads  = flag.Int("threads", defaultThreads(), "self-hosted server TM thread pool size")
-		out      = flag.String("out", "BENCH_kv.json", "machine-readable output file (empty disables)")
-		mOut     = flag.String("metrics-out", "BENCH_kv.json", "bench file that also receives server-side commit-latency histogram percentiles; usually the same file as -out (empty disables)")
-		fsyncs   = flag.String("fsync", "", "also measure a crash-durable NZSTM server per listed WAL fsync policy (comma-separated: always,interval,never); the memory-only baselines above are unchanged")
-		repl     = flag.Bool("replicated", false, "also measure a 3-node replication cluster (1 primary + 2 read replicas, reads routed to replicas) against a single-node control on the same read-heavy profile")
-		connsSw  = flag.String("connections", "", "comma-separated connection counts (e.g. 8,64,512) to sweep against one fixed NZSTM executor pool — the M:N scheduler scaling curve; each count lands as its own labeled result")
-		execsN   = flag.Int("executors", 0, "pin the self-hosted servers' executor-pool size (0 = server default: 2×GOMAXPROCS); the -connections sweep uses this fixed pool")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
+		keys      = flag.Int("keys", 256, "contended keyset size")
+		valSize   = flag.Int("value", 512, "value size in bytes")
+		readFrac  = flag.Float64("reads", 0.5, "fraction of single-key requests that are GETs")
+		batch     = flag.Float64("batch", 0.5, "fraction of requests that are multi-key atomic batches")
+		batchSz   = flag.Int("batchsize", 16, "keys per batch request")
+		shards    = flag.Int("shards", 16, "self-hosted server shard count")
+		buckets   = flag.Int("buckets", 64, "self-hosted server buckets per shard")
+		threads   = flag.Int("threads", defaultThreads(), "self-hosted server TM thread pool size")
+		out       = flag.String("out", "BENCH_kv.json", "machine-readable output file (empty disables)")
+		mOut      = flag.String("metrics-out", "BENCH_kv.json", "bench file that also receives server-side commit-latency histogram percentiles; usually the same file as -out (empty disables)")
+		fsyncs    = flag.String("fsync", "", "also measure a crash-durable NZSTM server per listed WAL fsync policy (comma-separated: always,interval,never); the memory-only baselines above are unchanged")
+		repl      = flag.Bool("replicated", false, "also measure a 3-node replication cluster (1 primary + 2 read replicas, reads routed to replicas) against a single-node control on the same read-heavy profile")
+		connsSw   = flag.String("connections", "", "comma-separated connection counts (e.g. 8,64,512) to sweep against one fixed NZSTM executor pool — the M:N scheduler scaling curve; each count lands as its own labeled result")
+		execsN    = flag.Int("executors", 0, "pin the self-hosted servers' executor-pool size (0 = server default: 2×GOMAXPROCS); the -connections sweep uses this fixed pool")
+		zipf      = flag.Float64("zipf", 0, "zipfian key-skew theta in (0,1) for single-key and RMW picks (0 = uniform; YCSB-style, 0.99 = heavy skew)")
+		rmw       = flag.Float64("rmw", 0, "fraction of requests that are atomic read-modify-writes on one key")
+		crossover = flag.Bool("crossover", false, "run the adaptive crossover matrix: {nzstm, glock, adaptive} × {uniform, zipf-skewed} with the same op mix, labeled per regime (defaults -zipf to 0.99 and -rmw to 0.8 when unset)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
 	)
 	flag.Parse()
 
@@ -143,6 +165,7 @@ func main() {
 		batchFrac: *batch, batchSize: *batchSz,
 		shards: *shards, buckets: *buckets, threads: *threads,
 		executors: *execsN,
+		zipfTheta: *zipf, rmwFrac: *rmw,
 	}
 
 	var results []result
@@ -202,6 +225,13 @@ func main() {
 			}
 			r.System = fmt.Sprintf("%s@c%d", r.System, n)
 			results = append(results, r)
+		}
+		if *crossover {
+			rs, err := measureCrossover(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, rs...)
 		}
 	}
 
@@ -309,6 +339,25 @@ func selfHost(name, fsync string, cfg config) (result, error) {
 		store = kv.New(backend.Sys, cfg.shards, cfg.buckets)
 	}
 	m := store.EnableMetrics()
+	// Adaptive backend: the facade needs its controller running or it is
+	// just NZSTM with one extra CAS. Aggressive-but-sane settings sized to
+	// the short measured window (the server binary defaults are tuned for
+	// long-lived serving).
+	var adSys *adaptive.System
+	if as, ok := backend.Sys.(*adaptive.System); ok {
+		adSys = as
+		err := as.StartController(store, adaptive.ControllerConfig{
+			Interval:       50 * time.Millisecond,
+			EnterAbortRate: 0.35,
+			ExitAbortRate:  0.10,
+			MinOps:         16,
+			MinProbes:      4,
+			MinDwell:       250 * time.Millisecond,
+		})
+		if err != nil {
+			return result{}, err
+		}
+	}
 	scfg := server.Config{
 		MaxAttempts:    100_000,
 		RequestTimeout: 5 * time.Second,
@@ -330,6 +379,17 @@ func selfHost(name, fsync string, cfg config) (result, error) {
 	fmt.Printf("nztm-load: measuring %s on %s...\n", label, ln.Addr())
 
 	r, err := measure(label, ln.Addr().String(), backend.Sys.Stats(), cfg)
+	if adSys != nil {
+		adSys.StopController()
+		st := adSys.ModeStats()
+		r.SwitchesToPes = st.SwitchesToPessimistic.Load()
+		r.SwitchesToOpt = st.SwitchesToOptimistic.Load()
+		mask := adSys.PessimisticMask()
+		for mask != 0 {
+			r.FinalPesGroups++
+			mask &= mask - 1
+		}
+	}
 	srv.Shutdown(5 * time.Second)
 	<-done
 	if cerr := store.Close(); cerr != nil && err == nil {
@@ -337,6 +397,8 @@ func selfHost(name, fsync string, cfg config) (result, error) {
 	}
 	r.Fsync = fsync
 	r.Executors = scfg.Executors
+	r.ZipfTheta = cfg.zipfTheta
+	r.RMWFrac = cfg.rmwFrac
 	if err == nil {
 		// Server-side commit-latency percentiles: the distribution covers
 		// the whole run (warmup included) — the per-interval client
@@ -382,6 +444,10 @@ func measure(sysName, addr string, stats *tm.Stats, cfg config) (result, error) 
 		wg        sync.WaitGroup
 		errs      = make(chan error, cfg.clients)
 	)
+	var zg *zipfGen
+	if cfg.zipfTheta > 0 {
+		zg = newZipfGen(len(keys), cfg.zipfTheta)
+	}
 	for w := 0; w < cfg.clients; w++ {
 		wg.Add(1)
 		go func(id int) {
@@ -399,6 +465,15 @@ func measure(sysName, addr string, stats *tm.Stats, cfg config) (result, error) 
 				rng ^= rng << 17
 				return rng
 			}
+			// pick draws a key: zipfian(theta) over the keyset when skew
+			// is on (rank 0 = hottest key), uniform otherwise.
+			pick := func() string {
+				if zg != nil {
+					u := float64(next()%1_000_003) / 1_000_003
+					return keys[zg.rank(u)]
+				}
+				return keys[next()%uint64(len(keys))]
+			}
 			for !stop.Load() {
 				r := next()
 				var ops []kv.Op
@@ -408,17 +483,22 @@ func measure(sysName, addr string, stats *tm.Stats, cfg config) (result, error) 
 					ops = make([]kv.Op, cfg.batchSize)
 					write := next()%2 == 0
 					for i := range ops {
-						k := keys[next()%uint64(len(keys))]
+						k := pick()
 						if write {
 							ops[i] = kv.Op{Kind: kv.OpPut, Key: k, Value: value}
 						} else {
 							ops[i] = kv.Op{Kind: kv.OpGet, Key: k}
 						}
 					}
+				case float64(r>>20%1000)/1000 < cfg.rmwFrac:
+					// Atomic read-modify-write of one key: the shape whose
+					// optimistic abort rate explodes under skew.
+					k := pick()
+					ops = []kv.Op{{Kind: kv.OpGet, Key: k}, {Kind: kv.OpPut, Key: k, Value: value}}
 				case float64(r>>10%1000)/1000 < cfg.readFrac:
-					ops = []kv.Op{{Kind: kv.OpGet, Key: keys[next()%uint64(len(keys))]}}
+					ops = []kv.Op{{Kind: kv.OpGet, Key: pick()}}
 				default:
-					ops = []kv.Op{{Kind: kv.OpPut, Key: keys[next()%uint64(len(keys))], Value: value}}
+					ops = []kv.Op{{Kind: kv.OpPut, Key: pick(), Value: value}}
 				}
 				start := time.Now()
 				_, err := c.Do(ops)
@@ -477,4 +557,149 @@ func measure(sysName, addr string, stats *tm.Stats, cfg config) (result, error) 
 		res.AbortRate = d.AbortRate()
 	}
 	return res, nil
+}
+
+// zipfGen is the YCSB-style bounded zipfian sampler (Gray et al.,
+// "Quickly Generating Billion-Record Synthetic Databases"): closed-form
+// inverse-CDF approximation, valid for theta in (0, 1). rank(u) maps a
+// uniform u in [0,1) to a key rank with rank 0 the hottest.
+type zipfGen struct {
+	n                 int
+	theta             float64
+	alpha, zetan, eta float64
+	halfPowTheta      float64
+}
+
+func newZipfGen(n int, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	for i := 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	z.alpha = 1 / (1 - theta)
+	z.halfPowTheta = math.Pow(0.5, theta)
+	zeta2 := 1 + z.halfPowTheta
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+func (z *zipfGen) rank(u float64) int {
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.halfPowTheta {
+		return 1
+	}
+	r := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// measureCrossover runs the adaptive acceptance matrix: the three backends
+// {nzstm, glock, adaptive} under the same op mix at two key distributions
+// (uniform and zipf-skewed). The claim under test: each fixed backend loses
+// one regime — NZSTM the skewed one (abort storms), GlobalLock the uniform
+// one (needless serialization) — while adaptive tracks the winner of both
+// by switching modes per shard group.
+func measureCrossover(cfg config) ([]result, error) {
+	// The crossover needs transactions long enough to overlap and a mix
+	// whose conflict rate is set by key skew, not by batch birthday
+	// collisions — so it pins its own profile instead of inheriting the
+	// general-purpose serving defaults: a large keyset (uniform traffic
+	// conflicts rarely), fat values and wide batches (real work per
+	// transaction), and an RMW leg (the shape whose optimistic abort rate
+	// explodes when picks concentrate).
+	cfg.clients = 16
+	cfg.keys = 8192
+	cfg.valueSize = 4096
+	cfg.batchFrac = 0.6
+	cfg.batchSize = 16
+	if cfg.zipfTheta <= 0 {
+		cfg.zipfTheta = 0.99
+	}
+	if cfg.rmwFrac <= 0 {
+		cfg.rmwFrac = 0.7
+	}
+	// Transactions can only overlap (and therefore conflict) if the Go
+	// scheduler runs more than one executor thread; single-core containers
+	// default to GOMAXPROCS=1, which serializes everything and hides the
+	// regimes this matrix exists to show.
+	if prev := runtime.GOMAXPROCS(0); prev < 2 {
+		runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	uniform := cfg
+	uniform.zipfTheta = 0
+	regimes := []struct {
+		name string
+		cfg  config
+	}{
+		{"uniform", uniform},
+		{fmt.Sprintf("zipf%.2f", cfg.zipfTheta), cfg},
+	}
+	var results []result
+	for _, reg := range regimes {
+		for _, sys := range []string{"nzstm", "glock", "adaptive"} {
+			r, err := selfHost(sys, "", reg.cfg)
+			if err != nil {
+				return nil, err
+			}
+			r.System += "@" + reg.name
+			results = append(results, r)
+		}
+	}
+	compareCrossover(results)
+	return results, nil
+}
+
+// compareCrossover prints the per-regime ranking and whether adaptive held
+// within 10% of the best fixed backend in each.
+func compareCrossover(results []result) {
+	byPrefix := func(regime, prefix string) *result {
+		for i := range results {
+			if strings.HasSuffix(results[i].System, "@"+regime) && strings.HasPrefix(results[i].System, prefix) {
+				return &results[i]
+			}
+		}
+		return nil
+	}
+	regimes := map[string]bool{}
+	for _, r := range results {
+		if i := strings.LastIndex(r.System, "@"); i >= 0 {
+			regimes[r.System[i+1:]] = true
+		}
+	}
+	for regime := range regimes {
+		nz, gl, ad := byPrefix(regime, "NZSTM"), byPrefix(regime, "GlobalLock"), byPrefix(regime, "Adaptive")
+		if nz == nil || gl == nil || ad == nil {
+			continue
+		}
+		bestFixed := nz.Throughput
+		if gl.Throughput > bestFixed {
+			bestFixed = gl.Throughput
+		}
+		best := bestFixed
+		if ad.Throughput > best {
+			best = ad.Throughput
+		}
+		frac := ad.Throughput / bestFixed
+		verdict := "OK (within 10% of best fixed)"
+		if frac < 0.9 {
+			verdict = fmt.Sprintf("BELOW target (%.0f%% of best fixed)", 100*frac)
+		}
+		fmt.Printf("crossover %-10s NZSTM=%.0f GlobalLock=%.0f Adaptive=%.0f req/s — adaptive %.2fx best fixed, %s; switches pes=%d opt=%d final-pes-groups=%d\n",
+			regime, nz.Throughput, gl.Throughput, ad.Throughput, frac, verdict,
+			ad.SwitchesToPes, ad.SwitchesToOpt, ad.FinalPesGroups)
+		// A fixed backend "loses" a regime when it falls more than 10%
+		// short of the regime's best backend — the evidence that neither
+		// store-lifetime choice is safe across workloads.
+		for _, fixed := range []*result{nz, gl} {
+			if f := fixed.Throughput / best; f < 0.9 {
+				fmt.Printf("crossover %-10s   %s loses this regime: %.0f%% of best\n",
+					regime, fixed.System, 100*f)
+			}
+		}
+	}
 }

@@ -1,0 +1,349 @@
+// Package adaptive implements runtime-switchable execution modes on top of
+// a single underlying TM system. The paper's own evaluation (§5) shows no
+// fixed policy wins everywhere: NZSTM's zero-indirection optimistic path is
+// fastest when uncontended, while under pathological skew a blocking
+// short-critical-section discipline avoids the wasted work of repeated
+// aborts ("Inherent Limitations of Hybrid Transactional Memory" and "Why
+// Transactional Memory Should Not Be Obstruction-Free" formalize why
+// mode-switching beats any single policy — see DESIGN.md §15).
+//
+// The facade partitions the keyspace into Groups fixed shard groups and
+// gives each group an independent execution mode:
+//
+//   - Optimistic: transactions run straight through the underlying system
+//     (NZSTM in the serving configuration). This is a pure pass-through —
+//     the fast path adds one atomic CAS per touched group on entry and one
+//     atomic add on exit, and allocates nothing.
+//   - Pessimistic: transactions serialize on a per-group mutex *around* the
+//     same underlying transaction — a GlobalLock-style short critical
+//     section per group. The transaction machinery still provides atomicity
+//     and isolation; the mutex is pure contention policy that stops hot
+//     groups from burning CPU on doomed speculative attempts.
+//
+// Because both modes execute through the one underlying system, correctness
+// never depends on which mode a transaction entered under, and cross-group
+// batches that straddle a mode switch stay atomic by construction. The
+// switch protocol (SwitchMode) is therefore about performance accounting,
+// not safety: the mode flip is epoch-fenced — new arrivals observe the
+// target mode immediately via one atomic word per group, and the switch
+// completes when the old mode's in-flight count drains to zero — so the
+// controller can trust its windowed signals to describe one mode at a time.
+//
+// While a group is pessimistic, every probeEvery-th arrival is admitted as
+// an optimistic *probe* (it skips the mutex). Probes are how the controller
+// observes contention subsiding: once a group serializes, its lock-holders
+// stop aborting, so without probes the exit-pessimistic signal would never
+// fire. Probes are safe for the same reason mixed modes are — the mutex is
+// advisory.
+package adaptive
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nztm/internal/tm"
+	"nztm/internal/trace"
+)
+
+// Groups is the fixed number of shard groups the facade multiplexes.
+// Callers map their shards onto groups (the kv store uses shard index mod
+// Groups), and AtomicMask masks are bitsets over [0, Groups).
+const Groups = 64
+
+// Mode is a shard group's execution mode.
+type Mode uint8
+
+const (
+	// Optimistic runs transactions straight through the underlying system.
+	Optimistic Mode = iota
+	// Pessimistic serializes transactions on the group's mutex first.
+	Pessimistic
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Pessimistic {
+		return "pessimistic"
+	}
+	return "optimistic"
+}
+
+// Per-group state word layout. One atomic word is the whole switch fence:
+// bit 63 is the mode, bits [31,62) count pessimistic in-flight entries,
+// bits [0,31) count optimistic in-flight entries (including probes). Entry
+// CASes the current mode's count up; exit subtracts its increment — field
+// arithmetic never borrows across fields because an exit always follows its
+// own entry. Registry capacities (≤ fixed-table slots) keep counts far
+// below 2³¹.
+const (
+	optInc   = uint64(1)
+	pesShift = 31
+	pesInc   = uint64(1) << pesShift
+	cntMask  = uint64(1)<<pesShift - 1
+	modeBit  = uint64(1) << 63
+)
+
+// group is one shard group's switch fence and pessimistic-mode lock, padded
+// so neighbouring groups' entry CASes don't false-share a cache line.
+type group struct {
+	state     atomic.Uint64 // mode bit + per-mode in-flight counts
+	epoch     atomic.Uint64 // completed switches (fences windowed signals)
+	probeTick atomic.Uint64 // pessimistic arrivals since construction
+	probes    atomic.Uint64 // cumulative probe admissions (controller reads deltas)
+	mu        sync.Mutex    // pessimistic short-critical-section lock
+	_         [64]byte
+}
+
+// System is the adaptive facade. It implements tm.System (pass-through for
+// Name/NewObject/Stats, mode-multiplexed Atomic) plus AtomicMask for
+// callers that know which groups a transaction touches. The zero value is
+// not usable; construct with New.
+type System struct {
+	under tm.System
+	stats Stats
+	rec   *trace.Recorder // bound before traffic; nil records nothing
+
+	probeEvery   atomic.Uint64
+	drainTimeout time.Duration
+
+	used    atomic.Uint64 // groups ever entered (bounds controller/export scans)
+	pesMask atomic.Uint64 // groups currently pessimistic (gauge + controller view)
+
+	groups [Groups]group
+
+	ctl struct {
+		mu   sync.Mutex
+		stop chan struct{}
+		done chan struct{}
+	}
+}
+
+// DefaultProbeEvery is the default sampling interval for optimistic probes
+// while a group is pessimistic: one arrival in every DefaultProbeEvery runs
+// lock-free so the controller can see whether contention subsided.
+const DefaultProbeEvery = 16
+
+// defaultDrainTimeout bounds how long a switch waits for the old mode's
+// in-flight transactions. A stalled transaction (the fault plane injects
+// those on purpose) must not wedge the controller: on timeout the switch is
+// already effective for new arrivals, only the drain accounting gives up.
+const defaultDrainTimeout = 2 * time.Second
+
+// New wraps under in an adaptive facade with every group optimistic.
+func New(under tm.System) *System {
+	s := &System{under: under, drainTimeout: defaultDrainTimeout}
+	s.probeEvery.Store(DefaultProbeEvery)
+	return s
+}
+
+// Name identifies the facade and its underlying system.
+func (s *System) Name() string { return "Adaptive(" + s.under.Name() + ")" }
+
+// NewObject allocates an object in the underlying system.
+func (s *System) NewObject(d tm.Data) tm.Object { return s.under.NewObject(d) }
+
+// Stats returns the underlying system's transaction counters. The facade's
+// own counters live in ModeStats.
+func (s *System) Stats() *tm.Stats { return s.under.Stats() }
+
+// Under returns the wrapped system.
+func (s *System) Under() tm.System { return s.under }
+
+// ModeStats returns the facade's switch/probe/veto counter block.
+func (s *System) ModeStats() *Stats { return &s.stats }
+
+// BindRecorder attaches a flight-recorder ring (conventionally
+// trace.AdaptiveSource) for switch, veto, and drain events. Bind before
+// starting the controller or forcing switches.
+func (s *System) BindRecorder(r *trace.Recorder) { s.rec = r }
+
+// SetProbeEvery sets the pessimistic-mode probe sampling interval: one
+// arrival in every n runs optimistically. n == 0 disables probes (the
+// controller then exits pessimistic mode only when load subsides).
+func (s *System) SetProbeEvery(n uint64) { s.probeEvery.Store(n) }
+
+// MaskGroups reports the group-bitset width understood by AtomicMask.
+func (s *System) MaskGroups() int { return Groups }
+
+// GroupMode returns g's current mode.
+func (s *System) GroupMode(g int) Mode {
+	if s.groups[g].state.Load()&modeBit != 0 {
+		return Pessimistic
+	}
+	return Optimistic
+}
+
+// GroupEpoch returns how many switches group g has completed.
+func (s *System) GroupEpoch(g int) uint64 { return s.groups[g].epoch.Load() }
+
+// PessimisticMask returns the bitset of currently pessimistic groups.
+func (s *System) PessimisticMask() uint64 { return s.pesMask.Load() }
+
+// UsedMask returns the bitset of groups any transaction ever entered.
+func (s *System) UsedMask() uint64 { return s.used.Load() }
+
+// orBits CAS-ors bits into w (atomic.Uint64.Or needs go ≥ 1.23).
+func orBits(w *atomic.Uint64, bits uint64) {
+	for {
+		old := w.Load()
+		if old&bits == bits || w.CompareAndSwap(old, old|bits) {
+			return
+		}
+	}
+}
+
+// andNotBits CAS-clears bits in w.
+func andNotBits(w *atomic.Uint64, bits uint64) {
+	for {
+		old := w.Load()
+		if old&bits == 0 || w.CompareAndSwap(old, old&^bits) {
+			return
+		}
+	}
+}
+
+// Atomic runs fn with every group pinned — the conservative mask for
+// callers that don't know their footprint. Callers that do (the kv store)
+// should use AtomicMask.
+func (s *System) Atomic(th *tm.Thread, fn func(tm.Tx) error) error {
+	return s.AtomicMask(th, ^uint64(0), fn)
+}
+
+// AtomicMask runs fn as one transaction of the underlying system, entering
+// every group in mask under that group's *current* mode first. A
+// transaction pins the mode of every group it touches: it holds a count in
+// each group's state word from entry to exit, so a concurrent SwitchMode
+// drain waits for it, and it holds the mutex of every pessimistic group it
+// entered (taken in ascending group order, which makes lock order total and
+// deadlock impossible). mask == 0 is treated as all groups.
+//
+// The stable-mode fast path allocates nothing: per touched group it is one
+// CAS on entry and one atomic add on exit, plus the underlying Atomic.
+func (s *System) AtomicMask(th *tm.Thread, mask uint64, fn func(tm.Tx) error) error {
+	if mask == 0 {
+		mask = ^uint64(0)
+	}
+	if s.used.Load()&mask != mask {
+		orBits(&s.used, mask)
+	}
+
+	var optEntered, pesLocked uint64
+	for rem := mask; rem != 0; rem &= rem - 1 {
+		g := uint(bits.TrailingZeros64(rem))
+		if s.enter(&s.groups[g]) {
+			pesLocked |= uint64(1) << g
+			s.groups[g].mu.Lock()
+		} else {
+			optEntered |= uint64(1) << g
+		}
+	}
+
+	err := s.under.Atomic(th, fn)
+
+	// Unlock before decrementing: a pes→opt drain that saw the count hit
+	// zero must not find the mutex still held long after.
+	for rem := pesLocked; rem != 0; rem &= rem - 1 {
+		s.groups[uint(bits.TrailingZeros64(rem))].mu.Unlock()
+	}
+	for rem := pesLocked; rem != 0; rem &= rem - 1 {
+		s.groups[uint(bits.TrailingZeros64(rem))].state.Add(^pesInc + 1)
+	}
+	for rem := optEntered; rem != 0; rem &= rem - 1 {
+		s.groups[uint(bits.TrailingZeros64(rem))].state.Add(^optInc + 1)
+	}
+	return err
+}
+
+// enter registers the caller with gr under its current mode and reports
+// whether the pessimistic count was taken (the caller must then lock
+// gr.mu). In pessimistic mode, every probeEvery-th arrival is admitted
+// optimistically instead — a probe — so exit signals exist.
+func (s *System) enter(gr *group) (pessimistic bool) {
+	for {
+		w := gr.state.Load()
+		if w&modeBit == 0 {
+			if gr.state.CompareAndSwap(w, w+optInc) {
+				return false
+			}
+			continue
+		}
+		if pe := s.probeEvery.Load(); pe != 0 && gr.probeTick.Add(1)%pe == 0 {
+			if gr.state.CompareAndSwap(w, w+optInc) {
+				gr.probes.Add(1)
+				s.stats.Probes.Add(1)
+				return false
+			}
+			continue
+		}
+		if gr.state.CompareAndSwap(w, w+pesInc) {
+			s.stats.PessimisticEntries.Add(1)
+			return true
+		}
+	}
+}
+
+// SwitchMode moves group g to mode m. New arrivals observe the target mode
+// the instant the state word's mode bit flips; SwitchMode then waits
+// (bounded by the drain timeout) for the old mode's in-flight count to
+// reach zero, so callers — the controller, tests — know the group has fully
+// changed over. Returns false if g was already in mode m.
+//
+// The drain wait is accounting, not safety: transactions that entered under
+// the old mode run to completion under the underlying system regardless,
+// and a timeout (a transaction stalled mid-flight) only means the
+// DrainTimeouts counter ticks instead of DrainWaits.
+func (s *System) SwitchMode(g int, m Mode) bool {
+	gr := &s.groups[g]
+	toPes := m == Pessimistic
+	for {
+		w := gr.state.Load()
+		if (w&modeBit != 0) == toPes {
+			return false
+		}
+		if gr.state.CompareAndSwap(w, w^modeBit) {
+			break
+		}
+	}
+	bit := uint64(1) << uint(g)
+	if toPes {
+		orBits(&s.pesMask, bit)
+		s.stats.SwitchesToPessimistic.Add(1)
+	} else {
+		andNotBits(&s.pesMask, bit)
+		s.stats.SwitchesToOptimistic.Add(1)
+	}
+	gr.epoch.Add(1)
+	s.drain(g, gr, toPes)
+	return true
+}
+
+// drain waits for the pre-switch mode's in-flight count to reach zero.
+func (s *System) drain(g int, gr *group, toPes bool) {
+	start := time.Now()
+	waited := false
+	for {
+		w := gr.state.Load()
+		old := w & cntMask // leaving optimistic: wait out the optimistic count
+		if !toPes {
+			old = (w >> pesShift) & cntMask
+		}
+		if old == 0 {
+			break
+		}
+		waited = true
+		if time.Since(start) > s.drainTimeout {
+			s.stats.DrainTimeouts.Add(1)
+			s.rec.Record(tm.Monotime(), trace.KindAdaptDrain,
+				uint64(g), uint64(time.Since(start)), 1)
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if waited {
+		s.stats.DrainWaits.Add(1)
+		s.rec.Record(tm.Monotime(), trace.KindAdaptDrain,
+			uint64(g), uint64(time.Since(start)), 0)
+	}
+}

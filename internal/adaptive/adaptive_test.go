@@ -1,0 +1,448 @@
+package adaptive
+
+import (
+	"fmt"
+	"math/bits"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nztm/internal/cm"
+	"nztm/internal/core"
+	"nztm/internal/tm"
+	"nztm/internal/tmtest"
+)
+
+// factory builds the facade over a real-mode NZSTM, the serving
+// configuration OpenBackend("adaptive") uses.
+func factory() tmtest.Factory {
+	return func(world tm.World, threads int) tm.System {
+		cfg := core.DefaultConfig(core.NZ, threads)
+		cfg.AckPatience = 50_000 // ns
+		cfg.Manager = cm.NewKarma(20_000)
+		return New(core.New(world, cfg))
+	}
+}
+
+// pessimisticFactory is factory with every group pre-switched to
+// pessimistic mode: the conformance suite must hold in either mode, since
+// the controller can flip a group at any moment in production.
+func pessimisticFactory() tmtest.Factory {
+	f := factory()
+	return func(world tm.World, threads int) tm.System {
+		s := f(world, threads).(*System)
+		for g := 0; g < Groups; g++ {
+			s.SwitchMode(g, Pessimistic)
+		}
+		return s
+	}
+}
+
+func TestAdaptiveConformance(t *testing.T) {
+	tmtest.Run(t, factory())
+}
+
+func TestAdaptivePessimisticConformance(t *testing.T) {
+	tmtest.Run(t, pessimisticFactory())
+}
+
+// The facade in optimistic mode is a pure pass-through, so it inherits the
+// underlying NZSTM's nonblocking property: a stalled transaction holding
+// ownership must not stop other threads. (Pessimistic mode blocks by
+// design — that is the point — so only the optimistic facade is wired to
+// the stall harness, like GlobalLock and LogTM-SE are not.)
+func TestAdaptiveStallTolerance(t *testing.T) {
+	tmtest.RunStall(t, factory())
+}
+
+func TestAdaptiveRegistryChurn(t *testing.T) {
+	tmtest.RunChurn(t, factory())
+}
+
+// TestSwitchMidBatchAtomicity is the switch-protocol test: transfer
+// transactions move value between accounts that live in different shard
+// groups (pinned via AtomicMask) while a background flipper forces both
+// groups through mode switches as fast as it can. Cross-group batches must
+// stay atomic across every switch: concurrent full-mask readers and a
+// final audit may never observe the conserved total drifting.
+func TestSwitchMidBatchAtomicity(t *testing.T) {
+	const (
+		accounts  = 8
+		workers   = 4
+		transfers = 400
+	)
+	world := tm.NewRealWorld()
+	s := factory()(world, workers+1).(*System)
+
+	objs := make([]tm.Object, accounts)
+	for i := range objs {
+		objs[i] = s.NewObject(tm.NewInts(1))
+	}
+	maskOf := func(acct int) uint64 { return uint64(1) << uint(acct%Groups) }
+
+	stop := make(chan struct{})
+	var flips int
+	var flipWG sync.WaitGroup
+	flipWG.Add(1)
+	go func() {
+		defer flipWG.Done()
+		mode := Pessimistic
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for g := 0; g < accounts; g++ {
+				s.SwitchMode(g, mode)
+			}
+			flips++
+			if mode == Pessimistic {
+				mode = Optimistic
+			} else {
+				mode = Pessimistic
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := tm.NewThread(id, tm.NewRealEnv(id, world))
+			rng := uint64(id)*2654435761 + 1
+			for i := 0; i < transfers; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				from := int(rng % accounts)
+				to := int((rng >> 8) % accounts)
+				if from == to {
+					to = (to + 1) % accounts
+				}
+				err := s.AtomicMask(th, maskOf(from)|maskOf(to), func(tx tm.Tx) error {
+					tx.Update(objs[from], func(d tm.Data) { d.(*tm.Ints).V[0] -= 10 })
+					tx.Update(objs[to], func(d tm.Data) { d.(*tm.Ints).V[0] += 10 })
+					return nil
+				})
+				if err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+				if i%16 == 0 {
+					// Audit mid-run with a full-footprint reader: a torn
+					// cross-group batch would show a nonzero total here.
+					var total int64
+					err := s.AtomicMask(th, ^uint64(0), func(tx tm.Tx) error {
+						total = 0
+						for _, o := range objs {
+							total += tx.Read(o).(*tm.Ints).V[0]
+						}
+						return nil
+					})
+					if err != nil {
+						t.Errorf("audit: %v", err)
+						return
+					}
+					if total != 0 {
+						t.Errorf("conservation violated mid-run: total=%d", total)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	flipWG.Wait()
+
+	th := tm.NewThread(workers, tm.NewRealEnv(workers, world))
+	var total int64
+	if err := s.Atomic(th, func(tx tm.Tx) error {
+		total = 0
+		for _, o := range objs {
+			total += tx.Read(o).(*tm.Ints).V[0]
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("final audit: %v", err)
+	}
+	if total != 0 {
+		t.Fatalf("conservation violated: final total=%d", total)
+	}
+	if flips == 0 {
+		t.Fatal("flipper made no mode switches — the test exercised nothing")
+	}
+	st := s.ModeStats()
+	if st.SwitchesToPessimistic.Load() == 0 || st.SwitchesToOptimistic.Load() == 0 {
+		t.Fatalf("expected switches in both directions, got pes=%d opt=%d",
+			st.SwitchesToPessimistic.Load(), st.SwitchesToOptimistic.Load())
+	}
+	// In-flight counts must fully drain: any leak would wedge a later
+	// switch's drain wait.
+	for g := 0; g < accounts; g++ {
+		w := s.groups[g].state.Load()
+		if opt, pes := w&cntMask, (w>>pesShift)&cntMask; opt != 0 || pes != 0 {
+			t.Fatalf("group %d leaked in-flight counts: opt=%d pes=%d", g, opt, pes)
+		}
+	}
+}
+
+// fakeSignals is a hand-cranked controller feed.
+type fakeSignals struct {
+	commits, aborts [Groups]uint64
+}
+
+func (f *fakeSignals) GroupCounters(g int) (uint64, uint64) {
+	return f.commits[g], f.aborts[g]
+}
+
+// TestControllerHysteresis drives judge directly (no goroutine, no timing)
+// through the rule table: enter on high abort rate, veto on thin windows,
+// veto on short dwell, exit on clean probes, exit on subsided load.
+func TestControllerHysteresis(t *testing.T) {
+	s := factory()(tm.NewRealWorld(), 2).(*System)
+	sig := &fakeSignals{}
+	cfg := ControllerConfig{}.withDefaults()
+	st := s.ModeStats()
+	past := time.Now().Add(-time.Hour)
+
+	// Rule 1: high abort fraction over a trusted window → pessimistic.
+	w0 := &groupWindow{lastSwitch: past}
+	sig.commits[0], sig.aborts[0] = 40, 60 // rate 0.6 ≥ 0.5, attempts 100 ≥ 32
+	s.judge(sig, cfg, 0, w0)
+	if s.GroupMode(0) != Pessimistic {
+		t.Fatal("high-contention group did not enter pessimistic mode")
+	}
+
+	// Rule 2: same rate on a thin window → vetoed on volume.
+	w1 := &groupWindow{lastSwitch: past}
+	sig.commits[1], sig.aborts[1] = 4, 6 // rate 0.6, attempts 10 < 32
+	s.judge(sig, cfg, 1, w1)
+	if s.GroupMode(1) != Optimistic {
+		t.Fatal("thin window switched despite volume veto")
+	}
+	if st.VetoedVolume.Load() == 0 {
+		t.Fatal("volume veto not counted")
+	}
+
+	// Rule 3: high rate but recent switch → vetoed on dwell.
+	w2 := &groupWindow{lastSwitch: time.Now()}
+	sig.commits[2], sig.aborts[2] = 40, 60
+	s.judge(sig, cfg, 2, w2)
+	if s.GroupMode(2) != Optimistic {
+		t.Fatal("group switched inside the dwell window")
+	}
+	if st.VetoedDwell.Load() == 0 {
+		t.Fatal("dwell veto not counted")
+	}
+
+	// Rule 4: pessimistic group with clean probes → back to optimistic.
+	// (Group 0 is pessimistic from rule 1; window counters already consumed.)
+	w0.lastSwitch = past
+	sig.commits[0] += 100                               // busy window, attempts ≥ MinOps
+	s.groups[0].probes.Store(w0.probes + cfg.MinProbes) // enough probes, zero new aborts
+	s.judge(sig, cfg, 0, w0)
+	if s.GroupMode(0) != Optimistic {
+		t.Fatal("clean probes did not exit pessimistic mode")
+	}
+	if st.SwitchesToOptimistic.Load() == 0 {
+		t.Fatal("exit switch not counted")
+	}
+
+	// Rule 5: pessimistic group whose load subsides → released.
+	s.SwitchMode(3, Pessimistic)
+	w3 := &groupWindow{lastSwitch: past,
+		commits: sig.commits[3], aborts: sig.aborts[3]}
+	sig.commits[3] += 2 // attempts 2 < MinOps: idle
+	s.judge(sig, cfg, 3, w3)
+	if s.GroupMode(3) != Optimistic {
+		t.Fatal("idle pessimistic group was not released")
+	}
+}
+
+// TestControllerEndToEnd runs the real controller goroutine against a
+// synthetic hot signal and waits for it to flip the group, then cools the
+// signal and waits for the exit — the live-loop complement of the direct
+// judge test.
+func TestControllerEndToEnd(t *testing.T) {
+	s := factory()(tm.NewRealWorld(), 2).(*System)
+	// Mark group 5 used so the controller looks at it.
+	orBits(&s.used, 1<<5)
+	sig := &fakeSignals{}
+	var mu sync.Mutex
+	hot := true
+	feed := signalFunc(func(g int) (uint64, uint64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if g != 5 {
+			return 0, 0
+		}
+		if hot {
+			sig.commits[5] += 20
+			sig.aborts[5] += 80
+		} else {
+			sig.commits[5] += 100
+		}
+		return sig.commits[5], sig.aborts[5]
+	})
+	err := s.StartController(feed, ControllerConfig{
+		Interval:  2 * time.Millisecond,
+		MinDwell:  5 * time.Millisecond,
+		MinOps:    10,
+		MinProbes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.StopController()
+
+	waitFor := func(m Mode, what string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for s.GroupMode(5) != m {
+			if time.Now().After(deadline) {
+				t.Fatalf("controller never %s (mode=%v, stats=%+v)", what, s.GroupMode(5), s.stats.SwitchesToPessimistic.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(Pessimistic, "entered pessimistic mode on a hot group")
+	mu.Lock()
+	hot = false
+	// Exit needs probe traffic; synthesize probe admissions.
+	mu.Unlock()
+	go func() {
+		for s.GroupMode(5) == Pessimistic {
+			s.groups[5].probes.Add(2)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	waitFor(Optimistic, "exited pessimistic mode after the group cooled")
+
+	if s.stats.ControllerTicks.Load() == 0 {
+		t.Fatal("controller ticks not counted")
+	}
+	if err := s.StartController(feed, ControllerConfig{}); err == nil {
+		t.Fatal("second StartController did not fail")
+	}
+}
+
+// signalFunc adapts a function to Signals.
+type signalFunc func(g int) (uint64, uint64)
+
+func (f signalFunc) GroupCounters(g int) (uint64, uint64) { return f(g) }
+
+// TestStartControllerValidates rejects inverted hysteresis thresholds.
+func TestStartControllerValidates(t *testing.T) {
+	s := factory()(tm.NewRealWorld(), 1).(*System)
+	err := s.StartController(&fakeSignals{}, ControllerConfig{
+		EnterAbortRate: 0.1, ExitAbortRate: 0.5,
+	})
+	if err == nil {
+		s.StopController()
+		t.Fatal("inverted thresholds accepted")
+	}
+}
+
+// TestProbeAdmission forces a group pessimistic and checks that every
+// probeEvery-th arrival runs without the mutex and is counted.
+func TestProbeAdmission(t *testing.T) {
+	world := tm.NewRealWorld()
+	s := factory()(world, 2).(*System)
+	s.SetProbeEvery(4)
+	s.SwitchMode(0, Pessimistic)
+	th := tm.NewThread(0, tm.NewRealEnv(0, world))
+	o := s.NewObject(tm.NewInts(1))
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := s.AtomicMask(th, 1, func(tx tm.Tx) error {
+			tx.Update(o, func(d tm.Data) { d.(*tm.Ints).V[0]++ })
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.ModeStats()
+	if got := st.Probes.Load(); got != n/4 {
+		t.Fatalf("probes: got %d, want %d", got, n/4)
+	}
+	if got := st.PessimisticEntries.Load(); got != n-n/4 {
+		t.Fatalf("pessimistic entries: got %d, want %d", got, n-n/4)
+	}
+}
+
+// TestAdaptiveStatsCoverage guards the stats contract by reflection, the
+// same pattern as tm.Stats and server.SchedStats: every atomic.Uint64
+// field of Stats must appear (with its value) in both the "adaptive:"
+// /statsz line and the nztm_adaptive_* /metricsz series.
+func TestAdaptiveStatsCoverage(t *testing.T) {
+	s := factory()(tm.NewRealWorld(), 1).(*System)
+	rv := reflect.ValueOf(&s.stats).Elem()
+	rt := rv.Type()
+	n := 0
+	for i := 0; i < rt.NumField(); i++ {
+		c, ok := rv.Field(i).Addr().Interface().(*atomic.Uint64)
+		if !ok {
+			t.Fatalf("Stats.%s is not atomic.Uint64 — extend the coverage test", rt.Field(i).Name)
+		}
+		c.Store(uint64(i + 1))
+		n++
+	}
+	if n == 0 {
+		t.Fatal("Stats has no counters")
+	}
+	// Give the gauges something to show.
+	orBits(&s.used, 0b101)
+	s.SwitchMode(2, Pessimistic)
+
+	var statsz, metricsz strings.Builder
+	s.WriteStatsz(&statsz)
+	s.WriteMetricsz(&metricsz)
+	for i := 0; i < rt.NumField(); i++ {
+		name := adaptSnake(rt.Field(i).Name)
+		var wantV uint64 = uint64(i + 1)
+		if rt.Field(i).Name == "SwitchesToPessimistic" {
+			wantV++ // the forced switch above bumped it
+		}
+		if want := fmt.Sprintf("%s=%d", name, wantV); !strings.Contains(statsz.String(), want) {
+			t.Errorf("statsz missing %q:\n%s", want, statsz.String())
+		}
+		if want := fmt.Sprintf("nztm_adaptive_%s_total %d", name, wantV); !strings.Contains(metricsz.String(), want) {
+			t.Errorf("metricsz missing %q:\n%s", want, metricsz.String())
+		}
+	}
+	for _, want := range []string{"pessimistic_groups=1", "g0=optimistic/0", "g2=pessimistic/1"} {
+		if !strings.Contains(statsz.String(), want) {
+			t.Errorf("statsz missing %q:\n%s", want, statsz.String())
+		}
+	}
+	for _, want := range []string{
+		"nztm_adaptive_pessimistic_groups 1",
+		`nztm_adaptive_group_mode{group="0"} 0`,
+		`nztm_adaptive_group_mode{group="2"} 1`,
+	} {
+		if !strings.Contains(metricsz.String(), want) {
+			t.Errorf("metricsz missing %q:\n%s", want, metricsz.String())
+		}
+	}
+	if bits.OnesCount64(s.PessimisticMask()) != 1 {
+		t.Fatal("pessimistic mask gauge wrong")
+	}
+}
+
+// TestMaskZeroMeansAll: a zero mask is the conservative full footprint.
+func TestMaskZeroMeansAll(t *testing.T) {
+	world := tm.NewRealWorld()
+	s := factory()(world, 2).(*System)
+	th := tm.NewThread(0, tm.NewRealEnv(0, world))
+	if err := s.AtomicMask(th, 0, func(tx tm.Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s.UsedMask() != ^uint64(0) {
+		t.Fatalf("zero mask did not pin all groups: used=%#x", s.UsedMask())
+	}
+}

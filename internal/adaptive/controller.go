@@ -1,0 +1,219 @@
+package adaptive
+
+import (
+	"fmt"
+	"time"
+
+	"nztm/internal/tm"
+	"nztm/internal/trace"
+)
+
+// Signals is the contention feed the controller samples. The kv store
+// implements it from its per-shard metrics counters: commits and aborts are
+// cumulative *attempt-weighted operation* counts attributed to group g (an
+// operation retried three times contributes three aborts), so the windowed
+// delta ratio aborts/(commits+aborts) is the fraction of work wasted on
+// speculation — exactly the quantity the pessimistic mode exists to
+// eliminate.
+type Signals interface {
+	GroupCounters(g int) (commits, aborts uint64)
+}
+
+// ControllerConfig tunes the mode controller's hysteresis. The zero value
+// of any field selects its default. Enter and exit thresholds must differ
+// (enter > exit) — equal thresholds would let a workload sitting on the
+// boundary thrash between modes every tick, the failure mode hysteresis
+// exists to prevent.
+type ControllerConfig struct {
+	// Interval is the sampling tick (default 100ms). Each tick reads every
+	// used group's cumulative counters and judges the delta window.
+	Interval time.Duration
+	// EnterAbortRate is the windowed abort fraction at or above which an
+	// optimistic group goes pessimistic (default 0.5: half the window's
+	// attempts were wasted).
+	EnterAbortRate float64
+	// ExitAbortRate is the probe abort fraction at or below which a
+	// pessimistic group returns to optimistic (default 0.1). It must be
+	// below EnterAbortRate.
+	ExitAbortRate float64
+	// MinOps is the minimum attempts in a window for its abort rate to be
+	// trusted (default 32). Windows below it cannot trigger
+	// enter-pessimistic (VetoedVolume counts the suppressions) — and a
+	// pessimistic group whose window falls below it is considered idle and
+	// released back to optimistic.
+	MinOps uint64
+	// MinProbes is the minimum probe admissions in a window for the exit
+	// signal to be judged (default 4).
+	MinProbes uint64
+	// MinDwell is the minimum time a group stays in a mode after any switch
+	// (default 1s). Switches demanded sooner are suppressed and counted in
+	// VetoedDwell.
+	MinDwell time.Duration
+}
+
+// Defaults for ControllerConfig zero fields.
+const (
+	DefaultInterval       = 100 * time.Millisecond
+	DefaultEnterAbortRate = 0.5
+	DefaultExitAbortRate  = 0.1
+	DefaultMinOps         = 32
+	DefaultMinProbes      = 4
+	DefaultMinDwell       = time.Second
+)
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.EnterAbortRate == 0 {
+		c.EnterAbortRate = DefaultEnterAbortRate
+	}
+	if c.ExitAbortRate == 0 {
+		c.ExitAbortRate = DefaultExitAbortRate
+	}
+	if c.MinOps == 0 {
+		c.MinOps = DefaultMinOps
+	}
+	if c.MinProbes == 0 {
+		c.MinProbes = DefaultMinProbes
+	}
+	if c.MinDwell <= 0 {
+		c.MinDwell = DefaultMinDwell
+	}
+	return c
+}
+
+// groupWindow is the controller's per-group memory between ticks.
+type groupWindow struct {
+	commits, aborts, probes uint64 // last cumulative readings
+	lastSwitch              time.Time
+}
+
+// StartController launches the mode-controller goroutine: every Interval it
+// reads each used group's windowed contention signals from sig and applies
+// the hysteresis rules (see judge). Returns an error if the thresholds are
+// inverted or a controller is already running. Stop with StopController.
+func (s *System) StartController(sig Signals, cfg ControllerConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.EnterAbortRate <= cfg.ExitAbortRate {
+		return fmt.Errorf("adaptive: enter-pessimistic threshold %.3f must exceed exit threshold %.3f (hysteresis)",
+			cfg.EnterAbortRate, cfg.ExitAbortRate)
+	}
+	s.ctl.mu.Lock()
+	defer s.ctl.mu.Unlock()
+	if s.ctl.stop != nil {
+		return fmt.Errorf("adaptive: controller already running")
+	}
+	s.ctl.stop = make(chan struct{})
+	s.ctl.done = make(chan struct{})
+	go s.controlLoop(sig, cfg, s.ctl.stop, s.ctl.done)
+	return nil
+}
+
+// StopController stops the controller goroutine and waits for it to exit.
+// Safe to call when no controller is running.
+func (s *System) StopController() {
+	s.ctl.mu.Lock()
+	stop, done := s.ctl.stop, s.ctl.done
+	s.ctl.stop, s.ctl.done = nil, nil
+	s.ctl.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func (s *System) controlLoop(sig Signals, cfg ControllerConfig, stop, done chan struct{}) {
+	defer close(done)
+	var win [Groups]groupWindow
+	start := time.Now()
+	for i := range win {
+		win[i].lastSwitch = start // dwell counts from controller start
+	}
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		s.stats.ControllerTicks.Add(1)
+		used := s.used.Load()
+		for g := 0; g < Groups; g++ {
+			if used&(uint64(1)<<uint(g)) == 0 {
+				continue
+			}
+			s.judge(sig, cfg, g, &win[g])
+		}
+	}
+}
+
+// judge applies the hysteresis rules to one group's tick window.
+//
+// Optimistic group: if the window's abort fraction reaches EnterAbortRate
+// the group wants to serialize — but the switch is vetoed if the window is
+// too small to trust (VetoedVolume) or the group switched too recently
+// (VetoedDwell). Pessimistic group: the exit signal is either load
+// subsiding (window below MinOps — contention cannot exist without
+// traffic) or probes committing cleanly (probe abort fraction at or below
+// ExitAbortRate over at least MinProbes probes); dwell vetoes apply the
+// same way. Every decision — switch or veto — is traced.
+func (s *System) judge(sig Signals, cfg ControllerConfig, g int, w *groupWindow) {
+	commits, aborts := sig.GroupCounters(g)
+	probes := s.groups[g].probes.Load()
+	dc, da, dp := commits-w.commits, aborts-w.aborts, probes-w.probes
+	w.commits, w.aborts, w.probes = commits, aborts, probes
+
+	attempts := dc + da
+	now := time.Now()
+	dwell := now.Sub(w.lastSwitch)
+
+	if s.pesMask.Load()&(uint64(1)<<uint(g)) == 0 {
+		if attempts == 0 {
+			return
+		}
+		rate := float64(da) / float64(attempts)
+		if rate < cfg.EnterAbortRate {
+			return
+		}
+		if attempts < cfg.MinOps {
+			s.stats.VetoedVolume.Add(1)
+			s.rec.Record(tm.Monotime(), trace.KindAdaptVeto, uint64(g), ppm(rate), 2)
+			return
+		}
+		if dwell < cfg.MinDwell {
+			s.stats.VetoedDwell.Add(1)
+			s.rec.Record(tm.Monotime(), trace.KindAdaptVeto, uint64(g), ppm(rate), 1)
+			return
+		}
+		s.rec.Record(tm.Monotime(), trace.KindAdaptSwitch, uint64(g), ppm(rate), 1)
+		s.SwitchMode(g, Pessimistic)
+		w.lastSwitch = now
+		return
+	}
+
+	exit := false
+	rate := 0.0
+	if attempts < cfg.MinOps {
+		exit = true // load subsided; release the group
+	} else if dp >= cfg.MinProbes {
+		rate = float64(da) / float64(da+dp)
+		exit = rate <= cfg.ExitAbortRate
+	}
+	if !exit {
+		return
+	}
+	if dwell < cfg.MinDwell {
+		s.stats.VetoedDwell.Add(1)
+		s.rec.Record(tm.Monotime(), trace.KindAdaptVeto, uint64(g), ppm(rate), 1)
+		return
+	}
+	s.rec.Record(tm.Monotime(), trace.KindAdaptSwitch, uint64(g), ppm(rate), 0)
+	s.SwitchMode(g, Optimistic)
+	w.lastSwitch = now
+}
+
+// ppm renders a [0,1] rate as integer parts-per-million for trace events.
+func ppm(rate float64) uint64 { return uint64(rate * 1e6) }

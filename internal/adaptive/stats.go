@@ -1,0 +1,120 @@
+package adaptive
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"reflect"
+	"strings"
+	"sync/atomic"
+
+	"nztm/internal/metrics"
+)
+
+// Stats is the facade's counter block. Every atomic.Uint64 field is
+// exported through WriteStatsz (one "adaptive:" line) and WriteMetricsz
+// (one nztm_adaptive_<snake_case> series each) by reflection — the same
+// contract as tm.Stats and server.SchedStats, enforced by the coverage
+// test in adaptive_test.go: adding a counter here is all it takes to
+// export it everywhere.
+type Stats struct {
+	// SwitchesToPessimistic counts group switches into pessimistic mode.
+	SwitchesToPessimistic atomic.Uint64
+	// SwitchesToOptimistic counts group switches back to optimistic mode.
+	SwitchesToOptimistic atomic.Uint64
+	// DrainWaits counts switches that had to wait for the old mode's
+	// in-flight transactions to drain (and saw them drain).
+	DrainWaits atomic.Uint64
+	// DrainTimeouts counts switches whose bounded drain wait expired with
+	// old-mode transactions still in flight (e.g. stalled by the fault
+	// plane). The switch is still effective for new arrivals.
+	DrainTimeouts atomic.Uint64
+	// VetoedDwell counts switches suppressed because the group changed
+	// mode too recently (ControllerConfig.MinDwell).
+	VetoedDwell atomic.Uint64
+	// VetoedVolume counts enter-pessimistic decisions suppressed because
+	// the window held too few attempts to trust its abort rate
+	// (ControllerConfig.MinOps).
+	VetoedVolume atomic.Uint64
+	// Probes counts optimistic probe transactions admitted while their
+	// group was pessimistic.
+	Probes atomic.Uint64
+	// PessimisticEntries counts transactions that took a group mutex.
+	PessimisticEntries atomic.Uint64
+	// ControllerTicks counts controller sampling ticks.
+	ControllerTicks atomic.Uint64
+}
+
+// adaptSnake converts a Go field name to snake_case.
+func adaptSnake(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// fields iterates the counters as (snake_case name, value).
+func (st *Stats) fields(fn func(name string, v uint64)) {
+	rv := reflect.ValueOf(st).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		c, ok := rv.Field(i).Addr().Interface().(*atomic.Uint64)
+		if !ok {
+			continue
+		}
+		fn(adaptSnake(rt.Field(i).Name), c.Load())
+	}
+}
+
+// WriteStatsz appends the facade's counters and mode gauges as one
+// "adaptive:" line plus one "adaptive-modes:" line naming each used
+// group's current mode and epoch.
+func (s *System) WriteStatsz(w io.Writer) {
+	fmt.Fprintf(w, "adaptive:")
+	s.stats.fields(func(name string, v uint64) {
+		fmt.Fprintf(w, " %s=%d", name, v)
+	})
+	pes := s.pesMask.Load()
+	fmt.Fprintf(w, " pessimistic_groups=%d\n", bits.OnesCount64(pes))
+	used := s.used.Load()
+	if used == 0 {
+		return
+	}
+	fmt.Fprintf(w, "adaptive-modes:")
+	for rem := used; rem != 0; rem &= rem - 1 {
+		g := bits.TrailingZeros64(rem)
+		fmt.Fprintf(w, " g%d=%s/%d", g, s.GroupMode(g), s.GroupEpoch(g))
+	}
+	fmt.Fprintf(w, "\n")
+}
+
+// WriteMetricsz appends one Prometheus counter per Stats field, the
+// pessimistic-group-count gauge, and a per-group mode gauge (1 =
+// pessimistic) for every group that has ever seen traffic.
+func (s *System) WriteMetricsz(w io.Writer) {
+	s.stats.fields(func(name string, v uint64) {
+		metrics.Counter(w, "nztm_adaptive_"+name+"_total", v)
+	})
+	metrics.Gauge(w, "nztm_adaptive_pessimistic_groups",
+		float64(bits.OnesCount64(s.pesMask.Load())))
+	used := s.used.Load()
+	if used == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE nztm_adaptive_group_mode gauge\n")
+	for rem := used; rem != 0; rem &= rem - 1 {
+		g := bits.TrailingZeros64(rem)
+		mode := 0
+		if s.GroupMode(g) == Pessimistic {
+			mode = 1
+		}
+		fmt.Fprintf(w, "nztm_adaptive_group_mode{group=\"%d\"} %d\n", g, mode)
+	}
+}

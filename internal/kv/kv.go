@@ -131,9 +131,20 @@ var ErrBudget = errors.New("kv: retry budget exhausted")
 // never escapes Do.
 var errCASMiss = errors.New("kv: cas expectation failed")
 
+// maskedSystem is the optional tm.System extension the adaptive facade
+// (and the fault-plane wrapper around it) implements: Atomic plus a bitset
+// naming the shard groups the transaction will touch, so per-group
+// execution modes can be pinned for exactly the request's footprint. The
+// mask is a bitset over [0, MaskGroups()); MaskGroups must be ≤ 64.
+type maskedSystem interface {
+	AtomicMask(th *tm.Thread, mask uint64, fn func(tm.Tx) error) error
+	MaskGroups() int
+}
+
 // Store is the sharded transactional key-value store.
 type Store struct {
 	sys     tm.System
+	masked  maskedSystem  // non-nil when sys routes per-group execution modes
 	shards  [][]tm.Object // shards[s][b] is one transactional bucket
 	buckets int           // buckets per shard
 	metrics *Metrics      // nil until EnableMetrics; nil is fully inert
@@ -160,6 +171,9 @@ func New(sys tm.System, shards, bucketsPerShard int) *Store {
 // of transactions.
 func buildStore(sys tm.System, shards, bucketsPerShard int, recovered []map[string][]byte) *Store {
 	s := &Store{sys: sys, buckets: bucketsPerShard}
+	if ms, ok := sys.(maskedSystem); ok && ms.MaskGroups() > 0 && ms.MaskGroups() <= 64 {
+		s.masked = ms
+	}
 	data := make([][]*bucketData, shards)
 	for i := range data {
 		data[i] = make([]*bucketData, bucketsPerShard)
@@ -188,6 +202,28 @@ func buildStore(sys tm.System, shards, bucketsPerShard int, recovered []map[stri
 
 // System returns the backing TM system (for stats reporting).
 func (s *Store) System() tm.System { return s.sys }
+
+// GroupCounters implements the adaptive controller's Signals feed:
+// cumulative committed and aborted attempt-weighted operation counts summed
+// over every shard that maps to group g (shard index modulo the facade's
+// group count — the same rule the mask routing in do uses). Zeros until
+// EnableMetrics.
+func (s *Store) GroupCounters(g int) (commits, aborts uint64) {
+	m := s.metrics
+	if m == nil {
+		return 0, 0
+	}
+	groups := 64
+	if s.masked != nil {
+		groups = s.masked.MaskGroups()
+	}
+	for i := g; i < len(s.shards); i += groups {
+		c, a := m.ShardCounters(i)
+		commits += c
+		aborts += a
+	}
+	return commits, aborts
+}
 
 // Shards returns the shard count.
 func (s *Store) Shards() int { return len(s.shards) }
@@ -263,7 +299,7 @@ func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool) ([]Resu
 	if s.dur != nil {
 		da = newDurAttempt()
 	}
-	err := s.sys.Atomic(th, func(tx tm.Tx) error {
+	body := func(tx tm.Tx) error {
 		attempt++
 		if budget.MaxAttempts > 0 && attempt > budget.MaxAttempts {
 			return ErrBudget
@@ -356,7 +392,23 @@ func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool) ([]Resu
 			}
 		}
 		return nil
-	})
+	}
+	var err error
+	if s.masked != nil {
+		// Pin the execution mode of every shard group the batch touches
+		// for the whole retried request. The extra hash per op is the
+		// entire cost of mask routing; the closure and results were
+		// already allocated either way.
+		var mask uint64
+		groups := uint64(s.masked.MaskGroups())
+		for i := range ops {
+			shard := fnv1a(ops[i].Key) % uint64(len(s.shards))
+			mask |= uint64(1) << (shard % groups)
+		}
+		err = s.masked.AtomicMask(th, mask, body)
+	} else {
+		err = s.sys.Atomic(th, body)
+	}
 	committed := err == nil
 	if errors.Is(err, errCASMiss) {
 		// The transaction's effects were discarded; the results slice
@@ -382,6 +434,9 @@ func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool) ([]Resu
 	if m != nil {
 		m.CommitLatency.Observe(time.Since(start))
 		m.Retries.ObserveValue(uint64(attempt - 1))
+		if committed {
+			m.noteCommittedOps(ops)
+		}
 	}
 	return results, vec, nil
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"nztm/internal/metrics"
 )
@@ -16,26 +18,64 @@ import (
 // full are counted in the shard's overflow tally instead of individually.
 const hotKeysPerShard = 128
 
+// DefaultHotspotWindow is the default hotspot decay window. Counts are
+// epoch-rotated: each table keeps a current and a previous window, reports
+// sum both, and rotation retires the previous one — so a key that stops
+// aborting disappears from TopK within two windows. Cumulative-since-start
+// counts could never show contention *subsiding*, which the adaptive
+// controller's exit-pessimistic rule depends on.
+const DefaultHotspotWindow = 15 * time.Second
+
 // hotShard is one shard's abort-attribution table. A mutex (not atomics) is
 // fine here: the table is only touched on the retry path, which has already
 // paid for an aborted transaction and usually a backoff sleep.
 type hotShard struct {
 	mu       sync.Mutex
-	counts   map[string]uint64
-	overflow uint64 // aborts on keys the full table could not admit
+	cur      map[string]uint64 // current window
+	prev     map[string]uint64 // last completed window
+	overflow uint64            // cumulative aborts on keys a full table could not admit
 }
 
 func (h *hotShard) note(key string) {
 	h.mu.Lock()
-	if h.counts == nil {
-		h.counts = make(map[string]uint64, hotKeysPerShard)
+	if h.cur == nil {
+		h.cur = make(map[string]uint64, hotKeysPerShard)
 	}
-	if _, ok := h.counts[key]; ok || len(h.counts) < hotKeysPerShard {
-		h.counts[key]++
+	if _, ok := h.cur[key]; ok || len(h.cur) < hotKeysPerShard {
+		h.cur[key]++
 	} else {
 		h.overflow++
 	}
 	h.mu.Unlock()
+}
+
+// rotate retires the previous window and starts a new current one.
+func (h *hotShard) rotate() {
+	h.mu.Lock()
+	h.prev = h.cur
+	h.cur = nil
+	h.mu.Unlock()
+}
+
+// sum merges both windows into out.
+func (h *hotShard) sum(out map[string]uint64) {
+	h.mu.Lock()
+	for key, n := range h.cur {
+		out[key] += n
+	}
+	for key, n := range h.prev {
+		out[key] += n
+	}
+	h.mu.Unlock()
+}
+
+// shardCounters is one shard's cumulative attempt-weighted operation
+// counters — the adaptive controller's contention signal. Padded so
+// adjacent shards' commit bumps don't false-share a cache line.
+type shardCounters struct {
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	_       [48]byte
 }
 
 // Hotspot is one entry of the top-K aborted-keys report.
@@ -60,12 +100,70 @@ type Metrics struct {
 	// BackoffTime is the duration of each retry backoff sleep.
 	BackoffTime metrics.Histogram
 
-	hot []hotShard // indexed like Store.shards
+	hot   []hotShard      // indexed like Store.shards
+	shard []shardCounters // indexed like Store.shards
+
+	// Hotspot window rotation state. Rotation is lazy (checked on the note
+	// and report paths) so no timer goroutine is needed.
+	winMu    sync.Mutex
+	window   time.Duration // 0 disables decay (cumulative counts)
+	winStart time.Time
 }
 
 // newMetrics sizes the hotspot table to the store's shard geometry.
 func newMetrics(shards int) *Metrics {
-	return &Metrics{hot: make([]hotShard, shards)}
+	return &Metrics{
+		hot:      make([]hotShard, shards),
+		shard:    make([]shardCounters, shards),
+		window:   DefaultHotspotWindow,
+		winStart: time.Now(),
+	}
+}
+
+// SetHotspotWindow sets the hotspot decay window (0 disables decay). Set
+// before serving; not synchronized against concurrent rotation checks.
+func (m *Metrics) SetHotspotWindow(d time.Duration) {
+	m.window = d
+	m.winStart = time.Now()
+}
+
+// maybeRotate performs any due lazy window rotations.
+func (m *Metrics) maybeRotate(now time.Time) {
+	if m.window <= 0 {
+		return
+	}
+	m.winMu.Lock()
+	for !now.Before(m.winStart.Add(m.window)) {
+		for i := range m.hot {
+			m.hot[i].rotate()
+		}
+		if elapsed := now.Sub(m.winStart); elapsed >= 2*m.window {
+			// Idle gap spanning multiple windows: both windows are stale.
+			for i := range m.hot {
+				m.hot[i].rotate()
+			}
+			m.winStart = now
+			break
+		}
+		m.winStart = m.winStart.Add(m.window)
+	}
+	m.winMu.Unlock()
+}
+
+// RotateHotspots forces one window rotation: current counts become the
+// previous window, and the window before that is forgotten. Two rotations
+// with no intervening aborts empty the tables — what the cooled-key test
+// and deterministic controller experiments rely on.
+func (m *Metrics) RotateHotspots() {
+	if m == nil {
+		return
+	}
+	for i := range m.hot {
+		m.hot[i].rotate()
+	}
+	m.winMu.Lock()
+	m.winStart = time.Now()
+	m.winMu.Unlock()
 }
 
 // noteAbortedOps attributes one aborted attempt to every key the batch
@@ -77,27 +175,52 @@ func (m *Metrics) noteAbortedOps(ops []Op) {
 	if m == nil {
 		return
 	}
+	m.maybeRotate(time.Now())
 	for i := range ops {
 		key := ops[i].Key
-		m.hot[fnv1a(key)%uint64(len(m.hot))].note(key)
+		shard := fnv1a(key) % uint64(len(m.hot))
+		m.hot[shard].note(key)
+		m.shard[shard].aborts.Add(1)
 	}
 }
 
-// TopK returns the k most-aborted keys across all shards, most aborted
-// first (ties broken by key for determinism). k <= 0 returns all tracked
-// keys.
+// noteCommittedOps bumps every touched shard's committed-operation counter.
+// Together with the abort counters this gives the adaptive controller a
+// windowed abort *fraction* per shard group — aborts alone can't
+// distinguish "hot and failing" from "busy and fine".
+func (m *Metrics) noteCommittedOps(ops []Op) {
+	if m == nil {
+		return
+	}
+	for i := range ops {
+		m.shard[fnv1a(ops[i].Key)%uint64(len(m.shard))].commits.Add(1)
+	}
+}
+
+// ShardCounters returns shard i's cumulative committed and aborted
+// attempt-weighted operation counts.
+func (m *Metrics) ShardCounters(i int) (commits, aborts uint64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.shard[i].commits.Load(), m.shard[i].aborts.Load()
+}
+
+// TopK returns the k most-aborted keys across all shards within the last
+// two decay windows (all time when decay is disabled), most aborted first
+// (ties broken by key for determinism). k <= 0 returns all tracked keys.
 func (m *Metrics) TopK(k int) []Hotspot {
 	if m == nil {
 		return nil
 	}
-	var all []Hotspot
+	m.maybeRotate(time.Now())
+	merged := make(map[string]uint64)
 	for i := range m.hot {
-		h := &m.hot[i]
-		h.mu.Lock()
-		for key, n := range h.counts {
-			all = append(all, Hotspot{Key: key, Aborts: n})
-		}
-		h.mu.Unlock()
+		m.hot[i].sum(merged)
+	}
+	all := make([]Hotspot, 0, len(merged))
+	for key, n := range merged {
+		all = append(all, Hotspot{Key: key, Aborts: n})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Aborts != all[j].Aborts {

@@ -136,3 +136,101 @@ func TestMetricsTopKOrderAndOverflow(t *testing.T) {
 		t.Fatalf("existing key stopped counting after overflow: %+v", got)
 	}
 }
+
+// TestHotspotWindowDecay is the satellite gate for windowed hotspot decay:
+// a key that was hot but cools down must leave TopK within two window
+// rotations, while a key that keeps aborting stays. Cumulative-since-start
+// counts (the pre-decay behaviour) could never show this — and the adaptive
+// controller's exit-pessimistic rule depends on contention being able to
+// visibly subside.
+func TestHotspotWindowDecay(t *testing.T) {
+	m := newMetrics(4)
+	ops := func(key string) []Op { return []Op{{Kind: OpPut, Key: key}} }
+	for i := 0; i < 50; i++ {
+		m.noteAbortedOps(ops("cooled"))
+	}
+	m.noteAbortedOps(ops("steady"))
+	if top := m.TopK(1); len(top) != 1 || top[0].Key != "cooled" {
+		t.Fatalf("TopK(1) = %+v, want \"cooled\" on top", top)
+	}
+
+	// One rotation: the cooled key survives in the previous window (TopK
+	// sums both windows, so a briefly-quiet key doesn't flap out).
+	m.RotateHotspots()
+	m.noteAbortedOps(ops("steady"))
+	if top := m.TopK(0); len(top) != 2 {
+		t.Fatalf("after one rotation TopK(0) = %+v, want both keys", top)
+	}
+
+	// Second rotation with no further aborts on "cooled": it must be gone.
+	m.RotateHotspots()
+	m.noteAbortedOps(ops("steady"))
+	top := m.TopK(0)
+	if len(top) != 1 || top[0].Key != "steady" {
+		t.Fatalf("cooled key still in TopK after two windows: %+v", top)
+	}
+
+	// Overflow stays cumulative across rotations.
+	for i := 0; i < hotKeysPerShard*4+10; i++ {
+		m.noteAbortedOps(ops(fmt.Sprintf("fill%d", i)))
+	}
+	before := m.OverflowAborts()
+	if before == 0 {
+		t.Fatal("expected overflow")
+	}
+	m.RotateHotspots()
+	if got := m.OverflowAborts(); got != before {
+		t.Fatalf("overflow changed across rotation: %d -> %d", before, got)
+	}
+}
+
+// TestHotspotLazyRotation drives the time-based rotation path directly.
+func TestHotspotLazyRotation(t *testing.T) {
+	m := newMetrics(1)
+	m.SetHotspotWindow(time.Hour)
+	ops := []Op{{Kind: OpPut, Key: "k"}}
+	m.noteAbortedOps(ops)
+	// Within the window: nothing rotates.
+	m.maybeRotate(time.Now())
+	if top := m.TopK(0); len(top) != 1 {
+		t.Fatalf("key rotated out early: %+v", top)
+	}
+	// A gap of two-plus windows clears both windows.
+	m.maybeRotate(time.Now().Add(2*time.Hour + time.Minute))
+	if top := m.TopK(0); len(top) != 0 {
+		t.Fatalf("stale key survived a 2-window idle gap: %+v", top)
+	}
+}
+
+// TestShardCountersFeedGroups checks the commit/abort attribution the
+// adaptive controller consumes: committed and aborted ops land in their
+// key's shard counters, and Store.GroupCounters folds shards into groups.
+func TestShardCountersFeedGroups(t *testing.T) {
+	s, be := newStore(t, 2, 4, 4)
+	m := s.EnableMetrics()
+	th := be.NewThread()
+	defer th.Close()
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, k := range keys {
+		if _, err := s.Put(th, k, []byte("v"), Budget{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var commits uint64
+	for g := 0; g < 64; g++ {
+		c, _ := s.GroupCounters(g)
+		commits += c
+	}
+	if commits != uint64(len(keys)) {
+		t.Fatalf("group commit counters = %d, want %d", commits, len(keys))
+	}
+	m.noteAbortedOps([]Op{{Kind: OpPut, Key: "a"}})
+	var aborts uint64
+	for g := 0; g < 64; g++ {
+		_, a := s.GroupCounters(g)
+		aborts += a
+	}
+	if aborts != 1 {
+		t.Fatalf("group abort counters = %d, want 1", aborts)
+	}
+}

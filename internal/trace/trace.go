@@ -67,6 +67,9 @@ const (
 	KindSchedEnqueue             // scheduler: request admitted to the queue; A=queue depth after enqueue
 	KindSchedDispatch            // scheduler: executor picked a request up; A=queue wait ns
 	KindSchedReject              // scheduler: admission refused a request (queue full); A=queue depth
+	KindAdaptSwitch              // adaptive: group changed mode; Obj=group, A=windowed abort rate (ppm), B=1 entering pessimistic / 0 entering optimistic
+	KindAdaptVeto                // adaptive: switch suppressed by hysteresis; Obj=group, A=abort rate (ppm), B=reason (1=dwell, 2=volume)
+	KindAdaptDrain               // adaptive: old mode drained after a switch; Obj=group, A=wait ns, B=1 if the bounded wait timed out
 	kindCount
 )
 
@@ -127,6 +130,12 @@ func (k Kind) String() string {
 		return "sched-dispatch"
 	case KindSchedReject:
 		return "sched-reject"
+	case KindAdaptSwitch:
+		return "adapt-switch"
+	case KindAdaptVeto:
+		return "adapt-veto"
+	case KindAdaptDrain:
+		return "adapt-drain"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -207,6 +216,11 @@ const ReplSource = -3
 // (admission, dispatch, rejection), which happen before any TM thread is
 // involved with a request.
 const SchedSource = -4
+
+// AdaptiveSource is the reserved source ID for adaptive-execution events
+// (mode switches, hysteresis vetoes, drain completions), which are emitted
+// by the controller goroutine rather than any TM thread.
+const AdaptiveSource = -5
 
 // Source returns the recorder's source ID (a thread slot, or PlaneSource).
 func (r *Recorder) Source() int { return r.source }
@@ -414,6 +428,9 @@ func (f *FlightRecorder) Dump(w io.Writer) {
 		}
 		if log.Source == SchedSource {
 			name = "scheduler plane (admission/dispatch)"
+		}
+		if log.Source == AdaptiveSource {
+			name = "adaptive plane (mode controller)"
 		}
 		fmt.Fprintf(w, "--- %s: %d recorded, last %d retained ---\n",
 			name, log.Recorded, len(log.Events))
