@@ -39,6 +39,11 @@
 #                   crossover matrix ({nzstm, glock, adaptive} × {uniform,
 #                   zipfian-skewed}, per-regime winners + switch counts),
 #                   results in BENCH_kv.json
+#   make profile    profiling run of the serving benchmark (not part of
+#                   check): bench-kv's durable profile with CPU and heap
+#                   profiles written to results/ — feed them to
+#                   `go tool pprof results/bench-kv-cpu.pprof` to see
+#                   where serving cycles go (PROFILE_FLAGS to customise)
 #   make serve      run nztm-server with defaults
 
 GO ?= go
@@ -58,8 +63,12 @@ OVERSUB_FLAGS ?= -oversubscribed -seed 1 -duration 4s -threads 4 -keys 64 -rate 
 ADAPTIVE_FLAGS ?= -adaptive -seed 1 -duration 5s
 CRASH_FLAGS ?= -crash -crash-target 200 -seed 1
 FAILOVER_FLAGS ?= -failover -kills 50 -seed 1
+# Profiling run: the durability-priced serving profile under the pprof
+# collectors. Not a check — it exists to answer "where do the cycles and
+# allocations go", with the per-stage span breakdown printed beside it.
+PROFILE_FLAGS ?= -systems nzstm -fsync always,interval,never -duration 3s
 
-.PHONY: check build vet test race race-tracing fuzz soak crash failover bench-kv serve
+.PHONY: check build vet test race race-tracing fuzz soak crash failover bench-kv profile serve
 
 check: build vet test race race-tracing fuzz soak crash failover bench-kv
 
@@ -102,6 +111,12 @@ failover:
 
 bench-kv:
 	$(GO) run ./cmd/nztm-load -out BENCH_kv.json -fsync always,interval,never -replicated -connections 8,64,512 -executors 8 -crossover
+
+profile:
+	mkdir -p results
+	$(GO) run ./cmd/nztm-load $(PROFILE_FLAGS) \
+		-out results/bench-kv-profile.json -metrics-out results/bench-kv-profile.json \
+		-cpuprofile results/bench-kv-cpu.pprof -memprofile results/bench-kv-heap.pprof
 
 serve:
 	$(GO) run ./cmd/nztm-server

@@ -33,6 +33,7 @@ import (
 	"nztm/internal/kv"
 	"nztm/internal/server"
 	"nztm/internal/tm"
+	"nztm/internal/trace"
 	"nztm/internal/wal"
 )
 
@@ -100,6 +101,23 @@ type result struct {
 	// crossover rows carry it so regimes are self-describing.
 	ZipfTheta float64 `json:"zipf_theta,omitempty"`
 	RMWFrac   float64 `json:"rmw_frac,omitempty"`
+	// Stages is the server-side per-stage latency attribution from the
+	// span timelines (absent for -addr runs): where request wall time
+	// went across decode→queue→executor→TM→WAL→fsync→repl→respond.
+	Stages []stageStat `json:"stages,omitempty"`
+	// StageCoverage is summed stage time over summed end-to-end span
+	// time: the fraction of measured request latency the stage
+	// breakdown attributes (1.0 = the stages partition every span).
+	StageCoverage float64 `json:"stage_coverage,omitempty"`
+}
+
+// stageStat is one pipeline stage's latency contribution.
+type stageStat struct {
+	Stage   string  `json:"stage"`
+	Count   uint64  `json:"count"`
+	MeanUs  float64 `json:"mean_us"`
+	P99Us   float64 `json:"p99_us"`
+	TotalMs float64 `json:"total_ms"`
 }
 
 type benchFile struct {
@@ -145,6 +163,7 @@ func main() {
 		rmw       = flag.Float64("rmw", 0, "fraction of requests that are atomic read-modify-writes on one key")
 		crossover = flag.Bool("crossover", false, "run the adaptive crossover matrix: {nzstm, glock, adaptive} × {uniform, zipf-skewed} with the same op mix, labeled per regime (defaults -zipf to 0.99 and -rmw to 0.8 when unset)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile covering the whole run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file at exit")
 	)
 	flag.Parse()
 
@@ -242,6 +261,7 @@ func main() {
 			r.System, r.Clients, r.Throughput, r.P50Us, r.P95Us, r.P99Us, r.MaxUs, 100*r.AbortRate)
 	}
 	compare(results)
+	printStageBreakdowns(results)
 
 	f := benchFile{
 		Benchmark: "kv-serving", When: time.Now().UTC().Format(time.RFC3339),
@@ -270,6 +290,63 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", path)
 	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *memProf)
+	}
+}
+
+// printStageBreakdowns prints the per-stage latency attribution for
+// every durable run — the decomposition of what each fsync policy costs
+// (where the fsync=always cliff actually goes: fsync_wait, not TM).
+func printStageBreakdowns(results []result) {
+	for _, r := range results {
+		if len(r.Stages) == 0 || r.Fsync == "" {
+			continue
+		}
+		fmt.Printf("\nstage breakdown %s (fsync=%s, coverage %.1f%% of request time):\n",
+			r.System, r.Fsync, 100*r.StageCoverage)
+		for _, s := range r.Stages {
+			fmt.Printf("  %-11s mean %8.1fµs  p99 %8.1fµs  (%d samples, %.0fms total)\n",
+				s.Stage, s.MeanUs, s.P99Us, s.Count, s.TotalMs)
+		}
+	}
+}
+
+// stageBreakdown folds the server's span-stage histograms into JSON rows
+// plus the attribution-coverage ratio: summed stage time over summed
+// end-to-end span time.
+func stageBreakdown(sm *server.SpanMetrics) ([]stageStat, float64) {
+	var rows []stageStat
+	var stageNs uint64
+	for i := 0; i < trace.SpanStages; i++ {
+		h := sm.Stage(i)
+		if h.Count() == 0 {
+			continue
+		}
+		stageNs += h.Sum()
+		rows = append(rows, stageStat{
+			Stage:   trace.StageName(i),
+			Count:   h.Count(),
+			MeanUs:  float64(h.MeanValue()) / 1e3,
+			P99Us:   float64(h.QuantileValue(0.99)) / 1e3,
+			TotalMs: float64(h.Sum()) / 1e6,
+		})
+	}
+	total := sm.Total()
+	if total.Sum() == 0 {
+		return rows, 0
+	}
+	return rows, float64(stageNs) / float64(total.Sum())
 }
 
 // defaultThreads sizes the server's TM thread pool: all cores, but at
@@ -379,6 +456,7 @@ func selfHost(name, fsync string, cfg config) (result, error) {
 	fmt.Printf("nztm-load: measuring %s on %s...\n", label, ln.Addr())
 
 	r, err := measure(label, ln.Addr().String(), backend.Sys.Stats(), cfg)
+	r.Stages, r.StageCoverage = stageBreakdown(srv.Spans())
 	if adSys != nil {
 		adSys.StopController()
 		st := adSys.ModeStats()

@@ -296,10 +296,8 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			srv.WriteMetricsz(w)
 		})
-		mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			srv.WriteTracez(w)
-		})
+		mux.Handle("/tracez", srv.TracezHandler())
+		mux.Handle("/slowz", srv.SlowzHandler())
 		if *pprofOn {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -312,31 +310,49 @@ func main() {
 				fmt.Fprintln(os.Stderr, "nztm-server: statsz:", err)
 			}
 		}()
-		fmt.Printf("nztm-server: /statsz /metricsz /tracez on http://%s (pprof=%v, trace=%d events/thread)\n",
+		fmt.Printf("nztm-server: /statsz /metricsz /tracez /slowz on http://%s (pprof=%v, trace=%d events/thread)\n",
 			*statsz, *pprofOn, *traceN)
 	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	// SIGQUIT is the live-diagnostics signal: dump the flight-recorder
+	// rings and the slow-request ring to stderr and keep serving
+	// (Notify overrides the runtime's kill-with-stacks default).
+	diag := make(chan os.Signal, 1)
+	signal.Notify(diag, syscall.SIGQUIT)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	// The machine-readable ready line: recovery is complete and the
 	// listener is accepting (crash soaks and scripts wait for this).
 	fmt.Printf("nztm-server: ready addr=%s\n", ln.Addr())
 
-	select {
-	case sig := <-sigs:
-		fmt.Printf("nztm-server: %v, draining...\n", sig)
-		if err := srv.Shutdown(*drain); err != nil {
-			// In-flight requests may still be running; closing the WAL
-			// under them could tear a frame, so fail loudly instead.
+serve:
+	for {
+		select {
+		case <-diag:
+			fmt.Fprintln(os.Stderr, "nztm-server: SIGQUIT: dumping diagnostics")
+			if fr != nil {
+				fr.Dump(os.Stderr)
+			} else {
+				fmt.Fprintln(os.Stderr, "nztm-server: flight recorder disabled (-trace 0)")
+			}
+			srv.DumpSlow(os.Stderr)
+			fmt.Fprintln(os.Stderr, "nztm-server: diagnostics done")
+		case sig := <-sigs:
+			fmt.Printf("nztm-server: %v, draining...\n", sig)
+			if err := srv.Shutdown(*drain); err != nil {
+				// In-flight requests may still be running; closing the WAL
+				// under them could tear a frame, so fail loudly instead.
+				fmt.Fprintln(os.Stderr, "nztm-server:", err)
+				os.Exit(1)
+			}
+			<-done
+			break serve
+		case err := <-done:
 			fmt.Fprintln(os.Stderr, "nztm-server:", err)
 			os.Exit(1)
 		}
-		<-done
-	case err := <-done:
-		fmt.Fprintln(os.Stderr, "nztm-server:", err)
-		os.Exit(1)
 	}
 	// Drained: flush + sync + close the WAL and release registry slots,
 	// so a clean exit always recovers to exactly the acknowledged state.

@@ -1,0 +1,219 @@
+package main
+
+// Child-process tests for the binary's observability surface: the HTTP
+// mux (/metricsz conformance, /tracez filters, /slowz), and SIGQUIT
+// dumping diagnostics to stderr without killing the server.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"nztm/internal/kv"
+	"nztm/internal/metrics"
+	"nztm/internal/server"
+)
+
+// lineBuffer accumulates a stream and signals watchers on every line.
+type lineBuffer struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (b *lineBuffer) consume(r io.Reader) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		b.mu.Lock()
+		b.lines = append(b.lines, sc.Text())
+		b.mu.Unlock()
+	}
+}
+
+func (b *lineBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return strings.Join(b.lines, "\n")
+}
+
+// waitContains polls until the buffer contains want.
+func (b *lineBuffer) waitContains(t *testing.T, d time.Duration, want string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !strings.Contains(b.String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %q in:\n%s", want, b.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// pickAddr reserves a loopback address (small reuse race, fine in tests).
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestServerObservabilityEndToEnd builds the real binary, drives traffic
+// through it, lints the composed /metricsz document, exercises the
+// /tracez filters and /slowz, then proves SIGQUIT dumps the trace rings
+// and slow ring to stderr while the server keeps serving.
+func TestServerObservabilityEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("child-process test")
+	}
+	bin := filepath.Join(t.TempDir(), "nztm-server")
+	if out, err := exec.Command("go", "build", "-o", bin, "nztm/cmd/nztm-server").CombinedOutput(); err != nil {
+		t.Fatalf("building nztm-server: %v\n%s", err, out)
+	}
+
+	statszAddr := pickAddr(t)
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-statsz", statszAddr,
+		"-trace", "64",
+		"-executors", "2",
+		"-data-dir", t.TempDir(),
+		"-fsync", "never",
+	)
+	stdout := &lineBuffer{}
+	stderr := &lineBuffer{}
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go stdout.consume(outPipe)
+	go stderr.consume(errPipe)
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	stdout.waitContains(t, 10*time.Second, "nztm-server: ready addr=")
+	var kvAddr string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if _, err := fmt.Sscanf(line, "nztm-server: ready addr=%s", &kvAddr); err == nil {
+			break
+		}
+	}
+	if kvAddr == "" {
+		t.Fatalf("no ready line in:\n%s", stdout.String())
+	}
+
+	c, err := server.Dial(kvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 32; i++ {
+		if _, err := c.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Do([]kv.Op{
+		{Kind: kv.OpPut, Key: "a", Value: []byte("1")},
+		{Kind: kv.OpPut, Key: "b", Value: []byte("2")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + statszAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// The composed document — server + scheduler + spans + TM + KV +
+	// durability — must lint clean end to end.
+	code, metricsBody := get("/metricsz")
+	if code != 200 {
+		t.Fatalf("/metricsz code=%d", code)
+	}
+	if problems := metrics.LintProm(strings.NewReader(metricsBody)); len(problems) != 0 {
+		t.Errorf("live /metricsz exposition violations:\n  %s", strings.Join(problems, "\n  "))
+	}
+	for _, want := range []string{
+		`nztm_stage_us_count{stage="decode"}`,
+		`nztm_stage_us_count{stage="wal_append"}`,
+		"nztm_request_total_us_count",
+		"nztm_wal_fsync_cohort_frames_count",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("live /metricsz missing %q", want)
+		}
+	}
+
+	if code, body := get("/slowz"); code != 200 || !strings.Contains(body, `"entries"`) {
+		t.Errorf("/slowz: code=%d body=%.200s", code, body)
+	}
+	if code, body := get("/tracez?limit=1"); code != 200 || !strings.Contains(body, `"sources"`) {
+		t.Errorf("/tracez?limit=1: code=%d body=%.200s", code, body)
+	}
+	if code, _ := get("/tracez?source=abc"); code != 400 {
+		t.Errorf("/tracez?source=abc: code=%d, want 400", code)
+	}
+
+	// SIGQUIT: diagnostics on stderr, process stays up.
+	if err := cmd.Process.Signal(syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	stderr.waitContains(t, 10*time.Second, "nztm-server: diagnostics done")
+	dump := stderr.String()
+	if !strings.Contains(dump, "flight recorder") {
+		t.Errorf("SIGQUIT dump missing flight recorder:\n%.500s", dump)
+	}
+	if !strings.Contains(dump, "slow requests") {
+		t.Errorf("SIGQUIT dump missing slow-request ring:\n%.500s", dump)
+	}
+	if _, err := c.Put("after-sigquit", []byte("alive")); err != nil {
+		t.Fatalf("server died after SIGQUIT: %v", err)
+	}
+
+	// Clean shutdown still works after diagnostics.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("exit after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("child ignored SIGTERM:\nstdout:\n%s", stdout.String())
+	}
+	_ = os.Remove(bin)
+}

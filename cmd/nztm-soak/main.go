@@ -132,12 +132,19 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 		backend.Reg.BindRecorder(fr)
 		plane.BindRecorder(fr)
 	}
+	// srv is assigned below; dumpTrace is declared early so every later
+	// failure path can use it. On failure it dumps both the flight rings
+	// and the slow-request ring — which requests were slow and in which
+	// stage — beside the event log.
+	var srv *server.Server
 	dumpTrace := func() {
-		if fr == nil {
-			return
+		if fr != nil {
+			fmt.Fprintf(os.Stderr, "--- flight recorder (%d events) ---\n", fr.Count())
+			fr.Dump(os.Stderr)
 		}
-		fmt.Fprintf(os.Stderr, "--- flight recorder (%d events) ---\n", fr.Count())
-		fr.Dump(os.Stderr)
+		if srv != nil {
+			srv.DumpSlow(os.Stderr)
+		}
 	}
 	var store *kv.Store
 	if dataDir != "" {
@@ -202,7 +209,7 @@ func run(system string, seed uint64, duration time.Duration, clients, keys, shar
 		scfg.Executors = backend.Executors(threads)
 		scfg.QueueDepth = 2 * scfg.Executors
 	}
-	srv := server.New(store, backend.Reg, scfg)
+	srv = server.New(store, backend.Reg, scfg)
 
 	// Goroutine baseline before anything soak-owned starts; everything the
 	// soak spawns must be gone again after shutdown.

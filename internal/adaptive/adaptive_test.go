@@ -12,6 +12,7 @@ import (
 
 	"nztm/internal/cm"
 	"nztm/internal/core"
+	"nztm/internal/metrics"
 	"nztm/internal/tm"
 	"nztm/internal/tmtest"
 )
@@ -431,6 +432,9 @@ func TestAdaptiveStatsCoverage(t *testing.T) {
 	}
 	if bits.OnesCount64(s.PessimisticMask()) != 1 {
 		t.Fatal("pessimistic mask gauge wrong")
+	}
+	if problems := metrics.LintProm(strings.NewReader(metricsz.String())); len(problems) != 0 {
+		t.Errorf("metricsz exposition violations: %v\n%s", problems, metricsz.String())
 	}
 }
 

@@ -100,15 +100,17 @@ func (s *System) WriteStatsz(w io.Writer) {
 // pessimistic) for every group that has ever seen traffic.
 func (s *System) WriteMetricsz(w io.Writer) {
 	s.stats.fields(func(name string, v uint64) {
-		metrics.Counter(w, "nztm_adaptive_"+name+"_total", v)
+		metrics.CounterFam(w, "nztm_adaptive_"+name+"_total",
+			"adaptive-mode controller event: "+strings.ReplaceAll(name, "_", " "), v)
 	})
-	metrics.Gauge(w, "nztm_adaptive_pessimistic_groups",
+	metrics.GaugeFam(w, "nztm_adaptive_pessimistic_groups",
+		"key groups currently in pessimistic mode",
 		float64(bits.OnesCount64(s.pesMask.Load())))
 	used := s.used.Load()
 	if used == 0 {
 		return
 	}
-	fmt.Fprintf(w, "# TYPE nztm_adaptive_group_mode gauge\n")
+	metrics.Head(w, "nztm_adaptive_group_mode", "gauge", "per-group execution mode (0 = optimistic, 1 = pessimistic)")
 	for rem := used; rem != 0; rem &= rem - 1 {
 		g := bits.TrailingZeros64(rem)
 		mode := 0

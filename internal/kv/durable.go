@@ -3,6 +3,7 @@ package kv
 import (
 	"fmt"
 	"io"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -238,7 +239,7 @@ func (da *durAttempt) effect(tx tm.Tx, d *durState, shard int, op wal.Op) {
 // transaction's own in written shards, which Append already marked
 // stable) cannot self-deadlock: the wait only covers other commits,
 // each of which marks itself stable from its own finish.
-func (d *durState) finish(da *durAttempt, committed bool) error {
+func (d *durState) finish(da *durAttempt, committed bool, sp *trace.Span) error {
 	if committed && len(da.assigned) > 0 {
 		f := &wal.Frame{
 			Shards: make([]wal.ShardLSN, 0, len(da.assigned)),
@@ -247,7 +248,7 @@ func (d *durState) finish(da *durAttempt, committed bool) error {
 		for shard, lsn := range da.assigned {
 			f.Shards = append(f.Shards, wal.ShardLSN{Shard: shard, LSN: lsn})
 		}
-		if err := d.log.Append(f); err != nil {
+		if err := d.log.AppendSpan(f, sp); err != nil {
 			// The commit is live in memory but not durable: failing the
 			// request keeps "acknowledged implies recoverable" intact.
 			return fmt.Errorf("kv: wal append: %w", err)
@@ -258,6 +259,7 @@ func (d *durState) finish(da *durAttempt, committed bool) error {
 			return fmt.Errorf("kv: wal wait: %w", err)
 		}
 	}
+	sp.Mark(trace.StageStableWait)
 	// Replication gate: local durability alone is not enough when a
 	// failover could abandon this machine's tail. Reads gate too — a
 	// result may expose a concurrent commit that no follower has yet, and
@@ -268,6 +270,7 @@ func (d *durState) finish(da *durAttempt, committed bool) error {
 			if err := (*gp)(vec, committed && len(da.assigned) > 0); err != nil {
 				return fmt.Errorf("kv: commit gate: %w", err)
 			}
+			sp.Mark(trace.StageReplGate)
 		}
 	}
 	return nil
@@ -328,6 +331,9 @@ func (s *Store) WriteDurabilityStats(w io.Writer) {
 	fmt.Fprintf(w, "wal: appended_frames=%d appended_bytes=%d fsyncs=%d snapshots=%d removed_files=%d\n",
 		ls.AppendedFrames.Load(), ls.AppendedBytes.Load(), ls.Fsyncs.Load(),
 		ls.Snapshots.Load(), ls.RemovedFiles.Load())
+	fmt.Fprintf(w, "wal fsync cohort: %s\n", ls.FsyncCohortFrames.SummaryValues())
+	fmt.Fprintf(w, "wal reorder occupancy: %s\n", ls.ReorderOccupancy.SummaryValues())
+	fmt.Fprintf(w, "wal stable lag: %s\n", ls.StableLagFrames.SummaryValues())
 }
 
 // WriteDurabilityProm appends the durability plane's Prometheus
@@ -339,14 +345,55 @@ func (s *Store) WriteDurabilityProm(w io.Writer) {
 	}
 	d := s.dur
 	st := d.state
-	metrics.Counter(w, "nztm_wal_replayed_frames_total", st.ReplayedFrames)
-	metrics.Counter(w, "nztm_wal_dropped_frames_total", st.DroppedFrames)
-	metrics.Counter(w, "nztm_wal_truncated_bytes_total", st.TruncatedBytes)
+	metrics.CounterFam(w, "nztm_wal_replayed_frames_total", "frames replayed during recovery", st.ReplayedFrames)
+	metrics.CounterFam(w, "nztm_wal_dropped_frames_total", "torn or cut frames dropped during recovery", st.DroppedFrames)
+	metrics.CounterFam(w, "nztm_wal_truncated_bytes_total", "log bytes truncated during recovery", st.TruncatedBytes)
 	d.recovery.WriteProm(w, "nztm_wal_recovery_seconds")
-	ls := d.log.Stats()
-	metrics.Counter(w, "nztm_wal_appended_frames_total", ls.AppendedFrames.Load())
-	metrics.Counter(w, "nztm_wal_appended_bytes_total", ls.AppendedBytes.Load())
-	metrics.Counter(w, "nztm_wal_fsyncs_total", ls.Fsyncs.Load())
-	metrics.Counter(w, "nztm_wal_snapshots_total", ls.Snapshots.Load())
-	metrics.Counter(w, "nztm_wal_removed_files_total", ls.RemovedFiles.Load())
+	writeWALStatsProm(w, d.log.Stats())
+}
+
+// writeWALStatsProm exports every wal.Stats field by reflection:
+// atomic.Uint64 fields become nztm_wal_<snake>_total counters and
+// metrics.Histogram fields dimensionless nztm_wal_<snake> histograms. A
+// new field in wal.Stats therefore shows up in /metricsz automatically,
+// and the coverage test asserts exactly this enumeration.
+func writeWALStatsProm(w io.Writer, ls *wal.Stats) {
+	rv := reflect.ValueOf(ls).Elem()
+	rt := rv.Type()
+	for i := 0; i < rt.NumField(); i++ {
+		name := "nztm_wal_" + kvSnake(rt.Field(i).Name)
+		switch f := rv.Field(i).Addr().Interface().(type) {
+		case *atomic.Uint64:
+			metrics.CounterFam(w, name+"_total", "wal "+kvSnake(rt.Field(i).Name)+" count", f.Load())
+		case *metrics.Histogram:
+			f.WritePromValues(w, name)
+		}
+	}
+}
+
+// walStatsFields lists the exported field names of wal.Stats, in order —
+// shared between the Prometheus writer above and its coverage test.
+func walStatsFields() []string {
+	rt := reflect.TypeOf(wal.Stats{})
+	out := make([]string, 0, rt.NumField())
+	for i := 0; i < rt.NumField(); i++ {
+		out = append(out, kvSnake(rt.Field(i).Name))
+	}
+	return out
+}
+
+// kvSnake converts CamelCase to snake_case for metric names.
+func kvSnake(s string) string {
+	var b []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			if i > 0 {
+				b = append(b, '_')
+			}
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return string(b)
 }

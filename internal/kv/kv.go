@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"nztm/internal/tm"
+	"nztm/internal/trace"
 	"nztm/internal/wal"
 )
 
@@ -273,8 +274,22 @@ func (s *Store) locate(key string) (tm.Object, int) {
 //
 // On ErrBudget the request had no effect.
 func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
-	results, _, err := s.do(th, ops, budget, false)
+	results, _, err := s.do(th, ops, budget, false, nil)
 	return results, err
+}
+
+// DoSpan is Do with a request span timeline: the tm stage is stamped
+// when the transaction resolves (attempts recorded), and the durability
+// barrier stamps the WAL/stability/replication-gate stages. sp may be
+// nil.
+func (s *Store) DoSpan(th *tm.Thread, ops []Op, budget Budget, sp *trace.Span) ([]Result, error) {
+	results, _, err := s.do(th, ops, budget, false, sp)
+	return results, err
+}
+
+// DoVecSpan is DoVec with a request span timeline (see DoSpan).
+func (s *Store) DoVecSpan(th *tm.Thread, ops []Op, budget Budget, sp *trace.Span) ([]Result, []wal.ShardLSN, error) {
+	return s.do(th, ops, budget, true, sp)
 }
 
 // DoVec is Do plus the request's commit vector: for each shard the
@@ -284,10 +299,10 @@ func (s *Store) Do(th *tm.Thread, ops []Op, budget Budget) ([]Result, error) {
 // until they have applied at least that prefix. Nil for memory-only
 // stores.
 func (s *Store) DoVec(th *tm.Thread, ops []Op, budget Budget) ([]Result, []wal.ShardLSN, error) {
-	return s.do(th, ops, budget, true)
+	return s.do(th, ops, budget, true, nil)
 }
 
-func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool) ([]Result, []wal.ShardLSN, error) {
+func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool, sp *trace.Span) ([]Result, []wal.ShardLSN, error) {
 	results := make([]Result, len(ops))
 	attempt := 0
 	m := s.metrics
@@ -410,6 +425,10 @@ func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool) ([]Resu
 		err = s.sys.Atomic(th, body)
 	}
 	committed := err == nil
+	sp.Mark(trace.StageTM)
+	if sp != nil {
+		sp.Attempts = uint32(attempt)
+	}
 	if errors.Is(err, errCASMiss) {
 		// The transaction's effects were discarded; the results slice
 		// (set before the abort) tells the caller which CAS missed.
@@ -424,7 +443,7 @@ func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool) ([]Resu
 		// they are persisted per policy in every shard they touch) and
 		// gate every observed read prefix the same way, so an
 		// acknowledged result never depends on a commit recovery drops.
-		if err := s.dur.finish(da, committed); err != nil {
+		if err := s.dur.finish(da, committed, sp); err != nil {
 			return nil, nil, err
 		}
 		if wantVec {

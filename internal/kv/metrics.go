@@ -1,7 +1,6 @@
 package kv
 
 import (
-	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -260,11 +259,13 @@ func (m *Metrics) WriteProm(w io.Writer, topK int) {
 	m.CommitLatency.WriteProm(w, "nztm_kv_commit_latency_seconds")
 	m.Retries.WritePromValues(w, "nztm_kv_retries_per_commit")
 	m.BackoffTime.WriteProm(w, "nztm_kv_backoff_seconds")
-	fmt.Fprintf(w, "# TYPE nztm_kv_key_aborts_total counter\n")
-	for _, h := range m.TopK(topK) {
-		metrics.Counter(w, "nztm_kv_key_aborts_total", h.Aborts, "key", h.Key)
+	if top := m.TopK(topK); len(top) > 0 {
+		metrics.Head(w, "nztm_kv_key_aborts_total", "counter", "per-key abort counts (top-K hotspot window)")
+		for _, h := range top {
+			metrics.Counter(w, "nztm_kv_key_aborts_total", h.Aborts, "key", h.Key)
+		}
 	}
-	metrics.Counter(w, "nztm_kv_key_aborts_overflow_total", m.OverflowAborts())
+	metrics.CounterFam(w, "nztm_kv_key_aborts_overflow_total", "aborts charged to keys outside the hotspot table", m.OverflowAborts())
 }
 
 // EnableMetrics attaches (and returns) a Metrics collector to the store.

@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -167,18 +168,29 @@ func (h *Histogram) Dump(w io.Writer) {
 // without server-side histogram_quantile. labels (alternating key, value —
 // may be empty) are attached to every series.
 func (h *Histogram) WriteProm(w io.Writer, name string, labels ...string) {
-	h.writeProm(w, name, 1e-9, labels)
+	h.writePromFull(w, name, 1e-9, labels)
 }
 
 // WritePromValues is WriteProm for dimensionless histograms: bucket bounds
 // and quantiles are exported as raw values.
 func (h *Histogram) WritePromValues(w io.Writer, name string, labels ...string) {
-	h.writeProm(w, name, 1, labels)
+	h.writePromFull(w, name, 1, labels)
 }
 
-func (h *Histogram) writeProm(w io.Writer, name string, scale float64, labels []string) {
+func (h *Histogram) writePromFull(w io.Writer, name string, scale float64, labels []string) {
+	Head(w, name, "histogram", name+" distribution (power-of-two buckets)")
+	h.WriteHistSamples(w, name, scale, labels...)
+	Head(w, name+"_quantile", "gauge", name+" p50/p95/p99 upper bounds")
+	h.WriteQuantileSamples(w, name, scale, labels...)
+}
+
+// WriteHistSamples writes the bucket/sum/count samples only, without the
+// # HELP/# TYPE heads, raw values scaled by scale. For families with
+// multiple labelled instances (e.g. one histogram per stage) the caller
+// emits the heads once and then one WriteHistSamples per instance, so
+// every family keeps a single TYPE line and contiguous samples.
+func (h *Histogram) WriteHistSamples(w io.Writer, name string, scale float64, labels ...string) {
 	base := joinLabels(labels, "")
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 	var cum uint64
 	for i := 0; i < histBuckets; i++ {
 		n := h.buckets[i].Load()
@@ -192,6 +204,11 @@ func (h *Histogram) writeProm(w io.Writer, name string, scale float64, labels []
 	fmt.Fprintf(w, "%s_bucket%s %d\n", name, joinLabels(labels, `le="+Inf"`), h.Count())
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatFloat(float64(h.Sum())*scale))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, base, h.Count())
+}
+
+// WriteQuantileSamples writes the p50/p95/p99 gauge samples of the
+// name_quantile companion family, without heads (see WriteHistSamples).
+func (h *Histogram) WriteQuantileSamples(w io.Writer, name string, scale float64, labels ...string) {
 	for _, q := range []struct {
 		q float64
 		s string
@@ -202,14 +219,44 @@ func (h *Histogram) writeProm(w io.Writer, name string, scale float64, labels []
 	}
 }
 
-// Counter writes one Prometheus counter sample.
+// Head writes a metric family's # HELP and # TYPE lines. Exactly one
+// Head per family per exposition, before any of its samples — the
+// conformance linter (LintProm) enforces this.
+func Head(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// Counter writes one Prometheus counter sample (no heads; see Head).
 func Counter(w io.Writer, name string, v uint64, labels ...string) {
 	fmt.Fprintf(w, "%s%s %d\n", name, joinLabels(labels, ""), v)
 }
 
-// Gauge writes one Prometheus gauge sample.
+// Gauge writes one Prometheus gauge sample (no heads; see Head).
 func Gauge(w io.Writer, name string, v float64, labels ...string) {
 	fmt.Fprintf(w, "%s%s %s\n", name, joinLabels(labels, ""), formatFloat(v))
+}
+
+// CounterFam writes a complete single-sample counter family: heads plus
+// the one sample.
+func CounterFam(w io.Writer, name, help string, v uint64, labels ...string) {
+	Head(w, name, "counter", help)
+	Counter(w, name, v, labels...)
+}
+
+// GaugeFam writes a complete single-sample gauge family.
+func GaugeFam(w io.Writer, name, help string, v float64, labels ...string) {
+	Head(w, name, "gauge", help)
+	Gauge(w, name, v, labels...)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // joinLabels renders {k1="v1",k2="v2",extra} from alternating key, value

@@ -1,0 +1,186 @@
+package metrics
+
+// LintProm is a small Prometheus text-exposition conformance checker
+// used by tests against the live /metricsz output. It is deliberately a
+// real parser — line splitting, label scanning, family resolution — so
+// a malformed sample or a family emitted twice fails loudly instead of
+// scraping as garbage.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// histSuffixes map a sample name back to its histogram family.
+var histSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// LintProm parses a Prometheus text exposition and returns its
+// conformance problems (empty = clean):
+//
+//   - every sample belongs to a family with exactly one # TYPE (and # HELP)
+//   - heads precede their samples; no duplicate HELP/TYPE lines
+//   - each family's samples are contiguous (no interleaving)
+//   - every declared family has at least one sample
+//   - sample lines parse: name, optional {labels}, float value
+func LintProm(r io.Reader) []string {
+	var errs []string
+	typ := map[string]string{}
+	helped := map[string]bool{}
+	sampled := map[string]bool{}
+	closed := map[string]bool{}
+	current := ""
+	lineNo := 0
+
+	enter := func(fam string) {
+		if fam == current {
+			return
+		}
+		if current != "" {
+			closed[current] = true
+		}
+		if closed[fam] {
+			errs = append(errs, fmt.Sprintf("line %d: family %q samples are not contiguous", lineNo, fam))
+		}
+		current = fam
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				errs = append(errs, fmt.Sprintf("line %d: unrecognized comment %q", lineNo, line))
+				continue
+			}
+			name := fields[2]
+			switch fields[1] {
+			case "HELP":
+				if helped[name] {
+					errs = append(errs, fmt.Sprintf("line %d: duplicate HELP for %q", lineNo, name))
+				}
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					errs = append(errs, fmt.Sprintf("line %d: empty HELP text for %q", lineNo, name))
+				}
+				helped[name] = true
+			case "TYPE":
+				if _, dup := typ[name]; dup {
+					errs = append(errs, fmt.Sprintf("line %d: duplicate TYPE for %q", lineNo, name))
+				}
+				if sampled[name] {
+					errs = append(errs, fmt.Sprintf("line %d: TYPE for %q after its samples", lineNo, name))
+				}
+				t := ""
+				if len(fields) >= 4 {
+					t = strings.TrimSpace(fields[3])
+				}
+				switch t {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					typ[name] = t
+				default:
+					errs = append(errs, fmt.Sprintf("line %d: invalid TYPE %q for %q", lineNo, t, name))
+					typ[name] = "untyped"
+				}
+				enter(name)
+			}
+			continue
+		}
+		name, rest, perr := splitSample(line)
+		if perr != "" {
+			errs = append(errs, fmt.Sprintf("line %d: %s", lineNo, perr))
+			continue
+		}
+		fam, ok := familyOf(name, typ)
+		if !ok {
+			errs = append(errs, fmt.Sprintf("line %d: sample %q has no # TYPE'd family", lineNo, name))
+			continue
+		}
+		if !helped[fam] {
+			errs = append(errs, fmt.Sprintf("line %d: family %q of sample %q has no # HELP", lineNo, fam, name))
+			helped[fam] = true // report once
+		}
+		if _, err := strconv.ParseFloat(rest, 64); err != nil {
+			errs = append(errs, fmt.Sprintf("line %d: sample %q has bad value %q", lineNo, name, rest))
+		}
+		sampled[fam] = true
+		enter(fam)
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Sprintf("scan: %v", err))
+	}
+	for name := range typ {
+		if !sampled[name] {
+			errs = append(errs, fmt.Sprintf("family %q declared but has no samples", name))
+		}
+	}
+	return errs
+}
+
+// familyOf resolves a sample name to its declared family: exact match
+// first, then histogram suffix stripping (base must be TYPE histogram).
+func familyOf(name string, typ map[string]string) (string, bool) {
+	if _, ok := typ[name]; ok {
+		return name, true
+	}
+	for _, suf := range histSuffixes {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if typ[base] == "histogram" {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+// splitSample splits a sample line into metric name and value text,
+// scanning past a label block whose quoted values may contain '}', ','
+// or escaped quotes.
+func splitSample(line string) (name, value, errText string) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", "", fmt.Sprintf("malformed sample %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		inQuote, esc := false, false
+		end := -1
+		for j := 1; j < len(rest); j++ {
+			c := rest[j]
+			switch {
+			case esc:
+				esc = false
+			case c == '\\':
+				esc = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", fmt.Sprintf("unterminated label block in %q", line)
+		}
+		rest = rest[end+1:]
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" {
+		return "", "", fmt.Sprintf("sample %q has no value", line)
+	}
+	// Timestamps (a second field) are not used by this codebase.
+	if strings.ContainsAny(value, " \t") {
+		return "", "", fmt.Sprintf("unexpected trailing fields in %q", line)
+	}
+	return name, value, ""
+}

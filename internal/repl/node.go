@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"nztm/internal/kv"
+	"nztm/internal/metrics"
 	"nztm/internal/server"
 	"nztm/internal/tm"
 	"nztm/internal/trace"
@@ -118,6 +119,10 @@ type Node struct {
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 
+	// gateWait distributes commitGate wall time (including instant
+	// passes), the repl_gate slice of the commit pipeline.
+	gateWait metrics.Histogram
+
 	mu         sync.Mutex
 	waitCh     chan struct{} // closed + replaced on any state change
 	epoch      uint64
@@ -127,6 +132,7 @@ type Node struct {
 	needResync bool
 	stopped    bool
 	subs       map[*subState]struct{}
+	ackLat     map[int]*metrics.Histogram // per-follower ship→ack latency, by node id
 
 	// Follower staleness accounting.
 	lastHBTotal uint64    // primary's stable total at the last heartbeat
@@ -142,7 +148,22 @@ type subState struct {
 	ackedTotal  uint64
 	lastAck     time.Time
 	behindSince time.Time // zero while caught up
+	// pending rings the stream totals of recently shipped batches with
+	// their ship time (guarded by n.mu, bounded — see sendFrames), so an
+	// ack covering a total yields that batch's round-trip latency.
+	pending []ackMark
 }
+
+// ackMark is one shipped batch awaiting acknowledgement.
+type ackMark struct {
+	total uint64 // follower's applied total once this batch lands
+	at    uint64 // trace.Now() at ship time
+}
+
+// maxPendingAcks bounds each follower's ship-time ring; a follower so
+// far behind that the ring fills simply loses latency samples for the
+// overflowed batches.
+const maxPendingAcks = 128
 
 // epochFile is the fencing epoch's persistence file inside the data dir.
 const epochFile = "EPOCH"
@@ -206,6 +227,7 @@ func Start(store *kv.Store, cfg Config) (*Node, error) {
 		stop:    make(chan struct{}),
 		waitCh:  make(chan struct{}),
 		subs:    make(map[*subState]struct{}),
+		ackLat:  make(map[int]*metrics.Histogram),
 		applyTh: cfg.NewThread(),
 	}
 	epoch, err := n.loadEpoch()
@@ -631,6 +653,13 @@ func (n *Node) CheckRequest(ops []kv.Op, st *server.Staleness) (uint8, string) {
 // while letting replica-local reads pass — their staleness contract is
 // CheckRequest's job.
 func (n *Node) commitGate(vec []wal.ShardLSN, wrote bool) error {
+	start := time.Now()
+	err := n.gateLoop(vec, wrote)
+	n.gateWait.Observe(time.Since(start))
+	return err
+}
+
+func (n *Node) gateLoop(vec []wal.ShardLSN, wrote bool) error {
 	waited := false
 	deadline := time.Now().Add(n.cfg.AckTimeout)
 	for {
@@ -698,11 +727,12 @@ func (n *Node) WriteStatsz(w io.Writer) {
 	epoch := n.epoch
 	pk := n.primaryKV
 	type followerLag struct {
-		id          int
-		ackedTotal  uint64
-		lagLSN      uint64
-		lagFor      time.Duration
-		sinceAck    time.Duration
+		id         int
+		ackedTotal uint64
+		lagLSN     uint64
+		lagFor     time.Duration
+		sinceAck   time.Duration
+		ackLat     string
 	}
 	var fl []followerLag
 	if role == RolePrimary {
@@ -722,23 +752,38 @@ func (n *Node) WriteStatsz(w io.Writer) {
 			if !sub.lastAck.IsZero() {
 				l.sinceAck = now.Sub(sub.lastAck).Round(time.Millisecond)
 			}
+			if h := n.ackLat[sub.nodeID]; h != nil {
+				l.ackLat = h.Summary()
+			}
 			fl = append(fl, l)
 		}
 	}
 	n.mu.Unlock()
 	fmt.Fprintf(w, "repl node: id=%d role=%s epoch=%d primary=%s applied_total=%d\n",
 		n.cfg.NodeID, role, epoch, pk, n.AppliedTotal())
+	if n.gateWait.Count() > 0 {
+		fmt.Fprintf(w, "repl gate wait: %s\n", n.gateWait.Summary())
+	}
 	sort.Slice(fl, func(i, j int) bool { return fl[i].id < fl[j].id })
 	for _, l := range fl {
-		fmt.Fprintf(w, "repl follower %d: acked_total=%d lag_lsn=%d lag_for=%v since_ack=%v\n",
-			l.id, l.ackedTotal, l.lagLSN, l.lagFor, l.sinceAck)
+		fmt.Fprintf(w, "repl follower %d: acked_total=%d lag_lsn=%d lag_for=%v since_ack=%v ack_latency=[%s]\n",
+			l.id, l.ackedTotal, l.lagLSN, l.lagFor, l.sinceAck, l.ackLat)
 	}
 }
 
-// WriteMetricsz appends the replication Prometheus series, including
-// per-follower lag gauges on the primary.
+// WriteMetricsz appends the replication Prometheus series: the counter
+// block, the commit-gate wait histogram, and — on the primary — the
+// per-follower lag gauges and ship→ack latency histograms.
 func (n *Node) WriteMetricsz(w io.Writer) {
 	n.stats.WriteMetricsz(w)
+	n.gateWait.WriteProm(w, "nztm_repl_gate_wait_seconds")
+	type followerRow struct {
+		id    int
+		lag   uint64
+		lagMs int64
+		h     *metrics.Histogram
+	}
+	var rows []followerRow
 	n.mu.Lock()
 	if n.role == RolePrimary {
 		var stableTotal uint64
@@ -747,17 +792,48 @@ func (n *Node) WriteMetricsz(w io.Writer) {
 		}
 		now := time.Now()
 		for sub := range n.subs {
-			var lag uint64
+			r := followerRow{id: sub.nodeID, h: n.ackLat[sub.nodeID]}
 			if stableTotal > sub.ackedTotal {
-				lag = stableTotal - sub.ackedTotal
+				r.lag = stableTotal - sub.ackedTotal
 			}
-			var lagMs int64
 			if !sub.behindSince.IsZero() {
-				lagMs = now.Sub(sub.behindSince).Milliseconds()
+				r.lagMs = now.Sub(sub.behindSince).Milliseconds()
 			}
-			fmt.Fprintf(w, "nztm_repl_follower_lag_lsn{follower=\"%d\"} %d\n", sub.nodeID, lag)
-			fmt.Fprintf(w, "nztm_repl_follower_lag_ms{follower=\"%d\"} %d\n", sub.nodeID, lagMs)
+			rows = append(rows, r)
 		}
 	}
 	n.mu.Unlock()
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	metrics.Head(w, "nztm_repl_follower_lag_lsn", "gauge", "stable LSNs the follower has not acked")
+	for _, r := range rows {
+		metrics.Gauge(w, "nztm_repl_follower_lag_lsn", float64(r.lag), "follower", strconv.Itoa(r.id))
+	}
+	metrics.Head(w, "nztm_repl_follower_lag_ms", "gauge", "how long the follower has been behind")
+	for _, r := range rows {
+		metrics.Gauge(w, "nztm_repl_follower_lag_ms", float64(r.lagMs), "follower", strconv.Itoa(r.id))
+	}
+	hasAck := false
+	for _, r := range rows {
+		if r.h != nil {
+			hasAck = true
+		}
+	}
+	if !hasAck {
+		return
+	}
+	metrics.Head(w, "nztm_repl_follower_ack_seconds", "histogram", "batch ship to ack round-trip per follower")
+	for _, r := range rows {
+		if r.h != nil {
+			r.h.WriteHistSamples(w, "nztm_repl_follower_ack_seconds", 1e-9, "follower", strconv.Itoa(r.id))
+		}
+	}
+	metrics.Head(w, "nztm_repl_follower_ack_seconds_quantile", "gauge", "ship to ack p50/p95/p99 upper bounds per follower")
+	for _, r := range rows {
+		if r.h != nil {
+			r.h.WriteQuantileSamples(w, "nztm_repl_follower_ack_seconds", 1e-9, "follower", strconv.Itoa(r.id))
+		}
+	}
 }

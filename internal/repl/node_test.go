@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nztm/internal/kv"
+	"nztm/internal/metrics"
 	"nztm/internal/server"
 	"nztm/internal/wal"
 )
@@ -449,5 +450,62 @@ func TestStatsCoverage(t *testing.T) {
 	// The node-level wrappers add role and per-follower lag lines.
 	if !strings.HasPrefix(statsz.String(), "repl:") {
 		t.Fatalf("statsz line prefix: %q", statsz.String())
+	}
+}
+
+// TestNodeLatencyMetrics drives a live primary/follower pair and asserts
+// the commit-gate wait and per-follower ack-latency instrumentation
+// reach both exports, and that the node's exposition lints clean.
+func TestNodeLatencyMetrics(t *testing.T) {
+	r0, r1 := pickAddr(t), pickAddr(t)
+	n0 := startNode(t, 0, nodeOpts{replAddr: r0, peers: []string{r1}, ackPolicy: AckOne})
+	n1 := startNode(t, 1, nodeOpts{replAddr: r1, peers: []string{r0}, primaryFrom: r0, ackPolicy: AckOne})
+
+	cl, err := DialCluster(ClusterConfig{
+		Addrs:    []string{n0.kvLn.Addr().String(), n1.kvLn.Addr().String()},
+		RetryFor: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Write([]kv.Op{{Kind: kv.OpPut, Key: fmt.Sprintf("g%02d", i), Value: []byte("v")}}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	waitFor(t, 5*time.Second, "follower acks measured", func() bool {
+		var b strings.Builder
+		n0.node.WriteMetricsz(&b)
+		return strings.Contains(b.String(), "nztm_repl_follower_ack_seconds_count")
+	})
+
+	var mb strings.Builder
+	n0.node.WriteMetricsz(&mb)
+	out := mb.String()
+	for _, want := range []string{
+		"nztm_repl_gate_wait_seconds_count 20",
+		`nztm_repl_follower_lag_lsn{follower="1"}`,
+		`nztm_repl_follower_ack_seconds_count{follower="1"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("primary metricsz missing %q:\n%s", want, out)
+		}
+	}
+	if problems := metrics.LintProm(strings.NewReader(out)); len(problems) != 0 {
+		t.Errorf("primary metricsz exposition violations: %v", problems)
+	}
+	// The follower has no subscribers: its exposition must still lint
+	// (no sampleless family heads).
+	var fb strings.Builder
+	n1.node.WriteMetricsz(&fb)
+	if problems := metrics.LintProm(strings.NewReader(fb.String())); len(problems) != 0 {
+		t.Errorf("follower metricsz exposition violations: %v", problems)
+	}
+
+	var sb strings.Builder
+	n0.node.WriteStatsz(&sb)
+	if !strings.Contains(sb.String(), "gate wait") || !strings.Contains(sb.String(), "ack_latency=") {
+		t.Errorf("primary statsz missing latency lines:\n%s", sb.String())
 	}
 }

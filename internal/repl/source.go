@@ -12,6 +12,7 @@ import (
 	"net"
 	"time"
 
+	"nztm/internal/metrics"
 	"nztm/internal/server"
 	"nztm/internal/tm"
 	"nztm/internal/trace"
@@ -183,6 +184,23 @@ func (n *Node) readAcks(conn net.Conn, br *bufio.Reader, sub *subState, epoch ui
 		sub.ackedVec = append(sub.ackedVec[:0], m.Vector...)
 		sub.ackedTotal = total
 		sub.lastAck = time.Now()
+		if len(sub.pending) > 0 {
+			now := trace.Now()
+			kept := sub.pending[:0]
+			for _, p := range sub.pending {
+				if p.total <= total {
+					h := n.ackLat[sub.nodeID]
+					if h == nil {
+						h = &metrics.Histogram{}
+						n.ackLat[sub.nodeID] = h
+					}
+					h.ObserveValue(now - p.at)
+				} else {
+					kept = append(kept, p)
+				}
+			}
+			sub.pending = kept
+		}
 		if total >= stableTotal {
 			sub.behindSince = time.Time{}
 		} else if sub.behindSince.IsZero() {
@@ -364,7 +382,7 @@ func (n *Node) streamTo(bw *bufio.Writer, sub *subState, m *Message, epoch uint6
 				heads[s] = nil
 				progress = true
 				if len(batch) >= framesPerBatch {
-					if err := n.sendFrames(bw, epoch, batch, batchBytes, sent); err != nil {
+					if err := n.sendFrames(bw, sub, epoch, batch, batchBytes, sent); err != nil {
 						return err
 					}
 					batch, batchBytes = nil, 0
@@ -394,7 +412,7 @@ func (n *Node) streamTo(bw *bufio.Writer, sub *subState, m *Message, epoch uint6
 			}
 		}
 		if len(batch) > 0 {
-			if err := n.sendFrames(bw, epoch, batch, batchBytes, sent); err != nil {
+			if err := n.sendFrames(bw, sub, epoch, batch, batchBytes, sent); err != nil {
 				return err
 			}
 		}
@@ -411,8 +429,10 @@ func (n *Node) streamTo(bw *bufio.Writer, sub *subState, m *Message, epoch uint6
 	}
 }
 
-// sendFrames ships one MsgFrames batch and records the bookkeeping.
-func (n *Node) sendFrames(bw *bufio.Writer, epoch uint64, batch [][]byte, bytes int, sent []uint64) error {
+// sendFrames ships one MsgFrames batch and records the bookkeeping,
+// including an ack mark — the (applied-total, send-time) pair readAcks
+// matches against the follower's acks to measure round-trip ack latency.
+func (n *Node) sendFrames(bw *bufio.Writer, sub *subState, epoch uint64, batch [][]byte, bytes int, sent []uint64) error {
 	if err := writeMsg(bw, &Message{Type: MsgFrames, Epoch: epoch, Frames: batch}); err != nil {
 		return err
 	}
@@ -422,6 +442,11 @@ func (n *Node) sendFrames(bw *bufio.Writer, epoch uint64, batch [][]byte, bytes 
 	for _, v := range sent {
 		total += v
 	}
+	n.mu.Lock()
+	if len(sub.pending) < maxPendingAcks {
+		sub.pending = append(sub.pending, ackMark{total: total, at: trace.Now()})
+	}
+	n.mu.Unlock()
 	n.rec.Record(tm.Monotime(), trace.KindReplFrames, 0, uint64(len(batch)), total)
 	return nil
 }

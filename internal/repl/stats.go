@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strings"
 	"sync/atomic"
+
+	"nztm/internal/metrics"
 )
 
 // Stats is the replication plane's counter block. Every field is
@@ -97,9 +99,11 @@ func (st *Stats) WriteStatsz(w io.Writer) {
 	fmt.Fprintf(w, "\n")
 }
 
-// WriteMetricsz appends one Prometheus gauge per counter.
+// WriteMetricsz appends one Prometheus gauge per counter, each with its
+// HELP/TYPE head (the conformance lint requires both).
 func (st *Stats) WriteMetricsz(w io.Writer) {
 	st.fields(func(name string, v uint64) {
-		fmt.Fprintf(w, "# TYPE nztm_repl_%s gauge\nnztm_repl_%s %d\n", name, name, v)
+		metrics.GaugeFam(w, "nztm_repl_"+name,
+			"replication plane: "+strings.ReplaceAll(name, "_", " "), float64(v))
 	})
 }

@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"io"
+	"net/http"
+	"strconv"
 
 	"nztm/internal/metrics"
 	"nztm/internal/trace"
@@ -13,45 +15,59 @@ const hotspotTopK = 10
 
 // WriteMetricsz dumps the server's metrics in Prometheus text exposition
 // format: request counters, latency histograms with p50/p95/p99 quantile
-// gauges, the backing TM system's cumulative counters (including registry
-// slot churn), and — when the store has metrics enabled — commit-latency /
-// retry / backoff histograms plus top-K contended-key abort counters.
+// gauges, per-stage span attribution, the backing TM system's cumulative
+// counters (including registry slot churn), and — when the store has
+// metrics enabled — commit-latency / retry / backoff histograms plus
+// top-K contended-key abort counters. Every family carries # HELP and
+// # TYPE heads; the conformance test lints this output with
+// metrics.LintProm.
 func (s *Server) WriteMetricsz(w io.Writer) {
 	s.mu.Lock()
 	open := len(s.conns)
 	s.mu.Unlock()
 
-	metrics.Gauge(w, "nztm_server_connections_open", float64(open))
-	metrics.Counter(w, "nztm_server_connections_total", s.connsTotal.Load())
+	metrics.GaugeFam(w, "nztm_server_connections_open", "currently open client connections", float64(open))
+	metrics.CounterFam(w, "nztm_server_connections_total", "client connections accepted", s.connsTotal.Load())
+	metrics.Head(w, "nztm_server_requests_total", "counter", "requests answered, by response status")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqOK.Load(), "status", "ok")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqBudget.Load(), "status", "budget")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqBad.Load(), "status", "bad")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqErr.Load(), "status", "error")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqShutdown.Load(), "status", "shutdown")
+	metrics.Counter(w, "nztm_server_requests_total", s.reqLagging.Load(), "status", "lagging")
+	metrics.Counter(w, "nztm_server_requests_total", s.reqRedirect.Load(), "status", "not_primary")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqOverload.Load(), "status", "overloaded")
 
 	// Scheduler plane: executor pool size, admission counters, derived
 	// queue-depth/busy gauges, and the enqueue→dispatch wait histogram.
-	metrics.Gauge(w, "nztm_sched_executors", float64(s.sched.bound.Load()))
+	metrics.GaugeFam(w, "nztm_sched_executors", "slot-bound executors in the pool", float64(s.sched.bound.Load()))
 	s.sched.stats.WriteMetricsz(w)
 	s.sched.wait.WriteProm(w, "nztm_sched_queue_wait_seconds")
 
 	s.singleLatency.WriteProm(w, "nztm_server_single_latency_seconds")
 	s.batchLatency.WriteProm(w, "nztm_server_batch_latency_seconds")
+	s.spans.WriteMetricsz(w)
 
 	v := s.store.System().Stats().View()
-	metrics.Counter(w, "nztm_tm_commits_total", v.Commits)
-	metrics.Counter(w, "nztm_tm_aborts_total", v.Aborts)
-	metrics.Counter(w, "nztm_tm_abort_requests_total", v.AbortRequests)
-	metrics.Counter(w, "nztm_tm_waits_total", v.Waits)
-	metrics.Counter(w, "nztm_tm_inflations_total", v.Inflations)
-	metrics.Counter(w, "nztm_tm_deflations_total", v.Deflations)
-	metrics.Counter(w, "nztm_tm_locator_ops_total", v.LocatorOps)
-	metrics.Counter(w, "nztm_tm_backup_reuse_total", v.BackupReuse)
-	metrics.Counter(w, "nztm_tm_slot_acquires_total", v.SlotAcquires)
-	metrics.Counter(w, "nztm_tm_slot_releases_total", v.SlotReleases)
-	metrics.Gauge(w, "nztm_tm_threads_active", float64(s.reg.Active()))
-	metrics.Gauge(w, "nztm_tm_threads_high_water", float64(s.reg.High()))
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"nztm_tm_commits_total", "transactions committed", v.Commits},
+		{"nztm_tm_aborts_total", "transaction attempts aborted", v.Aborts},
+		{"nztm_tm_abort_requests_total", "abort arbitration requests", v.AbortRequests},
+		{"nztm_tm_waits_total", "contention waits", v.Waits},
+		{"nztm_tm_inflations_total", "objects inflated out of zero-indirection mode", v.Inflations},
+		{"nztm_tm_deflations_total", "objects deflated back to zero-indirection mode", v.Deflations},
+		{"nztm_tm_locator_ops_total", "locator allocations or swaps", v.LocatorOps},
+		{"nztm_tm_backup_reuse_total", "backup buffers reused without allocation", v.BackupReuse},
+		{"nztm_tm_slot_acquires_total", "registry slots acquired", v.SlotAcquires},
+		{"nztm_tm_slot_releases_total", "registry slots released", v.SlotReleases},
+	} {
+		metrics.CounterFam(w, c.name, c.help, c.v)
+	}
+	metrics.GaugeFam(w, "nztm_tm_threads_active", "registry slots currently bound", float64(s.reg.Active()))
+	metrics.GaugeFam(w, "nztm_tm_threads_high_water", "registry slot high-water mark", float64(s.reg.High()))
 
 	s.store.Metrics().WriteProm(w, hotspotTopK)
 
@@ -74,10 +90,52 @@ func (s *Server) tracezRecorder() *trace.FlightRecorder {
 // With no recorder bound it emits a disabled marker instead of an error, so
 // the endpoint is always safe to poll.
 func (s *Server) WriteTracez(w io.Writer) {
+	s.WriteTracezOpts(w, nil, 0)
+}
+
+// WriteTracezOpts is WriteTracez with the /tracez query filters: source
+// (nil = all sources) keeps only that source id's ring, and limit > 0
+// keeps only each ring's newest limit events.
+func (s *Server) WriteTracezOpts(w io.Writer, source *int, limit int) {
 	fr := s.tracezRecorder()
 	if fr == nil {
 		fmt.Fprintln(w, `{"enabled":false}`)
 		return
 	}
-	fr.WriteJSON(w)
+	fr.WriteJSONOpts(w, source, limit)
+}
+
+// TracezHandler serves /tracez, honouring ?source=<id> and ?limit=<n>.
+// Bad parameter values are a 400, not a silent full dump.
+func (s *Server) TracezHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		var source *int
+		limit := 0
+		if v := r.URL.Query().Get("source"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(rw, fmt.Sprintf("bad source %q: %v", v, err), http.StatusBadRequest)
+				return
+			}
+			source = &n
+		}
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(rw, fmt.Sprintf("bad limit %q", v), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		s.WriteTracezOpts(rw, source, limit)
+	})
+}
+
+// SlowzHandler serves /slowz: the slow-request tail sampler as JSON.
+func (s *Server) SlowzHandler() http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		s.WriteSlowz(rw)
+	})
 }

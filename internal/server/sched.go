@@ -114,21 +114,28 @@ func (st *SchedStats) WriteStatsz(w io.Writer) {
 // depth/busy gauges.
 func (st *SchedStats) WriteMetricsz(w io.Writer) {
 	st.fields(func(name string, v uint64) {
-		metrics.Counter(w, "nztm_sched_"+name+"_total", v)
+		metrics.CounterFam(w, "nztm_sched_"+name+"_total",
+			"scheduler "+strings.ReplaceAll(name, "_", " ")+" count", v)
 	})
-	metrics.Gauge(w, "nztm_sched_queue_depth", float64(st.Depth()))
-	metrics.Gauge(w, "nztm_sched_executors_busy", float64(st.Busy()))
+	metrics.GaugeFam(w, "nztm_sched_queue_depth", "admitted requests not yet dispatched", float64(st.Depth()))
+	metrics.GaugeFam(w, "nztm_sched_executors_busy", "executors currently running a request", float64(st.Busy()))
 }
 
 // task is one decoded request waiting in the admission queue. Tasks move
 // by value through a channel, so dispatch adds no per-request allocation
-// beyond the response buffer the request was always going to need.
+// beyond the response buffer the request was always going to need. The
+// span rides inside the task for the same reason: a fixed-size stamp
+// array copied with the struct, never a pointer into the heap. Stages
+// stamped by the connection goroutine (decode, enqueue) must be stamped
+// BEFORE admit — the channel send copies the task, so later stamps on
+// the reader's copy would be lost.
 type task struct {
-	id  uint64
-	ops []kv.Op
-	st  *Staleness
-	c   *connState
-	enq time.Time
+	id   uint64
+	ops  []kv.Op
+	st   *Staleness
+	c    *connState
+	enq  time.Time
+	span trace.Span
 }
 
 // connState is one connection's slice of the scheduler: the response
@@ -261,11 +268,16 @@ func (s *scheduler) executor(srv *Server, th *tm.Thread) {
 		waited := time.Since(t.enq)
 		s.wait.Observe(waited)
 		s.rec.Record(tm.Monotime(), trace.KindSchedDispatch, 0, uint64(waited), 0)
+		t.span.Mark(trace.StageDispatch)
 		if srv.preExec != nil {
 			srv.preExec(t.ops)
 		}
-		resp := srv.execute(th, t.id, t.ops, t.st)
+		t.span.Mark(trace.StageExecStart)
+		resp := srv.execute(th, t.id, t.ops, t.st, &t.span)
 		t.c.deliver(resp, &s.stats)
+		t.span.Mark(trace.StageRespond)
+		srv.spans.Observe(&t.span)
+		srv.slow.Observe(&t.span)
 		s.stats.Completed.Add(1)
 		t.c.finish()
 	}

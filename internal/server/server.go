@@ -56,6 +56,12 @@ type Config struct {
 	// WrapThread, when non-nil, decorates each per-connection thread
 	// context right after it is minted (the fault plane rebinds Env here).
 	WrapThread func(*tm.Thread)
+	// SlowK sizes the slow-request tail sampler: the K slowest complete
+	// span timelines per window are kept for /slowz. Default 8.
+	SlowK int
+	// SlowWindow is the tail sampler's rotation period (default 1m;
+	// negative disables rotation — one all-time window).
+	SlowWindow time.Duration
 	// CheckRequest, when non-nil, is consulted before each request is
 	// admitted to the scheduler — the replication plane's interposition
 	// point. Returning StatusOK lets the request run; any other status
@@ -109,6 +115,8 @@ type Server struct {
 	reqOverload   atomic.Uint64 // StatusOverloaded rejects (admission queue full)
 	singleLatency Histogram
 	batchLatency  Histogram
+	spans         SpanMetrics        // per-stage latency attribution
+	slow          *trace.SlowSampler // K slowest timelines per window (/slowz)
 
 	statszMu   sync.Mutex
 	statszPrev tm.StatsView
@@ -132,6 +140,12 @@ func New(store *kv.Store, reg *tm.Registry, cfg Config) *Server {
 	if cfg.Executors > reg.Max() {
 		cfg.Executors = reg.Max()
 	}
+	if cfg.SlowK <= 0 {
+		cfg.SlowK = 8
+	}
+	if cfg.SlowWindow == 0 {
+		cfg.SlowWindow = time.Minute
+	}
 	s := &Server{
 		store:   store,
 		reg:     reg,
@@ -139,6 +153,7 @@ func New(store *kv.Store, reg *tm.Registry, cfg Config) *Server {
 		sched:   newScheduler(cfg.Executors, cfg.QueueDepth, cfg.Admission),
 		conns:   make(map[net.Conn]struct{}),
 		started: time.Now(),
+		slow:    trace.NewSlowSampler(cfg.SlowK, cfg.SlowWindow),
 	}
 	s.statszAt = s.started
 	return s
@@ -302,6 +317,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			// desynchronised stream there is no way to answer reliably.
 			break
 		}
+		// Span origin: the frame is fully read; everything from here to
+		// the response write is attributed to a stage.
+		var span trace.Span
+		span.Begin = trace.Now()
 		id, ops, st, perr := parseRequest(payload)
 		if perr != nil {
 			s.reqBad.Add(1)
@@ -330,12 +349,19 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 		}
+		span.ID = id
+		span.Ops = uint32(len(ops))
+		span.Mark(trace.StageDecode)
 		// Admission: take an in-flight token (parking here is the
 		// per-connection pipelining bound), then offer the task to the
-		// bounded queue.
+		// bounded queue. The enqueue stamp lands BEFORE admit: the channel
+		// send copies the task by value, so the enqueue stage covers the
+		// in-flight-token wait and the dispatch stage the queue wait
+		// (including an AdmitBlock park).
 		cs.sem <- struct{}{}
 		cs.wg.Add(1)
-		if !s.sched.admit(task{id: id, ops: ops, st: st, c: cs, enq: time.Now()}) {
+		span.Mark(trace.StageEnqueue)
+		if !s.sched.admit(task{id: id, ops: ops, st: st, c: cs, enq: time.Now(), span: span}) {
 			s.reqOverload.Add(1)
 			cs.wg.Done()
 			<-cs.sem
@@ -352,7 +378,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // execute runs one request on an executor's thread and encodes its
 // response. A vector-aware request (st non-nil) is answered with
 // StatusOKVec carrying its commit vector.
-func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op, st *Staleness) []byte {
+func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op, st *Staleness, sp *trace.Span) []byte {
 	start := time.Now()
 	budget := kv.Budget{MaxAttempts: s.cfg.MaxAttempts, Backoff: s.cfg.RetryBackoff}
 	if s.cfg.RequestTimeout > 0 {
@@ -362,9 +388,9 @@ func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op, st *Staleness) [
 	var vec []wal.ShardLSN
 	var err error
 	if st != nil {
-		results, vec, err = s.store.DoVec(th, ops, budget)
+		results, vec, err = s.store.DoVecSpan(th, ops, budget, sp)
 	} else {
-		results, err = s.store.Do(th, ops, budget)
+		results, err = s.store.DoSpan(th, ops, budget, sp)
 	}
 	elapsed := time.Since(start)
 
@@ -377,17 +403,43 @@ func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op, st *Staleness) [
 	case err == nil:
 		s.reqOK.Add(1)
 		if st != nil {
+			if sp != nil {
+				sp.Status = StatusOKVec
+			}
 			return appendResponseVec(nil, id, StatusOKVec, results, vec, "")
+		}
+		if sp != nil {
+			sp.Status = StatusOK
 		}
 		return appendResponse(nil, id, StatusOK, results, "")
 	case errors.Is(err, kv.ErrBudget):
 		s.reqBudget.Add(1)
+		if sp != nil {
+			sp.Status = StatusBudget
+		}
 		return appendResponse(nil, id, StatusBudget, nil, err.Error())
 	default:
 		s.reqErr.Add(1)
+		if sp != nil {
+			sp.Status = StatusError
+		}
 		return appendResponse(nil, id, StatusError, nil, err.Error())
 	}
 }
+
+// Spans exposes the per-stage latency attribution histograms.
+func (s *Server) Spans() *SpanMetrics { return &s.spans }
+
+// SlowSampler exposes the slow-request tail sampler (for soak dumps).
+func (s *Server) SlowSampler() *trace.SlowSampler { return s.slow }
+
+// WriteSlowz renders the /slowz JSON document: the K slowest complete
+// request timelines of the current and previous sampling window.
+func (s *Server) WriteSlowz(w io.Writer) error { return s.slow.WriteJSON(w) }
+
+// DumpSlow writes the sampled slow-request timelines human-readably —
+// the form SIGQUIT diagnostics and soak failure dumps use.
+func (s *Server) DumpSlow(w io.Writer) { s.slow.Dump(w) }
 
 // SingleLatency exposes the single-op latency histogram.
 func (s *Server) SingleLatency() *Histogram { return &s.singleLatency }
@@ -446,6 +498,7 @@ func (s *Server) WriteStatsz(w io.Writer) {
 	s.singleLatency.Dump(w)
 	fmt.Fprintf(w, "latency batch buckets:\n")
 	s.batchLatency.Dump(w)
+	s.spans.WriteStatsz(w)
 	if m := s.store.Metrics(); m != nil {
 		fmt.Fprintf(w, "kv commit latency: %s\n", m.CommitLatency.Summary())
 		if hot := m.TopK(hotspotTopK); len(hot) > 0 {

@@ -1,0 +1,289 @@
+package trace
+
+// SlowSampler keeps the K slowest complete request timelines per time
+// window in a lock-free ring. Writers (executors) publish a span with a
+// seqlock per slot: CAS the version word even→odd to claim, store the
+// span's words, release odd→even+2. A lost CAS drops the sample — under
+// contention some slow requests are missed, but no writer ever blocks
+// and no reader ever observes a torn timeline. Two windows rotate so a
+// snapshot always has a complete previous window to fall back on while
+// the current one warms up.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// slot word layout: fixed header then the stage stamps.
+const (
+	slowWordBegin = iota
+	slowWordID
+	slowWordMeta   // ops<<32 | attempts
+	slowWordStatus // response status code
+	slowWordStamp0 // first of SpanStages stamp words
+	slowSlotWords  = slowWordStamp0 + SpanStages
+)
+
+// slowSlot is one published timeline. ver is a seqlock: even = stable,
+// odd = a writer is mid-publish. total mirrors the span's total duration
+// so the replacement scan can rank slots without reading words.
+type slowSlot struct {
+	ver   atomic.Uint64
+	total atomic.Uint64
+	words [slowSlotWords]atomic.Uint64
+}
+
+// publish claims the slot and stores sp. Returns false when another
+// writer holds the slot (the sample is dropped, never blocked on).
+func (sl *slowSlot) publish(sp *Span, total uint64) bool {
+	v := sl.ver.Load()
+	if v&1 != 0 || !sl.ver.CompareAndSwap(v, v+1) {
+		return false
+	}
+	sl.words[slowWordBegin].Store(sp.Begin)
+	sl.words[slowWordID].Store(sp.ID)
+	sl.words[slowWordMeta].Store(uint64(sp.Ops)<<32 | uint64(sp.Attempts))
+	sl.words[slowWordStatus].Store(uint64(sp.Status))
+	for i := 0; i < SpanStages; i++ {
+		sl.words[slowWordStamp0+i].Store(sp.Stamp[i])
+	}
+	sl.total.Store(total)
+	sl.ver.Store(v + 2)
+	return true
+}
+
+// read copies the slot out as a Span, retrying a torn read once via the
+// version check. ok is false for empty or in-flight slots.
+func (sl *slowSlot) read() (sp Span, total uint64, ok bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		v1 := sl.ver.Load()
+		if v1&1 != 0 {
+			continue
+		}
+		total = sl.total.Load()
+		if total == 0 {
+			return Span{}, 0, false
+		}
+		sp.Begin = sl.words[slowWordBegin].Load()
+		sp.ID = sl.words[slowWordID].Load()
+		meta := sl.words[slowWordMeta].Load()
+		sp.Ops = uint32(meta >> 32)
+		sp.Attempts = uint32(meta)
+		sp.Status = uint8(sl.words[slowWordStatus].Load())
+		for i := 0; i < SpanStages; i++ {
+			sp.Stamp[i] = sl.words[slowWordStamp0+i].Load()
+		}
+		if sl.ver.Load() == v1 {
+			return sp, total, true
+		}
+	}
+	return Span{}, 0, false
+}
+
+// clear zeroes the slot for window reuse.
+func (sl *slowSlot) clear() {
+	v := sl.ver.Load()
+	if v&1 != 0 || !sl.ver.CompareAndSwap(v, v+1) {
+		return // a writer owns it; its publish will overwrite anyway
+	}
+	sl.total.Store(0)
+	sl.ver.Store(v + 2)
+}
+
+// slowWindow is one K-slot arena plus a floor hint (the smallest slot
+// total) that lets the hot path reject fast requests with one load.
+type slowWindow struct {
+	slots []slowSlot
+	floor atomic.Uint64
+}
+
+// offer replaces the window's smallest-total slot if sp is slower.
+func (w *slowWindow) offer(sp *Span, total uint64) {
+	minIdx, minVal := -1, ^uint64(0)
+	for i := range w.slots {
+		if t := w.slots[i].total.Load(); t < minVal {
+			minVal, minIdx = t, i
+		}
+	}
+	if minIdx < 0 || total <= minVal {
+		return
+	}
+	if !w.slots[minIdx].publish(sp, total) {
+		return
+	}
+	minVal = ^uint64(0)
+	for i := range w.slots {
+		if t := w.slots[i].total.Load(); t < minVal {
+			minVal = t
+		}
+	}
+	w.floor.Store(minVal)
+}
+
+func (w *slowWindow) reset() {
+	for i := range w.slots {
+		w.slots[i].clear()
+	}
+	w.floor.Store(0)
+}
+
+// SlowSampler retains the K slowest spans of the current and previous
+// window. The zero/nil sampler is a no-op.
+type SlowSampler struct {
+	k        int
+	windowNs uint64
+	winStart atomic.Uint64 // Now() at current window's start
+	cur      atomic.Uint32 // index (0/1) of the current window
+	win      [2]slowWindow
+}
+
+// NewSlowSampler keeps the k slowest timelines per window of the given
+// duration (window <= 0 disables rotation: one all-time window).
+func NewSlowSampler(k int, window time.Duration) *SlowSampler {
+	if k <= 0 {
+		k = 8
+	}
+	s := &SlowSampler{k: k}
+	if window > 0 {
+		s.windowNs = uint64(window)
+	}
+	s.win[0].slots = make([]slowSlot, k)
+	s.win[1].slots = make([]slowSlot, k)
+	s.winStart.Store(Now())
+	return s
+}
+
+// K returns the per-window capacity.
+func (s *SlowSampler) K() int {
+	if s == nil {
+		return 0
+	}
+	return s.k
+}
+
+// Observe offers a completed span to the sampler. Nil-safe and
+// allocation-free; the fast path (request faster than the window's
+// current floor) is two atomic loads.
+func (s *SlowSampler) Observe(sp *Span) {
+	if s == nil || sp == nil {
+		return
+	}
+	total := sp.Total()
+	if total == 0 {
+		return
+	}
+	s.maybeRotate(sp.End())
+	w := &s.win[s.cur.Load()]
+	if f := w.floor.Load(); total <= f {
+		return
+	}
+	w.offer(sp, total)
+}
+
+// maybeRotate swaps windows when the current one has aged out. One
+// winner of the winStart CAS resets the spare window and flips cur.
+func (s *SlowSampler) maybeRotate(now uint64) {
+	if s.windowNs == 0 {
+		return
+	}
+	start := s.winStart.Load()
+	if now < start || now-start < s.windowNs {
+		return
+	}
+	if !s.winStart.CompareAndSwap(start, now) {
+		return
+	}
+	next := 1 - s.cur.Load()
+	s.win[next].reset()
+	s.cur.Store(next)
+}
+
+// SlowEntry is one sampled timeline in export form.
+type SlowEntry struct {
+	ID       uint64          `json:"id"`
+	BeginNs  uint64          `json:"begin_ns"`
+	TotalUs  float64         `json:"total_us"`
+	Ops      uint32          `json:"ops"`
+	Attempts uint32          `json:"attempts"`
+	Status   uint8           `json:"status"`
+	Window   string          `json:"window"` // "current" or "previous"
+	Stages   []SlowStageSpan `json:"stages"`
+}
+
+// SlowStageSpan is one non-zero stage duration within a SlowEntry.
+type SlowStageSpan struct {
+	Stage string  `json:"stage"`
+	Us    float64 `json:"us"`
+}
+
+// Snapshot returns the sampled timelines, slowest first: the current
+// window's entries plus the previous window's. Allocates; not hot-path.
+func (s *SlowSampler) Snapshot() []SlowEntry {
+	if s == nil {
+		return nil
+	}
+	cur := s.cur.Load()
+	var out []SlowEntry
+	for _, wi := range []uint32{cur, 1 - cur} {
+		label := "current"
+		if wi != cur {
+			label = "previous"
+		}
+		for i := range s.win[wi].slots {
+			sp, total, ok := s.win[wi].slots[i].read()
+			if !ok {
+				continue
+			}
+			e := SlowEntry{
+				ID:       sp.ID,
+				BeginNs:  sp.Begin,
+				TotalUs:  float64(total) / 1e3,
+				Ops:      sp.Ops,
+				Attempts: sp.Attempts,
+				Status:   sp.Status,
+				Window:   label,
+			}
+			for st := 0; st < SpanStages; st++ {
+				if d := sp.StageDur(st); d > 0 {
+					e.Stages = append(e.Stages, SlowStageSpan{Stage: StageName(st), Us: float64(d) / 1e3})
+				}
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalUs > out[j].TotalUs })
+	return out
+}
+
+// WriteJSON renders the snapshot as the /slowz document.
+func (s *SlowSampler) WriteJSON(w io.Writer) error {
+	entries := s.Snapshot()
+	if entries == nil {
+		entries = []SlowEntry{}
+	}
+	doc := struct {
+		K       int         `json:"k"`
+		Entries []SlowEntry `json:"entries"`
+	}{K: s.K(), Entries: entries}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Dump writes a human-readable table of the sampled timelines — the
+// stderr form used by SIGQUIT diagnostics and soak failure dumps.
+func (s *SlowSampler) Dump(w io.Writer) {
+	entries := s.Snapshot()
+	fmt.Fprintf(w, "--- slow requests (%d sampled, k=%d/window) ---\n", len(entries), s.K())
+	for _, e := range entries {
+		fmt.Fprintf(w, "  req=%d total=%.0fus ops=%d attempts=%d status=%d window=%s\n",
+			e.ID, e.TotalUs, e.Ops, e.Attempts, e.Status, e.Window)
+		for _, st := range e.Stages {
+			fmt.Fprintf(w, "      %-11s %10.1fus\n", st.Stage, st.Us)
+		}
+	}
+}

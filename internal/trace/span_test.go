@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stampAll fabricates a span with known stage gaps: stage i completes
+// gap*(i+1) ns after Begin, for the stages listed.
+func stampAll(begin, gap uint64, stages ...int) Span {
+	var sp Span
+	sp.Begin = begin
+	for _, st := range stages {
+		sp.Stamp[st] = begin + gap*uint64(st+1)
+	}
+	return sp
+}
+
+func TestSpanStageDurPartitionsTotal(t *testing.T) {
+	// All stages stamped: durations are all `gap`, sum == Total.
+	sp := stampAll(1000, 10, StageDecode, StageEnqueue, StageDispatch, StageExecStart,
+		StageTM, StageWALAppend, StageFsyncWait, StageStableWait, StageReplGate, StageRespond)
+	var sum uint64
+	for i := 0; i < SpanStages; i++ {
+		d := sp.StageDur(i)
+		if d != 10 {
+			t.Fatalf("stage %s dur = %d, want 10", StageName(i), d)
+		}
+		sum += d
+	}
+	if sum != sp.Total() {
+		t.Fatalf("stage sum %d != total %d", sum, sp.Total())
+	}
+}
+
+func TestSpanSkippedStagesBridge(t *testing.T) {
+	// Memory-only shape: WAL/repl stages never stamped. The gap they
+	// would have covered must be attributed to the next stamped stage so
+	// the partition still sums to Total.
+	var sp Span
+	sp.Begin = 100
+	sp.Stamp[StageDecode] = 110
+	sp.Stamp[StageTM] = 150
+	sp.Stamp[StageRespond] = 180
+	if d := sp.StageDur(StageWALAppend); d != 0 {
+		t.Fatalf("skipped stage dur = %d, want 0", d)
+	}
+	if d := sp.StageDur(StageTM); d != 40 {
+		t.Fatalf("tm dur = %d, want 40 (bridging skipped enqueue/dispatch)", d)
+	}
+	if d := sp.StageDur(StageRespond); d != 30 {
+		t.Fatalf("respond dur = %d, want 30 (bridging skipped wal stages)", d)
+	}
+	var sum uint64
+	for i := 0; i < SpanStages; i++ {
+		sum += sp.StageDur(i)
+	}
+	if sum != sp.Total() || sp.Total() != 80 {
+		t.Fatalf("sum=%d total=%d, want both 80", sum, sp.Total())
+	}
+}
+
+func TestSpanNilAndEmpty(t *testing.T) {
+	var nilSp *Span
+	nilSp.Mark(StageTM) // must not panic
+	var sp Span
+	if sp.Total() != 0 || sp.End() != 0 {
+		t.Fatalf("zero span total=%d end=%d", sp.Total(), sp.End())
+	}
+	if StageName(-1) != "unknown" || StageName(SpanStages) != "unknown" {
+		t.Fatal("out-of-range StageName")
+	}
+	if StageName(StageFsyncWait) != "fsync_wait" {
+		t.Fatalf("StageName(StageFsyncWait) = %q", StageName(StageFsyncWait))
+	}
+}
+
+func TestSpanNowMonotone(t *testing.T) {
+	a := Now()
+	time.Sleep(time.Millisecond)
+	b := Now()
+	if b <= a {
+		t.Fatalf("Now not monotone: %d then %d", a, b)
+	}
+}
+
+func TestSlowSamplerKeepsSlowest(t *testing.T) {
+	s := NewSlowSampler(3, 0) // no rotation
+	// Offer 10 spans with totals 1..10ms; only 8,9,10 should survive.
+	for i := 1; i <= 10; i++ {
+		sp := stampAll(uint64(i)*1000, uint64(i)*100_000, StageTM, StageRespond)
+		sp.ID = uint64(i)
+		s.Observe(&sp)
+	}
+	got := s.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(got))
+	}
+	want := []uint64{10, 9, 8}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Fatalf("slot %d id = %d, want %d (slowest first)", i, e.ID, want[i])
+		}
+	}
+	if got[0].TotalUs <= got[1].TotalUs {
+		t.Fatal("snapshot not sorted by total desc")
+	}
+	if len(got[0].Stages) == 0 {
+		t.Fatal("entry lost its stage breakdown")
+	}
+}
+
+func TestSlowSamplerWindowRotation(t *testing.T) {
+	s := NewSlowSampler(2, time.Millisecond)
+	base := Now()
+	sp := stampAll(base, 50, StageRespond)
+	sp.ID = 1
+	s.Observe(&sp)
+	// A span ending two windows later forces rotation; the old entry
+	// moves to the "previous" window.
+	late := stampAll(base+uint64(10*time.Millisecond), 75, StageRespond)
+	late.ID = 2
+	s.Observe(&late)
+	got := s.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(got))
+	}
+	byID := map[uint64]string{}
+	for _, e := range got {
+		byID[e.ID] = e.Window
+	}
+	if byID[2] != "current" || byID[1] != "previous" {
+		t.Fatalf("windows = %v, want id2=current id1=previous", byID)
+	}
+	// Two more rotations evict the old window entirely.
+	for k := 0; k < 2; k++ {
+		far := stampAll(base+uint64((20+10*k)*int(time.Millisecond)), 60, StageRespond)
+		far.ID = uint64(100 + k)
+		s.Observe(&far)
+	}
+	for _, e := range s.Snapshot() {
+		if e.ID == 1 {
+			t.Fatal("entry survived two window rotations")
+		}
+	}
+}
+
+func TestSlowSamplerJSONAndDump(t *testing.T) {
+	s := NewSlowSampler(2, 0)
+	sp := stampAll(500, 1000, StageDecode, StageTM, StageRespond)
+	sp.ID = 42
+	sp.Ops = 3
+	sp.Attempts = 2
+	sp.Status = 1
+	s.Observe(&sp)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc struct {
+		K       int         `json:"k"`
+		Entries []SlowEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("slowz not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.K != 2 || len(doc.Entries) != 1 || doc.Entries[0].ID != 42 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Entries[0].Attempts != 2 || doc.Entries[0].Ops != 3 {
+		t.Fatalf("entry meta = %+v", doc.Entries[0])
+	}
+	var hum bytes.Buffer
+	s.Dump(&hum)
+	if !strings.Contains(hum.String(), "req=42") || !strings.Contains(hum.String(), "tm") {
+		t.Fatalf("dump missing entry: %s", hum.String())
+	}
+	// Nil sampler: everything is a no-op.
+	var nilS *SlowSampler
+	nilS.Observe(&sp)
+	if nilS.Snapshot() != nil || nilS.K() != 0 {
+		t.Fatal("nil sampler not inert")
+	}
+}
+
+// TestSlowSamplerRace hammers Observe from many goroutines while a
+// reader snapshots, relying on the race detector (make race covers this
+// package) plus the seqlock's torn-read checks.
+func TestSlowSamplerRace(t *testing.T) {
+	s := NewSlowSampler(4, 100*time.Microsecond)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				var sp Span
+				sp.Begin = Now()
+				sp.ID = uint64(g*10000 + i)
+				sp.Mark(StageTM)
+				sp.Mark(StageRespond)
+				sp.Stamp[StageRespond] += uint64(i % 977) // vary totals
+				s.Observe(&sp)
+			}
+		}(g)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range s.Snapshot() {
+				if e.TotalUs < 0 {
+					t.Error("negative total from snapshot")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+}
+
+// TestSpanAllocGuard enforces the hot-path discipline on the span
+// machinery itself: stamping every stage and offering the span to the
+// sampler must not allocate.
+func TestSpanAllocGuard(t *testing.T) {
+	s := NewSlowSampler(4, time.Minute)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var sp Span
+		sp.Begin = Now()
+		sp.ID = 7
+		for i := 0; i < SpanStages; i++ {
+			sp.Mark(i)
+		}
+		s.Observe(&sp)
+	})
+	if allocs >= 0.5 {
+		t.Fatalf("span stamp+observe allocates %.2f/op, want 0", allocs)
+	}
+}

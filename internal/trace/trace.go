@@ -394,10 +394,37 @@ func (f *FlightRecorder) Snapshot() []SourceLog {
 // WriteJSON writes the /tracez document: total event count plus every
 // source's retained log.
 func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	return f.WriteJSONOpts(w, nil, 0)
+}
+
+// WriteJSONOpts is WriteJSON with the /tracez query filters applied:
+// when source is non-nil only that source id's log is emitted (an
+// unknown id yields an empty source list, not an error), and when
+// limit > 0 each emitted log keeps only its newest limit events
+// (Dropped grows by what the limit cut).
+func (f *FlightRecorder) WriteJSONOpts(w io.Writer, source *int, limit int) error {
+	logs := f.Snapshot()
+	if source != nil {
+		kept := logs[:0]
+		for _, l := range logs {
+			if l.Source == *source {
+				kept = append(kept, l)
+			}
+		}
+		logs = kept
+	}
+	if limit > 0 {
+		for i := range logs {
+			if cut := len(logs[i].Events) - limit; cut > 0 {
+				logs[i].Events = logs[i].Events[cut:]
+				logs[i].Dropped += uint64(cut)
+			}
+		}
+	}
 	doc := struct {
 		EventsTotal uint64      `json:"events_total"`
 		Sources     []SourceLog `json:"sources"`
-	}{EventsTotal: f.Count(), Sources: f.Snapshot()}
+	}{EventsTotal: f.Count(), Sources: logs}
 	if doc.Sources == nil {
 		doc.Sources = []SourceLog{}
 	}

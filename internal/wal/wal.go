@@ -9,6 +9,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"nztm/internal/metrics"
+	"nztm/internal/trace"
 )
 
 // FsyncPolicy selects when appended frames are forced to stable media.
@@ -118,8 +121,11 @@ type Config struct {
 	CrashHook func(CrashPoint)
 }
 
-// Stats are cumulative counters, safe for concurrent reading while the
-// log runs (exported to /statsz and /metricsz by the server).
+// Stats are cumulative counters and commit-pipeline distributions, safe
+// for concurrent reading while the log runs (exported to /statsz and
+// /metricsz by the server — atomic.Uint64 fields as counters,
+// metrics.Histogram fields as dimensionless histograms, both by
+// reflection over this struct, so a new field cannot ship unexported).
 type Stats struct {
 	AppendedFrames atomic.Uint64 // frame copies written (one per shard touched)
 	AppendedBytes  atomic.Uint64
@@ -127,6 +133,17 @@ type Stats struct {
 	Snapshots      atomic.Uint64 // snapshots sealed
 	SnapshotKeys   atomic.Uint64 // keys in the last sealed snapshot pass
 	RemovedFiles   atomic.Uint64 // covered segments + stale snapshots deleted
+
+	// FsyncCohortFrames is how many frames each fsync made durable: the
+	// group-commit amortization factor (1 = no batching happening).
+	FsyncCohortFrames metrics.Histogram
+	// ReorderOccupancy samples the reorder buffer's depth at each
+	// enqueue: how far out of LSN order post-commit handoff arrives.
+	ReorderOccupancy metrics.Histogram
+	// StableLagFrames samples written−stable whenever the stable
+	// watermark advances: how many written frames were still awaiting
+	// cross-shard stability.
+	StableLagFrames metrics.Histogram
 }
 
 // segment is one on-disk log file of a shard. base is the LSN of its
@@ -207,7 +224,14 @@ func (l *Log) hook(p CrashPoint) {
 // earlier LSN in each of those shards is equally persisted, then marks
 // those LSNs stable. Only after Append returns may the commit be
 // acknowledged to a client.
-func (l *Log) Append(f *Frame) error {
+func (l *Log) Append(f *Frame) error { return l.AppendSpan(f, nil) }
+
+// AppendSpan is Append with a request span: the wal_append stage is
+// stamped once the frame is write()n in every vector shard and the
+// fsync_wait stage once the covering group-commit fsync lands (only
+// under FsyncAlways — other policies leave the stage zero). sp may be
+// nil.
+func (l *Log) AppendSpan(f *Frame, sp *trace.Span) error {
 	if len(f.Shards) == 0 {
 		return errors.New("wal: frame with empty shard vector")
 	}
@@ -230,16 +254,18 @@ func (l *Log) Append(f *Frame) error {
 			return l.poison(f, err)
 		}
 	}
+	sp.Mark(trace.StageWALAppend)
 	if l.cfg.Fsync == FsyncAlways {
 		for _, sl := range f.Shards {
 			if err := l.shards[sl.Shard].ensureDurable(l, sl.LSN); err != nil {
 				return l.poison(f, err)
 			}
 		}
+		sp.Mark(trace.StageFsyncWait)
 	}
 	advanced := false
 	for _, sl := range f.Shards {
-		if l.shards[sl.Shard].markStable(sl.LSN) {
+		if l.shards[sl.Shard].markStable(l, sl.LSN) {
 			advanced = true
 		}
 	}
@@ -297,6 +323,7 @@ func (s *shardLog) enqueue(l *Log, lsn uint64, enc []byte) {
 		return
 	}
 	s.pending[lsn] = enc
+	l.stats.ReorderOccupancy.ObserveValue(uint64(len(s.pending)))
 	s.drainLocked(l)
 }
 
@@ -385,6 +412,7 @@ func (s *shardLog) ensureDurable(l *Log, lsn uint64) error {
 		} else {
 			l.stats.Fsyncs.Add(1)
 			if target > s.durable {
+				l.stats.FsyncCohortFrames.ObserveValue(target - s.durable)
 				s.durable = target
 			}
 		}
@@ -396,7 +424,7 @@ func (s *shardLog) ensureDurable(l *Log, lsn uint64) error {
 // markStable records that the frame at lsn is persisted in all its
 // vector shards and advances the dense stable watermark, reporting
 // whether the watermark moved (so Append can wake stable watchers).
-func (s *shardLog) markStable(lsn uint64) bool {
+func (s *shardLog) markStable(l *Log, lsn uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if lsn <= s.stable {
@@ -412,7 +440,11 @@ func (s *shardLog) markStable(lsn uint64) bool {
 		s.stable++
 	}
 	s.cond.Broadcast()
-	return s.stable > before
+	if s.stable > before {
+		l.stats.StableLagFrames.ObserveValue(s.written - s.stable)
+		return true
+	}
+	return false
 }
 
 // waitStable blocks until stable ≥ lsn.
@@ -468,6 +500,7 @@ func (s *shardLog) rotateLocked(l *Log) {
 		} else {
 			l.stats.Fsyncs.Add(1)
 			if target > s.durable {
+				l.stats.FsyncCohortFrames.ObserveValue(target - s.durable)
 				s.durable = target
 			}
 		}
