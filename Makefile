@@ -6,7 +6,8 @@
 #                   critical packages (tm, core, kv, server, fault, trace,
 #                   metrics, histcheck, wal) + a tracing-enabled race pass +
 #                   protocol and WAL fuzzers + a short fault-injected soak +
-#                   the crash-recovery soak + the serving benchmark
+#                   the crash-recovery soak + the storage-fault soak +
+#                   the failover/partition soak + the serving benchmark
 #                   (regenerates BENCH_kv.json, memory-only vs WAL fsync
 #                   policies) — run this before sending a PR
 #   make vet        go vet ./...
@@ -27,10 +28,23 @@
 #   make failover   replication failover soak: run a 3-node cluster of
 #                   child servers under load, SIGKILL the primary ≥50
 #                   times, require automatic promotion each time, prove
-#                   the deposed primary is fenced on rejoin, and verify
+#                   the deposed primary is fenced on rejoin, then run
+#                   split-brain partition episodes (blackhole the primary
+#                   from both followers mid-load, require a higher-epoch
+#                   promotion, prove the isolated primary never acks and
+#                   fences itself on heal WITHOUT a restart), and verify
 #                   no acked write is lost and the cross-failover history
 #                   stays linearizable (FAILOVER_FLAGS to customise; see
-#                   DESIGN.md §13)
+#                   DESIGN.md §13 and §17)
+#   make diskfault  storage fault soak: boot a child nztm-server on a
+#                   seeded fault-injecting filesystem (EIO, short writes,
+#                   ENOSPC, fsync failure, open/rename errors at named
+#                   sites), drive acked load through ≥100 injected I/O
+#                   errors, require zero acked-write loss and zero wedges,
+#                   at least one fsync fail-stop episode and one ENOSPC
+#                   read-only episode, clean StatusReadOnly shedding, and
+#                   a linearizable history (DISKFAULT_FLAGS to customise;
+#                   see DESIGN.md §17)
 #   make bench-kv   serving-path benchmark: NZSTM vs GlobalLock over real
 #                   sockets, plus WAL fsync=always/interval/never durability
 #                   pricing, the 3-node replicated-reads comparison, a
@@ -62,15 +76,16 @@ OVERSUB_FLAGS ?= -oversubscribed -seed 1 -duration 4s -threads 4 -keys 64 -rate 
 # modes (the switch-protocol stress test); gates on >=4 observed switches.
 ADAPTIVE_FLAGS ?= -adaptive -seed 1 -duration 5s
 CRASH_FLAGS ?= -crash -crash-target 200 -seed 1
-FAILOVER_FLAGS ?= -failover -kills 50 -seed 1
+FAILOVER_FLAGS ?= -failover -kills 50 -partitions 4 -seed 1
+DISKFAULT_FLAGS ?= -diskfault -diskfault-target 120 -seed 1
 # Profiling run: the durability-priced serving profile under the pprof
 # collectors. Not a check — it exists to answer "where do the cycles and
 # allocations go", with the per-stage span breakdown printed beside it.
 PROFILE_FLAGS ?= -systems nzstm -fsync always,interval,never -duration 3s
 
-.PHONY: check build vet test race race-tracing fuzz soak crash failover bench-kv profile serve
+.PHONY: check build vet test race race-tracing fuzz soak crash failover diskfault bench-kv profile serve
 
-check: build vet test race race-tracing fuzz soak crash failover bench-kv
+check: build vet test race race-tracing fuzz soak crash diskfault failover bench-kv
 
 build:
 	$(GO) build ./...
@@ -108,6 +123,9 @@ crash:
 
 failover:
 	$(GO) run ./cmd/nztm-soak $(FAILOVER_FLAGS)
+
+diskfault:
+	$(GO) run ./cmd/nztm-soak $(DISKFAULT_FLAGS)
 
 bench-kv:
 	$(GO) run ./cmd/nztm-load -out BENCH_kv.json -fsync always,interval,never -replicated -connections 8,64,512 -executors 8 -crossover

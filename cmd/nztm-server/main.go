@@ -90,6 +90,10 @@ func main() {
 		crashSites = flag.String("crash-sites", "all", "comma-separated WAL crash sites to arm (pre-append, mid-append, post-append, mid-snapshot, mid-truncate, or all)")
 		crashProb  = flag.Float64("crash-prob", 0.01, "per-visit firing probability at each armed crash site")
 
+		diskSeed  = flag.Uint64("disk-fault-seed", 0, "arm deterministic disk I/O error injection with this seed (0 = off; testing only; passthrough until recovery completes)")
+		diskSites = flag.String("disk-fault-sites", "all", "comma-separated disk fault sites to arm (write-eio, write-short, write-enospc, sync, open, read, rename, or all)")
+		diskProb  = flag.Float64("disk-fault-prob", 0.01, "per-visit firing probability at each armed disk fault site")
+
 		replAddr  = flag.String("repl-addr", "", "replication listen address (empty disables the replication plane; requires -data-dir)")
 		replFrom  = flag.String("replicate-from", "", "start as a follower of the primary at this replication address (empty with -repl-addr = start as primary)")
 		advertise = flag.String("advertise", "", "replication address to advertise to peers (default: the bound -repl-addr)")
@@ -151,6 +155,7 @@ func main() {
 	}
 
 	var store *kv.Store
+	var disk *fault.Disk
 	if *dataDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsyncMode)
 		if err != nil {
@@ -177,6 +182,22 @@ func main() {
 			dur.CrashHook = cp.Hook
 			fmt.Printf("nztm-server: crash points armed: sites=%s prob=%g seed=%d\n",
 				*crashSites, *crashProb, *crashSeed)
+		}
+		if *diskSeed != 0 {
+			probs, err := fault.ParseDiskSites(*diskSites, *diskProb)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nztm-server:", err)
+				os.Exit(2)
+			}
+			// The disk stays passthrough until Arm() fires right before the
+			// ready line: recovery and the boot MANIFEST always see clean
+			// I/O, faults only hit the serving path.
+			disk = fault.NewDisk(fault.DiskConfig{Seed: *diskSeed, Probs: probs, Output: os.Stderr})
+			dur.FS = disk
+			statszHooks = append(statszHooks, disk.WriteStats)
+			metricszHooks = append(metricszHooks, disk.WriteProm)
+			fmt.Printf("nztm-server: disk faults loaded: sites=%s prob=%g seed=%d (armed after recovery)\n",
+				*diskSites, *diskProb, *diskSeed)
 		}
 		// Recovery runs here, before the listener opens: the store never
 		// serves a byte it cannot prove.
@@ -236,6 +257,7 @@ func main() {
 	// reads to their staleness contract, and (via the store's commit
 	// gate) delays write acks until enough followers applied the frame.
 	var replNode *repl.Node
+	var parts *fault.Partitions
 	if *replAddr != "" {
 		if *dataDir == "" {
 			fmt.Fprintln(os.Stderr, "nztm-server: -repl-addr requires -data-dir (the log is the stream)")
@@ -262,6 +284,12 @@ func main() {
 		if fr != nil {
 			rcfg.Recorder = fr.ForSource(trace.ReplSource)
 		}
+		// Every replication dial goes through the partition table, so the
+		// soak harness can blackhole peers at runtime via /partitionz.
+		parts = fault.NewPartitions()
+		rcfg.Dial = parts.Dial
+		statszHooks = append(statszHooks, parts.WriteStats)
+		metricszHooks = append(metricszHooks, parts.WriteProm)
 		replNode, err = repl.Start(store, rcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nztm-server:", err)
@@ -298,6 +326,30 @@ func main() {
 		})
 		mux.Handle("/tracez", srv.TracezHandler())
 		mux.Handle("/slowz", srv.SlowzHandler())
+		if parts != nil {
+			// Runtime partition control: /partitionz?op=block&peer=<addr>&dir=in|out|both,
+			// op=heal&peer=<addr>, op=healall, or bare for status.
+			mux.HandleFunc("/partitionz", func(w http.ResponseWriter, r *http.Request) {
+				q := r.URL.Query()
+				switch q.Get("op") {
+				case "block":
+					if err := parts.Block(q.Get("peer"), q.Get("dir")); err != nil {
+						http.Error(w, err.Error(), http.StatusBadRequest)
+						return
+					}
+				case "heal":
+					parts.Heal(q.Get("peer"))
+				case "healall":
+					parts.HealAll()
+				case "", "status":
+				default:
+					http.Error(w, "unknown op (have block, heal, healall, status)", http.StatusBadRequest)
+					return
+				}
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				parts.WriteStats(w)
+			})
+		}
 		if *pprofOn {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -323,6 +375,13 @@ func main() {
 	signal.Notify(diag, syscall.SIGQUIT)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+	if disk != nil {
+		// Recovery (and any repl bootstrap snapshot of a clean boot) is
+		// done; everything the serving path writes from here on may fault.
+		disk.Arm()
+		fmt.Printf("nztm-server: disk faults armed: sites=%s prob=%g seed=%d\n",
+			*diskSites, *diskProb, *diskSeed)
+	}
 	// The machine-readable ready line: recovery is complete and the
 	// listener is accepting (crash soaks and scripts wait for this).
 	fmt.Printf("nztm-server: ready addr=%s\n", ln.Addr())

@@ -212,6 +212,7 @@ type child struct {
 	readyCh      chan struct{}
 	readyOnce    sync.Once
 	sites        []string // CRASH-POINT markers seen on stderr
+	diskSites    []string // DISK-FAULT markers seen on stderr
 	tail         []string // last output lines, for post-mortem
 	parentKilled atomic.Bool
 }
@@ -236,7 +237,22 @@ func (c *child) note(line string) {
 			}
 		}
 	}
+	if strings.HasPrefix(line, fault.DiskMarkerPrefix) {
+		for _, f := range strings.Fields(line) {
+			if s, ok := strings.CutPrefix(f, "site="); ok {
+				c.diskSites = append(c.diskSites, s)
+			}
+		}
+	}
 	c.mu.Unlock()
+}
+
+// diskMarkers returns the DISK-FAULT sites seen so far on this child's
+// stderr (safe after reap: the pipe copiers run before Wait returns).
+func (c *child) diskMarkers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.diskSites...)
 }
 
 // lineWriter feeds an io.Writer stream to note line by line. Using a

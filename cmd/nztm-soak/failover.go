@@ -20,14 +20,26 @@
 //
 // The killed node rejoins each round via snapshot resync, so the
 // bootstrap/catch-up path is exercised ≥ -kills times per run.
+//
+// After the kill schedule, -partitions split-brain episodes run: the
+// current primary is blackholed from both followers (dialer-side, in
+// both directions, via each node's /partitionz control endpoint) while
+// load continues. The majority side must elect a new primary under a
+// strictly higher epoch; the isolated old primary must stop acking
+// once its lease lapses (at most one epoch acks during the partition);
+// on heal the deposed primary must discover the higher epoch through
+// its stepdown probe and fence itself WITHOUT a restart; and the
+// cross-partition history must still linearize.
 package main
 
 import (
 	"fmt"
 	"net"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,23 +52,25 @@ import (
 
 // failCfg bundles the -failover mode's knobs.
 type failCfg struct {
-	bin     string // nztm-server binary ("" = go build it)
-	seed    uint64
-	kills   int // primary SIGKILLs to survive
-	shards  int
-	buckets int
-	keys    int // keys per worker
-	workers int
-	limit   int // linearizability search budget
+	bin        string // nztm-server binary ("" = go build it)
+	seed       uint64
+	kills      int // primary SIGKILLs to survive
+	partitions int // split-brain partition episodes after the kills
+	shards     int
+	buckets    int
+	keys       int // keys per worker
+	workers    int
+	limit      int // linearizability search budget
 }
 
 // failNode is one cluster member's identity (stable across restarts).
 type failNode struct {
-	id       int
-	kvAddr   string
-	replAddr string
-	dir      string
-	c        *child
+	id         int
+	kvAddr     string
+	replAddr   string
+	statszAddr string // debug/control plane (/statsz, /partitionz)
+	dir        string
+	c          *child
 }
 
 // failSoak is the parent-side state. It borrows the crash soak's key
@@ -89,7 +103,7 @@ func pickFreeAddr() (string, error) {
 // replication address to follow ("" = start as primary).
 func (fs *failSoak) startFailNode(n *failNode, replicateFrom string) error {
 	args := []string{
-		"-addr", n.kvAddr, "-statsz", "", "-system", "nzstm",
+		"-addr", n.kvAddr, "-statsz", n.statszAddr, "-system", "nzstm",
 		"-shards", fmt.Sprint(fs.cfg.shards), "-buckets", fmt.Sprint(fs.cfg.buckets),
 		"-threads", "4", "-drain", "5s",
 		"-data-dir", n.dir,
@@ -296,15 +310,17 @@ func (fs *failSoak) verifyThroughPrimary() error {
 	return nil
 }
 
-// proveFenced sends a write directly to the restarted old primary and
-// requires a StatusNotPrimary refusal — the deposed node must never
-// acknowledge a write again.
+// proveFenced sends writes directly to the deposed old primary until it
+// refuses with StatusNotPrimary — the deposed node must never
+// acknowledge a write again. An OKVec ack fails immediately; any other
+// status is transient (a lease-lapsed zombie answers StatusLagging
+// until its stepdown probe discovers the higher epoch) and retries.
 func (fs *failSoak) proveFenced(n *failNode) error {
-	var lastErr error
-	for i := 0; i < 40; i++ {
+	var last string
+	for i := 0; i < 200; i++ {
 		cl, err := server.Dial(n.kvAddr)
 		if err != nil {
-			lastErr = err
+			last = err.Error()
 			time.Sleep(25 * time.Millisecond)
 			continue
 		}
@@ -313,7 +329,7 @@ func (fs *failSoak) proveFenced(n *failNode) error {
 			&server.Staleness{MaxLagMs: server.NoLagBudget})
 		cl.Close()
 		if err != nil {
-			lastErr = err
+			last = err.Error()
 			time.Sleep(25 * time.Millisecond)
 			continue
 		}
@@ -321,12 +337,151 @@ func (fs *failSoak) proveFenced(n *failNode) error {
 			return fmt.Errorf("deposed node %d ACCEPTED a direct write — fencing failed", n.id)
 		}
 		if status != server.StatusNotPrimary {
-			return fmt.Errorf("deposed node %d: unexpected status %d (%s)", n.id, status, msg)
+			last = fmt.Sprintf("status %d (%s)", status, msg)
+			time.Sleep(25 * time.Millisecond)
+			continue
 		}
 		fs.fenced++
 		return nil
 	}
-	return fmt.Errorf("deposed node %d never answered the fence probe: %v", n.id, lastErr)
+	return fmt.Errorf("deposed node %d never refused with StatusNotPrimary: last %s", n.id, last)
+}
+
+// partitionCtl drives one node's /partitionz control endpoint.
+func (fs *failSoak) partitionCtl(n *failNode, query string) error {
+	if _, err := httpText("http://" + n.statszAddr + "/partitionz?" + query); err != nil {
+		return fmt.Errorf("partitionz %q on node %d: %w", query, n.id, err)
+	}
+	return nil
+}
+
+// epochOf reads a node's current fencing epoch from its /statsz page.
+func (fs *failSoak) epochOf(n *failNode) (uint64, error) {
+	body, err := httpText("http://" + n.statszAddr + "/statsz")
+	if err != nil {
+		return 0, fmt.Errorf("statsz on node %d: %w", n.id, err)
+	}
+	tok := statszToken(body, "epoch=")
+	if tok == "" {
+		return 0, fmt.Errorf("node %d statsz has no epoch field", n.id)
+	}
+	v, err := strconv.ParseUint(tok, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("node %d statsz epoch %q: %w", n.id, tok, err)
+	}
+	return v, nil
+}
+
+// assertNoZombieAck writes directly to the partitioned old primary and
+// fails the soak if any write is ACKED — during a partition at most the
+// majority-side epoch may acknowledge. Refusals (lease fence) and
+// commit-gate errors are the expected outcomes; each probe is recorded
+// as outcome-unknown because a gate-timeout write executed locally on
+// the zombie before failing (that tail is discarded on resync).
+func (fs *failSoak) assertNoZombieAck(victim *failNode) error {
+	cl, err := server.Dial(victim.kvAddr)
+	if err != nil {
+		return nil // not reachable at all: certainly not acking
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		ops := []kv.Op{{Kind: kv.OpPut, Key: "zombie-probe", Value: []byte(fmt.Sprintf("z%d", i))}}
+		p := fs.cs.rec.Begin(fs.cfg.workers+2, ops)
+		_, _, status, _, err := cl.DoVec(ops, &server.Staleness{MaxLagMs: server.NoLagBudget})
+		p.Lost()
+		fs.cs.markLost(ops)
+		if err != nil {
+			return nil // connection died mid-probe: not acking
+		}
+		if status == server.StatusOKVec {
+			return fmt.Errorf("partitioned primary node %d ACKED a direct write — split-brain", victim.id)
+		}
+	}
+	return nil
+}
+
+// partitionEpisode blackholes the current primary from both followers,
+// requires a majority-side promotion under a higher epoch, proves the
+// isolated primary never acks, then heals and requires the deposed
+// primary to fence itself via its stepdown probe (no restart).
+func (fs *failSoak) partitionEpisode(ep int) error {
+	primaryAddr, err := fs.waitPrimary(20 * time.Second)
+	if err != nil {
+		return err
+	}
+	victim := fs.nodeByKVAddr(primaryAddr)
+	if victim == nil {
+		return fmt.Errorf("unknown primary address %s", primaryAddr)
+	}
+	oldEpoch, err := fs.epochOf(victim)
+	if err != nil {
+		return err
+	}
+
+	stop := make(chan struct{})
+	wg := fs.loadRound(1000+ep, stop)
+	fail := func(err error) error {
+		close(stop)
+		wg.Wait()
+		return err
+	}
+	time.Sleep(time.Duration(100+int(fs.cfg.seed+uint64(ep)*53)%150) * time.Millisecond)
+
+	// Split-brain: blackhole the primary's replication traffic in both
+	// directions, on the followers' dialers AND the primary's own (its
+	// probe polls must fail too, so it zombies until heal).
+	for _, n := range fs.nodes {
+		if n == victim {
+			continue
+		}
+		if err := fs.partitionCtl(n, "op=block&dir=both&peer="+url.QueryEscape(victim.replAddr)); err != nil {
+			return fail(err)
+		}
+		if err := fs.partitionCtl(victim, "op=block&dir=both&peer="+url.QueryEscape(n.replAddr)); err != nil {
+			return fail(err)
+		}
+	}
+
+	// The majority side must elect a new primary under a higher epoch.
+	newAddr, err := fs.waitPrimary(20 * time.Second)
+	if err != nil {
+		return fail(fmt.Errorf("no promotion while node %d is partitioned: %w", victim.id, err))
+	}
+	if newAddr == primaryAddr {
+		return fail(fmt.Errorf("partitioned primary %s still acks cluster writes", primaryAddr))
+	}
+	fs.promotions++
+	newPrimary := fs.nodeByKVAddr(newAddr)
+	newEpoch, err := fs.epochOf(newPrimary)
+	if err != nil {
+		return fail(err)
+	}
+	if newEpoch <= oldEpoch {
+		return fail(fmt.Errorf("promotion without epoch advance: %d -> %d", oldEpoch, newEpoch))
+	}
+
+	// At most one epoch acks during the partition: the isolated old
+	// primary must refuse (or fail) every direct write.
+	if err := fs.assertNoZombieAck(victim); err != nil {
+		return fail(err)
+	}
+
+	// Heal. The deposed primary's stepdown probe must now reach a peer,
+	// discover the higher epoch, and fence the node WITHOUT a restart.
+	for _, n := range fs.nodes {
+		if err := fs.partitionCtl(n, "op=healall"); err != nil {
+			return fail(err)
+		}
+	}
+	if err := fs.proveFenced(victim); err != nil {
+		return fail(err)
+	}
+
+	close(stop)
+	wg.Wait()
+	// Cross-partition obligations: every write acked by either epoch
+	// must read back through the current primary.
+	return fs.verifyThroughPrimary()
 }
 
 // runFailover is the -failover entry point.
@@ -358,15 +513,19 @@ func runFailover(cfg failCfg) error {
 		if err != nil {
 			return err
 		}
+		statszAddr, err := pickFreeAddr()
+		if err != nil {
+			return err
+		}
 		dir, err := os.MkdirTemp("", fmt.Sprintf("nztm-failover-n%d-", i))
 		if err != nil {
 			return err
 		}
 		cleanups = append(cleanups, dir)
-		fs.nodes = append(fs.nodes, &failNode{id: i, kvAddr: kvAddr, replAddr: replAddr, dir: dir})
+		fs.nodes = append(fs.nodes, &failNode{id: i, kvAddr: kvAddr, replAddr: replAddr, statszAddr: statszAddr, dir: dir})
 	}
-	fmt.Printf("nztm-soak: failover mode: %d kills, seed=%d (%d shards, %d workers × %d keys)\n",
-		cfg.kills, cfg.seed, cfg.shards, cfg.workers, cfg.keys)
+	fmt.Printf("nztm-soak: failover mode: %d kills + %d partitions, seed=%d (%d shards, %d workers × %d keys)\n",
+		cfg.kills, cfg.partitions, cfg.seed, cfg.shards, cfg.workers, cfg.keys)
 
 	// Node 0 seeds the cluster as primary; 1 and 2 follow it.
 	if err := fs.startFailNode(fs.nodes[0], ""); err != nil {
@@ -459,21 +618,32 @@ func runFailover(cfg failCfg) error {
 		}
 	}
 
+	// Split-brain schedule: partition the primary away instead of
+	// killing it. Both sides keep running the whole time.
+	for ep := 0; ep < cfg.partitions; ep++ {
+		if err := fs.partitionEpisode(ep); err != nil {
+			return fmt.Errorf("partition %d: %w", ep, err)
+		}
+		fmt.Printf("nztm-soak: partition %d/%d healed: %d acked, %d lost, %d fenced, %d stale reads, %v elapsed\n",
+			ep+1, cfg.partitions, fs.cs.acked.Load(), fs.cs.lost.Load(),
+			fs.fenced, fs.staleReads.Load(), time.Since(start).Round(time.Millisecond))
+	}
+
 	if err := fs.verifyThroughPrimary(); err != nil {
 		return err
 	}
 	if fs.staleReads.Load() != 0 {
 		return fmt.Errorf("%d replica reads violated the read-your-writes bound", fs.staleReads.Load())
 	}
-	if fs.fenced != cfg.kills {
-		return fmt.Errorf("only %d/%d deposed primaries proven fenced", fs.fenced, cfg.kills)
+	if want := cfg.kills + cfg.partitions; fs.fenced != want {
+		return fmt.Errorf("only %d/%d deposed primaries proven fenced", fs.fenced, want)
 	}
 
 	hist := fs.cs.rec.History()
 	ckStart := time.Now()
 	res := histcheck.CheckWithLimit(hist, cfg.limit)
-	fmt.Printf("nztm-soak: failover summary: %d kills, %d promotions, %d fence proofs, %d acked, %d lost, %v elapsed\n",
-		cfg.kills, fs.promotions, fs.fenced, fs.cs.acked.Load(), fs.cs.lost.Load(),
+	fmt.Printf("nztm-soak: failover summary: %d kills, %d partitions, %d promotions, %d fence proofs, %d acked, %d lost, %v elapsed\n",
+		cfg.kills, cfg.partitions, fs.promotions, fs.fenced, fs.cs.acked.Load(), fs.cs.lost.Load(),
 		time.Since(start).Round(time.Millisecond))
 	fmt.Printf("nztm-soak: checked %d ops in %d partitions (%d states visited) in %v\n",
 		res.Ops, res.Partitions, res.Visited, time.Since(ckStart).Round(time.Millisecond))

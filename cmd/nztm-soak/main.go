@@ -65,6 +65,10 @@ func main() {
 
 		failoverMode = flag.Bool("failover", false, "replication failover soak: run a 3-node cluster, repeatedly SIGKILL the primary mid-load, require automatic promotion, no acked-write loss, fencing of the deposed primary, and a linearizable cross-failover history (see DESIGN.md §13)")
 		failKills    = flag.Int("kills", 50, "failover mode: primary SIGKILLs to survive")
+		failParts    = flag.Int("partitions", 4, "failover mode: split-brain episodes after the kills — isolate the primary at the replication layer, require a majority-side election, no zombie acks, self-deposition on heal")
+
+		diskfaultMode = flag.Bool("diskfault", false, "disk-fault soak: run child nztm-servers with injected disk I/O errors (EIO, short writes, ENOSPC, fsync failure) under load and verify fail-stop/degraded semantics plus recovery (see DESIGN.md §17)")
+		diskTarget    = flag.Int("diskfault-target", 120, "diskfault mode: total injected I/O errors to accumulate across all sites")
 
 		adaptiveM = flag.Bool("adaptive", false, "adaptive-backend chaos soak: force -system adaptive, run the mode controller with aggressive thresholds under the fault plane, and require at least -min-switches group mode switches on top of the usual linearizability and leak gates (see DESIGN.md §15)")
 		minSw     = flag.Int("min-switches", 4, "adaptive mode: minimum total group mode switches the soak must observe")
@@ -80,9 +84,21 @@ func main() {
 	if *oversub && *clients < 16**threads {
 		*clients = 16 * *threads
 	}
+	if *diskfaultMode {
+		err := runDiskFault(diskCfg{
+			bin: *serverBin, dir: *crashDir, seed: *seed, target: *diskTarget,
+			shards: *shards, buckets: *buckets, keys: 12, workers: 2, limit: *limit,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nztm-soak: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("nztm-soak: PASS")
+		return
+	}
 	if *failoverMode {
 		err := runFailover(failCfg{
-			bin: *serverBin, seed: *seed, kills: *failKills,
+			bin: *serverBin, seed: *seed, kills: *failKills, partitions: *failParts,
 			shards: *shards, buckets: *buckets, keys: 12, workers: 3, limit: *limit,
 		})
 		if err != nil {

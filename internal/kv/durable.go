@@ -55,6 +55,9 @@ type Durability struct {
 	NewThread func() *tm.Thread
 	// CrashHook is passed through to the WAL (fault.CrashPoints.Hook).
 	CrashHook func(wal.CrashPoint)
+	// FS is the WAL's filesystem seam (fault.Disk fits); nil means the
+	// real filesystem.
+	FS wal.FS
 	// Recorder, when non-nil, receives durability-plane trace events
 	// (recovery, snapshots, truncation) — typically
 	// FlightRecorder.ForSource(trace.WALSource).
@@ -102,6 +105,14 @@ func NewDurable(sys tm.System, shards, bucketsPerShard int, d Durability) (*Stor
 		Fsync:         d.Fsync,
 		FsyncInterval: d.FsyncInterval,
 		CrashHook:     d.CrashHook,
+		FS:            d.FS,
+		OnDegrade: func(failed bool, cause error) {
+			var a uint64
+			if failed {
+				a = 1
+			}
+			d.Recorder.Record(tm.Monotime(), trace.KindWALDegrade, 0, a, 0)
+		},
 	})
 	if err != nil {
 		return nil, nil, err
@@ -325,7 +336,9 @@ func (s *Store) WriteDurabilityStats(w io.Writer) {
 	d := s.dur
 	st := d.state
 	ls := d.log.Stats()
-	fmt.Fprintf(w, "durability: dir=%s fsync=%s\n", d.log.Dir(), d.cfg.Fsync)
+	fmt.Fprintf(w, "durability: dir=%s fsync=%s mode=%s\n", d.log.Dir(), d.cfg.Fsync, d.log.Mode())
+	fmt.Fprintf(w, "wal faults: write_errors=%d sync_failures=%d readonly_trips=%d fail_stops=%d\n",
+		ls.WriteErrors.Load(), ls.SyncFailures.Load(), ls.ReadOnlyTrips.Load(), ls.FailStops.Load())
 	fmt.Fprintf(w, "recovery: replayed_frames=%d dropped_frames=%d truncated_bytes=%d duration=%s\n",
 		st.ReplayedFrames, st.DroppedFrames, st.TruncatedBytes, st.Duration)
 	fmt.Fprintf(w, "wal: appended_frames=%d appended_bytes=%d fsyncs=%d snapshots=%d removed_files=%d\n",
@@ -349,6 +362,9 @@ func (s *Store) WriteDurabilityProm(w io.Writer) {
 	metrics.CounterFam(w, "nztm_wal_dropped_frames_total", "torn or cut frames dropped during recovery", st.DroppedFrames)
 	metrics.CounterFam(w, "nztm_wal_truncated_bytes_total", "log bytes truncated during recovery", st.TruncatedBytes)
 	d.recovery.WriteProm(w, "nztm_wal_recovery_seconds")
+	mode := d.log.Mode()
+	metrics.GaugeFam(w, "nztm_wal_readonly", "1 while the log is in degraded read-only mode", gaugeBool(mode == "read-only"))
+	metrics.GaugeFam(w, "nztm_wal_failed", "1 once the log has fail-stopped after an fsync error", gaugeBool(mode == "failed"))
 	writeWALStatsProm(w, d.log.Stats())
 }
 
@@ -380,6 +396,13 @@ func walStatsFields() []string {
 		out = append(out, kvSnake(rt.Field(i).Name))
 	}
 	return out
+}
+
+func gaugeBool(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // kvSnake converts CamelCase to snake_case for metric names.

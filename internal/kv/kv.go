@@ -128,6 +128,12 @@ func (b Budget) backoff(attempt int, rnd uint64) time.Duration {
 // its transaction committed. The request had no effect.
 var ErrBudget = errors.New("kv: retry budget exhausted")
 
+// ErrReadOnly is returned when a write batch is shed because the store's
+// log is in degraded read-only mode (out of disk space). The request had
+// no effect — not in memory and not in the log — so it is cleanly
+// retriable against a healthy replica. Reads keep serving.
+var ErrReadOnly = errors.New("kv: store is read-only (log degraded)")
+
 // errCASMiss aborts a multi-op batch whose CAS expectation failed; it
 // never escapes Do.
 var errCASMiss = errors.New("kv: cas expectation failed")
@@ -312,6 +318,19 @@ func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool, sp *tra
 	}
 	var da *durAttempt // durability bookkeeping; nil when memory-only
 	if s.dur != nil {
+		// Degraded-log gate, BEFORE any transaction runs: a write batch
+		// executed in memory but unloggable would either wedge behind an
+		// unreachable durability barrier or diverge memory from the log.
+		// Shedding here means the request had no effect at all, which is
+		// what makes StatusReadOnly cleanly retriable elsewhere. Healthy
+		// stores pay one atomic load; read-only batches always pass (the
+		// whole point of degraded mode is that reads keep serving).
+		if gerr := s.dur.log.Degraded(); gerr != nil && hasWriteOps(ops) {
+			if errors.Is(gerr, wal.ErrReadOnly) {
+				return nil, nil, fmt.Errorf("%w: %v", ErrReadOnly, gerr)
+			}
+			return nil, nil, fmt.Errorf("kv: wal degraded: %w", gerr)
+		}
 		da = newDurAttempt()
 	}
 	body := func(tx tm.Tx) error {
@@ -458,6 +477,17 @@ func (s *Store) do(th *tm.Thread, ops []Op, budget Budget, wantVec bool, sp *tra
 		}
 	}
 	return results, vec, nil
+}
+
+// hasWriteOps reports whether the batch contains any op that could
+// write (CAS counts even if its expectation would miss).
+func hasWriteOps(ops []Op) bool {
+	for i := range ops {
+		if ops[i].Kind != OpGet {
+			return true
+		}
+	}
+	return false
 }
 
 // Get reads one key.

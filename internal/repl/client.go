@@ -232,6 +232,14 @@ func (c *Cluster) WriteChecked(ops []kv.Op) (results []kv.Result, clean bool, er
 			c.drop(addr, cl)
 			c.notPrimary(addr, "")
 			c.backoff(attempt)
+		case server.StatusReadOnly:
+			// The node's disk is full and it shed the write before
+			// executing it (still clean). A failover may promote a healthy
+			// node; keep the connection (the node serves reads fine) but
+			// forget it as primary and retry elsewhere.
+			lastErr = fmt.Errorf("%s: status %d: %s", addr, status, msg)
+			c.notPrimary(addr, "")
+			c.backoff(attempt)
 		default:
 			// A real execution error (budget, malformed): the primary
 			// answered, so don't retry elsewhere.

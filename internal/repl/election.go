@@ -12,7 +12,6 @@ package repl
 // lost". The epoch bump on promotion fences the old primary.
 
 import (
-	"net"
 	"sync"
 	"time"
 
@@ -61,7 +60,7 @@ func (n *Node) runElection() {
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			resp, err := pollPeer(addr, &Message{
+			resp, err := n.pollPeer(addr, &Message{
 				Type: MsgPoll, Epoch: epoch, NodeID: uint16(n.cfg.NodeID), Total: myTotal,
 			})
 			if err != nil {
@@ -122,8 +121,8 @@ func (n *Node) runElection() {
 }
 
 // pollPeer sends one MsgPoll and reads the MsgPollResp.
-func pollPeer(addr string, poll *Message) (*Message, error) {
-	conn, err := net.DialTimeout("tcp", addr, 500*time.Millisecond)
+func (n *Node) pollPeer(addr string, poll *Message) (*Message, error) {
+	conn, err := n.cfg.Dial("tcp", addr, 500*time.Millisecond)
 	if err != nil {
 		return nil, err
 	}

@@ -91,6 +91,11 @@ type Config struct {
 	// NewThread mints TM thread contexts for the apply path and for
 	// snapshot serving (kv.Backend.NewThread fits). Required.
 	NewThread func() *tm.Thread
+	// Dial, when non-nil, replaces net.DialTimeout for every outbound
+	// replication connection (subscriptions, election polls, stepdown
+	// probes). The partition fault plane injects here
+	// (fault.Partitions.Dial fits).
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
 	// Recorder, when non-nil, receives replication trace events —
 	// typically FlightRecorder.ForSource(trace.ReplSource).
 	Recorder *trace.Recorder
@@ -131,6 +136,7 @@ type Node struct {
 	primaryRpl string // current primary's replication address
 	needResync bool
 	stopped    bool
+	leaseStart time.Time // when this node last became primary (lease grace)
 	subs       map[*subState]struct{}
 	ackLat     map[int]*metrics.Histogram // per-follower ship→ack latency, by node id
 
@@ -206,6 +212,9 @@ func Start(store *kv.Store, cfg Config) (*Node, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.DialTimeout
+	}
 	var need int
 	switch cfg.AckPolicy {
 	case AckNone:
@@ -250,6 +259,7 @@ func Start(store *kv.Store, cfg Config) (*Node, error) {
 		// stream is distinguishable from its previous life's.
 		n.epoch = epoch + 1
 		n.role = RolePrimary
+		n.leaseStart = time.Now()
 		n.primaryKV, n.primaryRpl = n.cfg.KVAddr, n.cfg.Advertise
 		if err := n.setMarker(); err != nil {
 			ln.Close()
@@ -450,6 +460,7 @@ func (n *Node) promote(e uint64) {
 	}
 	n.epoch = e
 	n.role = RolePrimary
+	n.leaseStart = time.Now()
 	n.primaryKV, n.primaryRpl = n.cfg.KVAddr, n.cfg.Advertise
 	n.needResync = false
 	if err := n.persistEpoch(e); err != nil {
@@ -496,9 +507,17 @@ func (n *Node) run() {
 		ch := n.waitCh
 		n.mu.Unlock()
 		if role == RolePrimary {
-			// Primary duties live in the accept loop; park until deposed.
+			// Primary duties live in the accept loop; park until deposed,
+			// waking periodically to check for follower silence. A primary
+			// nobody dials cannot otherwise learn it has been deposed
+			// across a partition (the zombie-primary gap): it keeps
+			// fencing-rejecting nothing and believing its own lease. The
+			// probe polls peers after a follower-silent lease interval and
+			// adopts any higher epoch it hears — stepping itself down.
 			select {
 			case <-ch:
+			case <-time.After(n.cfg.LeaseTimeout):
+				n.primaryProbe()
 			case <-n.stop:
 				return
 			}
@@ -514,6 +533,81 @@ func (n *Node) run() {
 			return
 		}
 	}
+}
+
+// primaryProbe is the primary's deposition detector. When no follower
+// has acked for over a lease interval (all silent, or none subscribed),
+// the primary polls its peers; a higher epoch in any answer means the
+// rest of the cluster elected past us while a partition hid it — adopt
+// it (which deposes this node) instead of zombie-acking writes forever.
+func (n *Node) primaryProbe() {
+	if len(n.cfg.Peers) == 0 {
+		return // single-node cluster: there is nobody to be deposed by
+	}
+	n.mu.Lock()
+	if n.stopped || n.role != RolePrimary {
+		n.mu.Unlock()
+		return
+	}
+	epoch := n.epoch
+	silent := n.followerSilentLocked()
+	n.mu.Unlock()
+	if !silent {
+		return // followers are talking to us; the lease is honest
+	}
+	n.stats.StepdownProbes.Add(1)
+
+	results := make([]pollResult, len(n.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, addr := range n.cfg.Peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			resp, err := n.pollPeer(addr, &Message{
+				Type: MsgPoll, Epoch: epoch, NodeID: uint16(n.cfg.NodeID),
+			})
+			if err != nil {
+				return
+			}
+			results[i] = pollResult{ok: true, resp: resp}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	maxEpoch := epoch
+	liveKV, liveRpl := "", ""
+	for _, r := range results {
+		if !r.ok {
+			continue
+		}
+		if r.resp.Epoch > maxEpoch {
+			maxEpoch = r.resp.Epoch
+			liveKV, liveRpl = "", ""
+		}
+		if r.resp.PrimaryLive && r.resp.Epoch == maxEpoch && r.resp.ReplAddr != n.cfg.Advertise {
+			liveKV, liveRpl = r.resp.KVAddr, r.resp.ReplAddr
+		}
+	}
+	if maxEpoch > epoch {
+		n.cfg.Logf("repl: node %d: stepdown probe found epoch %d > %d", n.cfg.NodeID, maxEpoch, epoch)
+		n.mu.Lock()
+		n.adoptEpochLocked(maxEpoch, liveKV, liveRpl)
+		n.mu.Unlock()
+	}
+}
+
+// followerSilentLocked reports whether the primary's lease has lapsed:
+// no follower ack — and no promotion — within LeaseTimeout. Followers
+// ack every heartbeat, so a whole lease interval of silence means real
+// isolation (or a dead quorum), never idleness. Callers hold n.mu.
+func (n *Node) followerSilentLocked() bool {
+	newest := n.leaseStart
+	for sub := range n.subs {
+		if sub.lastAck.After(newest) {
+			newest = sub.lastAck
+		}
+	}
+	return newest.IsZero() || time.Since(newest) >= n.cfg.LeaseTimeout
 }
 
 // followOnce makes one attempt at being a follower: subscribe to the
@@ -573,6 +667,18 @@ func (n *Node) CheckRequest(ops []kv.Op, st *server.Staleness) (uint8, string) {
 			return server.StatusShutdown, "replication node closed"
 		}
 		if n.role == RolePrimary {
+			if (hasWrite || st != nil) && len(n.cfg.Peers) > 0 && n.followerSilentLocked() {
+				// Zombie-primary fence: a primary that has heard no follower
+				// ack for a whole lease interval may already be deposed on
+				// the other side of a partition. Acking a write here could be
+				// split-brain; serving a tokened read could violate
+				// read-your-writes against the new epoch's history. Refuse
+				// both (clients fall back to the real primary); untokened
+				// reads keep serving local state, like any replica.
+				n.mu.Unlock()
+				n.stats.LeaseRefusals.Add(1)
+				return server.StatusLagging, "primary lease lapsed: no follower ack within the lease interval (partitioned?)"
+			}
 			n.mu.Unlock()
 			return server.StatusOK, ""
 		}

@@ -51,6 +51,12 @@ type Stats struct {
 	Depositions atomic.Uint64
 	// FencingRejects counts stale-epoch messages this node refused.
 	FencingRejects atomic.Uint64
+	// StepdownProbes counts follower-silence polls a primary ran to
+	// detect its own deposition across a partition.
+	StepdownProbes atomic.Uint64
+	// LeaseRefusals counts writes and tokened reads a lease-lapsed
+	// primary refused instead of risking a split-brain ack.
+	LeaseRefusals atomic.Uint64
 	// Resyncs counts full snapshot resyncs this node requested.
 	Resyncs atomic.Uint64
 	// LagFrames is the follower's LSN-total delta behind the primary's

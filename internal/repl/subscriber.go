@@ -9,7 +9,6 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"net"
 	"time"
 
 	"nztm/internal/server"
@@ -26,7 +25,7 @@ var errResync = errors.New("repl: stream needs a snapshot resync")
 // the stream breaks, the lease lapses (no message for LeaseTimeout), or
 // the epoch fences one side.
 func (n *Node) subscribe(addr string) error {
-	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	conn, err := n.cfg.Dial("tcp", addr, 2*time.Second)
 	if err != nil {
 		return err
 	}

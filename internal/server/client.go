@@ -126,6 +126,10 @@ func (c *Client) Do(ops []kv.Op) ([]kv.Result, error) {
 		return nil, ErrOverloaded
 	case StatusShutdown:
 		return nil, ErrServerClosed
+	case StatusReadOnly:
+		// A pre-execution shed (disk full, log degraded): provably no
+		// effect, and distinguishable so callers can treat it as clean.
+		return nil, fmt.Errorf("%w: %s", kv.ErrReadOnly, r.errmsg)
 	default:
 		return nil, fmt.Errorf("server: status %d: %s", r.status, r.errmsg)
 	}

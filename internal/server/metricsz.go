@@ -37,6 +37,7 @@ func (s *Server) WriteMetricsz(w io.Writer) {
 	metrics.Counter(w, "nztm_server_requests_total", s.reqLagging.Load(), "status", "lagging")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqRedirect.Load(), "status", "not_primary")
 	metrics.Counter(w, "nztm_server_requests_total", s.reqOverload.Load(), "status", "overloaded")
+	metrics.Counter(w, "nztm_server_requests_total", s.reqReadOnly.Load(), "status", "read_only")
 
 	// Scheduler plane: executor pool size, admission counters, derived
 	// queue-depth/busy gauges, and the enqueue→dispatch wait histogram.

@@ -113,6 +113,7 @@ type Server struct {
 	reqLagging    atomic.Uint64 // bounded-staleness reads refused (replica behind)
 	reqRedirect   atomic.Uint64 // StatusNotPrimary answers (client re-routes)
 	reqOverload   atomic.Uint64 // StatusOverloaded rejects (admission queue full)
+	reqReadOnly   atomic.Uint64 // StatusReadOnly sheds (store degraded, disk full)
 	singleLatency Histogram
 	batchLatency  Histogram
 	spans         SpanMetrics        // per-stage latency attribution
@@ -418,6 +419,14 @@ func (s *Server) execute(th *tm.Thread, id uint64, ops []kv.Op, st *Staleness, s
 			sp.Status = StatusBudget
 		}
 		return appendResponse(nil, id, StatusBudget, nil, err.Error())
+	case errors.Is(err, kv.ErrReadOnly):
+		// Shed before execution: the write had no effect anywhere, so the
+		// client may retry it verbatim against a healthy replica.
+		s.reqReadOnly.Add(1)
+		if sp != nil {
+			sp.Status = StatusReadOnly
+		}
+		return appendResponse(nil, id, StatusReadOnly, nil, err.Error())
 	default:
 		s.reqErr.Add(1)
 		if sp != nil {
@@ -478,10 +487,10 @@ func (s *Server) WriteStatsz(w io.Writer) {
 	fmt.Fprintf(w, "executors: bound=%d requested=%d queue_cap=%d admission=%s\n",
 		s.sched.bound.Load(), s.sched.executors, cap(s.sched.tasks), s.admissionName())
 	s.sched.stats.WriteStatsz(w)
-	fmt.Fprintf(w, "requests: ok=%d budget=%d bad=%d error=%d shutdown=%d lagging=%d not_primary=%d overloaded=%d\n",
+	fmt.Fprintf(w, "requests: ok=%d budget=%d bad=%d error=%d shutdown=%d lagging=%d not_primary=%d overloaded=%d read_only=%d\n",
 		s.reqOK.Load(), s.reqBudget.Load(), s.reqBad.Load(),
 		s.reqErr.Load(), s.reqShutdown.Load(), s.reqLagging.Load(), s.reqRedirect.Load(),
-		s.reqOverload.Load())
+		s.reqOverload.Load(), s.reqReadOnly.Load())
 	fmt.Fprintf(w, "latency single: %s\n", s.singleLatency.Summary())
 	fmt.Fprintf(w, "latency batch:  %s\n", s.batchLatency.Summary())
 	fmt.Fprintf(w, "queue wait:     %s\n", s.sched.wait.Summary())

@@ -71,7 +71,7 @@ func FuzzRecoverLog(f *testing.F) {
 		// Never return corrupt records: every recovered value must be
 		// provable from a checksummed frame retained in the file — an
 		// op that actually wrote that exact (key, value) pair.
-		frames, _, _, err := readShardLog(&State{Shards: 1, SnapshotLSN: make([]uint64, 1), repairs: make([]repair, 1)}, 0,
+		frames, _, _, err := readShardLog(OSFS(), &State{Shards: 1, SnapshotLSN: make([]uint64, 1), repairs: make([]repair, 1)}, 0,
 			[]segment{{base: 1, path: filepath.Join(dir, segmentName(0, 1))}})
 		if err != nil {
 			t.Fatalf("readShardLog on a base-1 segment: %v", err)

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -79,6 +79,16 @@ type frameAt struct {
 // match the MANIFEST when one exists. A missing or empty directory
 // recovers to an empty store.
 func Recover(dir string, shards int) (*State, error) {
+	return RecoverFS(OSFS(), dir, shards)
+}
+
+// RecoverFS is Recover through an explicit filesystem seam. Unlike log
+// damage (torn tails, corrupt frames — repaired silently to the valid
+// prefix), an I/O *error* while reading a segment fails recovery
+// loudly: truncating at an unreadable byte would silently drop
+// acknowledged writes that are still on disk, and replaying past it
+// would replay a disconnected suffix.
+func RecoverFS(fsys FS, dir string, shards int) (*State, error) {
 	start := time.Now()
 	if shards <= 0 {
 		return nil, errors.New("wal: recover with no shards")
@@ -94,15 +104,15 @@ func Recover(dir string, shards int) (*State, error) {
 		st.Keys[s] = make(map[string][]byte)
 		st.NextLSN[s] = 1
 	}
-	entries, err := os.ReadDir(dir)
-	if errors.Is(err, os.ErrNotExist) {
+	entries, err := fsys.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
 		st.Duration = time.Since(start)
 		return st, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	if mf, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+	if mf, err := fsys.ReadFile(filepath.Join(dir, manifestName)); err == nil {
 		if string(mf) != manifestContents(shards) {
 			return nil, fmt.Errorf("wal: MANIFEST %q does not match %d shards", strings.TrimSpace(string(mf)), shards)
 		}
@@ -135,7 +145,7 @@ func Recover(dir string, shards int) (*State, error) {
 		// Latest snapshot that decodes cleanly wins; older ones are a
 		// fallback against a defective latest file.
 		for _, sn := range snaps[s] {
-			b, err := os.ReadFile(sn.path)
+			b, err := fsys.ReadFile(sn.path)
 			if err != nil {
 				continue
 			}
@@ -149,7 +159,7 @@ func Recover(dir string, shards int) (*State, error) {
 		}
 
 		var rerr error
-		frames[s], presence[s], ends[s], rerr = readShardLog(st, s, segs[s])
+		frames[s], presence[s], ends[s], rerr = readShardLog(fsys, st, s, segs[s])
 		if rerr != nil {
 			return nil, rerr
 		}
@@ -282,8 +292,11 @@ func provable(st *State, presence []map[uint64]string, cut []uint64, f *Frame) b
 // > SnapshotLSN+1): the covered LSN range is gone, so replaying the
 // disconnected suffix would silently lose committed, possibly
 // acknowledged writes — an unrecoverable gap must fail loudly rather
-// than produce wrong state.
-func readShardLog(st *State, s int, segs []segment) ([]frameAt, map[uint64]string, []int64, error) {
+// than produce wrong state. It also errors on a genuine I/O error
+// (EIO on open or read): unlike log damage, an unreadable byte proves
+// nothing about what follows it, so truncating there could silently
+// drop acknowledged writes that are still physically intact.
+func readShardLog(fsys FS, st *State, s int, segs []segment) ([]frameAt, map[uint64]string, []int64, error) {
 	var frames []frameAt
 	presence := make(map[uint64]string)
 	ends := make([]int64, len(segs))
@@ -297,7 +310,7 @@ func readShardLog(st *State, s int, segs []segment) ([]frameAt, map[uint64]strin
 	for i, seg := range segs {
 		refs[i] = SegmentRef{Base: seg.base, Path: seg.path}
 	}
-	sr := NewStreamReader(s, refs, 0)
+	sr := newStreamReader(fsys, s, refs, 0)
 	defer sr.Close()
 	for {
 		e, err := sr.Next()
@@ -312,18 +325,22 @@ func readShardLog(st *State, s int, segs []segment) ([]frameAt, map[uint64]strin
 			rep.liveSegs = append([]segment(nil), segs...)
 			return frames, presence, ends, nil
 		}
-		// First defect (torn tail, corrupt frame, LSN discontinuity,
-		// missing segment, unreadable file): truncate here, drop every
-		// later segment. Recovery never errors on log damage — the valid
-		// prefix is the recovered state.
+		if !errors.Is(err, ErrTorn) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrGap) {
+			// A real I/O error, not log damage: fail recovery loudly.
+			return nil, nil, nil, fmt.Errorf("wal: shard %d: reading log: %w", s, err)
+		}
+		// First log defect (torn tail, corrupt frame, LSN discontinuity,
+		// missing segment): truncate here, drop every later segment.
+		// Recovery never errors on log damage — the valid prefix is the
+		// recovered state.
 		segIdx, validOff := sr.Pos()
 		rep.truncPath = segs[segIdx].path
 		rep.truncSize = validOff
-		if fi, serr := os.Stat(segs[segIdx].path); serr == nil && fi.Size() > validOff {
+		if fi, serr := fsys.Stat(segs[segIdx].path); serr == nil && fi.Size() > validOff {
 			st.TruncatedBytes += uint64(fi.Size() - validOff)
 		}
 		for _, later := range segs[segIdx+1:] {
-			if fi, serr := os.Stat(later.path); serr == nil {
+			if fi, serr := fsys.Stat(later.path); serr == nil {
 				st.TruncatedBytes += uint64(fi.Size())
 			}
 			rep.removes = append(rep.removes, later.path)
@@ -365,52 +382,58 @@ func Open(cfg Config) (*Log, *State, error) {
 	if cfg.FsyncInterval <= 0 {
 		cfg.FsyncInterval = 50 * time.Millisecond
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, nil, err
 	}
 	mfPath := filepath.Join(cfg.Dir, manifestName)
-	if mf, err := os.ReadFile(mfPath); err == nil {
+	if mf, err := fsys.ReadFile(mfPath); err == nil {
 		if string(mf) != manifestContents(cfg.Shards) {
 			return nil, nil, fmt.Errorf("wal: MANIFEST %q does not match %d shards", strings.TrimSpace(string(mf)), cfg.Shards)
 		}
-	} else if err := os.WriteFile(mfPath, []byte(manifestContents(cfg.Shards)), 0o644); err != nil {
+	} else if err := fsys.WriteFile(mfPath, []byte(manifestContents(cfg.Shards)), 0o644); err != nil {
 		return nil, nil, err
 	}
 
-	st, err := Recover(cfg.Dir, cfg.Shards)
+	st, err := RecoverFS(fsys, cfg.Dir, cfg.Shards)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	// Apply the repair plan: future appends must land on a clean,
-	// provable prefix, not interleave with garbage.
+	// provable prefix, not interleave with garbage. Stray temp files
+	// (tmp-snap-* left by a crash between CreateTemp and the publishing
+	// rename) are deleted here too — Recover only indexes them.
 	for _, p := range st.remove {
-		os.Remove(p)
+		fsys.Remove(p)
 	}
 	for s := range st.repairs {
 		rep := &st.repairs[s]
 		if rep.truncPath != "" {
-			if err := os.Truncate(rep.truncPath, rep.truncSize); err != nil {
+			if err := fsys.Truncate(rep.truncPath, rep.truncSize); err != nil {
 				return nil, nil, err
 			}
 			if rep.truncSize == 0 {
 				// A zero-length segment is indistinguishable from a
 				// fresh one; drop it so the live list stays tidy.
 				if len(rep.liveSegs) > 0 && rep.liveSegs[len(rep.liveSegs)-1].path == rep.truncPath {
-					os.Remove(rep.truncPath)
+					fsys.Remove(rep.truncPath)
 					rep.liveSegs = rep.liveSegs[:len(rep.liveSegs)-1]
 				}
 			}
 		}
 		for _, p := range rep.removes {
-			if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			if err := fsys.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
 				return nil, nil, err
 			}
 		}
 	}
-	syncDir(cfg.Dir)
+	syncDir(fsys, cfg.Dir)
 
-	l := &Log{cfg: cfg, dir: cfg.Dir, stop: make(chan struct{})}
+	l := &Log{cfg: cfg, dir: cfg.Dir, fs: fsys, stop: make(chan struct{})}
 	l.shards = make([]*shardLog, cfg.Shards)
 	for s := 0; s < cfg.Shards; s++ {
 		sh := &shardLog{
@@ -435,7 +458,7 @@ func Open(cfg Config) (*Log, *State, error) {
 			path = filepath.Join(cfg.Dir, segmentName(s, base))
 			sh.segs = append(sh.segs, segment{base: base, path: path})
 		}
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(path, osCreateAppend, 0o644)
 		if err != nil {
 			for _, prev := range l.shards {
 				if prev != nil && prev.f != nil {
@@ -447,7 +470,7 @@ func Open(cfg Config) (*Log, *State, error) {
 		sh.f = f
 		l.shards[s] = sh
 	}
-	syncDir(cfg.Dir)
+	syncDir(fsys, cfg.Dir)
 	if cfg.Fsync == FsyncInterval {
 		l.wg.Add(1)
 		go l.syncLoop()

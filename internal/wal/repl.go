@@ -9,7 +9,6 @@ package wal
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 )
 
@@ -131,23 +130,28 @@ func (l *Log) InstallSnapshot(shard int, lsn uint64, keys map[string][]byte) err
 	s := l.shards[shard]
 
 	enc := encodeSnapshot(shard, lsn, keys)
-	tmp, err := os.CreateTemp(l.dir, "tmp-snap-*")
+	tmp, err := l.fs.CreateTemp(l.dir, "tmp-snap-*")
 	if err != nil {
+		l.noteWriteError(err)
 		return err
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(enc); err != nil {
+	if err := writeFull(tmp, enc); err != nil {
+		l.noteWriteError(err)
 		tmp.Close()
-		os.Remove(tmpName)
+		l.fs.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
+		if isNoSpace(err) {
+			l.enterReadOnly(err)
+		}
 		tmp.Close()
-		os.Remove(tmpName)
+		l.fs.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		l.fs.Remove(tmpName)
 		return err
 	}
 
@@ -162,33 +166,36 @@ func (l *Log) InstallSnapshot(shard int, lsn uint64, keys map[string][]byte) err
 	if s.err != nil {
 		err := s.err
 		s.mu.Unlock()
-		os.Remove(tmpName)
+		l.fs.Remove(tmpName)
 		return err
 	}
 	// Drop the old log: close the appender and remove every segment
 	// BEFORE publishing the new snapshot (see crash-safety note above).
 	if s.f != nil {
+		// A close error here is unreportable but also inconsequential:
+		// the file is removed on the next line and its contents are
+		// superseded by the snapshot being installed.
 		s.f.Close()
 		s.f = nil
 	}
 	oldSegs := s.segs
 	s.segs = nil
 	for _, seg := range oldSegs {
-		if os.Remove(seg.path) == nil {
+		if l.fs.Remove(seg.path) == nil {
 			l.stats.RemovedFiles.Add(1)
 		}
 	}
-	syncDir(l.dir)
+	syncDir(l.fs, l.dir)
 
 	final := filepath.Join(l.dir, snapshotName(shard, lsn))
-	if err := os.Rename(tmpName, final); err != nil {
-		os.Remove(tmpName)
+	if err := l.fs.Rename(tmpName, final); err != nil {
+		l.fs.Remove(tmpName)
 		s.err = err
 		s.cond.Broadcast()
 		s.mu.Unlock()
 		return err
 	}
-	syncDir(l.dir)
+	syncDir(l.fs, l.dir)
 	l.stats.Snapshots.Add(1)
 	l.stats.SnapshotKeys.Store(uint64(len(keys)))
 
@@ -200,8 +207,9 @@ func (l *Log) InstallSnapshot(shard int, lsn uint64, keys map[string][]byte) err
 	s.rotateAt = 0
 	base := lsn + 1
 	path := filepath.Join(l.dir, segmentName(shard, base))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(path, osCreateAppendTrunc, 0o644)
 	if err != nil {
+		l.noteWriteError(err)
 		s.err = err
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -213,14 +221,14 @@ func (l *Log) InstallSnapshot(shard int, lsn uint64, keys map[string][]byte) err
 	s.mu.Unlock()
 
 	// Remove superseded snapshots of this shard.
-	if olds, err := filepath.Glob(filepath.Join(l.dir, fmt.Sprintf("snap-%03d-*.snap", shard))); err == nil {
+	if olds, err := l.fs.Glob(filepath.Join(l.dir, fmt.Sprintf("snap-%03d-*.snap", shard))); err == nil {
 		for _, p := range olds {
-			if p != final && os.Remove(p) == nil {
+			if p != final && l.fs.Remove(p) == nil {
 				l.stats.RemovedFiles.Add(1)
 			}
 		}
 	}
-	syncDir(l.dir)
+	syncDir(l.fs, l.dir)
 	l.notifyStable()
 	return nil
 }
@@ -235,7 +243,7 @@ func (l *Log) OpenStream(shard int, from uint64) (*StreamReader, error) {
 		return nil, fmt.Errorf("%w: shard %d lsn %d predates the log (earliest %d)",
 			ErrGap, shard, from, firstBase(refs))
 	}
-	return NewStreamReader(shard, refs, from), nil
+	return newStreamReader(l.fs, shard, refs, from), nil
 }
 
 func firstBase(refs []SegmentRef) uint64 {

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 )
@@ -127,32 +126,40 @@ func (l *Log) Snapshot(shard int, lsn uint64, keys map[string][]byte) error {
 	// Write the snapshot to a temp file, sync it, then publish with an
 	// atomic rename: a crash mid-write leaves only ignorable garbage.
 	enc := encodeSnapshot(shard, lsn, keys)
-	tmp, err := os.CreateTemp(l.dir, "tmp-snap-*")
+	tmp, err := l.fs.CreateTemp(l.dir, "tmp-snap-*")
 	if err != nil {
+		l.noteWriteError(err)
 		return err
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(enc); err != nil {
+	if err := writeFull(tmp, enc); err != nil {
+		l.noteWriteError(err)
 		tmp.Close()
-		os.Remove(tmpName)
+		l.fs.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
+		// A failed snapshot sync does not poison the log — the covered
+		// frames are still durable in segments — but ENOSPC still means
+		// the volume is full, so the classification runs either way.
+		if isNoSpace(err) {
+			l.enterReadOnly(err)
+		}
 		tmp.Close()
-		os.Remove(tmpName)
+		l.fs.Remove(tmpName)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		l.fs.Remove(tmpName)
 		return err
 	}
 	l.hook(CrashMidSnapshot)
 	final := filepath.Join(l.dir, snapshotName(shard, lsn))
-	if err := os.Rename(tmpName, final); err != nil {
-		os.Remove(tmpName)
+	if err := l.fs.Rename(tmpName, final); err != nil {
+		l.fs.Remove(tmpName)
 		return err
 	}
-	syncDir(l.dir)
+	syncDir(l.fs, l.dir)
 	l.stats.Snapshots.Add(1)
 	l.stats.SnapshotKeys.Store(uint64(len(keys)))
 
@@ -172,7 +179,7 @@ func (l *Log) Snapshot(shard int, lsn uint64, keys map[string][]byte) error {
 		s.segs = s.segs[1:]
 	}
 	s.mu.Unlock()
-	if olds, err := filepath.Glob(filepath.Join(l.dir, fmt.Sprintf("snap-%03d-*.snap", shard))); err == nil {
+	if olds, err := l.fs.Glob(filepath.Join(l.dir, fmt.Sprintf("snap-%03d-*.snap", shard))); err == nil {
 		for _, p := range olds {
 			if p != final {
 				dead = append(dead, p)
@@ -183,12 +190,12 @@ func (l *Log) Snapshot(shard int, lsn uint64, keys map[string][]byte) error {
 		if i > 0 {
 			l.hook(CrashMidTruncate)
 		}
-		if os.Remove(p) == nil {
+		if l.fs.Remove(p) == nil {
 			l.stats.RemovedFiles.Add(1)
 		}
 	}
 	if len(dead) > 0 {
-		syncDir(l.dir)
+		syncDir(l.fs, l.dir)
 	}
 	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 )
 
 // SegmentRef names one on-disk log segment of a shard: the LSN of its
@@ -49,13 +48,14 @@ const streamReadChunk = 256 << 10
 //
 // A StreamReader is not safe for concurrent use.
 type StreamReader struct {
+	fs    FS
 	shard int
 	segs  []SegmentRef
 	start uint64 // first LSN the caller wants (0 = everything)
 
-	idx      int      // current segment index
-	f        *os.File // open handle on segs[idx]
-	buf      []byte   // unconsumed bytes read from segs[idx]
+	idx      int    // current segment index
+	f        File   // open handle on segs[idx]
+	buf      []byte // unconsumed bytes read from segs[idx]
 	bufStart int64    // file offset of buf[0]
 	expected uint64   // LSN the next decoded frame must carry
 	began    bool
@@ -68,7 +68,14 @@ type StreamReader struct {
 // decoded — the chain must prove itself from the first segment — but
 // not returned. A nil or empty segs yields io.EOF immediately.
 func NewStreamReader(shard int, segs []SegmentRef, start uint64) *StreamReader {
-	r := &StreamReader{shard: shard, segs: segs, start: start}
+	return newStreamReader(OSFS(), shard, segs, start)
+}
+
+// newStreamReader is NewStreamReader with an explicit filesystem, so
+// recovery and replication read through the same fault seam they were
+// written through.
+func newStreamReader(fsys FS, shard int, segs []SegmentRef, start uint64) *StreamReader {
+	r := &StreamReader{fs: fsys, shard: shard, segs: segs, start: start}
 	// Skip whole segments entirely below start: a segment whose
 	// successor's base is ≤ start+1 contributes no wanted frames and its
 	// bytes need not decode (replication must not pay to re-read
@@ -132,7 +139,7 @@ func (r *StreamReader) Next() (StreamEntry, error) {
 		}
 		if r.f == nil {
 			seg := r.segs[r.idx]
-			f, err := os.Open(seg.Path)
+			f, err := r.fs.Open(seg.Path)
 			if err != nil {
 				r.sticky = err
 				return StreamEntry{}, err

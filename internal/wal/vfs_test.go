@@ -1,0 +1,47 @@
+package wal
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestNoDirectOSFileCalls is the vet gate for the VFS seam: every file
+// operation in this package must go through the FS interface so the
+// fault plane can inject errors at every site. Only vfs.go (the osFS
+// default) and test files may call the os file functions directly; a
+// direct call anywhere else is a fault-injection blind spot.
+func TestNoDirectOSFileCalls(t *testing.T) {
+	forbidden := []string{
+		"os.OpenFile(", "os.Open(", "os.Create(", "os.CreateTemp(",
+		"os.Rename(", "os.Remove(", "os.RemoveAll(", "os.Truncate(",
+		"os.Mkdir(", "os.MkdirAll(", "os.ReadDir(", "os.ReadFile(",
+		"os.WriteFile(", "os.Stat(", "filepath.Glob(",
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || name == "vfs.go" {
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("ReadFile %s: %v", name, err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			code := line
+			if idx := strings.Index(code, "//"); idx >= 0 {
+				code = code[:idx]
+			}
+			for _, f := range forbidden {
+				if strings.Contains(code, f) {
+					t.Errorf("%s:%d: direct %s bypasses the FS seam (route it through Config.FS / the fsys parameter)",
+						name, i+1, strings.TrimSuffix(f, "("))
+				}
+			}
+		}
+	}
+}

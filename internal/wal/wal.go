@@ -3,11 +3,12 @@ package wal
 import (
 	"errors"
 	"fmt"
-	"os"
+	"io"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"nztm/internal/metrics"
@@ -119,6 +120,14 @@ type Config struct {
 	// expected to usually return; when the fault plane decides to fire
 	// it never returns (the process dies).
 	CrashHook func(CrashPoint)
+	// FS is the filesystem seam (nil = the real filesystem). A fault
+	// plane substitutes an error-injecting implementation here.
+	FS FS
+	// OnDegrade, when non-nil, is called once per mode transition
+	// (failed=false entering read-only, failed=true entering fail-stop)
+	// from whatever goroutine observed the I/O error. It must not call
+	// back into the log.
+	OnDegrade func(failed bool, cause error)
 }
 
 // Stats are cumulative counters and commit-pipeline distributions, safe
@@ -133,6 +142,15 @@ type Stats struct {
 	Snapshots      atomic.Uint64 // snapshots sealed
 	SnapshotKeys   atomic.Uint64 // keys in the last sealed snapshot pass
 	RemovedFiles   atomic.Uint64 // covered segments + stale snapshots deleted
+
+	// Storage fault-plane counters (DESIGN.md §17). WriteErrors and
+	// SyncFailures count I/O errors the log observed; ReadOnlyTrips and
+	// FailStops count the resulting mode transitions (at most 1 each per
+	// process lifetime — the states are terminal).
+	WriteErrors   atomic.Uint64 // frame/snapshot write errors observed
+	SyncFailures  atomic.Uint64 // fsync errors observed (any site)
+	ReadOnlyTrips atomic.Uint64 // transitions into degraded read-only (ENOSPC)
+	FailStops     atomic.Uint64 // transitions into permanent fail-stop (fsync error)
 
 	// FsyncCohortFrames is how many frames each fsync made durable: the
 	// group-commit amortization factor (1 = no batching happening).
@@ -161,7 +179,7 @@ type shardLog struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	f    *os.File  // current (last) segment
+	f    File      // current (last) segment
 	segs []segment // all live segments, ascending base
 
 	pending map[uint64][]byte // encoded frames awaiting their dense turn
@@ -185,13 +203,40 @@ type shardLog struct {
 	err      error  // sticky I/O error; fails all future waits
 }
 
+// Log modes (Log.state). Transitions only move forward: a log that
+// degraded never heals within the process — "retrying" a failed fsync
+// would treat pages the kernel already marked clean as durable when
+// they never reached media (the classic fsyncgate bug class), and an
+// out-of-space log cannot promise new appends space. Recovery after a
+// restart re-proves the directory from scratch.
+const (
+	logHealthy  uint32 = iota
+	logReadOnly        // ENOSPC: appends shed, reads keep serving
+	logFailed          // fsync failure: permanent fail-stop, everything sheds
+)
+
+// ErrReadOnly is returned by Append once the log entered degraded
+// read-only mode (out of space): the write was rejected before any
+// byte was logged, so callers may safely retry it against a healthy
+// replica.
+var ErrReadOnly = errors.New("wal: log is read-only (out of space)")
+
+// ErrFailed is returned by Append once the log fail-stopped after a
+// sync failure. The log never accepts another frame.
+var ErrFailed = errors.New("wal: log failed (fsync error)")
+
 // Log is an open write-ahead log: one shardLog per shard plus the
 // background interval syncer.
 type Log struct {
 	cfg    Config
 	dir    string
+	fs     FS
 	shards []*shardLog
 	stats  Stats
+
+	state   atomic.Uint32 // logHealthy / logReadOnly / logFailed
+	causeMu sync.Mutex
+	cause   error // first error that degraded the log
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -208,6 +253,122 @@ func (l *Log) Stats() *Stats { return &l.stats }
 
 // Dir returns the data directory.
 func (l *Log) Dir() string { return l.dir }
+
+// ReadOnly reports whether the log is in degraded read-only mode.
+func (l *Log) ReadOnly() bool { return l.state.Load() == logReadOnly }
+
+// Failed returns the fail-stop cause, or nil while the log still
+// accepts appends (healthy or read-only).
+func (l *Log) Failed() error {
+	if l.state.Load() != logFailed {
+		return nil
+	}
+	return l.degradeCause()
+}
+
+// Degraded returns nil while the log accepts appends, else the same
+// wrapped ErrReadOnly or ErrFailed an append would return — callers
+// shed writes before executing them. One atomic load when healthy.
+func (l *Log) Degraded() error { return l.appendGate() }
+
+// Mode returns the log's mode as a stable string for stats exports.
+func (l *Log) Mode() string {
+	switch l.state.Load() {
+	case logReadOnly:
+		return "read-only"
+	case logFailed:
+		return "failed"
+	}
+	return "ok"
+}
+
+func (l *Log) degradeCause() error {
+	l.causeMu.Lock()
+	defer l.causeMu.Unlock()
+	return l.cause
+}
+
+func (l *Log) setCause(err error) {
+	l.causeMu.Lock()
+	if l.cause == nil {
+		l.cause = err
+	}
+	l.causeMu.Unlock()
+}
+
+// isNoSpace classifies an I/O error as out-of-space.
+func isNoSpace(err error) bool { return errors.Is(err, syscall.ENOSPC) }
+
+// enterReadOnly transitions the log into degraded read-only mode. New
+// appends are shed with ErrReadOnly before touching any shard; reads
+// of the already-stable prefix keep serving (only waits that depend on
+// the poisoned suffix fail). No-op if the log already degraded.
+func (l *Log) enterReadOnly(err error) {
+	if l.state.CompareAndSwap(logHealthy, logReadOnly) {
+		l.setCause(err)
+		l.stats.ReadOnlyTrips.Add(1)
+		if h := l.cfg.OnDegrade; h != nil {
+			h(false, err)
+		}
+	}
+}
+
+// failStop transitions the log into permanent fail-stop and poisons
+// every shard, so in-flight Append and WaitStable callers fail fast
+// instead of wedging on watermarks that will never advance. Callers
+// must NOT hold any shardLog mutex.
+func (l *Log) failStop(err error) {
+	prev := l.state.Swap(logFailed)
+	if prev == logFailed {
+		return
+	}
+	l.setCause(err)
+	l.stats.FailStops.Add(1)
+	if h := l.cfg.OnDegrade; h != nil {
+		h(true, err)
+	}
+	for _, s := range l.shards {
+		s.fail(fmt.Errorf("%w: %v", ErrFailed, err))
+	}
+	l.notifyStable() // wake replication senders so they observe the failure
+}
+
+// noteWriteError classifies a frame/snapshot write error: ENOSPC
+// degrades the log to read-only; any other error stays a per-shard
+// sticky poison (the caller records it).
+func (l *Log) noteWriteError(err error) {
+	l.stats.WriteErrors.Add(1)
+	if isNoSpace(err) {
+		l.enterReadOnly(err)
+	}
+}
+
+// noteSyncError classifies an fsync error: ENOSPC degrades to
+// read-only, anything else is a whole-log fail-stop — after a failed
+// fsync the kernel may have marked the dirty pages clean, so no retry
+// can ever prove them durable and no later ack can be trusted.
+func (l *Log) noteSyncError(err error) {
+	l.stats.SyncFailures.Add(1)
+	if isNoSpace(err) {
+		l.enterReadOnly(err)
+		return
+	}
+	l.failStop(err)
+}
+
+// appendGate sheds appends once the log degraded (checked before any
+// shard is touched, so a shed write provably had no effect). One
+// atomic load on the healthy path.
+func (l *Log) appendGate() error {
+	switch l.state.Load() {
+	case logHealthy:
+		return nil
+	case logReadOnly:
+		return fmt.Errorf("%w: %v", ErrReadOnly, l.degradeCause())
+	default:
+		return fmt.Errorf("%w: %v", ErrFailed, l.degradeCause())
+	}
+}
 
 // hook invokes the crash hook, if any.
 func (l *Log) hook(p CrashPoint) {
@@ -234,6 +395,9 @@ func (l *Log) Append(f *Frame) error { return l.AppendSpan(f, nil) }
 func (l *Log) AppendSpan(f *Frame, sp *trace.Span) error {
 	if len(f.Shards) == 0 {
 		return errors.New("wal: frame with empty shard vector")
+	}
+	if err := l.appendGate(); err != nil {
+		return err
 	}
 	// Validate the whole vector before touching any shardLog: enqueueing
 	// a frame whose later entry then fails would leave LSNs written but
@@ -339,6 +503,12 @@ func (s *shardLog) drainLocked(l *Log) {
 		f := s.f
 		s.mu.Unlock()
 		err := writeFrameBytes(l, f, enc)
+		if err != nil {
+			// ENOSPC degrades the whole log to read-only; any other write
+			// error stays a per-shard sticky poison. Classified before
+			// retaking mu (enterReadOnly never touches shard locks).
+			l.noteWriteError(err)
+		}
 		s.mu.Lock()
 		if err != nil {
 			s.err = err
@@ -358,18 +528,26 @@ func (s *shardLog) drainLocked(l *Log) {
 // writeFrameBytes writes one encoded frame. With a crash hook armed the
 // write is split in half around the CrashMidAppend site, so a firing
 // hook leaves a torn frame — exactly the tail a real kill-9 mid-write
-// leaves.
-func writeFrameBytes(l *Log, f *os.File, enc []byte) error {
+// leaves. A short write with no error is promoted to io.ErrShortWrite:
+// silently accepting it would mark a torn frame written.
+func writeFrameBytes(l *Log, f File, enc []byte) error {
 	if l.cfg.CrashHook != nil {
 		half := len(enc) / 2
-		if _, err := f.Write(enc[:half]); err != nil {
+		if err := writeFull(f, enc[:half]); err != nil {
 			return err
 		}
 		l.hook(CrashMidAppend)
-		_, err := f.Write(enc[half:])
-		return err
+		return writeFull(f, enc[half:])
 	}
-	_, err := f.Write(enc)
+	return writeFull(f, enc)
+}
+
+// writeFull writes p, promoting error-free short writes to errors.
+func writeFull(f File, p []byte) error {
+	n, err := f.Write(p)
+	if err == nil && n < len(p) {
+		return io.ErrShortWrite
+	}
 	return err
 }
 
@@ -405,10 +583,20 @@ func (s *shardLog) ensureDurable(l *Log, lsn uint64) error {
 		f := s.f
 		s.mu.Unlock()
 		err := f.Sync()
+		if err != nil {
+			// Fail-stop: a failed fsync means the kernel may have dropped
+			// the dirty pages while marking them clean — no retry can make
+			// these frames durable, so the whole log poisons itself (or
+			// degrades to read-only on ENOSPC). Classified while unlocked:
+			// failStop takes every shard's mutex.
+			l.noteSyncError(err)
+		}
 		s.mu.Lock()
 		s.syncing = false
 		if err != nil {
-			s.err = err
+			if s.err == nil {
+				s.err = err
+			}
 		} else {
 			l.stats.Fsyncs.Add(1)
 			if target > s.durable {
@@ -454,6 +642,12 @@ func (s *shardLog) waitStable(lsn uint64) error {
 	for s.stable < lsn && s.err == nil {
 		s.cond.Wait()
 	}
+	if s.stable >= lsn {
+		// The prefix is durable even if the shard has since failed:
+		// results depending only on it are still safe to acknowledge,
+		// which is what keeps reads serving in degraded mode.
+		return nil
+	}
 	return s.err
 }
 
@@ -477,8 +671,9 @@ func (s *shardLog) rotateLocked(l *Log) {
 	target := s.written
 	base := s.written + 1
 	path := filepath.Join(l.dir, segmentName(s.idx, base))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(path, osCreateAppend, 0o644)
 	if err != nil {
+		l.noteWriteError(err)
 		s.err = err
 		return
 	}
@@ -487,9 +682,16 @@ func (s *shardLog) rotateLocked(l *Log) {
 	s.rotating = true
 	go func() {
 		err := old.Sync()
-		old.Close()
+		if cerr := old.Close(); err == nil && cerr != nil {
+			// A close error on a rotated-out segment can surface a deferred
+			// writeback failure; dropping it would leave the durable
+			// watermark advancing over frames that never reached media.
+			err = cerr
+		}
 		if err == nil {
-			syncDir(l.dir)
+			syncDir(l.fs, l.dir)
+		} else {
+			l.noteSyncError(err)
 		}
 		s.mu.Lock()
 		s.rotating = false
@@ -582,8 +784,8 @@ func snapshotName(shard int, lsn uint64) string {
 
 // syncDir best-effort fsyncs a directory so renames and unlinks are
 // durable. Errors are ignored: not every filesystem supports it.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
+func syncDir(fsys FS, dir string) {
+	if d, err := fsys.Open(dir); err == nil {
 		d.Sync()
 		d.Close()
 	}
